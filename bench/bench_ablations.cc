@@ -1,0 +1,106 @@
+// Experiment F9 — ablations over the design choices DESIGN.md calls
+// out for Algorithm 1's implementation:
+//
+//   (a) exact vs Count-Min epoch-0 heavy-element detection: space of
+//       the epoch-0 detector and end-to-end quality;
+//   (b) level_inclusion_boost: how strongly the special-set sampling
+//       contributes next to epoch-0 sampling + patching;
+//   (c) tracking_rate_constant c_q: the Q̃ sample's size/quality trade
+//       (paper value 1 gives a sample too thin to mark anything at
+//       laptop scale).
+//
+// Each counter row is an averaged end-to-end run on the standard
+// planted workload in random order.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench/bench_util.h"
+#include "core/random_order.h"
+
+namespace setcover {
+namespace {
+
+using bench::PlantedWorkload;
+using bench::RunValidated;
+
+void RunConfig(benchmark::State& state, const RandomOrderParams& params,
+               uint32_t n) {
+  const uint32_t m = n * n;
+  auto instance = PlantedWorkload(n, m, /*opt=*/4, /*seed=*/1500 + n);
+  Rng rng(1600 + n);
+  auto stream = RandomOrderStream(instance, rng);
+
+  double trials = 0, ratio_sum = 0, peak_sum = 0;
+  double additions = 0, patched = 0, marked = 0;
+  for (auto _ : state) {
+    RandomOrderAlgorithm algorithm(61 + size_t(trials), params);
+    auto result = RunValidated(*&algorithm, instance, stream);
+    ratio_sum += result.ratio;
+    peak_sum += double(result.peak_words);
+    additions += double(algorithm.Stats().additions.size());
+    patched += double(algorithm.Stats().patched);
+    marked += double(algorithm.Stats().epoch0_marked);
+    for (const auto& e : algorithm.Stats().epochs) {
+      marked += double(e.optimistically_marked);
+    }
+    trials += 1;
+  }
+  state.counters["n"] = n;
+  state.counters["ratio_vs_opt"] = ratio_sum / trials;
+  state.counters["peak_words"] = peak_sum / trials;
+  state.counters["level_additions"] = additions / trials;
+  state.counters["patched_sets"] = patched / trials;
+  state.counters["marked_elements"] = marked / trials;
+}
+
+void BM_AblationEpoch0Detector(benchmark::State& state) {
+  RandomOrderParams params;
+  params.use_sketch_epoch0 = state.range(0) == 1;
+  state.SetLabel(params.use_sketch_epoch0 ? "count-min" : "exact-counters");
+  RunConfig(state, params, static_cast<uint32_t>(state.range(1)));
+}
+
+BENCHMARK(BM_AblationEpoch0Detector)
+    ->Args({0, 256})
+    ->Args({1, 256})
+    ->Args({0, 1024})
+    ->Args({1, 1024})
+    ->Iterations(3)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AblationInclusionBoost(benchmark::State& state) {
+  RandomOrderParams params;
+  params.level_inclusion_boost = double(state.range(0));
+  RunConfig(state, params, 256);
+  state.counters["boost"] = double(state.range(0));
+}
+
+BENCHMARK(BM_AblationInclusionBoost)
+    ->Arg(1)   // the paper's rule
+    ->Arg(4)
+    ->Arg(16)  // library default
+    ->Arg(64)
+    ->Iterations(3)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AblationTrackingRate(benchmark::State& state) {
+  RandomOrderParams params;
+  params.tracking_rate_constant = double(state.range(0));
+  RunConfig(state, params, 256);
+  state.counters["c_q"] = double(state.range(0));
+}
+
+BENCHMARK(BM_AblationTrackingRate)
+    ->Arg(1)   // the paper's rule
+    ->Arg(4)   // library default
+    ->Arg(16)
+    ->Arg(64)
+    ->Iterations(3)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace setcover
+
+BENCHMARK_MAIN();

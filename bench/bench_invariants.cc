@@ -1,0 +1,110 @@
+// Experiment F4 — the three invariants behind Theorem 3's analysis
+// (§4.2), measured on instrumented runs of Algorithm 1:
+//
+//   Lemma 8 / (I3): the number of special sets in epoch j stays under
+//     ~1.1·m/2^j, so only Õ(√n) sets join Sol per algorithm A(i) —
+//     counter `max_special_over_bound` should stay near/below 1.
+//   (I2): sets added during A(i) miss only Õ(√n) of their edges —
+//     counter `max_missed_edges` per added set.
+//   (I1)-adjacent: the patching phase (which pays for everything the
+//     main loop failed to detect) stays bounded — `patched_sets`.
+//
+// The per-epoch table is printed once per configuration.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_set>
+
+#include "bench/bench_util.h"
+#include "core/random_order.h"
+
+namespace setcover {
+namespace {
+
+using bench::PlantedWorkload;
+
+void BM_Invariants(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  const uint32_t m = n * n;
+  auto instance = PlantedWorkload(n, m, /*opt=*/4, /*seed=*/1100 + n);
+  Rng rng(1200 + n);
+  auto stream = RandomOrderStream(instance, rng);
+
+  double max_special_over_bound = 0, additions = 0, patched = 0;
+  double max_missed = 0, marked_no_witness = 0;
+  bool printed = false;
+  for (auto _ : state) {
+    RandomOrderAlgorithm algorithm(47);
+    CoverSolution solution = RunStream(algorithm, stream);
+    ValidationResult check = ValidateSolution(instance, solution);
+    if (!check.ok) {
+      std::fprintf(stderr, "invalid cover: %s\n", check.error.c_str());
+      std::abort();
+    }
+    const RandomOrderStats& stats = algorithm.Stats();
+
+    if (!printed) {
+      std::printf("\n# per-epoch invariants, n=%u m=%u (Lemma 8 bound = "
+                  "1.1*m/2^j)\n", n, m);
+      std::printf("# %3s %3s %10s %12s %8s %8s %10s %8s\n", "i", "j",
+                  "special", "lemma8_bound", "added", "tracked",
+                  "trk_edges", "marked");
+      for (const auto& e : stats.epochs) {
+        double bound = 1.1 * double(m) / double(1u << e.epoch);
+        std::printf("  %3u %3u %10zu %12.0f %8zu %8zu %10zu %8zu\n",
+                    e.algorithm_index, e.epoch, e.special_sets, bound,
+                    e.added_to_solution, e.tracked_sets, e.tracked_edges,
+                    e.optimistically_marked);
+      }
+      printed = true;
+    }
+
+    for (const auto& e : stats.epochs) {
+      double bound = 1.1 * double(m) / double(1u << e.epoch);
+      if (bound > 0) {
+        max_special_over_bound = std::max(
+            max_special_over_bound, double(e.special_sets) / bound);
+      }
+    }
+    additions += double(stats.additions.size());
+    patched += double(stats.patched);
+    marked_no_witness += double(stats.marked_without_witness);
+
+    // (I2) proxy: per set added during the main loop, the number of its
+    // elements whose certificate had to come from patching = edges the
+    // algorithm observed too late (missed edges).
+    std::unordered_set<ElementId> patched_elements(
+        stats.patched_elements.begin(), stats.patched_elements.end());
+    for (const auto& [set_id, position] : stats.additions) {
+      size_t missed = 0;
+      for (ElementId u : instance.Set(set_id)) {
+        missed += patched_elements.count(u);
+      }
+      max_missed = std::max(max_missed, double(missed));
+    }
+  }
+  double iters = double(state.iterations());
+  state.counters["n"] = n;
+  state.counters["sqrt_n"] = std::sqrt(double(n));
+  state.counters["max_special_over_bound"] = max_special_over_bound;
+  state.counters["sol_additions"] = additions / iters;
+  state.counters["patched_sets"] = patched / iters;
+  state.counters["marked_without_witness"] = marked_no_witness / iters;
+  state.counters["max_missed_edges_per_set"] = max_missed;
+}
+
+BENCHMARK(BM_Invariants)
+    ->Arg(256)
+    ->Arg(512)
+    ->Arg(1024)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace setcover
+
+BENCHMARK_MAIN();

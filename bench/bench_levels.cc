@@ -1,0 +1,111 @@
+// Experiment F3 — the KK level-decay law (§1.2): the number of sets
+// whose uncovered-degree ends in level i (= [i√n, (i+1)√n)) must fall
+// geometrically — E|S_i| ≤ ½·E|S_{i-1}| — which is the fact that
+// bounds the KK solution at Õ(√n) sets per level.
+//
+// Workload: sets with log-uniform sizes (2^U(0..log₂ n)), so the level
+// spectrum is populated; the coverage dynamics then thin out the upper
+// levels. Counters level0..level5 report the averaged end-of-stream
+// histogram; decay_i = level_i / level_{i-1} should sit well below 1.
+//
+// Also includes the inclusion-constant ablation: scaling the paper's
+// inclusion probability 2^i·√n/m up/down trades sampled-cover size
+// against patching volume.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/kk_algorithm.h"
+
+namespace setcover {
+namespace {
+
+// m sets of log-uniform size: every degree scale is represented, which
+// is exactly what the level histogram measures.
+SetCoverInstance LogUniformWorkload(uint32_t n, uint32_t m,
+                                    uint64_t seed) {
+  Rng rng(seed);
+  LogUniformParams params;
+  params.num_elements = n;
+  params.num_sets = m;
+  return GenerateLogUniform(params, rng);
+}
+
+void BM_KkLevelDecay(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  const uint32_t m = 64 * n;
+  auto instance = LogUniformWorkload(n, m, /*seed=*/700 + n);
+  Rng rng(800 + n);
+  auto stream = RandomOrderStream(instance, rng);
+
+  std::vector<double> levels(8, 0.0);
+  double trials = 0;
+  for (auto _ : state) {
+    KkAlgorithm algorithm(29 + size_t(trials));
+    CoverSolution solution = RunStream(algorithm, stream);
+    benchmark::DoNotOptimize(solution);
+    auto hist = algorithm.LevelHistogram();
+    for (size_t i = 0; i < levels.size() && i < hist.size(); ++i) {
+      levels[i] += double(hist[i]);
+    }
+    trials += 1;
+  }
+  for (double& level : levels) level /= trials;
+  state.counters["n"] = n;
+  state.counters["m"] = m;
+  for (int i = 0; i < 6; ++i) {
+    state.counters["level" + std::to_string(i)] = levels[i];
+  }
+  for (int i = 1; i < 5; ++i) {
+    state.counters["decay" + std::to_string(i)] =
+        levels[i - 1] > 0 ? levels[i] / levels[i - 1] : 0.0;
+  }
+}
+
+BENCHMARK(BM_KkLevelDecay)
+    ->Arg(256)
+    ->Arg(512)
+    ->Arg(1024)
+    ->Iterations(3)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_KkInclusionConstantAblation(benchmark::State& state) {
+  // inclusion_constant = range(0)/4: 0.25x, 1x (the paper's rule), 4x.
+  const double c = double(state.range(0)) / 4.0;
+  const uint32_t n = 512;
+  const uint32_t m = 64 * n;
+  auto instance = LogUniformWorkload(n, m, /*seed=*/901);
+  Rng rng(902);
+  auto stream = RandomOrderStream(instance, rng);
+
+  KkParams params;
+  params.inclusion_constant = c;
+  double trials = 0, cover_sum = 0, sampled_sum = 0;
+  for (auto _ : state) {
+    KkAlgorithm algorithm(31 + size_t(trials), params);
+    auto result = bench::RunValidated(*&algorithm, instance, stream);
+    cover_sum += double(result.cover_size);
+    sampled_sum += double(algorithm.SampledCoverSize());
+    trials += 1;
+  }
+  state.counters["inclusion_constant"] = c;
+  state.counters["cover"] = cover_sum / trials;
+  state.counters["sampled_sets"] = sampled_sum / trials;
+  state.counters["patched_sets"] = (cover_sum - sampled_sum) / trials;
+}
+
+BENCHMARK(BM_KkInclusionConstantAblation)
+    ->Arg(1)    // 0.25x
+    ->Arg(4)    // 1x — the paper's rule
+    ->Arg(16)   // 4x
+    ->Iterations(3)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace setcover
+
+BENCHMARK_MAIN();

@@ -1,0 +1,150 @@
+// Experiments F5 + F6 — the communication side of the paper.
+//
+// F5 (Theorem 2 mechanism): the t-party Set-Disjointness reduction is
+// executed end-to-end with two stand-ins for the streaming algorithm A:
+//   * store-everything greedy (state = the whole stream) — the reduction
+//     then *distinguishes* the promise cases, and its forwarded message
+//     is huge (∝ m), illustrating why any distinguishing algorithm pays
+//     Ω(m/t²) communication (Theorem 5) = Ω̃(m·n²/α⁴) space;
+//   * the KK algorithm at its honest Õ(m) state size for comparison.
+// Also verifies Lemma 1's O(log n) pairwise-intersection property on the
+// generated family (counter `family_max_cross_intersection`).
+//
+// F6 (§3 remark): the deterministic t-party protocol with approximation
+// 2√(n·t) and message Õ(n). Expected shape: message words grow linearly
+// in n and are independent of m; measured ratio ≤ 2√(n·t).
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "comm/deterministic_protocol.h"
+#include "comm/reduction.h"
+#include "core/kk_algorithm.h"
+#include "core/random_order.h"
+#include "core/trivial.h"
+#include "instance/validator.h"
+
+namespace setcover {
+namespace {
+
+void BM_Theorem2Reduction(benchmark::State& state) {
+  const int algo = static_cast<int>(state.range(0));
+  const bool intersecting = state.range(1) == 1;
+  const uint32_t t = static_cast<uint32_t>(state.range(2));
+  const uint32_t n = 1024;
+  const uint32_t m = 24;
+  const uint32_t per_party = 6;
+
+  AlgorithmFactory factory;
+  const char* algo_name = "";
+  switch (algo) {
+    case 0:
+      factory = [](uint64_t seed) {
+        return std::make_unique<KkAlgorithm>(seed);
+      };
+      algo_name = "kk";
+      break;
+    case 1:
+      factory = [](uint64_t) {
+        return std::make_unique<StoreEverythingGreedy>();
+      };
+      algo_name = "exact";
+      break;
+    default:
+      factory = [](uint64_t seed) {
+        return std::make_unique<RandomOrderAlgorithm>(seed);
+      };
+      algo_name = "random-order";
+      break;
+  }
+
+  double correct = 0, trials = 0, max_state = 0, cross = 0;
+  for (auto _ : state) {
+    Rng rng(7000 + size_t(trials));
+    auto family = Lemma1Family::Build(n, t, m, rng);
+    auto disjointness =
+        intersecting
+            ? GenerateIntersectingInstance(t, m, per_party, rng)
+            : GenerateDisjointInstance(t, m, per_party, rng);
+    auto result = RunTheorem2Reduction(family, disjointness, factory,
+                                       /*seed=*/11 + size_t(trials));
+    bool answer =
+        DecideIntersecting(result, result.disjoint_case_opt_lower_bound);
+    correct += (answer == intersecting) ? 1 : 0;
+    max_state = std::max(max_state, double(result.max_boundary_state_words));
+    cross = double(family.MaxCrossIntersection());
+    trials += 1;
+  }
+  state.SetLabel(std::string(algo_name) +
+                 (intersecting ? "/intersecting" : "/disjoint"));
+  state.counters["t"] = t;
+  state.counters["m"] = m;
+  state.counters["decision_accuracy"] = correct / trials;
+  state.counters["max_message_words"] = max_state;
+  state.counters["family_max_cross_intersection"] = cross;
+  state.counters["log2_n"] = std::log2(double(n));
+}
+
+void ReductionArgs(benchmark::internal::Benchmark* b) {
+  for (int algo : {1, 0, 2}) {  // exact, kk, random-order
+    for (int inter : {0, 1}) {
+      for (int t : {2, 4}) b->Args({algo, inter, t});
+    }
+  }
+}
+
+BENCHMARK(BM_Theorem2Reduction)
+    ->Apply(ReductionArgs)
+    ->Iterations(3)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DeterministicProtocol(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  const uint32_t t = static_cast<uint32_t>(state.range(1));
+  const uint32_t m = 16 * n;  // message must not scale with this
+  auto instance = bench::PlantedWorkload(n, m, /*opt=*/4, /*seed=*/n);
+  std::vector<uint32_t> owners(m);
+  for (uint32_t s = 0; s < m; ++s) owners[s] = s % t;
+
+  DeterministicProtocolResult result;
+  for (auto _ : state) {
+    result = RunDeterministicProtocol(instance, owners, t);
+    auto check = ValidateSolution(instance, result.solution);
+    if (!check.ok) {
+      std::fprintf(stderr, "invalid protocol cover: %s\n",
+                   check.error.c_str());
+      std::abort();
+    }
+  }
+  double opt = double(instance.PlantedCover().size());
+  state.counters["n"] = n;
+  state.counters["t"] = t;
+  state.counters["m"] = m;
+  state.counters["cover"] = double(result.solution.cover.size());
+  state.counters["ratio_vs_opt"] =
+      double(result.solution.cover.size()) / opt;
+  state.counters["ratio_bound_2sqrt_nt"] = 2.0 * std::sqrt(double(n) * t);
+  state.counters["max_message_words"] = double(result.max_message_words);
+  state.counters["message_words_per_n"] =
+      double(result.max_message_words) / double(n);
+}
+
+void ProtocolArgs(benchmark::internal::Benchmark* b) {
+  for (int n : {256, 512, 1024, 2048}) {
+    for (int t : {2, 4, 8}) b->Args({n, t});
+  }
+}
+
+BENCHMARK(BM_DeterministicProtocol)
+    ->Apply(ProtocolArgs)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace setcover
+
+BENCHMARK_MAIN();

@@ -1,0 +1,98 @@
+// Experiment F8 — the pass/approximation trade-off of the multi-pass
+// related work (§1.3): progressive threshold greedy at p passes has
+// approximation O(p·n^(1/p)) (Chakrabarti–Wirth's shape; their lower
+// bound makes the n^(Ω(1/p)) factor necessary at Õ(n) space).
+//
+// Expected shape: cover size drops steeply from p = 1 to p ≈ log n and
+// then flattens at greedy-like quality; the one-pass paper algorithms
+// are shown alongside so the "what does a second pass buy you" question
+// the one-pass lower bounds raise is answered quantitatively.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench/bench_util.h"
+#include "instance/validator.h"
+#include "core/kk_algorithm.h"
+#include "core/multi_pass.h"
+
+namespace setcover {
+namespace {
+
+using bench::PlantedWorkload;
+
+void BM_MultiPassTradeoff(benchmark::State& state) {
+  const uint32_t passes = static_cast<uint32_t>(state.range(0));
+  const uint32_t n = static_cast<uint32_t>(state.range(1));
+  const uint32_t m = n * n;
+  auto instance = PlantedWorkload(n, m, /*opt=*/4, /*seed=*/1300 + n);
+  Rng rng(1400 + n);
+  auto stream = RandomOrderStream(instance, rng);
+
+  double cover_sum = 0, trials = 0;
+  uint32_t passes_used = 0;
+  size_t peak = 0;
+  for (auto _ : state) {
+    MultiPassParams params;
+    params.passes = passes;
+    ProgressiveThresholdMultiPass algorithm(params);
+    auto solution = RunMultiPass(algorithm, stream, 64, &passes_used);
+    auto check = ValidateSolution(instance, solution);
+    if (!check.ok) {
+      std::fprintf(stderr, "invalid: %s\n", check.error.c_str());
+      std::abort();
+    }
+    cover_sum += double(solution.cover.size());
+    peak = algorithm.Meter().PeakWords();
+    trials += 1;
+  }
+  double opt = double(instance.PlantedCover().size());
+  state.counters["n"] = n;
+  state.counters["passes"] = passes_used;
+  state.counters["cover"] = cover_sum / trials;
+  state.counters["ratio_vs_opt"] = cover_sum / trials / opt;
+  state.counters["theory_p_nroot"] =
+      double(passes) * std::pow(double(n), 1.0 / double(passes));
+  state.counters["peak_words"] = double(peak);
+}
+
+void MultiPassArgs(benchmark::internal::Benchmark* b) {
+  for (int n : {256, 1024}) {
+    for (int p : {1, 2, 3, 4, 6, 9, 12}) b->Args({p, n});
+  }
+}
+
+BENCHMARK(BM_MultiPassTradeoff)
+    ->Apply(MultiPassArgs)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+// Reference point: the one-pass KK algorithm on the same workload —
+// what the p = 1 edge-arrival world achieves at Õ(√n) guarantees.
+void BM_OnePassReference(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  const uint32_t m = n * n;
+  auto instance = PlantedWorkload(n, m, /*opt=*/4, /*seed=*/1300 + n);
+  Rng rng(1400 + n);
+  auto stream = RandomOrderStream(instance, rng);
+  bench::RunResult result;
+  for (auto _ : state) {
+    KkAlgorithm algorithm(5);
+    result = bench::RunValidated(*&algorithm, instance, stream);
+  }
+  state.counters["n"] = n;
+  state.counters["cover"] = double(result.cover_size);
+  state.counters["ratio_vs_opt"] = result.ratio;
+}
+
+BENCHMARK(BM_OnePassReference)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace setcover
+
+BENCHMARK_MAIN();

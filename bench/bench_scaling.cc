@@ -1,0 +1,105 @@
+// Experiment F10 — space-scaling exponents. Table 1's rows are
+// asymptotic laws; this bench fits them. With m = n², the predicted
+// peak-space growth per n-doubling is:
+//
+//   KK:            Θ(m)      = Θ(n²)    → 4.0× per doubling
+//   Algorithm 2:   Θ(m·n/α²) = Θ(n)·polylog at α = Θ(√n) → ~2×
+//   Algorithm 1:   Θ(m/√n)   = Θ(n^1.5) → ~2.83×
+//   patching:      Θ(n)      → 2×
+//
+// Counters report measured peak words at each n and the ratio to the
+// previous n (the per-doubling growth factor). The *ordering* of the
+// measured exponents — patch < alg2 < alg1 < kk — is the quantitative
+// content of Table 1's space column.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench/bench_util.h"
+#include "core/adversarial_level.h"
+#include "core/kk_algorithm.h"
+#include "core/random_order.h"
+#include "core/trivial.h"
+
+namespace setcover {
+namespace {
+
+using bench::PlantedWorkload;
+using bench::RunValidated;
+
+enum Kind { kKkKind, kAlg2Kind, kAlg1Kind, kPatchKind };
+
+const char* KindName(Kind kind) {
+  switch (kind) {
+    case kKkKind:
+      return "kk_theta_m";
+    case kAlg2Kind:
+      return "alg2_theta_mn_over_a2";
+    case kAlg1Kind:
+      return "alg1_theta_m_over_sqrtn";
+    case kPatchKind:
+      return "patch_theta_n";
+  }
+  return "?";
+}
+
+size_t PeakFor(Kind kind, uint32_t n, uint64_t seed) {
+  const uint32_t m = n * n;
+  auto instance = PlantedWorkload(n, m, /*opt=*/4, /*seed=*/1700 + n);
+  Rng rng(1800 + n);
+  auto stream = RandomOrderStream(instance, rng);
+  switch (kind) {
+    case kKkKind: {
+      KkAlgorithm algorithm(seed);
+      return RunValidated(*&algorithm, instance, stream).peak_words;
+    }
+    case kAlg2Kind: {
+      AdversarialLevelParams params;
+      params.alpha = 2.0 * std::sqrt(double(n));
+      AdversarialLevelAlgorithm algorithm(seed, params);
+      return RunValidated(*&algorithm, instance, stream).peak_words;
+    }
+    case kAlg1Kind: {
+      RandomOrderAlgorithm algorithm(seed);
+      return RunValidated(*&algorithm, instance, stream).peak_words;
+    }
+    case kPatchKind: {
+      FirstSetPatching algorithm;
+      return RunValidated(*&algorithm, instance, stream).peak_words;
+    }
+  }
+  return 0;
+}
+
+void BM_SpaceScaling(benchmark::State& state) {
+  const Kind kind = static_cast<Kind>(state.range(0));
+  const uint32_t sizes[] = {128, 256, 512, 1024};
+  size_t peaks[4] = {0, 0, 0, 0};
+  for (auto _ : state) {
+    for (int i = 0; i < 4; ++i) peaks[i] = PeakFor(kind, sizes[i], 7);
+  }
+  state.SetLabel(KindName(kind));
+  for (int i = 0; i < 4; ++i) {
+    state.counters["peak_n" + std::to_string(sizes[i])] =
+        double(peaks[i]);
+  }
+  // Per-doubling growth factors and the fitted log₂-slope over the
+  // whole range (the scaling exponent in n).
+  for (int i = 1; i < 4; ++i) {
+    state.counters["growth_" + std::to_string(sizes[i])] =
+        double(peaks[i]) / double(peaks[i - 1]);
+  }
+  state.counters["fitted_exponent"] =
+      std::log2(double(peaks[3]) / double(peaks[0])) / 3.0;
+}
+
+BENCHMARK(BM_SpaceScaling)
+    ->DenseRange(kKkKind, kPatchKind)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace setcover
+
+BENCHMARK_MAIN();

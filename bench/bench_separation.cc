@@ -1,0 +1,93 @@
+// Experiment F1 — the random-vs-adversarial separation (Theorem 2 vs
+// Theorem 3): Algorithm 1 is run with its Õ(m/√n)-space budget under a
+// uniformly random order and under four concrete adversarial orders.
+//
+// Expected shape: on random order the ratio stays in the Õ(√n) band; on
+// adversarial orders (especially large-sets-last, which starves the
+// counting signal until the useful sets are gone) quality degrades while
+// space stays small — consistent with Theorem 2's claim that *no*
+// small-space algorithm can be good on adversarial streams. The KK
+// algorithm at Õ(m) space is order-insensitive, shown for contrast.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "core/kk_algorithm.h"
+#include "core/random_order.h"
+
+namespace setcover {
+namespace {
+
+using bench::PlantedWorkload;
+using bench::RunValidated;
+
+constexpr StreamOrder kOrders[] = {
+    StreamOrder::kRandom, StreamOrder::kSetMajor,
+    StreamOrder::kElementMajor, StreamOrder::kRoundRobinSets,
+    StreamOrder::kLargeSetsLast};
+
+void BM_SeparationRandomOrderAlg(benchmark::State& state) {
+  const StreamOrder order = kOrders[state.range(0)];
+  const uint32_t n = static_cast<uint32_t>(state.range(1));
+  const uint32_t m = n * n;
+  auto instance = PlantedWorkload(n, m, /*opt=*/4, /*seed=*/500 + n);
+  Rng rng(600 + n);
+  auto stream = OrderedStream(instance, order, rng);
+
+  bench::RunResult result;
+  double trials = 0, ratio_sum = 0;
+  for (auto _ : state) {
+    RandomOrderAlgorithm algorithm(41 + size_t(trials));
+    result = RunValidated(*&algorithm, instance, stream);
+    ratio_sum += result.ratio;
+    trials += 1;
+  }
+  state.SetLabel(StreamOrderName(order));
+  state.counters["n"] = n;
+  state.counters["ratio_vs_opt"] = ratio_sum / trials;
+  state.counters["peak_words"] = double(result.peak_words);
+  state.counters["m"] = m;
+}
+
+void BM_SeparationKk(benchmark::State& state) {
+  const StreamOrder order = kOrders[state.range(0)];
+  const uint32_t n = static_cast<uint32_t>(state.range(1));
+  const uint32_t m = n * n;
+  auto instance = PlantedWorkload(n, m, /*opt=*/4, /*seed=*/500 + n);
+  Rng rng(600 + n);
+  auto stream = OrderedStream(instance, order, rng);
+
+  bench::RunResult result;
+  double trials = 0, ratio_sum = 0;
+  for (auto _ : state) {
+    KkAlgorithm algorithm(41 + size_t(trials));
+    result = RunValidated(*&algorithm, instance, stream);
+    ratio_sum += result.ratio;
+    trials += 1;
+  }
+  state.SetLabel(StreamOrderName(order));
+  state.counters["n"] = n;
+  state.counters["ratio_vs_opt"] = ratio_sum / trials;
+  state.counters["peak_words"] = double(result.peak_words);
+  state.counters["m"] = m;
+}
+
+void SeparationArgs(benchmark::internal::Benchmark* b) {
+  for (int n : {256, 1024}) {
+    for (int o = 0; o < 5; ++o) b->Args({o, n});
+  }
+}
+
+BENCHMARK(BM_SeparationRandomOrderAlg)
+    ->Apply(SeparationArgs)
+    ->Iterations(3)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SeparationKk)
+    ->Apply(SeparationArgs)
+    ->Iterations(3)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace setcover
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// Experiment F7 — systems throughput: edges/second sustained by each
+// one-pass algorithm on a large random-order stream. The paper is about
+// space, but a streaming system also lives or dies by per-edge cost;
+// this bench pins it down (items/s = edges/s).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "core/adversarial_level.h"
+#include "core/kk_algorithm.h"
+#include "core/random_order.h"
+#include "core/set_arrival.h"
+#include "core/trivial.h"
+
+namespace setcover {
+namespace {
+
+enum AlgKind { kKkAlg, kAdvLevel, kRandOrder, kPatch, kSetArr };
+
+std::unique_ptr<StreamingSetCoverAlgorithm> Make(AlgKind kind,
+                                                 uint64_t seed) {
+  switch (kind) {
+    case kKkAlg:
+      return std::make_unique<KkAlgorithm>(seed);
+    case kAdvLevel:
+      return std::make_unique<AdversarialLevelAlgorithm>(seed);
+    case kRandOrder:
+      return std::make_unique<RandomOrderAlgorithm>(seed);
+    case kPatch:
+      return std::make_unique<FirstSetPatching>();
+    case kSetArr:
+      return std::make_unique<SetArrivalThreshold>();
+  }
+  return nullptr;
+}
+
+const char* KindName(AlgKind kind) {
+  switch (kind) {
+    case kKkAlg:
+      return "kk";
+    case kAdvLevel:
+      return "adversarial-level";
+    case kRandOrder:
+      return "random-order";
+    case kPatch:
+      return "first-set-patching";
+    case kSetArr:
+      return "set-arrival-threshold";
+  }
+  return "?";
+}
+
+void BM_Throughput(benchmark::State& state) {
+  const AlgKind kind = static_cast<AlgKind>(state.range(0));
+  const uint32_t n = 1024;
+  const uint32_t m = 262144;  // 256·n: ~0.7M edges
+  auto instance = bench::PlantedWorkload(n, m, 8, /*seed=*/4242);
+  Rng rng(17);
+  auto stream = RandomOrderStream(instance, rng);
+
+  for (auto _ : state) {
+    auto algorithm = Make(kind, 3);
+    algorithm->Begin(stream.meta);
+    for (const Edge& e : stream.edges) algorithm->ProcessEdge(e);
+    benchmark::DoNotOptimize(algorithm->Finalize());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) *
+                          int64_t(stream.size()));
+  state.SetLabel(KindName(kind));
+  state.counters["stream_edges"] = double(stream.size());
+}
+
+BENCHMARK(BM_Throughput)
+    ->DenseRange(kKkAlg, kSetArr)
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.5);
+
+}  // namespace
+}  // namespace setcover
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+#ifndef SETCOVER_BENCH_BENCH_UTIL_H_
+#define SETCOVER_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the experiment harness. Every bench binary
+// regenerates one table/figure of DESIGN.md's experiment index; these
+// helpers build the standard workloads and run algorithms with
+// validation, so each binary only describes its sweep.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/streaming_algorithm.h"
+#include "instance/generators.h"
+#include "instance/validator.h"
+#include "stream/orderings.h"
+#include "util/rng.h"
+
+namespace setcover {
+namespace bench {
+
+/// The standard Table-1 workload: planted cover of size `opt` hidden
+/// among small decoys, m = density·n (callers pass density = n for the
+/// paper's m = Θ(n²) regime).
+inline SetCoverInstance PlantedWorkload(uint32_t n, uint32_t m,
+                                        uint32_t opt, uint64_t seed) {
+  Rng rng(seed);
+  PlantedCoverParams params;
+  params.num_elements = n;
+  params.num_sets = m;
+  params.planted_cover_size = opt;
+  params.decoy_min_size = 1;
+  params.decoy_max_size = 4;
+  return GeneratePlantedCover(params, rng);
+}
+
+/// Result of one validated run.
+struct RunResult {
+  size_t cover_size = 0;
+  double ratio = 0.0;  // vs planted cover (OPT upper bound)
+  size_t peak_words = 0;
+};
+
+/// Streams `instance` through `algorithm` in `order` and returns
+/// quality/space. Aborts if the cover is invalid — a bench must never
+/// report numbers for a broken run.
+inline RunResult RunValidated(StreamingSetCoverAlgorithm& algorithm,
+                              const SetCoverInstance& instance,
+                              const EdgeStream& stream) {
+  CoverSolution solution = RunStream(algorithm, stream);
+  ValidationResult check = ValidateSolution(instance, solution);
+  if (!check.ok) {
+    std::fprintf(stderr, "bench: %s produced invalid cover: %s\n",
+                 algorithm.Name().c_str(), check.error.c_str());
+    std::abort();
+  }
+  RunResult result;
+  result.cover_size = solution.cover.size();
+  size_t reference = instance.PlantedCover().empty()
+                         ? 1
+                         : instance.PlantedCover().size();
+  result.ratio = double(result.cover_size) / double(reference);
+  result.peak_words = algorithm.Meter().PeakWords();
+  return result;
+}
+
+}  // namespace bench
+}  // namespace setcover
+
+#endif  // SETCOVER_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,82 @@
+// Multi-topic blog-watch — the coverage application that started the
+// streaming Set Cover line of work (Saha & Getoor, SDM'09 [22], cited
+// in §1.3): pick a small number of blogs (sets) that together cover all
+// topics (elements), when (blog, topic) observations arrive online as a
+// click/post stream, i.e. exactly the edge-arrival model.
+//
+// Topic popularity is Zipf-distributed, as in real feeds. We compare
+// the one-pass algorithms against offline greedy on the same stream and
+// report coverage quality and memory.
+//
+//   $ ./build/examples/blog_watch [num_topics] [num_blogs]
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "core/adversarial_level.h"
+#include "core/kk_algorithm.h"
+#include "core/random_order.h"
+#include "core/streaming_algorithm.h"
+#include "instance/generators.h"
+#include "instance/validator.h"
+#include "offline/greedy.h"
+#include "stream/orderings.h"
+#include "util/rng.h"
+
+int main(int argc, char** argv) {
+  using namespace setcover;
+  uint32_t num_topics = argc > 1 ? std::atoi(argv[1]) : 512;
+  uint32_t num_blogs = argc > 2 ? std::atoi(argv[2]) : 20000;
+
+  Rng rng(7);
+  ZipfParams params;
+  params.num_elements = num_topics;
+  params.num_sets = num_blogs;
+  params.min_set_size = 1;
+  params.max_set_size = 12;
+  params.exponent = 1.05;
+  SetCoverInstance instance = GenerateZipf(params, rng);
+  std::printf("blog-watch: %u topics, %u blogs, %zu (blog, topic) pairs\n",
+              num_topics, num_blogs, instance.NumEdges());
+
+  // Observations arrive in random order — the setting where Theorem 3's
+  // algorithm reads the stream with only Õ(m/√n) memory.
+  EdgeStream stream = RandomOrderStream(instance, rng);
+
+  CoverSolution greedy = GreedyCover(instance);
+  std::printf("\noffline greedy needs %zu blogs (memory: whole input)\n\n",
+              greedy.cover.size());
+
+  struct Row {
+    const char* label;
+    std::unique_ptr<StreamingSetCoverAlgorithm> algorithm;
+  };
+  std::vector<Row> rows;
+  rows.push_back({"KK (Thm 1, adv. order, Õ(m))",
+                  std::make_unique<KkAlgorithm>(1)});
+  rows.push_back({"Alg.2 (Thm 4, α=2√n, Õ(mn/α²))",
+                  std::make_unique<AdversarialLevelAlgorithm>(2)});
+  rows.push_back({"Alg.1 (Thm 3, rand. order, Õ(m/√n))",
+                  std::make_unique<RandomOrderAlgorithm>(3)});
+
+  std::printf("%-38s %8s %8s %12s\n", "one-pass algorithm", "blogs",
+              "ratio", "peak words");
+  for (Row& row : rows) {
+    CoverSolution solution = RunStream(*row.algorithm, stream);
+    ValidationResult check = ValidateSolution(instance, solution);
+    if (!check.ok) {
+      std::printf("%s: INVALID (%s)\n", row.label, check.error.c_str());
+      return 1;
+    }
+    std::printf("%-38s %8zu %8.1f %12zu\n", row.label,
+                solution.cover.size(),
+                ApproxRatio(solution, greedy.cover.size()),
+                row.algorithm->Meter().PeakWords());
+  }
+  std::printf(
+      "\nAll three watch the full topic mix in one pass; the random-order\n"
+      "algorithm does it with a fraction of the per-blog state.\n");
+  return 0;
+}

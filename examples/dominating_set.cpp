@@ -1,0 +1,63 @@
+// Dominating Set in graph streams — the m = n special case of
+// edge-arrival Set Cover through which the KK algorithm (Theorem 1) was
+// originally obtained [Khanna & Konrad, ITCS'22].
+//
+// We generate an Erdős–Rényi graph, view each closed neighborhood N[v]
+// as a set, stream the incidences in adversarial (element-major) order,
+// and compare the KK algorithm against offline greedy and the trivial
+// patching baseline.
+//
+//   $ ./build/examples/dominating_set [num_vertices] [edge_prob]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/kk_algorithm.h"
+#include "core/trivial.h"
+#include "instance/generators.h"
+#include "instance/validator.h"
+#include "offline/greedy.h"
+#include "stream/orderings.h"
+#include "util/rng.h"
+
+int main(int argc, char** argv) {
+  using namespace setcover;
+  uint32_t num_vertices = argc > 1 ? std::atoi(argv[1]) : 2048;
+  double edge_prob = argc > 2 ? std::atof(argv[2]) : 0.005;
+
+  Rng rng(99);
+  SetCoverInstance graph = GenerateDominatingSet(num_vertices, edge_prob, rng);
+  std::printf("G(n=%u, p=%.4f): %zu incidences (avg closed degree %.1f)\n",
+              num_vertices, edge_prob, graph.NumEdges(),
+              double(graph.NumEdges()) / num_vertices);
+
+  // Adversarial order: vertex-major, so every neighborhood is spread
+  // maximally across the stream — the hard case for edge arrival.
+  EdgeStream stream = OrderedStream(graph, StreamOrder::kElementMajor, rng);
+
+  KkAlgorithm kk(/*seed=*/5);
+  CoverSolution kk_sol = RunStream(kk, stream);
+  FirstSetPatching trivial;
+  CoverSolution trivial_sol = RunStream(trivial, stream);
+  CoverSolution greedy_sol = GreedyCover(graph);
+
+  auto check = ValidateSolution(graph, kk_sol);
+  if (!check.ok) {
+    std::printf("KK produced an invalid dominating set: %s\n",
+                check.error.c_str());
+    return 1;
+  }
+
+  std::printf("\n%-28s %12s %14s\n", "algorithm", "|dom. set|",
+              "peak words");
+  std::printf("%-28s %12zu %14s\n", "offline greedy (yardstick)",
+              greedy_sol.cover.size(), "-");
+  std::printf("%-28s %12zu %14zu\n", "KK streaming (Thm 1)",
+              kk_sol.cover.size(), kk.Meter().PeakWords());
+  std::printf("%-28s %12zu %14zu\n", "first-set patching",
+              trivial_sol.cover.size(), trivial.Meter().PeakWords());
+  std::printf(
+      "\nKK keeps one counter per vertex (Θ(m)=Θ(n) words) and is\n"
+      "Õ(√n)-approximate even though neighborhoods never arrive whole.\n");
+  return 0;
+}

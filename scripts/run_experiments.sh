@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Regenerates every experiment in EXPERIMENTS.md: builds the project,
+# runs the full test suite, then executes each bench binary (one per
+# table/figure of DESIGN.md's experiment index) and collects the output
+# under results/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+mkdir -p results
+ctest --test-dir build -j"$(nproc)" 2>&1 | tee results/tests.txt
+
+for bench in build/bench/bench_*; do
+  name=$(basename "$bench")
+  echo "=== $name ==="
+  "$bench" --benchmark_counters_tabular=false 2>&1 | tee "results/$name.txt"
+done
+
+echo "All experiment outputs are under results/."

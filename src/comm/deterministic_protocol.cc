@@ -1,0 +1,98 @@
+#include "comm/deterministic_protocol.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "comm/protocol.h"
+#include "util/bitset.h"
+#include "util/math.h"
+
+namespace setcover {
+
+DeterministicProtocolResult RunDeterministicProtocol(
+    const SetCoverInstance& instance, const std::vector<uint32_t>& set_owner,
+    uint32_t num_parties, uint32_t threshold) {
+  const uint32_t n = instance.NumElements();
+  const uint32_t m = instance.NumSets();
+  if (set_owner.size() != m || num_parties == 0) {
+    std::fprintf(stderr, "RunDeterministicProtocol: bad ownership map\n");
+    std::abort();
+  }
+  const uint32_t tau =
+      threshold != 0
+          ? threshold
+          : std::max<uint32_t>(
+                1, static_cast<uint32_t>(ISqrt(
+                       static_cast<uint64_t>(n) * num_parties)));
+
+  // Forwarded state. The explicit structures below *are* the message;
+  // message size is computed from them at every hop.
+  DynamicBitset covered(n);
+  std::vector<SetId> patch(n, kNoSet);        // R(u)
+  std::vector<SetId> certificate(n, kNoSet);  // for threshold-covered
+  std::vector<SetId> solution;
+
+  DeterministicProtocolResult result;
+
+  auto message_words = [&]() {
+    return BitsToWords(n) + n + solution.size();
+  };
+
+  for (uint32_t party = 0; party < num_parties; ++party) {
+    // Own sets, processed greedily until none clears the threshold.
+    // (Repeated scans; fine for experiment-scale inputs.)
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (SetId s = 0; s < m; ++s) {
+        if (set_owner[s] != party) continue;
+        uint32_t gain = 0;
+        for (ElementId u : instance.Set(s)) {
+          gain += covered.Test(u) ? 0 : 1;
+        }
+        if (gain >= tau) {
+          solution.push_back(s);
+          ++result.threshold_sets;
+          for (ElementId u : instance.Set(s)) {
+            if (!covered.Test(u)) {
+              covered.Set(u);
+              certificate[u] = s;
+            }
+          }
+          progress = true;
+        }
+      }
+    }
+    // Record the earliest patch candidate for still-uncovered elements.
+    for (SetId s = 0; s < m; ++s) {
+      if (set_owner[s] != party) continue;
+      for (ElementId u : instance.Set(s)) {
+        if (patch[u] == kNoSet) patch[u] = s;
+      }
+    }
+    result.max_message_words =
+        std::max(result.max_message_words, message_words());
+  }
+
+  // Last party: patch the leftovers with R(u).
+  DynamicBitset in_solution_probe(m);
+  for (SetId s : solution) in_solution_probe.Set(s);
+  for (ElementId u = 0; u < n; ++u) {
+    if (!covered.Test(u) && patch[u] != kNoSet) {
+      certificate[u] = patch[u];
+      covered.Set(u);
+      if (!in_solution_probe.Test(patch[u])) {
+        in_solution_probe.Set(patch[u]);
+        solution.push_back(patch[u]);
+        ++result.patched_sets;
+      }
+    }
+  }
+
+  result.solution.cover = std::move(solution);
+  result.solution.certificate = std::move(certificate);
+  return result;
+}
+
+}  // namespace setcover

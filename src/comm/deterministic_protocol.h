@@ -1,0 +1,48 @@
+#ifndef SETCOVER_COMM_DETERMINISTIC_PROTOCOL_H_
+#define SETCOVER_COMM_DETERMINISTIC_PROTOCOL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "instance/instance.h"
+
+namespace setcover {
+
+/// Result of the deterministic t-party protocol of §3's remark.
+struct DeterministicProtocolResult {
+  CoverSolution solution;
+  /// Largest message forwarded between parties, in 64-bit words (the
+  /// paper: Õ(n)).
+  size_t max_message_words = 0;
+  /// Sets added by the threshold-greedy rule (≤ √(n·t)).
+  size_t threshold_sets = 0;
+  /// Sets added by the final patching (≤ OPT·√(n·t)).
+  size_t patched_sets = 0;
+};
+
+/// The deterministic t-party one-way protocol with approximation factor
+/// 2√(n·t) and maximum message length Õ(n) whose existence the paper
+/// invokes ("omitted due to space restrictions") to justify needing
+/// t = Ω(α²/n) parties in the Theorem 2 lower bound.
+///
+/// Construction: the input sets are distributed over t parties
+/// (`set_owner[s]` in [0, t)). Each party, upon receiving the covered
+/// bitmap, the partial solution and the first-seen patch table R(·),
+/// repeatedly adds own sets covering at least τ = √(n·t) yet-uncovered
+/// elements, updates the bitmap/patch table, and forwards them. The
+/// last party patches every remaining uncovered element u with R(u).
+///
+///  * threshold adds ≤ n/τ per party → ≤ t·n/τ = √(n·t) sets in total;
+///  * when an optimal set's party runs, at most τ of its elements stay
+///    uncovered afterwards, so patching adds ≤ OPT·τ sets;
+///  * hence |cover| ≤ √(n·t)·(OPT + 1) ≤ 2√(n·t)·OPT;
+///  * message = bitmap (n bits) + R (n words) + solution ids = Õ(n).
+///
+/// `threshold` = 0 uses τ = √(n·t).
+DeterministicProtocolResult RunDeterministicProtocol(
+    const SetCoverInstance& instance, const std::vector<uint32_t>& set_owner,
+    uint32_t num_parties, uint32_t threshold = 0);
+
+}  // namespace setcover
+
+#endif  // SETCOVER_COMM_DETERMINISTIC_PROTOCOL_H_

@@ -1,0 +1,92 @@
+#include "comm/disjointness.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+
+namespace setcover {
+namespace {
+
+void CheckSizes(uint32_t t, uint32_t universe, uint32_t per_party) {
+  if (t == 0 || per_party == 0 ||
+      static_cast<uint64_t>(t) * per_party > universe) {
+    std::fprintf(stderr,
+                 "Disjointness: need t·per_party <= universe "
+                 "(t=%u per_party=%u universe=%u)\n",
+                 t, per_party, universe);
+    std::abort();
+  }
+}
+
+std::vector<uint32_t> Permutation(uint32_t universe, Rng& rng) {
+  std::vector<uint32_t> perm(universe);
+  std::iota(perm.begin(), perm.end(), 0);
+  rng.Shuffle(perm);
+  return perm;
+}
+
+}  // namespace
+
+DisjointnessInstance GenerateDisjointInstance(uint32_t num_parties,
+                                              uint32_t universe,
+                                              uint32_t per_party, Rng& rng) {
+  CheckSizes(num_parties, universe, per_party);
+  std::vector<uint32_t> perm = Permutation(universe, rng);
+  DisjointnessInstance instance;
+  instance.num_parties = num_parties;
+  instance.universe = universe;
+  instance.party_sets.resize(num_parties);
+  size_t cursor = 0;
+  for (auto& set : instance.party_sets) {
+    set.assign(perm.begin() + cursor, perm.begin() + cursor + per_party);
+    std::sort(set.begin(), set.end());
+    cursor += per_party;
+  }
+  instance.uniquely_intersecting = false;
+  return instance;
+}
+
+DisjointnessInstance GenerateIntersectingInstance(uint32_t num_parties,
+                                                  uint32_t universe,
+                                                  uint32_t per_party,
+                                                  Rng& rng) {
+  CheckSizes(num_parties, universe, per_party);
+  std::vector<uint32_t> perm = Permutation(universe, rng);
+  DisjointnessInstance instance;
+  instance.num_parties = num_parties;
+  instance.universe = universe;
+  instance.party_sets.resize(num_parties);
+  instance.uniquely_intersecting = true;
+  instance.common_element = perm[0];
+  size_t cursor = 1;
+  for (auto& set : instance.party_sets) {
+    set.push_back(instance.common_element);
+    set.insert(set.end(), perm.begin() + cursor,
+               perm.begin() + cursor + (per_party - 1));
+    std::sort(set.begin(), set.end());
+    cursor += per_party - 1;
+  }
+  return instance;
+}
+
+bool VerifyPromise(const DisjointnessInstance& instance) {
+  const auto& sets = instance.party_sets;
+  for (size_t i = 0; i < sets.size(); ++i) {
+    for (size_t j = i + 1; j < sets.size(); ++j) {
+      std::vector<uint32_t> common;
+      std::set_intersection(sets[i].begin(), sets[i].end(), sets[j].begin(),
+                            sets[j].end(), std::back_inserter(common));
+      if (instance.uniquely_intersecting) {
+        if (common.size() != 1 || common[0] != instance.common_element) {
+          return false;
+        }
+      } else if (!common.empty()) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace setcover

@@ -1,0 +1,47 @@
+#ifndef SETCOVER_COMM_DISJOINTNESS_H_
+#define SETCOVER_COMM_DISJOINTNESS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace setcover {
+
+/// An instance of t-party Set-Disjointness with the promise of §3:
+/// either the party sets are pairwise disjoint, or they uniquely
+/// intersect (|∩ S_i| = 1 and |S_i ∩ S_j| = 1 for all i ≠ j).
+///
+/// In the Theorem 2 reduction the disjointness universe is [m] — its
+/// elements index the sets T_1..T_m of the Lemma 1 family.
+struct DisjointnessInstance {
+  uint32_t num_parties = 0;  // t
+  uint32_t universe = 0;     // the sets S_i are subsets of [universe]
+  std::vector<std::vector<uint32_t>> party_sets;  // sorted ascending
+  bool uniquely_intersecting = false;
+  /// The common element when uniquely_intersecting (undefined otherwise).
+  uint32_t common_element = 0;
+};
+
+/// Generates a pairwise-disjoint instance: each party receives
+/// `per_party` elements of a random permutation of [universe].
+/// Requires num_parties · per_party <= universe.
+DisjointnessInstance GenerateDisjointInstance(uint32_t num_parties,
+                                              uint32_t universe,
+                                              uint32_t per_party, Rng& rng);
+
+/// Generates a uniquely-intersecting instance: a random common element
+/// plus per-party disjoint fillers (so |S_i ∩ S_j| = 1 exactly).
+/// Requires num_parties · per_party <= universe (per_party counts the
+/// common element).
+DisjointnessInstance GenerateIntersectingInstance(uint32_t num_parties,
+                                                  uint32_t universe,
+                                                  uint32_t per_party,
+                                                  Rng& rng);
+
+/// Verifies the promise holds (used by tests).
+bool VerifyPromise(const DisjointnessInstance& instance);
+
+}  // namespace setcover
+
+#endif  // SETCOVER_COMM_DISJOINTNESS_H_

@@ -1,0 +1,22 @@
+#include "comm/protocol.h"
+
+#include <algorithm>
+
+namespace setcover {
+
+ProtocolTrace RunOneWayProtocol(const std::vector<PartyFn>& parties) {
+  ProtocolTrace trace;
+  Message current;
+  for (uint32_t i = 0; i < parties.size(); ++i) {
+    current = parties[i](i, current);
+    trace.message_words.push_back(current.size());
+    trace.max_message_words =
+        std::max(trace.max_message_words, current.size());
+  }
+  trace.final_message = std::move(current);
+  return trace;
+}
+
+size_t BitsToWords(size_t bits) { return (bits + 63) / 64; }
+
+}  // namespace setcover

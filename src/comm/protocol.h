@@ -1,0 +1,39 @@
+#ifndef SETCOVER_COMM_PROTOCOL_H_
+#define SETCOVER_COMM_PROTOCOL_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace setcover {
+
+/// A message in a one-way multi-party protocol, measured in 64-bit
+/// words. The communication experiments care only about sizes, so a
+/// message is its payload of words.
+using Message = std::vector<uint64_t>;
+
+/// Party `index` receives the previous party's message and produces the
+/// next one. Party 0 receives the empty message.
+using PartyFn = std::function<Message(uint32_t index, const Message& in)>;
+
+/// What a one-way protocol run produces: the final message (the
+/// protocol's output) plus per-hop sizes. `max_message_words` is the
+/// quantity communication lower bounds such as Theorem 5 (Ω(m/t²) for
+/// t-party Set-Disjointness) constrain.
+struct ProtocolTrace {
+  Message final_message;
+  std::vector<size_t> message_words;  // one entry per sent message
+  size_t max_message_words = 0;
+};
+
+/// Runs parties[0] → parties[1] → ... → parties.back() in order,
+/// forwarding each message, and records message sizes.
+ProtocolTrace RunOneWayProtocol(const std::vector<PartyFn>& parties);
+
+/// Bit-packing helpers used by protocol implementations to serialize
+/// n-bit element sets into messages.
+size_t BitsToWords(size_t bits);
+
+}  // namespace setcover
+
+#endif  // SETCOVER_COMM_PROTOCOL_H_

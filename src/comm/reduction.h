@@ -1,0 +1,87 @@
+#ifndef SETCOVER_COMM_REDUCTION_H_
+#define SETCOVER_COMM_REDUCTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/disjointness.h"
+#include "core/multi_run.h"
+#include "instance/hard_instance.h"
+
+namespace setcover {
+
+/// Outcome of running the Theorem 2 reduction with a concrete streaming
+/// algorithm standing in for A.
+struct ReductionResult {
+  /// Smallest cover-size estimate over the forked runs; SIZE_MAX if a
+  /// run's instance could not be fully covered.
+  size_t min_estimate = 0;
+  /// Which forked run attained it (index into the fork list).
+  uint32_t argmin_fork = 0;
+  /// Algorithm state size at each of the t-1 party boundaries — the
+  /// forwarded message sizes the Ω(m/t²) bound of Theorem 5 constrains.
+  std::vector<size_t> boundary_state_words;
+  size_t max_boundary_state_words = 0;
+  /// s − s/t elements must be covered in the disjoint case; the paper's
+  /// OPT₀ = Ω((s − s/t)/log n) with the family's actual worst cross
+  /// intersection in the denominator.
+  size_t disjoint_case_opt_lower_bound = 0;
+  /// Message-passing mode only: false if some party's DecodeState
+  /// failed (algorithm does not support state reconstruction), in which
+  /// case the other fields are unset.
+  bool message_passing_ok = true;
+};
+
+/// Runs the §3 reduction: party p feeds the partial sets T_b^p for
+/// b ∈ S_p into the streaming algorithm (adversarial, party-major
+/// order); the last party forks the execution and, in forked run j,
+/// appends the complement set [n]\T_j before finalizing. The cover-size
+/// estimate of run j certifies "uniquely intersecting" when it is below
+/// the disjoint-case OPT bound.
+///
+/// The fork is realized by deterministic replay: every forked run
+/// re-executes the algorithm from `factory(seed)` on the shared prefix
+/// (same seed → bit-identical state) and then diverges. Boundary state
+/// sizes are measured once on the shared prefix.
+///
+/// `fork_indices` selects which parallel runs to execute (empty = all m,
+/// which is O(m · N) work — keep m small or pass a subset; any subset
+/// containing ∩S_i behaves like the full fork for the intersecting
+/// case).
+///
+/// Set ids in the streamed instance: every party streams its part of
+/// T_b under the shared id b (so the common set assembles to full size
+/// in the intersecting case); the complement set has id m.
+ReductionResult RunTheorem2Reduction(
+    const Lemma1Family& family, const DisjointnessInstance& disjointness,
+    const AlgorithmFactory& factory, uint64_t seed,
+    const std::vector<uint32_t>& fork_indices = {});
+
+/// The reduction realized by *true message passing*: party p+1
+/// reconstructs the streaming algorithm purely from party p's
+/// serialized state (EncodeState → words → DecodeState) instead of
+/// deterministic replay, and every forked run of the last party starts
+/// from the decoded final message. Semantically identical to
+/// RunTheorem2Reduction for algorithms with faithful state
+/// (de)serialization — the tests assert equal outcomes — but does
+/// O(N + m·(n−s)) work instead of O(m·N), and the reported message
+/// sizes are the exact word counts that crossed each boundary.
+/// Requires factory algorithms supporting DecodeState; otherwise the
+/// result carries message_passing_ok = false.
+ReductionResult RunTheorem2ReductionMessagePassing(
+    const Lemma1Family& family, const DisjointnessInstance& disjointness,
+    const AlgorithmFactory& factory, uint64_t seed,
+    const std::vector<uint32_t>& fork_indices = {});
+
+/// The decision rule of the last party: answer "uniquely intersecting"
+/// iff some run's estimate is at most `opt0_bound - 1`.
+inline bool DecideIntersecting(const ReductionResult& result,
+                               size_t opt0_bound) {
+  // min_estimate <= opt0_bound - 1, written overflow-safely
+  // (min_estimate is SIZE_MAX when no forked run found a full cover).
+  return result.min_estimate < opt0_bound;
+}
+
+}  // namespace setcover
+
+#endif  // SETCOVER_COMM_REDUCTION_H_

@@ -1,0 +1,157 @@
+#include "core/adversarial_level.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/math.h"
+
+namespace setcover {
+
+AdversarialLevelAlgorithm::AdversarialLevelAlgorithm(
+    uint64_t seed, AdversarialLevelParams params)
+    : seed_(seed), params_(params), rng_(seed) {
+  levels_words_ = meter_.Register("levels");
+  element_state_words_ = meter_.Register("element_state");
+  solution_words_ = meter_.Register("solution");
+}
+
+void AdversarialLevelAlgorithm::Begin(const StreamMetadata& meta) {
+  meta_ = meta;
+  rng_ = Rng(seed_);
+  const double sqrt_n =
+      std::max(1.0, std::sqrt(static_cast<double>(meta.num_elements)));
+  // Theorem 4 requires α >= 2√n; clamp requests below that.
+  alpha_ = std::max(params_.alpha, 2.0 * sqrt_n);
+
+  levels_.clear();
+  first_set_.assign(meta.num_elements, kNoSet);
+  certificate_.assign(meta.num_elements, kNoSet);
+  covered_.assign(meta.num_elements, false);
+  in_solution_.clear();
+  solution_order_.clear();
+  peak_promoted_ = 0;
+  meter_.Reset();
+  meter_.Set(element_state_words_, 2 * size_t{meta.num_elements});
+
+  // Line 6: D_0 gets every set with probability p_0 = α/m.
+  const double p0 = alpha_ / static_cast<double>(meta.num_sets);
+  for (SetId s = 0; s < meta.num_sets; ++s) {
+    if (rng_.Bernoulli(p0)) {
+      in_solution_.insert(s);
+      solution_order_.push_back(s);
+      meter_.Add(solution_words_, 2);
+    }
+  }
+}
+
+void AdversarialLevelAlgorithm::MaybeInclude(SetId s, uint32_t level) {
+  // p_ℓ = (α²/n)^ℓ · α/m, clamped to 1.
+  const double ratio =
+      alpha_ * alpha_ / static_cast<double>(meta_.num_elements);
+  double p = alpha_ / static_cast<double>(meta_.num_sets);
+  for (uint32_t i = 0; i < level && p < 1.0; ++i) p *= ratio;
+  if (rng_.Bernoulli(p) && in_solution_.insert(s).second) {
+    solution_order_.push_back(s);
+    meter_.Add(solution_words_, 2);
+  }
+}
+
+void AdversarialLevelAlgorithm::ProcessEdge(const Edge& edge) {
+  const SetId s = edge.set;
+  const ElementId u = edge.element;
+  // Lines 9-10: remember an arbitrary (first) covering set.
+  if (first_set_[u] == kNoSet) first_set_[u] = s;
+  // Lines 11-12: ignore edges to already covered elements.
+  if (covered_[u]) return;
+
+  // Lines 14-21: look up the level, promote with probability 1/α, and
+  // on promotion run the inclusion coin for the new level.
+  if (rng_.Bernoulli(1.0 / alpha_)) {
+    uint32_t level = 1;
+    auto [it, inserted] = levels_.try_emplace(s, 1);
+    if (!inserted) level = ++it->second;
+    if (inserted) {
+      meter_.Add(levels_words_, 2);  // key + value
+      peak_promoted_ = std::max(peak_promoted_, levels_.size());
+    }
+    MaybeInclude(s, level);
+  }
+
+  // Lines 22-24: if S is (now) in the solution it dominates u.
+  if (in_solution_.count(s) != 0) {
+    covered_[u] = true;
+    certificate_[u] = s;
+  }
+}
+
+CoverSolution AdversarialLevelAlgorithm::Finalize() {
+  CoverSolution solution;
+  solution.cover = solution_order_;
+  solution.certificate = certificate_;
+  // Lines 25-26: patch every uncovered element with R(u).
+  for (ElementId u = 0; u < meta_.num_elements; ++u) {
+    if (solution.certificate[u] == kNoSet && first_set_[u] != kNoSet) {
+      solution.certificate[u] = first_set_[u];
+      if (in_solution_.insert(first_set_[u]).second) {
+        solution.cover.push_back(first_set_[u]);
+      }
+    }
+  }
+  return solution;
+}
+
+void AdversarialLevelAlgorithm::EncodeState(StateEncoder* encoder) const {
+  // The space story of Theorem 4 made literal: only the *promoted*
+  // sets' levels travel (Õ(m·n/α²) of them), plus Õ(n) element state
+  // and the solution.
+  for (uint64_t w : rng_.GetState()) encoder->PutWord(w);
+  encoder->PutMap(levels_);
+  std::vector<bool> covered(covered_.begin(), covered_.end());
+  encoder->PutBoolVector(covered);
+  encoder->PutU32Vector(first_set_);
+  encoder->PutU32Vector(certificate_);
+  encoder->PutU32Vector(solution_order_);
+}
+
+bool AdversarialLevelAlgorithm::DecodeState(
+    const StreamMetadata& meta, const std::vector<uint64_t>& words) {
+  Begin(meta);
+  StateDecoder decoder(words);
+  std::array<uint64_t, 4> rng_state;
+  for (uint64_t& w : rng_state) w = decoder.GetWord();
+  auto levels = decoder.GetMap();
+  std::vector<bool> covered = decoder.GetBoolVector();
+  std::vector<uint32_t> first_set = decoder.GetU32Vector();
+  std::vector<uint32_t> certificate = decoder.GetU32Vector();
+  std::vector<uint32_t> solution = decoder.GetU32Vector();
+  if (!decoder.Done() || covered.size() != meta.num_elements ||
+      first_set.size() != meta.num_elements ||
+      certificate.size() != meta.num_elements) {
+    Begin(meta);
+    return false;
+  }
+  rng_.SetState(rng_state);
+  levels_ = std::move(levels);
+  covered_.assign(covered.begin(), covered.end());
+  first_set_ = std::move(first_set);
+  certificate_ = std::move(certificate);
+  solution_order_ = std::move(solution);
+  in_solution_.clear();
+  for (SetId s : solution_order_) in_solution_.insert(s);
+  peak_promoted_ = std::max(peak_promoted_, levels_.size());
+  meter_.Set(levels_words_, 2 * levels_.size());
+  meter_.Set(solution_words_, 2 * solution_order_.size());
+  return true;
+}
+
+std::vector<size_t> AdversarialLevelAlgorithm::LevelHistogram() const {
+  uint32_t max_level = 0;
+  for (const auto& [s, level] : levels_)
+    max_level = std::max(max_level, level);
+  std::vector<size_t> histogram(max_level + 1, 0);
+  histogram[0] = meta_.num_sets - levels_.size();
+  for (const auto& [s, level] : levels_) ++histogram[level];
+  return histogram;
+}
+
+}  // namespace setcover

@@ -1,0 +1,145 @@
+#include "core/kk_algorithm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/math.h"
+
+namespace setcover {
+
+KkAlgorithm::KkAlgorithm(uint64_t seed, KkParams params)
+    : seed_(seed), params_(params), rng_(seed) {
+  degrees_words_ = meter_.Register("degrees");
+  element_state_words_ = meter_.Register("element_state");
+  solution_words_ = meter_.Register("solution");
+}
+
+void KkAlgorithm::Begin(const StreamMetadata& meta) {
+  meta_ = meta;
+  rng_ = Rng(seed_);
+  sqrt_n_ = std::max<uint32_t>(
+      1, static_cast<uint32_t>(ISqrt(meta.num_elements)));
+  uncovered_degree_.assign(meta.num_sets, 0);
+  first_set_.assign(meta.num_elements, kNoSet);
+  certificate_.assign(meta.num_elements, kNoSet);
+  covered_.assign(meta.num_elements, false);
+  in_solution_.clear();
+  solution_order_.clear();
+  meter_.Reset();
+  // One word per degree counter; R(u) and C(u) are one word each plus a
+  // bit for the covered flag, charged as 2 words per element.
+  meter_.Set(degrees_words_, meta.num_sets);
+  meter_.Set(element_state_words_, 2 * size_t{meta.num_elements});
+}
+
+void KkAlgorithm::MaybeInclude(SetId s, uint32_t level) {
+  if (in_solution_.count(s) != 0) return;
+  double p = params_.inclusion_constant *
+             std::ldexp(static_cast<double>(sqrt_n_), static_cast<int>(
+                            std::min<uint32_t>(level, 62))) /
+             static_cast<double>(meta_.num_sets);
+  if (rng_.Bernoulli(p)) {
+    in_solution_.insert(s);
+    solution_order_.push_back(s);
+    meter_.Add(solution_words_, 2);  // hash-set entry + order entry
+  }
+}
+
+void KkAlgorithm::ProcessEdge(const Edge& edge) {
+  const SetId s = edge.set;
+  const ElementId u = edge.element;
+  if (first_set_[u] == kNoSet) first_set_[u] = s;
+
+  if (in_solution_.count(s) != 0) {
+    // An included set covers everything of it arriving from now on.
+    if (!covered_[u]) {
+      covered_[u] = true;
+      certificate_[u] = s;
+    }
+    return;
+  }
+  if (covered_[u]) return;
+
+  // u is uncovered and S is not in the solution: bump the
+  // uncovered-degree and run the probabilistic inclusion rule at every
+  // level boundary i·√n.
+  uint32_t d = ++uncovered_degree_[s];
+  if (d % sqrt_n_ == 0) {
+    uint32_t level = d / sqrt_n_;
+    MaybeInclude(s, level);
+    if (in_solution_.count(s) != 0) {
+      covered_[u] = true;
+      certificate_[u] = s;
+    }
+  }
+}
+
+CoverSolution KkAlgorithm::Finalize() {
+  CoverSolution solution;
+  solution.cover = solution_order_;
+  solution.certificate = certificate_;
+  // Patching: cover the leftovers with their first incident set.
+  for (ElementId u = 0; u < meta_.num_elements; ++u) {
+    if (solution.certificate[u] == kNoSet && first_set_[u] != kNoSet) {
+      solution.certificate[u] = first_set_[u];
+      if (in_solution_.insert(first_set_[u]).second) {
+        solution.cover.push_back(first_set_[u]);
+      }
+    }
+  }
+  return solution;
+}
+
+void KkAlgorithm::EncodeState(StateEncoder* encoder) const {
+  // Everything a successor party needs: the coin stream position, the
+  // per-set uncovered-degrees, the element flags/stores, and the
+  // solution so far.
+  for (uint64_t w : rng_.GetState()) encoder->PutWord(w);
+  encoder->PutU32Vector(uncovered_degree_);
+  std::vector<bool> covered(covered_.begin(), covered_.end());
+  encoder->PutBoolVector(covered);
+  encoder->PutU32Vector(first_set_);
+  encoder->PutU32Vector(certificate_);
+  encoder->PutU32Vector(solution_order_);
+}
+
+bool KkAlgorithm::DecodeState(const StreamMetadata& meta,
+                              const std::vector<uint64_t>& words) {
+  Begin(meta);
+  StateDecoder decoder(words);
+  std::array<uint64_t, 4> rng_state;
+  for (uint64_t& w : rng_state) w = decoder.GetWord();
+  std::vector<uint32_t> degrees = decoder.GetU32Vector();
+  std::vector<bool> covered = decoder.GetBoolVector();
+  std::vector<uint32_t> first_set = decoder.GetU32Vector();
+  std::vector<uint32_t> certificate = decoder.GetU32Vector();
+  std::vector<uint32_t> solution = decoder.GetU32Vector();
+  if (!decoder.Done() || degrees.size() != meta.num_sets ||
+      covered.size() != meta.num_elements ||
+      first_set.size() != meta.num_elements ||
+      certificate.size() != meta.num_elements) {
+    Begin(meta);  // reset any partial assignment
+    return false;
+  }
+  rng_.SetState(rng_state);
+  uncovered_degree_ = std::move(degrees);
+  covered_.assign(covered.begin(), covered.end());
+  first_set_ = std::move(first_set);
+  certificate_ = std::move(certificate);
+  solution_order_ = std::move(solution);
+  in_solution_.clear();
+  for (SetId s : solution_order_) in_solution_.insert(s);
+  meter_.Set(solution_words_, 2 * solution_order_.size());
+  return true;
+}
+
+std::vector<size_t> KkAlgorithm::LevelHistogram() const {
+  uint32_t max_level = 0;
+  for (uint32_t d : uncovered_degree_)
+    max_level = std::max(max_level, d / sqrt_n_);
+  std::vector<size_t> histogram(max_level + 1, 0);
+  for (uint32_t d : uncovered_degree_) ++histogram[d / sqrt_n_];
+  return histogram;
+}
+
+}  // namespace setcover

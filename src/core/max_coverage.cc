@@ -1,0 +1,130 @@
+#include "core/max_coverage.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "util/bitset.h"
+
+namespace setcover {
+
+MaxCoverageResult GreedyMaxCoverage(const SetCoverInstance& instance,
+                                    uint32_t budget) {
+  MaxCoverageResult result;
+  DynamicBitset covered(instance.NumElements());
+  using Entry = std::pair<uint32_t, SetId>;
+  std::priority_queue<Entry> heap;
+  for (SetId s = 0; s < instance.NumSets(); ++s) {
+    uint32_t size = static_cast<uint32_t>(instance.Set(s).size());
+    if (size > 0) heap.push({size, s});
+  }
+  while (result.chosen.size() < budget && !heap.empty()) {
+    auto [stale_gain, s] = heap.top();
+    heap.pop();
+    uint32_t gain = 0;
+    for (ElementId u : instance.Set(s)) gain += covered.Test(u) ? 0 : 1;
+    if (gain == 0) continue;
+    if (!heap.empty() && gain < heap.top().first) {
+      heap.push({gain, s});
+      continue;
+    }
+    result.chosen.push_back(s);
+    for (ElementId u : instance.Set(s)) covered.Set(u);
+  }
+  result.covered_elements = covered.Count();
+  return result;
+}
+
+StreamingMaxCoverage::StreamingMaxCoverage(uint32_t budget,
+                                           double threshold_fraction)
+    : budget_(std::max(1u, budget)),
+      threshold_fraction_(threshold_fraction) {
+  counters_words_ = meter_.Register("counters");
+  element_state_words_ = meter_.Register("element_state");
+}
+
+void StreamingMaxCoverage::Begin(const StreamMetadata& meta) {
+  meta_ = meta;
+  threshold_ = std::max<uint32_t>(
+      1, static_cast<uint32_t>(std::lround(
+             threshold_fraction_ * double(meta.num_elements) /
+             double(budget_))));
+  uncovered_count_.assign(meta.num_sets, 0);
+  covered_.assign(meta.num_elements, false);
+  chosen_.assign(meta.num_sets, false);
+  chosen_order_.clear();
+  covered_total_ = 0;
+  meter_.Reset();
+  meter_.Set(counters_words_, meta.num_sets);
+  meter_.Set(element_state_words_, meta.num_elements / 64 + 1);
+}
+
+void StreamingMaxCoverage::ProcessEdge(const Edge& edge) {
+  const SetId s = edge.set;
+  const ElementId u = edge.element;
+  if (chosen_[s]) {
+    if (!covered_[u]) {
+      covered_[u] = true;
+      ++covered_total_;
+    }
+    return;
+  }
+  if (covered_[u]) return;
+  uint32_t c = ++uncovered_count_[s];
+  if (c >= threshold_ && chosen_order_.size() < budget_) {
+    chosen_[s] = true;
+    chosen_order_.push_back(s);
+    covered_[u] = true;
+    ++covered_total_;
+  }
+}
+
+MaxCoverageResult StreamingMaxCoverage::Finalize() {
+  // Spend leftover budget on the largest residual counters — the sets
+  // that nearly cleared the threshold.
+  if (chosen_order_.size() < budget_) {
+    std::vector<SetId> candidates;
+    for (SetId s = 0; s < meta_.num_sets; ++s) {
+      if (!chosen_[s] && uncovered_count_[s] > 0) candidates.push_back(s);
+    }
+    size_t want = budget_ - chosen_order_.size();
+    if (candidates.size() > want) {
+      std::nth_element(candidates.begin(), candidates.begin() + want,
+                       candidates.end(), [&](SetId a, SetId b) {
+                         return uncovered_count_[a] > uncovered_count_[b];
+                       });
+      candidates.resize(want);
+    }
+    for (SetId s : candidates) {
+      chosen_[s] = true;
+      chosen_order_.push_back(s);
+    }
+    // Counters over-estimate residual gains (earlier elements may have
+    // been covered later by other sets), so the exact covered count of
+    // the late picks is unknown in-stream; report the certain floor.
+  }
+  MaxCoverageResult result;
+  result.chosen = chosen_order_;
+  result.covered_elements = covered_total_;
+  return result;
+}
+
+MaxCoverageResult RunStreamingMaxCoverage(const EdgeStream& stream,
+                                          uint32_t budget,
+                                          double threshold_fraction) {
+  StreamingMaxCoverage algorithm(budget, threshold_fraction);
+  algorithm.Begin(stream.meta);
+  for (const Edge& e : stream.edges) algorithm.ProcessEdge(e);
+  return algorithm.Finalize();
+}
+
+size_t CoverageOf(const SetCoverInstance& instance,
+                  const std::vector<SetId>& chosen) {
+  DynamicBitset covered(instance.NumElements());
+  for (SetId s : chosen) {
+    for (ElementId u : instance.Set(s)) covered.Set(u);
+  }
+  return covered.Count();
+}
+
+}  // namespace setcover

@@ -1,0 +1,81 @@
+#ifndef SETCOVER_CORE_MAX_COVERAGE_H_
+#define SETCOVER_CORE_MAX_COVERAGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "instance/instance.h"
+#include "stream/stream.h"
+#include "util/memory_meter.h"
+#include "util/types.h"
+
+namespace setcover {
+
+/// Budgeted maximum coverage — the sibling objective of the paper's
+/// motivating applications (Saha & Getoor's blog-watch [22] is a
+/// max-coverage problem; Bateni et al. [6], the first edge-arrival
+/// paper, treats "coverage problems" generally): choose at most
+/// `budget` sets maximizing the number of covered elements.
+struct MaxCoverageResult {
+  std::vector<SetId> chosen;   // ≤ budget distinct sets
+  size_t covered_elements = 0;
+};
+
+/// Offline greedy max coverage (lazy evaluation): the classic
+/// (1 − 1/e)-approximation, used as the quality yardstick.
+MaxCoverageResult GreedyMaxCoverage(const SetCoverInstance& instance,
+                                    uint32_t budget);
+
+/// One-pass *edge-arrival* max coverage via the paper's
+/// uncovered-degree counter technique: a set whose count of
+/// yet-uncovered incident elements reaches the threshold
+/// τ = threshold_fraction·n/budget is taken (covering its subsequent
+/// elements) until the budget is exhausted; any leftover budget is
+/// spent at the end on the sets with the largest residual counters.
+///
+/// Rationale (the standard threshold argument): if the budget fills,
+/// coverage ≥ budget·τ; if not, every unchosen set's *observed*
+/// residual gain stayed below τ, so the optimum's advantage is at most
+/// budget·τ over the chosen sets plus the arrival-order loss. One pass,
+/// Θ(m + n) space — the KK-style counters, repurposed.
+class StreamingMaxCoverage {
+ public:
+  /// `threshold_fraction` scales τ (default 0.5 → τ = n/(2·budget)).
+  StreamingMaxCoverage(uint32_t budget, double threshold_fraction = 0.5);
+
+  void Begin(const StreamMetadata& meta);
+  void ProcessEdge(const Edge& edge);
+  MaxCoverageResult Finalize();
+
+  const MemoryMeter& Meter() const { return meter_; }
+
+ private:
+  uint32_t budget_;
+  double threshold_fraction_;
+  uint32_t threshold_ = 1;
+  StreamMetadata meta_;
+
+  std::vector<uint32_t> uncovered_count_;
+  std::vector<bool> covered_;
+  std::vector<bool> chosen_;
+  std::vector<SetId> chosen_order_;
+  size_t covered_total_ = 0;
+
+  MemoryMeter meter_;
+  MemoryMeter::ComponentId counters_words_;
+  MemoryMeter::ComponentId element_state_words_;
+};
+
+/// Streams the instance through StreamingMaxCoverage and returns the
+/// result (convenience wrapper).
+MaxCoverageResult RunStreamingMaxCoverage(const EdgeStream& stream,
+                                          uint32_t budget,
+                                          double threshold_fraction = 0.5);
+
+/// Exact covered-element count of a chosen family (validation helper).
+size_t CoverageOf(const SetCoverInstance& instance,
+                  const std::vector<SetId>& chosen);
+
+}  // namespace setcover
+
+#endif  // SETCOVER_CORE_MAX_COVERAGE_H_

@@ -1,0 +1,123 @@
+#include "core/multi_pass.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/math.h"
+
+namespace setcover {
+
+CoverSolution RunMultiPass(MultiPassSetCoverAlgorithm& algorithm,
+                           const EdgeStream& stream, uint32_t max_passes,
+                           uint32_t* passes_used) {
+  algorithm.Begin(stream.meta);
+  uint32_t pass = 0;
+  for (; pass < max_passes; ++pass) {
+    algorithm.BeginPass(pass);
+    for (const Edge& e : stream.edges) algorithm.ProcessEdge(e);
+    if (!algorithm.EndPass(pass)) {
+      ++pass;
+      break;
+    }
+  }
+  if (passes_used != nullptr) *passes_used = pass;
+  return algorithm.Finalize();
+}
+
+ProgressiveThresholdMultiPass::ProgressiveThresholdMultiPass(
+    MultiPassParams params)
+    : params_(params) {
+  counters_words_ = meter_.Register("pass_counters");
+  element_state_words_ = meter_.Register("element_state");
+  solution_words_ = meter_.Register("solution");
+}
+
+void ProgressiveThresholdMultiPass::Begin(const StreamMetadata& meta) {
+  meta_ = meta;
+  const uint32_t n = std::max(1u, meta.num_elements);
+  uint32_t passes = params_.passes != 0
+                        ? params_.passes
+                        : static_cast<uint32_t>(CeilLog2(n)) + 1;
+  passes = std::max(1u, passes);
+
+  // Geometric schedule T_i = n / r^(i+1) with r = n^(1/p), clamped so
+  // the final pass runs at threshold 1 (full coverage guarantee).
+  thresholds_.assign(passes, 1);
+  const double r = std::pow(double(n), 1.0 / double(passes));
+  double t = double(n);
+  for (uint32_t i = 0; i < passes; ++i) {
+    t /= r;
+    thresholds_[i] = std::max<uint32_t>(
+        1, static_cast<uint32_t>(std::floor(t + 1e-9)));
+  }
+  thresholds_.back() = 1;
+
+  pass_count_.assign(meta.num_sets, 0);
+  covered_.assign(meta.num_elements, false);
+  in_solution_.assign(meta.num_sets, false);
+  certificate_.assign(meta.num_elements, kNoSet);
+  first_set_.assign(meta.num_elements, kNoSet);
+  solution_order_.clear();
+  added_per_pass_.clear();
+  added_this_pass_ = 0;
+
+  meter_.Reset();
+  meter_.Set(counters_words_, meta.num_sets);
+  meter_.Set(element_state_words_, 2 * size_t{meta.num_elements});
+}
+
+void ProgressiveThresholdMultiPass::BeginPass(uint32_t pass) {
+  std::fill(pass_count_.begin(), pass_count_.end(), 0);
+  current_threshold_ =
+      pass < thresholds_.size() ? thresholds_[pass] : 1;
+  added_this_pass_ = 0;
+}
+
+void ProgressiveThresholdMultiPass::ProcessEdge(const Edge& edge) {
+  const SetId s = edge.set;
+  const ElementId u = edge.element;
+  if (first_set_[u] == kNoSet) first_set_[u] = s;
+  if (in_solution_[s]) {
+    if (!covered_[u]) {
+      covered_[u] = true;
+      certificate_[u] = s;
+    }
+    return;
+  }
+  if (covered_[u]) return;
+  if (++pass_count_[s] >= current_threshold_) {
+    // The set has certified ≥ T uncovered elements this pass: take it.
+    in_solution_[s] = true;
+    solution_order_.push_back(s);
+    ++added_this_pass_;
+    meter_.Add(solution_words_, 1);
+    covered_[u] = true;
+    certificate_[u] = s;
+  }
+}
+
+bool ProgressiveThresholdMultiPass::EndPass(uint32_t pass) {
+  added_per_pass_.push_back(added_this_pass_);
+  // Done when the T = 1 pass has run (everything coverable is covered)
+  // or the schedule is exhausted.
+  return pass + 1 < thresholds_.size();
+}
+
+CoverSolution ProgressiveThresholdMultiPass::Finalize() {
+  CoverSolution solution;
+  solution.cover = solution_order_;
+  solution.certificate = certificate_;
+  // Safety patching: only reachable if the caller cut passes short.
+  for (ElementId u = 0; u < meta_.num_elements; ++u) {
+    if (solution.certificate[u] == kNoSet && first_set_[u] != kNoSet) {
+      solution.certificate[u] = first_set_[u];
+      if (!in_solution_[first_set_[u]]) {
+        in_solution_[first_set_[u]] = true;
+        solution.cover.push_back(first_set_[u]);
+      }
+    }
+  }
+  return solution;
+}
+
+}  // namespace setcover

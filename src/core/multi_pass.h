@@ -1,0 +1,111 @@
+#ifndef SETCOVER_CORE_MULTI_PASS_H_
+#define SETCOVER_CORE_MULTI_PASS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/streaming_algorithm.h"
+#include "util/memory_meter.h"
+#include "util/types.h"
+
+namespace setcover {
+
+/// Interface for multi-pass edge-arrival streaming algorithms (the
+/// related-work regime of paper §1.3: Saha–Getoor's O(log n)-pass
+/// O(log n)-approximation, Chakrabarti–Wirth's p-pass trade-off,
+/// Bateni et al.'s p-pass edge-arrival algorithm [6]).
+///
+/// Lifecycle: Begin(meta) once, then for pass = 0, 1, ...:
+/// BeginPass(pass), ProcessEdge for the whole stream, EndPass(pass) —
+/// which returns true while another pass is wanted — and finally
+/// Finalize().
+class MultiPassSetCoverAlgorithm {
+ public:
+  virtual ~MultiPassSetCoverAlgorithm() = default;
+
+  virtual std::string Name() const = 0;
+  virtual void Begin(const StreamMetadata& meta) = 0;
+  virtual void BeginPass(uint32_t pass) = 0;
+  virtual void ProcessEdge(const Edge& edge) = 0;
+  /// Returns true if the algorithm wants another pass.
+  virtual bool EndPass(uint32_t pass) = 0;
+  virtual CoverSolution Finalize() = 0;
+  virtual const MemoryMeter& Meter() const = 0;
+};
+
+/// Replays `stream` through `algorithm` until it stops asking for
+/// passes (or `max_passes` as a safety net) and finalizes. Returns the
+/// solution; the number of passes actually used goes to *passes_used.
+CoverSolution RunMultiPass(MultiPassSetCoverAlgorithm& algorithm,
+                           const EdgeStream& stream,
+                           uint32_t max_passes = 64,
+                           uint32_t* passes_used = nullptr);
+
+/// Parameters for ProgressiveThresholdMultiPass.
+struct MultiPassParams {
+  /// Number of passes p. 0 = ⌈log₂ n⌉ + 1 (the full progressive
+  /// schedule, giving the O(log n)-approximation of [22]/[11]).
+  uint32_t passes = 0;
+};
+
+/// Progressive threshold greedy over p passes — the multi-pass
+/// edge-arrival workhorse of §1.3. Pass i uses a gain threshold
+/// T_i, geometrically decreasing from ~n/r to 1 with r = n^(1/p):
+/// whenever a set's count of uncovered incident elements (within the
+/// current pass) reaches T_i, the set joins the solution immediately
+/// and covers its subsequently arriving elements.
+///
+/// Invariant: after a pass at threshold T, every unchosen set covers
+/// < T uncovered elements, so the final pass at T = 1 leaves nothing
+/// uncovered. Each chosen set covered ≥ T new elements at selection,
+/// which yields the classic O(p·n^(1/p)) approximation — O(log n) for
+/// p = log n — in exactly the shape of Chakrabarti–Wirth's trade-off
+/// (their lower bound says the n^(Ω(1/p)) factor is unavoidable with
+/// Õ(n) space; we spend Θ(m + n) like the paper's one-pass baselines).
+///
+/// Space: m words of per-pass counters + Õ(n) element state.
+class ProgressiveThresholdMultiPass : public MultiPassSetCoverAlgorithm {
+ public:
+  explicit ProgressiveThresholdMultiPass(MultiPassParams params = {});
+
+  std::string Name() const override { return "progressive-threshold"; }
+  void Begin(const StreamMetadata& meta) override;
+  void BeginPass(uint32_t pass) override;
+  void ProcessEdge(const Edge& edge) override;
+  bool EndPass(uint32_t pass) override;
+  CoverSolution Finalize() override;
+  const MemoryMeter& Meter() const override { return meter_; }
+
+  /// The threshold schedule in effect (valid after Begin()).
+  const std::vector<uint32_t>& Thresholds() const { return thresholds_; }
+
+  /// Sets added in each completed pass (valid any time).
+  const std::vector<size_t>& SetsAddedPerPass() const {
+    return added_per_pass_;
+  }
+
+ private:
+  MultiPassParams params_;
+  StreamMetadata meta_;
+  std::vector<uint32_t> thresholds_;
+  uint32_t current_threshold_ = 1;
+
+  std::vector<uint32_t> pass_count_;   // per-set uncovered count, m words
+  std::vector<bool> covered_;
+  std::vector<bool> in_solution_;
+  std::vector<SetId> certificate_;
+  std::vector<SetId> first_set_;
+  std::vector<SetId> solution_order_;
+  std::vector<size_t> added_per_pass_;
+  size_t added_this_pass_ = 0;
+
+  MemoryMeter meter_;
+  MemoryMeter::ComponentId counters_words_;
+  MemoryMeter::ComponentId element_state_words_;
+  MemoryMeter::ComponentId solution_words_;
+};
+
+}  // namespace setcover
+
+#endif  // SETCOVER_CORE_MULTI_PASS_H_

@@ -1,0 +1,84 @@
+#include "core/multi_run.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/math.h"
+
+namespace setcover {
+
+CoverSolution BestOfRuns(const AlgorithmFactory& factory, uint32_t runs,
+                         uint64_t seed, const EdgeStream& stream,
+                         size_t* total_peak_words) {
+  CoverSolution best;
+  bool have_best = false;
+  size_t peak_sum = 0;
+  for (uint32_t r = 0; r < runs; ++r) {
+    auto algorithm = factory(seed + r);
+    CoverSolution candidate = RunStream(*algorithm, stream);
+    peak_sum += algorithm->Meter().PeakWords();
+    if (!have_best || candidate.cover.size() < best.cover.size()) {
+      best = std::move(candidate);
+      have_best = true;
+    }
+  }
+  if (total_peak_words != nullptr) *total_peak_words = peak_sum;
+  return best;
+}
+
+NGuessRandomOrder::NGuessRandomOrder(uint64_t seed,
+                                     RandomOrderParams params)
+    : seed_(seed), params_(params) {
+  total_words_ = meter_.Register("all_guesses");
+}
+
+void NGuessRandomOrder::Begin(const StreamMetadata& meta) {
+  runs_.clear();
+  edges_seen_ = 0;
+  meter_.Reset();
+  // Guesses 2^i · m/√n for i = 0, 1, ...; the true N is at most m·n
+  // (§4.1), so ~log(n^1.5) guesses suffice.
+  const double sqrt_n =
+      std::max(1.0, std::sqrt(double(std::max(1u, meta.num_elements))));
+  double guess = std::max(1.0, double(meta.num_sets) / sqrt_n);
+  const double max_n =
+      std::max(guess, double(meta.num_sets) * double(meta.num_elements));
+  uint64_t run_seed = seed_;
+  for (; guess <= 2.0 * max_n; guess *= 2.0) {
+    runs_.push_back(
+        std::make_unique<RandomOrderAlgorithm>(run_seed++, params_));
+    StreamMetadata guessed = meta;
+    guessed.stream_length = static_cast<size_t>(guess);
+    runs_.back()->Begin(guessed);
+    if (guess >= max_n) break;
+  }
+  RefreshMeter();
+}
+
+void NGuessRandomOrder::ProcessEdge(const Edge& edge) {
+  for (auto& run : runs_) run->ProcessEdge(edge);
+  if ((++edges_seen_ & 0xFFF) == 0) RefreshMeter();
+}
+
+CoverSolution NGuessRandomOrder::Finalize() {
+  RefreshMeter();
+  CoverSolution best;
+  bool have_best = false;
+  for (auto& run : runs_) {
+    CoverSolution candidate = run->Finalize();
+    if (!have_best || candidate.cover.size() < best.cover.size()) {
+      best = std::move(candidate);
+      have_best = true;
+    }
+  }
+  RefreshMeter();
+  return best;
+}
+
+void NGuessRandomOrder::RefreshMeter() {
+  size_t total = 0;
+  for (const auto& run : runs_) total += run->Meter().CurrentWords();
+  meter_.Set(total_words_, total);
+}
+
+}  // namespace setcover

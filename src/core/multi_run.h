@@ -1,0 +1,61 @@
+#ifndef SETCOVER_CORE_MULTI_RUN_H_
+#define SETCOVER_CORE_MULTI_RUN_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/random_order.h"
+#include "core/streaming_algorithm.h"
+
+namespace setcover {
+
+/// Creates a fresh algorithm instance seeded with `seed`. Used by the
+/// amplification helpers and the communication reduction, which need to
+/// instantiate (or deterministically replay) algorithms on demand.
+using AlgorithmFactory =
+    std::function<std::unique_ptr<StreamingSetCoverAlgorithm>(uint64_t seed)>;
+
+/// Runs `runs` independent copies of the algorithm over the same stream
+/// and returns the smallest cover. This implements the error-probability
+/// amplification in the remark after Theorem 2: success probability 3/4
+/// becomes 1 - 1/(4m) with O(log m) parallel copies, at the cost of a
+/// log m space factor. If `total_peak_words` is non-null it receives the
+/// summed peak space across copies (the honest cost of amplification).
+CoverSolution BestOfRuns(const AlgorithmFactory& factory, uint32_t runs,
+                         uint64_t seed, const EdgeStream& stream,
+                         size_t* total_peak_words = nullptr);
+
+/// Algorithm 1 without the known-N assumption: the parallel-guess
+/// wrapper of paper §4.1. The stream length satisfies m/√n <= N <= m·n,
+/// so O(log(n^1.5)) guesses 2^i·m/√n cover it; one run per guess
+/// executes Algorithm 1 with that assumed N, and Finalize returns the
+/// smallest cover. Space is the sum over runs — the log-factor the
+/// paper absorbs into Õ(m/√n).
+class NGuessRandomOrder : public StreamingSetCoverAlgorithm {
+ public:
+  explicit NGuessRandomOrder(uint64_t seed, RandomOrderParams params = {});
+
+  std::string Name() const override { return "random-order-nguess"; }
+  void Begin(const StreamMetadata& meta) override;
+  void ProcessEdge(const Edge& edge) override;
+  CoverSolution Finalize() override;
+  const MemoryMeter& Meter() const override { return meter_; }
+
+  /// Number of parallel guesses in the current run.
+  size_t NumGuesses() const { return runs_.size(); }
+
+ private:
+  void RefreshMeter();
+
+  uint64_t seed_;
+  RandomOrderParams params_;
+  std::vector<std::unique_ptr<RandomOrderAlgorithm>> runs_;
+  size_t edges_seen_ = 0;
+  MemoryMeter meter_;
+  MemoryMeter::ComponentId total_words_;
+};
+
+}  // namespace setcover
+
+#endif  // SETCOVER_CORE_MULTI_RUN_H_

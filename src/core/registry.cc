@@ -1,0 +1,72 @@
+#include "core/registry.h"
+
+#include "core/adversarial_level.h"
+#include "core/element_sampling.h"
+#include "core/kk_algorithm.h"
+#include "core/multi_run.h"
+#include "core/random_order.h"
+#include "core/set_arrival.h"
+#include "core/trivial.h"
+
+namespace setcover {
+
+std::vector<std::string> RegisteredAlgorithmNames() {
+  return {
+      "kk",
+      "adversarial-level",
+      "random-order",
+      "random-order-sketch",
+      "random-order-paper",
+      "random-order-nguess",
+      "element-sampling",
+      "set-arrival-threshold",
+      "first-set-patching",
+      "store-everything-greedy",
+  };
+}
+
+std::unique_ptr<StreamingSetCoverAlgorithm> MakeAlgorithmByName(
+    const std::string& name, const AlgorithmOptions& options) {
+  if (name == "kk") {
+    return std::make_unique<KkAlgorithm>(options.seed);
+  }
+  if (name == "adversarial-level") {
+    AdversarialLevelParams params;
+    params.alpha = options.alpha;
+    return std::make_unique<AdversarialLevelAlgorithm>(options.seed,
+                                                       params);
+  }
+  if (name == "random-order") {
+    return std::make_unique<RandomOrderAlgorithm>(options.seed);
+  }
+  if (name == "random-order-sketch") {
+    RandomOrderParams params;
+    params.use_sketch_epoch0 = true;
+    return std::make_unique<RandomOrderAlgorithm>(options.seed, params);
+  }
+  if (name == "random-order-paper") {
+    return std::make_unique<RandomOrderAlgorithm>(
+        options.seed, RandomOrderParams::PaperFaithful());
+  }
+  if (name == "random-order-nguess") {
+    return std::make_unique<NGuessRandomOrder>(options.seed);
+  }
+  if (name == "element-sampling") {
+    ElementSamplingParams params;
+    params.alpha = options.alpha;
+    return std::make_unique<ElementSamplingAlgorithm>(options.seed,
+                                                      params);
+  }
+  if (name == "set-arrival-threshold") {
+    return std::make_unique<SetArrivalThreshold>();
+  }
+  if (name == "first-set-patching") {
+    return std::make_unique<FirstSetPatching>();
+  }
+  if (name == "store-everything-greedy") {
+    return std::make_unique<StoreEverythingGreedy>();
+  }
+  return nullptr;
+}
+
+}  // namespace setcover

@@ -1,0 +1,40 @@
+#ifndef SETCOVER_CORE_REGISTRY_H_
+#define SETCOVER_CORE_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/streaming_algorithm.h"
+
+namespace setcover {
+
+/// Options understood by the registry factory; algorithms ignore the
+/// fields that do not apply to them.
+struct AlgorithmOptions {
+  uint64_t seed = 1;
+  /// Target approximation factor α for adversarial-level /
+  /// element-sampling (0 = each algorithm's default).
+  double alpha = 0.0;
+};
+
+/// Names accepted by MakeAlgorithmByName, in presentation order:
+///   kk                      — Theorem 1 baseline
+///   adversarial-level       — Algorithm 2 (Theorem 4)
+///   random-order            — Algorithm 1 (Theorem 3)
+///   random-order-sketch     — Algorithm 1 with Count-Min epoch 0
+///   random-order-paper      — Algorithm 1 with the literal constants
+///   random-order-nguess     — Algorithm 1 without the known-N assumption
+///   element-sampling        — AKL-style α = o(√n) algorithm
+///   set-arrival-threshold   — set-arrival baseline
+///   first-set-patching      — trivial Õ(n)-space baseline
+///   store-everything-greedy — trivial Θ(N)-space comparator
+std::vector<std::string> RegisteredAlgorithmNames();
+
+/// Creates the named algorithm, or nullptr for an unknown name.
+std::unique_ptr<StreamingSetCoverAlgorithm> MakeAlgorithmByName(
+    const std::string& name, const AlgorithmOptions& options = {});
+
+}  // namespace setcover
+
+#endif  // SETCOVER_CORE_REGISTRY_H_

@@ -1,0 +1,89 @@
+#include "core/set_arrival.h"
+
+#include <algorithm>
+
+#include "util/math.h"
+
+namespace setcover {
+
+SetArrivalThreshold::SetArrivalThreshold(uint32_t threshold)
+    : requested_threshold_(threshold) {
+  element_state_words_ = meter_.Register("element_state");
+  run_buffer_words_ = meter_.Register("run_buffer");
+  solution_words_ = meter_.Register("solution");
+}
+
+void SetArrivalThreshold::Begin(const StreamMetadata& meta) {
+  meta_ = meta;
+  threshold_ = requested_threshold_ != 0
+                   ? requested_threshold_
+                   : std::max<uint32_t>(
+                         1, static_cast<uint32_t>(ISqrt(meta.num_elements)));
+  current_set_ = kNoSet;
+  run_uncovered_.clear();
+  covered_.assign(meta.num_elements, false);
+  certificate_.assign(meta.num_elements, kNoSet);
+  first_set_.assign(meta.num_elements, kNoSet);
+  solution_order_.clear();
+  in_solution_.assign(meta.num_sets, false);
+  meter_.Reset();
+  meter_.Set(element_state_words_, 2 * size_t{meta.num_elements});
+}
+
+void SetArrivalThreshold::FlushRun() {
+  if (current_set_ == kNoSet) return;
+  if (run_uncovered_.size() >= threshold_ &&
+      !in_solution_[current_set_]) {
+    in_solution_[current_set_] = true;
+    solution_order_.push_back(current_set_);
+    meter_.Add(solution_words_, 1);
+    for (ElementId u : run_uncovered_) {
+      covered_[u] = true;
+      certificate_[u] = current_set_;
+    }
+  }
+  run_uncovered_.clear();
+  meter_.Set(run_buffer_words_, 0);
+}
+
+void SetArrivalThreshold::ProcessEdge(const Edge& edge) {
+  if (edge.set != current_set_) {
+    FlushRun();
+    current_set_ = edge.set;
+  }
+  if (first_set_[edge.element] == kNoSet)
+    first_set_[edge.element] = edge.set;
+  if (!covered_[edge.element]) {
+    run_uncovered_.push_back(edge.element);
+    meter_.Add(run_buffer_words_, 1);
+  }
+}
+
+void SetArrivalThreshold::EncodeState(StateEncoder* encoder) const {
+  encoder->PutWord(current_set_);
+  encoder->PutU32Vector(run_uncovered_);
+  std::vector<bool> covered(covered_.begin(), covered_.end());
+  encoder->PutBoolVector(covered);
+  encoder->PutU32Vector(certificate_);
+  encoder->PutU32Vector(first_set_);
+  encoder->PutU32Vector(solution_order_);
+}
+
+CoverSolution SetArrivalThreshold::Finalize() {
+  FlushRun();
+  CoverSolution solution;
+  solution.cover = solution_order_;
+  solution.certificate = certificate_;
+  for (ElementId u = 0; u < meta_.num_elements; ++u) {
+    if (solution.certificate[u] == kNoSet && first_set_[u] != kNoSet) {
+      solution.certificate[u] = first_set_[u];
+      if (!in_solution_[first_set_[u]]) {
+        in_solution_[first_set_[u]] = true;
+        solution.cover.push_back(first_set_[u]);
+      }
+    }
+  }
+  return solution;
+}
+
+}  // namespace setcover

@@ -1,0 +1,91 @@
+#ifndef SETCOVER_CORE_STREAMING_ALGORITHM_H_
+#define SETCOVER_CORE_STREAMING_ALGORITHM_H_
+
+#include <string>
+
+#include "instance/instance.h"
+#include "stream/stream.h"
+#include "util/memory_meter.h"
+#include "util/serialize.h"
+
+namespace setcover {
+
+/// Interface shared by every one-pass edge-arrival Set Cover algorithm in
+/// this library.
+///
+/// Lifecycle: `Begin(meta)` once (resets all state; m, n and the assumed
+/// stream length N come from `meta`), then `ProcessEdge` for each stream
+/// item in arrival order, then `Finalize()` exactly once to obtain the
+/// cover and certificate. Implementations must produce a valid cover for
+/// every feasible instance regardless of arrival order — the guarantees
+/// that depend on the order (approximation ratio, space) degrade, never
+/// correctness.
+///
+/// Space accounting: implementations keep a MemoryMeter current with the
+/// number of machine words their streaming state occupies; `Meter()`
+/// exposes it. `StateWords()` is the instantaneous state size, which the
+/// communication experiments use as the forwarded-message size.
+class StreamingSetCoverAlgorithm {
+ public:
+  virtual ~StreamingSetCoverAlgorithm() = default;
+
+  /// Short identifier for reports, e.g. "kk" or "random-order".
+  virtual std::string Name() const = 0;
+
+  /// Starts a fresh run. May be called again after Finalize() to reuse
+  /// the object (all state and meters reset).
+  virtual void Begin(const StreamMetadata& meta) = 0;
+
+  /// Consumes the next stream item.
+  virtual void ProcessEdge(const Edge& edge) = 0;
+
+  /// Ends the stream and returns the cover plus certificate.
+  virtual CoverSolution Finalize() = 0;
+
+  /// Space accounting for the current/last run.
+  virtual const MemoryMeter& Meter() const = 0;
+
+  /// Size of the algorithm's forwardable state right now, in words.
+  /// Defaults to the metered working set; algorithms that implement
+  /// EncodeState report the literal encoding size instead.
+  virtual size_t StateWords() const {
+    StateEncoder encoder;
+    EncodeState(&encoder);
+    return encoder.SizeWords() > 0 ? encoder.SizeWords()
+                                   : Meter().CurrentWords();
+  }
+
+  /// Serializes the algorithm's complete mid-stream state into the
+  /// encoder — the exact message a party forwards in the one-way
+  /// communication setting of §3. Implementations must write every
+  /// word another party would need to continue the execution (modulo
+  /// the shared random seed). The default writes nothing, in which
+  /// case StateWords() falls back to the memory meter.
+  virtual void EncodeState(StateEncoder* encoder) const { (void)encoder; }
+
+  /// Reconstructs a mid-stream execution from a message produced by
+  /// EncodeState on another instance: after a successful decode,
+  /// continuing this instance is bit-identical to continuing the
+  /// encoder's. Returns false when unsupported or on a malformed
+  /// message (the instance is then in the freshly-Begun state). This
+  /// is what makes the one-way communication protocols of §3 literal:
+  /// party p+1 resumes the algorithm purely from party p's words.
+  virtual bool DecodeState(const StreamMetadata& meta,
+                           const std::vector<uint64_t>& words) {
+    (void)meta;
+    (void)words;
+    return false;
+  }
+};
+
+/// Feeds a whole materialized stream through `algorithm` and finalizes.
+inline CoverSolution RunStream(StreamingSetCoverAlgorithm& algorithm,
+                               const EdgeStream& stream) {
+  algorithm.Begin(stream.meta);
+  for (const Edge& e : stream.edges) algorithm.ProcessEdge(e);
+  return algorithm.Finalize();
+}
+
+}  // namespace setcover
+
+#endif  // SETCOVER_CORE_STREAMING_ALGORITHM_H_

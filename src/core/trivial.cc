@@ -1,0 +1,88 @@
+#include "core/trivial.h"
+
+#include <algorithm>
+
+#include "offline/greedy.h"
+
+namespace setcover {
+
+FirstSetPatching::FirstSetPatching() {
+  first_set_words_ = meter_.Register("first_set");
+}
+
+void FirstSetPatching::Begin(const StreamMetadata& meta) {
+  meta_ = meta;
+  first_set_.assign(meta.num_elements, kNoSet);
+  meter_.Reset();
+  meter_.Set(first_set_words_, meta.num_elements);
+}
+
+void FirstSetPatching::ProcessEdge(const Edge& edge) {
+  if (first_set_[edge.element] == kNoSet)
+    first_set_[edge.element] = edge.set;
+}
+
+CoverSolution FirstSetPatching::Finalize() {
+  CoverSolution solution;
+  solution.certificate = first_set_;
+  std::vector<SetId> cover = first_set_;
+  std::sort(cover.begin(), cover.end());
+  cover.erase(std::unique(cover.begin(), cover.end()), cover.end());
+  // Drop the sentinel (present iff some element never appeared, i.e. the
+  // instance was infeasible).
+  while (!cover.empty() && cover.back() == kNoSet) cover.pop_back();
+  solution.cover = std::move(cover);
+  return solution;
+}
+
+void FirstSetPatching::EncodeState(StateEncoder* encoder) const {
+  encoder->PutU32Vector(first_set_);
+}
+
+bool FirstSetPatching::DecodeState(const StreamMetadata& meta,
+                                   const std::vector<uint64_t>& words) {
+  Begin(meta);
+  StateDecoder decoder(words);
+  std::vector<uint32_t> first_set = decoder.GetU32Vector();
+  if (!decoder.Done() || first_set.size() != meta.num_elements) {
+    Begin(meta);
+    return false;
+  }
+  first_set_ = std::move(first_set);
+  return true;
+}
+
+StoreEverythingGreedy::StoreEverythingGreedy() {
+  buffer_words_ = meter_.Register("edge_buffer");
+}
+
+void StoreEverythingGreedy::Begin(const StreamMetadata& meta) {
+  meta_ = meta;
+  buffer_.clear();
+  meter_.Reset();
+}
+
+void StoreEverythingGreedy::ProcessEdge(const Edge& edge) {
+  buffer_.push_back(edge);
+  meter_.Add(buffer_words_, 1);  // one word per (set, element) pair
+}
+
+void StoreEverythingGreedy::EncodeState(StateEncoder* encoder) const {
+  std::vector<uint32_t> flat;
+  flat.reserve(2 * buffer_.size());
+  for (const Edge& e : buffer_) {
+    flat.push_back(e.set);
+    flat.push_back(e.element);
+  }
+  encoder->PutU32Vector(flat);
+}
+
+CoverSolution StoreEverythingGreedy::Finalize() {
+  std::vector<std::vector<ElementId>> sets(meta_.num_sets);
+  for (const Edge& e : buffer_) sets[e.set].push_back(e.element);
+  SetCoverInstance inst =
+      SetCoverInstance::FromSets(meta_.num_elements, std::move(sets));
+  return GreedyCover(inst);
+}
+
+}  // namespace setcover

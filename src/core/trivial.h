@@ -1,0 +1,60 @@
+#ifndef SETCOVER_CORE_TRIVIAL_H_
+#define SETCOVER_CORE_TRIVIAL_H_
+
+#include <vector>
+
+#include "core/streaming_algorithm.h"
+#include "util/memory_meter.h"
+#include "util/types.h"
+
+namespace setcover {
+
+/// The trivial n-approximation: remember the first set R(u) seen for
+/// every element and output {R(u) : u ∈ U}. Space Õ(n); approximation
+/// ratio at most n (and exactly the patching fallback every paper
+/// algorithm ends with). Serves as the quality floor in benchmarks.
+class FirstSetPatching : public StreamingSetCoverAlgorithm {
+ public:
+  FirstSetPatching();
+
+  std::string Name() const override { return "first-set-patching"; }
+  void Begin(const StreamMetadata& meta) override;
+  void ProcessEdge(const Edge& edge) override;
+  CoverSolution Finalize() override;
+  const MemoryMeter& Meter() const override { return meter_; }
+  void EncodeState(StateEncoder* encoder) const override;
+  bool DecodeState(const StreamMetadata& meta,
+                   const std::vector<uint64_t>& words) override;
+
+ private:
+  StreamMetadata meta_;
+  std::vector<SetId> first_set_;
+  MemoryMeter meter_;
+  MemoryMeter::ComponentId first_set_words_;
+};
+
+/// The trivial space-Θ(N) comparator: buffer the entire stream, rebuild
+/// the instance, and run offline greedy at the end. Gives ln n quality
+/// at maximal space — the other end of the trade-off curve from
+/// FirstSetPatching.
+class StoreEverythingGreedy : public StreamingSetCoverAlgorithm {
+ public:
+  StoreEverythingGreedy();
+
+  std::string Name() const override { return "store-everything-greedy"; }
+  void Begin(const StreamMetadata& meta) override;
+  void ProcessEdge(const Edge& edge) override;
+  CoverSolution Finalize() override;
+  const MemoryMeter& Meter() const override { return meter_; }
+  void EncodeState(StateEncoder* encoder) const override;
+
+ private:
+  StreamMetadata meta_;
+  std::vector<Edge> buffer_;
+  MemoryMeter meter_;
+  MemoryMeter::ComponentId buffer_words_;
+};
+
+}  // namespace setcover
+
+#endif  // SETCOVER_CORE_TRIVIAL_H_

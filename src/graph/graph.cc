@@ -1,0 +1,114 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace setcover {
+
+Graph::Graph(uint32_t num_vertices) : adjacency_(num_vertices) {}
+
+Graph Graph::ErdosRenyi(uint32_t num_vertices, double edge_probability,
+                        Rng& rng) {
+  Graph graph(num_vertices);
+  for (uint32_t a = 0; a < num_vertices; ++a) {
+    for (uint32_t b = a + 1; b < num_vertices; ++b) {
+      if (rng.Bernoulli(edge_probability)) graph.AddEdge(a, b);
+    }
+  }
+  graph.Finish();
+  return graph;
+}
+
+Graph Graph::BarabasiAlbert(uint32_t num_vertices, uint32_t attach,
+                            Rng& rng) {
+  Graph graph(num_vertices);
+  if (num_vertices == 0) return graph;
+  // Repeated-endpoint trick: sampling a uniform entry of the endpoint
+  // list is exactly degree-proportional sampling.
+  std::vector<uint32_t> endpoints;
+  uint32_t seed_size = std::max<uint32_t>(1, std::min(attach, num_vertices));
+  // Seed clique so early vertices have degree.
+  for (uint32_t a = 0; a < seed_size; ++a) {
+    for (uint32_t b = a + 1; b < seed_size; ++b) {
+      graph.AddEdge(a, b);
+      endpoints.push_back(a);
+      endpoints.push_back(b);
+    }
+  }
+  if (endpoints.empty()) endpoints.push_back(0);
+  for (uint32_t v = seed_size; v < num_vertices; ++v) {
+    for (uint32_t j = 0; j < attach; ++j) {
+      uint32_t target = endpoints[rng.UniformInt(endpoints.size())];
+      if (target == v) continue;
+      graph.AddEdge(v, target);
+      endpoints.push_back(v);
+      endpoints.push_back(target);
+    }
+  }
+  graph.Finish();
+  return graph;
+}
+
+Graph Graph::RandomRegular(uint32_t num_vertices, uint32_t degree,
+                           Rng& rng) {
+  Graph graph(num_vertices);
+  std::vector<uint32_t> stubs;
+  stubs.reserve(size_t{num_vertices} * degree);
+  for (uint32_t v = 0; v < num_vertices; ++v) {
+    for (uint32_t d = 0; d < degree; ++d) stubs.push_back(v);
+  }
+  rng.Shuffle(stubs);
+  for (size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    graph.AddEdge(stubs[i], stubs[i + 1]);
+  }
+  graph.Finish();
+  return graph;
+}
+
+void Graph::AddEdge(uint32_t a, uint32_t b) {
+  if (a == b) return;
+  if (a >= adjacency_.size() || b >= adjacency_.size()) {
+    std::fprintf(stderr, "Graph::AddEdge: vertex out of range\n");
+    std::abort();
+  }
+  adjacency_[a].push_back(b);
+  adjacency_[b].push_back(a);
+  finished_ = false;
+}
+
+void Graph::Finish() {
+  num_edges_ = 0;
+  for (auto& list : adjacency_) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+    num_edges_ += list.size();
+  }
+  num_edges_ /= 2;
+  finished_ = true;
+}
+
+SetCoverInstance Graph::ToDominatingSetInstance() const {
+  std::vector<std::vector<ElementId>> sets(adjacency_.size());
+  for (uint32_t v = 0; v < adjacency_.size(); ++v) {
+    sets[v].reserve(adjacency_[v].size() + 1);
+    sets[v].push_back(v);
+    sets[v].insert(sets[v].end(), adjacency_[v].begin(),
+                   adjacency_[v].end());
+  }
+  return SetCoverInstance::FromSets(
+      static_cast<uint32_t>(adjacency_.size()), std::move(sets));
+}
+
+bool Graph::IsDominatingSet(const std::vector<uint32_t>& vertices) const {
+  std::vector<bool> dominated(adjacency_.size(), false);
+  for (uint32_t v : vertices) {
+    if (v >= adjacency_.size()) return false;
+    dominated[v] = true;
+    for (uint32_t w : adjacency_[v]) dominated[w] = true;
+  }
+  return std::all_of(dominated.begin(), dominated.end(),
+                     [](bool d) { return d; });
+}
+
+}  // namespace setcover

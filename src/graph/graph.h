@@ -1,0 +1,76 @@
+#ifndef SETCOVER_GRAPH_GRAPH_H_
+#define SETCOVER_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "instance/instance.h"
+#include "util/rng.h"
+
+namespace setcover {
+
+/// Simple undirected graph, used for the Dominating Set special case of
+/// edge-arrival Set Cover (m = n, sets = closed neighborhoods — the
+/// setting of [Khanna & Konrad, ITCS'22] from which Theorem 1 comes).
+///
+/// Three generators cover the workload spectrum: Erdős–Rényi (flat
+/// degrees), Barabási–Albert preferential attachment (heavy-tailed
+/// degrees, the "few hub vertices dominate" regime where streaming
+/// dominating set is easy to get wrong), and a configuration-model
+/// approximation of d-regular graphs.
+class Graph {
+ public:
+  /// An empty graph on `num_vertices` vertices.
+  explicit Graph(uint32_t num_vertices);
+
+  /// G(n, p): every unordered pair independently with probability p.
+  static Graph ErdosRenyi(uint32_t num_vertices, double edge_probability,
+                          Rng& rng);
+
+  /// Barabási–Albert preferential attachment: vertices arrive one at a
+  /// time and connect to `attach` existing vertices chosen with
+  /// probability proportional to degree (+1 smoothing).
+  static Graph BarabasiAlbert(uint32_t num_vertices, uint32_t attach,
+                              Rng& rng);
+
+  /// Configuration-model d-regular-ish graph: d stubs per vertex paired
+  /// uniformly; self-loops and duplicate edges are dropped, so degrees
+  /// are ≤ d and concentrate near d.
+  static Graph RandomRegular(uint32_t num_vertices, uint32_t degree,
+                             Rng& rng);
+
+  uint32_t NumVertices() const {
+    return static_cast<uint32_t>(adjacency_.size());
+  }
+  size_t NumEdges() const { return num_edges_; }
+
+  /// Neighbors of v, sorted ascending, without v itself.
+  std::span<const uint32_t> Neighbors(uint32_t v) const {
+    return {adjacency_[v].data(), adjacency_[v].size()};
+  }
+
+  /// Adds the undirected edge {a, b}; ignores self-loops and
+  /// duplicates. Call Finish() before reading neighbors.
+  void AddEdge(uint32_t a, uint32_t b);
+
+  /// Sorts and deduplicates adjacency lists; recomputes the edge count.
+  void Finish();
+
+  /// The Dominating Set instance: element u covered by set v iff
+  /// u ∈ N[v]. A set cover of it is exactly a dominating set.
+  SetCoverInstance ToDominatingSetInstance() const;
+
+  /// True iff `vertices` dominates the graph (every vertex is in the
+  /// set or adjacent to one).
+  bool IsDominatingSet(const std::vector<uint32_t>& vertices) const;
+
+ private:
+  std::vector<std::vector<uint32_t>> adjacency_;
+  size_t num_edges_ = 0;
+  bool finished_ = true;
+};
+
+}  // namespace setcover
+
+#endif  // SETCOVER_GRAPH_GRAPH_H_

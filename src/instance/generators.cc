@@ -1,0 +1,179 @@
+#include "instance/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+#include <vector>
+
+namespace setcover {
+namespace {
+
+void CheckPositive(uint32_t n, uint32_t m, const char* who) {
+  if (n == 0 || m == 0) {
+    std::fprintf(stderr, "%s: need num_elements > 0 and num_sets > 0\n", who);
+    std::abort();
+  }
+}
+
+// Ensures feasibility by adding each element of degree zero to a
+// uniformly random set.
+void PatchFeasibility(uint32_t num_elements,
+                      std::vector<std::vector<ElementId>>& sets, Rng& rng) {
+  std::vector<bool> covered(num_elements, false);
+  for (const auto& set : sets) {
+    for (ElementId u : set) covered[u] = true;
+  }
+  for (ElementId u = 0; u < num_elements; ++u) {
+    if (!covered[u]) {
+      sets[rng.UniformInt(sets.size())].push_back(u);
+    }
+  }
+}
+
+}  // namespace
+
+SetCoverInstance GenerateUniformRandom(const UniformRandomParams& params,
+                                       Rng& rng) {
+  CheckPositive(params.num_elements, params.num_sets,
+                "GenerateUniformRandom");
+  std::vector<std::vector<ElementId>> sets(params.num_sets);
+  uint32_t lo = std::max<uint32_t>(1, params.min_set_size);
+  uint32_t hi = std::min(params.num_elements,
+                         std::max(lo, params.max_set_size));
+  for (auto& set : sets) {
+    uint32_t k = static_cast<uint32_t>(rng.UniformRange(lo, hi));
+    set = rng.RandomSubset(params.num_elements, k);
+  }
+  PatchFeasibility(params.num_elements, sets, rng);
+  return SetCoverInstance::FromSets(params.num_elements, std::move(sets));
+}
+
+SetCoverInstance GeneratePlantedCover(const PlantedCoverParams& params,
+                                      Rng& rng) {
+  CheckPositive(params.num_elements, params.num_sets,
+                "GeneratePlantedCover");
+  uint32_t opt = std::min(params.planted_cover_size, params.num_elements);
+  opt = std::max<uint32_t>(1, std::min(opt, params.num_sets));
+
+  // Random permutation of the universe, chopped into `opt` blocks.
+  std::vector<ElementId> perm(params.num_elements);
+  std::iota(perm.begin(), perm.end(), 0);
+  rng.Shuffle(perm);
+
+  std::vector<std::vector<ElementId>> sets(params.num_sets);
+  std::vector<SetId> ids(params.num_sets);
+  std::iota(ids.begin(), ids.end(), 0);
+  rng.Shuffle(ids);  // ids[0..opt) are the planted set positions
+
+  std::vector<SetId> planted(ids.begin(), ids.begin() + opt);
+  size_t begin = 0;
+  for (uint32_t b = 0; b < opt; ++b) {
+    size_t end = static_cast<size_t>(params.num_elements) * (b + 1) / opt;
+    sets[planted[b]].assign(perm.begin() + begin, perm.begin() + end);
+    begin = end;
+  }
+
+  uint32_t lo = std::max<uint32_t>(1, params.decoy_min_size);
+  uint32_t hi = std::min(params.num_elements,
+                         std::max(lo, params.decoy_max_size));
+  for (uint32_t i = opt; i < params.num_sets; ++i) {
+    uint32_t k = static_cast<uint32_t>(rng.UniformRange(lo, hi));
+    sets[ids[i]] = rng.RandomSubset(params.num_elements, k);
+  }
+
+  SetCoverInstance inst =
+      SetCoverInstance::FromSets(params.num_elements, std::move(sets));
+  std::sort(planted.begin(), planted.end());
+  inst.SetPlantedCover(std::move(planted));
+  return inst;
+}
+
+SetCoverInstance GenerateZipf(const ZipfParams& params, Rng& rng) {
+  CheckPositive(params.num_elements, params.num_sets, "GenerateZipf");
+  // Cumulative Zipf weights over elements for inverse-CDF sampling.
+  std::vector<double> cdf(params.num_elements);
+  double total = 0.0;
+  for (uint32_t u = 0; u < params.num_elements; ++u) {
+    total += 1.0 / std::pow(static_cast<double>(u + 1), params.exponent);
+    cdf[u] = total;
+  }
+  auto sample_element = [&]() -> ElementId {
+    double x = rng.UniformDouble() * total;
+    return static_cast<ElementId>(
+        std::lower_bound(cdf.begin(), cdf.end(), x) - cdf.begin());
+  };
+
+  uint32_t lo = std::max<uint32_t>(1, params.min_set_size);
+  uint32_t hi = std::min(params.num_elements,
+                         std::max(lo, params.max_set_size));
+  std::vector<std::vector<ElementId>> sets(params.num_sets);
+  for (auto& set : sets) {
+    uint32_t k = static_cast<uint32_t>(rng.UniformRange(lo, hi));
+    set.reserve(k);
+    // Sample with retries so sets reach their target size despite the
+    // skew causing repeated draws of popular elements.
+    for (uint32_t tries = 0; set.size() < k && tries < 16 * k; ++tries) {
+      ElementId u = sample_element();
+      if (std::find(set.begin(), set.end(), u) == set.end())
+        set.push_back(u);
+    }
+  }
+  PatchFeasibility(params.num_elements, sets, rng);
+  return SetCoverInstance::FromSets(params.num_elements, std::move(sets));
+}
+
+SetCoverInstance GenerateDominatingSet(uint32_t num_vertices,
+                                       double edge_probability, Rng& rng) {
+  CheckPositive(num_vertices, num_vertices, "GenerateDominatingSet");
+  std::vector<std::vector<ElementId>> closed_nbhd(num_vertices);
+  for (uint32_t v = 0; v < num_vertices; ++v) closed_nbhd[v].push_back(v);
+  for (uint32_t v = 0; v < num_vertices; ++v) {
+    for (uint32_t w = v + 1; w < num_vertices; ++w) {
+      if (rng.Bernoulli(edge_probability)) {
+        closed_nbhd[v].push_back(w);
+        closed_nbhd[w].push_back(v);
+      }
+    }
+  }
+  return SetCoverInstance::FromSets(num_vertices, std::move(closed_nbhd));
+}
+
+SetCoverInstance GeneratePartition(uint32_t num_elements,
+                                   uint32_t num_sets) {
+  CheckPositive(num_elements, num_sets, "GeneratePartition");
+  uint32_t blocks = std::min(num_sets, num_elements);
+  std::vector<std::vector<ElementId>> sets(num_sets);
+  for (uint32_t b = 0; b < blocks; ++b) {
+    size_t begin = static_cast<size_t>(num_elements) * b / blocks;
+    size_t end = static_cast<size_t>(num_elements) * (b + 1) / blocks;
+    for (size_t u = begin; u < end; ++u)
+      sets[b].push_back(static_cast<ElementId>(u));
+  }
+  // Any sets beyond `blocks` are duplicates of block 0 so the instance
+  // has exactly `num_sets` sets and stays feasible.
+  for (uint32_t s = blocks; s < num_sets; ++s) sets[s] = sets[0];
+  return SetCoverInstance::FromSets(num_elements, std::move(sets));
+}
+
+SetCoverInstance GenerateLogUniform(const LogUniformParams& params,
+                                    Rng& rng) {
+  CheckPositive(params.num_elements, params.num_sets, "GenerateLogUniform");
+  const uint32_t cap = params.max_set_size != 0
+                           ? std::min(params.max_set_size,
+                                      params.num_elements)
+                           : params.num_elements;
+  const double max_exp = std::log2(std::max(2.0, double(cap)));
+  std::vector<std::vector<ElementId>> sets(params.num_sets);
+  for (auto& set : sets) {
+    double e = rng.UniformDouble() * max_exp;
+    uint32_t size = std::max<uint32_t>(
+        1, static_cast<uint32_t>(std::lround(std::pow(2.0, e))));
+    set = rng.RandomSubset(params.num_elements, std::min(size, cap));
+  }
+  PatchFeasibility(params.num_elements, sets, rng);
+  return SetCoverInstance::FromSets(params.num_elements, std::move(sets));
+}
+
+}  // namespace setcover

@@ -1,0 +1,91 @@
+#ifndef SETCOVER_INSTANCE_GENERATORS_H_
+#define SETCOVER_INSTANCE_GENERATORS_H_
+
+#include <cstdint>
+
+#include "instance/instance.h"
+#include "util/rng.h"
+
+namespace setcover {
+
+/// Parameters for the uniform random instance family: each set is a
+/// uniformly random subset whose size is uniform in
+/// [min_set_size, max_set_size]. Feasibility is enforced afterwards by
+/// inserting each uncovered element into a random set.
+struct UniformRandomParams {
+  uint32_t num_elements = 0;
+  uint32_t num_sets = 0;
+  uint32_t min_set_size = 1;
+  uint32_t max_set_size = 8;
+};
+
+/// Generates a uniform random instance. No planted cover is recorded.
+SetCoverInstance GenerateUniformRandom(const UniformRandomParams& params,
+                                       Rng& rng);
+
+/// Parameters for the planted-cover family used by most benchmarks.
+///
+/// The universe is partitioned into `planted_cover_size` near-equal
+/// blocks, one per planted set, so the planted cover is feasible and
+/// OPT <= planted_cover_size (and, because the decoys below are small,
+/// OPT is close to it). The remaining sets are "decoys": uniformly
+/// random subsets of size uniform in [decoy_min_size, decoy_max_size].
+/// This is the natural hard-but-known-OPT workload for streaming set
+/// cover: a few large useful sets hidden among many small distractors,
+/// the regime where the paper's Õ(√n)-approximation guarantees bite.
+struct PlantedCoverParams {
+  uint32_t num_elements = 0;
+  uint32_t num_sets = 0;          // total, including planted sets
+  uint32_t planted_cover_size = 4;
+  uint32_t decoy_min_size = 1;
+  uint32_t decoy_max_size = 8;
+};
+
+/// Generates a planted-cover instance; the planted cover is recorded on
+/// the instance (`PlantedCover()`), with set ids shuffled so planted sets
+/// are not identifiable by position.
+SetCoverInstance GeneratePlantedCover(const PlantedCoverParams& params,
+                                      Rng& rng);
+
+/// Parameters for the Zipf-degree family: element popularity follows a
+/// power law with the given exponent, so a few elements appear in many
+/// sets — the skew typical of the web-scale coverage workloads the paper
+/// cites (blog-watch [22], web-scale set cover [23]).
+struct ZipfParams {
+  uint32_t num_elements = 0;
+  uint32_t num_sets = 0;
+  uint32_t min_set_size = 1;
+  uint32_t max_set_size = 16;
+  double exponent = 1.0;
+};
+
+/// Generates a Zipf-skewed instance (feasibility enforced by patching).
+SetCoverInstance GenerateZipf(const ZipfParams& params, Rng& rng);
+
+/// Builds the Dominating Set instance of an Erdős–Rényi graph G(n, p):
+/// sets are closed neighborhoods N[v], so m = n and a set cover is
+/// exactly a dominating set. This is the m = n special case through
+/// which the KK algorithm (Theorem 1) was originally derived.
+SetCoverInstance GenerateDominatingSet(uint32_t num_vertices,
+                                       double edge_probability, Rng& rng);
+
+/// Builds an instance whose sets partition the universe into `num_sets`
+/// equal blocks (OPT = num_sets exactly). Deterministic; used in tests.
+SetCoverInstance GeneratePartition(uint32_t num_elements, uint32_t num_sets);
+
+/// Generates sets with log-uniform sizes (2^U(0..log₂ max_set_size)),
+/// so every degree scale is represented — the workload for experiments
+/// about degree *spectra*, e.g. the KK level-decay law (bench_levels).
+/// `max_set_size` = 0 means use num_elements. Feasibility is enforced
+/// by patching.
+struct LogUniformParams {
+  uint32_t num_elements = 0;
+  uint32_t num_sets = 0;
+  uint32_t max_set_size = 0;
+};
+SetCoverInstance GenerateLogUniform(const LogUniformParams& params,
+                                    Rng& rng);
+
+}  // namespace setcover
+
+#endif  // SETCOVER_INSTANCE_GENERATORS_H_

@@ -1,0 +1,71 @@
+#include "instance/hard_instance.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/bitset.h"
+#include "util/math.h"
+
+namespace setcover {
+
+Lemma1Family Lemma1Family::Build(uint32_t n, uint32_t t, uint32_t m,
+                                 Rng& rng) {
+  if (t == 0 || t > n || m == 0) {
+    std::fprintf(stderr, "Lemma1Family: need 1 <= t <= n, m >= 1\n");
+    std::abort();
+  }
+  Lemma1Family fam;
+  fam.n_ = n;
+  fam.t_ = t;
+  fam.m_ = m;
+  fam.part_size_ = std::max<uint32_t>(1, static_cast<uint32_t>(ISqrt(n / t)));
+  // The full set must fit in the universe.
+  while (fam.part_size_ > 1 &&
+         static_cast<uint64_t>(fam.part_size_) * t > n) {
+    --fam.part_size_;
+  }
+  if (static_cast<uint64_t>(fam.part_size_) * t > n) {
+    std::fprintf(stderr, "Lemma1Family: t=%u too large for n=%u\n", t, n);
+    std::abort();
+  }
+  const uint32_t s = fam.part_size_ * t;
+  fam.storage_.resize(m);
+  for (uint32_t i = 0; i < m; ++i) {
+    // Random s-subset of [n], then a random partition = random order.
+    fam.storage_[i] = rng.RandomSubset(n, s);
+    rng.Shuffle(fam.storage_[i]);
+  }
+  return fam;
+}
+
+uint32_t Lemma1Family::MaxCrossIntersection() const {
+  uint32_t worst = 0;
+  DynamicBitset member(n_);
+  for (uint32_t j = 0; j < m_; ++j) {
+    for (ElementId u : storage_[j]) member.Set(u);
+    for (uint32_t i = 0; i < m_; ++i) {
+      if (i == j) continue;
+      for (uint32_t r = 0; r < t_; ++r) {
+        uint32_t hits = 0;
+        for (ElementId u : Part(i, r)) hits += member.Test(u) ? 1 : 0;
+        worst = std::max(worst, hits);
+      }
+    }
+    for (ElementId u : storage_[j]) member.Reset(u);
+  }
+  return worst;
+}
+
+std::vector<ElementId> Lemma1Family::Complement(uint32_t i) const {
+  DynamicBitset member(n_);
+  for (ElementId u : storage_[i]) member.Set(u);
+  std::vector<ElementId> out;
+  out.reserve(n_ - storage_[i].size());
+  for (ElementId u = 0; u < n_; ++u) {
+    if (!member.Test(u)) out.push_back(u);
+  }
+  return out;
+}
+
+}  // namespace setcover

@@ -1,0 +1,74 @@
+#ifndef SETCOVER_INSTANCE_HARD_INSTANCE_H_
+#define SETCOVER_INSTANCE_HARD_INSTANCE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "instance/instance.h"
+#include "util/rng.h"
+
+namespace setcover {
+
+/// The random set family of Lemma 1, the combinatorial core of the
+/// Theorem 2 lower bound.
+///
+/// A family T_1, ..., T_m ⊆ [n], each of size s ≈ √(n·t), together with a
+/// partition of each T_i into t parts T_i^1 ∪̇ ... ∪̇ T_i^t of size s/t
+/// each, such that cross intersections |T_i^r ∩ T_j| (i ≠ j) are
+/// O(log n). Lemma 1 proves such a family exists via the probabilistic
+/// method; `BuildLemma1Family` constructs it the same way (random sets,
+/// random partitions) and the tests verify the intersection bound holds.
+///
+/// To keep part sizes integral on arbitrary (n, t) we take
+/// part_size = max(1, floor(√(n/t))) and s = t · part_size, which matches
+/// the lemma's s = √(n·t) up to rounding.
+class Lemma1Family {
+ public:
+  /// Builds the family with fresh randomness. Requires 1 <= t <= n and
+  /// m >= 1.
+  static Lemma1Family Build(uint32_t n, uint32_t t, uint32_t m, Rng& rng);
+
+  uint32_t n() const { return n_; }
+  uint32_t t() const { return t_; }
+  uint32_t m() const { return m_; }
+
+  /// s = |T_i|, the full set size.
+  uint32_t SetSize() const { return t_ * part_size_; }
+
+  /// s/t = |T_i^r|, the per-party part size.
+  uint32_t PartSize() const { return part_size_; }
+
+  /// The elements of T_i (all t parts concatenated; the first
+  /// `PartSize()` entries are part 1, and so on).
+  std::span<const ElementId> FullSet(uint32_t i) const {
+    return {storage_[i].data(), storage_[i].size()};
+  }
+
+  /// The elements of part T_i^r, r in [0, t).
+  std::span<const ElementId> Part(uint32_t i, uint32_t r) const {
+    return {storage_[i].data() + static_cast<size_t>(r) * part_size_,
+            part_size_};
+  }
+
+  /// max over all i != j and all r of |T_i^r ∩ T_j|. Lemma 1: this is
+  /// O(log n) with high probability. O(m² t · s/t) time — use on
+  /// test-sized families only.
+  uint32_t MaxCrossIntersection() const;
+
+  /// The complement [n] \ T_i, used by the last party's forked runs in
+  /// the Theorem 2 reduction.
+  std::vector<ElementId> Complement(uint32_t i) const;
+
+ private:
+  uint32_t n_ = 0;
+  uint32_t t_ = 0;
+  uint32_t m_ = 0;
+  uint32_t part_size_ = 0;
+  // storage_[i] holds T_i in partition order (NOT sorted).
+  std::vector<std::vector<ElementId>> storage_;
+};
+
+}  // namespace setcover
+
+#endif  // SETCOVER_INSTANCE_HARD_INSTANCE_H_

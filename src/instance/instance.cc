@@ -1,0 +1,51 @@
+#include "instance/instance.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace setcover {
+
+SetCoverInstance SetCoverInstance::FromSets(
+    uint32_t num_elements, std::vector<std::vector<ElementId>> sets) {
+  SetCoverInstance inst;
+  inst.num_elements_ = num_elements;
+  inst.sets_ = std::move(sets);
+  for (auto& set : inst.sets_) {
+    std::sort(set.begin(), set.end());
+    set.erase(std::unique(set.begin(), set.end()), set.end());
+    if (!set.empty() && set.back() >= num_elements) {
+      std::fprintf(stderr,
+                   "SetCoverInstance: element id %u out of range (n=%u)\n",
+                   set.back(), num_elements);
+      std::abort();
+    }
+    inst.num_edges_ += set.size();
+  }
+  return inst;
+}
+
+bool SetCoverInstance::Contains(SetId s, ElementId u) const {
+  const auto& set = sets_[s];
+  return std::binary_search(set.begin(), set.end(), u);
+}
+
+std::vector<uint32_t> SetCoverInstance::ElementDegrees() const {
+  std::vector<uint32_t> deg(num_elements_, 0);
+  for (const auto& set : sets_) {
+    for (ElementId u : set) ++deg[u];
+  }
+  return deg;
+}
+
+bool SetCoverInstance::IsFeasible() const {
+  std::vector<uint32_t> deg = ElementDegrees();
+  return std::all_of(deg.begin(), deg.end(),
+                     [](uint32_t d) { return d > 0; });
+}
+
+void SetCoverInstance::SetPlantedCover(std::vector<SetId> cover) {
+  planted_cover_ = std::move(cover);
+}
+
+}  // namespace setcover

@@ -1,0 +1,80 @@
+#ifndef SETCOVER_INSTANCE_INSTANCE_H_
+#define SETCOVER_INSTANCE_INSTANCE_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/types.h"
+
+namespace setcover {
+
+/// An in-memory Set Cover instance (S, U): a universe of `n` elements and
+/// a family of `m` subsets, stored as the bipartite incidence graph of
+/// paper §2 in set-major adjacency form.
+///
+/// Instances are immutable after construction. Sets are stored with
+/// sorted, de-duplicated element lists. Generators may additionally
+/// record a *planted cover* — a known feasible cover whose size upper
+/// bounds OPT — which benchmarks use as the denominator of approximation
+/// ratios.
+class SetCoverInstance {
+ public:
+  /// Builds an instance over `num_elements` elements from raw set
+  /// contents. Element lists are sorted and de-duplicated; element ids
+  /// must be < `num_elements`. Aborts on out-of-range ids.
+  static SetCoverInstance FromSets(uint32_t num_elements,
+                                   std::vector<std::vector<ElementId>> sets);
+
+  uint32_t NumSets() const { return static_cast<uint32_t>(sets_.size()); }
+  uint32_t NumElements() const { return num_elements_; }
+
+  /// Total number of (set, element) incidences = stream length N.
+  size_t NumEdges() const { return num_edges_; }
+
+  /// Elements of set `s`, sorted ascending.
+  std::span<const ElementId> Set(SetId s) const {
+    return {sets_[s].data(), sets_[s].size()};
+  }
+
+  /// True iff `u` is in set `s` (binary search, O(log |S_s|)).
+  bool Contains(SetId s, ElementId u) const;
+
+  /// Number of sets containing each element (the element degrees).
+  std::vector<uint32_t> ElementDegrees() const;
+
+  /// True iff every element is contained in at least one set. The paper
+  /// assumes feasibility throughout (§2); generators guarantee it.
+  bool IsFeasible() const;
+
+  /// A known feasible cover recorded by the generator, or empty if none.
+  /// When non-empty it is an upper bound on OPT.
+  const std::vector<SetId>& PlantedCover() const { return planted_cover_; }
+  void SetPlantedCover(std::vector<SetId> cover);
+
+ private:
+  SetCoverInstance() = default;
+
+  uint32_t num_elements_ = 0;
+  size_t num_edges_ = 0;
+  std::vector<std::vector<ElementId>> sets_;
+  std::vector<SetId> planted_cover_;
+};
+
+/// The output of a set cover algorithm: the chosen sets and the cover
+/// certificate C : U -> T required by the problem definition (§1).
+struct CoverSolution {
+  /// Chosen set ids, distinct.
+  std::vector<SetId> cover;
+
+  /// certificate[u] is a set in `cover` containing u, or kNoSet if the
+  /// algorithm failed to cover u (never happens for feasible instances
+  /// with the algorithms in this library).
+  std::vector<SetId> certificate;
+
+  size_t CoverSize() const { return cover.size(); }
+};
+
+}  // namespace setcover
+
+#endif  // SETCOVER_INSTANCE_INSTANCE_H_

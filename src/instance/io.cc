@@ -1,0 +1,83 @@
+#include "instance/io.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace setcover {
+namespace {
+
+std::optional<SetCoverInstance> Fail(std::string* error, std::string msg) {
+  if (error != nullptr) *error = std::move(msg);
+  return std::nullopt;
+}
+
+}  // namespace
+
+void WriteInstanceText(const SetCoverInstance& instance, std::ostream& os) {
+  os << "setcover " << instance.NumElements() << ' ' << instance.NumSets()
+     << '\n';
+  for (SetId s = 0; s < instance.NumSets(); ++s) {
+    auto set = instance.Set(s);
+    os << set.size();
+    for (ElementId u : set) os << ' ' << u;
+    os << '\n';
+  }
+  if (!instance.PlantedCover().empty()) {
+    os << "planted " << instance.PlantedCover().size();
+    for (SetId s : instance.PlantedCover()) os << ' ' << s;
+    os << '\n';
+  }
+}
+
+std::optional<SetCoverInstance> ReadInstanceText(std::istream& is,
+                                                 std::string* error) {
+  std::string magic;
+  uint32_t n = 0, m = 0;
+  if (!(is >> magic >> n >> m) || magic != "setcover") {
+    return Fail(error, "bad header: expected 'setcover <n> <m>'");
+  }
+  std::vector<std::vector<ElementId>> sets(m);
+  for (uint32_t s = 0; s < m; ++s) {
+    size_t k = 0;
+    if (!(is >> k)) return Fail(error, "truncated set list");
+    if (k > n) return Fail(error, "set larger than universe");
+    sets[s].resize(k);
+    for (size_t i = 0; i < k; ++i) {
+      if (!(is >> sets[s][i])) return Fail(error, "truncated set contents");
+      if (sets[s][i] >= n) return Fail(error, "element id out of range");
+    }
+  }
+  SetCoverInstance inst = SetCoverInstance::FromSets(n, std::move(sets));
+  std::string tag;
+  if (is >> tag) {
+    if (tag != "planted") return Fail(error, "unexpected trailer: " + tag);
+    size_t k = 0;
+    if (!(is >> k)) return Fail(error, "truncated planted cover");
+    std::vector<SetId> planted(k);
+    for (size_t i = 0; i < k; ++i) {
+      if (!(is >> planted[i]) || planted[i] >= m) {
+        return Fail(error, "bad planted cover entry");
+      }
+    }
+    inst.SetPlantedCover(std::move(planted));
+  }
+  return inst;
+}
+
+bool WriteInstanceFile(const SetCoverInstance& instance,
+                       const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return false;
+  WriteInstanceText(instance, os);
+  return static_cast<bool>(os);
+}
+
+std::optional<SetCoverInstance> ReadInstanceFile(const std::string& path,
+                                                 std::string* error) {
+  std::ifstream is(path);
+  if (!is) return Fail(error, "cannot open " + path);
+  return ReadInstanceText(is, error);
+}
+
+}  // namespace setcover

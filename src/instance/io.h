@@ -1,0 +1,35 @@
+#ifndef SETCOVER_INSTANCE_IO_H_
+#define SETCOVER_INSTANCE_IO_H_
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "instance/instance.h"
+
+namespace setcover {
+
+/// Writes `instance` in the library's plain-text format:
+///
+///   setcover <n> <m>
+///   <k> <e1> ... <ek>          (one line per set, m lines)
+///   planted <k> <s1> ... <sk>  (only if a planted cover is recorded)
+///
+/// The format round-trips exactly (including the planted cover).
+void WriteInstanceText(const SetCoverInstance& instance, std::ostream& os);
+
+/// Parses the format above. Returns std::nullopt (with a message in
+/// *error if non-null) on malformed input.
+std::optional<SetCoverInstance> ReadInstanceText(std::istream& is,
+                                                 std::string* error);
+
+/// Convenience wrappers over file streams. `WriteInstanceFile` returns
+/// false if the file cannot be opened.
+bool WriteInstanceFile(const SetCoverInstance& instance,
+                       const std::string& path);
+std::optional<SetCoverInstance> ReadInstanceFile(const std::string& path,
+                                                 std::string* error);
+
+}  // namespace setcover
+
+#endif  // SETCOVER_INSTANCE_IO_H_

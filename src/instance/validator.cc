@@ -1,0 +1,63 @@
+#include "instance/validator.h"
+
+#include <cstdio>
+#include <limits>
+#include <unordered_set>
+
+namespace setcover {
+
+ValidationResult ValidateSolution(const SetCoverInstance& instance,
+                                  const CoverSolution& solution) {
+  char buf[160];
+  std::unordered_set<SetId> in_cover;
+  in_cover.reserve(solution.cover.size() * 2);
+  for (SetId s : solution.cover) {
+    if (s >= instance.NumSets()) {
+      std::snprintf(buf, sizeof(buf), "cover contains out-of-range set %u",
+                    s);
+      return {false, buf};
+    }
+    if (!in_cover.insert(s).second) {
+      std::snprintf(buf, sizeof(buf), "cover contains duplicate set %u", s);
+      return {false, buf};
+    }
+  }
+  if (solution.certificate.size() != instance.NumElements()) {
+    std::snprintf(buf, sizeof(buf),
+                  "certificate has %zu entries, expected %u",
+                  solution.certificate.size(), instance.NumElements());
+    return {false, buf};
+  }
+  for (ElementId u = 0; u < instance.NumElements(); ++u) {
+    SetId s = solution.certificate[u];
+    if (s == kNoSet) {
+      std::snprintf(buf, sizeof(buf), "element %u has no certificate", u);
+      return {false, buf};
+    }
+    if (s >= instance.NumSets()) {
+      std::snprintf(buf, sizeof(buf),
+                    "certificate of element %u names invalid set %u", u, s);
+      return {false, buf};
+    }
+    if (in_cover.find(s) == in_cover.end()) {
+      std::snprintf(buf, sizeof(buf),
+                    "certificate of element %u names set %u not in cover",
+                    u, s);
+      return {false, buf};
+    }
+    if (!instance.Contains(s, u)) {
+      std::snprintf(buf, sizeof(buf),
+                    "certificate set %u does not contain element %u", s, u);
+      return {false, buf};
+    }
+  }
+  return {true, ""};
+}
+
+double ApproxRatio(const CoverSolution& solution, size_t reference_size) {
+  if (reference_size == 0) return std::numeric_limits<double>::infinity();
+  return static_cast<double>(solution.cover.size()) /
+         static_cast<double>(reference_size);
+}
+
+}  // namespace setcover

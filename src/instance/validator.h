@@ -1,0 +1,34 @@
+#ifndef SETCOVER_INSTANCE_VALIDATOR_H_
+#define SETCOVER_INSTANCE_VALIDATOR_H_
+
+#include <string>
+
+#include "instance/instance.h"
+
+namespace setcover {
+
+/// Outcome of validating a solution against an instance. `ok` is true iff
+/// the solution is a legal cover with a legal certificate; otherwise
+/// `error` describes the first violation found.
+struct ValidationResult {
+  bool ok = false;
+  std::string error;
+};
+
+/// Checks that `solution` is a valid answer for `instance`:
+///   1. every set id in the cover is in range and appears once;
+///   2. the certificate has one entry per element;
+///   3. every certificate entry names a set that (a) is in the cover and
+///      (b) actually contains the element;
+///   4. consequently every element is covered.
+ValidationResult ValidateSolution(const SetCoverInstance& instance,
+                                  const CoverSolution& solution);
+
+/// Approximation ratio of `solution` against a reference cover size
+/// (planted cover, greedy, or exact OPT). Returns +inf if
+/// reference_size == 0.
+double ApproxRatio(const CoverSolution& solution, size_t reference_size);
+
+}  // namespace setcover
+
+#endif  // SETCOVER_INSTANCE_VALIDATOR_H_

@@ -1,0 +1,64 @@
+#include "offline/exact.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace setcover {
+
+std::optional<CoverSolution> ExactCover(const SetCoverInstance& instance,
+                                        uint32_t max_elements) {
+  const uint32_t n = instance.NumElements();
+  const uint32_t m = instance.NumSets();
+  if (n > max_elements || n > 63) return std::nullopt;
+  if (!instance.IsFeasible()) return std::nullopt;
+
+  const uint64_t full = (n == 64) ? ~uint64_t{0} : ((uint64_t{1} << n) - 1);
+  std::vector<uint64_t> set_mask(m, 0);
+  for (SetId s = 0; s < m; ++s) {
+    for (ElementId u : instance.Set(s)) set_mask[s] |= uint64_t{1} << u;
+  }
+
+  // BFS from the empty mask; parent links reconstruct one optimal cover.
+  struct Parent {
+    uint64_t prev_mask;
+    SetId via_set;
+  };
+  std::unordered_map<uint64_t, Parent> parent;
+  parent.reserve(1024);
+  std::vector<uint64_t> frontier = {0};
+  parent[0] = {0, kNoSet};
+
+  while (!frontier.empty()) {
+    std::vector<uint64_t> next;
+    for (uint64_t mask : frontier) {
+      for (SetId s = 0; s < m; ++s) {
+        uint64_t nm = mask | set_mask[s];
+        if (nm == mask) continue;
+        if (parent.emplace(nm, Parent{mask, s}).second) {
+          if (nm == full) {
+            // Reconstruct the cover along parent links.
+            CoverSolution solution;
+            solution.certificate.assign(n, kNoSet);
+            uint64_t cur = full;
+            while (cur != 0) {
+              const Parent& p = parent[cur];
+              solution.cover.push_back(p.via_set);
+              uint64_t gained = cur & ~p.prev_mask;
+              for (uint32_t u = 0; u < n; ++u) {
+                if ((gained >> u) & 1) solution.certificate[u] = p.via_set;
+              }
+              cur = p.prev_mask;
+            }
+            return solution;
+          }
+          next.push_back(nm);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return std::nullopt;  // Unreachable for feasible instances.
+}
+
+}  // namespace setcover

@@ -1,0 +1,21 @@
+#ifndef SETCOVER_OFFLINE_EXACT_H_
+#define SETCOVER_OFFLINE_EXACT_H_
+
+#include <optional>
+
+#include "instance/instance.h"
+
+namespace setcover {
+
+/// Exact Set Cover by breadth-first search over covered-element bitmasks
+/// (unit edge weights, so BFS depth = cover size). Exponential in n;
+/// intended for test oracles only.
+///
+/// Returns std::nullopt if n > max_elements (default 24) or the instance
+/// is infeasible; otherwise an optimal cover with certificate.
+std::optional<CoverSolution> ExactCover(const SetCoverInstance& instance,
+                                        uint32_t max_elements = 24);
+
+}  // namespace setcover
+
+#endif  // SETCOVER_OFFLINE_EXACT_H_

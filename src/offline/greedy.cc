@@ -1,0 +1,48 @@
+#include "offline/greedy.h"
+
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "util/bitset.h"
+
+namespace setcover {
+
+CoverSolution GreedyCover(const SetCoverInstance& instance) {
+  const uint32_t n = instance.NumElements();
+  const uint32_t m = instance.NumSets();
+
+  DynamicBitset covered(n);
+  CoverSolution solution;
+  solution.certificate.assign(n, kNoSet);
+
+  // Max-heap of (stale gain, set id). Gains only decrease, so lazy
+  // re-evaluation on pop is sound.
+  using Entry = std::pair<uint32_t, SetId>;
+  std::priority_queue<Entry> heap;
+  for (SetId s = 0; s < m; ++s) {
+    uint32_t size = static_cast<uint32_t>(instance.Set(s).size());
+    if (size > 0) heap.push({size, s});
+  }
+
+  while (covered.Count() < n) {
+    if (heap.empty()) break;  // infeasible: leftover elements stay kNoSet
+    auto [stale_gain, s] = heap.top();
+    heap.pop();
+    // Refresh the gain.
+    uint32_t gain = 0;
+    for (ElementId u : instance.Set(s)) gain += covered.Test(u) ? 0 : 1;
+    if (gain == 0) continue;
+    if (!heap.empty() && gain < heap.top().first) {
+      heap.push({gain, s});  // Stale; requeue with the fresh value.
+      continue;
+    }
+    solution.cover.push_back(s);
+    for (ElementId u : instance.Set(s)) {
+      if (covered.Set(u)) solution.certificate[u] = s;
+    }
+  }
+  return solution;
+}
+
+}  // namespace setcover

@@ -1,0 +1,27 @@
+#ifndef SETCOVER_OFFLINE_GREEDY_H_
+#define SETCOVER_OFFLINE_GREEDY_H_
+
+#include "instance/instance.h"
+
+namespace setcover {
+
+/// Classic offline greedy Set Cover: repeatedly pick the set covering the
+/// most yet-uncovered elements. Guarantees a (ln n + 1)-approximation,
+/// which makes it the standard OPT proxy for large instances (the paper
+/// §1.3 notes practical systems are built on exactly this algorithm
+/// [11, 21, 23]).
+///
+/// Implemented as *lazy greedy*: a max-heap of stale gains with
+/// re-evaluation on pop. Because coverage gain is monotone decreasing, a
+/// popped entry whose refreshed gain still tops the heap is exactly the
+/// greedy choice; this is the standard accelerated implementation and
+/// returns the same cover as the textbook O(Σ|S|·rounds) version.
+///
+/// On an infeasible instance (elements in no set) the coverable part is
+/// covered and the rest keeps a kNoSet certificate — callers that need
+/// §2's feasibility assumption check it up front.
+CoverSolution GreedyCover(const SetCoverInstance& instance);
+
+}  // namespace setcover
+
+#endif  // SETCOVER_OFFLINE_GREEDY_H_

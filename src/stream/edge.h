@@ -1,0 +1,19 @@
+#ifndef SETCOVER_STREAM_EDGE_H_
+#define SETCOVER_STREAM_EDGE_H_
+
+#include "util/types.h"
+
+namespace setcover {
+
+/// One stream item: the tuple (S, u) indicating that element `u` is
+/// contained in set `S` — an edge of the bipartite incidence graph.
+struct Edge {
+  SetId set;
+  ElementId element;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+}  // namespace setcover
+
+#endif  // SETCOVER_STREAM_EDGE_H_

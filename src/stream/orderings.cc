@@ -1,0 +1,79 @@
+#include "stream/orderings.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace setcover {
+
+std::string StreamOrderName(StreamOrder order) {
+  switch (order) {
+    case StreamOrder::kRandom:
+      return "random";
+    case StreamOrder::kSetMajor:
+      return "set-major";
+    case StreamOrder::kElementMajor:
+      return "element-major";
+    case StreamOrder::kRoundRobinSets:
+      return "round-robin-sets";
+    case StreamOrder::kLargeSetsLast:
+      return "large-sets-last";
+  }
+  return "unknown";
+}
+
+EdgeStream OrderedStream(const SetCoverInstance& instance, StreamOrder order,
+                         Rng& rng) {
+  std::vector<Edge> edges = MaterializeEdges(instance);
+  switch (order) {
+    case StreamOrder::kRandom:
+      rng.Shuffle(edges);
+      break;
+    case StreamOrder::kSetMajor:
+      // MaterializeEdges is already set-major.
+      break;
+    case StreamOrder::kElementMajor:
+      std::stable_sort(edges.begin(), edges.end(),
+                       [](const Edge& a, const Edge& b) {
+                         return a.element < b.element;
+                       });
+      break;
+    case StreamOrder::kRoundRobinSets: {
+      // Emit the k-th element of every set in round k.
+      std::vector<Edge> out;
+      out.reserve(edges.size());
+      size_t max_size = 0;
+      for (SetId s = 0; s < instance.NumSets(); ++s)
+        max_size = std::max(max_size, instance.Set(s).size());
+      for (size_t k = 0; k < max_size; ++k) {
+        for (SetId s = 0; s < instance.NumSets(); ++s) {
+          auto set = instance.Set(s);
+          if (k < set.size()) out.push_back({s, set[k]});
+        }
+      }
+      edges = std::move(out);
+      break;
+    }
+    case StreamOrder::kLargeSetsLast: {
+      // Sets ordered by ascending size; edges set-major within that.
+      std::vector<SetId> ids(instance.NumSets());
+      std::iota(ids.begin(), ids.end(), 0);
+      std::stable_sort(ids.begin(), ids.end(), [&](SetId a, SetId b) {
+        return instance.Set(a).size() < instance.Set(b).size();
+      });
+      std::vector<Edge> out;
+      out.reserve(edges.size());
+      for (SetId s : ids) {
+        for (ElementId u : instance.Set(s)) out.push_back({s, u});
+      }
+      edges = std::move(out);
+      break;
+    }
+  }
+  return MakeStream(instance, std::move(edges));
+}
+
+EdgeStream RandomOrderStream(const SetCoverInstance& instance, Rng& rng) {
+  return OrderedStream(instance, StreamOrder::kRandom, rng);
+}
+
+}  // namespace setcover

@@ -1,0 +1,54 @@
+#ifndef SETCOVER_STREAM_ORDERINGS_H_
+#define SETCOVER_STREAM_ORDERINGS_H_
+
+#include <string>
+
+#include "instance/instance.h"
+#include "stream/stream.h"
+#include "util/rng.h"
+
+namespace setcover {
+
+/// Arrival-order strategies for the edge stream. The paper's two models
+/// are kRandom (Theorem 3's setting) and adversarial order (everything
+/// else); the remaining strategies are concrete adversaries that the
+/// benchmarks use to stress algorithms in the adversarial model.
+enum class StreamOrder {
+  /// Uniformly random permutation of the edges — the random-order model.
+  kRandom,
+
+  /// All edges of set 0, then all of set 1, ... (the set-arrival order;
+  /// edge-arrival algorithms must still work, set-arrival baselines
+  /// require it).
+  kSetMajor,
+
+  /// All edges of element 0, then element 1, ... — an adversary that
+  /// spreads every set maximally across the stream, defeating any
+  /// strategy that waits to see a set contiguously.
+  kElementMajor,
+
+  /// Round-robin across sets: first edge of every set, then second edge
+  /// of every set, ... — each set trickles in one element at a time.
+  kRoundRobinSets,
+
+  /// Set-major order but with large (planted) sets' edges emitted last,
+  /// so useful sets are revealed only after algorithms have committed
+  /// space to decoys.
+  kLargeSetsLast,
+};
+
+/// Human-readable name for bench output.
+std::string StreamOrderName(StreamOrder order);
+
+/// Materializes the edges of `instance` and arranges them per `order`.
+/// `rng` is used by kRandom (and to break ties deterministically
+/// elsewhere); non-random orders are deterministic given the instance.
+EdgeStream OrderedStream(const SetCoverInstance& instance, StreamOrder order,
+                         Rng& rng);
+
+/// Random-order stream (shorthand used by most call sites).
+EdgeStream RandomOrderStream(const SetCoverInstance& instance, Rng& rng);
+
+}  // namespace setcover
+
+#endif  // SETCOVER_STREAM_ORDERINGS_H_

@@ -1,0 +1,22 @@
+#include "stream/stream.h"
+
+namespace setcover {
+
+std::vector<Edge> MaterializeEdges(const SetCoverInstance& instance) {
+  std::vector<Edge> edges;
+  edges.reserve(instance.NumEdges());
+  for (SetId s = 0; s < instance.NumSets(); ++s) {
+    for (ElementId u : instance.Set(s)) edges.push_back({s, u});
+  }
+  return edges;
+}
+
+EdgeStream MakeStream(const SetCoverInstance& instance,
+                      std::vector<Edge> edges) {
+  EdgeStream stream;
+  stream.meta = {instance.NumSets(), instance.NumElements(), edges.size()};
+  stream.edges = std::move(edges);
+  return stream;
+}
+
+}  // namespace setcover

@@ -1,0 +1,102 @@
+#include "stream/stream_file.h"
+
+#include <cstring>
+
+namespace setcover {
+namespace {
+
+constexpr char kMagic[4] = {'S', 'C', 'E', 'S'};
+constexpr uint32_t kVersion = 1;
+constexpr size_t kBufferEdges = 1 << 16;
+
+bool WriteAll(std::FILE* f, const void* data, size_t bytes) {
+  return std::fwrite(data, 1, bytes, f) == bytes;
+}
+
+}  // namespace
+
+bool WriteStreamFile(const EdgeStream& stream, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  bool ok = WriteAll(f, kMagic, 4);
+  uint32_t version = kVersion;
+  uint32_t m = stream.meta.num_sets;
+  uint32_t n = stream.meta.num_elements;
+  uint64_t big_n = stream.edges.size();
+  ok = ok && WriteAll(f, &version, 4) && WriteAll(f, &m, 4) &&
+       WriteAll(f, &n, 4) && WriteAll(f, &big_n, 8);
+  // Edge is two packed u32s; write in chunks.
+  static_assert(sizeof(Edge) == 8, "Edge must pack to 8 bytes");
+  if (ok && !stream.edges.empty()) {
+    ok = WriteAll(f, stream.edges.data(),
+                  stream.edges.size() * sizeof(Edge));
+  }
+  ok = (std::fclose(f) == 0) && ok;
+  return ok;
+}
+
+std::unique_ptr<StreamFileReader> StreamFileReader::Open(
+    const std::string& path, std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  auto fail = [&](const char* msg) -> std::unique_ptr<StreamFileReader> {
+    if (error != nullptr) *error = msg;
+    if (f != nullptr) std::fclose(f);
+    return nullptr;
+  };
+  if (f == nullptr) return fail("cannot open stream file");
+  char magic[4];
+  uint32_t version = 0, m = 0, n = 0;
+  uint64_t big_n = 0;
+  if (std::fread(magic, 1, 4, f) != 4 ||
+      std::memcmp(magic, kMagic, 4) != 0) {
+    return fail("bad magic");
+  }
+  if (std::fread(&version, 4, 1, f) != 1 || version != kVersion) {
+    return fail("unsupported version");
+  }
+  if (std::fread(&m, 4, 1, f) != 1 || std::fread(&n, 4, 1, f) != 1 ||
+      std::fread(&big_n, 8, 1, f) != 1) {
+    return fail("truncated header");
+  }
+  auto reader = std::unique_ptr<StreamFileReader>(new StreamFileReader());
+  reader->file_ = f;
+  reader->meta_ = {m, n, big_n};
+  return reader;
+}
+
+StreamFileReader::~StreamFileReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+bool StreamFileReader::FillBuffer() {
+  size_t want =
+      std::min(kBufferEdges, size_t{meta_.stream_length} - edges_read_);
+  if (want == 0) return false;
+  buffer_.resize(want);
+  size_t got = std::fread(buffer_.data(), sizeof(Edge), want, file_);
+  buffer_.resize(got);
+  buffer_pos_ = 0;
+  if (got < want) truncated_ = true;
+  return got > 0;
+}
+
+bool StreamFileReader::Next(Edge* edge) {
+  if (edges_read_ >= meta_.stream_length) return false;
+  if (buffer_pos_ >= buffer_.size() && !FillBuffer()) return false;
+  *edge = buffer_[buffer_pos_++];
+  ++edges_read_;
+  return true;
+}
+
+std::optional<CoverSolution> RunStreamFromFile(
+    StreamingSetCoverAlgorithm& algorithm, const std::string& path,
+    std::string* error) {
+  auto reader = StreamFileReader::Open(path, error);
+  if (reader == nullptr) return std::nullopt;
+  algorithm.Begin(reader->Meta());
+  Edge edge;
+  while (reader->Next(&edge)) algorithm.ProcessEdge(edge);
+  return algorithm.Finalize();
+}
+
+}  // namespace setcover

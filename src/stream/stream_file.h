@@ -1,0 +1,73 @@
+#ifndef SETCOVER_STREAM_STREAM_FILE_H_
+#define SETCOVER_STREAM_STREAM_FILE_H_
+
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/streaming_algorithm.h"
+#include "stream/stream.h"
+
+namespace setcover {
+
+/// Binary on-disk edge-stream format, so streams larger than memory can
+/// be produced once and replayed through any algorithm — the operating
+/// mode an actual deployment of these one-pass algorithms would use.
+///
+/// Layout (little-endian):
+///   magic   "SCES"            (4 bytes)
+///   version u32 = 1
+///   m       u32, n u32, N u64
+///   edges   N × (set u32, element u32)
+///
+/// Writers fail (return false) on I/O errors; the reader validates the
+/// header and surfaces truncation as a shortened stream with an error
+/// flag rather than crashing.
+bool WriteStreamFile(const EdgeStream& stream, const std::string& path);
+
+/// Incremental reader: opens the file, exposes the metadata, and yields
+/// edges one at a time with an internal buffer (no full materialization).
+class StreamFileReader {
+ public:
+  /// Opens `path`. Returns nullptr (and sets *error) on a missing file
+  /// or malformed header.
+  static std::unique_ptr<StreamFileReader> Open(const std::string& path,
+                                                std::string* error);
+
+  ~StreamFileReader();
+  StreamFileReader(const StreamFileReader&) = delete;
+  StreamFileReader& operator=(const StreamFileReader&) = delete;
+
+  const StreamMetadata& Meta() const { return meta_; }
+
+  /// Reads the next edge into *edge; returns false at end of stream.
+  bool Next(Edge* edge);
+
+  /// True if the file ended before the declared N edges were read.
+  bool Truncated() const { return truncated_; }
+
+  /// Edges returned so far.
+  size_t EdgesRead() const { return edges_read_; }
+
+ private:
+  StreamFileReader() = default;
+  bool FillBuffer();
+
+  std::FILE* file_ = nullptr;
+  StreamMetadata meta_;
+  size_t edges_read_ = 0;
+  bool truncated_ = false;
+  std::vector<Edge> buffer_;
+  size_t buffer_pos_ = 0;
+};
+
+/// Streams a whole file through `algorithm` (Begin → edges → Finalize).
+/// Returns std::nullopt (with *error) if the file cannot be opened.
+std::optional<CoverSolution> RunStreamFromFile(
+    StreamingSetCoverAlgorithm& algorithm, const std::string& path,
+    std::string* error);
+
+}  // namespace setcover
+
+#endif  // SETCOVER_STREAM_STREAM_FILE_H_

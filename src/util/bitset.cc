@@ -1,0 +1,4 @@
+#include "util/bitset.h"
+
+// DynamicBitset is header-only; this translation unit exists so the
+// header is compiled standalone at least once (self-containedness check).

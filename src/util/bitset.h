@@ -1,0 +1,75 @@
+#ifndef SETCOVER_UTIL_BITSET_H_
+#define SETCOVER_UTIL_BITSET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace setcover {
+
+/// Fixed-size dense bitset used for per-element flags (marked / covered).
+///
+/// A bitset over the universe costs n bits = n/64 words, which is within
+/// the Õ(n) budget every algorithm in the paper is allowed for element
+/// bookkeeping (Algorithm 1 lines 3-4 explicitly reserve O(n) space for
+/// marked elements).
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+
+  /// Creates a bitset of `size` bits, all clear.
+  explicit DynamicBitset(size_t size)
+      : size_(size), words_((size + 63) / 64, 0) {}
+
+  size_t size() const { return size_; }
+
+  /// Sets bit `i`. Returns true if the bit was previously clear.
+  bool Set(size_t i) {
+    uint64_t& w = words_[i >> 6];
+    uint64_t mask = uint64_t{1} << (i & 63);
+    bool was_clear = (w & mask) == 0;
+    w |= mask;
+    count_ += was_clear ? 1 : 0;
+    return was_clear;
+  }
+
+  /// Clears bit `i`.
+  void Reset(size_t i) {
+    uint64_t& w = words_[i >> 6];
+    uint64_t mask = uint64_t{1} << (i & 63);
+    count_ -= (w & mask) != 0 ? 1 : 0;
+    w &= ~mask;
+  }
+
+  /// Tests bit `i`.
+  bool Test(size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  /// Number of set bits (maintained incrementally, O(1)).
+  size_t Count() const { return count_; }
+
+  /// True iff every bit is set.
+  bool All() const { return count_ == size_; }
+
+  /// True iff no bit is set.
+  bool None() const { return count_ == 0; }
+
+  /// Clears all bits.
+  void Clear() {
+    std::fill(words_.begin(), words_.end(), 0);
+    count_ = 0;
+  }
+
+  /// Storage footprint in 64-bit words, for memory metering.
+  size_t WordsUsed() const { return words_.size(); }
+
+ private:
+  size_t size_ = 0;
+  size_t count_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace setcover
+
+#endif  // SETCOVER_UTIL_BITSET_H_

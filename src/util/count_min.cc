@@ -1,0 +1,63 @@
+#include "util/count_min.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace setcover {
+namespace {
+
+uint64_t MixHash(uint64_t key, uint64_t seed) {
+  uint64_t x = key ^ seed;
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+CountMinSketch::CountMinSketch(size_t width, size_t depth, uint64_t seed)
+    : width_(std::max<size_t>(1, width)),
+      depth_(std::max<size_t>(1, depth)),
+      cells_(std::max<size_t>(1, width) * std::max<size_t>(1, depth), 0) {
+  Rng rng(seed);
+  row_seeds_.reserve(depth_);
+  for (size_t r = 0; r < depth_; ++r) row_seeds_.push_back(rng.Next64());
+}
+
+CountMinSketch CountMinSketch::WithGuarantees(double epsilon, double delta,
+                                              uint64_t seed) {
+  size_t width = static_cast<size_t>(
+      std::ceil(std::exp(1.0) / std::max(1e-9, epsilon)));
+  size_t depth = static_cast<size_t>(
+      std::ceil(std::log(1.0 / std::clamp(delta, 1e-12, 0.5))));
+  return CountMinSketch(width, depth, seed);
+}
+
+size_t CountMinSketch::CellIndex(size_t row, uint64_t key) const {
+  return row * width_ + MixHash(key, row_seeds_[row]) % width_;
+}
+
+void CountMinSketch::Add(uint64_t key, uint64_t count) {
+  for (size_t r = 0; r < depth_; ++r) cells_[CellIndex(r, key)] += count;
+  total_ += count;
+}
+
+uint64_t CountMinSketch::Estimate(uint64_t key) const {
+  uint64_t best = ~uint64_t{0};
+  for (size_t r = 0; r < depth_; ++r) {
+    best = std::min(best, cells_[CellIndex(r, key)]);
+  }
+  return best;
+}
+
+void CountMinSketch::Clear() {
+  std::fill(cells_.begin(), cells_.end(), 0);
+  total_ = 0;
+}
+
+}  // namespace setcover

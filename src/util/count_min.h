@@ -1,0 +1,61 @@
+#ifndef SETCOVER_UTIL_COUNT_MIN_H_
+#define SETCOVER_UTIL_COUNT_MIN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace setcover {
+
+/// Count-Min sketch (Cormode & Muthukrishnan): approximate frequency
+/// counting in sublinear space, with one-sided error — estimates never
+/// undercount and overcount by at most ε·(total insertions) with
+/// probability 1 − δ for width ≥ e/ε, depth ≥ ln(1/δ).
+///
+/// Used as the space-frugal alternative to Algorithm 1's epoch-0
+/// per-element degree counters (RandomOrderParams::use_sketch_epoch0):
+/// heavy-element detection only needs counts far above a threshold, so
+/// a sketch of Õ(N·√n/m) cells replaces the n-word exact array. The
+/// one-sided error direction is harmless there — overcounts can only
+/// cause extra optimistic marking, which patching repairs.
+class CountMinSketch {
+ public:
+  /// Explicit geometry: `width` counters per row, `depth` rows.
+  CountMinSketch(size_t width, size_t depth, uint64_t seed);
+
+  /// Geometry from accuracy targets: error ≤ epsilon·total with
+  /// probability ≥ 1 − delta.
+  static CountMinSketch WithGuarantees(double epsilon, double delta,
+                                       uint64_t seed);
+
+  /// Adds `count` occurrences of `key`.
+  void Add(uint64_t key, uint64_t count = 1);
+
+  /// Upper-biased point estimate of key's count (min over rows).
+  uint64_t Estimate(uint64_t key) const;
+
+  /// Total insertions so far (the ε-error reference).
+  uint64_t TotalCount() const { return total_; }
+
+  size_t Width() const { return width_; }
+  size_t Depth() const { return depth_; }
+
+  /// Storage footprint in 64-bit words.
+  size_t WordsUsed() const { return cells_.size() + depth_; }
+
+  /// Zeroes all counters.
+  void Clear();
+
+ private:
+  size_t CellIndex(size_t row, uint64_t key) const;
+
+  size_t width_;
+  size_t depth_;
+  uint64_t total_ = 0;
+  std::vector<uint64_t> row_seeds_;
+  std::vector<uint64_t> cells_;  // depth_ rows of width_ counters
+};
+
+}  // namespace setcover
+
+#endif  // SETCOVER_UTIL_COUNT_MIN_H_

@@ -1,0 +1,72 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+
+namespace setcover {
+
+FlagSet FlagSet::Parse(int argc, char** argv) {
+  FlagSet flags;
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      flags.positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags.values_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // `--key value` unless the next token is another flag.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags.values_[body] = argv[++i];
+    } else {
+      flags.values_[body] = "true";
+    }
+  }
+  return flags;
+}
+
+bool FlagSet::Has(const std::string& key) const {
+  touched_[key] = true;
+  return values_.count(key) != 0;
+}
+
+std::string FlagSet::GetString(const std::string& key,
+                               const std::string& fallback) const {
+  touched_[key] = true;
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+int64_t FlagSet::GetInt(const std::string& key, int64_t fallback) const {
+  touched_[key] = true;
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback
+                             : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double FlagSet::GetDouble(const std::string& key, double fallback) const {
+  touched_[key] = true;
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback
+                             : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool FlagSet::GetBool(const std::string& key, bool fallback) const {
+  touched_[key] = true;
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::vector<std::string> FlagSet::UnusedKeys() const {
+  std::vector<std::string> unused;
+  for (const auto& [key, value] : values_) {
+    if (touched_.find(key) == touched_.end()) unused.push_back(key);
+  }
+  return unused;
+}
+
+}  // namespace setcover

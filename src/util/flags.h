@@ -1,0 +1,43 @@
+#ifndef SETCOVER_UTIL_FLAGS_H_
+#define SETCOVER_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace setcover {
+
+/// Minimal command-line flag parser for the CLI tools: accepts
+/// `--key=value` and `--key value` pairs plus bare positional
+/// arguments; typed getters fall back to defaults.
+class FlagSet {
+ public:
+  /// Parses argv (excluding argv[0]). A `--key` with no following value
+  /// (or followed by another flag) is treated as boolean "true".
+  static FlagSet Parse(int argc, char** argv);
+
+  bool Has(const std::string& key) const;
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const;
+  int64_t GetInt(const std::string& key, int64_t fallback) const;
+  double GetDouble(const std::string& key, double fallback) const;
+  bool GetBool(const std::string& key, bool fallback) const;
+
+  /// Arguments that were not `--flags`, in order.
+  const std::vector<std::string>& Positional() const {
+    return positional_;
+  }
+
+  /// Keys the program never looked up — typo detection for the CLI.
+  std::vector<std::string> UnusedKeys() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+  mutable std::map<std::string, bool> touched_;
+};
+
+}  // namespace setcover
+
+#endif  // SETCOVER_UTIL_FLAGS_H_

@@ -1,0 +1,47 @@
+#include "util/kmv.h"
+
+#include <algorithm>
+
+namespace setcover {
+namespace {
+
+uint64_t MixHash(uint64_t key, uint64_t seed) {
+  uint64_t x = key + 0x9e3779b97f4a7c15ULL * (seed | 1);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+KmvSketch::KmvSketch(size_t k, uint64_t seed)
+    : k_(std::max<size_t>(1, k)), seed_(seed) {}
+
+void KmvSketch::Add(uint64_t key) {
+  uint64_t h = MixHash(key, seed_);
+  if (seen_.count(h) != 0) return;
+  if (heap_.size() < k_) {
+    heap_.push(h);
+    seen_.insert(h);
+    return;
+  }
+  if (h < heap_.top()) {
+    seen_.erase(heap_.top());
+    heap_.pop();
+    heap_.push(h);
+    seen_.insert(h);
+  }
+}
+
+double KmvSketch::EstimateDistinct() const {
+  if (heap_.size() < k_) return double(heap_.size());
+  // kth smallest hash as a fraction of the hash space.
+  double fraction = double(heap_.top()) / double(~uint64_t{0});
+  if (fraction <= 0.0) return double(k_);
+  return double(k_ - 1) / fraction;
+}
+
+}  // namespace setcover

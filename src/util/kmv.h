@@ -1,0 +1,47 @@
+#ifndef SETCOVER_UTIL_KMV_H_
+#define SETCOVER_UTIL_KMV_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace setcover {
+
+/// KMV ("k minimum values") distinct-count sketch: tracks the k
+/// smallest hash values seen; the number of distinct keys is estimated
+/// as (k − 1) / max_kth_fraction with relative error O(1/√k).
+///
+/// The library uses it to cross-check stream statistics cheaply (e.g.
+/// distinct elements touched during an epoch) in tests and benches
+/// without Õ(n) tallies.
+class KmvSketch {
+ public:
+  explicit KmvSketch(size_t k, uint64_t seed);
+
+  /// Observes `key` (duplicates are fine — distinct hashes are kept).
+  void Add(uint64_t key);
+
+  /// Estimated number of distinct keys observed.
+  double EstimateDistinct() const;
+
+  /// Exact count while fewer than k distinct keys have been seen
+  /// (the estimate is exact in that regime).
+  size_t HeapSize() const { return heap_.size(); }
+
+  size_t k() const { return k_; }
+
+  /// Storage footprint in 64-bit words (~2k for heap + dedup set).
+  size_t WordsUsed() const { return heap_.size() + seen_.size(); }
+
+ private:
+  size_t k_;
+  uint64_t seed_;
+  std::priority_queue<uint64_t> heap_;   // k smallest hashes (max-heap)
+  std::unordered_set<uint64_t> seen_;    // hashes currently in heap_
+};
+
+}  // namespace setcover
+
+#endif  // SETCOVER_UTIL_KMV_H_

@@ -1,0 +1,36 @@
+#include "util/math.h"
+
+#include <cmath>
+
+namespace setcover {
+
+int FloorLog2(uint64_t x) { return 63 - __builtin_clzll(x); }
+
+int CeilLog2(uint64_t x) {
+  if (x <= 1) return 0;
+  return FloorLog2(x - 1) + 1;
+}
+
+uint64_t CeilDiv(uint64_t a, uint64_t b) { return (a + b - 1) / b; }
+
+uint64_t ISqrt(uint64_t x) {
+  if (x == 0) return 0;
+  uint64_t r = static_cast<uint64_t>(std::sqrt(static_cast<double>(x)));
+  // std::sqrt may be off by one ULP for large inputs; correct it using
+  // 128-bit squares so (r+1)² cannot overflow.
+  while (r > 0 && static_cast<unsigned __int128>(r) * r > x) --r;
+  while (static_cast<unsigned __int128>(r + 1) * (r + 1) <= x) ++r;
+  return r;
+}
+
+double LnAtLeast(double x, double floor_at) {
+  double v = x > 1.0 ? std::log(x) : 0.0;
+  return v < floor_at ? floor_at : v;
+}
+
+double Log2AtLeast(double x, double floor_at) {
+  double v = x > 1.0 ? std::log2(x) : 0.0;
+  return v < floor_at ? floor_at : v;
+}
+
+}  // namespace setcover

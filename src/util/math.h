@@ -1,0 +1,30 @@
+#ifndef SETCOVER_UTIL_MATH_H_
+#define SETCOVER_UTIL_MATH_H_
+
+#include <cstdint>
+
+namespace setcover {
+
+/// floor(log2(x)) for x >= 1.
+int FloorLog2(uint64_t x);
+
+/// ceil(log2(x)) for x >= 1 (CeilLog2(1) == 0).
+int CeilLog2(uint64_t x);
+
+/// ceil(a / b) for b > 0.
+uint64_t CeilDiv(uint64_t a, uint64_t b);
+
+/// floor(sqrt(x)), exact for all uint64 inputs.
+uint64_t ISqrt(uint64_t x);
+
+/// Natural log of x, with Ln(x <= 1) clamped to return at least `floor_at`
+/// (used where the paper divides by log factors that would vanish on tiny
+/// instances).
+double LnAtLeast(double x, double floor_at);
+
+/// log2(x) as a double, with the same clamping convention.
+double Log2AtLeast(double x, double floor_at);
+
+}  // namespace setcover
+
+#endif  // SETCOVER_UTIL_MATH_H_

@@ -1,0 +1,52 @@
+#include "util/memory_meter.h"
+
+#include <cstdio>
+
+namespace setcover {
+
+MemoryMeter::ComponentId MemoryMeter::Register(std::string name) {
+  names_.push_back(std::move(name));
+  sizes_.push_back(0);
+  peaks_.push_back(0);
+  return names_.size() - 1;
+}
+
+void MemoryMeter::Set(ComponentId id, size_t words) {
+  current_total_ = current_total_ - sizes_[id] + words;
+  sizes_[id] = words;
+  if (words > peaks_[id]) peaks_[id] = words;
+  if (current_total_ > peak_total_) peak_total_ = current_total_;
+}
+
+void MemoryMeter::Add(ComponentId id, size_t delta) {
+  Set(id, sizes_[id] + delta);
+}
+
+void MemoryMeter::Sub(ComponentId id, size_t delta) {
+  Set(id, sizes_[id] - delta);
+}
+
+std::string MemoryMeter::BreakdownString() const {
+  std::string out;
+  char buf[160];
+  for (size_t i = 0; i < names_.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%s%s=%zu", i == 0 ? "" : " ",
+                  names_[i].c_str(), peaks_[i]);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf), "%speak_total=%zu",
+                names_.empty() ? "" : " ", peak_total_);
+  out += buf;
+  return out;
+}
+
+void MemoryMeter::Reset() {
+  for (size_t i = 0; i < sizes_.size(); ++i) {
+    sizes_[i] = 0;
+    peaks_[i] = 0;
+  }
+  current_total_ = 0;
+  peak_total_ = 0;
+}
+
+}  // namespace setcover

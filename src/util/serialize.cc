@@ -1,0 +1,116 @@
+#include "util/serialize.h"
+
+#include <algorithm>
+
+namespace setcover {
+
+void StateEncoder::PutU32Vector(const std::vector<uint32_t>& values) {
+  words_.push_back(values.size());
+  uint64_t pending = 0;
+  bool half = false;
+  for (uint32_t v : values) {
+    if (!half) {
+      pending = v;
+      half = true;
+    } else {
+      words_.push_back(pending | (uint64_t{v} << 32));
+      half = false;
+    }
+  }
+  if (half) words_.push_back(pending);
+}
+
+void StateEncoder::PutBoolVector(const std::vector<bool>& values) {
+  words_.push_back(values.size());
+  uint64_t word = 0;
+  int bit = 0;
+  for (bool v : values) {
+    word |= uint64_t{v ? 1u : 0u} << bit;
+    if (++bit == 64) {
+      words_.push_back(word);
+      word = 0;
+      bit = 0;
+    }
+  }
+  if (bit > 0) words_.push_back(word);
+}
+
+void StateEncoder::PutSet(const std::unordered_set<uint32_t>& values) {
+  std::vector<uint32_t> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  PutU32Vector(sorted);
+}
+
+void StateEncoder::PutMap(
+    const std::unordered_map<uint32_t, uint32_t>& values) {
+  std::vector<std::pair<uint32_t, uint32_t>> sorted(values.begin(),
+                                                    values.end());
+  std::sort(sorted.begin(), sorted.end());
+  words_.push_back(sorted.size());
+  for (const auto& [k, v] : sorted) {
+    words_.push_back(uint64_t{k} | (uint64_t{v} << 32));
+  }
+}
+
+uint64_t StateDecoder::GetWord() {
+  if (position_ >= words_.size()) {
+    failed_ = true;
+    return 0;
+  }
+  return words_[position_++];
+}
+
+std::vector<uint32_t> StateDecoder::GetU32Vector() {
+  uint64_t count = GetWord();
+  std::vector<uint32_t> values;
+  if (failed_ || count > (words_.size() - position_) * 2) {
+    failed_ = true;
+    return values;
+  }
+  values.reserve(count);
+  for (uint64_t i = 0; i < count; i += 2) {
+    uint64_t word = GetWord();
+    values.push_back(static_cast<uint32_t>(word));
+    if (i + 1 < count) values.push_back(static_cast<uint32_t>(word >> 32));
+  }
+  return values;
+}
+
+std::vector<bool> StateDecoder::GetBoolVector() {
+  uint64_t count = GetWord();
+  std::vector<bool> values;
+  if (failed_ || count > (words_.size() - position_) * 64) {
+    failed_ = true;
+    return values;
+  }
+  values.reserve(count);
+  uint64_t word = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    if (i % 64 == 0) word = GetWord();
+    values.push_back((word >> (i % 64)) & 1);
+  }
+  return values;
+}
+
+std::unordered_set<uint32_t> StateDecoder::GetSet() {
+  std::vector<uint32_t> values = GetU32Vector();
+  return {values.begin(), values.end()};
+}
+
+std::unordered_map<uint32_t, uint32_t> StateDecoder::GetMap() {
+  uint64_t count = GetWord();
+  std::unordered_map<uint32_t, uint32_t> values;
+  if (failed_ || count > words_.size() - position_) {
+    failed_ = true;
+    return values;
+  }
+  values.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t word = GetWord();
+    values.emplace(static_cast<uint32_t>(word),
+                   static_cast<uint32_t>(word >> 32));
+  }
+  return values;
+}
+
+}  // namespace setcover

@@ -1,0 +1,71 @@
+#ifndef SETCOVER_UTIL_SERIALIZE_H_
+#define SETCOVER_UTIL_SERIALIZE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace setcover {
+
+/// Helpers for encoding streaming-algorithm state into flat word
+/// vectors — the literal messages forwarded between parties in the
+/// communication experiments (comm/reduction). Encoders write plain
+/// 64-bit words: a length prefix followed by payload; bit vectors are
+/// packed 64 per word.
+///
+/// The encodings are *canonical* (hash containers are sorted first), so
+/// equal states produce equal messages — the tests rely on this.
+class StateEncoder {
+ public:
+  void PutWord(uint64_t word) { words_.push_back(word); }
+
+  /// Length-prefixed raw u32 vector (two values per word).
+  void PutU32Vector(const std::vector<uint32_t>& values);
+
+  /// Length-prefixed bool vector packed as bits.
+  void PutBoolVector(const std::vector<bool>& values);
+
+  /// Length-prefixed sorted dump of a hash set.
+  void PutSet(const std::unordered_set<uint32_t>& values);
+
+  /// Length-prefixed sorted dump of a hash map (key, value pairs).
+  void PutMap(const std::unordered_map<uint32_t, uint32_t>& values);
+
+  const std::vector<uint64_t>& Words() const { return words_; }
+  size_t SizeWords() const { return words_.size(); }
+
+ private:
+  std::vector<uint64_t> words_;
+};
+
+/// Mirror of StateEncoder: reads the fields back in the same order.
+/// Out-of-bounds reads set the failure flag and return empty values
+/// instead of crashing (malformed messages are data, not trusted).
+class StateDecoder {
+ public:
+  explicit StateDecoder(const std::vector<uint64_t>& words)
+      : words_(words) {}
+
+  uint64_t GetWord();
+  std::vector<uint32_t> GetU32Vector();
+  std::vector<bool> GetBoolVector();
+  std::unordered_set<uint32_t> GetSet();
+  std::unordered_map<uint32_t, uint32_t> GetMap();
+
+  /// True once any read ran past the end of the message.
+  bool failed() const { return failed_; }
+
+  /// True when the whole message was consumed without failure.
+  bool Done() const { return !failed_ && position_ == words_.size(); }
+
+ private:
+  const std::vector<uint64_t>& words_;
+  size_t position_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace setcover
+
+#endif  // SETCOVER_UTIL_SERIALIZE_H_

@@ -1,0 +1,21 @@
+#ifndef SETCOVER_UTIL_TYPES_H_
+#define SETCOVER_UTIL_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace setcover {
+
+/// Index of a set in the family S = {S_0, ..., S_{m-1}}.
+using SetId = uint32_t;
+
+/// Index of an element in the universe U = {0, ..., n-1}.
+using ElementId = uint32_t;
+
+/// Sentinel "no set" value, used for unassigned cover certificates and
+/// for the R(u) = ⊥ initialization in the paper's algorithm listings.
+inline constexpr SetId kNoSet = std::numeric_limits<SetId>::max();
+
+}  // namespace setcover
+
+#endif  // SETCOVER_UTIL_TYPES_H_

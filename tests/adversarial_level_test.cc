@@ -1,0 +1,111 @@
+#include "core/adversarial_level.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "instance/generators.h"
+#include "tests/test_util.h"
+
+namespace setcover {
+namespace {
+
+SetCoverInstance PlantedInstance(uint32_t n, uint32_t m, uint32_t opt,
+                                 uint64_t seed) {
+  Rng rng(seed);
+  PlantedCoverParams params;
+  params.num_elements = n;
+  params.num_sets = m;
+  params.planted_cover_size = opt;
+  params.decoy_max_size = 4;
+  return GeneratePlantedCover(params, rng);
+}
+
+TEST(AdversarialLevelTest, ValidCoverOnEveryOrder) {
+  auto inst = PlantedInstance(100, 300, 4, 1);
+  for (StreamOrder order :
+       {StreamOrder::kRandom, StreamOrder::kSetMajor,
+        StreamOrder::kElementMajor, StreamOrder::kRoundRobinSets,
+        StreamOrder::kLargeSetsLast}) {
+    AdversarialLevelAlgorithm algorithm(21);
+    RunAndValidate(algorithm, inst, order, 2);
+  }
+}
+
+TEST(AdversarialLevelTest, AlphaClampedToTwoSqrtN) {
+  AdversarialLevelParams params;
+  params.alpha = 1.0;  // far below 2√n
+  AdversarialLevelAlgorithm algorithm(1, params);
+  auto inst = PlantedInstance(100, 100, 2, 2);
+  RunAndValidate(algorithm, inst, StreamOrder::kRandom, 3);
+  EXPECT_DOUBLE_EQ(algorithm.EffectiveAlpha(), 2.0 * std::sqrt(100.0));
+}
+
+TEST(AdversarialLevelTest, DefaultAlphaIsTwoSqrtN) {
+  AdversarialLevelAlgorithm algorithm(1);
+  auto inst = PlantedInstance(64, 100, 2, 3);
+  RunAndValidate(algorithm, inst, StreamOrder::kRandom, 4);
+  EXPECT_DOUBLE_EQ(algorithm.EffectiveAlpha(), 16.0);
+}
+
+TEST(AdversarialLevelTest, SpaceShrinksAsAlphaGrows) {
+  // Theorem 4: space Õ(m·n/α²). Doubling α should substantially
+  // reduce the promoted-set pool on a fixed instance.
+  auto inst = PlantedInstance(256, 4096, 4, 4);
+  double sqrt_n = 16.0;
+  size_t promoted_small_alpha = 0, promoted_large_alpha = 0;
+  for (int t = 0; t < 5; ++t) {
+    AdversarialLevelParams small_params;
+    small_params.alpha = 2.0 * sqrt_n;
+    AdversarialLevelAlgorithm small_alpha(10 + t, small_params);
+    RunAndValidate(small_alpha, inst, StreamOrder::kRandom, 20 + t);
+    promoted_small_alpha += small_alpha.PeakPromotedSets();
+
+    AdversarialLevelParams large_params;
+    large_params.alpha = 8.0 * sqrt_n;
+    AdversarialLevelAlgorithm large_alpha(10 + t, large_params);
+    RunAndValidate(large_alpha, inst, StreamOrder::kRandom, 20 + t);
+    promoted_large_alpha += large_alpha.PeakPromotedSets();
+  }
+  EXPECT_LT(promoted_large_alpha, promoted_small_alpha / 2);
+}
+
+TEST(AdversarialLevelTest, LevelHistogramTotalsM) {
+  auto inst = PlantedInstance(100, 500, 4, 5);
+  AdversarialLevelAlgorithm algorithm(3);
+  RunAndValidate(algorithm, inst, StreamOrder::kRandom, 6);
+  auto hist = algorithm.LevelHistogram();
+  size_t total = 0;
+  for (size_t c : hist) total += c;
+  EXPECT_EQ(total, 500u);
+}
+
+TEST(AdversarialLevelTest, DeterministicGivenSeed) {
+  auto inst = PlantedInstance(60, 150, 3, 6);
+  AdversarialLevelAlgorithm a(42), b(42);
+  auto sa = RunAndValidate(a, inst, StreamOrder::kElementMajor, 7);
+  auto sb = RunAndValidate(b, inst, StreamOrder::kElementMajor, 7);
+  EXPECT_EQ(sa.cover, sb.cover);
+}
+
+TEST(AdversarialLevelTest, TinyInstances) {
+  auto one = SetCoverInstance::FromSets(1, {{0}});
+  AdversarialLevelAlgorithm a(1);
+  EXPECT_EQ(RunAndValidate(a, one, StreamOrder::kSetMajor, 1).cover.size(),
+            1u);
+}
+
+TEST(AdversarialLevelTest, CoverBoundedOnPlantedInstance) {
+  // Expected ratio O(α log m); check with generous slack.
+  const uint32_t n = 256;
+  auto inst = PlantedInstance(n, 2048, 4, 7);
+  AdversarialLevelAlgorithm algorithm(9);
+  auto sol = RunAndValidate(algorithm, inst, StreamOrder::kElementMajor, 8);
+  double alpha = 2.0 * std::sqrt(double(n));
+  double bound = 8.0 * alpha * std::log2(2048.0) *
+                 double(inst.PlantedCover().size());
+  EXPECT_LE(double(sol.cover.size()), bound);
+}
+
+}  // namespace
+}  // namespace setcover

@@ -1,0 +1,230 @@
+// White-box tests of the paper-facing internals: sampling rates,
+// schedules, level mechanics, and the statistical behavior the analysis
+// sections rely on. These complement the black-box cover-validity
+// sweeps in property_test.cc.
+
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "core/adversarial_level.h"
+#include "core/kk_algorithm.h"
+#include "core/random_order.h"
+#include "instance/generators.h"
+#include "instance/validator.h"
+#include "stream/orderings.h"
+#include "util/rng.h"
+
+namespace setcover {
+namespace {
+
+// --- Algorithm 2 internals -------------------------------------------
+
+TEST(AdversarialLevelInternals, D0SampleSizeConcentratesAroundAlpha) {
+  // Line 6: every set enters D_0 w.p. α/m, so E|D_0| = α. With no
+  // stream processed, the solution is exactly D_0.
+  const uint32_t n = 256, m = 4096;
+  StreamMetadata meta{m, n, 0};
+  double total = 0;
+  const int trials = 30;
+  for (int t = 0; t < trials; ++t) {
+    AdversarialLevelAlgorithm algorithm(100 + t);
+    algorithm.Begin(meta);
+    total += double(algorithm.Finalize().cover.size());
+  }
+  double alpha = 2.0 * std::sqrt(double(n));  // default α = 2√n = 32
+  EXPECT_NEAR(total / trials, alpha, 0.35 * alpha);
+}
+
+TEST(AdversarialLevelInternals, PromotionRateIsOneOverAlpha) {
+  // Feed k uncovered edges of one giant set: promotions ~ Bin(k, 1/α).
+  const uint32_t n = 10000, m = 64;
+  StreamMetadata meta{m, n, n};
+  AdversarialLevelParams params;
+  params.alpha = 200.0;  // = 2√n
+  double levels_total = 0;
+  const int trials = 10;
+  for (int t = 0; t < trials; ++t) {
+    AdversarialLevelAlgorithm algorithm(3 + t, params);
+    algorithm.Begin(meta);
+    for (ElementId u = 0; u < n; ++u) algorithm.ProcessEdge({0, u});
+    algorithm.Finalize();
+    auto hist = algorithm.LevelHistogram();
+    double level = 0;
+    for (size_t i = 1; i < hist.size(); ++i) level += double(i * hist[i]);
+    levels_total += level;
+  }
+  // E[promotions] ≈ n/α = 50 (slightly less once the set self-covers).
+  EXPECT_NEAR(levels_total / trials, 50.0, 25.0);
+}
+
+TEST(AdversarialLevelInternals, CoveredElementsStopPromoting) {
+  // Repeating the same element never promotes more than once-ish:
+  // after the element is covered, line 11 skips everything.
+  const uint32_t n = 4, m = 4;
+  StreamMetadata meta{m, n, 1000};
+  AdversarialLevelParams params;
+  params.alpha = 4.0;  // clamped to 2√4 = 4
+  AdversarialLevelAlgorithm algorithm(5, params);
+  algorithm.Begin(meta);
+  // Force set 0 into the solution by feeding distinct elements until
+  // it covers element 0 (or give up after the stream).
+  for (int rep = 0; rep < 1000; ++rep) algorithm.ProcessEdge({0, 0});
+  auto solution = algorithm.Finalize();
+  // Element 0 is covered (at worst by patching with R(0) = set 0).
+  EXPECT_EQ(solution.certificate[0], 0u);
+  // The level of set 0 stopped growing once 0 was covered: with
+  // p_1 = min(1, α³/(n·m)) = 1 the first promotion covers immediately,
+  // so levels stay tiny.
+  auto hist = algorithm.LevelHistogram();
+  for (size_t level = 3; level < hist.size(); ++level) {
+    EXPECT_EQ(hist[level], 0u);
+  }
+}
+
+// --- KK internals -----------------------------------------------------
+
+TEST(KkInternals, InclusionProbabilityReachesOneAtHighLevels) {
+  // A set with uncovered-degree ~ n is included with probability 1 by
+  // the time 2^i·√n/m >= 1 — feed one giant set alone and it must be
+  // picked (not patched) well before its elements run out.
+  const uint32_t n = 4096, m = 1024;
+  StreamMetadata meta{m, n, n};
+  KkAlgorithm algorithm(7);
+  algorithm.Begin(meta);
+  for (ElementId u = 0; u < n; ++u) algorithm.ProcessEdge({5, u});
+  auto solution = algorithm.Finalize();
+  ASSERT_FALSE(solution.cover.empty());
+  EXPECT_EQ(solution.cover[0], 5u);
+  EXPECT_EQ(algorithm.SampledCoverSize(), 1u);  // sampled, not patched
+}
+
+TEST(KkInternals, LevelHistogramSumsToM) {
+  Rng rng(11);
+  LogUniformParams p;
+  p.num_elements = 128;
+  p.num_sets = 1024;
+  auto inst = GenerateLogUniform(p, rng);
+  auto stream = RandomOrderStream(inst, rng);
+  KkAlgorithm algorithm(13);
+  RunStream(algorithm, stream);
+  auto hist = algorithm.LevelHistogram();
+  size_t total = std::accumulate(hist.begin(), hist.end(), size_t{0});
+  EXPECT_EQ(total, 1024u);
+}
+
+TEST(KkInternals, DegreeCountsFreezeOnceCovered) {
+  // Two identical sets: once one is in the solution and covers the
+  // elements, the other's uncovered-degree stops at what it saw.
+  const uint32_t n = 64, m = 2;
+  StreamMetadata meta{m, n, 2 * n};
+  KkParams params;
+  params.inclusion_constant = 1e9;  // include at the first boundary
+  KkAlgorithm algorithm(17, params);
+  algorithm.Begin(meta);
+  for (ElementId u = 0; u < n; ++u) {
+    algorithm.ProcessEdge({0, u});
+    algorithm.ProcessEdge({1, u});
+  }
+  algorithm.Finalize();
+  auto hist = algorithm.LevelHistogram();
+  // Set 0 reaches level 1 (√64 = 8 uncovered) and is included
+  // immediately; set 1 then sees covered elements only — both sets sit
+  // at low levels, nothing at level 3+.
+  for (size_t level = 3; level < hist.size(); ++level) {
+    EXPECT_EQ(hist[level], 0u);
+  }
+}
+
+// --- Algorithm 1 internals --------------------------------------------
+
+TEST(RandomOrderInternals, ScheduleConsumesAtMostBudgetFraction) {
+  const uint32_t n = 1024, m = 65536;
+  Rng rng(19);
+  PlantedCoverParams p;
+  p.num_elements = n;
+  p.num_sets = m;
+  p.planted_cover_size = 4;
+  auto inst = GeneratePlantedCover(p, rng);
+  auto stream = RandomOrderStream(inst, rng);
+
+  RandomOrderParams params;
+  params.main_budget_fraction = 0.3;
+  RandomOrderAlgorithm algorithm(21, params);
+  algorithm.Begin(stream.meta);
+  // Total scheduled main-loop edges = K·J·B·ℓ_i summed ≤ 0.3·N.
+  size_t scheduled = 0;
+  for (uint32_t i = 1; i <= algorithm.NumAlgorithms(); ++i) {
+    scheduled += size_t{algorithm.NumEpochs()} * algorithm.NumBatches() *
+                 algorithm.SubepochLength(i);
+  }
+  EXPECT_LE(scheduled,
+            size_t(0.31 * double(stream.meta.stream_length)) +
+                algorithm.NumAlgorithms() * algorithm.NumEpochs() *
+                    algorithm.NumBatches());
+  for (const Edge& e : stream.edges) algorithm.ProcessEdge(e);
+  EXPECT_TRUE(ValidateSolution(inst, algorithm.Finalize()).ok);
+}
+
+TEST(RandomOrderInternals, EpochStatsCoverFullSchedule) {
+  const uint32_t n = 256, m = 16384;
+  Rng rng(23);
+  PlantedCoverParams p;
+  p.num_elements = n;
+  p.num_sets = m;
+  p.planted_cover_size = 4;
+  auto inst = GeneratePlantedCover(p, rng);
+  auto stream = RandomOrderStream(inst, rng);
+  RandomOrderAlgorithm algorithm(25);
+  RunStream(algorithm, stream);
+  const auto& stats = algorithm.Stats();
+  // One stats row per (i, j) pair actually run; the stream is long
+  // enough here for the full schedule.
+  EXPECT_EQ(stats.epochs.size(),
+            size_t{algorithm.NumAlgorithms()} * algorithm.NumEpochs());
+  for (const auto& e : stats.epochs) {
+    EXPECT_GE(e.algorithm_index, 1u);
+    EXPECT_LE(e.algorithm_index, algorithm.NumAlgorithms());
+    EXPECT_GE(e.epoch, 1u);
+    EXPECT_LE(e.epoch, algorithm.NumEpochs());
+  }
+}
+
+TEST(RandomOrderInternals, Epoch0SamplingRateMatchesP0) {
+  const uint32_t n = 256, m = 65536;
+  StreamMetadata meta{m, n, size_t{m} * 3};
+  double total = 0;
+  const int trials = 20;
+  for (int t = 0; t < trials; ++t) {
+    RandomOrderAlgorithm algorithm(400 + t);
+    algorithm.Begin(meta);
+    total += double(algorithm.Stats().epoch0_sampled);
+  }
+  // E = m·p0 = C·√n·log₂m = 0.25·16·16 = 64.
+  EXPECT_NEAR(total / trials, 64.0, 20.0);
+}
+
+TEST(RandomOrderInternals, SolutionCappedAtN) {
+  // The §4.2 guard: |Sol| never exceeds n even with absurd sampling.
+  const uint32_t n = 32, m = 8192;
+  Rng rng(27);
+  UniformRandomParams p;
+  p.num_elements = n;
+  p.num_sets = m;
+  p.max_set_size = 4;
+  auto inst = GenerateUniformRandom(p, rng);
+  auto stream = RandomOrderStream(inst, rng);
+  RandomOrderParams params;
+  params.sampling_constant = 100.0;  // would sample thousands of sets
+  RandomOrderAlgorithm algorithm(29, params);
+  auto solution = RunStream(algorithm, stream);
+  // Sampled Sol is capped at n; patching can add at most one set per
+  // unwitnessed element, so the cover is bounded by 2n (instead of the
+  // thousands the uncapped sampling would produce).
+  EXPECT_LE(solution.cover.size(), size_t{2 * n});
+  EXPECT_TRUE(ValidateSolution(inst, solution).ok);
+}
+
+}  // namespace
+}  // namespace setcover

@@ -1,0 +1,73 @@
+#include "util/bitset.h"
+
+#include <gtest/gtest.h>
+
+namespace setcover {
+namespace {
+
+TEST(BitsetTest, StartsClear) {
+  DynamicBitset bits(100);
+  EXPECT_EQ(bits.size(), 100u);
+  EXPECT_EQ(bits.Count(), 0u);
+  EXPECT_TRUE(bits.None());
+  for (size_t i = 0; i < 100; ++i) EXPECT_FALSE(bits.Test(i));
+}
+
+TEST(BitsetTest, SetAndTest) {
+  DynamicBitset bits(130);  // spans three words
+  EXPECT_TRUE(bits.Set(0));
+  EXPECT_TRUE(bits.Set(63));
+  EXPECT_TRUE(bits.Set(64));
+  EXPECT_TRUE(bits.Set(129));
+  EXPECT_TRUE(bits.Test(0));
+  EXPECT_TRUE(bits.Test(63));
+  EXPECT_TRUE(bits.Test(64));
+  EXPECT_TRUE(bits.Test(129));
+  EXPECT_FALSE(bits.Test(1));
+  EXPECT_FALSE(bits.Test(128));
+  EXPECT_EQ(bits.Count(), 4u);
+}
+
+TEST(BitsetTest, SetReturnsFalseWhenAlreadySet) {
+  DynamicBitset bits(10);
+  EXPECT_TRUE(bits.Set(5));
+  EXPECT_FALSE(bits.Set(5));
+  EXPECT_EQ(bits.Count(), 1u);
+}
+
+TEST(BitsetTest, Reset) {
+  DynamicBitset bits(10);
+  bits.Set(3);
+  bits.Reset(3);
+  EXPECT_FALSE(bits.Test(3));
+  EXPECT_EQ(bits.Count(), 0u);
+  bits.Reset(3);  // double reset is a no-op
+  EXPECT_EQ(bits.Count(), 0u);
+}
+
+TEST(BitsetTest, All) {
+  DynamicBitset bits(65);
+  for (size_t i = 0; i < 65; ++i) bits.Set(i);
+  EXPECT_TRUE(bits.All());
+  bits.Reset(64);
+  EXPECT_FALSE(bits.All());
+}
+
+TEST(BitsetTest, Clear) {
+  DynamicBitset bits(200);
+  for (size_t i = 0; i < 200; i += 3) bits.Set(i);
+  bits.Clear();
+  EXPECT_TRUE(bits.None());
+  for (size_t i = 0; i < 200; ++i) EXPECT_FALSE(bits.Test(i));
+}
+
+TEST(BitsetTest, WordsUsed) {
+  EXPECT_EQ(DynamicBitset(0).WordsUsed(), 0u);
+  EXPECT_EQ(DynamicBitset(1).WordsUsed(), 1u);
+  EXPECT_EQ(DynamicBitset(64).WordsUsed(), 1u);
+  EXPECT_EQ(DynamicBitset(65).WordsUsed(), 2u);
+  EXPECT_EQ(DynamicBitset(1024).WordsUsed(), 16u);
+}
+
+}  // namespace
+}  // namespace setcover

@@ -1,0 +1,102 @@
+#include "util/count_min.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace setcover {
+namespace {
+
+TEST(CountMinTest, NeverUndercounts) {
+  CountMinSketch sketch(64, 4, 1);
+  std::vector<uint64_t> truth(100, 0);
+  Rng rng(2);
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t key = rng.UniformInt(100);
+    sketch.Add(key);
+    ++truth[key];
+  }
+  for (uint64_t key = 0; key < 100; ++key) {
+    EXPECT_GE(sketch.Estimate(key), truth[key]);
+  }
+}
+
+TEST(CountMinTest, ExactForFewKeysInWideSketch) {
+  CountMinSketch sketch(4096, 4, 3);
+  sketch.Add(7, 10);
+  sketch.Add(11, 3);
+  EXPECT_EQ(sketch.Estimate(7), 10u);
+  EXPECT_EQ(sketch.Estimate(11), 3u);
+  EXPECT_EQ(sketch.Estimate(99), 0u);
+}
+
+TEST(CountMinTest, ErrorWithinEpsilonTotal) {
+  double epsilon = 0.01;
+  auto sketch = CountMinSketch::WithGuarantees(epsilon, 0.01, 5);
+  Rng rng(6);
+  std::vector<uint64_t> truth(1000, 0);
+  const int total = 100000;
+  for (int i = 0; i < total; ++i) {
+    uint64_t key = rng.UniformInt(1000);
+    sketch.Add(key);
+    ++truth[key];
+  }
+  int violations = 0;
+  for (uint64_t key = 0; key < 1000; ++key) {
+    if (sketch.Estimate(key) > truth[key] + uint64_t(epsilon * total)) {
+      ++violations;
+    }
+  }
+  EXPECT_LE(violations, 20);  // δ = 1% per key, generous slack
+}
+
+TEST(CountMinTest, HeavyHitterDetection) {
+  // The use case in Algorithm 1's epoch 0: one key far above threshold
+  // must be detected, light keys must not cross.
+  CountMinSketch sketch(512, 4, 7);
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) sketch.Add(42);
+  for (int i = 0; i < 2000; ++i) sketch.Add(rng.UniformInt(10000) + 100);
+  EXPECT_GE(sketch.Estimate(42), 1000u);
+  int false_heavy = 0;
+  for (uint64_t key = 100; key < 1100; ++key) {
+    if (sketch.Estimate(key) >= 500) ++false_heavy;
+  }
+  EXPECT_EQ(false_heavy, 0);
+}
+
+TEST(CountMinTest, GeometryFromGuarantees) {
+  auto sketch = CountMinSketch::WithGuarantees(0.001, 0.01, 9);
+  EXPECT_GE(sketch.Width(), 2718u);
+  EXPECT_GE(sketch.Depth(), 4u);
+  EXPECT_GE(sketch.WordsUsed(), sketch.Width() * sketch.Depth());
+}
+
+TEST(CountMinTest, ClearResets) {
+  CountMinSketch sketch(64, 2, 11);
+  sketch.Add(5, 100);
+  sketch.Clear();
+  EXPECT_EQ(sketch.Estimate(5), 0u);
+  EXPECT_EQ(sketch.TotalCount(), 0u);
+}
+
+TEST(CountMinTest, CountsWithMultiplicity) {
+  CountMinSketch sketch(64, 3, 13);
+  sketch.Add(1, 5);
+  sketch.Add(1, 7);
+  EXPECT_GE(sketch.Estimate(1), 12u);
+  EXPECT_EQ(sketch.TotalCount(), 12u);
+}
+
+TEST(CountMinTest, DegenerateGeometryClamped) {
+  CountMinSketch sketch(0, 0, 15);
+  sketch.Add(3);
+  EXPECT_GE(sketch.Estimate(3), 1u);
+  EXPECT_EQ(sketch.Width(), 1u);
+  EXPECT_EQ(sketch.Depth(), 1u);
+}
+
+}  // namespace
+}  // namespace setcover

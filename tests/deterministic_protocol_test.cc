@@ -1,0 +1,115 @@
+#include "comm/deterministic_protocol.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "comm/protocol.h"
+#include "instance/generators.h"
+#include "instance/validator.h"
+#include "util/rng.h"
+
+namespace setcover {
+namespace {
+
+std::vector<uint32_t> RoundRobinOwners(uint32_t num_sets,
+                                       uint32_t num_parties) {
+  std::vector<uint32_t> owners(num_sets);
+  for (uint32_t s = 0; s < num_sets; ++s) owners[s] = s % num_parties;
+  return owners;
+}
+
+TEST(DeterministicProtocolTest, ProducesValidCover) {
+  Rng rng(1);
+  PlantedCoverParams params;
+  params.num_elements = 120;
+  params.num_sets = 80;
+  params.planted_cover_size = 4;
+  auto inst = GeneratePlantedCover(params, rng);
+  auto result =
+      RunDeterministicProtocol(inst, RoundRobinOwners(80, 4), 4);
+  auto check = ValidateSolution(inst, result.solution);
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST(DeterministicProtocolTest, ApproximationWithinTwoSqrtNT) {
+  Rng rng(2);
+  const uint32_t n = 256, t = 4;
+  PlantedCoverParams params;
+  params.num_elements = n;
+  params.num_sets = 400;
+  params.planted_cover_size = 4;
+  params.decoy_max_size = 4;
+  auto inst = GeneratePlantedCover(params, rng);
+  auto result =
+      RunDeterministicProtocol(inst, RoundRobinOwners(400, t), t);
+  double bound = 2.0 * std::sqrt(double(n) * t);
+  EXPECT_LE(double(result.solution.cover.size()),
+            bound * double(inst.PlantedCover().size()));
+}
+
+TEST(DeterministicProtocolTest, MessageIsLinearInN) {
+  Rng rng(3);
+  const uint32_t n = 200;
+  UniformRandomParams params;
+  params.num_elements = n;
+  params.num_sets = 5000;  // m ≫ n: message must not scale with m
+  params.max_set_size = 4;
+  auto inst = GenerateUniformRandom(params, rng);
+  auto result = RunDeterministicProtocol(
+      inst, RoundRobinOwners(inst.NumSets(), 8), 8);
+  EXPECT_TRUE(ValidateSolution(inst, result.solution).ok);
+  // bitmap words + n patch words + solution (≤ n after patch dedup).
+  EXPECT_LE(result.max_message_words, BitsToWords(n) + 2u * n + 64u);
+}
+
+TEST(DeterministicProtocolTest, ThresholdSetCountBounded) {
+  Rng rng(4);
+  const uint32_t n = 144, t = 4;
+  UniformRandomParams params;
+  params.num_elements = n;
+  params.num_sets = 300;
+  params.max_set_size = 40;
+  auto inst = GenerateUniformRandom(params, rng);
+  auto result = RunDeterministicProtocol(
+      inst, RoundRobinOwners(inst.NumSets(), t), t);
+  // Threshold-greedy adds at most t·n/τ = √(n·t) sets.
+  double tau = std::sqrt(double(n) * t);
+  EXPECT_LE(double(result.threshold_sets),
+            double(t) * double(n) / tau + 1.0);
+}
+
+TEST(DeterministicProtocolTest, SinglePartyIsThresholdGreedy) {
+  auto inst = SetCoverInstance::FromSets(
+      9, {{0, 1, 2, 3, 4, 5, 6, 7, 8}, {0}, {1}});
+  auto result =
+      RunDeterministicProtocol(inst, {0, 0, 0}, 1, /*threshold=*/3);
+  EXPECT_EQ(result.solution.cover.size(), 1u);
+  EXPECT_EQ(result.threshold_sets, 1u);
+  EXPECT_EQ(result.patched_sets, 0u);
+}
+
+TEST(DeterministicProtocolTest, PurePatchingWhenAllSetsSmall) {
+  auto inst = GeneratePartition(16, 8);  // blocks of 2
+  auto result = RunDeterministicProtocol(inst, RoundRobinOwners(8, 2), 2,
+                                         /*threshold=*/10);
+  EXPECT_EQ(result.threshold_sets, 0u);
+  EXPECT_EQ(result.patched_sets, 8u);
+  EXPECT_TRUE(ValidateSolution(inst, result.solution).ok);
+}
+
+TEST(DeterministicProtocolTest, DeterministicAcrossRuns) {
+  Rng rng(5);
+  UniformRandomParams params;
+  params.num_elements = 60;
+  params.num_sets = 90;
+  auto inst = GenerateUniformRandom(params, rng);
+  auto owners = RoundRobinOwners(90, 3);
+  auto r1 = RunDeterministicProtocol(inst, owners, 3);
+  auto r2 = RunDeterministicProtocol(inst, owners, 3);
+  EXPECT_EQ(r1.solution.cover, r2.solution.cover);
+  EXPECT_EQ(r1.max_message_words, r2.max_message_words);
+}
+
+}  // namespace
+}  // namespace setcover

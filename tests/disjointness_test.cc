@@ -1,0 +1,74 @@
+#include "comm/disjointness.h"
+
+#include <gtest/gtest.h>
+
+namespace setcover {
+namespace {
+
+TEST(DisjointnessTest, DisjointInstanceSatisfiesPromise) {
+  Rng rng(1);
+  auto inst = GenerateDisjointInstance(4, 100, 20, rng);
+  EXPECT_EQ(inst.num_parties, 4u);
+  EXPECT_FALSE(inst.uniquely_intersecting);
+  EXPECT_TRUE(VerifyPromise(inst));
+  for (const auto& set : inst.party_sets) {
+    EXPECT_EQ(set.size(), 20u);
+    for (uint32_t v : set) EXPECT_LT(v, 100u);
+  }
+}
+
+TEST(DisjointnessTest, IntersectingInstanceSatisfiesPromise) {
+  Rng rng(2);
+  auto inst = GenerateIntersectingInstance(5, 100, 15, rng);
+  EXPECT_TRUE(inst.uniquely_intersecting);
+  EXPECT_TRUE(VerifyPromise(inst));
+  for (const auto& set : inst.party_sets) {
+    EXPECT_EQ(set.size(), 15u);
+    EXPECT_TRUE(std::binary_search(set.begin(), set.end(),
+                                   inst.common_element));
+  }
+}
+
+TEST(DisjointnessTest, PromiseVerifierCatchesViolations) {
+  Rng rng(3);
+  auto inst = GenerateDisjointInstance(3, 50, 10, rng);
+  // Inject a shared element.
+  inst.party_sets[0][0] = inst.party_sets[1][0];
+  std::sort(inst.party_sets[0].begin(), inst.party_sets[0].end());
+  EXPECT_FALSE(VerifyPromise(inst));
+}
+
+TEST(DisjointnessTest, PromiseVerifierCatchesWrongCommonElement) {
+  Rng rng(4);
+  auto inst = GenerateIntersectingInstance(3, 50, 10, rng);
+  // Pretend the common element is something else.
+  inst.common_element = (inst.common_element + 1) % 50;
+  EXPECT_FALSE(VerifyPromise(inst));
+}
+
+TEST(DisjointnessTest, TwoPartiesMinimal) {
+  Rng rng(5);
+  auto a = GenerateDisjointInstance(2, 4, 2, rng);
+  EXPECT_TRUE(VerifyPromise(a));
+  auto b = GenerateIntersectingInstance(2, 4, 2, rng);
+  EXPECT_TRUE(VerifyPromise(b));
+}
+
+TEST(DisjointnessTest, PerPartyOneIntersecting) {
+  // per_party = 1 means every party holds exactly the common element.
+  Rng rng(6);
+  auto inst = GenerateIntersectingInstance(3, 10, 1, rng);
+  EXPECT_TRUE(VerifyPromise(inst));
+  for (const auto& set : inst.party_sets) {
+    ASSERT_EQ(set.size(), 1u);
+    EXPECT_EQ(set[0], inst.common_element);
+  }
+}
+
+TEST(DisjointnessDeathTest, RejectsOversizedParties) {
+  Rng rng(7);
+  EXPECT_DEATH(GenerateDisjointInstance(4, 10, 5, rng), "universe");
+}
+
+}  // namespace
+}  // namespace setcover

@@ -1,0 +1,124 @@
+#include "core/element_sampling.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "instance/generators.h"
+#include "tests/test_util.h"
+
+namespace setcover {
+namespace {
+
+SetCoverInstance PlantedInstance(uint32_t n, uint32_t m, uint32_t opt,
+                                 uint64_t seed) {
+  Rng rng(seed);
+  PlantedCoverParams params;
+  params.num_elements = n;
+  params.num_sets = m;
+  params.planted_cover_size = opt;
+  params.decoy_max_size = 4;
+  return GeneratePlantedCover(params, rng);
+}
+
+TEST(ElementSamplingTest, ValidCoverOnEveryOrder) {
+  auto inst = PlantedInstance(100, 300, 4, 1);
+  for (StreamOrder order :
+       {StreamOrder::kRandom, StreamOrder::kSetMajor,
+        StreamOrder::kElementMajor, StreamOrder::kRoundRobinSets,
+        StreamOrder::kLargeSetsLast}) {
+    ElementSamplingAlgorithm algorithm(3);
+    RunAndValidate(algorithm, inst, order, 2);
+  }
+}
+
+TEST(ElementSamplingTest, SampleSizeScalesInverselyWithAlpha) {
+  auto inst = PlantedInstance(1024, 2048, 4, 2);
+  Rng rng(3);
+  auto stream = RandomOrderStream(inst, rng);
+
+  ElementSamplingParams small_alpha;
+  small_alpha.alpha = 16.0;  // sample Õ(n/α) ≈ 700, below the n clamp
+  ElementSamplingAlgorithm a(5, small_alpha);
+  a.Begin(stream.meta);
+
+  ElementSamplingParams large_alpha;
+  large_alpha.alpha = 64.0;
+  ElementSamplingAlgorithm b(5, large_alpha);
+  b.Begin(stream.meta);
+
+  EXPECT_GT(a.SampleSize(), 3 * b.SampleSize());
+}
+
+TEST(ElementSamplingTest, SpaceScalesWithSample) {
+  // Space = stored projected edges ≈ N·|U'|/n — halving the sample
+  // halves the stored edges (up to noise).
+  auto inst = PlantedInstance(1024, 8192, 4, 4);
+  Rng rng(5);
+  auto stream = RandomOrderStream(inst, rng);
+
+  ElementSamplingParams alpha16;
+  alpha16.alpha = 16.0;
+  ElementSamplingAlgorithm a(7, alpha16);
+  RunStream(a, stream);
+
+  ElementSamplingParams alpha64;
+  alpha64.alpha = 64.0;
+  ElementSamplingAlgorithm b(7, alpha64);
+  RunStream(b, stream);
+
+  EXPECT_GT(a.StoredEdges(), 2 * b.StoredEdges());
+}
+
+TEST(ElementSamplingTest, FullSampleActsLikeOfflineGreedy) {
+  // α <= 1 drives the sample to the whole universe: the result must be
+  // exactly a greedy-quality cover (no patching).
+  auto inst = PlantedInstance(128, 256, 4, 6);
+  ElementSamplingParams params;
+  params.alpha = 0.5;
+  params.sample_constant = 100.0;  // force |U'| = n
+  ElementSamplingAlgorithm algorithm(9, params);
+  auto sol = RunAndValidate(algorithm, inst, StreamOrder::kRandom, 7);
+  EXPECT_EQ(algorithm.SampleSize(), 128u);
+  // Greedy on the full instance finds the planted partition (4 sets)
+  // or close to it.
+  EXPECT_LE(sol.cover.size(), 10u);
+}
+
+TEST(ElementSamplingTest, QualityImprovesWithSmallerAlpha) {
+  // The Table-1 row-1 trade-off: smaller α (bigger sample) buys a
+  // smaller cover. Compare the extremes over a few trials.
+  double cover_small_alpha = 0, cover_large_alpha = 0;
+  for (int t = 0; t < 5; ++t) {
+    auto inst = PlantedInstance(512, 4096, 4, 100 + t);
+    Rng rng(200 + t);
+    auto stream = RandomOrderStream(inst, rng);
+    ElementSamplingParams small_alpha;
+    small_alpha.alpha = 4.0;
+    ElementSamplingAlgorithm a(300 + t, small_alpha);
+    cover_small_alpha += double(RunStream(a, stream).cover.size());
+    ElementSamplingParams large_alpha;
+    large_alpha.alpha = 64.0;
+    ElementSamplingAlgorithm b(300 + t, large_alpha);
+    cover_large_alpha += double(RunStream(b, stream).cover.size());
+  }
+  EXPECT_LT(cover_small_alpha, cover_large_alpha);
+}
+
+TEST(ElementSamplingTest, DeterministicGivenSeed) {
+  auto inst = PlantedInstance(90, 200, 3, 8);
+  ElementSamplingAlgorithm a(11), b(11);
+  auto sa = RunAndValidate(a, inst, StreamOrder::kRandom, 9);
+  auto sb = RunAndValidate(b, inst, StreamOrder::kRandom, 9);
+  EXPECT_EQ(sa.cover, sb.cover);
+}
+
+TEST(ElementSamplingTest, TinyInstances) {
+  auto one = SetCoverInstance::FromSets(1, {{0}});
+  ElementSamplingAlgorithm a(1);
+  EXPECT_EQ(RunAndValidate(a, one, StreamOrder::kSetMajor, 1).cover.size(),
+            1u);
+}
+
+}  // namespace
+}  // namespace setcover

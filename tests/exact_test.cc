@@ -1,0 +1,84 @@
+#include "offline/exact.h"
+
+#include <gtest/gtest.h>
+
+#include "instance/generators.h"
+#include "instance/validator.h"
+#include "util/rng.h"
+
+namespace setcover {
+namespace {
+
+TEST(ExactTest, FindsObviousOptimum) {
+  auto inst = SetCoverInstance::FromSets(
+      6, {{0}, {1}, {0, 1, 2, 3, 4, 5}, {4, 5}});
+  auto sol = ExactCover(inst);
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_EQ(sol->cover.size(), 1u);
+}
+
+TEST(ExactTest, PartitionOptimum) {
+  auto inst = GeneratePartition(12, 4);
+  auto sol = ExactCover(inst);
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_EQ(sol->cover.size(), 4u);
+}
+
+TEST(ExactTest, TwoSetCoverBeatsGreedyTrap) {
+  // The classic greedy trap: greedy takes the big middle set (size 4)
+  // and then needs 2 more; OPT is the two side sets.
+  auto inst = SetCoverInstance::FromSets(
+      6, {{0, 1, 2}, {3, 4, 5}, {1, 2, 3, 4}});
+  auto sol = ExactCover(inst);
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_EQ(sol->cover.size(), 2u);
+}
+
+TEST(ExactTest, SolutionIsValid) {
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    UniformRandomParams params;
+    params.num_elements = 12;
+    params.num_sets = 10;
+    params.max_set_size = 5;
+    auto inst = GenerateUniformRandom(params, rng);
+    auto sol = ExactCover(inst);
+    ASSERT_TRUE(sol.has_value());
+    auto check = ValidateSolution(inst, *sol);
+    EXPECT_TRUE(check.ok) << check.error;
+  }
+}
+
+TEST(ExactTest, NoSolutionSmallerExists) {
+  // Brute-force cross-check on a tiny instance: try all single sets.
+  auto inst = SetCoverInstance::FromSets(
+      5, {{0, 1}, {2, 3}, {3, 4}, {0, 4}, {1, 2}});
+  auto sol = ExactCover(inst);
+  ASSERT_TRUE(sol.has_value());
+  for (SetId s = 0; s < inst.NumSets(); ++s) {
+    EXPECT_LT(inst.Set(s).size(), inst.NumElements());
+  }
+  EXPECT_GE(sol->cover.size(), 2u);
+  EXPECT_LE(sol->cover.size(), 3u);
+}
+
+TEST(ExactTest, RefusesLargeUniverse) {
+  auto inst = GeneratePartition(30, 3);
+  EXPECT_FALSE(ExactCover(inst, /*max_elements=*/24).has_value());
+  EXPECT_TRUE(ExactCover(inst, /*max_elements=*/30).has_value());
+}
+
+TEST(ExactTest, RefusesInfeasible) {
+  auto inst = SetCoverInstance::FromSets(3, {{0}});
+  EXPECT_FALSE(ExactCover(inst).has_value());
+}
+
+TEST(ExactTest, SingleElement) {
+  auto inst = SetCoverInstance::FromSets(1, {{0}});
+  auto sol = ExactCover(inst);
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_EQ(sol->cover.size(), 1u);
+}
+
+}  // namespace
+}  // namespace setcover

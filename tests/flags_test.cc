@@ -1,0 +1,76 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace setcover {
+namespace {
+
+FlagSet ParseArgs(std::vector<std::string> args) {
+  std::vector<char*> argv;
+  for (auto& a : args) argv.push_back(a.data());
+  return FlagSet::Parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  auto flags = ParseArgs({"--n=42", "--name=planted"});
+  EXPECT_EQ(flags.GetInt("n", 0), 42);
+  EXPECT_EQ(flags.GetString("name", ""), "planted");
+}
+
+TEST(FlagsTest, SpaceSyntax) {
+  auto flags = ParseArgs({"--n", "42", "--name", "zipf"});
+  EXPECT_EQ(flags.GetInt("n", 0), 42);
+  EXPECT_EQ(flags.GetString("name", ""), "zipf");
+}
+
+TEST(FlagsTest, BareFlagIsBooleanTrue) {
+  auto flags = ParseArgs({"--verbose", "--n=3"});
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+  EXPECT_EQ(flags.GetInt("n", 0), 3);
+}
+
+TEST(FlagsTest, FlagFollowedByFlagIsBoolean) {
+  auto flags = ParseArgs({"--verbose", "--debug"});
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+  EXPECT_TRUE(flags.GetBool("debug", false));
+}
+
+TEST(FlagsTest, Defaults) {
+  auto flags = ParseArgs({});
+  EXPECT_EQ(flags.GetInt("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("missing", 2.5), 2.5);
+  EXPECT_EQ(flags.GetString("missing", "x"), "x");
+  EXPECT_FALSE(flags.GetBool("missing", false));
+  EXPECT_FALSE(flags.Has("missing"));
+}
+
+TEST(FlagsTest, Positional) {
+  auto flags = ParseArgs({"solve", "--n=2", "extra"});
+  ASSERT_EQ(flags.Positional().size(), 2u);
+  EXPECT_EQ(flags.Positional()[0], "solve");
+  EXPECT_EQ(flags.Positional()[1], "extra");
+}
+
+TEST(FlagsTest, DoubleParsing) {
+  auto flags = ParseArgs({"--alpha=2.75"});
+  EXPECT_DOUBLE_EQ(flags.GetDouble("alpha", 0.0), 2.75);
+}
+
+TEST(FlagsTest, BoolSpellings) {
+  auto flags = ParseArgs({"--a=true", "--b=1", "--c=yes", "--d=false"});
+  EXPECT_TRUE(flags.GetBool("a", false));
+  EXPECT_TRUE(flags.GetBool("b", false));
+  EXPECT_TRUE(flags.GetBool("c", false));
+  EXPECT_FALSE(flags.GetBool("d", true));
+}
+
+TEST(FlagsTest, UnusedKeysTracksUntouched) {
+  auto flags = ParseArgs({"--used=1", "--unused=2"});
+  EXPECT_EQ(flags.GetInt("used", 0), 1);
+  auto unused = flags.UnusedKeys();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "unused");
+}
+
+}  // namespace
+}  // namespace setcover

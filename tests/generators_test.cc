@@ -1,0 +1,187 @@
+#include "instance/generators.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "instance/validator.h"
+#include "util/rng.h"
+
+namespace setcover {
+namespace {
+
+TEST(GeneratorsTest, UniformRandomShapeAndFeasibility) {
+  Rng rng(1);
+  UniformRandomParams params;
+  params.num_elements = 50;
+  params.num_sets = 30;
+  params.min_set_size = 2;
+  params.max_set_size = 6;
+  auto inst = GenerateUniformRandom(params, rng);
+  EXPECT_EQ(inst.NumElements(), 50u);
+  EXPECT_EQ(inst.NumSets(), 30u);
+  EXPECT_TRUE(inst.IsFeasible());
+}
+
+TEST(GeneratorsTest, UniformRandomDeterministicGivenSeed) {
+  UniformRandomParams params;
+  params.num_elements = 40;
+  params.num_sets = 20;
+  Rng rng1(9), rng2(9);
+  auto a = GenerateUniformRandom(params, rng1);
+  auto b = GenerateUniformRandom(params, rng2);
+  ASSERT_EQ(a.NumEdges(), b.NumEdges());
+  for (SetId s = 0; s < a.NumSets(); ++s) {
+    auto sa = a.Set(s), sb = b.Set(s);
+    ASSERT_EQ(sa.size(), sb.size());
+    EXPECT_TRUE(std::equal(sa.begin(), sa.end(), sb.begin()));
+  }
+}
+
+TEST(GeneratorsTest, PlantedCoverIsAValidCover) {
+  Rng rng(2);
+  PlantedCoverParams params;
+  params.num_elements = 100;
+  params.num_sets = 60;
+  params.planted_cover_size = 5;
+  auto inst = GeneratePlantedCover(params, rng);
+  ASSERT_EQ(inst.PlantedCover().size(), 5u);
+  // The planted sets partition the universe.
+  std::vector<bool> covered(inst.NumElements(), false);
+  size_t total = 0;
+  for (SetId s : inst.PlantedCover()) {
+    for (ElementId u : inst.Set(s)) {
+      EXPECT_FALSE(covered[u]) << "planted sets overlap";
+      covered[u] = true;
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, inst.NumElements());
+}
+
+TEST(GeneratorsTest, PlantedCoverDecoysRespectSizeBounds) {
+  Rng rng(3);
+  PlantedCoverParams params;
+  params.num_elements = 200;
+  params.num_sets = 100;
+  params.planted_cover_size = 4;
+  params.decoy_min_size = 2;
+  params.decoy_max_size = 7;
+  auto inst = GeneratePlantedCover(params, rng);
+  std::vector<bool> planted(inst.NumSets(), false);
+  for (SetId s : inst.PlantedCover()) planted[s] = true;
+  for (SetId s = 0; s < inst.NumSets(); ++s) {
+    if (planted[s]) continue;
+    EXPECT_GE(inst.Set(s).size(), 2u);
+    EXPECT_LE(inst.Set(s).size(), 7u);
+  }
+}
+
+TEST(GeneratorsTest, PlantedCoverClampsOversizedRequests) {
+  Rng rng(4);
+  PlantedCoverParams params;
+  params.num_elements = 10;
+  params.num_sets = 3;
+  params.planted_cover_size = 50;  // > num_sets, must clamp
+  auto inst = GeneratePlantedCover(params, rng);
+  EXPECT_EQ(inst.PlantedCover().size(), 3u);
+  EXPECT_TRUE(inst.IsFeasible());
+}
+
+TEST(GeneratorsTest, ZipfFeasibleAndSkewed) {
+  Rng rng(5);
+  ZipfParams params;
+  params.num_elements = 200;
+  params.num_sets = 300;
+  params.min_set_size = 3;
+  params.max_set_size = 10;
+  params.exponent = 1.2;
+  auto inst = GenerateZipf(params, rng);
+  EXPECT_TRUE(inst.IsFeasible());
+  auto deg = inst.ElementDegrees();
+  // Zipf skew: the most popular decile should far out-degree the least
+  // popular decile.
+  uint64_t head = 0, tail = 0;
+  for (uint32_t u = 0; u < 20; ++u) head += deg[u];
+  for (uint32_t u = 180; u < 200; ++u) tail += deg[u];
+  EXPECT_GT(head, 3 * tail);
+}
+
+TEST(GeneratorsTest, DominatingSetClosedNeighborhoods) {
+  Rng rng(6);
+  auto inst = GenerateDominatingSet(30, 0.2, rng);
+  EXPECT_EQ(inst.NumSets(), 30u);
+  EXPECT_EQ(inst.NumElements(), 30u);
+  EXPECT_TRUE(inst.IsFeasible());
+  // v ∈ N[v]: the reduction's defining property.
+  for (SetId v = 0; v < 30; ++v) EXPECT_TRUE(inst.Contains(v, v));
+  // Symmetry: u ∈ N[v] iff v ∈ N[u].
+  for (SetId v = 0; v < 30; ++v) {
+    for (ElementId u : inst.Set(v)) {
+      EXPECT_TRUE(inst.Contains(u, v));
+    }
+  }
+}
+
+TEST(GeneratorsTest, DominatingSetEmptyGraph) {
+  Rng rng(7);
+  auto inst = GenerateDominatingSet(10, 0.0, rng);
+  // No edges: every closed neighborhood is the vertex itself.
+  for (SetId v = 0; v < 10; ++v) {
+    ASSERT_EQ(inst.Set(v).size(), 1u);
+    EXPECT_EQ(inst.Set(v)[0], v);
+  }
+}
+
+TEST(GeneratorsTest, PartitionExactOpt) {
+  auto inst = GeneratePartition(100, 10);
+  EXPECT_TRUE(inst.IsFeasible());
+  size_t total = 0;
+  for (SetId s = 0; s < 10; ++s) total += inst.Set(s).size();
+  EXPECT_EQ(total, 100u);
+}
+
+TEST(GeneratorsTest, LogUniformCoversAllScales) {
+  Rng rng(8);
+  LogUniformParams params;
+  params.num_elements = 512;
+  params.num_sets = 4096;
+  auto inst = GenerateLogUniform(params, rng);
+  EXPECT_TRUE(inst.IsFeasible());
+  size_t small = 0, medium = 0, large = 0;
+  for (SetId s = 0; s < inst.NumSets(); ++s) {
+    size_t size = inst.Set(s).size();
+    small += size <= 2 ? 1 : 0;
+    medium += (size > 8 && size <= 64) ? 1 : 0;
+    large += size > 128 ? 1 : 0;
+  }
+  // Log-uniform: each factor-2 size band gets ~m/log₂(n) sets.
+  EXPECT_GT(small, 400u);
+  EXPECT_GT(medium, 400u);
+  EXPECT_GT(large, 200u);
+}
+
+TEST(GeneratorsTest, LogUniformRespectsMaxSetSize) {
+  Rng rng(9);
+  LogUniformParams params;
+  params.num_elements = 256;
+  params.num_sets = 300;
+  params.max_set_size = 16;
+  auto inst = GenerateLogUniform(params, rng);
+  // Patching can push single sets slightly above the cap; sampled
+  // sizes themselves are bounded.
+  size_t above = 0;
+  for (SetId s = 0; s < inst.NumSets(); ++s) {
+    above += inst.Set(s).size() > 17 ? 1 : 0;
+  }
+  EXPECT_LE(above, 3u);
+}
+
+TEST(GeneratorsTest, PartitionMoreSetsThanElements) {
+  auto inst = GeneratePartition(3, 8);
+  EXPECT_EQ(inst.NumSets(), 8u);
+  EXPECT_TRUE(inst.IsFeasible());
+}
+
+}  // namespace
+}  // namespace setcover

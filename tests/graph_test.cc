@@ -1,0 +1,128 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "instance/validator.h"
+#include "offline/greedy.h"
+
+namespace setcover {
+namespace {
+
+TEST(GraphTest, EmptyGraph) {
+  Graph graph(10);
+  EXPECT_EQ(graph.NumVertices(), 10u);
+  EXPECT_EQ(graph.NumEdges(), 0u);
+  for (uint32_t v = 0; v < 10; ++v) {
+    EXPECT_TRUE(graph.Neighbors(v).empty());
+  }
+}
+
+TEST(GraphTest, AddEdgeSymmetricDeduplicated) {
+  Graph graph(4);
+  graph.AddEdge(0, 1);
+  graph.AddEdge(1, 0);  // duplicate, reversed
+  graph.AddEdge(2, 3);
+  graph.AddEdge(1, 1);  // self-loop dropped
+  graph.Finish();
+  EXPECT_EQ(graph.NumEdges(), 2u);
+  ASSERT_EQ(graph.Neighbors(0).size(), 1u);
+  EXPECT_EQ(graph.Neighbors(0)[0], 1u);
+  ASSERT_EQ(graph.Neighbors(1).size(), 1u);
+  EXPECT_EQ(graph.Neighbors(1)[0], 0u);
+}
+
+TEST(GraphTest, ErdosRenyiEdgeCountNearExpectation) {
+  Rng rng(1);
+  const uint32_t n = 200;
+  const double p = 0.1;
+  Graph graph = Graph::ErdosRenyi(n, p, rng);
+  double expected = p * n * (n - 1) / 2.0;
+  EXPECT_NEAR(double(graph.NumEdges()), expected, 0.15 * expected);
+}
+
+TEST(GraphTest, ErdosRenyiExtremes) {
+  Rng rng(2);
+  EXPECT_EQ(Graph::ErdosRenyi(50, 0.0, rng).NumEdges(), 0u);
+  EXPECT_EQ(Graph::ErdosRenyi(50, 1.0, rng).NumEdges(), 50u * 49 / 2);
+}
+
+TEST(GraphTest, BarabasiAlbertIsHeavyTailed) {
+  Rng rng(3);
+  Graph graph = Graph::BarabasiAlbert(2000, 2, rng);
+  std::vector<size_t> degrees;
+  degrees.reserve(2000);
+  for (uint32_t v = 0; v < 2000; ++v) {
+    degrees.push_back(graph.Neighbors(v).size());
+  }
+  std::sort(degrees.begin(), degrees.end());
+  size_t max_degree = degrees.back();
+  double median = double(degrees[1000]);
+  // Preferential attachment: hubs dwarf the median degree.
+  EXPECT_GT(double(max_degree), 8.0 * median);
+}
+
+TEST(GraphTest, BarabasiAlbertConnectedEnough) {
+  Rng rng(4);
+  Graph graph = Graph::BarabasiAlbert(500, 3, rng);
+  // Every non-seed vertex attached to something.
+  for (uint32_t v = 3; v < 500; ++v) {
+    EXPECT_FALSE(graph.Neighbors(v).empty()) << v;
+  }
+}
+
+TEST(GraphTest, RandomRegularDegreesConcentrate) {
+  Rng rng(5);
+  Graph graph = Graph::RandomRegular(500, 8, rng);
+  size_t total = 0;
+  for (uint32_t v = 0; v < 500; ++v) {
+    auto degree = graph.Neighbors(v).size();
+    EXPECT_LE(degree, 8u);
+    total += degree;
+  }
+  // Only self-loops/duplicates are lost: on average degree ≈ 8 − o(1).
+  EXPECT_GT(double(total) / 500.0, 7.5);
+}
+
+TEST(GraphTest, DominatingSetInstanceMatchesGraph) {
+  Rng rng(6);
+  Graph graph = Graph::ErdosRenyi(80, 0.08, rng);
+  SetCoverInstance inst = graph.ToDominatingSetInstance();
+  EXPECT_EQ(inst.NumSets(), 80u);
+  EXPECT_EQ(inst.NumElements(), 80u);
+  // Closed neighborhood: v ∈ N[v] and |N[v]| = deg(v) + 1.
+  for (uint32_t v = 0; v < 80; ++v) {
+    EXPECT_TRUE(inst.Contains(v, v));
+    EXPECT_EQ(inst.Set(v).size(), graph.Neighbors(v).size() + 1);
+  }
+}
+
+TEST(GraphTest, GreedyCoverIsDominatingSet) {
+  Rng rng(7);
+  Graph graph = Graph::BarabasiAlbert(300, 2, rng);
+  SetCoverInstance inst = graph.ToDominatingSetInstance();
+  CoverSolution cover = GreedyCover(inst);
+  EXPECT_TRUE(ValidateSolution(inst, cover).ok);
+  std::vector<uint32_t> vertices(cover.cover.begin(), cover.cover.end());
+  EXPECT_TRUE(graph.IsDominatingSet(vertices));
+}
+
+TEST(GraphTest, IsDominatingSetRejectsNonDominating) {
+  Graph graph(4);
+  graph.AddEdge(0, 1);
+  graph.AddEdge(2, 3);
+  graph.Finish();
+  EXPECT_FALSE(graph.IsDominatingSet({0}));   // 2, 3 undominated
+  EXPECT_TRUE(graph.IsDominatingSet({0, 2}));
+  EXPECT_FALSE(graph.IsDominatingSet({99}));  // out of range
+}
+
+TEST(GraphDeathTest, AddEdgeOutOfRangeAborts) {
+  Graph graph(3);
+  EXPECT_DEATH(graph.AddEdge(0, 7), "out of range");
+}
+
+}  // namespace
+}  // namespace setcover

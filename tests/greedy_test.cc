@@ -1,0 +1,93 @@
+#include "offline/greedy.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "instance/generators.h"
+#include "instance/validator.h"
+#include "offline/exact.h"
+#include "util/rng.h"
+
+namespace setcover {
+namespace {
+
+TEST(GreedyTest, CoversSimpleInstance) {
+  auto inst = SetCoverInstance::FromSets(5, {{0, 1, 2}, {2, 3}, {3, 4}});
+  auto sol = GreedyCover(inst);
+  auto check = ValidateSolution(inst, sol);
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST(GreedyTest, PicksTheBigSetFirst) {
+  // One set covers everything; greedy must take exactly it.
+  auto inst = SetCoverInstance::FromSets(
+      6, {{0}, {1}, {0, 1, 2, 3, 4, 5}, {4, 5}});
+  auto sol = GreedyCover(inst);
+  ASSERT_EQ(sol.cover.size(), 1u);
+  EXPECT_EQ(sol.cover[0], 2u);
+}
+
+TEST(GreedyTest, PartitionNeedsAllBlocks) {
+  auto inst = GeneratePartition(60, 6);
+  auto sol = GreedyCover(inst);
+  EXPECT_EQ(sol.cover.size(), 6u);
+}
+
+TEST(GreedyTest, HandlesSingletonUniverse) {
+  auto inst = SetCoverInstance::FromSets(1, {{0}});
+  auto sol = GreedyCover(inst);
+  EXPECT_EQ(sol.cover.size(), 1u);
+  auto check = ValidateSolution(inst, sol);
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST(GreedyTest, IgnoresEmptySets) {
+  auto inst = SetCoverInstance::FromSets(2, {{}, {0, 1}, {}});
+  auto sol = GreedyCover(inst);
+  ASSERT_EQ(sol.cover.size(), 1u);
+  EXPECT_EQ(sol.cover[0], 1u);
+}
+
+TEST(GreedyTest, WithinLnNOfExactOnRandomInstances) {
+  Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    UniformRandomParams params;
+    params.num_elements = 14;
+    params.num_sets = 12;
+    params.min_set_size = 1;
+    params.max_set_size = 6;
+    auto inst = GenerateUniformRandom(params, rng);
+    auto greedy = GreedyCover(inst);
+    auto exact = ExactCover(inst);
+    ASSERT_TRUE(exact.has_value());
+    double bound = std::log(14.0) + 1.0;
+    EXPECT_LE(greedy.cover.size(),
+              std::ceil(bound * double(exact->cover.size())));
+    EXPECT_GE(greedy.cover.size(), exact->cover.size());
+  }
+}
+
+TEST(GreedyTest, CertificateSetsAreInCover) {
+  Rng rng(12);
+  UniformRandomParams params;
+  params.num_elements = 100;
+  params.num_sets = 50;
+  params.max_set_size = 10;
+  auto inst = GenerateUniformRandom(params, rng);
+  auto sol = GreedyCover(inst);
+  auto check = ValidateSolution(inst, sol);
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST(GreedyTest, InfeasibleInstanceLeavesKNoSet) {
+  auto inst = SetCoverInstance::FromSets(3, {{0, 1}});
+  auto sol = GreedyCover(inst);
+  EXPECT_EQ(sol.cover.size(), 1u);
+  EXPECT_EQ(sol.certificate[0], 0u);
+  EXPECT_EQ(sol.certificate[1], 0u);
+  EXPECT_EQ(sol.certificate[2], kNoSet);
+}
+
+}  // namespace
+}  // namespace setcover

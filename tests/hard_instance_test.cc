@@ -1,0 +1,98 @@
+#include "instance/hard_instance.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace setcover {
+namespace {
+
+TEST(Lemma1FamilyTest, SizesMatchLemma) {
+  Rng rng(1);
+  auto fam = Lemma1Family::Build(/*n=*/400, /*t=*/4, /*m=*/20, rng);
+  EXPECT_EQ(fam.n(), 400u);
+  EXPECT_EQ(fam.t(), 4u);
+  EXPECT_EQ(fam.m(), 20u);
+  // part size = floor(sqrt(n/t)) = 10, s = t·part = 40 ≈ sqrt(n·t).
+  EXPECT_EQ(fam.PartSize(), 10u);
+  EXPECT_EQ(fam.SetSize(), 40u);
+  for (uint32_t i = 0; i < fam.m(); ++i) {
+    EXPECT_EQ(fam.FullSet(i).size(), 40u);
+  }
+}
+
+TEST(Lemma1FamilyTest, PartsPartitionTheSet) {
+  Rng rng(2);
+  auto fam = Lemma1Family::Build(900, 9, 10, rng);
+  for (uint32_t i = 0; i < fam.m(); ++i) {
+    std::set<ElementId> all;
+    for (uint32_t r = 0; r < fam.t(); ++r) {
+      for (ElementId u : fam.Part(i, r)) {
+        EXPECT_TRUE(all.insert(u).second) << "parts overlap";
+      }
+    }
+    EXPECT_EQ(all.size(), fam.SetSize());
+  }
+}
+
+TEST(Lemma1FamilyTest, SetsAreSubsetsOfUniverse) {
+  Rng rng(3);
+  auto fam = Lemma1Family::Build(256, 4, 12, rng);
+  for (uint32_t i = 0; i < fam.m(); ++i) {
+    for (ElementId u : fam.FullSet(i)) EXPECT_LT(u, 256u);
+  }
+}
+
+TEST(Lemma1FamilyTest, CrossIntersectionIsLogarithmic) {
+  // Lemma 1: |T_i^r ∩ T_j| = O(log n) w.h.p. — expected value is 1, so a
+  // generous constant bound certifies the property at this scale.
+  Rng rng(4);
+  auto fam = Lemma1Family::Build(1024, 4, 24, rng);
+  EXPECT_LE(fam.MaxCrossIntersection(), 8u);
+}
+
+TEST(Lemma1FamilyTest, ComplementIsExact) {
+  Rng rng(5);
+  auto fam = Lemma1Family::Build(100, 2, 5, rng);
+  for (uint32_t i = 0; i < fam.m(); ++i) {
+    auto comp = fam.Complement(i);
+    EXPECT_EQ(comp.size(), 100u - fam.SetSize());
+    std::set<ElementId> in_set(fam.FullSet(i).begin(),
+                               fam.FullSet(i).end());
+    for (ElementId u : comp) {
+      EXPECT_EQ(in_set.count(u), 0u);
+      EXPECT_LT(u, 100u);
+    }
+  }
+}
+
+TEST(Lemma1FamilyTest, TEqualsOneDegenerate) {
+  Rng rng(6);
+  auto fam = Lemma1Family::Build(64, 1, 4, rng);
+  EXPECT_EQ(fam.SetSize(), fam.PartSize());
+  EXPECT_EQ(fam.SetSize(), 8u);  // sqrt(64)
+}
+
+TEST(Lemma1FamilyTest, DeterministicGivenSeed) {
+  Rng a(7), b(7);
+  auto f1 = Lemma1Family::Build(144, 4, 6, a);
+  auto f2 = Lemma1Family::Build(144, 4, 6, b);
+  for (uint32_t i = 0; i < 6; ++i) {
+    auto s1 = f1.FullSet(i), s2 = f2.FullSet(i);
+    ASSERT_EQ(s1.size(), s2.size());
+    EXPECT_TRUE(std::equal(s1.begin(), s1.end(), s2.begin()));
+  }
+}
+
+TEST(Lemma1FamilyDeathTest, RejectsBadParameters) {
+  Rng rng(8);
+  EXPECT_DEATH(Lemma1Family::Build(10, 0, 5, rng), "");
+  EXPECT_DEATH(Lemma1Family::Build(10, 11, 5, rng), "");
+  EXPECT_DEATH(Lemma1Family::Build(10, 2, 0, rng), "");
+}
+
+}  // namespace
+}  // namespace setcover

@@ -1,0 +1,78 @@
+#include "instance/instance.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace setcover {
+namespace {
+
+TEST(InstanceTest, FromSetsBasics) {
+  auto inst = SetCoverInstance::FromSets(5, {{0, 1, 2}, {2, 3}, {4}});
+  EXPECT_EQ(inst.NumElements(), 5u);
+  EXPECT_EQ(inst.NumSets(), 3u);
+  EXPECT_EQ(inst.NumEdges(), 6u);
+}
+
+TEST(InstanceTest, SetsAreSortedAndDeduplicated) {
+  auto inst = SetCoverInstance::FromSets(5, {{3, 1, 3, 1, 0}});
+  auto set = inst.Set(0);
+  ASSERT_EQ(set.size(), 3u);
+  EXPECT_EQ(set[0], 0u);
+  EXPECT_EQ(set[1], 1u);
+  EXPECT_EQ(set[2], 3u);
+  EXPECT_EQ(inst.NumEdges(), 3u);
+}
+
+TEST(InstanceTest, Contains) {
+  auto inst = SetCoverInstance::FromSets(6, {{0, 2, 4}, {1, 5}});
+  EXPECT_TRUE(inst.Contains(0, 0));
+  EXPECT_TRUE(inst.Contains(0, 4));
+  EXPECT_FALSE(inst.Contains(0, 1));
+  EXPECT_TRUE(inst.Contains(1, 5));
+  EXPECT_FALSE(inst.Contains(1, 4));
+}
+
+TEST(InstanceTest, ElementDegrees) {
+  auto inst = SetCoverInstance::FromSets(4, {{0, 1}, {1, 2}, {1}});
+  auto deg = inst.ElementDegrees();
+  ASSERT_EQ(deg.size(), 4u);
+  EXPECT_EQ(deg[0], 1u);
+  EXPECT_EQ(deg[1], 3u);
+  EXPECT_EQ(deg[2], 1u);
+  EXPECT_EQ(deg[3], 0u);
+}
+
+TEST(InstanceTest, Feasibility) {
+  EXPECT_TRUE(
+      SetCoverInstance::FromSets(3, {{0, 1}, {2}}).IsFeasible());
+  EXPECT_FALSE(
+      SetCoverInstance::FromSets(3, {{0, 1}}).IsFeasible());
+}
+
+TEST(InstanceTest, EmptySetsAllowed) {
+  auto inst = SetCoverInstance::FromSets(2, {{}, {0, 1}});
+  EXPECT_EQ(inst.Set(0).size(), 0u);
+  EXPECT_TRUE(inst.IsFeasible());
+}
+
+TEST(InstanceTest, PlantedCoverRoundTrip) {
+  auto inst = SetCoverInstance::FromSets(2, {{0}, {1}, {0, 1}});
+  EXPECT_TRUE(inst.PlantedCover().empty());
+  inst.SetPlantedCover({2});
+  ASSERT_EQ(inst.PlantedCover().size(), 1u);
+  EXPECT_EQ(inst.PlantedCover()[0], 2u);
+}
+
+TEST(InstanceTest, SingleElementUniverse) {
+  auto inst = SetCoverInstance::FromSets(1, {{0}});
+  EXPECT_EQ(inst.NumElements(), 1u);
+  EXPECT_TRUE(inst.IsFeasible());
+}
+
+TEST(InstanceDeathTest, OutOfRangeElementAborts) {
+  EXPECT_DEATH(SetCoverInstance::FromSets(3, {{0, 3}}), "out of range");
+}
+
+}  // namespace
+}  // namespace setcover

@@ -1,0 +1,161 @@
+// Cross-module integration tests: full pipelines from generator through
+// ordering, streaming algorithm, validation and quality comparison.
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/adversarial_level.h"
+#include "core/kk_algorithm.h"
+#include "core/multi_run.h"
+#include "core/random_order.h"
+#include "core/set_arrival.h"
+#include "core/trivial.h"
+#include "instance/generators.h"
+#include "instance/io.h"
+#include "offline/exact.h"
+#include "offline/greedy.h"
+#include "tests/test_util.h"
+
+namespace setcover {
+namespace {
+
+std::vector<std::unique_ptr<StreamingSetCoverAlgorithm>> AllAlgorithms(
+    uint64_t seed) {
+  std::vector<std::unique_ptr<StreamingSetCoverAlgorithm>> algorithms;
+  algorithms.push_back(std::make_unique<KkAlgorithm>(seed));
+  algorithms.push_back(std::make_unique<AdversarialLevelAlgorithm>(seed));
+  algorithms.push_back(std::make_unique<RandomOrderAlgorithm>(seed));
+  algorithms.push_back(std::make_unique<FirstSetPatching>());
+  algorithms.push_back(std::make_unique<StoreEverythingGreedy>());
+  algorithms.push_back(std::make_unique<SetArrivalThreshold>());
+  algorithms.push_back(std::make_unique<NGuessRandomOrder>(seed));
+  return algorithms;
+}
+
+TEST(IntegrationTest, EveryAlgorithmCoversEveryFamily) {
+  Rng rng(1);
+  std::vector<SetCoverInstance> instances;
+  {
+    UniformRandomParams p;
+    p.num_elements = 80;
+    p.num_sets = 120;
+    p.max_set_size = 9;
+    instances.push_back(GenerateUniformRandom(p, rng));
+  }
+  {
+    PlantedCoverParams p;
+    p.num_elements = 90;
+    p.num_sets = 150;
+    p.planted_cover_size = 5;
+    instances.push_back(GeneratePlantedCover(p, rng));
+  }
+  {
+    ZipfParams p;
+    p.num_elements = 70;
+    p.num_sets = 200;
+    p.exponent = 1.1;
+    instances.push_back(GenerateZipf(p, rng));
+  }
+  instances.push_back(GenerateDominatingSet(60, 0.1, rng));
+  instances.push_back(GeneratePartition(64, 8));
+
+  uint64_t seed = 42;
+  for (const auto& inst : instances) {
+    for (auto& algorithm : AllAlgorithms(seed++)) {
+      RunAndValidate(*algorithm, inst, StreamOrder::kRandom, seed);
+    }
+  }
+}
+
+TEST(IntegrationTest, StreamingNeverBeatsExactAndAlwaysCovers) {
+  Rng rng(2);
+  for (int trial = 0; trial < 10; ++trial) {
+    UniformRandomParams p;
+    p.num_elements = 14;
+    p.num_sets = 16;
+    p.max_set_size = 5;
+    auto inst = GenerateUniformRandom(p, rng);
+    auto exact = ExactCover(inst);
+    ASSERT_TRUE(exact.has_value());
+    for (auto& algorithm : AllAlgorithms(trial)) {
+      auto sol =
+          RunAndValidate(*algorithm, inst, StreamOrder::kRandom, trial);
+      EXPECT_GE(sol.cover.size(), exact->cover.size())
+          << algorithm->Name();
+    }
+  }
+}
+
+TEST(IntegrationTest, QualityOrderingOnPlantedInstance) {
+  // Full-space greedy <= KK <= trivial-ish bounds, on a planted
+  // instance with strong structure.
+  Rng rng(3);
+  PlantedCoverParams p;
+  p.num_elements = 256;
+  p.num_sets = 2048;
+  p.planted_cover_size = 4;
+  p.decoy_max_size = 4;
+  auto inst = GeneratePlantedCover(p, rng);
+
+  StoreEverythingGreedy greedy;
+  auto greedy_sol = RunAndValidate(greedy, inst, StreamOrder::kRandom, 7);
+  KkAlgorithm kk(11);
+  auto kk_sol = RunAndValidate(kk, inst, StreamOrder::kRandom, 7);
+  EXPECT_LE(greedy_sol.cover.size(), kk_sol.cover.size());
+  EXPECT_LE(kk_sol.cover.size(), size_t(inst.NumElements()));
+}
+
+TEST(IntegrationTest, SpaceOrderingMatchesTable1) {
+  // On m ≫ n instances: random-order algorithm < KK < store-everything.
+  Rng rng(4);
+  PlantedCoverParams p;
+  p.num_elements = 256;
+  p.num_sets = 65536;  // m = n²
+  p.planted_cover_size = 4;
+  p.decoy_max_size = 4;
+  auto inst = GeneratePlantedCover(p, rng);
+  auto stream = RandomOrderStream(inst, rng);
+
+  RandomOrderAlgorithm random_order(5);
+  RunStream(random_order, stream);
+  KkAlgorithm kk(5);
+  RunStream(kk, stream);
+  StoreEverythingGreedy everything;
+  RunStream(everything, stream);
+
+  EXPECT_LT(random_order.Meter().PeakWords(), kk.Meter().PeakWords())
+      << random_order.Meter().BreakdownString();
+  EXPECT_LT(kk.Meter().PeakWords(), everything.Meter().PeakWords());
+}
+
+TEST(IntegrationTest, InstanceSurvivesIoThenSolves) {
+  Rng rng(5);
+  PlantedCoverParams p;
+  p.num_elements = 50;
+  p.num_sets = 80;
+  p.planted_cover_size = 4;
+  auto inst = GeneratePlantedCover(p, rng);
+  std::string path = testing::TempDir() + "/integration_instance.txt";
+  ASSERT_TRUE(WriteInstanceFile(inst, path));
+  std::string error;
+  auto loaded = ReadInstanceFile(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  KkAlgorithm kk(9);
+  auto sol = RunAndValidate(kk, *loaded, StreamOrder::kRandom, 6);
+  EXPECT_GE(sol.cover.size(), loaded->PlantedCover().size());
+}
+
+TEST(IntegrationTest, DominatingSetPipelineMatchesKkSpecialCase) {
+  // m = n: the Dominating Set special case through which Theorem 1 was
+  // derived. All algorithms must handle it.
+  Rng rng(6);
+  auto inst = GenerateDominatingSet(128, 0.05, rng);
+  for (auto& algorithm : AllAlgorithms(17)) {
+    RunAndValidate(*algorithm, inst, StreamOrder::kRandom, 8);
+  }
+}
+
+}  // namespace
+}  // namespace setcover

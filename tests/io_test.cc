@@ -1,0 +1,101 @@
+#include "instance/io.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "instance/generators.h"
+#include "util/rng.h"
+
+namespace setcover {
+namespace {
+
+bool SameInstance(const SetCoverInstance& a, const SetCoverInstance& b) {
+  if (a.NumElements() != b.NumElements() || a.NumSets() != b.NumSets())
+    return false;
+  for (SetId s = 0; s < a.NumSets(); ++s) {
+    auto sa = a.Set(s), sb = b.Set(s);
+    if (sa.size() != sb.size()) return false;
+    for (size_t i = 0; i < sa.size(); ++i) {
+      if (sa[i] != sb[i]) return false;
+    }
+  }
+  return a.PlantedCover() == b.PlantedCover();
+}
+
+TEST(IoTest, RoundTripSimple) {
+  auto inst = SetCoverInstance::FromSets(4, {{0, 1}, {2, 3}, {}});
+  std::stringstream ss;
+  WriteInstanceText(inst, ss);
+  std::string error;
+  auto parsed = ReadInstanceText(ss, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_TRUE(SameInstance(inst, *parsed));
+}
+
+TEST(IoTest, RoundTripWithPlantedCover) {
+  Rng rng(1);
+  PlantedCoverParams params;
+  params.num_elements = 30;
+  params.num_sets = 12;
+  params.planted_cover_size = 3;
+  auto inst = GeneratePlantedCover(params, rng);
+  std::stringstream ss;
+  WriteInstanceText(inst, ss);
+  std::string error;
+  auto parsed = ReadInstanceText(ss, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_TRUE(SameInstance(inst, *parsed));
+  EXPECT_EQ(parsed->PlantedCover().size(), 3u);
+}
+
+TEST(IoTest, RejectsBadHeader) {
+  std::stringstream ss("wrongmagic 3 2\n1 0\n1 1\n");
+  std::string error;
+  EXPECT_FALSE(ReadInstanceText(ss, &error).has_value());
+  EXPECT_NE(error.find("header"), std::string::npos);
+}
+
+TEST(IoTest, RejectsTruncatedSets) {
+  std::stringstream ss("setcover 3 2\n2 0 1\n");
+  std::string error;
+  EXPECT_FALSE(ReadInstanceText(ss, &error).has_value());
+}
+
+TEST(IoTest, RejectsOutOfRangeElement) {
+  std::stringstream ss("setcover 3 1\n1 7\n");
+  std::string error;
+  EXPECT_FALSE(ReadInstanceText(ss, &error).has_value());
+}
+
+TEST(IoTest, RejectsBadPlantedEntry) {
+  std::stringstream ss("setcover 2 1\n2 0 1\nplanted 1 5\n");
+  std::string error;
+  EXPECT_FALSE(ReadInstanceText(ss, &error).has_value());
+}
+
+TEST(IoTest, RejectsUnknownTrailer) {
+  std::stringstream ss("setcover 2 1\n2 0 1\ngarbage\n");
+  std::string error;
+  EXPECT_FALSE(ReadInstanceText(ss, &error).has_value());
+}
+
+TEST(IoTest, FileRoundTrip) {
+  auto inst = SetCoverInstance::FromSets(3, {{0}, {1, 2}});
+  std::string path = testing::TempDir() + "/setcover_io_test.txt";
+  ASSERT_TRUE(WriteInstanceFile(inst, path));
+  std::string error;
+  auto parsed = ReadInstanceFile(path, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_TRUE(SameInstance(inst, *parsed));
+}
+
+TEST(IoTest, MissingFileReportsError) {
+  std::string error;
+  EXPECT_FALSE(
+      ReadInstanceFile("/nonexistent/path/foo.txt", &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace setcover

@@ -1,0 +1,57 @@
+#include "util/kmv.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace setcover {
+namespace {
+
+TEST(KmvTest, ExactBelowK) {
+  KmvSketch sketch(64, 1);
+  for (uint64_t key = 0; key < 50; ++key) sketch.Add(key);
+  EXPECT_DOUBLE_EQ(sketch.EstimateDistinct(), 50.0);
+}
+
+TEST(KmvTest, DuplicatesDoNotInflate) {
+  KmvSketch sketch(64, 2);
+  for (int round = 0; round < 100; ++round) {
+    for (uint64_t key = 0; key < 30; ++key) sketch.Add(key);
+  }
+  EXPECT_DOUBLE_EQ(sketch.EstimateDistinct(), 30.0);
+}
+
+TEST(KmvTest, EstimatesLargeCardinalityWithinRelativeError) {
+  const size_t k = 1024;
+  KmvSketch sketch(k, 3);
+  const uint64_t distinct = 100000;
+  for (uint64_t key = 0; key < distinct; ++key) sketch.Add(key);
+  double estimate = sketch.EstimateDistinct();
+  // Relative error O(1/√k) ≈ 3%; allow 5σ.
+  EXPECT_NEAR(estimate, double(distinct), 0.16 * double(distinct));
+}
+
+TEST(KmvTest, MonotoneInDistinctCount) {
+  KmvSketch small(256, 4), large(256, 4);
+  for (uint64_t key = 0; key < 5000; ++key) small.Add(key);
+  for (uint64_t key = 0; key < 50000; ++key) large.Add(key);
+  EXPECT_LT(small.EstimateDistinct() * 3, large.EstimateDistinct());
+}
+
+TEST(KmvTest, SpaceIsBounded) {
+  KmvSketch sketch(128, 5);
+  for (uint64_t key = 0; key < 100000; ++key) sketch.Add(key);
+  EXPECT_LE(sketch.WordsUsed(), 2 * 128u);
+}
+
+TEST(KmvTest, KOneDegenerate) {
+  KmvSketch sketch(1, 6);
+  sketch.Add(10);
+  sketch.Add(20);
+  EXPECT_GE(sketch.EstimateDistinct(), 0.0);  // no crash, finite
+}
+
+}  // namespace
+}  // namespace setcover

@@ -1,0 +1,99 @@
+#include "offline/lp_bound.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "instance/generators.h"
+#include "offline/exact.h"
+#include "offline/greedy.h"
+#include "util/rng.h"
+
+namespace setcover {
+namespace {
+
+TEST(LpBoundTest, ExactOnPartitionInstances) {
+  auto inst = GeneratePartition(120, 6);
+  EXPECT_NEAR(DualPackingLowerBound(inst), 6.0, 1e-9);
+}
+
+TEST(LpBoundTest, NeverExceedsExactOptimum) {
+  Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    UniformRandomParams p;
+    p.num_elements = 14;
+    p.num_sets = 14;
+    p.max_set_size = 6;
+    auto inst = GenerateUniformRandom(p, rng);
+    auto exact = ExactCover(inst);
+    ASSERT_TRUE(exact.has_value());
+    double bound = DualPackingLowerBound(inst, 3, 100 + trial);
+    EXPECT_LE(bound, double(exact->cover.size()) + 1e-9);
+    EXPECT_GT(bound, 0.0);
+  }
+}
+
+TEST(LpBoundTest, CertificateIsDualFeasible) {
+  Rng rng(2);
+  for (int trial = 0; trial < 10; ++trial) {
+    UniformRandomParams p;
+    p.num_elements = 60;
+    p.num_sets = 80;
+    p.max_set_size = 9;
+    auto inst = GenerateUniformRandom(p, rng);
+    EXPECT_LE(DualPackingMaxLoad(inst, 3, trial), 1.0 + 1e-9);
+  }
+}
+
+TEST(LpBoundTest, ImprovementPassesNeverHurt) {
+  Rng rng(3);
+  UniformRandomParams p;
+  p.num_elements = 100;
+  p.num_sets = 120;
+  p.max_set_size = 10;
+  auto inst = GenerateUniformRandom(p, rng);
+  double base = DualPackingLowerBound(inst, 0, 7);
+  double improved = DualPackingLowerBound(inst, 3, 7);
+  EXPECT_GE(improved, base - 1e-9);
+}
+
+TEST(LpBoundTest, WithinLnNOfGreedy) {
+  // greedy ≤ (ln n + 1)·OPT and bound ≤ OPT, so greedy/bound ≤ ln n + 1
+  // whenever the LP gap is small; verify with slack for the gap.
+  Rng rng(4);
+  PlantedCoverParams p;
+  p.num_elements = 200;
+  p.num_sets = 300;
+  p.planted_cover_size = 8;
+  auto inst = GeneratePlantedCover(p, rng);
+  double bound = DualPackingLowerBound(inst, 3, 9);
+  auto greedy = GreedyCover(inst);
+  EXPECT_GE(bound, 1.0);
+  EXPECT_LE(double(greedy.cover.size()),
+            3.0 * (std::log(200.0) + 1.0) * bound);
+}
+
+TEST(LpBoundTest, SingletonUniverse) {
+  auto inst = SetCoverInstance::FromSets(1, {{0}});
+  EXPECT_NEAR(DualPackingLowerBound(inst), 1.0, 1e-9);
+}
+
+TEST(LpBoundTest, IsolatedElementsContributeNothing) {
+  auto inst = SetCoverInstance::FromSets(3, {{0, 1}});
+  // Element 2 is uncoverable; the dual ignores it.
+  double bound = DualPackingLowerBound(inst);
+  EXPECT_NEAR(bound, 1.0, 1e-9);
+}
+
+TEST(LpBoundTest, DeterministicGivenSeed) {
+  Rng rng(5);
+  UniformRandomParams p;
+  p.num_elements = 50;
+  p.num_sets = 60;
+  auto inst = GenerateUniformRandom(p, rng);
+  EXPECT_DOUBLE_EQ(DualPackingLowerBound(inst, 2, 42),
+                   DualPackingLowerBound(inst, 2, 42));
+}
+
+}  // namespace
+}  // namespace setcover

@@ -1,0 +1,119 @@
+#include "core/max_coverage.h"
+
+#include <gtest/gtest.h>
+
+#include "instance/generators.h"
+#include "stream/orderings.h"
+#include "util/rng.h"
+
+namespace setcover {
+namespace {
+
+TEST(GreedyMaxCoverageTest, PicksObviousBest) {
+  auto inst = SetCoverInstance::FromSets(
+      8, {{0}, {0, 1, 2, 3}, {4, 5, 6, 7}, {7}});
+  auto result = GreedyMaxCoverage(inst, 2);
+  EXPECT_EQ(result.covered_elements, 8u);
+  ASSERT_EQ(result.chosen.size(), 2u);
+  EXPECT_TRUE((result.chosen[0] == 1 && result.chosen[1] == 2) ||
+              (result.chosen[0] == 2 && result.chosen[1] == 1));
+}
+
+TEST(GreedyMaxCoverageTest, RespectsBudget) {
+  auto inst = GeneratePartition(100, 10);
+  for (uint32_t budget : {1u, 3u, 10u, 50u}) {
+    auto result = GreedyMaxCoverage(inst, budget);
+    EXPECT_LE(result.chosen.size(), budget);
+    // Partition blocks are size 10: coverage = 10·min(budget, 10).
+    EXPECT_EQ(result.covered_elements, 10u * std::min(budget, 10u));
+  }
+}
+
+TEST(GreedyMaxCoverageTest, CoverageMatchesCoverageOf) {
+  Rng rng(1);
+  UniformRandomParams p;
+  p.num_elements = 80;
+  p.num_sets = 60;
+  p.max_set_size = 10;
+  auto inst = GenerateUniformRandom(p, rng);
+  auto result = GreedyMaxCoverage(inst, 7);
+  EXPECT_EQ(result.covered_elements, CoverageOf(inst, result.chosen));
+}
+
+TEST(GreedyMaxCoverageTest, StopsWhenNothingGains) {
+  auto inst = SetCoverInstance::FromSets(4, {{0, 1}, {0, 1}, {2, 3}});
+  auto result = GreedyMaxCoverage(inst, 3);
+  // Two picks cover everything; the third adds nothing and is skipped.
+  EXPECT_EQ(result.chosen.size(), 2u);
+  EXPECT_EQ(result.covered_elements, 4u);
+}
+
+TEST(StreamingMaxCoverageTest, RespectsBudgetAndReportsFloor) {
+  Rng rng(2);
+  PlantedCoverParams p;
+  p.num_elements = 256;
+  p.num_sets = 2048;
+  p.planted_cover_size = 8;
+  p.decoy_max_size = 4;
+  auto inst = GeneratePlantedCover(p, rng);
+  auto stream = RandomOrderStream(inst, rng);
+  auto result = RunStreamingMaxCoverage(stream, 8);
+  EXPECT_LE(result.chosen.size(), 8u);
+  EXPECT_LE(result.covered_elements, CoverageOf(inst, result.chosen));
+}
+
+TEST(StreamingMaxCoverageTest, CompetitiveWithGreedyOnPlanted) {
+  // The planted sets dominate coverage; the threshold rule should find
+  // a constant fraction of what offline greedy covers.
+  Rng rng(3);
+  PlantedCoverParams p;
+  p.num_elements = 512;
+  p.num_sets = 4096;
+  p.planted_cover_size = 8;
+  p.decoy_max_size = 4;
+  auto inst = GeneratePlantedCover(p, rng);
+  auto stream = RandomOrderStream(inst, rng);
+
+  auto offline = GreedyMaxCoverage(inst, 8);
+  auto streaming = RunStreamingMaxCoverage(stream, 8);
+  size_t streaming_true = CoverageOf(inst, streaming.chosen);
+  EXPECT_GE(3 * streaming_true, offline.covered_elements);
+}
+
+TEST(StreamingMaxCoverageTest, FillsBudgetWithResidualCounters) {
+  // No set reaches the threshold (tiny sets): the leftover budget is
+  // spent on the best counters at the end.
+  auto inst = GeneratePartition(64, 32);  // blocks of 2
+  Rng rng(4);
+  auto stream = RandomOrderStream(inst, rng);
+  auto result = RunStreamingMaxCoverage(stream, 5, /*fraction=*/2.0);
+  EXPECT_EQ(result.chosen.size(), 5u);
+  EXPECT_GE(CoverageOf(inst, result.chosen), 10u);  // 5 blocks × 2
+}
+
+TEST(StreamingMaxCoverageTest, BudgetOneTakesAThresholdSet) {
+  auto inst = SetCoverInstance::FromSets(
+      10, {{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, {0}, {1}});
+  Rng rng(5);
+  auto stream = RandomOrderStream(inst, rng);
+  auto result = RunStreamingMaxCoverage(stream, 1);
+  ASSERT_EQ(result.chosen.size(), 1u);
+  EXPECT_EQ(result.chosen[0], 0u);
+}
+
+TEST(StreamingMaxCoverageTest, SpaceIsMPlusNBits) {
+  Rng rng(6);
+  UniformRandomParams p;
+  p.num_elements = 128;
+  p.num_sets = 4096;
+  auto inst = GenerateUniformRandom(p, rng);
+  auto stream = RandomOrderStream(inst, rng);
+  StreamingMaxCoverage algorithm(16);
+  algorithm.Begin(stream.meta);
+  for (const Edge& e : stream.edges) algorithm.ProcessEdge(e);
+  algorithm.Finalize();
+  EXPECT_LE(algorithm.Meter().PeakWords(), 4096u + 128u + 64u);
+}
+
+}  // namespace
+}  // namespace setcover

@@ -1,0 +1,80 @@
+#include "util/memory_meter.h"
+
+#include <gtest/gtest.h>
+
+namespace setcover {
+namespace {
+
+TEST(MemoryMeterTest, StartsEmpty) {
+  MemoryMeter meter;
+  EXPECT_EQ(meter.CurrentWords(), 0u);
+  EXPECT_EQ(meter.PeakWords(), 0u);
+}
+
+TEST(MemoryMeterTest, SetTracksCurrentAndPeak) {
+  MemoryMeter meter;
+  auto a = meter.Register("a");
+  meter.Set(a, 100);
+  EXPECT_EQ(meter.CurrentWords(), 100u);
+  EXPECT_EQ(meter.PeakWords(), 100u);
+  meter.Set(a, 40);
+  EXPECT_EQ(meter.CurrentWords(), 40u);
+  EXPECT_EQ(meter.PeakWords(), 100u);
+}
+
+TEST(MemoryMeterTest, MultipleComponentsSum) {
+  MemoryMeter meter;
+  auto a = meter.Register("a");
+  auto b = meter.Register("b");
+  meter.Set(a, 10);
+  meter.Set(b, 20);
+  EXPECT_EQ(meter.CurrentWords(), 30u);
+  EXPECT_EQ(meter.ComponentWords(a), 10u);
+  EXPECT_EQ(meter.ComponentWords(b), 20u);
+}
+
+TEST(MemoryMeterTest, PeakIsOfTheTotal) {
+  MemoryMeter meter;
+  auto a = meter.Register("a");
+  auto b = meter.Register("b");
+  meter.Set(a, 50);
+  meter.Set(b, 50);  // total 100
+  meter.Set(a, 0);
+  meter.Set(b, 90);  // total 90
+  EXPECT_EQ(meter.PeakWords(), 100u);
+  EXPECT_EQ(meter.ComponentPeakWords(b), 90u);
+}
+
+TEST(MemoryMeterTest, AddAndSub) {
+  MemoryMeter meter;
+  auto a = meter.Register("a");
+  meter.Add(a, 5);
+  meter.Add(a, 7);
+  EXPECT_EQ(meter.CurrentWords(), 12u);
+  meter.Sub(a, 2);
+  EXPECT_EQ(meter.CurrentWords(), 10u);
+  EXPECT_EQ(meter.PeakWords(), 12u);
+}
+
+TEST(MemoryMeterTest, ResetClearsCountsKeepsComponents) {
+  MemoryMeter meter;
+  auto a = meter.Register("a");
+  meter.Set(a, 99);
+  meter.Reset();
+  EXPECT_EQ(meter.CurrentWords(), 0u);
+  EXPECT_EQ(meter.PeakWords(), 0u);
+  meter.Set(a, 3);  // component id still valid
+  EXPECT_EQ(meter.CurrentWords(), 3u);
+}
+
+TEST(MemoryMeterTest, BreakdownStringMentionsComponents) {
+  MemoryMeter meter;
+  auto a = meter.Register("levels");
+  meter.Set(a, 7);
+  std::string s = meter.BreakdownString();
+  EXPECT_NE(s.find("levels=7"), std::string::npos);
+  EXPECT_NE(s.find("peak_total=7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace setcover

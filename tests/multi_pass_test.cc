@@ -1,0 +1,155 @@
+#include "core/multi_pass.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "instance/generators.h"
+#include "instance/validator.h"
+#include "offline/exact.h"
+#include "stream/orderings.h"
+#include "util/rng.h"
+
+namespace setcover {
+namespace {
+
+SetCoverInstance PlantedInstance(uint32_t n, uint32_t m, uint32_t opt,
+                                 uint64_t seed) {
+  Rng rng(seed);
+  PlantedCoverParams params;
+  params.num_elements = n;
+  params.num_sets = m;
+  params.planted_cover_size = opt;
+  params.decoy_max_size = 4;
+  return GeneratePlantedCover(params, rng);
+}
+
+CoverSolution RunOn(ProgressiveThresholdMultiPass& algorithm,
+                    const SetCoverInstance& inst, StreamOrder order,
+                    uint64_t seed, uint32_t* passes = nullptr) {
+  Rng rng(seed);
+  auto stream = OrderedStream(inst, order, rng);
+  auto solution = RunMultiPass(algorithm, stream, 64, passes);
+  auto check = ValidateSolution(inst, solution);
+  EXPECT_TRUE(check.ok) << check.error;
+  return solution;
+}
+
+TEST(MultiPassTest, FullScheduleCoversOnAllOrders) {
+  auto inst = PlantedInstance(100, 300, 4, 1);
+  for (StreamOrder order :
+       {StreamOrder::kRandom, StreamOrder::kSetMajor,
+        StreamOrder::kElementMajor, StreamOrder::kRoundRobinSets,
+        StreamOrder::kLargeSetsLast}) {
+    ProgressiveThresholdMultiPass algorithm;
+    RunOn(algorithm, inst, order, 2);
+  }
+}
+
+TEST(MultiPassTest, UsesLogNPassesByDefault) {
+  auto inst = PlantedInstance(256, 512, 4, 2);
+  ProgressiveThresholdMultiPass algorithm;
+  uint32_t passes = 0;
+  RunOn(algorithm, inst, StreamOrder::kRandom, 3, &passes);
+  EXPECT_EQ(passes, 9u);  // ceil(log2 256) + 1
+  EXPECT_EQ(algorithm.Thresholds().back(), 1u);
+}
+
+TEST(MultiPassTest, ThresholdScheduleIsDecreasing) {
+  auto inst = PlantedInstance(1024, 256, 4, 3);
+  MultiPassParams params;
+  params.passes = 5;
+  ProgressiveThresholdMultiPass algorithm(params);
+  Rng rng(4);
+  auto stream = RandomOrderStream(inst, rng);
+  algorithm.Begin(stream.meta);
+  const auto& thresholds = algorithm.Thresholds();
+  ASSERT_EQ(thresholds.size(), 5u);
+  for (size_t i = 1; i < thresholds.size(); ++i) {
+    EXPECT_LE(thresholds[i], thresholds[i - 1]);
+  }
+  EXPECT_EQ(thresholds.back(), 1u);
+}
+
+TEST(MultiPassTest, NearGreedyQualityWithFullSchedule) {
+  // O(log n) approx with the full schedule: on small instances it must
+  // sit within a small factor of exact.
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    UniformRandomParams p;
+    p.num_elements = 14;
+    p.num_sets = 16;
+    p.max_set_size = 6;
+    auto inst = GenerateUniformRandom(p, rng);
+    auto exact = ExactCover(inst);
+    ASSERT_TRUE(exact.has_value());
+    ProgressiveThresholdMultiPass algorithm;
+    auto sol = RunOn(algorithm, inst, StreamOrder::kRandom, 10 + trial);
+    EXPECT_LE(sol.cover.size(), 4 * exact->cover.size() + 1);
+  }
+}
+
+TEST(MultiPassTest, MorePassesNeverMuchWorse) {
+  // The p-pass trade-off (Chakrabarti–Wirth shape): quality improves
+  // (or stays flat) as p grows.
+  auto inst = PlantedInstance(512, 2048, 8, 6);
+  double cover2 = 0, cover10 = 0;
+  for (int t = 0; t < 3; ++t) {
+    MultiPassParams p2;
+    p2.passes = 2;
+    ProgressiveThresholdMultiPass two(p2);
+    cover2 += double(RunOn(two, inst, StreamOrder::kRandom, 20 + t)
+                         .cover.size());
+    MultiPassParams p10;
+    p10.passes = 10;
+    ProgressiveThresholdMultiPass ten(p10);
+    cover10 += double(RunOn(ten, inst, StreamOrder::kRandom, 20 + t)
+                          .cover.size());
+  }
+  EXPECT_LE(cover10, cover2 * 1.5 + 3);
+}
+
+TEST(MultiPassTest, SinglePassDegeneratesToThresholdOne) {
+  // p = 1 runs one pass at T = 1: every first-touch of an uncovered
+  // element adds its set — still a valid cover.
+  auto inst = PlantedInstance(64, 128, 4, 7);
+  MultiPassParams params;
+  params.passes = 1;
+  ProgressiveThresholdMultiPass algorithm(params);
+  uint32_t passes = 0;
+  auto sol = RunOn(algorithm, inst, StreamOrder::kRandom, 8, &passes);
+  EXPECT_EQ(passes, 1u);
+  EXPECT_GE(sol.cover.size(), 4u);
+}
+
+TEST(MultiPassTest, PerPassAdditionsRecorded) {
+  auto inst = PlantedInstance(128, 512, 4, 9);
+  ProgressiveThresholdMultiPass algorithm;
+  uint32_t passes = 0;
+  RunOn(algorithm, inst, StreamOrder::kRandom, 10, &passes);
+  EXPECT_EQ(algorithm.SetsAddedPerPass().size(), passes);
+}
+
+TEST(MultiPassTest, SpaceIsMPlusN) {
+  auto inst = PlantedInstance(128, 4096, 4, 11);
+  ProgressiveThresholdMultiPass algorithm;
+  RunOn(algorithm, inst, StreamOrder::kRandom, 12);
+  size_t peak = algorithm.Meter().PeakWords();
+  EXPECT_GE(peak, 4096u);
+  EXPECT_LE(peak, 4096u + 2 * 128u + 2048u);
+}
+
+TEST(MultiPassTest, EarlyCutoffStillValidViaPatching) {
+  // Force RunMultiPass to cut the schedule short: the safety patching
+  // must still produce a valid cover.
+  auto inst = PlantedInstance(256, 512, 4, 13);
+  ProgressiveThresholdMultiPass algorithm;
+  Rng rng(14);
+  auto stream = RandomOrderStream(inst, rng);
+  auto solution = RunMultiPass(algorithm, stream, /*max_passes=*/2);
+  auto check = ValidateSolution(inst, solution);
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+}  // namespace
+}  // namespace setcover

@@ -1,0 +1,103 @@
+#include "core/multi_run.h"
+
+#include <gtest/gtest.h>
+
+#include "core/kk_algorithm.h"
+#include "instance/generators.h"
+#include "tests/test_util.h"
+
+namespace setcover {
+namespace {
+
+SetCoverInstance PlantedInstance(uint32_t n, uint32_t m, uint32_t opt,
+                                 uint64_t seed) {
+  Rng rng(seed);
+  PlantedCoverParams params;
+  params.num_elements = n;
+  params.num_sets = m;
+  params.planted_cover_size = opt;
+  params.decoy_max_size = 4;
+  return GeneratePlantedCover(params, rng);
+}
+
+TEST(BestOfRunsTest, NeverWorseThanASingleRun) {
+  auto inst = PlantedInstance(128, 512, 4, 1);
+  Rng rng(2);
+  auto stream = RandomOrderStream(inst, rng);
+  AlgorithmFactory factory = [](uint64_t seed) {
+    return std::make_unique<KkAlgorithm>(seed);
+  };
+  auto single = factory(100);
+  auto single_sol = RunStream(*single, stream);
+  auto best = BestOfRuns(factory, 8, 100, stream);
+  EXPECT_LE(best.cover.size(), single_sol.cover.size());
+  EXPECT_TRUE(ValidateSolution(inst, best).ok);
+}
+
+TEST(BestOfRunsTest, ReportsSummedSpace) {
+  auto inst = PlantedInstance(64, 256, 3, 2);
+  Rng rng(3);
+  auto stream = RandomOrderStream(inst, rng);
+  AlgorithmFactory factory = [](uint64_t seed) {
+    return std::make_unique<KkAlgorithm>(seed);
+  };
+  size_t total = 0;
+  BestOfRuns(factory, 4, 7, stream, &total);
+  auto one = factory(7);
+  RunStream(*one, stream);
+  EXPECT_GE(total, 4 * (one->Meter().PeakWords() / 2));
+}
+
+TEST(BestOfRunsTest, SingleRunDegenerate) {
+  auto inst = PlantedInstance(32, 64, 2, 3);
+  Rng rng(4);
+  auto stream = RandomOrderStream(inst, rng);
+  AlgorithmFactory factory = [](uint64_t seed) {
+    return std::make_unique<KkAlgorithm>(seed);
+  };
+  auto best = BestOfRuns(factory, 1, 5, stream);
+  EXPECT_TRUE(ValidateSolution(inst, best).ok);
+}
+
+TEST(NGuessRandomOrderTest, ValidCoverWithoutKnowingN) {
+  auto inst = PlantedInstance(100, 1000, 4, 4);
+  Rng rng(5);
+  auto stream = RandomOrderStream(inst, rng);
+  NGuessRandomOrder algorithm(9);
+  // Deliberately hand the wrapper a bogus N: it must not rely on it.
+  StreamMetadata meta = stream.meta;
+  meta.stream_length = 0;
+  algorithm.Begin(meta);
+  for (const Edge& e : stream.edges) algorithm.ProcessEdge(e);
+  auto sol = algorithm.Finalize();
+  EXPECT_TRUE(ValidateSolution(inst, sol).ok);
+  EXPECT_GE(algorithm.NumGuesses(), 3u);
+}
+
+TEST(NGuessRandomOrderTest, GuessCountIsLogarithmic) {
+  auto inst = PlantedInstance(256, 2048, 4, 5);
+  Rng rng(6);
+  auto stream = RandomOrderStream(inst, rng);
+  NGuessRandomOrder algorithm(11);
+  algorithm.Begin(stream.meta);
+  // N ranges over [m/√n, m·n]: log2(n^1.5) ≈ 12 guesses.
+  EXPECT_LE(algorithm.NumGuesses(), 16u);
+  for (const Edge& e : stream.edges) algorithm.ProcessEdge(e);
+  EXPECT_TRUE(ValidateSolution(inst, algorithm.Finalize()).ok);
+}
+
+TEST(NGuessRandomOrderTest, MeterAggregatesRuns) {
+  auto inst = PlantedInstance(64, 512, 3, 6);
+  Rng rng(7);
+  auto stream = RandomOrderStream(inst, rng);
+  NGuessRandomOrder algorithm(13);
+  algorithm.Begin(stream.meta);
+  for (const Edge& e : stream.edges) algorithm.ProcessEdge(e);
+  algorithm.Finalize();
+  // The wrapper must charge at least one run's element state per guess.
+  EXPECT_GE(algorithm.Meter().PeakWords(),
+            algorithm.NumGuesses() * size_t(2 * 64));
+}
+
+}  // namespace
+}  // namespace setcover

@@ -1,0 +1,135 @@
+#include "stream/orderings.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "instance/generators.h"
+
+namespace setcover {
+namespace {
+
+SetCoverInstance TestInstance() {
+  Rng rng(42);
+  UniformRandomParams params;
+  params.num_elements = 30;
+  params.num_sets = 15;
+  params.min_set_size = 1;
+  params.max_set_size = 8;
+  return GenerateUniformRandom(params, rng);
+}
+
+std::multiset<std::pair<SetId, ElementId>> AsMultiset(
+    const EdgeStream& stream) {
+  std::multiset<std::pair<SetId, ElementId>> result;
+  for (const Edge& e : stream.edges) result.insert({e.set, e.element});
+  return result;
+}
+
+class OrderingsPermutationTest
+    : public testing::TestWithParam<StreamOrder> {};
+
+TEST_P(OrderingsPermutationTest, EveryOrderIsAPermutationOfTheEdges) {
+  auto inst = TestInstance();
+  Rng rng(7);
+  auto canonical = MakeStream(inst, MaterializeEdges(inst));
+  auto ordered = OrderedStream(inst, GetParam(), rng);
+  EXPECT_EQ(ordered.size(), canonical.size());
+  EXPECT_EQ(AsMultiset(ordered), AsMultiset(canonical));
+  EXPECT_EQ(ordered.meta.num_sets, inst.NumSets());
+  EXPECT_EQ(ordered.meta.num_elements, inst.NumElements());
+  EXPECT_EQ(ordered.meta.stream_length, inst.NumEdges());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOrders, OrderingsPermutationTest,
+    testing::Values(StreamOrder::kRandom, StreamOrder::kSetMajor,
+                    StreamOrder::kElementMajor,
+                    StreamOrder::kRoundRobinSets,
+                    StreamOrder::kLargeSetsLast),
+    [](const testing::TestParamInfo<StreamOrder>& info) {
+      std::string name = StreamOrderName(info.param);
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name;
+    });
+
+TEST(OrderingsTest, SetMajorIsContiguous) {
+  auto inst = TestInstance();
+  Rng rng(1);
+  auto stream = OrderedStream(inst, StreamOrder::kSetMajor, rng);
+  std::set<SetId> closed;
+  SetId current = kNoSet;
+  for (const Edge& e : stream.edges) {
+    if (e.set != current) {
+      EXPECT_EQ(closed.count(e.set), 0u) << "set reappeared after closing";
+      if (current != kNoSet) closed.insert(current);
+      current = e.set;
+    }
+  }
+}
+
+TEST(OrderingsTest, ElementMajorIsSortedByElement) {
+  auto inst = TestInstance();
+  Rng rng(1);
+  auto stream = OrderedStream(inst, StreamOrder::kElementMajor, rng);
+  for (size_t i = 1; i < stream.edges.size(); ++i) {
+    EXPECT_LE(stream.edges[i - 1].element, stream.edges[i].element);
+  }
+}
+
+TEST(OrderingsTest, LargeSetsLastIsSortedBySetSize) {
+  auto inst = TestInstance();
+  Rng rng(1);
+  auto stream = OrderedStream(inst, StreamOrder::kLargeSetsLast, rng);
+  size_t prev_size = 0;
+  SetId current = kNoSet;
+  for (const Edge& e : stream.edges) {
+    if (e.set != current) {
+      current = e.set;
+      size_t size = inst.Set(current).size();
+      EXPECT_GE(size, prev_size);
+      prev_size = size;
+    }
+  }
+}
+
+TEST(OrderingsTest, RandomOrderDiffersAcrossRng) {
+  auto inst = TestInstance();
+  Rng rng1(1), rng2(2);
+  auto s1 = RandomOrderStream(inst, rng1);
+  auto s2 = RandomOrderStream(inst, rng2);
+  ASSERT_EQ(s1.size(), s2.size());
+  bool differ = false;
+  for (size_t i = 0; i < s1.size(); ++i) {
+    if (!(s1.edges[i] == s2.edges[i])) {
+      differ = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(OrderingsTest, RandomOrderDeterministicGivenSeed) {
+  auto inst = TestInstance();
+  Rng rng1(5), rng2(5);
+  auto s1 = RandomOrderStream(inst, rng1);
+  auto s2 = RandomOrderStream(inst, rng2);
+  ASSERT_EQ(s1.size(), s2.size());
+  for (size_t i = 0; i < s1.size(); ++i) {
+    EXPECT_EQ(s1.edges[i], s2.edges[i]);
+  }
+}
+
+TEST(OrderingsTest, NamesAreDistinct) {
+  std::set<std::string> names = {
+      StreamOrderName(StreamOrder::kRandom),
+      StreamOrderName(StreamOrder::kSetMajor),
+      StreamOrderName(StreamOrder::kElementMajor),
+      StreamOrderName(StreamOrder::kRoundRobinSets),
+      StreamOrderName(StreamOrder::kLargeSetsLast)};
+  EXPECT_EQ(names.size(), 5u);
+}
+
+}  // namespace
+}  // namespace setcover

@@ -1,0 +1,233 @@
+// Property sweeps (TEST_P): every algorithm × every ordering × several
+// instance families must produce valid covers with valid certificates,
+// deterministically replayable, with bounded quality relative to greedy.
+
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/adversarial_level.h"
+#include "core/kk_algorithm.h"
+#include "core/multi_run.h"
+#include "core/random_order.h"
+#include "core/set_arrival.h"
+#include "core/trivial.h"
+#include "instance/generators.h"
+#include "instance/validator.h"
+#include "offline/greedy.h"
+#include "stream/orderings.h"
+#include "util/rng.h"
+
+namespace setcover {
+namespace {
+
+enum class AlgorithmKind {
+  kKk,
+  kAdversarialLevel,
+  kRandomOrder,
+  kFirstSetPatching,
+  kStoreEverything,
+  kSetArrival,
+  kNGuess,
+};
+
+std::string AlgorithmKindName(AlgorithmKind kind) {
+  switch (kind) {
+    case AlgorithmKind::kKk:
+      return "kk";
+    case AlgorithmKind::kAdversarialLevel:
+      return "adversarial_level";
+    case AlgorithmKind::kRandomOrder:
+      return "random_order";
+    case AlgorithmKind::kFirstSetPatching:
+      return "first_set_patching";
+    case AlgorithmKind::kStoreEverything:
+      return "store_everything";
+    case AlgorithmKind::kSetArrival:
+      return "set_arrival";
+    case AlgorithmKind::kNGuess:
+      return "nguess";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<StreamingSetCoverAlgorithm> MakeAlgorithm(
+    AlgorithmKind kind, uint64_t seed) {
+  switch (kind) {
+    case AlgorithmKind::kKk:
+      return std::make_unique<KkAlgorithm>(seed);
+    case AlgorithmKind::kAdversarialLevel:
+      return std::make_unique<AdversarialLevelAlgorithm>(seed);
+    case AlgorithmKind::kRandomOrder:
+      return std::make_unique<RandomOrderAlgorithm>(seed);
+    case AlgorithmKind::kFirstSetPatching:
+      return std::make_unique<FirstSetPatching>();
+    case AlgorithmKind::kStoreEverything:
+      return std::make_unique<StoreEverythingGreedy>();
+    case AlgorithmKind::kSetArrival:
+      return std::make_unique<SetArrivalThreshold>();
+    case AlgorithmKind::kNGuess:
+      return std::make_unique<NGuessRandomOrder>(seed);
+  }
+  return nullptr;
+}
+
+enum class Family { kUniform, kPlanted, kZipf, kDominating };
+
+std::string FamilyName(Family family) {
+  switch (family) {
+    case Family::kUniform:
+      return "uniform";
+    case Family::kPlanted:
+      return "planted";
+    case Family::kZipf:
+      return "zipf";
+    case Family::kDominating:
+      return "dominating";
+  }
+  return "unknown";
+}
+
+SetCoverInstance MakeInstance(Family family, uint64_t seed) {
+  Rng rng(seed);
+  switch (family) {
+    case Family::kUniform: {
+      UniformRandomParams p;
+      p.num_elements = 64;
+      p.num_sets = 128;
+      p.max_set_size = 7;
+      return GenerateUniformRandom(p, rng);
+    }
+    case Family::kPlanted: {
+      PlantedCoverParams p;
+      p.num_elements = 64;
+      p.num_sets = 128;
+      p.planted_cover_size = 4;
+      return GeneratePlantedCover(p, rng);
+    }
+    case Family::kZipf: {
+      ZipfParams p;
+      p.num_elements = 64;
+      p.num_sets = 128;
+      p.exponent = 1.2;
+      return GenerateZipf(p, rng);
+    }
+    case Family::kDominating:
+      return GenerateDominatingSet(64, 0.08, rng);
+  }
+  return GeneratePartition(1, 1);
+}
+
+using PropertyParam = std::tuple<AlgorithmKind, StreamOrder, Family>;
+
+class CoverProperty : public testing::TestWithParam<PropertyParam> {};
+
+TEST_P(CoverProperty, ProducesValidCover) {
+  auto [kind, order, family] = GetParam();
+  auto inst = MakeInstance(family, 1000);
+  Rng stream_rng(2000);
+  auto stream = OrderedStream(inst, order, stream_rng);
+  auto algorithm = MakeAlgorithm(kind, 77);
+  auto solution = RunStream(*algorithm, stream);
+  auto check = ValidateSolution(inst, solution);
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST_P(CoverProperty, DeterministicReplay) {
+  auto [kind, order, family] = GetParam();
+  auto inst = MakeInstance(family, 1001);
+  Rng stream_rng(2001);
+  auto stream = OrderedStream(inst, order, stream_rng);
+  auto a = MakeAlgorithm(kind, 99);
+  auto b = MakeAlgorithm(kind, 99);
+  auto sa = RunStream(*a, stream);
+  auto sb = RunStream(*b, stream);
+  EXPECT_EQ(sa.cover, sb.cover);
+  EXPECT_EQ(sa.certificate, sb.certificate);
+}
+
+TEST_P(CoverProperty, NeverBeatsGreedyByMoreThanItsSpace) {
+  // Sanity quality bound: no streaming algorithm returns fewer sets than
+  // an offline optimum; greedy lower-bounds OPT well enough here since
+  // cover sizes are >= OPT >= greedy/ln(n).
+  auto [kind, order, family] = GetParam();
+  auto inst = MakeInstance(family, 1002);
+  Rng stream_rng(2002);
+  auto stream = OrderedStream(inst, order, stream_rng);
+  auto algorithm = MakeAlgorithm(kind, 13);
+  auto solution = RunStream(*algorithm, stream);
+  auto greedy = GreedyCover(inst);
+  // ln(64) ≈ 4.16: greedy/5 lower-bounds OPT.
+  EXPECT_GE(5 * solution.cover.size() + 4, greedy.cover.size());
+}
+
+TEST_P(CoverProperty, PeakSpaceIsPositiveAndBounded) {
+  auto [kind, order, family] = GetParam();
+  auto inst = MakeInstance(family, 1003);
+  Rng stream_rng(2003);
+  auto stream = OrderedStream(inst, order, stream_rng);
+  auto algorithm = MakeAlgorithm(kind, 21);
+  RunStream(*algorithm, stream);
+  size_t peak = algorithm->Meter().PeakWords();
+  EXPECT_GT(peak, 0u);
+  // Nothing should exceed a full copy of the stream plus element state.
+  EXPECT_LE(peak, 20 * (inst.NumEdges() + inst.NumElements() +
+                        inst.NumSets()));
+}
+
+std::string ParamName(const testing::TestParamInfo<PropertyParam>& info) {
+  auto [kind, order, family] = info.param;
+  std::string name = AlgorithmKindName(kind) + "_" +
+                     StreamOrderName(order) + "_" + FamilyName(family);
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CoverProperty,
+    testing::Combine(
+        testing::Values(AlgorithmKind::kKk, AlgorithmKind::kAdversarialLevel,
+                        AlgorithmKind::kRandomOrder,
+                        AlgorithmKind::kFirstSetPatching,
+                        AlgorithmKind::kStoreEverything,
+                        AlgorithmKind::kSetArrival, AlgorithmKind::kNGuess),
+        testing::Values(StreamOrder::kRandom, StreamOrder::kSetMajor,
+                        StreamOrder::kElementMajor,
+                        StreamOrder::kRoundRobinSets,
+                        StreamOrder::kLargeSetsLast),
+        testing::Values(Family::kUniform, Family::kPlanted, Family::kZipf,
+                        Family::kDominating)),
+    ParamName);
+
+// Parameterized sweep over the α knob of Algorithm 2: ratio of space to
+// theory prediction must be roughly α-independent (the mn/α² law).
+class AlphaSweep : public testing::TestWithParam<double> {};
+
+TEST_P(AlphaSweep, ValidAndClamped) {
+  double alpha_mult = GetParam();
+  Rng rng(31);
+  PlantedCoverParams p;
+  p.num_elements = 144;
+  p.num_sets = 1024;
+  p.planted_cover_size = 4;
+  auto inst = GeneratePlantedCover(p, rng);
+  AdversarialLevelParams params;
+  params.alpha = alpha_mult * 12.0;  // multiples of √144
+  AdversarialLevelAlgorithm algorithm(41, params);
+  Rng stream_rng(51);
+  auto stream = OrderedStream(inst, StreamOrder::kElementMajor, stream_rng);
+  auto solution = RunStream(*&algorithm, stream);
+  EXPECT_TRUE(ValidateSolution(inst, solution).ok);
+  EXPECT_GE(algorithm.EffectiveAlpha(), 24.0);  // 2√n clamp
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, AlphaSweep,
+                         testing::Values(1.0, 2.0, 3.0, 4.0, 6.0, 8.0,
+                                         12.0, 16.0));
+
+}  // namespace
+}  // namespace setcover

@@ -1,0 +1,59 @@
+#include "comm/protocol.h"
+
+#include <gtest/gtest.h>
+
+namespace setcover {
+namespace {
+
+TEST(ProtocolTest, MessagesFlowInOrder) {
+  // Each party appends its index; the final message is the transcript.
+  std::vector<PartyFn> parties;
+  for (int p = 0; p < 4; ++p) {
+    parties.push_back([](uint32_t index, const Message& in) {
+      Message out = in;
+      out.push_back(index);
+      return out;
+    });
+  }
+  auto trace = RunOneWayProtocol(parties);
+  ASSERT_EQ(trace.final_message.size(), 4u);
+  for (uint32_t i = 0; i < 4; ++i) EXPECT_EQ(trace.final_message[i], i);
+}
+
+TEST(ProtocolTest, TracksMaxMessage) {
+  std::vector<PartyFn> parties = {
+      [](uint32_t, const Message&) { return Message(10); },
+      [](uint32_t, const Message&) { return Message(50); },
+      [](uint32_t, const Message&) { return Message(5); },
+  };
+  auto trace = RunOneWayProtocol(parties);
+  EXPECT_EQ(trace.max_message_words, 50u);
+  ASSERT_EQ(trace.message_words.size(), 3u);
+  EXPECT_EQ(trace.message_words[0], 10u);
+  EXPECT_EQ(trace.message_words[1], 50u);
+  EXPECT_EQ(trace.message_words[2], 5u);
+}
+
+TEST(ProtocolTest, FirstPartyReceivesEmptyMessage) {
+  bool checked = false;
+  std::vector<PartyFn> parties = {
+      [&checked](uint32_t index, const Message& in) {
+        EXPECT_EQ(index, 0u);
+        EXPECT_TRUE(in.empty());
+        checked = true;
+        return Message{};
+      }};
+  RunOneWayProtocol(parties);
+  EXPECT_TRUE(checked);
+}
+
+TEST(ProtocolTest, BitsToWords) {
+  EXPECT_EQ(BitsToWords(0), 0u);
+  EXPECT_EQ(BitsToWords(1), 1u);
+  EXPECT_EQ(BitsToWords(64), 1u);
+  EXPECT_EQ(BitsToWords(65), 2u);
+  EXPECT_EQ(BitsToWords(1024), 16u);
+}
+
+}  // namespace
+}  // namespace setcover

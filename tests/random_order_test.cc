@@ -1,0 +1,208 @@
+#include "core/random_order.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "instance/generators.h"
+#include "tests/test_util.h"
+
+namespace setcover {
+namespace {
+
+SetCoverInstance PlantedInstance(uint32_t n, uint32_t m, uint32_t opt,
+                                 uint64_t seed) {
+  Rng rng(seed);
+  PlantedCoverParams params;
+  params.num_elements = n;
+  params.num_sets = m;
+  params.planted_cover_size = opt;
+  params.decoy_max_size = 4;
+  return GeneratePlantedCover(params, rng);
+}
+
+TEST(RandomOrderTest, ValidCoverOnRandomOrder) {
+  auto inst = PlantedInstance(100, 1000, 4, 1);
+  RandomOrderAlgorithm algorithm(5);
+  RunAndValidate(algorithm, inst, StreamOrder::kRandom, 2);
+}
+
+TEST(RandomOrderTest, CorrectnessHoldsEvenOnAdversarialOrders) {
+  // The guarantee needs random order; *correctness* must not.
+  auto inst = PlantedInstance(64, 256, 3, 2);
+  for (StreamOrder order :
+       {StreamOrder::kSetMajor, StreamOrder::kElementMajor,
+        StreamOrder::kRoundRobinSets, StreamOrder::kLargeSetsLast}) {
+    RandomOrderAlgorithm algorithm(7);
+    RunAndValidate(algorithm, inst, order, 3);
+  }
+}
+
+TEST(RandomOrderTest, DeterministicGivenSeed) {
+  auto inst = PlantedInstance(80, 400, 3, 3);
+  RandomOrderAlgorithm a(11), b(11);
+  auto sa = RunAndValidate(a, inst, StreamOrder::kRandom, 4);
+  auto sb = RunAndValidate(b, inst, StreamOrder::kRandom, 4);
+  EXPECT_EQ(sa.cover, sb.cover);
+  EXPECT_EQ(sa.certificate, sb.certificate);
+}
+
+TEST(RandomOrderTest, ScheduleRespectsBatching) {
+  auto inst = PlantedInstance(256, 1024, 4, 4);
+  RandomOrderAlgorithm algorithm(1);
+  Rng rng(5);
+  auto stream = RandomOrderStream(inst, rng);
+  algorithm.Begin(stream.meta);
+  EXPECT_EQ(algorithm.NumBatches(), 16u);  // √256
+  EXPECT_GE(algorithm.NumAlgorithms(), 1u);
+  EXPECT_GE(algorithm.NumEpochs(), 1u);
+  // ℓ_i doubles with i.
+  for (uint32_t i = 2; i <= algorithm.NumAlgorithms(); ++i) {
+    EXPECT_GE(algorithm.SubepochLength(i),
+              2 * algorithm.SubepochLength(i - 1) - 2);
+  }
+  for (const Edge& e : stream.edges) algorithm.ProcessEdge(e);
+  auto sol = algorithm.Finalize();
+  EXPECT_TRUE(ValidateSolution(inst, sol).ok);
+}
+
+TEST(RandomOrderTest, SpaceIsSublinearInM) {
+  // Õ(m/√n) + Õ(n): with m = n² the peak must sit far below m.
+  const uint32_t n = 256;
+  const uint32_t m = n * n;  // 65536
+  auto inst = PlantedInstance(n, m, 4, 5);
+  RandomOrderAlgorithm algorithm(3);
+  RunAndValidate(algorithm, inst, StreamOrder::kRandom, 6);
+  size_t peak = algorithm.Meter().PeakWords();
+  EXPECT_LT(peak, size_t(m) / 2) << algorithm.Meter().BreakdownString();
+}
+
+TEST(RandomOrderTest, UsesLessSpaceThanKkWouldNeed) {
+  // The KK algorithm stores m degree counters; Algorithm 1's whole point
+  // is to beat that. Compare against m directly.
+  const uint32_t n = 1024;
+  const uint32_t m = 131072;  // m = 128·n = Θ(n²) is out of reach here;
+                              // even m ≫ n·√n shows the effect
+  auto inst = PlantedInstance(n, m, 8, 6);
+  RandomOrderAlgorithm algorithm(4);
+  RunAndValidate(algorithm, inst, StreamOrder::kRandom, 7);
+  EXPECT_LT(algorithm.Meter().PeakWords(), size_t(m) / 4)
+      << algorithm.Meter().BreakdownString();
+}
+
+TEST(RandomOrderTest, ApproxBoundedOnRandomOrder) {
+  const uint32_t n = 256;
+  auto inst = PlantedInstance(n, 4096, 4, 7);
+  RandomOrderAlgorithm algorithm(9);
+  auto sol = RunAndValidate(algorithm, inst, StreamOrder::kRandom, 8);
+  // Õ(√n) with generous slack for the poly-log factors.
+  double bound = 16.0 * std::sqrt(double(n)) * std::log2(4096.0);
+  EXPECT_LE(double(sol.cover.size()),
+            bound * double(inst.PlantedCover().size()));
+}
+
+TEST(RandomOrderTest, StatsAreCoherent) {
+  auto inst = PlantedInstance(256, 4096, 4, 8);
+  RandomOrderAlgorithm algorithm(13);
+  RunAndValidate(algorithm, inst, StreamOrder::kRandom, 9);
+  const auto& stats = algorithm.Stats();
+  size_t added = 0;
+  for (const auto& epoch : stats.epochs) {
+    EXPECT_LE(epoch.added_to_solution, epoch.special_sets);
+    EXPECT_LE(epoch.sampled_for_tracking, epoch.special_sets);
+    added += epoch.added_to_solution;
+  }
+  EXPECT_EQ(added, stats.additions.size());
+}
+
+TEST(RandomOrderTest, PaperFaithfulModeStillProducesValidCovers) {
+  // At laptop scale the literal thresholds never fire; the run must
+  // degrade gracefully to sampling + patching.
+  auto inst = PlantedInstance(100, 500, 4, 9);
+  RandomOrderAlgorithm algorithm(15, RandomOrderParams::PaperFaithful());
+  RunAndValidate(algorithm, inst, StreamOrder::kRandom, 10);
+}
+
+TEST(RandomOrderTest, TinyInstances) {
+  auto one = SetCoverInstance::FromSets(1, {{0}});
+  RandomOrderAlgorithm a(1);
+  EXPECT_EQ(RunAndValidate(a, one, StreamOrder::kSetMajor, 1).cover.size(),
+            1u);
+
+  auto two = SetCoverInstance::FromSets(2, {{0}, {1}});
+  RandomOrderAlgorithm b(2);
+  EXPECT_EQ(RunAndValidate(b, two, StreamOrder::kRandom, 2).cover.size(),
+            2u);
+}
+
+TEST(RandomOrderTest, SurvivesWrongStreamLengthGuess) {
+  // Robustness: N in the metadata differs from the true stream length.
+  auto inst = PlantedInstance(64, 512, 4, 10);
+  Rng rng(11);
+  auto stream = RandomOrderStream(inst, rng);
+
+  for (double factor : {0.25, 4.0}) {
+    RandomOrderAlgorithm algorithm(17);
+    StreamMetadata meta = stream.meta;
+    meta.stream_length =
+        std::max<size_t>(1, size_t(double(stream.meta.stream_length) * factor));
+    algorithm.Begin(meta);
+    for (const Edge& e : stream.edges) algorithm.ProcessEdge(e);
+    auto sol = algorithm.Finalize();
+    auto check = ValidateSolution(inst, sol);
+    EXPECT_TRUE(check.ok) << "factor " << factor << ": " << check.error;
+  }
+}
+
+TEST(RandomOrderTest, ExplicitScheduleOverrides) {
+  auto inst = PlantedInstance(100, 400, 4, 11);
+  RandomOrderParams params;
+  params.num_algorithms = 2;
+  params.num_epochs = 3;
+  RandomOrderAlgorithm algorithm(19, params);
+  Rng rng(12);
+  auto stream = RandomOrderStream(inst, rng);
+  algorithm.Begin(stream.meta);
+  EXPECT_EQ(algorithm.NumAlgorithms(), 2u);
+  EXPECT_EQ(algorithm.NumEpochs(), 3u);
+  for (const Edge& e : stream.edges) algorithm.ProcessEdge(e);
+  EXPECT_TRUE(ValidateSolution(inst, algorithm.Finalize()).ok);
+}
+
+TEST(RandomOrderTest, SketchEpoch0VariantIsValid) {
+  auto inst = PlantedInstance(256, 4096, 4, 14);
+  RandomOrderParams params;
+  params.use_sketch_epoch0 = true;
+  RandomOrderAlgorithm algorithm(25, params);
+  RunAndValidate(algorithm, inst, StreamOrder::kRandom, 15);
+}
+
+TEST(RandomOrderTest, SketchEpoch0ComparableQuality) {
+  // The sketch only overcounts, so it can only mark extra elements;
+  // the resulting cover stays in the same quality band.
+  auto inst = PlantedInstance(256, 4096, 4, 16);
+  Rng rng(17);
+  auto stream = RandomOrderStream(inst, rng);
+
+  RandomOrderAlgorithm exact(29);
+  auto exact_sol = RunStream(exact, stream);
+
+  RandomOrderParams params;
+  params.use_sketch_epoch0 = true;
+  RandomOrderAlgorithm sketched(29, params);
+  auto sketch_sol = RunStream(sketched, stream);
+
+  EXPECT_TRUE(ValidateSolution(inst, sketch_sol).ok);
+  EXPECT_LE(sketch_sol.cover.size(), 2 * exact_sol.cover.size() + 16);
+}
+
+TEST(RandomOrderTest, ReusableAcrossBeginCalls) {
+  auto inst = PlantedInstance(60, 300, 3, 12);
+  RandomOrderAlgorithm algorithm(23);
+  auto s1 = RunAndValidate(algorithm, inst, StreamOrder::kRandom, 13);
+  auto s2 = RunAndValidate(algorithm, inst, StreamOrder::kRandom, 13);
+  EXPECT_EQ(s1.cover, s2.cover);
+}
+
+}  // namespace
+}  // namespace setcover

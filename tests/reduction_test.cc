@@ -1,0 +1,126 @@
+#include "comm/reduction.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/kk_algorithm.h"
+#include "core/trivial.h"
+#include "util/rng.h"
+
+namespace setcover {
+namespace {
+
+// Test fixture parameters kept small: the reduction forks m runs.
+constexpr uint32_t kN = 400;
+constexpr uint32_t kT = 4;
+constexpr uint32_t kM = 16;
+
+AlgorithmFactory ExactishFactory() {
+  // StoreEverythingGreedy stands in for an unbounded-space algorithm:
+  // with it the reduction must distinguish the two promise cases.
+  return [](uint64_t) {
+    return std::make_unique<StoreEverythingGreedy>();
+  };
+}
+
+TEST(ReductionTest, IntersectingCaseYieldsTinyCover) {
+  Rng rng(1);
+  auto family = Lemma1Family::Build(kN, kT, kM, rng);
+  auto disj = GenerateIntersectingInstance(kT, kM, 3, rng);
+  auto result = RunTheorem2Reduction(family, disj, ExactishFactory(), 7);
+  // Run j* = common element contains the full T_j* and its complement:
+  // a cover of size 2 exists, and greedy finds something close.
+  EXPECT_LE(result.min_estimate, 4u);
+  EXPECT_TRUE(DecideIntersecting(result,
+                                 result.disjoint_case_opt_lower_bound));
+}
+
+TEST(ReductionTest, DisjointCaseNeedsManySets) {
+  Rng rng(2);
+  auto family = Lemma1Family::Build(kN, kT, kM, rng);
+  auto disj = GenerateDisjointInstance(kT, kM, 3, rng);
+  auto result = RunTheorem2Reduction(family, disj, ExactishFactory(), 7);
+  EXPECT_GE(result.min_estimate, result.disjoint_case_opt_lower_bound);
+  EXPECT_FALSE(DecideIntersecting(result,
+                                  result.disjoint_case_opt_lower_bound));
+}
+
+TEST(ReductionTest, BoundaryStatesAreMeasured) {
+  Rng rng(3);
+  auto family = Lemma1Family::Build(kN, kT, kM, rng);
+  auto disj = GenerateDisjointInstance(kT, kM, 2, rng);
+  auto result = RunTheorem2Reduction(family, disj, ExactishFactory(), 7);
+  EXPECT_EQ(result.boundary_state_words.size(), size_t{kT - 1});
+  EXPECT_GT(result.max_boundary_state_words, 0u);
+  for (size_t w : result.boundary_state_words) {
+    EXPECT_LE(w, result.max_boundary_state_words);
+  }
+}
+
+TEST(ReductionTest, StateGrowsWithM) {
+  // The forwarded state of an exact algorithm must scale with the
+  // instance — the resource Theorem 5 lower-bounds by Ω(m/t²).
+  Rng rng(4);
+  auto small_family = Lemma1Family::Build(kN, kT, 8, rng);
+  auto small_disj = GenerateDisjointInstance(kT, 8, 2, rng);
+  auto small = RunTheorem2Reduction(small_family, small_disj,
+                                    ExactishFactory(), 7);
+  auto large_family = Lemma1Family::Build(kN, kT, 32, rng);
+  auto large_disj = GenerateDisjointInstance(kT, 32, 8, rng);
+  auto large = RunTheorem2Reduction(large_family, large_disj,
+                                    ExactishFactory(), 7);
+  EXPECT_GT(large.max_boundary_state_words,
+            2 * small.max_boundary_state_words);
+}
+
+TEST(ReductionTest, FortSubsetRunsOnlyThoseForks) {
+  Rng rng(5);
+  auto family = Lemma1Family::Build(kN, kT, kM, rng);
+  auto disj = GenerateIntersectingInstance(kT, kM, 3, rng);
+  // Fork only on the common element: must still detect it.
+  auto result = RunTheorem2Reduction(family, disj, ExactishFactory(), 7,
+                                     {disj.common_element});
+  EXPECT_LE(result.min_estimate, 4u);
+  EXPECT_EQ(result.argmin_fork, 0u);
+}
+
+TEST(ReductionTest, StreamingStateFlatWhileExactStateGrows) {
+  // The KK algorithm forwards Õ(m + n) words regardless of how much of
+  // the stream has passed; an exact algorithm's state grows with the
+  // stream. Doubling every party's load must show up in the exact
+  // state and barely move the KK state.
+  Rng rng(6);
+  auto family = Lemma1Family::Build(kN, kT, kM, rng);
+  auto light = GenerateDisjointInstance(kT, kM, 2, rng);
+  auto heavy = GenerateDisjointInstance(kT, kM, 4, rng);
+  AlgorithmFactory kk = [](uint64_t seed) {
+    return std::make_unique<KkAlgorithm>(seed);
+  };
+  auto exact_light =
+      RunTheorem2Reduction(family, light, ExactishFactory(), 7);
+  auto exact_heavy =
+      RunTheorem2Reduction(family, heavy, ExactishFactory(), 7);
+  EXPECT_GE(exact_heavy.max_boundary_state_words,
+            2 * exact_light.max_boundary_state_words - 4);
+
+  auto kk_light = RunTheorem2Reduction(family, light, kk, 7);
+  auto kk_heavy = RunTheorem2Reduction(family, heavy, kk, 7);
+  double growth = double(kk_heavy.max_boundary_state_words) /
+                  double(kk_light.max_boundary_state_words);
+  EXPECT_LT(growth, 1.2);
+}
+
+TEST(ReductionTest, DeterministicReplayGivesConsistentEstimates) {
+  Rng rng(7);
+  auto family = Lemma1Family::Build(kN, kT, kM, rng);
+  auto disj = GenerateIntersectingInstance(kT, kM, 3, rng);
+  auto r1 = RunTheorem2Reduction(family, disj, ExactishFactory(), 9);
+  auto r2 = RunTheorem2Reduction(family, disj, ExactishFactory(), 9);
+  EXPECT_EQ(r1.min_estimate, r2.min_estimate);
+  EXPECT_EQ(r1.argmin_fork, r2.argmin_fork);
+  EXPECT_EQ(r1.boundary_state_words, r2.boundary_state_words);
+}
+
+}  // namespace
+}  // namespace setcover

@@ -1,0 +1,68 @@
+#include "core/registry.h"
+
+#include <gtest/gtest.h>
+
+#include "instance/generators.h"
+#include "instance/validator.h"
+#include "stream/orderings.h"
+#include "util/rng.h"
+
+namespace setcover {
+namespace {
+
+TEST(RegistryTest, EveryRegisteredNameConstructs) {
+  for (const std::string& name : RegisteredAlgorithmNames()) {
+    auto algorithm = MakeAlgorithmByName(name);
+    ASSERT_NE(algorithm, nullptr) << name;
+    EXPECT_FALSE(algorithm->Name().empty());
+  }
+}
+
+TEST(RegistryTest, UnknownNameReturnsNull) {
+  EXPECT_EQ(MakeAlgorithmByName("no-such-algorithm"), nullptr);
+  EXPECT_EQ(MakeAlgorithmByName(""), nullptr);
+}
+
+TEST(RegistryTest, EveryRegisteredAlgorithmSolves) {
+  Rng rng(1);
+  PlantedCoverParams params;
+  params.num_elements = 64;
+  params.num_sets = 256;
+  params.planted_cover_size = 4;
+  auto inst = GeneratePlantedCover(params, rng);
+  auto stream = RandomOrderStream(inst, rng);
+  for (const std::string& name : RegisteredAlgorithmNames()) {
+    auto algorithm = MakeAlgorithmByName(name, {.seed = 5});
+    ASSERT_NE(algorithm, nullptr);
+    auto solution = RunStream(*algorithm, stream);
+    auto check = ValidateSolution(inst, solution);
+    EXPECT_TRUE(check.ok) << name << ": " << check.error;
+  }
+}
+
+TEST(RegistryTest, AlphaOptionReachesAlgorithms) {
+  auto a = MakeAlgorithmByName("element-sampling", {.seed = 1, .alpha = 4});
+  auto b = MakeAlgorithmByName("element-sampling", {.seed = 1, .alpha = 16});
+  StreamMetadata meta{1024, 256, 4096};
+  a->Begin(meta);
+  b->Begin(meta);
+  // Smaller α → bigger sample → more element-state words.
+  EXPECT_GT(a->Meter().CurrentWords(), 0u);
+  EXPECT_GT(b->Meter().CurrentWords(), 0u);
+}
+
+TEST(RegistryTest, SeedsArehonored) {
+  Rng rng(2);
+  PlantedCoverParams params;
+  params.num_elements = 64;
+  params.num_sets = 128;
+  params.planted_cover_size = 4;
+  auto inst = GeneratePlantedCover(params, rng);
+  auto stream = RandomOrderStream(inst, rng);
+  auto a1 = MakeAlgorithmByName("kk", {.seed = 9});
+  auto a2 = MakeAlgorithmByName("kk", {.seed = 9});
+  EXPECT_EQ(RunStream(*a1, stream).cover, RunStream(*a2, stream).cover);
+}
+
+}  // namespace
+}  // namespace setcover

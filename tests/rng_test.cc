@@ -1,0 +1,157 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace setcover {
+namespace {
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next64(), b.Next64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.Next64() == b.Next64()) ? 1 : 0;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, ZeroSeedIsUsable) {
+  Rng rng(0);
+  std::set<uint64_t> values;
+  for (int i = 0; i < 50; ++i) values.insert(rng.Next64());
+  EXPECT_GT(values.size(), 45u);
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.UniformInt(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformIntCoversAllResidues) {
+  Rng rng(7);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[rng.UniformInt(10)];
+  for (int c : counts) {
+    EXPECT_GT(c, 1600);
+    EXPECT_LT(c, 2400);
+  }
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.UniformDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_FALSE(rng.Bernoulli(-0.5));
+    EXPECT_TRUE(rng.Bernoulli(1.5));
+  }
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(13);
+  int hits = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(double(hits) / trials, 0.3, 0.01);
+}
+
+TEST(RngTest, RandomSubsetSizeAndRangeAndSorted) {
+  Rng rng(17);
+  for (uint32_t k : {0u, 1u, 5u, 50u, 100u}) {
+    auto subset = rng.RandomSubset(100, k);
+    ASSERT_EQ(subset.size(), k);
+    EXPECT_TRUE(std::is_sorted(subset.begin(), subset.end()));
+    EXPECT_TRUE(std::adjacent_find(subset.begin(), subset.end()) ==
+                subset.end());
+    for (uint32_t v : subset) EXPECT_LT(v, 100u);
+  }
+}
+
+TEST(RngTest, RandomSubsetFullUniverse) {
+  Rng rng(19);
+  auto subset = rng.RandomSubset(64, 64);
+  ASSERT_EQ(subset.size(), 64u);
+  for (uint32_t i = 0; i < 64; ++i) EXPECT_EQ(subset[i], i);
+}
+
+TEST(RngTest, RandomSubsetIsUniformish) {
+  // Every element should appear in a k-of-n subset with rate k/n.
+  Rng rng(23);
+  std::vector<int> counts(20, 0);
+  const int trials = 5000;
+  for (int i = 0; i < trials; ++i) {
+    for (uint32_t v : rng.RandomSubset(20, 5)) ++counts[v];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(double(c) / trials, 0.25, 0.05);
+  }
+}
+
+TEST(RngTest, ShufflePreservesMultiset) {
+  Rng rng(29);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto original = v;
+  rng.Shuffle(v);
+  EXPECT_NE(v, original);  // astronomically unlikely to be identity
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(RngTest, ShuffleSingletonAndEmpty) {
+  Rng rng(31);
+  std::vector<int> empty;
+  rng.Shuffle(empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one = {42};
+  rng.Shuffle(one);
+  EXPECT_EQ(one, std::vector<int>{42});
+}
+
+TEST(RngTest, ForkDecorrelates) {
+  Rng parent(37);
+  Rng child = parent.Fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    equal += (parent.Next64() == child.Next64()) ? 1 : 0;
+  EXPECT_LT(equal, 3);
+}
+
+}  // namespace
+}  // namespace setcover

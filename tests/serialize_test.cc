@@ -1,0 +1,135 @@
+#include "util/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include "core/registry.h"
+#include "instance/generators.h"
+#include "stream/orderings.h"
+#include "util/rng.h"
+
+namespace setcover {
+namespace {
+
+TEST(SerializeTest, U32VectorPacksTwoPerWord) {
+  StateEncoder encoder;
+  encoder.PutU32Vector({1, 2, 3, 4});
+  // 1 length word + 2 payload words.
+  ASSERT_EQ(encoder.SizeWords(), 3u);
+  EXPECT_EQ(encoder.Words()[0], 4u);
+  EXPECT_EQ(encoder.Words()[1], 1u | (uint64_t{2} << 32));
+  EXPECT_EQ(encoder.Words()[2], 3u | (uint64_t{4} << 32));
+}
+
+TEST(SerializeTest, U32VectorOddLength) {
+  StateEncoder encoder;
+  encoder.PutU32Vector({7, 8, 9});
+  ASSERT_EQ(encoder.SizeWords(), 3u);
+  EXPECT_EQ(encoder.Words()[2], 9u);
+}
+
+TEST(SerializeTest, EmptyVectors) {
+  StateEncoder encoder;
+  encoder.PutU32Vector({});
+  encoder.PutBoolVector({});
+  EXPECT_EQ(encoder.SizeWords(), 2u);  // two length words, no payload
+}
+
+TEST(SerializeTest, BoolVectorPacksBits) {
+  StateEncoder encoder;
+  std::vector<bool> bits(65, false);
+  bits[0] = true;
+  bits[64] = true;
+  encoder.PutBoolVector(bits);
+  ASSERT_EQ(encoder.SizeWords(), 3u);  // length + 2 bit words
+  EXPECT_EQ(encoder.Words()[0], 65u);
+  EXPECT_EQ(encoder.Words()[1], 1u);
+  EXPECT_EQ(encoder.Words()[2], 1u);
+}
+
+TEST(SerializeTest, SetAndMapAreCanonical) {
+  std::unordered_set<uint32_t> a = {5, 1, 9};
+  std::unordered_set<uint32_t> b = {9, 5, 1};
+  StateEncoder ea, eb;
+  ea.PutSet(a);
+  eb.PutSet(b);
+  EXPECT_EQ(ea.Words(), eb.Words());
+
+  std::unordered_map<uint32_t, uint32_t> ma = {{2, 20}, {1, 10}};
+  std::unordered_map<uint32_t, uint32_t> mb = {{1, 10}, {2, 20}};
+  StateEncoder ema, emb;
+  ema.PutMap(ma);
+  emb.PutMap(mb);
+  EXPECT_EQ(ema.Words(), emb.Words());
+  // 1 length + 2 pair words.
+  EXPECT_EQ(ema.SizeWords(), 3u);
+}
+
+TEST(SerializeTest, AlgorithmsEncodeDeterministically) {
+  Rng rng(1);
+  PlantedCoverParams p;
+  p.num_elements = 64;
+  p.num_sets = 256;
+  p.planted_cover_size = 4;
+  auto inst = GeneratePlantedCover(p, rng);
+  auto stream = RandomOrderStream(inst, rng);
+
+  for (const std::string& name : RegisteredAlgorithmNames()) {
+    auto a1 = MakeAlgorithmByName(name, {.seed = 7});
+    auto a2 = MakeAlgorithmByName(name, {.seed = 7});
+    a1->Begin(stream.meta);
+    a2->Begin(stream.meta);
+    for (size_t i = 0; i < stream.size() / 2; ++i) {
+      a1->ProcessEdge(stream.edges[i]);
+      a2->ProcessEdge(stream.edges[i]);
+    }
+    StateEncoder e1, e2;
+    a1->EncodeState(&e1);
+    a2->EncodeState(&e2);
+    EXPECT_EQ(e1.Words(), e2.Words()) << name;
+  }
+}
+
+TEST(SerializeTest, EncodedSizeTracksMeterScale) {
+  // The literal message and the metered working set must agree on the
+  // order of magnitude for the algorithms that implement EncodeState.
+  Rng rng(2);
+  PlantedCoverParams p;
+  p.num_elements = 128;
+  p.num_sets = 4096;
+  p.planted_cover_size = 4;
+  auto inst = GeneratePlantedCover(p, rng);
+  auto stream = RandomOrderStream(inst, rng);
+
+  for (const std::string& name :
+       {std::string("kk"), std::string("adversarial-level"),
+        std::string("random-order"), std::string("element-sampling")}) {
+    auto algorithm = MakeAlgorithmByName(name, {.seed = 3});
+    algorithm->Begin(stream.meta);
+    for (const Edge& e : stream.edges) algorithm->ProcessEdge(e);
+    StateEncoder encoder;
+    algorithm->EncodeState(&encoder);
+    ASSERT_GT(encoder.SizeWords(), 0u) << name;
+    size_t metered = algorithm->Meter().CurrentWords();
+    EXPECT_LT(encoder.SizeWords(), 4 * metered + 64) << name;
+    EXPECT_GT(8 * encoder.SizeWords() + 64, metered) << name;
+  }
+}
+
+TEST(SerializeTest, StateWordsUsesEncodingWhenAvailable) {
+  Rng rng(3);
+  PlantedCoverParams p;
+  p.num_elements = 32;
+  p.num_sets = 64;
+  p.planted_cover_size = 2;
+  auto inst = GeneratePlantedCover(p, rng);
+  auto stream = RandomOrderStream(inst, rng);
+  auto algorithm = MakeAlgorithmByName("kk", {.seed = 5});
+  algorithm->Begin(stream.meta);
+  for (const Edge& e : stream.edges) algorithm->ProcessEdge(e);
+  StateEncoder encoder;
+  algorithm->EncodeState(&encoder);
+  EXPECT_EQ(algorithm->StateWords(), encoder.SizeWords());
+}
+
+}  // namespace
+}  // namespace setcover

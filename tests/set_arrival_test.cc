@@ -1,0 +1,93 @@
+#include "core/set_arrival.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "instance/generators.h"
+#include "tests/test_util.h"
+
+namespace setcover {
+namespace {
+
+TEST(SetArrivalTest, ValidOnSetMajorOrder) {
+  Rng rng(1);
+  UniformRandomParams params;
+  params.num_elements = 100;
+  params.num_sets = 50;
+  params.max_set_size = 12;
+  auto inst = GenerateUniformRandom(params, rng);
+  SetArrivalThreshold algorithm;
+  RunAndValidate(algorithm, inst, StreamOrder::kSetMajor, 2);
+}
+
+TEST(SetArrivalTest, StillValidOnNonContiguousOrders) {
+  Rng rng(2);
+  UniformRandomParams params;
+  params.num_elements = 50;
+  params.num_sets = 40;
+  auto inst = GenerateUniformRandom(params, rng);
+  for (StreamOrder order :
+       {StreamOrder::kRandom, StreamOrder::kElementMajor,
+        StreamOrder::kRoundRobinSets}) {
+    SetArrivalThreshold algorithm;
+    RunAndValidate(algorithm, inst, order, 3);
+  }
+}
+
+TEST(SetArrivalTest, TwoSqrtNApproxOnSetMajor) {
+  Rng rng(3);
+  PlantedCoverParams params;
+  params.num_elements = 256;
+  params.num_sets = 512;
+  params.planted_cover_size = 4;
+  params.decoy_max_size = 4;
+  auto inst = GeneratePlantedCover(params, rng);
+  SetArrivalThreshold algorithm;
+  auto sol = RunAndValidate(algorithm, inst, StreamOrder::kSetMajor, 4);
+  double bound = 2.0 * std::sqrt(256.0) + 1.0;
+  EXPECT_LE(double(sol.cover.size()),
+            bound * double(inst.PlantedCover().size()));
+}
+
+TEST(SetArrivalTest, TakesTheThresholdClearingSet) {
+  // Set 0 covers everything: under set-major order it clears any
+  // threshold <= n and should be the entire solution.
+  auto inst = SetCoverInstance::FromSets(
+      9, {{0, 1, 2, 3, 4, 5, 6, 7, 8}, {0}, {1}});
+  SetArrivalThreshold algorithm;  // threshold = √9 = 3
+  auto sol = RunAndValidate(algorithm, inst, StreamOrder::kSetMajor, 5);
+  EXPECT_EQ(sol.cover.size(), 1u);
+  EXPECT_EQ(sol.cover[0], 0u);
+}
+
+TEST(SetArrivalTest, BelowThresholdSetsArePatchedInstead) {
+  // All sets are below the threshold: the cover is pure patching.
+  auto inst = GeneratePartition(16, 8);  // blocks of size 2, threshold 4
+  SetArrivalThreshold algorithm;
+  auto sol = RunAndValidate(algorithm, inst, StreamOrder::kSetMajor, 6);
+  EXPECT_EQ(sol.cover.size(), 8u);
+}
+
+TEST(SetArrivalTest, CustomThreshold) {
+  auto inst = GeneratePartition(16, 8);
+  SetArrivalThreshold algorithm(/*threshold=*/2);
+  auto sol = RunAndValidate(algorithm, inst, StreamOrder::kSetMajor, 7);
+  // Every block has exactly 2 elements and now clears the threshold.
+  EXPECT_EQ(sol.cover.size(), 8u);
+}
+
+TEST(SetArrivalTest, SpaceIsLinearInNNotM) {
+  Rng rng(4);
+  UniformRandomParams params;
+  params.num_elements = 128;
+  params.num_sets = 8192;
+  params.max_set_size = 4;
+  auto inst = GenerateUniformRandom(params, rng);
+  SetArrivalThreshold algorithm;
+  RunAndValidate(algorithm, inst, StreamOrder::kSetMajor, 8);
+  EXPECT_LT(algorithm.Meter().PeakWords(), 10u * 128u + 1000u);
+}
+
+}  // namespace
+}  // namespace setcover

@@ -1,0 +1,153 @@
+#include "stream/stream_file.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "core/kk_algorithm.h"
+#include "instance/generators.h"
+#include "instance/validator.h"
+#include "stream/orderings.h"
+#include "util/rng.h"
+
+namespace setcover {
+namespace {
+
+EdgeStream TestStream(uint64_t seed) {
+  Rng rng(seed);
+  UniformRandomParams params;
+  params.num_elements = 60;
+  params.num_sets = 40;
+  params.max_set_size = 6;
+  auto inst = GenerateUniformRandom(params, rng);
+  return RandomOrderStream(inst, rng);
+}
+
+std::string TempPath(const char* name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(StreamFileTest, RoundTrip) {
+  auto stream = TestStream(1);
+  std::string path = TempPath("roundtrip.bin");
+  ASSERT_TRUE(WriteStreamFile(stream, path));
+
+  std::string error;
+  auto reader = StreamFileReader::Open(path, &error);
+  ASSERT_NE(reader, nullptr) << error;
+  EXPECT_EQ(reader->Meta().num_sets, stream.meta.num_sets);
+  EXPECT_EQ(reader->Meta().num_elements, stream.meta.num_elements);
+  EXPECT_EQ(reader->Meta().stream_length, stream.meta.stream_length);
+
+  Edge edge;
+  size_t i = 0;
+  while (reader->Next(&edge)) {
+    ASSERT_LT(i, stream.edges.size());
+    EXPECT_EQ(edge, stream.edges[i]);
+    ++i;
+  }
+  EXPECT_EQ(i, stream.edges.size());
+  EXPECT_FALSE(reader->Truncated());
+}
+
+TEST(StreamFileTest, EmptyStream) {
+  EdgeStream stream;
+  stream.meta = {5, 3, 0};
+  std::string path = TempPath("empty.bin");
+  ASSERT_TRUE(WriteStreamFile(stream, path));
+  std::string error;
+  auto reader = StreamFileReader::Open(path, &error);
+  ASSERT_NE(reader, nullptr) << error;
+  Edge edge;
+  EXPECT_FALSE(reader->Next(&edge));
+}
+
+TEST(StreamFileTest, RejectsMissingFile) {
+  std::string error;
+  EXPECT_EQ(StreamFileReader::Open("/nonexistent/stream.bin", &error),
+            nullptr);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(StreamFileTest, RejectsBadMagic) {
+  std::string path = TempPath("badmagic.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOPEnonsense data here";
+  }
+  std::string error;
+  EXPECT_EQ(StreamFileReader::Open(path, &error), nullptr);
+  EXPECT_NE(error.find("magic"), std::string::npos);
+}
+
+TEST(StreamFileTest, DetectsTruncation) {
+  auto stream = TestStream(2);
+  std::string path = TempPath("truncated.bin");
+  ASSERT_TRUE(WriteStreamFile(stream, path));
+  // Chop off the last 12 bytes.
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), size - 12), 0);
+
+  std::string error;
+  auto reader = StreamFileReader::Open(path, &error);
+  ASSERT_NE(reader, nullptr) << error;
+  Edge edge;
+  size_t count = 0;
+  while (reader->Next(&edge)) ++count;
+  EXPECT_LT(count, stream.edges.size());
+  EXPECT_TRUE(reader->Truncated());
+}
+
+TEST(StreamFileTest, RunAlgorithmFromFile) {
+  Rng rng(3);
+  PlantedCoverParams params;
+  params.num_elements = 80;
+  params.num_sets = 200;
+  params.planted_cover_size = 4;
+  auto inst = GeneratePlantedCover(params, rng);
+  auto stream = RandomOrderStream(inst, rng);
+  std::string path = TempPath("solve.bin");
+  ASSERT_TRUE(WriteStreamFile(stream, path));
+
+  KkAlgorithm algorithm(7);
+  std::string error;
+  auto solution = RunStreamFromFile(algorithm, path, &error);
+  ASSERT_TRUE(solution.has_value()) << error;
+  EXPECT_TRUE(ValidateSolution(inst, *solution).ok);
+
+  // Must match an in-memory run bit-for-bit (same seed, same order).
+  KkAlgorithm reference(7);
+  auto expected = RunStream(reference, stream);
+  EXPECT_EQ(solution->cover, expected.cover);
+}
+
+TEST(StreamFileTest, LargeStreamBuffersCorrectly) {
+  // Exceed the 64Ki-edge internal buffer to exercise refills.
+  Rng rng(4);
+  UniformRandomParams params;
+  params.num_elements = 500;
+  params.num_sets = 40000;
+  params.min_set_size = 2;
+  params.max_set_size = 4;
+  auto inst = GenerateUniformRandom(params, rng);
+  auto stream = RandomOrderStream(inst, rng);
+  ASSERT_GT(stream.size(), size_t{1} << 16);
+
+  std::string path = TempPath("large.bin");
+  ASSERT_TRUE(WriteStreamFile(stream, path));
+  std::string error;
+  auto reader = StreamFileReader::Open(path, &error);
+  ASSERT_NE(reader, nullptr) << error;
+  Edge edge;
+  size_t count = 0;
+  while (reader->Next(&edge)) ++count;
+  EXPECT_EQ(count, stream.size());
+}
+
+}  // namespace
+}  // namespace setcover

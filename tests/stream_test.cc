@@ -1,0 +1,34 @@
+#include "stream/stream.h"
+
+#include <gtest/gtest.h>
+
+namespace setcover {
+namespace {
+
+TEST(StreamTest, MaterializeEdgesSetMajor) {
+  auto inst = SetCoverInstance::FromSets(4, {{2, 0}, {}, {1, 3}});
+  auto edges = MaterializeEdges(inst);
+  ASSERT_EQ(edges.size(), 4u);
+  // Set-major, elements ascending within a set.
+  EXPECT_EQ(edges[0], (Edge{0, 0}));
+  EXPECT_EQ(edges[1], (Edge{0, 2}));
+  EXPECT_EQ(edges[2], (Edge{2, 1}));
+  EXPECT_EQ(edges[3], (Edge{2, 3}));
+}
+
+TEST(StreamTest, MakeStreamMetadata) {
+  auto inst = SetCoverInstance::FromSets(3, {{0, 1}, {2}});
+  auto stream = MakeStream(inst, MaterializeEdges(inst));
+  EXPECT_EQ(stream.meta.num_sets, 2u);
+  EXPECT_EQ(stream.meta.num_elements, 3u);
+  EXPECT_EQ(stream.meta.stream_length, 3u);
+  EXPECT_EQ(stream.size(), 3u);
+}
+
+TEST(StreamTest, EdgeCountMatchesInstance) {
+  auto inst = SetCoverInstance::FromSets(10, {{0, 1, 2}, {3, 4}, {5}});
+  EXPECT_EQ(MaterializeEdges(inst).size(), inst.NumEdges());
+}
+
+}  // namespace
+}  // namespace setcover

@@ -1,0 +1,31 @@
+#ifndef SETCOVER_TESTS_TEST_UTIL_H_
+#define SETCOVER_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include "core/streaming_algorithm.h"
+#include "instance/instance.h"
+#include "instance/validator.h"
+#include "stream/orderings.h"
+#include "util/rng.h"
+
+namespace setcover {
+
+/// Streams `instance` through `algorithm` in the given order and asserts
+/// the result is a valid cover with a valid certificate. Returns the
+/// solution for further assertions.
+inline CoverSolution RunAndValidate(StreamingSetCoverAlgorithm& algorithm,
+                                    const SetCoverInstance& instance,
+                                    StreamOrder order, uint64_t stream_seed) {
+  Rng rng(stream_seed);
+  EdgeStream stream = OrderedStream(instance, order, rng);
+  CoverSolution solution = RunStream(algorithm, stream);
+  ValidationResult check = ValidateSolution(instance, solution);
+  EXPECT_TRUE(check.ok) << algorithm.Name() << " on "
+                        << StreamOrderName(order) << ": " << check.error;
+  return solution;
+}
+
+}  // namespace setcover
+
+#endif  // SETCOVER_TESTS_TEST_UTIL_H_

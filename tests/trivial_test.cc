@@ -1,0 +1,78 @@
+#include "core/trivial.h"
+
+#include <gtest/gtest.h>
+
+#include "instance/generators.h"
+#include "tests/test_util.h"
+
+namespace setcover {
+namespace {
+
+TEST(FirstSetPatchingTest, ValidCoverOnAllOrders) {
+  Rng rng(1);
+  UniformRandomParams params;
+  params.num_elements = 60;
+  params.num_sets = 25;
+  params.max_set_size = 8;
+  auto inst = GenerateUniformRandom(params, rng);
+  for (StreamOrder order :
+       {StreamOrder::kRandom, StreamOrder::kSetMajor,
+        StreamOrder::kElementMajor, StreamOrder::kRoundRobinSets}) {
+    FirstSetPatching algorithm;
+    RunAndValidate(algorithm, inst, order, 7);
+  }
+}
+
+TEST(FirstSetPatchingTest, CoverIsAtMostN) {
+  Rng rng(2);
+  UniformRandomParams params;
+  params.num_elements = 40;
+  params.num_sets = 100;
+  auto inst = GenerateUniformRandom(params, rng);
+  FirstSetPatching algorithm;
+  auto sol = RunAndValidate(algorithm, inst, StreamOrder::kRandom, 3);
+  EXPECT_LE(sol.cover.size(), 40u);
+}
+
+TEST(FirstSetPatchingTest, SpaceIsLinearInN) {
+  auto inst = GeneratePartition(1000, 10);
+  FirstSetPatching algorithm;
+  RunAndValidate(algorithm, inst, StreamOrder::kSetMajor, 1);
+  EXPECT_EQ(algorithm.Meter().PeakWords(), 1000u);
+}
+
+TEST(FirstSetPatchingTest, SingleSetInstance) {
+  auto inst = SetCoverInstance::FromSets(3, {{0, 1, 2}});
+  FirstSetPatching algorithm;
+  auto sol = RunAndValidate(algorithm, inst, StreamOrder::kSetMajor, 1);
+  EXPECT_EQ(sol.cover.size(), 1u);
+}
+
+TEST(StoreEverythingGreedyTest, MatchesOfflineGreedyQuality) {
+  auto inst = GeneratePartition(64, 8);
+  StoreEverythingGreedy algorithm;
+  auto sol = RunAndValidate(algorithm, inst, StreamOrder::kRandom, 5);
+  EXPECT_EQ(sol.cover.size(), 8u);
+}
+
+TEST(StoreEverythingGreedyTest, SpaceIsStreamLength) {
+  Rng rng(4);
+  UniformRandomParams params;
+  params.num_elements = 50;
+  params.num_sets = 30;
+  auto inst = GenerateUniformRandom(params, rng);
+  StoreEverythingGreedy algorithm;
+  RunAndValidate(algorithm, inst, StreamOrder::kRandom, 6);
+  EXPECT_EQ(algorithm.Meter().PeakWords(), inst.NumEdges());
+}
+
+TEST(StoreEverythingGreedyTest, ReusableAcrossRuns) {
+  auto inst = GeneratePartition(20, 4);
+  StoreEverythingGreedy algorithm;
+  auto first = RunAndValidate(algorithm, inst, StreamOrder::kRandom, 1);
+  auto second = RunAndValidate(algorithm, inst, StreamOrder::kRandom, 2);
+  EXPECT_EQ(first.cover.size(), second.cover.size());
+}
+
+}  // namespace
+}  // namespace setcover

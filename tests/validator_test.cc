@@ -1,0 +1,92 @@
+#include "instance/validator.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace setcover {
+namespace {
+
+SetCoverInstance TestInstance() {
+  // U = {0..4}; S0={0,1}, S1={1,2,3}, S2={4}, S3={0,4}.
+  return SetCoverInstance::FromSets(5, {{0, 1}, {1, 2, 3}, {4}, {0, 4}});
+}
+
+TEST(ValidatorTest, AcceptsValidSolution) {
+  auto inst = TestInstance();
+  CoverSolution sol;
+  sol.cover = {0, 1, 2};
+  sol.certificate = {0, 0, 1, 1, 2};
+  auto result = ValidateSolution(inst, sol);
+  EXPECT_TRUE(result.ok) << result.error;
+}
+
+TEST(ValidatorTest, RejectsMissingCertificate) {
+  auto inst = TestInstance();
+  CoverSolution sol;
+  sol.cover = {0, 1, 2};
+  sol.certificate = {0, 0, 1, 1, kNoSet};
+  auto result = ValidateSolution(inst, sol);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("no certificate"), std::string::npos);
+}
+
+TEST(ValidatorTest, RejectsCertificateNotInCover) {
+  auto inst = TestInstance();
+  CoverSolution sol;
+  sol.cover = {0, 1, 2};
+  sol.certificate = {3, 0, 1, 1, 2};  // set 3 covers 0 but isn't in cover
+  auto result = ValidateSolution(inst, sol);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("not in cover"), std::string::npos);
+}
+
+TEST(ValidatorTest, RejectsCertificateSetNotContainingElement) {
+  auto inst = TestInstance();
+  CoverSolution sol;
+  sol.cover = {0, 1, 2};
+  sol.certificate = {0, 0, 1, 2, 2};  // set 2 = {4} does not contain 3
+  auto result = ValidateSolution(inst, sol);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("does not contain"), std::string::npos);
+}
+
+TEST(ValidatorTest, RejectsDuplicateCoverEntries) {
+  auto inst = TestInstance();
+  CoverSolution sol;
+  sol.cover = {0, 0, 1, 2};
+  sol.certificate = {0, 0, 1, 1, 2};
+  auto result = ValidateSolution(inst, sol);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("duplicate"), std::string::npos);
+}
+
+TEST(ValidatorTest, RejectsOutOfRangeCoverSet) {
+  auto inst = TestInstance();
+  CoverSolution sol;
+  sol.cover = {0, 17};
+  sol.certificate = {0, 0, 0, 0, 0};
+  auto result = ValidateSolution(inst, sol);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("out-of-range"), std::string::npos);
+}
+
+TEST(ValidatorTest, RejectsWrongCertificateLength) {
+  auto inst = TestInstance();
+  CoverSolution sol;
+  sol.cover = {0};
+  sol.certificate = {0, 0};
+  auto result = ValidateSolution(inst, sol);
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(ValidatorTest, ApproxRatio) {
+  CoverSolution sol;
+  sol.cover = {1, 2, 3, 4, 5, 6};
+  EXPECT_DOUBLE_EQ(ApproxRatio(sol, 2), 3.0);
+  EXPECT_DOUBLE_EQ(ApproxRatio(sol, 6), 1.0);
+  EXPECT_TRUE(std::isinf(ApproxRatio(sol, 0)));
+}
+
+}  // namespace
+}  // namespace setcover

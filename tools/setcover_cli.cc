@@ -1,0 +1,319 @@
+// setcover_cli — the command-line face of the library.
+//
+// Subcommands:
+//   generate  --family=planted|uniform|zipf|dominating --n --m [...]
+//             --out instance.txt
+//             Creates an instance file (text format, instance/io.h).
+//
+//   stream    --instance instance.txt --order random|set-major|...
+//             --seed S --out stream.bin
+//             Materializes an ordered edge stream into the binary
+//             stream-file format (stream/stream_file.h).
+//
+//   solve     --instance instance.txt [--algorithm kk] [--order random]
+//             [--seed S] [--alpha A] [--runs R]
+//             Streams the instance through the chosen algorithm and
+//             reports cover size, ratio vs greedy/planted, peak words.
+//
+//   solve-stream --stream stream.bin [--algorithm kk] [--seed S]
+//             Replays a binary stream file (no instance needed; the
+//             validation step is skipped since set contents are not
+//             known without the instance).
+//
+//   compare   --instance instance.txt [--order random] [--seed S]
+//             Runs *every* registered algorithm on the same stream and
+//             prints the Table-1-style comparison (cover, ratio vs
+//             greedy/planted, peak words).
+//
+//   list      Prints the registered algorithm names.
+//
+// Examples:
+//   setcover_cli generate --family=planted --n=1024 --m=65536 \
+//       --opt=4 --out=/tmp/inst.txt
+//   setcover_cli solve --instance=/tmp/inst.txt --algorithm=random-order
+//   setcover_cli stream --instance=/tmp/inst.txt --order=random \
+//       --out=/tmp/stream.bin
+//   setcover_cli solve-stream --stream=/tmp/stream.bin --algorithm=kk
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/multi_run.h"
+#include "core/registry.h"
+#include "instance/generators.h"
+#include "instance/io.h"
+#include "instance/validator.h"
+#include "offline/greedy.h"
+#include "stream/orderings.h"
+#include "stream/stream_file.h"
+#include "util/flags.h"
+
+namespace setcover {
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: setcover_cli <generate|stream|solve|solve-stream|list> "
+      "[--flags]\n(see the header of tools/setcover_cli.cc for details)\n");
+  return 2;
+}
+
+std::optional<StreamOrder> ParseOrder(const std::string& name) {
+  for (StreamOrder order :
+       {StreamOrder::kRandom, StreamOrder::kSetMajor,
+        StreamOrder::kElementMajor, StreamOrder::kRoundRobinSets,
+        StreamOrder::kLargeSetsLast}) {
+    if (StreamOrderName(order) == name) return order;
+  }
+  return std::nullopt;
+}
+
+int CmdList() {
+  for (const std::string& name : RegisteredAlgorithmNames()) {
+    std::printf("%s\n", name.c_str());
+  }
+  return 0;
+}
+
+int CmdGenerate(const FlagSet& flags) {
+  std::string family = flags.GetString("family", "planted");
+  uint32_t n = static_cast<uint32_t>(flags.GetInt("n", 1024));
+  uint32_t m = static_cast<uint32_t>(flags.GetInt("m", 16384));
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  std::string out = flags.GetString("out", "instance.txt");
+  Rng rng(seed);
+
+  SetCoverInstance instance = GeneratePartition(1, 1);
+  if (family == "planted") {
+    PlantedCoverParams p;
+    p.num_elements = n;
+    p.num_sets = m;
+    p.planted_cover_size = static_cast<uint32_t>(flags.GetInt("opt", 4));
+    p.decoy_min_size =
+        static_cast<uint32_t>(flags.GetInt("decoy-min", 1));
+    p.decoy_max_size =
+        static_cast<uint32_t>(flags.GetInt("decoy-max", 4));
+    instance = GeneratePlantedCover(p, rng);
+  } else if (family == "uniform") {
+    UniformRandomParams p;
+    p.num_elements = n;
+    p.num_sets = m;
+    p.min_set_size = static_cast<uint32_t>(flags.GetInt("set-min", 1));
+    p.max_set_size = static_cast<uint32_t>(flags.GetInt("set-max", 8));
+    instance = GenerateUniformRandom(p, rng);
+  } else if (family == "zipf") {
+    ZipfParams p;
+    p.num_elements = n;
+    p.num_sets = m;
+    p.min_set_size = static_cast<uint32_t>(flags.GetInt("set-min", 1));
+    p.max_set_size = static_cast<uint32_t>(flags.GetInt("set-max", 16));
+    p.exponent = flags.GetDouble("exponent", 1.0);
+    instance = GenerateZipf(p, rng);
+  } else if (family == "dominating") {
+    instance = GenerateDominatingSet(n, flags.GetDouble("p", 0.01), rng);
+  } else {
+    std::fprintf(stderr, "unknown --family=%s\n", family.c_str());
+    return 2;
+  }
+
+  if (!WriteInstanceFile(instance, out)) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("wrote %s: n=%u m=%u N=%zu%s\n", out.c_str(),
+              instance.NumElements(), instance.NumSets(),
+              instance.NumEdges(),
+              instance.PlantedCover().empty() ? "" : " (planted cover)");
+  return 0;
+}
+
+int CmdStream(const FlagSet& flags) {
+  std::string path = flags.GetString("instance", "");
+  std::string out = flags.GetString("out", "stream.bin");
+  std::string order_name = flags.GetString("order", "random");
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+
+  std::string error;
+  auto instance = ReadInstanceFile(path, &error);
+  if (!instance.has_value()) {
+    std::fprintf(stderr, "cannot read instance: %s\n", error.c_str());
+    return 1;
+  }
+  auto order = ParseOrder(order_name);
+  if (!order.has_value()) {
+    std::fprintf(stderr, "unknown --order=%s\n", order_name.c_str());
+    return 2;
+  }
+  Rng rng(seed);
+  EdgeStream stream = OrderedStream(*instance, *order, rng);
+  if (!WriteStreamFile(stream, out)) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %zu edges in %s order\n", out.c_str(),
+              stream.size(), order_name.c_str());
+  return 0;
+}
+
+int CmdSolve(const FlagSet& flags) {
+  std::string path = flags.GetString("instance", "");
+  std::string algorithm_name = flags.GetString("algorithm", "kk");
+  std::string order_name = flags.GetString("order", "random");
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  uint32_t runs = static_cast<uint32_t>(flags.GetInt("runs", 1));
+
+  std::string error;
+  auto instance = ReadInstanceFile(path, &error);
+  if (!instance.has_value()) {
+    std::fprintf(stderr, "cannot read instance: %s\n", error.c_str());
+    return 1;
+  }
+  auto order = ParseOrder(order_name);
+  if (!order.has_value()) {
+    std::fprintf(stderr, "unknown --order=%s\n", order_name.c_str());
+    return 2;
+  }
+  AlgorithmOptions options;
+  options.seed = seed;
+  options.alpha = flags.GetDouble("alpha", 0.0);
+  if (MakeAlgorithmByName(algorithm_name, options) == nullptr) {
+    std::fprintf(stderr, "unknown --algorithm=%s (try 'list')\n",
+                 algorithm_name.c_str());
+    return 2;
+  }
+
+  Rng rng(seed ^ 0x9e3779b9);
+  EdgeStream stream = OrderedStream(*instance, *order, rng);
+
+  size_t total_peak = 0;
+  AlgorithmFactory factory = [&](uint64_t run_seed) {
+    AlgorithmOptions run_options = options;
+    run_options.seed = run_seed;
+    return MakeAlgorithmByName(algorithm_name, run_options);
+  };
+  CoverSolution solution =
+      BestOfRuns(factory, std::max(1u, runs), seed, stream, &total_peak);
+
+  ValidationResult check = ValidateSolution(*instance, solution);
+  CoverSolution greedy = GreedyCover(*instance);
+  std::printf("algorithm:   %s (%u run%s)\n", algorithm_name.c_str(), runs,
+              runs == 1 ? "" : "s");
+  std::printf("order:       %s\n", order_name.c_str());
+  std::printf("valid:       %s\n", check.ok ? "yes" : check.error.c_str());
+  std::printf("cover size:  %zu\n", solution.cover.size());
+  std::printf("greedy size: %zu (ratio %.2f)\n", greedy.cover.size(),
+              ApproxRatio(solution, greedy.cover.size()));
+  if (!instance->PlantedCover().empty()) {
+    std::printf("planted OPT: %zu (ratio %.2f)\n",
+                instance->PlantedCover().size(),
+                ApproxRatio(solution, instance->PlantedCover().size()));
+  }
+  std::printf("peak words:  %zu%s\n", total_peak,
+              runs > 1 ? " (summed over runs)" : "");
+  return check.ok ? 0 : 1;
+}
+
+int CmdCompare(const FlagSet& flags) {
+  std::string path = flags.GetString("instance", "");
+  std::string order_name = flags.GetString("order", "random");
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+
+  std::string error;
+  auto instance = ReadInstanceFile(path, &error);
+  if (!instance.has_value()) {
+    std::fprintf(stderr, "cannot read instance: %s\n", error.c_str());
+    return 1;
+  }
+  auto order = ParseOrder(order_name);
+  if (!order.has_value()) {
+    std::fprintf(stderr, "unknown --order=%s\n", order_name.c_str());
+    return 2;
+  }
+  Rng rng(seed ^ 0x9e3779b9);
+  EdgeStream stream = OrderedStream(*instance, *order, rng);
+  CoverSolution greedy = GreedyCover(*instance);
+  size_t reference = instance->PlantedCover().empty()
+                         ? greedy.cover.size()
+                         : instance->PlantedCover().size();
+
+  std::printf("n=%u m=%u N=%zu order=%s reference=%zu (%s)\n\n",
+              instance->NumElements(), instance->NumSets(),
+              instance->NumEdges(), order_name.c_str(), reference,
+              instance->PlantedCover().empty() ? "greedy" : "planted");
+  std::printf("%-26s %8s %8s %14s %6s\n", "algorithm", "cover", "ratio",
+              "peak_words", "valid");
+  for (const std::string& name : RegisteredAlgorithmNames()) {
+    AlgorithmOptions options;
+    options.seed = seed;
+    auto algorithm = MakeAlgorithmByName(name, options);
+    CoverSolution solution = RunStream(*algorithm, stream);
+    ValidationResult check = ValidateSolution(*instance, solution);
+    std::printf("%-26s %8zu %8.2f %14zu %6s\n", name.c_str(),
+                solution.cover.size(), ApproxRatio(solution, reference),
+                algorithm->Meter().PeakWords(), check.ok ? "yes" : "NO");
+  }
+  return 0;
+}
+
+int CmdSolveStream(const FlagSet& flags) {
+  std::string path = flags.GetString("stream", "");
+  std::string algorithm_name = flags.GetString("algorithm", "kk");
+  AlgorithmOptions options;
+  options.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  options.alpha = flags.GetDouble("alpha", 0.0);
+  auto algorithm = MakeAlgorithmByName(algorithm_name, options);
+  if (algorithm == nullptr) {
+    std::fprintf(stderr, "unknown --algorithm=%s (try 'list')\n",
+                 algorithm_name.c_str());
+    return 2;
+  }
+  std::string error;
+  auto solution = RunStreamFromFile(*algorithm, path, &error);
+  if (!solution.has_value()) {
+    std::fprintf(stderr, "cannot read stream: %s\n", error.c_str());
+    return 1;
+  }
+  size_t witnessed = 0;
+  for (SetId w : solution->certificate) witnessed += (w != kNoSet) ? 1 : 0;
+  std::printf("algorithm:   %s\n", algorithm->Name().c_str());
+  std::printf("cover size:  %zu\n", solution->cover.size());
+  std::printf("witnessed:   %zu/%zu elements\n", witnessed,
+              solution->certificate.size());
+  std::printf("peak words:  %zu\n", algorithm->Meter().PeakWords());
+  std::printf("breakdown:   %s\n",
+              algorithm->Meter().BreakdownString().c_str());
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string command = argv[1];
+  FlagSet flags = FlagSet::Parse(argc - 2, argv + 2);
+  int result;
+  if (command == "list") {
+    result = CmdList();
+  } else if (command == "generate") {
+    result = CmdGenerate(flags);
+  } else if (command == "stream") {
+    result = CmdStream(flags);
+  } else if (command == "solve") {
+    result = CmdSolve(flags);
+  } else if (command == "compare") {
+    result = CmdCompare(flags);
+  } else if (command == "solve-stream") {
+    result = CmdSolveStream(flags);
+  } else {
+    return Usage();
+  }
+  for (const std::string& key : flags.UnusedKeys()) {
+    std::fprintf(stderr, "warning: unused flag --%s\n", key.c_str());
+  }
+  return result;
+}
+
+}  // namespace
+}  // namespace setcover
+
+int main(int argc, char** argv) { return setcover::Main(argc, argv); }
