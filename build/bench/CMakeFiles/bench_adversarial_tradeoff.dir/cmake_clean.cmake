@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_adversarial_tradeoff.dir/bench_adversarial_tradeoff.cc.o"
+  "CMakeFiles/bench_adversarial_tradeoff.dir/bench_adversarial_tradeoff.cc.o.d"
+  "bench_adversarial_tradeoff"
+  "bench_adversarial_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_adversarial_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

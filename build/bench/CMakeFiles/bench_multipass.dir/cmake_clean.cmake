@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multipass.dir/bench_multipass.cc.o"
+  "CMakeFiles/bench_multipass.dir/bench_multipass.cc.o.d"
+  "bench_multipass"
+  "bench_multipass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multipass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

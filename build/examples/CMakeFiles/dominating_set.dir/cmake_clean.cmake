@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dominating_set.dir/dominating_set.cpp.o"
+  "CMakeFiles/dominating_set.dir/dominating_set.cpp.o.d"
+  "dominating_set"
+  "dominating_set.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dominating_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

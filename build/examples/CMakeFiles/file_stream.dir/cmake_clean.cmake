@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_stream.dir/file_stream.cpp.o"
+  "CMakeFiles/file_stream.dir/file_stream.cpp.o.d"
+  "file_stream"
+  "file_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/deterministic_protocol.cc" "src/CMakeFiles/setcover.dir/comm/deterministic_protocol.cc.o" "gcc" "src/CMakeFiles/setcover.dir/comm/deterministic_protocol.cc.o.d"
+  "/root/repo/src/comm/disjointness.cc" "src/CMakeFiles/setcover.dir/comm/disjointness.cc.o" "gcc" "src/CMakeFiles/setcover.dir/comm/disjointness.cc.o.d"
+  "/root/repo/src/comm/protocol.cc" "src/CMakeFiles/setcover.dir/comm/protocol.cc.o" "gcc" "src/CMakeFiles/setcover.dir/comm/protocol.cc.o.d"
+  "/root/repo/src/comm/reduction.cc" "src/CMakeFiles/setcover.dir/comm/reduction.cc.o" "gcc" "src/CMakeFiles/setcover.dir/comm/reduction.cc.o.d"
+  "/root/repo/src/core/adversarial_level.cc" "src/CMakeFiles/setcover.dir/core/adversarial_level.cc.o" "gcc" "src/CMakeFiles/setcover.dir/core/adversarial_level.cc.o.d"
+  "/root/repo/src/core/element_sampling.cc" "src/CMakeFiles/setcover.dir/core/element_sampling.cc.o" "gcc" "src/CMakeFiles/setcover.dir/core/element_sampling.cc.o.d"
+  "/root/repo/src/core/kk_algorithm.cc" "src/CMakeFiles/setcover.dir/core/kk_algorithm.cc.o" "gcc" "src/CMakeFiles/setcover.dir/core/kk_algorithm.cc.o.d"
+  "/root/repo/src/core/max_coverage.cc" "src/CMakeFiles/setcover.dir/core/max_coverage.cc.o" "gcc" "src/CMakeFiles/setcover.dir/core/max_coverage.cc.o.d"
+  "/root/repo/src/core/multi_pass.cc" "src/CMakeFiles/setcover.dir/core/multi_pass.cc.o" "gcc" "src/CMakeFiles/setcover.dir/core/multi_pass.cc.o.d"
+  "/root/repo/src/core/multi_run.cc" "src/CMakeFiles/setcover.dir/core/multi_run.cc.o" "gcc" "src/CMakeFiles/setcover.dir/core/multi_run.cc.o.d"
+  "/root/repo/src/core/random_order.cc" "src/CMakeFiles/setcover.dir/core/random_order.cc.o" "gcc" "src/CMakeFiles/setcover.dir/core/random_order.cc.o.d"
+  "/root/repo/src/core/registry.cc" "src/CMakeFiles/setcover.dir/core/registry.cc.o" "gcc" "src/CMakeFiles/setcover.dir/core/registry.cc.o.d"
+  "/root/repo/src/core/set_arrival.cc" "src/CMakeFiles/setcover.dir/core/set_arrival.cc.o" "gcc" "src/CMakeFiles/setcover.dir/core/set_arrival.cc.o.d"
+  "/root/repo/src/core/trivial.cc" "src/CMakeFiles/setcover.dir/core/trivial.cc.o" "gcc" "src/CMakeFiles/setcover.dir/core/trivial.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/setcover.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/setcover.dir/graph/graph.cc.o.d"
+  "/root/repo/src/instance/generators.cc" "src/CMakeFiles/setcover.dir/instance/generators.cc.o" "gcc" "src/CMakeFiles/setcover.dir/instance/generators.cc.o.d"
+  "/root/repo/src/instance/hard_instance.cc" "src/CMakeFiles/setcover.dir/instance/hard_instance.cc.o" "gcc" "src/CMakeFiles/setcover.dir/instance/hard_instance.cc.o.d"
+  "/root/repo/src/instance/instance.cc" "src/CMakeFiles/setcover.dir/instance/instance.cc.o" "gcc" "src/CMakeFiles/setcover.dir/instance/instance.cc.o.d"
+  "/root/repo/src/instance/io.cc" "src/CMakeFiles/setcover.dir/instance/io.cc.o" "gcc" "src/CMakeFiles/setcover.dir/instance/io.cc.o.d"
+  "/root/repo/src/instance/validator.cc" "src/CMakeFiles/setcover.dir/instance/validator.cc.o" "gcc" "src/CMakeFiles/setcover.dir/instance/validator.cc.o.d"
+  "/root/repo/src/offline/exact.cc" "src/CMakeFiles/setcover.dir/offline/exact.cc.o" "gcc" "src/CMakeFiles/setcover.dir/offline/exact.cc.o.d"
+  "/root/repo/src/offline/greedy.cc" "src/CMakeFiles/setcover.dir/offline/greedy.cc.o" "gcc" "src/CMakeFiles/setcover.dir/offline/greedy.cc.o.d"
+  "/root/repo/src/offline/lp_bound.cc" "src/CMakeFiles/setcover.dir/offline/lp_bound.cc.o" "gcc" "src/CMakeFiles/setcover.dir/offline/lp_bound.cc.o.d"
+  "/root/repo/src/stream/orderings.cc" "src/CMakeFiles/setcover.dir/stream/orderings.cc.o" "gcc" "src/CMakeFiles/setcover.dir/stream/orderings.cc.o.d"
+  "/root/repo/src/stream/stream.cc" "src/CMakeFiles/setcover.dir/stream/stream.cc.o" "gcc" "src/CMakeFiles/setcover.dir/stream/stream.cc.o.d"
+  "/root/repo/src/stream/stream_file.cc" "src/CMakeFiles/setcover.dir/stream/stream_file.cc.o" "gcc" "src/CMakeFiles/setcover.dir/stream/stream_file.cc.o.d"
+  "/root/repo/src/util/bitset.cc" "src/CMakeFiles/setcover.dir/util/bitset.cc.o" "gcc" "src/CMakeFiles/setcover.dir/util/bitset.cc.o.d"
+  "/root/repo/src/util/count_min.cc" "src/CMakeFiles/setcover.dir/util/count_min.cc.o" "gcc" "src/CMakeFiles/setcover.dir/util/count_min.cc.o.d"
+  "/root/repo/src/util/flags.cc" "src/CMakeFiles/setcover.dir/util/flags.cc.o" "gcc" "src/CMakeFiles/setcover.dir/util/flags.cc.o.d"
+  "/root/repo/src/util/kmv.cc" "src/CMakeFiles/setcover.dir/util/kmv.cc.o" "gcc" "src/CMakeFiles/setcover.dir/util/kmv.cc.o.d"
+  "/root/repo/src/util/math.cc" "src/CMakeFiles/setcover.dir/util/math.cc.o" "gcc" "src/CMakeFiles/setcover.dir/util/math.cc.o.d"
+  "/root/repo/src/util/memory_meter.cc" "src/CMakeFiles/setcover.dir/util/memory_meter.cc.o" "gcc" "src/CMakeFiles/setcover.dir/util/memory_meter.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/setcover.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/setcover.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/serialize.cc" "src/CMakeFiles/setcover.dir/util/serialize.cc.o" "gcc" "src/CMakeFiles/setcover.dir/util/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algorithm_internals_test.dir/algorithm_internals_test.cc.o"
+  "CMakeFiles/algorithm_internals_test.dir/algorithm_internals_test.cc.o.d"
+  "algorithm_internals_test"
+  "algorithm_internals_test.pdb"
+  "algorithm_internals_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algorithm_internals_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deterministic_protocol_test.dir/deterministic_protocol_test.cc.o"
+  "CMakeFiles/deterministic_protocol_test.dir/deterministic_protocol_test.cc.o.d"
+  "deterministic_protocol_test"
+  "deterministic_protocol_test.pdb"
+  "deterministic_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deterministic_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

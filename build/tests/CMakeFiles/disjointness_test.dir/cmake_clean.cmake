@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disjointness_test.dir/disjointness_test.cc.o"
+  "CMakeFiles/disjointness_test.dir/disjointness_test.cc.o.d"
+  "disjointness_test"
+  "disjointness_test.pdb"
+  "disjointness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disjointness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/element_sampling_test.dir/element_sampling_test.cc.o"
+  "CMakeFiles/element_sampling_test.dir/element_sampling_test.cc.o.d"
+  "element_sampling_test"
+  "element_sampling_test.pdb"
+  "element_sampling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/element_sampling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

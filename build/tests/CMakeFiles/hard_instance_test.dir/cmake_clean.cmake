@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hard_instance_test.dir/hard_instance_test.cc.o"
+  "CMakeFiles/hard_instance_test.dir/hard_instance_test.cc.o.d"
+  "hard_instance_test"
+  "hard_instance_test.pdb"
+  "hard_instance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hard_instance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kk_algorithm_test.dir/kk_algorithm_test.cc.o"
+  "CMakeFiles/kk_algorithm_test.dir/kk_algorithm_test.cc.o.d"
+  "kk_algorithm_test"
+  "kk_algorithm_test.pdb"
+  "kk_algorithm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kk_algorithm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/max_coverage_test.dir/max_coverage_test.cc.o"
+  "CMakeFiles/max_coverage_test.dir/max_coverage_test.cc.o.d"
+  "max_coverage_test"
+  "max_coverage_test.pdb"
+  "max_coverage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/max_coverage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_meter_test.dir/memory_meter_test.cc.o"
+  "CMakeFiles/memory_meter_test.dir/memory_meter_test.cc.o.d"
+  "memory_meter_test"
+  "memory_meter_test.pdb"
+  "memory_meter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_meter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orderings_test.dir/orderings_test.cc.o"
+  "CMakeFiles/orderings_test.dir/orderings_test.cc.o.d"
+  "orderings_test"
+  "orderings_test.pdb"
+  "orderings_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orderings_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

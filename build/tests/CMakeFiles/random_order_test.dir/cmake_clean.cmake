@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_order_test.dir/random_order_test.cc.o"
+  "CMakeFiles/random_order_test.dir/random_order_test.cc.o.d"
+  "random_order_test"
+  "random_order_test.pdb"
+  "random_order_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_order_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/set_arrival_test.dir/set_arrival_test.cc.o"
+  "CMakeFiles/set_arrival_test.dir/set_arrival_test.cc.o.d"
+  "set_arrival_test"
+  "set_arrival_test.pdb"
+  "set_arrival_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/set_arrival_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/state_restore_test.dir/state_restore_test.cc.o"
+  "CMakeFiles/state_restore_test.dir/state_restore_test.cc.o.d"
+  "state_restore_test"
+  "state_restore_test.pdb"
+  "state_restore_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/state_restore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

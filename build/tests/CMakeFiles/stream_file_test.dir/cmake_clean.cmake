@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_file_test.dir/stream_file_test.cc.o"
+  "CMakeFiles/stream_file_test.dir/stream_file_test.cc.o.d"
+  "stream_file_test"
+  "stream_file_test.pdb"
+  "stream_file_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_file_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

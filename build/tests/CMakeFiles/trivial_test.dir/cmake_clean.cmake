@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trivial_test.dir/trivial_test.cc.o"
+  "CMakeFiles/trivial_test.dir/trivial_test.cc.o.d"
+  "trivial_test"
+  "trivial_test.pdb"
+  "trivial_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trivial_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

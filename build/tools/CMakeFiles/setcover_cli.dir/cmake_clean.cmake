@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/setcover_cli.dir/setcover_cli.cc.o"
+  "CMakeFiles/setcover_cli.dir/setcover_cli.cc.o.d"
+  "setcover_cli"
+  "setcover_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/setcover_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
