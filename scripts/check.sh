@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Full verification: build + test the plain configuration, then again
+# with AddressSanitizer + UBSan (-DSETCOVER_SANITIZE=ON). Any sanitizer
+# finding aborts the offending test (-fno-sanitize-recover=all), so a
+# green run means both configurations are clean.
+#
+# Usage: scripts/check.sh [jobs]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${1:-$(nproc)}"
+
+echo "== plain build (build/) =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build -j "$JOBS" --output-on-failure
+
+echo "== sanitized build (build-asan/) =="
+cmake -B build-asan -S . -DSETCOVER_SANITIZE=ON >/dev/null
+cmake --build build-asan -j "$JOBS"
+ctest --test-dir build-asan -j "$JOBS" --output-on-failure
+
+echo "== all checks passed =="

@@ -100,6 +100,14 @@ CoverSolution AdversarialLevelAlgorithm::Finalize() {
   return solution;
 }
 
+size_t AdversarialLevelAlgorithm::StateWords() const {
+  return 4 + EncodedMapWords(levels_.size()) +
+         EncodedBoolVectorWords(covered_.size()) +
+         EncodedU32VectorWords(first_set_.size()) +
+         EncodedU32VectorWords(certificate_.size()) +
+         EncodedU32VectorWords(solution_order_.size());
+}
+
 void AdversarialLevelAlgorithm::EncodeState(StateEncoder* encoder) const {
   // The space story of Theorem 4 made literal: only the *promoted*
   // sets' levels travel (Õ(m·n/α²) of them), plus Õ(n) element state

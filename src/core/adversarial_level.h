@@ -52,6 +52,7 @@ class AdversarialLevelAlgorithm : public StreamingSetCoverAlgorithm {
   void EncodeState(StateEncoder* encoder) const override;
   bool DecodeState(const StreamMetadata& meta,
                    const std::vector<uint64_t>& words) override;
+  size_t StateWords() const override;
 
   /// The α in effect for the current run (after clamping). Valid after
   /// Begin().

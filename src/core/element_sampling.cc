@@ -66,6 +66,50 @@ void ElementSamplingAlgorithm::EncodeState(StateEncoder* encoder) const {
   encoder->PutU32Vector(flat);
 }
 
+bool ElementSamplingAlgorithm::DecodeState(
+    const StreamMetadata& meta, const std::vector<uint64_t>& words) {
+  Begin(meta);
+  StateDecoder decoder(words);
+  std::vector<bool> in_sample = decoder.GetBoolVector();
+  std::vector<uint32_t> first_set = decoder.GetU32Vector();
+  std::vector<uint32_t> flat = decoder.GetU32Vector();
+  bool edges_ok = flat.size() % 2 == 0;
+  for (size_t i = 0; edges_ok && i < flat.size(); i += 2) {
+    edges_ok = flat[i] < meta.num_sets && flat[i + 1] < meta.num_elements;
+  }
+  if (!decoder.Done() || !edges_ok ||
+      in_sample.size() != meta.num_elements ||
+      first_set.size() != meta.num_elements) {
+    Begin(meta);
+    return false;
+  }
+  // The dense index of a sampled element is its rank within U' (the
+  // sample is drawn sorted), so the whole mapping reconstructs from
+  // the indicator alone.
+  in_sample_ = std::move(in_sample);
+  sample_index_.assign(meta.num_elements, 0);
+  sample_size_ = 0;
+  for (ElementId u = 0; u < meta.num_elements; ++u) {
+    if (in_sample_[u]) {
+      sample_index_[u] = static_cast<ElementId>(sample_size_++);
+    }
+  }
+  first_set_ = std::move(first_set);
+  projected_edges_.clear();
+  projected_edges_.reserve(flat.size() / 2);
+  for (size_t i = 0; i < flat.size(); i += 2) {
+    projected_edges_.push_back({flat[i], flat[i + 1]});
+  }
+  meter_.Set(projection_words_, projected_edges_.size());
+  return true;
+}
+
+size_t ElementSamplingAlgorithm::StateWords() const {
+  return EncodedBoolVectorWords(in_sample_.size()) +
+         EncodedU32VectorWords(first_set_.size()) +
+         EncodedU32VectorWords(2 * projected_edges_.size());
+}
+
 CoverSolution ElementSamplingAlgorithm::Finalize() {
   // Build the projected instance over the dense sample indices and
   // greedily cover it.

@@ -50,6 +50,9 @@ class ElementSamplingAlgorithm : public StreamingSetCoverAlgorithm {
   CoverSolution Finalize() override;
   const MemoryMeter& Meter() const override { return meter_; }
   void EncodeState(StateEncoder* encoder) const override;
+  bool DecodeState(const StreamMetadata& meta,
+                   const std::vector<uint64_t>& words) override;
+  size_t StateWords() const override;
 
   /// The sample size |U'| in effect. Valid after Begin().
   size_t SampleSize() const { return sample_size_; }

@@ -90,6 +90,14 @@ CoverSolution KkAlgorithm::Finalize() {
   return solution;
 }
 
+size_t KkAlgorithm::StateWords() const {
+  return 4 + EncodedU32VectorWords(uncovered_degree_.size()) +
+         EncodedBoolVectorWords(covered_.size()) +
+         EncodedU32VectorWords(first_set_.size()) +
+         EncodedU32VectorWords(certificate_.size()) +
+         EncodedU32VectorWords(solution_order_.size());
+}
+
 void KkAlgorithm::EncodeState(StateEncoder* encoder) const {
   // Everything a successor party needs: the coin stream position, the
   // per-set uncovered-degrees, the element flags/stores, and the

@@ -49,6 +49,7 @@ class KkAlgorithm : public StreamingSetCoverAlgorithm {
   void EncodeState(StateEncoder* encoder) const override;
   bool DecodeState(const StreamMetadata& meta,
                    const std::vector<uint64_t>& words) override;
+  size_t StateWords() const override;
 
   /// Histogram of final levels: entry i counts the sets whose
   /// uncovered-degree ended in [i·√n, (i+1)·√n). Valid after Finalize().

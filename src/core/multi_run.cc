@@ -34,6 +34,7 @@ NGuessRandomOrder::NGuessRandomOrder(uint64_t seed,
 
 void NGuessRandomOrder::Begin(const StreamMetadata& meta) {
   runs_.clear();
+  guessed_metas_.clear();
   edges_seen_ = 0;
   meter_.Reset();
   // Guesses 2^i · m/√n for i = 0, 1, ...; the true N is at most m·n
@@ -49,10 +50,58 @@ void NGuessRandomOrder::Begin(const StreamMetadata& meta) {
         std::make_unique<RandomOrderAlgorithm>(run_seed++, params_));
     StreamMetadata guessed = meta;
     guessed.stream_length = static_cast<size_t>(guess);
+    guessed_metas_.push_back(guessed);
     runs_.back()->Begin(guessed);
     if (guess >= max_n) break;
   }
   RefreshMeter();
+}
+
+void NGuessRandomOrder::EncodeState(StateEncoder* encoder) const {
+  encoder->PutWord(runs_.size());
+  encoder->PutWord(edges_seen_);
+  for (const auto& run : runs_) {
+    StateEncoder sub;
+    run->EncodeState(&sub);
+    encoder->PutWord(sub.SizeWords());
+    for (uint64_t w : sub.Words()) encoder->PutWord(w);
+  }
+}
+
+bool NGuessRandomOrder::DecodeState(const StreamMetadata& meta,
+                                    const std::vector<uint64_t>& words) {
+  // Begin() deterministically rebuilds the guess ladder (count, seeds
+  // and per-guess metadata depend only on `meta` and the constructor
+  // seed), so the message only needs to restore each sub-run's state.
+  Begin(meta);
+  StateDecoder decoder(words);
+  uint64_t count = decoder.GetWord();
+  uint64_t edges_seen = decoder.GetWord();
+  bool ok = !decoder.failed() && count == runs_.size();
+  for (size_t i = 0; ok && i < runs_.size(); ++i) {
+    uint64_t sub_words = decoder.GetWord();
+    if (decoder.failed() || sub_words > words.size()) {
+      ok = false;
+      break;
+    }
+    std::vector<uint64_t> sub;
+    sub.reserve(sub_words);
+    for (uint64_t w = 0; w < sub_words; ++w) sub.push_back(decoder.GetWord());
+    ok = !decoder.failed() && runs_[i]->DecodeState(guessed_metas_[i], sub);
+  }
+  if (!ok || !decoder.Done()) {
+    Begin(meta);
+    return false;
+  }
+  edges_seen_ = edges_seen;
+  RefreshMeter();
+  return true;
+}
+
+size_t NGuessRandomOrder::StateWords() const {
+  size_t words = 2;
+  for (const auto& run : runs_) words += 1 + run->StateWords();
+  return words;
 }
 
 void NGuessRandomOrder::ProcessEdge(const Edge& edge) {

@@ -42,6 +42,14 @@ class NGuessRandomOrder : public StreamingSetCoverAlgorithm {
   CoverSolution Finalize() override;
   const MemoryMeter& Meter() const override { return meter_; }
 
+  /// Composite state: each guess's sub-run encodes as a length-prefixed
+  /// block, so the wrapper is exactly as forwardable (and resumable) as
+  /// its parts.
+  void EncodeState(StateEncoder* encoder) const override;
+  bool DecodeState(const StreamMetadata& meta,
+                   const std::vector<uint64_t>& words) override;
+  size_t StateWords() const override;
+
   /// Number of parallel guesses in the current run.
   size_t NumGuesses() const { return runs_.size(); }
 
@@ -51,6 +59,7 @@ class NGuessRandomOrder : public StreamingSetCoverAlgorithm {
   uint64_t seed_;
   RandomOrderParams params_;
   std::vector<std::unique_ptr<RandomOrderAlgorithm>> runs_;
+  std::vector<StreamMetadata> guessed_metas_;
   size_t edges_seen_ = 0;
   MemoryMeter meter_;
   MemoryMeter::ComponentId total_words_;

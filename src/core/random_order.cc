@@ -422,6 +422,24 @@ CoverSolution RandomOrderAlgorithm::Finalize() {
   return solution;
 }
 
+size_t RandomOrderAlgorithm::StateWords() const {
+  // 4 RNG words + the tracked-rate word + 7 cursor scalars, then the
+  // variable-size fields in EncodeState order.
+  size_t words = 12;
+  words += EncodedBoolVectorWords(meta_.num_elements);
+  words += EncodedU32VectorWords(first_set_.size());
+  words += EncodedU32VectorWords(witness_.size());
+  words += EncodedU32VectorWords(epoch0_degree_.size());
+  words += 1;  // sketch presence flag
+  if (epoch0_sketch_ != nullptr) words += epoch0_sketch_->EncodedWords();
+  words += EncodedU32VectorWords(solution_order_.size());
+  words += EncodedSetWords(tracked_.size());
+  words += EncodedSetWords(tracked_next_.size());
+  words += EncodedMapWords(tracking_counts_.size());
+  words += EncodedU32VectorWords(batch_counters_.size());
+  return words;
+}
+
 void RandomOrderAlgorithm::EncodeState(StateEncoder* encoder) const {
   // Cursor scalars first (phase, schedule position), then the element
   // state, solution, and the live tracking machinery.
@@ -445,6 +463,8 @@ void RandomOrderAlgorithm::EncodeState(StateEncoder* encoder) const {
   encoder->PutU32Vector(first_set_);
   encoder->PutU32Vector(witness_);
   encoder->PutU32Vector(epoch0_degree_);
+  encoder->PutWord(epoch0_sketch_ != nullptr ? 1 : 0);
+  if (epoch0_sketch_ != nullptr) epoch0_sketch_->EncodeTo(encoder);
   encoder->PutU32Vector(solution_order_);
   encoder->PutSet(tracked_);
   encoder->PutSet(tracked_next_);
@@ -454,7 +474,6 @@ void RandomOrderAlgorithm::EncodeState(StateEncoder* encoder) const {
 
 bool RandomOrderAlgorithm::DecodeState(
     const StreamMetadata& meta, const std::vector<uint64_t>& words) {
-  if (params_.use_sketch_epoch0) return false;  // sketch not serialized
   Begin(meta);
   StateDecoder decoder(words);
   std::array<uint64_t, 4> rng_state;
@@ -471,15 +490,25 @@ bool RandomOrderAlgorithm::DecodeState(
   std::vector<uint32_t> first_set = decoder.GetU32Vector();
   std::vector<uint32_t> witness = decoder.GetU32Vector();
   std::vector<uint32_t> epoch0_degree = decoder.GetU32Vector();
+  uint64_t has_sketch = decoder.GetWord();
+  // Begin() already rebuilt a sketch of the right geometry (it is a
+  // deterministic function of seed, params and meta); restore its
+  // counters in place. A mismatch marks the message malformed.
+  bool sketch_ok =
+      has_sketch == 0
+          ? true
+          : (epoch0_sketch_ != nullptr &&
+             epoch0_sketch_->DecodeFrom(&decoder));
   std::vector<uint32_t> solution = decoder.GetU32Vector();
   auto tracked = decoder.GetSet();
   auto tracked_next = decoder.GetSet();
   auto tracking_counts = decoder.GetMap();
   std::vector<uint32_t> batch_counters = decoder.GetU32Vector();
-  if (!decoder.Done() || marked.size() != meta.num_elements ||
+  if (!decoder.Done() || !sketch_ok || has_sketch > 1 ||
+      marked.size() != meta.num_elements ||
       first_set.size() != meta.num_elements ||
       witness.size() != meta.num_elements || phase > 2) {
-    Begin(meta);
+    Begin(meta);  // also discards any partially-decoded sketch counters
     return false;
   }
   rng_.SetState(rng_state);
@@ -507,8 +536,14 @@ bool RandomOrderAlgorithm::DecodeState(
   batch_counters_ = std::move(batch_counters);
   // Restore meter components to the decoded sizes; instrumentation
   // stats are not part of the forwarded message and restart empty.
+  if (has_sketch == 0 && params_.use_sketch_epoch0) {
+    epoch0_sketch_.reset();
+  }
   meter_.Set(epoch0_words_,
-             phase_ == Phase::kEpoch0 ? size_t{meta.num_elements} : 0);
+             phase_ != Phase::kEpoch0 ? 0
+             : epoch0_sketch_ != nullptr
+                 ? epoch0_sketch_->WordsUsed()
+                 : size_t{meta.num_elements});
   meter_.Set(solution_words_, 2 * solution_order_.size());
   meter_.Set(tracked_words_, 2 * (tracked_.size() + tracked_next_.size()));
   meter_.Set(tracking_counts_words_, 2 * tracking_counts_.size());

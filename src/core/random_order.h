@@ -187,6 +187,7 @@ class RandomOrderAlgorithm : public StreamingSetCoverAlgorithm {
   void EncodeState(StateEncoder* encoder) const override;
   bool DecodeState(const StreamMetadata& meta,
                    const std::vector<uint64_t>& words) override;
+  size_t StateWords() const override;
 
   /// Instrumentation for the invariants bench. Valid after Finalize().
   const RandomOrderStats& Stats() const { return stats_; }

@@ -69,6 +69,46 @@ void SetArrivalThreshold::EncodeState(StateEncoder* encoder) const {
   encoder->PutU32Vector(solution_order_);
 }
 
+bool SetArrivalThreshold::DecodeState(const StreamMetadata& meta,
+                                      const std::vector<uint64_t>& words) {
+  Begin(meta);
+  StateDecoder decoder(words);
+  uint64_t current_set = decoder.GetWord();
+  std::vector<uint32_t> run_uncovered = decoder.GetU32Vector();
+  std::vector<bool> covered = decoder.GetBoolVector();
+  std::vector<uint32_t> certificate = decoder.GetU32Vector();
+  std::vector<uint32_t> first_set = decoder.GetU32Vector();
+  std::vector<uint32_t> solution = decoder.GetU32Vector();
+  bool ids_ok = current_set == kNoSet || current_set < meta.num_sets;
+  for (uint32_t u : run_uncovered) ids_ok = ids_ok && u < meta.num_elements;
+  for (uint32_t s : solution) ids_ok = ids_ok && s < meta.num_sets;
+  if (!decoder.Done() || !ids_ok ||
+      covered.size() != meta.num_elements ||
+      certificate.size() != meta.num_elements ||
+      first_set.size() != meta.num_elements) {
+    Begin(meta);
+    return false;
+  }
+  current_set_ = static_cast<SetId>(current_set);
+  run_uncovered_ = std::move(run_uncovered);
+  covered_.assign(covered.begin(), covered.end());
+  certificate_ = std::move(certificate);
+  first_set_ = std::move(first_set);
+  solution_order_ = std::move(solution);
+  in_solution_.assign(meta.num_sets, false);
+  for (SetId s : solution_order_) in_solution_[s] = true;
+  meter_.Set(run_buffer_words_, run_uncovered_.size());
+  meter_.Set(solution_words_, solution_order_.size());
+  return true;
+}
+
+size_t SetArrivalThreshold::StateWords() const {
+  return 1 + EncodedU32VectorWords(run_uncovered_.size()) +
+         EncodedBoolVectorWords(covered_.size()) +
+         2 * EncodedU32VectorWords(certificate_.size()) +
+         EncodedU32VectorWords(solution_order_.size());
+}
+
 CoverSolution SetArrivalThreshold::Finalize() {
   FlushRun();
   CoverSolution solution;

@@ -37,6 +37,9 @@ class SetArrivalThreshold : public StreamingSetCoverAlgorithm {
   CoverSolution Finalize() override;
   const MemoryMeter& Meter() const override { return meter_; }
   void EncodeState(StateEncoder* encoder) const override;
+  bool DecodeState(const StreamMetadata& meta,
+                   const std::vector<uint64_t>& words) override;
+  size_t StateWords() const override;
 
  private:
   void FlushRun();

@@ -45,9 +45,15 @@ class StreamingSetCoverAlgorithm {
   /// Space accounting for the current/last run.
   virtual const MemoryMeter& Meter() const = 0;
 
-  /// Size of the algorithm's forwardable state right now, in words.
-  /// Defaults to the metered working set; algorithms that implement
-  /// EncodeState report the literal encoding size instead.
+  /// Size of the algorithm's forwardable state right now, in words —
+  /// exactly what EncodeState would produce. Called once per party
+  /// boundary in the communication experiments, so implementations
+  /// override it with O(1) arithmetic over their container sizes (the
+  /// Encoded*Words helpers in util/serialize.h); serialize_test checks
+  /// the override against a real encode. This default performs a full
+  /// encode and is only acceptable for algorithms outside those
+  /// experiments, falling back to the metered working set when
+  /// EncodeState is unimplemented.
   virtual size_t StateWords() const {
     StateEncoder encoder;
     EncodeState(&encoder);

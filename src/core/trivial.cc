@@ -52,6 +52,10 @@ bool FirstSetPatching::DecodeState(const StreamMetadata& meta,
   return true;
 }
 
+size_t FirstSetPatching::StateWords() const {
+  return EncodedU32VectorWords(first_set_.size());
+}
+
 StoreEverythingGreedy::StoreEverythingGreedy() {
   buffer_words_ = meter_.Register("edge_buffer");
 }
@@ -75,6 +79,34 @@ void StoreEverythingGreedy::EncodeState(StateEncoder* encoder) const {
     flat.push_back(e.element);
   }
   encoder->PutU32Vector(flat);
+}
+
+bool StoreEverythingGreedy::DecodeState(const StreamMetadata& meta,
+                                        const std::vector<uint64_t>& words) {
+  Begin(meta);
+  StateDecoder decoder(words);
+  std::vector<uint32_t> flat = decoder.GetU32Vector();
+  bool edges_ok = flat.size() % 2 == 0;
+  for (size_t i = 0; edges_ok && i < flat.size(); i += 2) {
+    // Range-check before Finalize() hands the ids to FromSets, which
+    // treats out-of-range ids as a programming error and aborts.
+    edges_ok = flat[i] < meta.num_sets && flat[i + 1] < meta.num_elements;
+  }
+  if (!decoder.Done() || !edges_ok) {
+    Begin(meta);
+    return false;
+  }
+  buffer_.clear();
+  buffer_.reserve(flat.size() / 2);
+  for (size_t i = 0; i < flat.size(); i += 2) {
+    buffer_.push_back({flat[i], flat[i + 1]});
+  }
+  meter_.Set(buffer_words_, buffer_.size());
+  return true;
+}
+
+size_t StoreEverythingGreedy::StateWords() const {
+  return EncodedU32VectorWords(2 * buffer_.size());
 }
 
 CoverSolution StoreEverythingGreedy::Finalize() {

@@ -25,6 +25,7 @@ class FirstSetPatching : public StreamingSetCoverAlgorithm {
   void EncodeState(StateEncoder* encoder) const override;
   bool DecodeState(const StreamMetadata& meta,
                    const std::vector<uint64_t>& words) override;
+  size_t StateWords() const override;
 
  private:
   StreamMetadata meta_;
@@ -47,6 +48,9 @@ class StoreEverythingGreedy : public StreamingSetCoverAlgorithm {
   CoverSolution Finalize() override;
   const MemoryMeter& Meter() const override { return meter_; }
   void EncodeState(StateEncoder* encoder) const override;
+  bool DecodeState(const StreamMetadata& meta,
+                   const std::vector<uint64_t>& words) override;
+  size_t StateWords() const override;
 
  private:
   StreamMetadata meta_;

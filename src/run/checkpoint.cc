@@ -1,0 +1,154 @@
+#include "run/checkpoint.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "util/crc32.h"
+
+namespace setcover {
+namespace {
+
+constexpr uint32_t kMagic = 0x504B4353u;  // "SCKP" little-endian
+constexpr uint32_t kVersion = 1;
+
+void AppendU32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(uint8_t(v >> (8 * i)));
+}
+
+void AppendU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(uint8_t(v >> (8 * i)));
+}
+
+/// Bounds-checked little-endian cursor over the loaded file bytes.
+struct ByteReader {
+  const uint8_t* data;
+  size_t size;
+  size_t pos = 0;
+  bool ok = true;
+
+  uint32_t U32() {
+    if (pos + 4 > size) {
+      ok = false;
+      return 0;
+    }
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= uint32_t(data[pos + i]) << (8 * i);
+    pos += 4;
+    return v;
+  }
+
+  uint64_t U64() {
+    if (pos + 8 > size) {
+      ok = false;
+      return 0;
+    }
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= uint64_t(data[pos + i]) << (8 * i);
+    pos += 8;
+    return v;
+  }
+};
+
+}  // namespace
+
+bool SaveCheckpoint(const Checkpoint& checkpoint, const std::string& path,
+                    std::string* error) {
+  std::vector<uint8_t> bytes;
+  AppendU32(&bytes, kMagic);
+  AppendU32(&bytes, kVersion);
+  AppendU32(&bytes, uint32_t(checkpoint.algorithm_name.size()));
+  for (char c : checkpoint.algorithm_name) bytes.push_back(uint8_t(c));
+  AppendU32(&bytes, checkpoint.meta.num_sets);
+  AppendU32(&bytes, checkpoint.meta.num_elements);
+  AppendU64(&bytes, checkpoint.meta.stream_length);
+  AppendU64(&bytes, checkpoint.stream_position);
+  AppendU64(&bytes, checkpoint.edges_delivered);
+  AppendU64(&bytes, checkpoint.transient_retries);
+  AppendU64(&bytes, checkpoint.corrupt_skipped);
+  AppendU64(&bytes, checkpoint.faults_survived);
+  AppendU64(&bytes, checkpoint.state_words.size());
+  for (uint64_t w : checkpoint.state_words) AppendU64(&bytes, w);
+  AppendU32(&bytes, Crc32(bytes.data() + 4, bytes.size() - 4));
+
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open " + tmp + " for writing";
+    return false;
+  }
+  const bool wrote =
+      std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size() &&
+      std::fflush(f) == 0;
+  std::fclose(f);
+  if (!wrote || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    if (error != nullptr) *error = "failed writing checkpoint " + path;
+    return false;
+  }
+  return true;
+}
+
+std::optional<Checkpoint> LoadCheckpoint(const std::string& path,
+                                         std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open checkpoint " + path;
+    return std::nullopt;
+  }
+  std::vector<uint8_t> bytes;
+  uint8_t buffer[4096];
+  size_t got;
+  while ((got = std::fread(buffer, 1, sizeof buffer, f)) > 0)
+    bytes.insert(bytes.end(), buffer, buffer + got);
+  std::fclose(f);
+
+  ByteReader in{bytes.data(), bytes.size()};
+  if (in.U32() != kMagic || in.U32() != kVersion) {
+    if (error != nullptr) *error = path + ": not a checkpoint file";
+    return std::nullopt;
+  }
+  // The trailing CRC covers everything between the magic and itself.
+  if (bytes.size() < 12) {
+    if (error != nullptr) *error = path + ": truncated checkpoint";
+    return std::nullopt;
+  }
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, bytes.data() + bytes.size() - 4, 4);
+  if (Crc32(bytes.data() + 4, bytes.size() - 8) != stored_crc) {
+    if (error != nullptr) *error = path + ": checkpoint checksum mismatch";
+    return std::nullopt;
+  }
+
+  Checkpoint checkpoint;
+  const uint32_t name_len = in.U32();
+  if (!in.ok || in.pos + name_len > bytes.size()) {
+    if (error != nullptr) *error = path + ": malformed checkpoint";
+    return std::nullopt;
+  }
+  checkpoint.algorithm_name.assign(
+      reinterpret_cast<const char*>(bytes.data() + in.pos), name_len);
+  in.pos += name_len;
+  checkpoint.meta.num_sets = in.U32();
+  checkpoint.meta.num_elements = in.U32();
+  checkpoint.meta.stream_length = in.U64();
+  checkpoint.stream_position = in.U64();
+  checkpoint.edges_delivered = in.U64();
+  checkpoint.transient_retries = in.U64();
+  checkpoint.corrupt_skipped = in.U64();
+  checkpoint.faults_survived = in.U64();
+  const uint64_t state_len = in.U64();
+  if (!in.ok || state_len > (bytes.size() - in.pos) / 8) {
+    if (error != nullptr) *error = path + ": malformed checkpoint";
+    return std::nullopt;
+  }
+  checkpoint.state_words.reserve(state_len);
+  for (uint64_t i = 0; i < state_len; ++i)
+    checkpoint.state_words.push_back(in.U64());
+  if (!in.ok || in.pos + 4 != bytes.size()) {
+    if (error != nullptr) *error = path + ": malformed checkpoint";
+    return std::nullopt;
+  }
+  return checkpoint;
+}
+
+}  // namespace setcover

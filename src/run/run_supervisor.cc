@@ -1,0 +1,132 @@
+#include "run/run_supervisor.h"
+
+#include <utility>
+
+#include "run/checkpoint.h"
+#include "stream/edge.h"
+
+namespace setcover {
+namespace {
+
+uint64_t CountUncovered(const CoverSolution& solution) {
+  uint64_t uncovered = 0;
+  for (SetId s : solution.certificate)
+    if (s == kNoSet) ++uncovered;
+  return uncovered;
+}
+
+}  // namespace
+
+RunReport RunSupervisor::Run(StreamingSetCoverAlgorithm& algorithm,
+                             EdgeSource& source) {
+  RunReport report;
+  const StreamMetadata& meta = source.Meta();
+
+  if (options_.resume) {
+    std::string error;
+    std::optional<Checkpoint> checkpoint =
+        LoadCheckpoint(options_.checkpoint_path, &error);
+    if (!checkpoint) {
+      report.error = error;
+      return report;
+    }
+    if (checkpoint->algorithm_name != algorithm.Name()) {
+      report.error = "checkpoint was written by algorithm '" +
+                     checkpoint->algorithm_name + "', not '" +
+                     algorithm.Name() + "'";
+      return report;
+    }
+    if (checkpoint->meta.num_sets != meta.num_sets ||
+        checkpoint->meta.num_elements != meta.num_elements ||
+        checkpoint->meta.stream_length != meta.stream_length) {
+      report.error = "checkpoint stream shape does not match the source";
+      return report;
+    }
+    if (!algorithm.DecodeState(meta, checkpoint->state_words)) {
+      report.error = "algorithm '" + algorithm.Name() +
+                     "' could not decode the checkpointed state";
+      return report;
+    }
+    if (!source.SeekTo(checkpoint->stream_position)) {
+      report.error = "source cannot seek to checkpointed position";
+      return report;
+    }
+    report.resumed = true;
+    report.resumed_at = checkpoint->stream_position;
+    report.edges_delivered = checkpoint->edges_delivered;
+    report.transient_retries = checkpoint->transient_retries;
+    report.corrupt_records_skipped = checkpoint->corrupt_skipped;
+    report.faults_survived = checkpoint->faults_survived;
+  } else {
+    algorithm.Begin(meta);
+  }
+
+  const bool checkpointing =
+      !options_.checkpoint_path.empty() && options_.checkpoint_every > 0;
+  uint64_t delivered_this_run = 0;
+  ExponentialBackoff retry(options_.backoff);
+
+  Edge edge;
+  for (;;) {
+    if (options_.stop_after != 0 &&
+        delivered_this_run >= options_.stop_after) {
+      // Simulated kill: walk away mid-stream. The last checkpoint on
+      // disk is exactly what a real crash would leave behind.
+      report.uncovered_elements = 0;
+      return report;
+    }
+    const ReadStatus status = source.Next(&edge);
+    if (status == ReadStatus::kTransient) {
+      uint64_t delay_us = 0;
+      if (!retry.NextDelay(&delay_us)) {
+        report.degraded = true;  // retry budget exhausted mid-stream
+        break;
+      }
+      ++report.transient_retries;
+      ++report.faults_survived;
+      if (options_.sleeper) options_.sleeper(delay_us);
+      continue;
+    }
+    retry.Reset();
+    if (status == ReadStatus::kEnd) break;
+    if (status == ReadStatus::kCorrupt) {
+      ++report.corrupt_records_skipped;
+      ++report.faults_survived;
+      continue;
+    }
+
+    algorithm.ProcessEdge(edge);
+    ++report.edges_delivered;
+    ++delivered_this_run;
+
+    if (checkpointing &&
+        report.edges_delivered % options_.checkpoint_every == 0 &&
+        !source.HasPendingReplay()) {
+      StateEncoder encoder;
+      algorithm.EncodeState(&encoder);
+      Checkpoint checkpoint;
+      checkpoint.algorithm_name = algorithm.Name();
+      checkpoint.meta = meta;
+      checkpoint.stream_position = source.Position();
+      checkpoint.edges_delivered = report.edges_delivered;
+      checkpoint.transient_retries = report.transient_retries;
+      checkpoint.corrupt_skipped = report.corrupt_records_skipped;
+      checkpoint.faults_survived = report.faults_survived;
+      checkpoint.state_words = encoder.Words();
+      std::string error;
+      if (!SaveCheckpoint(checkpoint, options_.checkpoint_path, &error)) {
+        report.error = error;
+        return report;
+      }
+      ++report.checkpoints_written;
+    }
+  }
+
+  if (source.Truncated()) report.degraded = true;
+  report.solution = algorithm.Finalize();
+  report.uncovered_elements = CountUncovered(report.solution);
+  report.completed = true;
+  return report;
+}
+
+}  // namespace setcover

@@ -1,0 +1,37 @@
+#include "stream/edge_source.h"
+
+namespace setcover {
+
+ReadStatus VectorEdgeSource::Next(Edge* edge) {
+  if (position_ >= stream_.edges.size()) return ReadStatus::kEnd;
+  *edge = stream_.edges[position_++];
+  return ReadStatus::kOk;
+}
+
+bool VectorEdgeSource::SeekTo(size_t position) {
+  if (position > stream_.edges.size()) return false;
+  position_ = position;
+  return true;
+}
+
+std::unique_ptr<StreamFileSource> StreamFileSource::Open(
+    const std::string& path, std::string* error) {
+  auto reader = StreamFileReader::Open(path, error);
+  if (reader == nullptr) return nullptr;
+  return std::unique_ptr<StreamFileSource>(
+      new StreamFileSource(std::move(reader)));
+}
+
+ReadStatus StreamFileSource::Next(Edge* edge) {
+  if (reader_->Next(edge)) return ReadStatus::kOk;
+  if (reader_->ChecksumFailed() && !corrupt_reported_) {
+    // Report the damaged chunk once; the reader already refuses to
+    // surface its edges, so the stream effectively ends here.
+    corrupt_reported_ = true;
+    *edge = Edge{0, 0};
+    return ReadStatus::kCorrupt;
+  }
+  return ReadStatus::kEnd;
+}
+
+}  // namespace setcover

@@ -1,38 +1,78 @@
 #include "stream/stream_file.h"
 
+#include <cstdio>
 #include <cstring>
+
+#include "util/crc32.h"
 
 namespace setcover {
 namespace {
 
 constexpr char kMagic[4] = {'S', 'C', 'E', 'S'};
-constexpr uint32_t kVersion = 1;
-constexpr size_t kBufferEdges = 1 << 16;
+constexpr uint32_t kVersionV1 = 1;
+constexpr uint32_t kVersionV2 = 2;
+constexpr size_t kChunkEdges = 4096;
+// magic + version + m + n + N [+ header_crc in v2].
+constexpr long kHeaderBytesV1 = 4 + 4 + 4 + 4 + 8;
+constexpr long kHeaderBytesV2 = kHeaderBytesV1 + 4;
+constexpr long kChunkHeaderBytes = 4 + 4;  // count + payload_crc
 
 bool WriteAll(std::FILE* f, const void* data, size_t bytes) {
   return std::fwrite(data, 1, bytes, f) == bytes;
 }
 
+size_t ChunkEdgeCount(size_t stream_length, size_t chunk_index) {
+  size_t start = chunk_index * kChunkEdges;
+  if (start >= stream_length) return 0;
+  return std::min(kChunkEdges, stream_length - start);
+}
+
+long ChunkFileOffset(size_t chunk_index) {
+  return kHeaderBytesV2 +
+         long(chunk_index) *
+             (kChunkHeaderBytes + long(kChunkEdges * sizeof(Edge)));
+}
+
 }  // namespace
 
 bool WriteStreamFile(const EdgeStream& stream, const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
+  static_assert(sizeof(Edge) == 8, "Edge must pack to 8 bytes");
+  // Stage into a sibling temp file and rename into place, so a crash
+  // mid-write can never leave a half-valid file under the final name.
+  const std::string temp = path + ".tmp";
+  std::FILE* f = std::fopen(temp.c_str(), "wb");
   if (f == nullptr) return false;
-  bool ok = WriteAll(f, kMagic, 4);
-  uint32_t version = kVersion;
+
+  uint32_t version = kVersionV2;
   uint32_t m = stream.meta.num_sets;
   uint32_t n = stream.meta.num_elements;
   uint64_t big_n = stream.edges.size();
-  ok = ok && WriteAll(f, &version, 4) && WriteAll(f, &m, 4) &&
-       WriteAll(f, &n, 4) && WriteAll(f, &big_n, 8);
-  // Edge is two packed u32s; write in chunks.
-  static_assert(sizeof(Edge) == 8, "Edge must pack to 8 bytes");
-  if (ok && !stream.edges.empty()) {
-    ok = WriteAll(f, stream.edges.data(),
-                  stream.edges.size() * sizeof(Edge));
+  unsigned char header[20];
+  std::memcpy(header, &version, 4);
+  std::memcpy(header + 4, &m, 4);
+  std::memcpy(header + 8, &n, 4);
+  std::memcpy(header + 12, &big_n, 8);
+  uint32_t header_crc = Crc32(header, sizeof(header));
+  bool ok = WriteAll(f, kMagic, 4) && WriteAll(f, header, sizeof(header)) &&
+            WriteAll(f, &header_crc, 4);
+
+  for (size_t chunk = 0; ok && chunk * kChunkEdges < stream.edges.size();
+       ++chunk) {
+    uint32_t count =
+        static_cast<uint32_t>(ChunkEdgeCount(stream.edges.size(), chunk));
+    const Edge* payload = stream.edges.data() + chunk * kChunkEdges;
+    uint32_t payload_crc = Crc32(payload, count * sizeof(Edge));
+    ok = WriteAll(f, &count, 4) && WriteAll(f, &payload_crc, 4) &&
+         WriteAll(f, payload, count * sizeof(Edge));
   }
+
+  ok = (std::fflush(f) == 0) && ok;
   ok = (std::fclose(f) == 0) && ok;
-  return ok;
+  if (!ok || std::rename(temp.c_str(), path.c_str()) != 0) {
+    std::remove(temp.c_str());
+    return false;
+  }
+  return true;
 }
 
 std::unique_ptr<StreamFileReader> StreamFileReader::Open(
@@ -45,21 +85,35 @@ std::unique_ptr<StreamFileReader> StreamFileReader::Open(
   };
   if (f == nullptr) return fail("cannot open stream file");
   char magic[4];
-  uint32_t version = 0, m = 0, n = 0;
-  uint64_t big_n = 0;
   if (std::fread(magic, 1, 4, f) != 4 ||
       std::memcmp(magic, kMagic, 4) != 0) {
     return fail("bad magic");
   }
-  if (std::fread(&version, 4, 1, f) != 1 || version != kVersion) {
+  unsigned char header[20];
+  if (std::fread(header, 1, sizeof(header), f) != sizeof(header)) {
+    return fail("truncated header");
+  }
+  uint32_t version = 0, m = 0, n = 0;
+  uint64_t big_n = 0;
+  std::memcpy(&version, header, 4);
+  std::memcpy(&m, header + 4, 4);
+  std::memcpy(&n, header + 8, 4);
+  std::memcpy(&big_n, header + 12, 8);
+  if (version != kVersionV1 && version != kVersionV2) {
     return fail("unsupported version");
   }
-  if (std::fread(&m, 4, 1, f) != 1 || std::fread(&n, 4, 1, f) != 1 ||
-      std::fread(&big_n, 8, 1, f) != 1) {
-    return fail("truncated header");
+  if (version == kVersionV2) {
+    uint32_t stored_crc = 0;
+    if (std::fread(&stored_crc, 4, 1, f) != 1) {
+      return fail("truncated header");
+    }
+    if (stored_crc != Crc32(header, sizeof(header))) {
+      return fail("header checksum mismatch");
+    }
   }
   auto reader = std::unique_ptr<StreamFileReader>(new StreamFileReader());
   reader->file_ = f;
+  reader->version_ = version;
   reader->meta_ = {m, n, big_n};
   return reader;
 }
@@ -69,8 +123,9 @@ StreamFileReader::~StreamFileReader() {
 }
 
 bool StreamFileReader::FillBuffer() {
+  if (version_ == kVersionV2) return FillBufferV2();
   size_t want =
-      std::min(kBufferEdges, size_t{meta_.stream_length} - edges_read_);
+      std::min(kChunkEdges, size_t{meta_.stream_length} - edges_read_);
   if (want == 0) return false;
   buffer_.resize(want);
   size_t got = std::fread(buffer_.data(), sizeof(Edge), want, file_);
@@ -80,11 +135,74 @@ bool StreamFileReader::FillBuffer() {
   return got > 0;
 }
 
+bool StreamFileReader::FillBufferV2() {
+  // The cursor sits on a chunk boundary whenever the buffer is empty
+  // (chunks are only ever consumed whole or discarded by SeekToEdge).
+  size_t chunk = edges_read_ / kChunkEdges;
+  size_t want = ChunkEdgeCount(meta_.stream_length, chunk);
+  if (want == 0) return false;
+  uint32_t count = 0, stored_crc = 0;
+  if (std::fread(&count, 4, 1, file_) != 1 ||
+      std::fread(&stored_crc, 4, 1, file_) != 1) {
+    truncated_ = true;
+    return false;
+  }
+  if (count != want) {
+    // A corrupted count would otherwise desynchronize every following
+    // chunk; the expected count is implied by N, so treat any mismatch
+    // as corruption.
+    checksum_failed_ = true;
+    return false;
+  }
+  buffer_.resize(want);
+  size_t got = std::fread(buffer_.data(), sizeof(Edge), want, file_);
+  if (got < want) {
+    buffer_.clear();
+    truncated_ = true;
+    return false;
+  }
+  if (Crc32(buffer_.data(), want * sizeof(Edge)) != stored_crc) {
+    buffer_.clear();
+    checksum_failed_ = true;
+    return false;
+  }
+  buffer_pos_ = 0;
+  return true;
+}
+
 bool StreamFileReader::Next(Edge* edge) {
-  if (edges_read_ >= meta_.stream_length) return false;
+  if (checksum_failed_ || edges_read_ >= meta_.stream_length) return false;
   if (buffer_pos_ >= buffer_.size() && !FillBuffer()) return false;
   *edge = buffer_[buffer_pos_++];
   ++edges_read_;
+  return true;
+}
+
+bool StreamFileReader::SeekToEdge(size_t index) {
+  if (index > meta_.stream_length) return false;
+  buffer_.clear();
+  buffer_pos_ = 0;
+  checksum_failed_ = false;
+  truncated_ = false;
+  if (version_ == kVersionV1) {
+    if (std::fseek(file_, kHeaderBytesV1 + long(index * sizeof(Edge)),
+                   SEEK_SET) != 0) {
+      return false;
+    }
+    edges_read_ = index;
+    return true;
+  }
+  // v2: land on the containing chunk boundary, then re-read (and
+  // CRC-verify) the prefix of the chunk that precedes `index`.
+  size_t chunk = index / kChunkEdges;
+  if (std::fseek(file_, ChunkFileOffset(chunk), SEEK_SET) != 0) {
+    return false;
+  }
+  edges_read_ = chunk * kChunkEdges;
+  Edge discard;
+  while (edges_read_ < index) {
+    if (!Next(&discard)) return false;
+  }
   return true;
 }
 

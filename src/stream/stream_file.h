@@ -15,15 +15,27 @@ namespace setcover {
 /// be produced once and replayed through any algorithm — the operating
 /// mode an actual deployment of these one-pass algorithms would use.
 ///
-/// Layout (little-endian):
-///   magic   "SCES"            (4 bytes)
-///   version u32 = 1
-///   m       u32, n u32, N u64
-///   edges   N × (set u32, element u32)
+/// Format v2 (written by WriteStreamFile; little-endian):
+///   magic      "SCES"            (4 bytes)
+///   version    u32 = 2
+///   m          u32, n u32, N u64
+///   header_crc u32               CRC-32 of the 20 bytes above it
+///   chunks     ⌈N / 4096⌉ chunks of up to 4096 edges each:
+///                count u32, payload_crc u32, count × (set u32, elem u32)
 ///
-/// Writers fail (return false) on I/O errors; the reader validates the
-/// header and surfaces truncation as a shortened stream with an error
-/// flag rather than crashing.
+/// The fixed chunk capacity makes chunk offsets computable, so a reader
+/// can seek to any edge index without scanning (SeekToEdge — what
+/// checkpoint resume uses), and the per-chunk CRC turns silent on-disk
+/// corruption into a detected, reported condition instead of garbage
+/// edges fed to an algorithm.
+///
+/// Format v1 (legacy, still readable): same header without header_crc,
+/// followed by N raw edges with no checksums.
+///
+/// The writer stages into `path + ".tmp"` and atomically renames, so a
+/// crash mid-write never leaves a half-valid file at `path`. Writers
+/// fail (return false) on I/O errors; the reader validates the header
+/// and surfaces truncation/corruption via flags rather than crashing.
 bool WriteStreamFile(const EdgeStream& stream, const std::string& path);
 
 /// Incremental reader: opens the file, exposes the metadata, and yields
@@ -31,7 +43,8 @@ bool WriteStreamFile(const EdgeStream& stream, const std::string& path);
 class StreamFileReader {
  public:
   /// Opens `path`. Returns nullptr (and sets *error) on a missing file
-  /// or malformed header.
+  /// or malformed header (bad magic, bad version, v2 header CRC
+  /// mismatch).
   static std::unique_ptr<StreamFileReader> Open(const std::string& path,
                                                 std::string* error);
 
@@ -41,23 +54,40 @@ class StreamFileReader {
 
   const StreamMetadata& Meta() const { return meta_; }
 
-  /// Reads the next edge into *edge; returns false at end of stream.
+  /// Format version of the open file (1 or 2).
+  uint32_t Version() const { return version_; }
+
+  /// Reads the next edge into *edge; returns false at end of stream,
+  /// after truncation, or after a checksum failure.
   bool Next(Edge* edge);
+
+  /// Repositions the cursor so the next Next() yields edge `index`
+  /// (0-based; `index` may equal N to position at end). For v2 files
+  /// the target chunk is re-read and CRC-verified. Returns false on
+  /// out-of-range index or I/O failure.
+  bool SeekToEdge(size_t index);
 
   /// True if the file ended before the declared N edges were read.
   bool Truncated() const { return truncated_; }
 
-  /// Edges returned so far.
+  /// True once a v2 chunk failed its CRC (the stream stops there; the
+  /// corrupt chunk's edges are never surfaced).
+  bool ChecksumFailed() const { return checksum_failed_; }
+
+  /// Edges returned so far (equals the cursor position).
   size_t EdgesRead() const { return edges_read_; }
 
  private:
   StreamFileReader() = default;
   bool FillBuffer();
+  bool FillBufferV2();
 
   std::FILE* file_ = nullptr;
   StreamMetadata meta_;
+  uint32_t version_ = 0;
   size_t edges_read_ = 0;
   bool truncated_ = false;
+  bool checksum_failed_ = false;
   std::vector<Edge> buffer_;
   size_t buffer_pos_ = 0;
 };

@@ -1,0 +1,32 @@
+#include "util/backoff.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace setcover {
+
+ExponentialBackoff::ExponentialBackoff(BackoffPolicy policy)
+    : policy_(policy) {
+  policy_.multiplier = std::max(1.0, policy_.multiplier);
+  policy_.max_delay_us =
+      std::max(policy_.max_delay_us, policy_.initial_delay_us);
+  Reset();
+}
+
+bool ExponentialBackoff::NextDelay(uint64_t* delay_us) {
+  if (attempts_ >= policy_.max_retries) return false;
+  ++attempts_;
+  *delay_us = next_delay_us_;
+  double grown = double(next_delay_us_) * policy_.multiplier;
+  next_delay_us_ = grown >= double(policy_.max_delay_us)
+                       ? policy_.max_delay_us
+                       : static_cast<uint64_t>(grown);
+  return true;
+}
+
+void ExponentialBackoff::Reset() {
+  attempts_ = 0;
+  next_delay_us_ = std::min(policy_.initial_delay_us, policy_.max_delay_us);
+}
+
+}  // namespace setcover

@@ -60,4 +60,26 @@ void CountMinSketch::Clear() {
   total_ = 0;
 }
 
+void CountMinSketch::EncodeTo(StateEncoder* encoder) const {
+  encoder->PutWord(width_);
+  encoder->PutWord(depth_);
+  encoder->PutWord(total_);
+  for (uint64_t cell : cells_) encoder->PutWord(cell);
+}
+
+bool CountMinSketch::DecodeFrom(StateDecoder* decoder) {
+  uint64_t width = decoder->GetWord();
+  uint64_t depth = decoder->GetWord();
+  uint64_t total = decoder->GetWord();
+  if (decoder->failed() || width != width_ || depth != depth_) {
+    return false;
+  }
+  std::vector<uint64_t> cells(cells_.size());
+  for (uint64_t& cell : cells) cell = decoder->GetWord();
+  if (decoder->failed()) return false;
+  cells_ = std::move(cells);
+  total_ = total;
+  return true;
+}
+
 }  // namespace setcover

@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/serialize.h"
+
 namespace setcover {
 
 /// Count-Min sketch (Cormode & Muthukrishnan): approximate frequency
@@ -43,8 +45,23 @@ class CountMinSketch {
   /// Storage footprint in 64-bit words.
   size_t WordsUsed() const { return cells_.size() + depth_; }
 
+  /// Words EncodeTo() appends: geometry + total + the counter cells.
+  size_t EncodedWords() const { return 3 + cells_.size(); }
+
   /// Zeroes all counters.
   void Clear();
+
+  /// Appends the sketch contents (geometry, total, counters) to the
+  /// encoder, so an algorithm mid-epoch can forward or checkpoint its
+  /// sketch. Row seeds are derived from the construction seed and are
+  /// not serialized; DecodeFrom therefore requires a sketch built with
+  /// the same seed and geometry.
+  void EncodeTo(StateEncoder* encoder) const;
+
+  /// Restores counters from a message written by EncodeTo into this
+  /// sketch. Fails (returns false, sketch unchanged) on geometry
+  /// mismatch or a malformed message.
+  bool DecodeFrom(StateDecoder* decoder);
 
  private:
   size_t CellIndex(size_t row, uint64_t key) const;

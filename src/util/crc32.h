@@ -1,0 +1,21 @@
+#ifndef SETCOVER_UTIL_CRC32_H_
+#define SETCOVER_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace setcover {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320, reflected), the checksum
+/// guarding the on-disk robustness formats: stream-file v2 chunks and
+/// run-supervisor checkpoints. Table-driven, one byte per step.
+///
+/// Incremental use: feed the previous return value back as `seed` to
+/// extend a checksum over multiple buffers; the default seed starts a
+/// fresh computation. `Crc32(data, n)` equals the value produced by
+/// zlib's crc32() over the same bytes.
+uint32_t Crc32(const void* data, size_t bytes, uint32_t seed = 0);
+
+}  // namespace setcover
+
+#endif  // SETCOVER_UTIL_CRC32_H_

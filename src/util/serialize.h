@@ -40,6 +40,24 @@ class StateEncoder {
   std::vector<uint64_t> words_;
 };
 
+/// Encoded sizes of the StateEncoder fields, in words, as pure
+/// arithmetic on element counts. Algorithms use these to implement an
+/// O(1) StateWords() override that stays exactly equal to the size a
+/// full EncodeState() would produce (serialize_test verifies the
+/// equality for every registered algorithm) without paying for the
+/// encode — StateWords() is called per boundary in the communication
+/// experiments, where a real encode per call dominated the runtime.
+constexpr size_t EncodedU32VectorWords(size_t count) {
+  return 1 + (count + 1) / 2;
+}
+constexpr size_t EncodedBoolVectorWords(size_t count) {
+  return 1 + (count + 63) / 64;
+}
+constexpr size_t EncodedSetWords(size_t count) {
+  return EncodedU32VectorWords(count);
+}
+constexpr size_t EncodedMapWords(size_t count) { return 1 + count; }
+
 /// Mirror of StateEncoder: reads the fields back in the same order.
 /// Out-of-bounds reads set the failure flag and return empty values
 /// instead of crashing (malformed messages are data, not trusted).

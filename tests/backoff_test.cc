@@ -1,0 +1,63 @@
+#include "util/backoff.h"
+
+#include <gtest/gtest.h>
+
+namespace setcover {
+namespace {
+
+TEST(BackoffTest, GrowsGeometricallyUpToCap) {
+  BackoffPolicy policy;
+  policy.max_retries = 6;
+  policy.initial_delay_us = 100;
+  policy.multiplier = 2.0;
+  policy.max_delay_us = 1000;
+  ExponentialBackoff backoff(policy);
+
+  uint64_t delay = 0;
+  ASSERT_TRUE(backoff.NextDelay(&delay));
+  EXPECT_EQ(delay, 100u);
+  ASSERT_TRUE(backoff.NextDelay(&delay));
+  EXPECT_EQ(delay, 200u);
+  ASSERT_TRUE(backoff.NextDelay(&delay));
+  EXPECT_EQ(delay, 400u);
+  ASSERT_TRUE(backoff.NextDelay(&delay));
+  EXPECT_EQ(delay, 800u);
+  ASSERT_TRUE(backoff.NextDelay(&delay));
+  EXPECT_EQ(delay, 1000u);  // clamped
+  ASSERT_TRUE(backoff.NextDelay(&delay));
+  EXPECT_EQ(delay, 1000u);
+  EXPECT_EQ(backoff.Attempts(), 6u);
+
+  // Budget exhausted: refuses and leaves the out-param alone.
+  delay = 12345;
+  EXPECT_FALSE(backoff.NextDelay(&delay));
+  EXPECT_EQ(delay, 12345u);
+}
+
+TEST(BackoffTest, ResetRearmsTheSchedule) {
+  BackoffPolicy policy;
+  policy.max_retries = 2;
+  policy.initial_delay_us = 50;
+  ExponentialBackoff backoff(policy);
+
+  uint64_t delay = 0;
+  ASSERT_TRUE(backoff.NextDelay(&delay));
+  ASSERT_TRUE(backoff.NextDelay(&delay));
+  EXPECT_FALSE(backoff.NextDelay(&delay));
+
+  backoff.Reset();
+  EXPECT_EQ(backoff.Attempts(), 0u);
+  ASSERT_TRUE(backoff.NextDelay(&delay));
+  EXPECT_EQ(delay, 50u);
+}
+
+TEST(BackoffTest, ZeroRetriesAlwaysRefuses) {
+  BackoffPolicy policy;
+  policy.max_retries = 0;
+  ExponentialBackoff backoff(policy);
+  uint64_t delay = 0;
+  EXPECT_FALSE(backoff.NextDelay(&delay));
+}
+
+}  // namespace
+}  // namespace setcover

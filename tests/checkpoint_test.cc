@@ -1,0 +1,123 @@
+#include "run/checkpoint.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace setcover {
+namespace {
+
+Checkpoint SampleCheckpoint() {
+  Checkpoint checkpoint;
+  checkpoint.algorithm_name = "random-order-sketch";
+  checkpoint.meta.num_sets = 120;
+  checkpoint.meta.num_elements = 80;
+  checkpoint.meta.stream_length = 4096;
+  checkpoint.stream_position = 1234;
+  checkpoint.edges_delivered = 1200;
+  checkpoint.transient_retries = 7;
+  checkpoint.corrupt_skipped = 3;
+  checkpoint.faults_survived = 10;
+  for (uint64_t i = 0; i < 500; ++i)
+    checkpoint.state_words.push_back(i * 0x9E3779B97F4A7C15ULL);
+  return checkpoint;
+}
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + name;
+}
+
+TEST(CheckpointTest, RoundTripsEveryField) {
+  const std::string path = TempPath("ckpt_roundtrip.sckp");
+  Checkpoint original = SampleCheckpoint();
+  std::string error;
+  ASSERT_TRUE(SaveCheckpoint(original, path, &error)) << error;
+
+  auto loaded = LoadCheckpoint(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->algorithm_name, original.algorithm_name);
+  EXPECT_EQ(loaded->meta.num_sets, original.meta.num_sets);
+  EXPECT_EQ(loaded->meta.num_elements, original.meta.num_elements);
+  EXPECT_EQ(loaded->meta.stream_length, original.meta.stream_length);
+  EXPECT_EQ(loaded->stream_position, original.stream_position);
+  EXPECT_EQ(loaded->edges_delivered, original.edges_delivered);
+  EXPECT_EQ(loaded->transient_retries, original.transient_retries);
+  EXPECT_EQ(loaded->corrupt_skipped, original.corrupt_skipped);
+  EXPECT_EQ(loaded->faults_survived, original.faults_survived);
+  EXPECT_EQ(loaded->state_words, original.state_words);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, SaveLeavesNoTempFileBehind) {
+  const std::string path = TempPath("ckpt_atomic.sckp");
+  std::string error;
+  ASSERT_TRUE(SaveCheckpoint(SampleCheckpoint(), path, &error)) << error;
+  std::FILE* tmp = std::fopen((path + ".tmp").c_str(), "rb");
+  EXPECT_EQ(tmp, nullptr);
+  if (tmp != nullptr) std::fclose(tmp);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, RejectsEveryCorruptedByte) {
+  const std::string path = TempPath("ckpt_corrupt.sckp");
+  std::string error;
+  Checkpoint small = SampleCheckpoint();
+  small.state_words.resize(8);
+  ASSERT_TRUE(SaveCheckpoint(small, path, &error)) << error;
+
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::vector<uint8_t> bytes(1 << 16);
+  bytes.resize(std::fread(bytes.data(), 1, bytes.size(), f));
+  std::fclose(f);
+  ASSERT_GT(bytes.size(), 12u);
+
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    std::vector<uint8_t> damaged = bytes;
+    damaged[i] ^= 0x20;
+    std::FILE* out = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(out, nullptr);
+    ASSERT_EQ(std::fwrite(damaged.data(), 1, damaged.size(), out),
+              damaged.size());
+    std::fclose(out);
+    EXPECT_FALSE(LoadCheckpoint(path, &error).has_value())
+        << "byte " << i << " corruption went undetected";
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, RejectsTruncation) {
+  const std::string path = TempPath("ckpt_truncated.sckp");
+  std::string error;
+  ASSERT_TRUE(SaveCheckpoint(SampleCheckpoint(), path, &error)) << error;
+
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::vector<uint8_t> bytes(1 << 20);
+  bytes.resize(std::fread(bytes.data(), 1, bytes.size(), f));
+  std::fclose(f);
+
+  for (size_t keep : {size_t{0}, size_t{4}, size_t{11}, bytes.size() / 2,
+                      bytes.size() - 1}) {
+    std::FILE* out = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(out, nullptr);
+    ASSERT_EQ(std::fwrite(bytes.data(), 1, keep, out), keep);
+    std::fclose(out);
+    EXPECT_FALSE(LoadCheckpoint(path, &error).has_value())
+        << "truncation to " << keep << " bytes went undetected";
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, MissingFileIsAnError) {
+  std::string error;
+  EXPECT_FALSE(
+      LoadCheckpoint(TempPath("ckpt_does_not_exist.sckp"), &error)
+          .has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace setcover

@@ -1,0 +1,46 @@
+#include "util/crc32.h"
+
+#include <cstring>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace setcover {
+namespace {
+
+TEST(Crc32Test, MatchesKnownVectors) {
+  // The canonical check value for CRC-32/IEEE.
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32("", 0), 0u);
+  EXPECT_EQ(Crc32("a", 1), 0xE8B7BE43u);
+  EXPECT_EQ(Crc32("abc", 3), 0x352441C2u);
+}
+
+TEST(Crc32Test, IncrementalEqualsOneShot) {
+  const std::string data =
+      "one-pass edge-arrival streaming set cover checkpoints";
+  const uint32_t whole = Crc32(data.data(), data.size());
+  for (size_t cut = 0; cut <= data.size(); ++cut) {
+    uint32_t prefix = Crc32(data.data(), cut);
+    uint32_t rest = Crc32(data.data() + cut, data.size() - cut, prefix);
+    EXPECT_EQ(rest, whole) << "cut at " << cut;
+  }
+}
+
+TEST(Crc32Test, DetectsSingleBitFlips) {
+  uint8_t buffer[64];
+  for (size_t i = 0; i < sizeof buffer; ++i)
+    buffer[i] = uint8_t(i * 37 + 11);
+  const uint32_t clean = Crc32(buffer, sizeof buffer);
+  for (size_t byte = 0; byte < sizeof buffer; ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      buffer[byte] ^= uint8_t(1u << bit);
+      EXPECT_NE(Crc32(buffer, sizeof buffer), clean)
+          << "flip at byte " << byte << " bit " << bit;
+      buffer[byte] ^= uint8_t(1u << bit);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace setcover

@@ -13,6 +13,8 @@
 #include "core/registry.h"
 #include "instance/generators.h"
 #include "instance/validator.h"
+#include "run/run_supervisor.h"
+#include "stream/fault_injector.h"
 #include "stream/orderings.h"
 #include "util/rng.h"
 
@@ -141,6 +143,64 @@ TEST_P(RobustnessSweep, SurvivesHighMultiplicityElement) {
   auto solution = RunStream(*algorithm, stream);
   auto check = ValidateSolution(inst, solution);
   EXPECT_TRUE(check.ok) << GetParam() << ": " << check.error;
+}
+
+TEST_P(RobustnessSweep, SurvivesEveryFaultKindUnderSupervision) {
+  // Dirty-stream torture: transient failures, duplicates, drops and
+  // corrupt records all firing, several fixed fault seeds. Supervised
+  // runs must complete, stay in range, and certify soundly — dropped
+  // records may legitimately leave elements uncovered, nothing more.
+  Rng rng(29);
+  UniformRandomParams p;
+  p.num_elements = 50;
+  p.num_sets = 70;
+  auto inst = GenerateUniformRandom(p, rng);
+  auto stream = RandomOrderStream(inst, rng);
+
+  for (uint64_t fault_seed : {uint64_t{1}, uint64_t{77}, uint64_t{4242}}) {
+    VectorEdgeSource base(stream);
+    FaultInjector source(&base, FaultSchedule::AllKinds(fault_seed, 0.05));
+    auto algorithm = MakeAlgorithmByName(GetParam(), {.seed = 15});
+    RunReport report = RunSupervisor({}).Run(*algorithm, source);
+
+    const std::string context =
+        GetParam() + " fault_seed=" + std::to_string(fault_seed);
+    ASSERT_TRUE(report.completed) << context << ": " << report.error;
+    EXPECT_FALSE(report.degraded) << context;
+    ExpectPartialSolutionSound(inst, report.solution, context);
+    // Accounting lines up with what the injector actually did.
+    EXPECT_EQ(report.corrupt_records_skipped,
+              source.DeliveredFaults(FaultKind::kCorrupt))
+        << context;
+    EXPECT_EQ(report.edges_delivered,
+              stream.size() + source.DeliveredFaults(FaultKind::kDuplicate) -
+                  source.DeliveredFaults(FaultKind::kDrop) -
+                  source.DeliveredFaults(FaultKind::kCorrupt))
+        << context;
+  }
+}
+
+TEST_P(RobustnessSweep, FaultSweepIsDeterministic) {
+  // The same fault seed must yield the identical cover twice — the
+  // property checkpoint resume builds on.
+  Rng rng(31);
+  UniformRandomParams p;
+  p.num_elements = 40;
+  p.num_sets = 50;
+  auto inst = GenerateUniformRandom(p, rng);
+  auto stream = RandomOrderStream(inst, rng);
+
+  CoverSolution first, second;
+  for (int round = 0; round < 2; ++round) {
+    VectorEdgeSource base(stream);
+    FaultInjector source(&base, FaultSchedule::AllKinds(55, 0.06));
+    auto algorithm = MakeAlgorithmByName(GetParam(), {.seed = 8});
+    RunReport report = RunSupervisor({}).Run(*algorithm, source);
+    ASSERT_TRUE(report.completed) << GetParam() << ": " << report.error;
+    (round == 0 ? first : second) = report.solution;
+  }
+  EXPECT_EQ(first.cover, second.cover) << GetParam();
+  EXPECT_EQ(first.certificate, second.certificate) << GetParam();
 }
 
 std::string SweepName(const testing::TestParamInfo<std::string>& info) {

@@ -131,5 +131,60 @@ TEST(SerializeTest, StateWordsUsesEncodingWhenAvailable) {
   EXPECT_EQ(algorithm->StateWords(), encoder.SizeWords());
 }
 
+TEST(SerializeTest, StateWordsMatchesEncodeSizeForEveryAlgorithm) {
+  // StateWords() is O(1) arithmetic (no encode) since it sits on the
+  // hot path of the communication experiments; this pins each override
+  // to the size a real encode produces, at many points mid-stream.
+  Rng rng(7);
+  UniformRandomParams p;
+  p.num_elements = 48;
+  p.num_sets = 64;
+  auto inst = GenerateUniformRandom(p, rng);
+  auto stream = RandomOrderStream(inst, rng);
+
+  for (const std::string& name : RegisteredAlgorithmNames()) {
+    auto algorithm = MakeAlgorithmByName(name, {.seed = 13});
+    algorithm->Begin(stream.meta);
+    size_t processed = 0;
+    auto check = [&] {
+      StateEncoder encoder;
+      algorithm->EncodeState(&encoder);
+      EXPECT_EQ(algorithm->StateWords(), encoder.SizeWords())
+          << name << " after " << processed << " edges";
+    };
+    check();
+    for (const Edge& e : stream.edges) {
+      algorithm->ProcessEdge(e);
+      if (++processed % 37 == 0) check();
+    }
+    check();
+  }
+}
+
+TEST(SerializeTest, EncodedSizeHelpersMatchTheEncoder) {
+  for (size_t count : {size_t{0}, size_t{1}, size_t{2}, size_t{63},
+                       size_t{64}, size_t{65}, size_t{1000}}) {
+    StateEncoder u32;
+    u32.PutU32Vector(std::vector<uint32_t>(count, 5));
+    EXPECT_EQ(u32.SizeWords(), EncodedU32VectorWords(count)) << count;
+
+    StateEncoder bools;
+    bools.PutBoolVector(std::vector<bool>(count, true));
+    EXPECT_EQ(bools.SizeWords(), EncodedBoolVectorWords(count)) << count;
+
+    StateEncoder set;
+    std::unordered_set<uint32_t> s;
+    for (size_t i = 0; i < count; ++i) s.insert(uint32_t(i));
+    set.PutSet(s);
+    EXPECT_EQ(set.SizeWords(), EncodedSetWords(count)) << count;
+
+    StateEncoder map;
+    std::unordered_map<uint32_t, uint32_t> m;
+    for (size_t i = 0; i < count; ++i) m[uint32_t(i)] = uint32_t(i);
+    map.PutMap(m);
+    EXPECT_EQ(map.SizeWords(), EncodedMapWords(count)) << count;
+  }
+}
+
 }  // namespace
 }  // namespace setcover

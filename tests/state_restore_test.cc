@@ -112,9 +112,16 @@ TEST(MessagePassingReductionTest, ReportsUnsupportedAlgorithms) {
   Rng rng(5);
   auto family = Lemma1Family::Build(100, 2, 4, rng);
   auto disj = GenerateDisjointInstance(2, 4, 2, rng);
-  // StoreEverythingGreedy has no DecodeState.
+  // Every registered algorithm decodes now, so fake one that refuses.
+  class UndecodableAlgorithm : public StoreEverythingGreedy {
+   public:
+    bool DecodeState(const StreamMetadata&,
+                     const std::vector<uint64_t>&) override {
+      return false;
+    }
+  };
   AlgorithmFactory unsupported = [](uint64_t) {
-    return std::make_unique<StoreEverythingGreedy>();
+    return std::make_unique<UndecodableAlgorithm>();
   };
   auto result =
       RunTheorem2ReductionMessagePassing(family, disj, unsupported, 1);

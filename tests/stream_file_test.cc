@@ -149,5 +149,139 @@ TEST(StreamFileTest, LargeStreamBuffersCorrectly) {
   EXPECT_EQ(count, stream.size());
 }
 
+TEST(StreamFileTest, WritesVersion2WithNoTempFileLeftBehind) {
+  auto stream = TestStream(5);
+  std::string path = TempPath("v2.bin");
+  ASSERT_TRUE(WriteStreamFile(stream, path));
+
+  std::FILE* tmp = std::fopen((path + ".tmp").c_str(), "rb");
+  EXPECT_EQ(tmp, nullptr) << "atomic writer left its staging file";
+  if (tmp != nullptr) std::fclose(tmp);
+
+  std::string error;
+  auto reader = StreamFileReader::Open(path, &error);
+  ASSERT_NE(reader, nullptr) << error;
+  EXPECT_EQ(reader->Version(), 2u);
+}
+
+TEST(StreamFileTest, RewriteReplacesAtomically) {
+  auto first = TestStream(6);
+  auto second = TestStream(7);
+  std::string path = TempPath("rewrite.bin");
+  ASSERT_TRUE(WriteStreamFile(first, path));
+  ASSERT_TRUE(WriteStreamFile(second, path));
+
+  std::string error;
+  auto reader = StreamFileReader::Open(path, &error);
+  ASSERT_NE(reader, nullptr) << error;
+  EXPECT_EQ(reader->Meta().stream_length, second.meta.stream_length);
+  Edge edge;
+  size_t i = 0;
+  while (reader->Next(&edge)) EXPECT_EQ(edge, second.edges[i++]);
+  EXPECT_EQ(i, second.size());
+}
+
+TEST(StreamFileTest, DetectsFlippedPayloadBitViaChunkChecksum) {
+  auto stream = TestStream(8);
+  std::string path = TempPath("bitflip.bin");
+  ASSERT_TRUE(WriteStreamFile(stream, path));
+
+  // Flip one bit inside the first chunk's payload. The file length is
+  // untouched, so only the CRC can notice.
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 28 + 8 + 20, SEEK_SET);  // header + chunk header + 20
+  int c = std::fgetc(f);
+  std::fseek(f, 28 + 8 + 20, SEEK_SET);
+  std::fputc(c ^ 0x04, f);
+  std::fclose(f);
+
+  std::string error;
+  auto reader = StreamFileReader::Open(path, &error);
+  ASSERT_NE(reader, nullptr) << error;
+  Edge edge;
+  size_t surfaced = 0;
+  while (reader->Next(&edge)) ++surfaced;
+  EXPECT_TRUE(reader->ChecksumFailed());
+  EXPECT_EQ(surfaced, 0u) << "edges from a corrupt chunk were surfaced";
+}
+
+TEST(StreamFileTest, DetectsCorruptedChunkCountViaDeclaredLength) {
+  auto stream = TestStream(9);
+  std::string path = TempPath("badcount.bin");
+  ASSERT_TRUE(WriteStreamFile(stream, path));
+
+  // Overwrite the first chunk's count field. The expected count is
+  // derived from the header's N, so the lie is caught immediately
+  // rather than desynchronizing every later chunk.
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 28, SEEK_SET);
+  uint32_t bogus = 7;
+  ASSERT_EQ(std::fwrite(&bogus, sizeof bogus, 1, f), 1u);
+  std::fclose(f);
+
+  std::string error;
+  auto reader = StreamFileReader::Open(path, &error);
+  ASSERT_NE(reader, nullptr) << error;
+  Edge edge;
+  size_t surfaced = 0;
+  while (reader->Next(&edge)) ++surfaced;
+  EXPECT_TRUE(reader->ChecksumFailed());
+  EXPECT_EQ(surfaced, 0u);
+}
+
+TEST(StreamFileTest, DetectsCorruptedHeaderViaHeaderChecksum) {
+  auto stream = TestStream(10);
+  std::string path = TempPath("badheader.bin");
+  ASSERT_TRUE(WriteStreamFile(stream, path));
+
+  // Damage the m field without touching anything else.
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 8, SEEK_SET);
+  uint32_t bogus = 0xFFFFFFu;
+  ASSERT_EQ(std::fwrite(&bogus, sizeof bogus, 1, f), 1u);
+  std::fclose(f);
+
+  std::string error;
+  EXPECT_EQ(StreamFileReader::Open(path, &error), nullptr);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(StreamFileTest, SeekToEdgeLandsExactly) {
+  // Span several chunks so seeks cross chunk boundaries.
+  Rng rng(11);
+  UniformRandomParams params;
+  params.num_elements = 300;
+  params.num_sets = 4000;
+  params.min_set_size = 2;
+  params.max_set_size = 5;
+  auto inst = GenerateUniformRandom(params, rng);
+  auto stream = RandomOrderStream(inst, rng);
+  ASSERT_GT(stream.size(), size_t{3} * 4096);
+
+  std::string path = TempPath("seek.bin");
+  ASSERT_TRUE(WriteStreamFile(stream, path));
+  std::string error;
+  auto reader = StreamFileReader::Open(path, &error);
+  ASSERT_NE(reader, nullptr) << error;
+
+  for (size_t index : {size_t{0}, size_t{1}, size_t{4095}, size_t{4096},
+                       size_t{4097}, size_t{9000}, stream.size() - 1}) {
+    ASSERT_TRUE(reader->SeekToEdge(index)) << index;
+    EXPECT_EQ(reader->EdgesRead(), index);
+    Edge edge;
+    ASSERT_TRUE(reader->Next(&edge)) << index;
+    EXPECT_EQ(edge, stream.edges[index]) << index;
+  }
+
+  // Seeking to N positions at end-of-stream; past N is refused.
+  ASSERT_TRUE(reader->SeekToEdge(stream.size()));
+  Edge edge;
+  EXPECT_FALSE(reader->Next(&edge));
+  EXPECT_FALSE(reader->SeekToEdge(stream.size() + 1));
+}
+
 }  // namespace
 }  // namespace setcover

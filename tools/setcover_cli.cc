@@ -16,9 +16,16 @@
 //             reports cover size, ratio vs greedy/planted, peak words.
 //
 //   solve-stream --stream stream.bin [--algorithm kk] [--seed S]
-//             Replays a binary stream file (no instance needed; the
-//             validation step is skipped since set contents are not
-//             known without the instance).
+//             [--checkpoint ckpt.sckp] [--checkpoint-every K] [--resume]
+//             [--stop-after K]
+//             Replays a binary stream file under the run supervisor (no
+//             instance needed; validation is skipped since set contents
+//             are not known without the instance). With --checkpoint the
+//             run writes a CRC-guarded checkpoint every K edges;
+//             --resume restarts from the last valid checkpoint and
+//             replays only the tail, bit-identical to an uninterrupted
+//             run. --stop-after kills the run after K edges (for
+//             demonstrating/testing recovery; docs/robustness.md).
 //
 //   compare   --instance instance.txt [--order random] [--seed S]
 //             Runs *every* registered algorithm on the same stream and
@@ -35,9 +42,11 @@
 //       --out=/tmp/stream.bin
 //   setcover_cli solve-stream --stream=/tmp/stream.bin --algorithm=kk
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 
 #include "core/multi_run.h"
 #include "core/registry.h"
@@ -45,6 +54,8 @@
 #include "instance/io.h"
 #include "instance/validator.h"
 #include "offline/greedy.h"
+#include "run/run_supervisor.h"
+#include "stream/edge_source.h"
 #include "stream/orderings.h"
 #include "stream/stream_file.h"
 #include "util/flags.h"
@@ -269,18 +280,65 @@ int CmdSolveStream(const FlagSet& flags) {
                  algorithm_name.c_str());
     return 2;
   }
+
   std::string error;
-  auto solution = RunStreamFromFile(*algorithm, path, &error);
-  if (!solution.has_value()) {
+  auto source = StreamFileSource::Open(path, &error);
+  if (source == nullptr) {
     std::fprintf(stderr, "cannot read stream: %s\n", error.c_str());
     return 1;
   }
+
+  SupervisorOptions run_options;
+  run_options.checkpoint_path = flags.GetString("checkpoint", "");
+  run_options.checkpoint_every =
+      static_cast<uint64_t>(flags.GetInt("checkpoint-every", 1 << 16));
+  run_options.resume = flags.GetBool("resume", false);
+  run_options.stop_after =
+      static_cast<uint64_t>(flags.GetInt("stop-after", 0));
+  run_options.sleeper = [](uint64_t us) {
+    std::this_thread::sleep_for(std::chrono::microseconds(us));
+  };
+  if (run_options.resume && run_options.checkpoint_path.empty()) {
+    std::fprintf(stderr, "--resume requires --checkpoint\n");
+    return 2;
+  }
+
+  RunReport report = RunSupervisor(run_options).Run(*algorithm, *source);
+  if (!report.error.empty()) {
+    std::fprintf(stderr, "run failed: %s\n", report.error.c_str());
+    return 1;
+  }
+  if (report.resumed) {
+    std::printf("resumed:     from edge %llu (%s)\n",
+                static_cast<unsigned long long>(report.resumed_at),
+                run_options.checkpoint_path.c_str());
+  }
+  if (!report.completed) {
+    std::printf("stopped:     after %llu edges (checkpoints written: %llu)\n",
+                static_cast<unsigned long long>(report.edges_delivered),
+                static_cast<unsigned long long>(report.checkpoints_written));
+    return 0;
+  }
+
   size_t witnessed = 0;
-  for (SetId w : solution->certificate) witnessed += (w != kNoSet) ? 1 : 0;
+  for (SetId w : report.solution.certificate)
+    witnessed += (w != kNoSet) ? 1 : 0;
   std::printf("algorithm:   %s\n", algorithm->Name().c_str());
-  std::printf("cover size:  %zu\n", solution->cover.size());
+  std::printf("cover size:  %zu\n", report.solution.cover.size());
   std::printf("witnessed:   %zu/%zu elements\n", witnessed,
-              solution->certificate.size());
+              report.solution.certificate.size());
+  if (report.checkpoints_written > 0) {
+    std::printf("checkpoints: %llu\n", static_cast<unsigned long long>(
+                                           report.checkpoints_written));
+  }
+  if (report.degraded || report.transient_retries > 0 ||
+      report.corrupt_records_skipped > 0) {
+    std::printf("degraded:    %s (retries %llu, corrupt skipped %llu)\n",
+                report.degraded ? "yes" : "no",
+                static_cast<unsigned long long>(report.transient_retries),
+                static_cast<unsigned long long>(
+                    report.corrupt_records_skipped));
+  }
   std::printf("peak words:  %zu\n", algorithm->Meter().PeakWords());
   std::printf("breakdown:   %s\n",
               algorithm->Meter().BreakdownString().c_str());
