@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Records the performance baseline: builds the benchmark binaries and
+# runs bench_throughput (and bench_scaling) with --benchmark_format=json,
+# writing BENCH_throughput.json and BENCH_scaling.json at the repo root.
+#
+# The committed BENCH_*.json files are the perf trajectory of the repo:
+# re-run this script after an optimization PR and commit the refreshed
+# numbers next to the previous ones (docs/performance.md describes how
+# to read them). BENCH_throughput.pre.json preserves the last
+# pre-optimization snapshot for the current PR's before/after claim.
+#
+# Usage: scripts/bench_baseline.sh [jobs]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${1:-$(nproc)}"
+
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS" --target bench_throughput bench_scaling
+
+echo "== bench_throughput -> BENCH_throughput.json =="
+build/bench/bench_throughput \
+  --benchmark_format=json \
+  --benchmark_out=BENCH_throughput.json \
+  --benchmark_out_format=json
+
+echo "== bench_scaling -> BENCH_scaling.json =="
+build/bench/bench_scaling \
+  --benchmark_format=json \
+  --benchmark_out=BENCH_scaling.json \
+  --benchmark_out_format=json
+
+echo "== baseline written: BENCH_throughput.json BENCH_scaling.json =="

@@ -4,11 +4,46 @@
 # finding aborts the offending test (-fno-sanitize-recover=all), so a
 # green run means both configurations are clean.
 #
-# Usage: scripts/check.sh [jobs]
+# With --bench-smoke, instead run the perf-path smoke checks:
+#   1. Release build + a short bench_throughput run (catches benchmarks
+#      that crash or regress to zero without paying for a full baseline),
+#   2. the batch-equivalence test under ASan+UBSan,
+#   3. the thread pool + parallel multi-run tests under TSan
+#      (-DSETCOVER_TSAN=ON), so the parallel drivers are race-checked.
+#
+# Usage: scripts/check.sh [--bench-smoke] [jobs]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+BENCH_SMOKE=0
+if [[ "${1:-}" == "--bench-smoke" ]]; then
+  BENCH_SMOKE=1
+  shift
+fi
 JOBS="${1:-$(nproc)}"
+
+if [[ "$BENCH_SMOKE" == "1" ]]; then
+  echo "== bench smoke: Release build (build-release/) =="
+  cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build build-release -j "$JOBS" --target bench_throughput
+  build-release/bench/bench_throughput --benchmark_min_time=0.01
+
+  echo "== bench smoke: batch equivalence under ASan+UBSan (build-asan/) =="
+  cmake -B build-asan -S . -DSETCOVER_SANITIZE=ON >/dev/null
+  cmake --build build-asan -j "$JOBS" --target batch_equivalence_test
+  build-asan/tests/batch_equivalence_test
+
+  echo "== bench smoke: thread pool under TSan (build-tsan/) =="
+  cmake -B build-tsan -S . -DSETCOVER_TSAN=ON >/dev/null
+  cmake --build build-tsan -j "$JOBS" \
+    --target thread_pool_test multi_run_test batch_equivalence_test
+  build-tsan/tests/thread_pool_test
+  build-tsan/tests/multi_run_test
+  build-tsan/tests/batch_equivalence_test
+
+  echo "== bench smoke passed =="
+  exit 0
+fi
 
 echo "== plain build (build/) =="
 cmake -B build -S . >/dev/null

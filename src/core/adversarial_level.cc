@@ -23,11 +23,11 @@ void AdversarialLevelAlgorithm::Begin(const StreamMetadata& meta) {
   // Theorem 4 requires α >= 2√n; clamp requests below that.
   alpha_ = std::max(params_.alpha, 2.0 * sqrt_n);
 
-  levels_.clear();
+  levels_.Assign(meta.num_sets);
   first_set_.assign(meta.num_elements, kNoSet);
   certificate_.assign(meta.num_elements, kNoSet);
-  covered_.assign(meta.num_elements, false);
-  in_solution_.clear();
+  covered_ = DynamicBitset(meta.num_elements);
+  in_solution_ = DynamicBitset(meta.num_sets);
   solution_order_.clear();
   peak_promoted_ = 0;
   meter_.Reset();
@@ -37,7 +37,7 @@ void AdversarialLevelAlgorithm::Begin(const StreamMetadata& meta) {
   const double p0 = alpha_ / static_cast<double>(meta.num_sets);
   for (SetId s = 0; s < meta.num_sets; ++s) {
     if (rng_.Bernoulli(p0)) {
-      in_solution_.insert(s);
+      in_solution_.Set(s);
       solution_order_.push_back(s);
       meter_.Add(solution_words_, 2);
     }
@@ -50,38 +50,46 @@ void AdversarialLevelAlgorithm::MaybeInclude(SetId s, uint32_t level) {
       alpha_ * alpha_ / static_cast<double>(meta_.num_elements);
   double p = alpha_ / static_cast<double>(meta_.num_sets);
   for (uint32_t i = 0; i < level && p < 1.0; ++i) p *= ratio;
-  if (rng_.Bernoulli(p) && in_solution_.insert(s).second) {
+  if (rng_.Bernoulli(p) && in_solution_.Set(s)) {
     solution_order_.push_back(s);
     meter_.Add(solution_words_, 2);
   }
 }
 
-void AdversarialLevelAlgorithm::ProcessEdge(const Edge& edge) {
+inline void AdversarialLevelAlgorithm::ProcessEdgeImpl(const Edge& edge) {
   const SetId s = edge.set;
   const ElementId u = edge.element;
   // Lines 9-10: remember an arbitrary (first) covering set.
   if (first_set_[u] == kNoSet) first_set_[u] = s;
   // Lines 11-12: ignore edges to already covered elements.
-  if (covered_[u]) return;
+  if (covered_.Test(u)) return;
 
   // Lines 14-21: look up the level, promote with probability 1/α, and
   // on promotion run the inclusion coin for the new level.
   if (rng_.Bernoulli(1.0 / alpha_)) {
-    uint32_t level = 1;
-    auto [it, inserted] = levels_.try_emplace(s, 1);
-    if (!inserted) level = ++it->second;
+    auto [level, inserted] = levels_.Slot(s);
+    ++level;  // first promotion takes the fresh slot from 0 to 1
     if (inserted) {
       meter_.Add(levels_words_, 2);  // key + value
-      peak_promoted_ = std::max(peak_promoted_, levels_.size());
+      peak_promoted_ = std::max(peak_promoted_, levels_.Size());
     }
     MaybeInclude(s, level);
   }
 
   // Lines 22-24: if S is (now) in the solution it dominates u.
-  if (in_solution_.count(s) != 0) {
-    covered_[u] = true;
+  if (in_solution_.Test(s)) {
+    covered_.Set(u);
     certificate_[u] = s;
   }
+}
+
+void AdversarialLevelAlgorithm::ProcessEdge(const Edge& edge) {
+  ProcessEdgeImpl(edge);
+}
+
+void AdversarialLevelAlgorithm::ProcessEdgeBatch(std::span<const Edge> edges) {
+  // Same per-edge rule, minus one virtual dispatch per edge.
+  for (const Edge& e : edges) ProcessEdgeImpl(e);
 }
 
 CoverSolution AdversarialLevelAlgorithm::Finalize() {
@@ -92,7 +100,7 @@ CoverSolution AdversarialLevelAlgorithm::Finalize() {
   for (ElementId u = 0; u < meta_.num_elements; ++u) {
     if (solution.certificate[u] == kNoSet && first_set_[u] != kNoSet) {
       solution.certificate[u] = first_set_[u];
-      if (in_solution_.insert(first_set_[u]).second) {
+      if (in_solution_.Set(first_set_[u])) {
         solution.cover.push_back(first_set_[u]);
       }
     }
@@ -101,7 +109,7 @@ CoverSolution AdversarialLevelAlgorithm::Finalize() {
 }
 
 size_t AdversarialLevelAlgorithm::StateWords() const {
-  return 4 + EncodedMapWords(levels_.size()) +
+  return 4 + EncodedMapWords(levels_.Size()) +
          EncodedBoolVectorWords(covered_.size()) +
          EncodedU32VectorWords(first_set_.size()) +
          EncodedU32VectorWords(certificate_.size()) +
@@ -113,8 +121,9 @@ void AdversarialLevelAlgorithm::EncodeState(StateEncoder* encoder) const {
   // sets' levels travel (Õ(m·n/α²) of them), plus Õ(n) element state
   // and the solution.
   for (uint64_t w : rng_.GetState()) encoder->PutWord(w);
-  encoder->PutMap(levels_);
-  std::vector<bool> covered(covered_.begin(), covered_.end());
+  encoder->PutSortedPairs(levels_.SortedEntries());
+  std::vector<bool> covered(covered_.size(), false);
+  for (ElementId u = 0; u < covered_.size(); ++u) covered[u] = covered_.Test(u);
   encoder->PutBoolVector(covered);
   encoder->PutU32Vector(first_set_);
   encoder->PutU32Vector(certificate_);
@@ -132,33 +141,46 @@ bool AdversarialLevelAlgorithm::DecodeState(
   std::vector<uint32_t> first_set = decoder.GetU32Vector();
   std::vector<uint32_t> certificate = decoder.GetU32Vector();
   std::vector<uint32_t> solution = decoder.GetU32Vector();
-  if (!decoder.Done() || covered.size() != meta.num_elements ||
+  // Dense state is indexed by id, so every id must be range-checked
+  // before it is trusted (the hash containers used to tolerate junk).
+  bool ids_ok = true;
+  for (const auto& [s, level] : levels) ids_ok = ids_ok && s < meta.num_sets;
+  for (uint32_t s : solution) ids_ok = ids_ok && s < meta.num_sets;
+  for (uint32_t s : first_set)
+    ids_ok = ids_ok && (s == kNoSet || s < meta.num_sets);
+  if (!decoder.Done() || !ids_ok || covered.size() != meta.num_elements ||
       first_set.size() != meta.num_elements ||
       certificate.size() != meta.num_elements) {
     Begin(meta);
     return false;
   }
   rng_.SetState(rng_state);
-  levels_ = std::move(levels);
-  covered_.assign(covered.begin(), covered.end());
+  levels_.Assign(meta.num_sets);
+  for (const auto& [s, level] : levels) levels_.Slot(s).first = level;
+  covered_ = DynamicBitset(meta.num_elements);
+  for (ElementId u = 0; u < meta.num_elements; ++u) {
+    if (covered[u]) covered_.Set(u);
+  }
   first_set_ = std::move(first_set);
   certificate_ = std::move(certificate);
   solution_order_ = std::move(solution);
-  in_solution_.clear();
-  for (SetId s : solution_order_) in_solution_.insert(s);
-  peak_promoted_ = std::max(peak_promoted_, levels_.size());
-  meter_.Set(levels_words_, 2 * levels_.size());
+  in_solution_ = DynamicBitset(meta.num_sets);
+  for (SetId s : solution_order_) in_solution_.Set(s);
+  peak_promoted_ = std::max(peak_promoted_, levels_.Size());
+  meter_.Set(levels_words_, 2 * levels_.Size());
   meter_.Set(solution_words_, 2 * solution_order_.size());
   return true;
 }
 
 std::vector<size_t> AdversarialLevelAlgorithm::LevelHistogram() const {
   uint32_t max_level = 0;
-  for (const auto& [s, level] : levels_)
+  levels_.ForEach([&](uint32_t, const uint32_t& level) {
     max_level = std::max(max_level, level);
+  });
   std::vector<size_t> histogram(max_level + 1, 0);
-  histogram[0] = meta_.num_sets - levels_.size();
-  for (const auto& [s, level] : levels_) ++histogram[level];
+  histogram[0] = meta_.num_sets - levels_.Size();
+  levels_.ForEach(
+      [&](uint32_t, const uint32_t& level) { ++histogram[level]; });
   return histogram;
 }
 

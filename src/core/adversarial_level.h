@@ -2,11 +2,11 @@
 #define SETCOVER_CORE_ADVERSARIAL_LEVEL_H_
 
 #include <cstdint>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "core/streaming_algorithm.h"
+#include "util/bitset.h"
+#include "util/epoch_array.h"
 #include "util/memory_meter.h"
 #include "util/rng.h"
 #include "util/types.h"
@@ -38,7 +38,12 @@ struct AdversarialLevelParams {
 ///
 /// The space win over KK: no per-set degree array — only the levels of
 /// promoted sets are stored, and (Theorem 4's analysis) only Õ(m·n/α²)
-/// sets are ever promoted.
+/// sets are ever promoted. The in-memory representation of L is an
+/// epoch-stamped dense array (O(1) lookup per edge, O(1) clear), but
+/// the *state* — what EncodeState forwards and the meter charges — is
+/// still only the promoted entries, so the Theorem 4 space story is
+/// unchanged (util/memory_meter.h documents why container overhead is
+/// excluded from word accounting).
 class AdversarialLevelAlgorithm : public StreamingSetCoverAlgorithm {
  public:
   explicit AdversarialLevelAlgorithm(uint64_t seed,
@@ -47,6 +52,7 @@ class AdversarialLevelAlgorithm : public StreamingSetCoverAlgorithm {
   std::string Name() const override { return "adversarial-level"; }
   void Begin(const StreamMetadata& meta) override;
   void ProcessEdge(const Edge& edge) override;
+  void ProcessEdgeBatch(std::span<const Edge> edges) override;
   CoverSolution Finalize() override;
   const MemoryMeter& Meter() const override { return meter_; }
   void EncodeState(StateEncoder* encoder) const override;
@@ -72,6 +78,7 @@ class AdversarialLevelAlgorithm : public StreamingSetCoverAlgorithm {
 
  private:
   void MaybeInclude(SetId s, uint32_t level);
+  inline void ProcessEdgeImpl(const Edge& edge);
 
   uint64_t seed_;
   AdversarialLevelParams params_;
@@ -79,11 +86,11 @@ class AdversarialLevelAlgorithm : public StreamingSetCoverAlgorithm {
   StreamMetadata meta_;
   double alpha_ = 1.0;
 
-  std::unordered_map<SetId, uint32_t> levels_;  // L: promoted sets only
-  std::vector<SetId> first_set_;                // R(u)
-  std::vector<SetId> certificate_;              // C(u)
-  std::vector<bool> covered_;                   // U
-  std::unordered_set<SetId> in_solution_;       // ∪ D_ℓ
+  EpochArray<uint32_t> levels_;   // L: promoted sets only (dense rep)
+  std::vector<SetId> first_set_;  // R(u)
+  std::vector<SetId> certificate_;  // C(u)
+  DynamicBitset covered_;         // U
+  DynamicBitset in_solution_;     // ∪ D_ℓ
   std::vector<SetId> solution_order_;
   size_t peak_promoted_ = 0;
 

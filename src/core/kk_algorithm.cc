@@ -22,8 +22,8 @@ void KkAlgorithm::Begin(const StreamMetadata& meta) {
   uncovered_degree_.assign(meta.num_sets, 0);
   first_set_.assign(meta.num_elements, kNoSet);
   certificate_.assign(meta.num_elements, kNoSet);
-  covered_.assign(meta.num_elements, false);
-  in_solution_.clear();
+  covered_ = DynamicBitset(meta.num_elements);
+  in_solution_ = DynamicBitset(meta.num_sets);
   solution_order_.clear();
   meter_.Reset();
   // One word per degree counter; R(u) and C(u) are one word each plus a
@@ -33,45 +33,53 @@ void KkAlgorithm::Begin(const StreamMetadata& meta) {
 }
 
 void KkAlgorithm::MaybeInclude(SetId s, uint32_t level) {
-  if (in_solution_.count(s) != 0) return;
+  if (in_solution_.Test(s)) return;
   double p = params_.inclusion_constant *
              std::ldexp(static_cast<double>(sqrt_n_), static_cast<int>(
                             std::min<uint32_t>(level, 62))) /
              static_cast<double>(meta_.num_sets);
   if (rng_.Bernoulli(p)) {
-    in_solution_.insert(s);
+    in_solution_.Set(s);
     solution_order_.push_back(s);
-    meter_.Add(solution_words_, 2);  // hash-set entry + order entry
+    meter_.Add(solution_words_, 2);  // membership mark + order entry
   }
 }
 
-void KkAlgorithm::ProcessEdge(const Edge& edge) {
+inline void KkAlgorithm::ProcessEdgeImpl(const Edge& edge) {
   const SetId s = edge.set;
   const ElementId u = edge.element;
   if (first_set_[u] == kNoSet) first_set_[u] = s;
 
-  if (in_solution_.count(s) != 0) {
+  if (in_solution_.Test(s)) {
     // An included set covers everything of it arriving from now on.
-    if (!covered_[u]) {
-      covered_[u] = true;
+    if (!covered_.Test(u)) {
+      covered_.Set(u);
       certificate_[u] = s;
     }
     return;
   }
-  if (covered_[u]) return;
+  if (covered_.Test(u)) return;
 
   // u is uncovered and S is not in the solution: bump the
   // uncovered-degree and run the probabilistic inclusion rule at every
-  // level boundary i·√n.
+  // level boundary i·√n. The d < √n comparison screens out the common
+  // case before paying for the modulo.
   uint32_t d = ++uncovered_degree_[s];
-  if (d % sqrt_n_ == 0) {
+  if (d >= sqrt_n_ && d % sqrt_n_ == 0) {
     uint32_t level = d / sqrt_n_;
     MaybeInclude(s, level);
-    if (in_solution_.count(s) != 0) {
-      covered_[u] = true;
+    if (in_solution_.Test(s)) {
+      covered_.Set(u);
       certificate_[u] = s;
     }
   }
+}
+
+void KkAlgorithm::ProcessEdge(const Edge& edge) { ProcessEdgeImpl(edge); }
+
+void KkAlgorithm::ProcessEdgeBatch(std::span<const Edge> edges) {
+  // Same per-edge rule, minus one virtual dispatch per edge.
+  for (const Edge& e : edges) ProcessEdgeImpl(e);
 }
 
 CoverSolution KkAlgorithm::Finalize() {
@@ -82,7 +90,7 @@ CoverSolution KkAlgorithm::Finalize() {
   for (ElementId u = 0; u < meta_.num_elements; ++u) {
     if (solution.certificate[u] == kNoSet && first_set_[u] != kNoSet) {
       solution.certificate[u] = first_set_[u];
-      if (in_solution_.insert(first_set_[u]).second) {
+      if (in_solution_.Set(first_set_[u])) {
         solution.cover.push_back(first_set_[u]);
       }
     }
@@ -104,7 +112,8 @@ void KkAlgorithm::EncodeState(StateEncoder* encoder) const {
   // solution so far.
   for (uint64_t w : rng_.GetState()) encoder->PutWord(w);
   encoder->PutU32Vector(uncovered_degree_);
-  std::vector<bool> covered(covered_.begin(), covered_.end());
+  std::vector<bool> covered(covered_.size(), false);
+  for (ElementId u = 0; u < covered_.size(); ++u) covered[u] = covered_.Test(u);
   encoder->PutBoolVector(covered);
   encoder->PutU32Vector(first_set_);
   encoder->PutU32Vector(certificate_);
@@ -122,7 +131,13 @@ bool KkAlgorithm::DecodeState(const StreamMetadata& meta,
   std::vector<uint32_t> first_set = decoder.GetU32Vector();
   std::vector<uint32_t> certificate = decoder.GetU32Vector();
   std::vector<uint32_t> solution = decoder.GetU32Vector();
-  if (!decoder.Done() || degrees.size() != meta.num_sets ||
+  // Dense state is indexed by id, so every id must be range-checked
+  // before it is trusted (the hash containers used to tolerate junk).
+  bool ids_ok = true;
+  for (uint32_t s : solution) ids_ok = ids_ok && s < meta.num_sets;
+  for (uint32_t s : first_set)
+    ids_ok = ids_ok && (s == kNoSet || s < meta.num_sets);
+  if (!decoder.Done() || !ids_ok || degrees.size() != meta.num_sets ||
       covered.size() != meta.num_elements ||
       first_set.size() != meta.num_elements ||
       certificate.size() != meta.num_elements) {
@@ -131,12 +146,15 @@ bool KkAlgorithm::DecodeState(const StreamMetadata& meta,
   }
   rng_.SetState(rng_state);
   uncovered_degree_ = std::move(degrees);
-  covered_.assign(covered.begin(), covered.end());
+  covered_ = DynamicBitset(meta.num_elements);
+  for (ElementId u = 0; u < meta.num_elements; ++u) {
+    if (covered[u]) covered_.Set(u);
+  }
   first_set_ = std::move(first_set);
   certificate_ = std::move(certificate);
   solution_order_ = std::move(solution);
-  in_solution_.clear();
-  for (SetId s : solution_order_) in_solution_.insert(s);
+  in_solution_ = DynamicBitset(meta.num_sets);
+  for (SetId s : solution_order_) in_solution_.Set(s);
   meter_.Set(solution_words_, 2 * solution_order_.size());
   return true;
 }

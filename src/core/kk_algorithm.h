@@ -2,10 +2,10 @@
 #define SETCOVER_CORE_KK_ALGORITHM_H_
 
 #include <cstdint>
-#include <unordered_set>
 #include <vector>
 
 #include "core/streaming_algorithm.h"
+#include "util/bitset.h"
 #include "util/memory_meter.h"
 #include "util/rng.h"
 #include "util/types.h"
@@ -37,6 +37,12 @@ struct KkParams {
 /// adversarial order). The per-level set counts that drive the paper's
 /// analysis (E|S_i| <= ½ E|S_{i-1}|, §1.2) are exposed through
 /// `LevelHistogram()` for the level-decay benchmark.
+///
+/// Hot-path layout: solution membership and element coverage are dense
+/// bitsets (one indexed load per edge) rather than hash probes; the
+/// meter still charges the same per-item word costs as before, since
+/// the information carried is unchanged (see util/memory_meter.h on
+/// container overhead).
 class KkAlgorithm : public StreamingSetCoverAlgorithm {
  public:
   explicit KkAlgorithm(uint64_t seed, KkParams params = {});
@@ -44,6 +50,7 @@ class KkAlgorithm : public StreamingSetCoverAlgorithm {
   std::string Name() const override { return "kk"; }
   void Begin(const StreamMetadata& meta) override;
   void ProcessEdge(const Edge& edge) override;
+  void ProcessEdgeBatch(std::span<const Edge> edges) override;
   CoverSolution Finalize() override;
   const MemoryMeter& Meter() const override { return meter_; }
   void EncodeState(StateEncoder* encoder) const override;
@@ -61,6 +68,7 @@ class KkAlgorithm : public StreamingSetCoverAlgorithm {
 
  private:
   void MaybeInclude(SetId s, uint32_t level);
+  inline void ProcessEdgeImpl(const Edge& edge);
 
   uint64_t seed_;
   KkParams params_;
@@ -71,8 +79,8 @@ class KkAlgorithm : public StreamingSetCoverAlgorithm {
   std::vector<uint32_t> uncovered_degree_;  // d(S), m words
   std::vector<SetId> first_set_;            // R(u), n words
   std::vector<SetId> certificate_;          // C(u), n words
-  std::vector<bool> covered_;               // U, n bits
-  std::unordered_set<SetId> in_solution_;
+  DynamicBitset covered_;                   // U, n bits
+  DynamicBitset in_solution_;               // membership, m bits
   std::vector<SetId> solution_order_;
 
   MemoryMeter meter_;

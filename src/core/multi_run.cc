@@ -9,16 +9,24 @@ namespace setcover {
 
 CoverSolution BestOfRuns(const AlgorithmFactory& factory, uint32_t runs,
                          uint64_t seed, const EdgeStream& stream,
-                         size_t* total_peak_words) {
+                         size_t* total_peak_words, unsigned threads) {
+  std::vector<CoverSolution> candidates(runs);
+  std::vector<size_t> peaks(runs, 0);
+  ThreadPool pool(std::min<size_t>(threads, runs));
+  pool.RunIndexed(runs, [&](size_t r) {
+    auto algorithm = factory(seed + r);
+    candidates[r] = RunStream(*algorithm, stream);
+    peaks[r] = algorithm->Meter().PeakWords();
+  });
+  // Sequential ascending pick: identical winner (ties break to the
+  // lowest run index) no matter how the runs were scheduled.
   CoverSolution best;
   bool have_best = false;
   size_t peak_sum = 0;
   for (uint32_t r = 0; r < runs; ++r) {
-    auto algorithm = factory(seed + r);
-    CoverSolution candidate = RunStream(*algorithm, stream);
-    peak_sum += algorithm->Meter().PeakWords();
-    if (!have_best || candidate.cover.size() < best.cover.size()) {
-      best = std::move(candidate);
+    peak_sum += peaks[r];
+    if (!have_best || candidates[r].cover.size() < best.cover.size()) {
+      best = std::move(candidates[r]);
       have_best = true;
     }
   }
@@ -26,9 +34,10 @@ CoverSolution BestOfRuns(const AlgorithmFactory& factory, uint32_t runs,
   return best;
 }
 
-NGuessRandomOrder::NGuessRandomOrder(uint64_t seed,
-                                     RandomOrderParams params)
+NGuessRandomOrder::NGuessRandomOrder(uint64_t seed, RandomOrderParams params,
+                                     unsigned threads)
     : seed_(seed), params_(params) {
+  if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
   total_words_ = meter_.Register("all_guesses");
 }
 
@@ -109,12 +118,48 @@ void NGuessRandomOrder::ProcessEdge(const Edge& edge) {
   if ((++edges_seen_ & 0xFFF) == 0) RefreshMeter();
 }
 
+void NGuessRandomOrder::ProcessEdgeBatch(std::span<const Edge> edges) {
+  // The per-edge path refreshes the composite meter whenever
+  // edges_seen_ crosses a multiple of 4096, and the peak it records
+  // depends on observing those exact states. Split the batch at the
+  // same boundaries so every refresh happens at an identical
+  // edges_seen_ — bit-identical meter peaks at any batch size. Within
+  // a segment the guesses are independent (own Rng, own meter), so
+  // they fan out across the pool when one is configured.
+  while (!edges.empty()) {
+    const size_t to_boundary = 0x1000 - (edges_seen_ & 0xFFF);
+    std::span<const Edge> segment =
+        edges.subspan(0, std::min(to_boundary, edges.size()));
+    if (pool_ && runs_.size() > 1) {
+      pool_->RunIndexed(runs_.size(), [&](size_t i) {
+        runs_[i]->ProcessEdgeBatch(segment);
+      });
+    } else {
+      for (auto& run : runs_) run->ProcessEdgeBatch(segment);
+    }
+    edges_seen_ += segment.size();
+    if ((edges_seen_ & 0xFFF) == 0) RefreshMeter();
+    edges = edges.subspan(segment.size());
+  }
+}
+
 CoverSolution NGuessRandomOrder::Finalize() {
   RefreshMeter();
+  std::vector<CoverSolution> candidates(runs_.size());
+  if (pool_ && runs_.size() > 1) {
+    pool_->RunIndexed(runs_.size(), [&](size_t i) {
+      candidates[i] = runs_[i]->Finalize();
+    });
+  } else {
+    for (size_t i = 0; i < runs_.size(); ++i) {
+      candidates[i] = runs_[i]->Finalize();
+    }
+  }
+  // Sequential ascending pick: ties break to the lowest guess index
+  // regardless of scheduling.
   CoverSolution best;
   bool have_best = false;
-  for (auto& run : runs_) {
-    CoverSolution candidate = run->Finalize();
+  for (auto& candidate : candidates) {
     if (!have_best || candidate.cover.size() < best.cover.size()) {
       best = std::move(candidate);
       have_best = true;

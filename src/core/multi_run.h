@@ -7,12 +7,15 @@
 
 #include "core/random_order.h"
 #include "core/streaming_algorithm.h"
+#include "util/thread_pool.h"
 
 namespace setcover {
 
 /// Creates a fresh algorithm instance seeded with `seed`. Used by the
 /// amplification helpers and the communication reduction, which need to
 /// instantiate (or deterministically replay) algorithms on demand.
+/// When a multi-run driver is given `threads > 1` the factory is called
+/// concurrently and must be thread-safe (plain constructor calls are).
 using AlgorithmFactory =
     std::function<std::unique_ptr<StreamingSetCoverAlgorithm>(uint64_t seed)>;
 
@@ -22,9 +25,15 @@ using AlgorithmFactory =
 /// becomes 1 - 1/(4m) with O(log m) parallel copies, at the cost of a
 /// log m space factor. If `total_peak_words` is non-null it receives the
 /// summed peak space across copies (the honest cost of amplification).
+///
+/// `threads > 1` executes the copies on a ThreadPool. Every copy owns
+/// its seeded Rng (seed + r) and the winner is picked by a sequential
+/// ascending scan, so the result — cover, certificate, and peak sum —
+/// is bit-identical at any thread count.
 CoverSolution BestOfRuns(const AlgorithmFactory& factory, uint32_t runs,
                          uint64_t seed, const EdgeStream& stream,
-                         size_t* total_peak_words = nullptr);
+                         size_t* total_peak_words = nullptr,
+                         unsigned threads = 1);
 
 /// Algorithm 1 without the known-N assumption: the parallel-guess
 /// wrapper of paper §4.1. The stream length satisfies m/√n <= N <= m·n,
@@ -32,13 +41,21 @@ CoverSolution BestOfRuns(const AlgorithmFactory& factory, uint32_t runs,
 /// executes Algorithm 1 with that assumed N, and Finalize returns the
 /// smallest cover. Space is the sum over runs — the log-factor the
 /// paper absorbs into Õ(m/√n).
+///
+/// With `threads > 1`, ProcessEdgeBatch and Finalize distribute the
+/// guesses over a ThreadPool. The guesses never share mutable state
+/// (each owns its Rng and meter), and the composite meter is refreshed
+/// at the same edges_seen_ boundaries as the per-edge path, so outputs
+/// and meter peaks are bit-identical at any thread count.
 class NGuessRandomOrder : public StreamingSetCoverAlgorithm {
  public:
-  explicit NGuessRandomOrder(uint64_t seed, RandomOrderParams params = {});
+  explicit NGuessRandomOrder(uint64_t seed, RandomOrderParams params = {},
+                             unsigned threads = 1);
 
   std::string Name() const override { return "random-order-nguess"; }
   void Begin(const StreamMetadata& meta) override;
   void ProcessEdge(const Edge& edge) override;
+  void ProcessEdgeBatch(std::span<const Edge> edges) override;
   CoverSolution Finalize() override;
   const MemoryMeter& Meter() const override { return meter_; }
 
@@ -53,11 +70,17 @@ class NGuessRandomOrder : public StreamingSetCoverAlgorithm {
   /// Number of parallel guesses in the current run.
   size_t NumGuesses() const { return runs_.size(); }
 
+  /// Parallelism applied across guesses (1 = sequential).
+  unsigned Threads() const {
+    return pool_ ? static_cast<unsigned>(pool_->ThreadCount()) + 1 : 1;
+  }
+
  private:
   void RefreshMeter();
 
   uint64_t seed_;
   RandomOrderParams params_;
+  std::unique_ptr<ThreadPool> pool_;  // null when threads <= 1
   std::vector<std::unique_ptr<RandomOrderAlgorithm>> runs_;
   std::vector<StreamMetadata> guessed_metas_;
   size_t edges_seen_ = 0;

@@ -170,11 +170,11 @@ void RandomOrderAlgorithm::Begin(const StreamMetadata& meta) {
     epoch0_degree_.assign(meta.num_elements, 0);
     epoch0_sketch_.reset();
   }
-  in_solution_.clear();
+  in_solution_ = DynamicBitset(meta.num_sets);
   solution_order_.clear();
-  tracked_.clear();
-  tracked_next_.clear();
-  tracking_counts_.clear();
+  tracked_.Assign(meta.num_sets);
+  tracked_next_.Assign(meta.num_sets);
+  tracking_counts_.Assign(meta.num_elements);
   batch_counters_.assign(batch_size_, 0);
   stats_ = RandomOrderStats{};
   cur_epoch_stats_ = RandomOrderEpochStats{};
@@ -214,7 +214,7 @@ void RandomOrderAlgorithm::AddToSolution(SetId s) {
   // R(u)) is at least as good, so further additions are pointless and
   // would only grow the state.
   if (solution_order_.size() >= meta_.num_elements) return;
-  if (in_solution_.insert(s).second) {
+  if (in_solution_.Set(s)) {
     solution_order_.push_back(s);
     meter_.Add(solution_words_, 2);
   }
@@ -224,9 +224,9 @@ void RandomOrderAlgorithm::StartAlgorithm(uint32_t i) {
   if (i > num_algorithms_ || main_remaining_ == 0) {
     phase_ = Phase::kTail;
     // Release the main-loop structures.
-    tracked_.clear();
-    tracked_next_.clear();
-    tracking_counts_.clear();
+    tracked_.ClearAll();
+    tracked_next_.ClearAll();
+    tracking_counts_.ClearAll();
     batch_counters_.clear();
     meter_.Set(tracked_words_, 0);
     meter_.Set(tracking_counts_words_, 0);
@@ -237,24 +237,24 @@ void RandomOrderAlgorithm::StartAlgorithm(uint32_t i) {
   cur_algorithm_ = i;
   cur_epoch_ = 1;
   // Line 10: fresh tracking sample Q̃ at rate q_0.
-  tracked_.clear();
+  tracked_.ClearAll();
   cur_tracked_rate_ = TrackingRate(0);
   for (SetId s = 0; s < meta_.num_sets; ++s) {
-    if (rng_.Bernoulli(cur_tracked_rate_)) tracked_.insert(s);
+    if (rng_.Bernoulli(cur_tracked_rate_)) tracked_.Insert(s);
   }
-  meter_.Set(tracked_words_, 2 * tracked_.size());
+  meter_.Set(tracked_words_, 2 * tracked_.Size());
   StartEpoch();
 }
 
 void RandomOrderAlgorithm::StartEpoch() {
-  tracked_next_.clear();
-  tracking_counts_.clear();
+  tracked_next_.ClearAll();
+  tracking_counts_.ClearAll();
   meter_.Set(tracking_counts_words_, 0);
-  meter_.Set(tracked_words_, 2 * tracked_.size());
+  meter_.Set(tracked_words_, 2 * tracked_.Size());
   cur_epoch_stats_ = RandomOrderEpochStats{};
   cur_epoch_stats_.algorithm_index = cur_algorithm_;
   cur_epoch_stats_.epoch = cur_epoch_;
-  cur_epoch_stats_.tracked_sets = tracked_.size();
+  cur_epoch_stats_.tracked_sets = tracked_.Size();
   cur_batch_ = 0;
   StartSubepoch();
 }
@@ -270,17 +270,17 @@ void RandomOrderAlgorithm::EndEpoch() {
   double tau = MarkThreshold();
   if (tau >= params_.min_mark_threshold) {
     cur_epoch_stats_.mark_threshold = tau;
-    for (const auto& [u, count] : tracking_counts_) {
+    tracking_counts_.ForEach([&](uint32_t u, const uint32_t& count) {
       if (double(count) >= tau && !marked_.Test(u)) {
         marked_.Set(u);
         ++cur_epoch_stats_.optimistically_marked;
       }
-    }
+    });
   }
   stats_.epochs.push_back(cur_epoch_stats_);
   // Line 32: rotate the tracking sample.
-  tracked_ = std::move(tracked_next_);
-  tracked_next_.clear();
+  swap(tracked_, tracked_next_);
+  tracked_next_.ClearAll();
   cur_tracked_rate_ = TrackingRate(cur_epoch_);
 }
 
@@ -323,7 +323,7 @@ void RandomOrderAlgorithm::Advance() {
   }
 }
 
-void RandomOrderAlgorithm::ProcessEdge(const Edge& edge) {
+inline void RandomOrderAlgorithm::ProcessEdgeImpl(const Edge& edge) {
   const SetId s = edge.set;
   const ElementId u = edge.element;
   // Line 4: remember the first covering set for patching.
@@ -331,7 +331,7 @@ void RandomOrderAlgorithm::ProcessEdge(const Edge& edge) {
 
   // Lines 20-21 / 34-36: sets already in the solution witness their
   // elements in every phase.
-  if (in_solution_.count(s) != 0) {
+  if (in_solution_.Test(s)) {
     marked_.Set(u);
     if (witness_[u] == kNoSet) {
       witness_[u] = s;
@@ -367,9 +367,9 @@ void RandomOrderAlgorithm::ProcessEdge(const Edge& edge) {
     }
   } else if (phase_ == Phase::kMain) {
     // Lines 24-25: track edges incident to the sampled special sets.
-    if (tracked_.count(s) != 0) {
-      auto [it, inserted] = tracking_counts_.try_emplace(u, 0);
-      ++it->second;
+    if (tracked_.Contains(s)) {
+      auto [count, inserted] = tracking_counts_.Slot(u);
+      ++count;
       if (inserted) meter_.Add(tracking_counts_words_, 2);
       ++cur_epoch_stats_.tracked_edges;
     }
@@ -385,7 +385,7 @@ void RandomOrderAlgorithm::ProcessEdge(const Edge& edge) {
           stats_.additions.push_back({s, position_});
         }
         if (rng_.Bernoulli(TrackingRate(cur_epoch_))) {
-          if (tracked_next_.insert(s).second) {
+          if (tracked_next_.Insert(s)) {
             meter_.Add(tracked_words_, 2);
             ++cur_epoch_stats_.sampled_for_tracking;
           }
@@ -394,6 +394,17 @@ void RandomOrderAlgorithm::ProcessEdge(const Edge& edge) {
     }
   }
   Advance();
+}
+
+void RandomOrderAlgorithm::ProcessEdge(const Edge& edge) {
+  ProcessEdgeImpl(edge);
+}
+
+void RandomOrderAlgorithm::ProcessEdgeBatch(std::span<const Edge> edges) {
+  // Same per-edge rule, minus one virtual dispatch per edge. The phase
+  // cursor advances inside the impl, so mid-batch phase transitions
+  // behave exactly as in the per-edge path.
+  for (const Edge& e : edges) ProcessEdgeImpl(e);
 }
 
 CoverSolution RandomOrderAlgorithm::Finalize() {
@@ -413,7 +424,7 @@ CoverSolution RandomOrderAlgorithm::Finalize() {
     if (solution.certificate[u] == kNoSet && first_set_[u] != kNoSet) {
       solution.certificate[u] = first_set_[u];
       stats_.patched_elements.push_back(u);
-      if (in_solution_.insert(first_set_[u]).second) {
+      if (in_solution_.Set(first_set_[u])) {
         solution.cover.push_back(first_set_[u]);
         ++stats_.patched;
       }
@@ -433,9 +444,9 @@ size_t RandomOrderAlgorithm::StateWords() const {
   words += 1;  // sketch presence flag
   if (epoch0_sketch_ != nullptr) words += epoch0_sketch_->EncodedWords();
   words += EncodedU32VectorWords(solution_order_.size());
-  words += EncodedSetWords(tracked_.size());
-  words += EncodedSetWords(tracked_next_.size());
-  words += EncodedMapWords(tracking_counts_.size());
+  words += EncodedSetWords(tracked_.Size());
+  words += EncodedSetWords(tracked_next_.Size());
+  words += EncodedMapWords(tracking_counts_.Size());
   words += EncodedU32VectorWords(batch_counters_.size());
   return words;
 }
@@ -466,9 +477,9 @@ void RandomOrderAlgorithm::EncodeState(StateEncoder* encoder) const {
   encoder->PutWord(epoch0_sketch_ != nullptr ? 1 : 0);
   if (epoch0_sketch_ != nullptr) epoch0_sketch_->EncodeTo(encoder);
   encoder->PutU32Vector(solution_order_);
-  encoder->PutSet(tracked_);
-  encoder->PutSet(tracked_next_);
-  encoder->PutMap(tracking_counts_);
+  encoder->PutSortedIds(tracked_.SortedIds());
+  encoder->PutSortedIds(tracked_next_.SortedIds());
+  encoder->PutSortedPairs(tracking_counts_.SortedEntries());
   encoder->PutU32Vector(batch_counters_);
 }
 
@@ -504,7 +515,21 @@ bool RandomOrderAlgorithm::DecodeState(
   auto tracked_next = decoder.GetSet();
   auto tracking_counts = decoder.GetMap();
   std::vector<uint32_t> batch_counters = decoder.GetU32Vector();
-  if (!decoder.Done() || !sketch_ok || has_sketch > 1 ||
+  // Dense state is indexed by id, so every id must be range-checked
+  // before it is trusted (the hash containers used to tolerate junk);
+  // the batch-counter size check also closes a latent out-of-bounds
+  // write in ProcessEdge on forged messages.
+  bool ids_ok = true;
+  for (uint32_t s : solution) ids_ok = ids_ok && s < meta.num_sets;
+  for (uint32_t s : tracked) ids_ok = ids_ok && s < meta.num_sets;
+  for (uint32_t s : tracked_next) ids_ok = ids_ok && s < meta.num_sets;
+  for (const auto& [u, c] : tracking_counts)
+    ids_ok = ids_ok && u < meta.num_elements;
+  for (uint32_t s : first_set)
+    ids_ok = ids_ok && (s == kNoSet || s < meta.num_sets);
+  ids_ok = ids_ok &&
+           (batch_counters.empty() || batch_counters.size() == batch_size_);
+  if (!decoder.Done() || !sketch_ok || has_sketch > 1 || !ids_ok ||
       marked.size() != meta.num_elements ||
       first_set.size() != meta.num_elements ||
       witness.size() != meta.num_elements || phase > 2) {
@@ -528,11 +553,14 @@ bool RandomOrderAlgorithm::DecodeState(
   witness_ = std::move(witness);
   epoch0_degree_ = std::move(epoch0_degree);
   solution_order_ = std::move(solution);
-  in_solution_.clear();
-  for (SetId s : solution_order_) in_solution_.insert(s);
-  tracked_ = std::move(tracked);
-  tracked_next_ = std::move(tracked_next);
-  tracking_counts_ = std::move(tracking_counts);
+  in_solution_ = DynamicBitset(meta.num_sets);
+  for (SetId s : solution_order_) in_solution_.Set(s);
+  tracked_.ClearAll();
+  for (SetId s : tracked) tracked_.Insert(s);
+  tracked_next_.ClearAll();
+  for (SetId s : tracked_next) tracked_next_.Insert(s);
+  tracking_counts_.ClearAll();
+  for (const auto& [u, c] : tracking_counts) tracking_counts_.Slot(u).first = c;
   batch_counters_ = std::move(batch_counters);
   // Restore meter components to the decoded sizes; instrumentation
   // stats are not part of the forwarded message and restart empty.
@@ -545,8 +573,8 @@ bool RandomOrderAlgorithm::DecodeState(
                  ? epoch0_sketch_->WordsUsed()
                  : size_t{meta.num_elements});
   meter_.Set(solution_words_, 2 * solution_order_.size());
-  meter_.Set(tracked_words_, 2 * (tracked_.size() + tracked_next_.size()));
-  meter_.Set(tracking_counts_words_, 2 * tracking_counts_.size());
+  meter_.Set(tracked_words_, 2 * (tracked_.Size() + tracked_next_.Size()));
+  meter_.Set(tracking_counts_words_, 2 * tracking_counts_.Size());
   meter_.Set(batch_counter_words_, batch_counters_.size());
   stats_ = RandomOrderStats{};
   cur_epoch_stats_ = RandomOrderEpochStats{};

@@ -3,14 +3,13 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
-#include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "core/streaming_algorithm.h"
 #include "util/bitset.h"
 #include "util/count_min.h"
+#include "util/epoch_array.h"
 #include "util/memory_meter.h"
 #include "util/rng.h"
 #include "util/types.h"
@@ -182,6 +181,7 @@ class RandomOrderAlgorithm : public StreamingSetCoverAlgorithm {
   std::string Name() const override { return "random-order"; }
   void Begin(const StreamMetadata& meta) override;
   void ProcessEdge(const Edge& edge) override;
+  void ProcessEdgeBatch(std::span<const Edge> edges) override;
   CoverSolution Finalize() override;
   const MemoryMeter& Meter() const override { return meter_; }
   void EncodeState(StateEncoder* encoder) const override;
@@ -201,6 +201,7 @@ class RandomOrderAlgorithm : public StreamingSetCoverAlgorithm {
  private:
   enum class Phase { kEpoch0, kMain, kTail };
 
+  inline void ProcessEdgeImpl(const Edge& edge);
   void AddToSolution(SetId s);
   void StartAlgorithm(uint32_t i);  // sample fresh Q̃ (line 10)
   void StartEpoch();                // reset T, Q̃' (lines 13-14)
@@ -244,13 +245,17 @@ class RandomOrderAlgorithm : public StreamingSetCoverAlgorithm {
   std::unique_ptr<CountMinSketch> epoch0_sketch_;
 
   // Solution.
-  std::unordered_set<SetId> in_solution_;
+  DynamicBitset in_solution_;
   std::vector<SetId> solution_order_;
 
-  // Tracking machinery (Õ(m/√n)).
-  std::unordered_set<SetId> tracked_;       // Q̃
-  std::unordered_set<SetId> tracked_next_;  // Q̃'
-  std::unordered_map<ElementId, uint32_t> tracking_counts_;  // T
+  // Tracking machinery — Õ(m/√n) *live entries* (what the meter and
+  // EncodeState carry), held in epoch-stamped dense containers so the
+  // per-edge membership probe is one indexed load and the per-epoch
+  // reset is O(1) (see util/epoch_array.h on why the dense stamps are
+  // unmetered container overhead).
+  EpochSet tracked_;                        // Q̃
+  EpochSet tracked_next_;                   // Q̃'
+  EpochArray<uint32_t> tracking_counts_;    // T
   std::vector<uint32_t> batch_counters_;    // C[·] for the live batch
 
   RandomOrderStats stats_;

@@ -49,7 +49,8 @@ std::unique_ptr<StreamingSetCoverAlgorithm> MakeAlgorithmByName(
         options.seed, RandomOrderParams::PaperFaithful());
   }
   if (name == "random-order-nguess") {
-    return std::make_unique<NGuessRandomOrder>(options.seed);
+    return std::make_unique<NGuessRandomOrder>(
+        options.seed, RandomOrderParams{}, options.threads);
   }
   if (name == "element-sampling") {
     ElementSamplingParams params;

@@ -16,6 +16,10 @@ struct AlgorithmOptions {
   /// Target approximation factor α for adversarial-level /
   /// element-sampling (0 = each algorithm's default).
   double alpha = 0.0;
+  /// Parallelism for multi-run algorithms (random-order-nguess fans its
+  /// guesses out across this many threads). Results are bit-identical
+  /// at any value; 1 = sequential. Single-run algorithms ignore it.
+  unsigned threads = 1;
 };
 
 /// Names accepted by MakeAlgorithmByName, in presentation order:

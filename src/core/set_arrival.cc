@@ -59,6 +59,12 @@ void SetArrivalThreshold::ProcessEdge(const Edge& edge) {
   }
 }
 
+void SetArrivalThreshold::ProcessEdgeBatch(std::span<const Edge> edges) {
+  // Runs may straddle batch boundaries; ProcessEdge's run detection is
+  // purely sequential state, so a plain loop is already exact.
+  for (const Edge& e : edges) ProcessEdge(e);
+}
+
 void SetArrivalThreshold::EncodeState(StateEncoder* encoder) const {
   encoder->PutWord(current_set_);
   encoder->PutU32Vector(run_uncovered_);

@@ -34,6 +34,7 @@ class SetArrivalThreshold : public StreamingSetCoverAlgorithm {
   std::string Name() const override { return "set-arrival-threshold"; }
   void Begin(const StreamMetadata& meta) override;
   void ProcessEdge(const Edge& edge) override;
+  void ProcessEdgeBatch(std::span<const Edge> edges) override;
   CoverSolution Finalize() override;
   const MemoryMeter& Meter() const override { return meter_; }
   void EncodeState(StateEncoder* encoder) const override;

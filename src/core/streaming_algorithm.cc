@@ -1,0 +1,37 @@
+#include "core/streaming_algorithm.h"
+
+#include <cassert>
+
+namespace setcover {
+
+void ProcessBatchCheckedForEquivalence(StreamingSetCoverAlgorithm& algorithm,
+                                       const StreamMetadata& meta,
+                                       std::span<const Edge> edges) {
+  StateEncoder before;
+  algorithm.EncodeState(&before);
+  if (before.SizeWords() == 0) {
+    // No state serialization: the batch/per-edge comparison needs a
+    // rewind, so just process normally.
+    algorithm.ProcessEdgeBatch(edges);
+    return;
+  }
+  algorithm.ProcessEdgeBatch(edges);
+  StateEncoder batched;
+  algorithm.EncodeState(&batched);
+
+  const bool rewound = algorithm.DecodeState(meta, before.Words());
+  assert(rewound &&
+         "state written by EncodeState must round-trip through "
+         "DecodeState");
+  if (!rewound) return;  // unreachable under assert; keep state sane
+  for (const Edge& e : edges) algorithm.ProcessEdge(e);
+  StateEncoder per_edge;
+  algorithm.EncodeState(&per_edge);
+  assert(batched.Words() == per_edge.Words() &&
+         "ProcessEdgeBatch must leave state bit-identical to the "
+         "per-edge path");
+  (void)batched;
+  (void)per_edge;
+}
+
+}  // namespace setcover

@@ -1,6 +1,8 @@
 #ifndef SETCOVER_CORE_STREAMING_ALGORITHM_H_
 #define SETCOVER_CORE_STREAMING_ALGORITHM_H_
 
+#include <algorithm>
+#include <span>
 #include <string>
 
 #include "instance/instance.h"
@@ -39,6 +41,21 @@ class StreamingSetCoverAlgorithm {
   /// Consumes the next stream item.
   virtual void ProcessEdge(const Edge& edge) = 0;
 
+  /// Consumes a contiguous batch of stream items — semantically exactly
+  /// `for (e : edges) ProcessEdge(e)`, which is what this default does.
+  /// Hot algorithms override it with a tight non-virtual loop: the
+  /// per-edge virtual dispatch the default pays is the single largest
+  /// fixed cost at streaming rates. Overrides may reorder *internal*
+  /// work (prefetching, counter batching) but must leave the algorithm
+  /// in a state bit-identical to the per-edge path — same coins drawn
+  /// in the same order, same EncodeState words, same meter values.
+  /// RunStream spot-checks this invariant in debug builds and
+  /// batch_equivalence_test enforces it for every registered algorithm
+  /// at several batch shapes.
+  virtual void ProcessEdgeBatch(std::span<const Edge> edges) {
+    for (const Edge& e : edges) ProcessEdge(e);
+  }
+
   /// Ends the stream and returns the cover plus certificate.
   virtual CoverSolution Finalize() = 0;
 
@@ -52,8 +69,11 @@ class StreamingSetCoverAlgorithm {
   /// Encoded*Words helpers in util/serialize.h); serialize_test checks
   /// the override against a real encode. This default performs a full
   /// encode and is only acceptable for algorithms outside those
-  /// experiments, falling back to the metered working set when
-  /// EncodeState is unimplemented.
+  /// experiments. An implemented EncodeState always writes at least one
+  /// word (every field carries a length prefix), so a zero-word encode
+  /// means the no-op default below — only then does this fall back to
+  /// the metered working set, as an order-of-magnitude stand-in rather
+  /// than an exact message size.
   virtual size_t StateWords() const {
     StateEncoder encoder;
     EncodeState(&encoder);
@@ -84,11 +104,46 @@ class StreamingSetCoverAlgorithm {
   }
 };
 
-/// Feeds a whole materialized stream through `algorithm` and finalizes.
+/// Edges per ProcessEdgeBatch call used by every batched driver
+/// (RunStream, RunSupervisor, RunStreamFromFile). Equal to the stream
+/// file v2 chunk capacity (stream/stream_file.h), so checkpoint
+/// positions and on-disk chunk boundaries stay aligned with batch
+/// boundaries — a checkpoint is only ever taken between batches.
+inline constexpr size_t kIngestBatchEdges = 4096;
+
+/// Debug-build invariant check (satellite of the batch API contract):
+/// processes `edges` through the virtual ProcessEdgeBatch, then rewinds
+/// via EncodeState/DecodeState and replays the same edges through the
+/// per-edge path, asserting the two leave bit-identical encoded state.
+/// Skipped for algorithms whose state does not round-trip (no
+/// EncodeState). The rewind re-bases the memory meter's peak, so debug
+/// builds may report a slightly different first-batch peak; release
+/// builds (NDEBUG) never call this.
+void ProcessBatchCheckedForEquivalence(StreamingSetCoverAlgorithm& algorithm,
+                                       const StreamMetadata& meta,
+                                       std::span<const Edge> edges);
+
+/// Feeds a whole materialized stream through `algorithm` in
+/// kIngestBatchEdges-sized batches and finalizes.
 inline CoverSolution RunStream(StreamingSetCoverAlgorithm& algorithm,
                                const EdgeStream& stream) {
   algorithm.Begin(stream.meta);
-  for (const Edge& e : stream.edges) algorithm.ProcessEdge(e);
+  std::span<const Edge> edges(stream.edges);
+  for (size_t offset = 0; offset < edges.size();
+       offset += kIngestBatchEdges) {
+    std::span<const Edge> batch =
+        edges.subspan(offset, std::min(kIngestBatchEdges,
+                                       edges.size() - offset));
+#ifndef NDEBUG
+    if (offset == 0) {
+      // Spot-check the batch/per-edge equivalence contract on the first
+      // batch of every debug-build run; cheap relative to the stream.
+      ProcessBatchCheckedForEquivalence(algorithm, stream.meta, batch);
+      continue;
+    }
+#endif
+    algorithm.ProcessEdgeBatch(batch);
+  }
   return algorithm.Finalize();
 }
 

@@ -20,6 +20,7 @@ class FirstSetPatching : public StreamingSetCoverAlgorithm {
   std::string Name() const override { return "first-set-patching"; }
   void Begin(const StreamMetadata& meta) override;
   void ProcessEdge(const Edge& edge) override;
+  void ProcessEdgeBatch(std::span<const Edge> edges) override;
   CoverSolution Finalize() override;
   const MemoryMeter& Meter() const override { return meter_; }
   void EncodeState(StateEncoder* encoder) const override;
@@ -45,6 +46,7 @@ class StoreEverythingGreedy : public StreamingSetCoverAlgorithm {
   std::string Name() const override { return "store-everything-greedy"; }
   void Begin(const StreamMetadata& meta) override;
   void ProcessEdge(const Edge& edge) override;
+  void ProcessEdgeBatch(std::span<const Edge> edges) override;
   CoverSolution Finalize() override;
   const MemoryMeter& Meter() const override { return meter_; }
   void EncodeState(StateEncoder* encoder) const override;

@@ -66,12 +66,29 @@ RunReport RunSupervisor::Run(StreamingSetCoverAlgorithm& algorithm,
   uint64_t delivered_this_run = 0;
   ExponentialBackoff retry(options_.backoff);
 
+  // Batched ingestion: edges accumulate with the same per-edge fault
+  // handling as before, and flush through ProcessEdgeBatch. Batches are
+  // capped so that every observable boundary of the per-edge loop —
+  // checkpoint positions (edges_delivered % checkpoint_every == 0),
+  // the stop_after kill point, and end-of-stream — falls exactly on a
+  // flush, so checkpoints, reports and the algorithm's state are
+  // bit-identical to the per-edge supervisor.
   Edge edge;
+  std::vector<Edge> batch;
+  batch.reserve(kIngestBatchEdges);
+  auto flush = [&] {
+    if (batch.empty()) return;
+    algorithm.ProcessEdgeBatch(std::span<const Edge>(batch));
+    report.edges_delivered += batch.size();
+    delivered_this_run += batch.size();
+    batch.clear();
+  };
   for (;;) {
     if (options_.stop_after != 0 &&
-        delivered_this_run >= options_.stop_after) {
+        delivered_this_run + batch.size() >= options_.stop_after) {
       // Simulated kill: walk away mid-stream. The last checkpoint on
       // disk is exactly what a real crash would leave behind.
+      flush();
       report.uncovered_elements = 0;
       return report;
     }
@@ -95,32 +112,36 @@ RunReport RunSupervisor::Run(StreamingSetCoverAlgorithm& algorithm,
       continue;
     }
 
-    algorithm.ProcessEdge(edge);
-    ++report.edges_delivered;
-    ++delivered_this_run;
+    batch.push_back(edge);
+    const uint64_t logical_delivered = report.edges_delivered + batch.size();
 
     if (checkpointing &&
-        report.edges_delivered % options_.checkpoint_every == 0 &&
-        !source.HasPendingReplay()) {
-      StateEncoder encoder;
-      algorithm.EncodeState(&encoder);
-      Checkpoint checkpoint;
-      checkpoint.algorithm_name = algorithm.Name();
-      checkpoint.meta = meta;
-      checkpoint.stream_position = source.Position();
-      checkpoint.edges_delivered = report.edges_delivered;
-      checkpoint.transient_retries = report.transient_retries;
-      checkpoint.corrupt_skipped = report.corrupt_records_skipped;
-      checkpoint.faults_survived = report.faults_survived;
-      checkpoint.state_words = encoder.Words();
-      std::string error;
-      if (!SaveCheckpoint(checkpoint, options_.checkpoint_path, &error)) {
-        report.error = error;
-        return report;
+        logical_delivered % options_.checkpoint_every == 0) {
+      flush();
+      if (!source.HasPendingReplay()) {
+        StateEncoder encoder;
+        algorithm.EncodeState(&encoder);
+        Checkpoint checkpoint;
+        checkpoint.algorithm_name = algorithm.Name();
+        checkpoint.meta = meta;
+        checkpoint.stream_position = source.Position();
+        checkpoint.edges_delivered = report.edges_delivered;
+        checkpoint.transient_retries = report.transient_retries;
+        checkpoint.corrupt_skipped = report.corrupt_records_skipped;
+        checkpoint.faults_survived = report.faults_survived;
+        checkpoint.state_words = encoder.Words();
+        std::string error;
+        if (!SaveCheckpoint(checkpoint, options_.checkpoint_path, &error)) {
+          report.error = error;
+          return report;
+        }
+        ++report.checkpoints_written;
       }
-      ++report.checkpoints_written;
+    } else if (batch.size() >= kIngestBatchEdges) {
+      flush();
     }
   }
+  flush();
 
   if (source.Truncated()) report.degraded = true;
   report.solution = algorithm.Finalize();

@@ -12,6 +12,11 @@ constexpr char kMagic[4] = {'S', 'C', 'E', 'S'};
 constexpr uint32_t kVersionV1 = 1;
 constexpr uint32_t kVersionV2 = 2;
 constexpr size_t kChunkEdges = 4096;
+// The ingestion batch size is pinned to the on-disk chunk capacity so
+// batched drivers flush exactly once per chunk and checkpoint positions
+// stay aligned with chunk boundaries.
+static_assert(kChunkEdges == kIngestBatchEdges,
+              "stream-file chunk capacity must match kIngestBatchEdges");
 // magic + version + m + n + N [+ header_crc in v2].
 constexpr long kHeaderBytesV1 = 4 + 4 + 4 + 4 + 8;
 constexpr long kHeaderBytesV2 = kHeaderBytesV1 + 4;
@@ -178,6 +183,16 @@ bool StreamFileReader::Next(Edge* edge) {
   return true;
 }
 
+std::span<const Edge> StreamFileReader::NextBatch() {
+  if (checksum_failed_ || edges_read_ >= meta_.stream_length) return {};
+  if (buffer_pos_ >= buffer_.size() && !FillBuffer()) return {};
+  std::span<const Edge> batch(buffer_.data() + buffer_pos_,
+                              buffer_.size() - buffer_pos_);
+  buffer_pos_ = buffer_.size();
+  edges_read_ += batch.size();
+  return batch;
+}
+
 bool StreamFileReader::SeekToEdge(size_t index) {
   if (index > meta_.stream_length) return false;
   buffer_.clear();
@@ -212,8 +227,10 @@ std::optional<CoverSolution> RunStreamFromFile(
   auto reader = StreamFileReader::Open(path, error);
   if (reader == nullptr) return std::nullopt;
   algorithm.Begin(reader->Meta());
-  Edge edge;
-  while (reader->Next(&edge)) algorithm.ProcessEdge(edge);
+  for (std::span<const Edge> batch = reader->NextBatch(); !batch.empty();
+       batch = reader->NextBatch()) {
+    algorithm.ProcessEdgeBatch(batch);
+  }
   return algorithm.Finalize();
 }
 

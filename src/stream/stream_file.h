@@ -61,6 +61,14 @@ class StreamFileReader {
   /// after truncation, or after a checksum failure.
   bool Next(Edge* edge);
 
+  /// Returns the remainder of the current CRC-verified chunk (reading
+  /// the next chunk when the buffer is drained) and advances the cursor
+  /// past it — at most kIngestBatchEdges edges, exactly a chunk when the
+  /// cursor sits on a chunk boundary. Empty at end of stream, after
+  /// truncation, or after a checksum failure. The span aliases the
+  /// internal buffer and is invalidated by the next read or seek.
+  std::span<const Edge> NextBatch();
+
   /// Repositions the cursor so the next Next() yields edge `index`
   /// (0-based; `index` may equal N to position at end). For v2 files
   /// the target chunk is re-read and CRC-verified. Returns false on

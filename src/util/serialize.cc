@@ -46,8 +46,17 @@ void StateEncoder::PutMap(
   std::vector<std::pair<uint32_t, uint32_t>> sorted(values.begin(),
                                                     values.end());
   std::sort(sorted.begin(), sorted.end());
-  words_.push_back(sorted.size());
-  for (const auto& [k, v] : sorted) {
+  PutSortedPairs(sorted);
+}
+
+void StateEncoder::PutSortedIds(const std::vector<uint32_t>& sorted_ids) {
+  PutU32Vector(sorted_ids);
+}
+
+void StateEncoder::PutSortedPairs(
+    const std::vector<std::pair<uint32_t, uint32_t>>& sorted_pairs) {
+  words_.push_back(sorted_pairs.size());
+  for (const auto& [k, v] : sorted_pairs) {
     words_.push_back(uint64_t{k} | (uint64_t{v} << 32));
   }
 }

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 namespace setcover {
@@ -32,6 +33,15 @@ class StateEncoder {
 
   /// Length-prefixed sorted dump of a hash map (key, value pairs).
   void PutMap(const std::unordered_map<uint32_t, uint32_t>& values);
+
+  /// Wire-identical to PutSet, for callers (the dense epoch containers)
+  /// that already hold their ids in ascending order.
+  void PutSortedIds(const std::vector<uint32_t>& sorted_ids);
+
+  /// Wire-identical to PutMap, for callers that already hold their
+  /// (key, value) pairs in ascending key order.
+  void PutSortedPairs(
+      const std::vector<std::pair<uint32_t, uint32_t>>& sorted_pairs);
 
   const std::vector<uint64_t>& Words() const { return words_; }
   size_t SizeWords() const { return words_.size(); }

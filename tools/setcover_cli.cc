@@ -11,13 +11,16 @@
 //             stream-file format (stream/stream_file.h).
 //
 //   solve     --instance instance.txt [--algorithm kk] [--order random]
-//             [--seed S] [--alpha A] [--runs R]
+//             [--seed S] [--alpha A] [--runs R] [--threads T]
 //             Streams the instance through the chosen algorithm and
 //             reports cover size, ratio vs greedy/planted, peak words.
+//             --threads parallelizes the --runs copies (and the guesses
+//             of random-order-nguess); results are bit-identical to
+//             --threads=1.
 //
 //   solve-stream --stream stream.bin [--algorithm kk] [--seed S]
-//             [--checkpoint ckpt.sckp] [--checkpoint-every K] [--resume]
-//             [--stop-after K]
+//             [--threads T] [--checkpoint ckpt.sckp]
+//             [--checkpoint-every K] [--resume] [--stop-after K]
 //             Replays a binary stream file under the run supervisor (no
 //             instance needed; validation is skipped since set contents
 //             are not known without the instance). With --checkpoint the
@@ -174,6 +177,8 @@ int CmdSolve(const FlagSet& flags) {
   std::string order_name = flags.GetString("order", "random");
   uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
   uint32_t runs = static_cast<uint32_t>(flags.GetInt("runs", 1));
+  unsigned threads =
+      static_cast<unsigned>(std::max<int64_t>(1, flags.GetInt("threads", 1)));
 
   std::string error;
   auto instance = ReadInstanceFile(path, &error);
@@ -189,6 +194,7 @@ int CmdSolve(const FlagSet& flags) {
   AlgorithmOptions options;
   options.seed = seed;
   options.alpha = flags.GetDouble("alpha", 0.0);
+  options.threads = threads;
   if (MakeAlgorithmByName(algorithm_name, options) == nullptr) {
     std::fprintf(stderr, "unknown --algorithm=%s (try 'list')\n",
                  algorithm_name.c_str());
@@ -204,8 +210,8 @@ int CmdSolve(const FlagSet& flags) {
     run_options.seed = run_seed;
     return MakeAlgorithmByName(algorithm_name, run_options);
   };
-  CoverSolution solution =
-      BestOfRuns(factory, std::max(1u, runs), seed, stream, &total_peak);
+  CoverSolution solution = BestOfRuns(factory, std::max(1u, runs), seed,
+                                      stream, &total_peak, threads);
 
   ValidationResult check = ValidateSolution(*instance, solution);
   CoverSolution greedy = GreedyCover(*instance);
@@ -274,6 +280,8 @@ int CmdSolveStream(const FlagSet& flags) {
   AlgorithmOptions options;
   options.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
   options.alpha = flags.GetDouble("alpha", 0.0);
+  options.threads =
+      static_cast<unsigned>(std::max<int64_t>(1, flags.GetInt("threads", 1)));
   auto algorithm = MakeAlgorithmByName(algorithm_name, options);
   if (algorithm == nullptr) {
     std::fprintf(stderr, "unknown --algorithm=%s (try 'list')\n",
