@@ -8,10 +8,18 @@
 // use — so these numbers measure the deployed pipeline, not a
 // per-edge-virtual-call strawman. BM_NGuessThreads measures the
 // parallel multi-run driver across thread counts on the same stream.
+//
+// BM_FileReplay measures the on-disk replay path end to end (open →
+// decode → CRC → ProcessEdgeBatch) across the stream-file format and
+// decoder matrix. Row 0 (v2, stdio, synchronous) is the pre-v3
+// pipeline — the baseline the perf gate in scripts/check.sh compares
+// against; v3-mmap-prefetch is the shipping default.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <memory>
+#include <string>
 
 #include "bench/bench_util.h"
 #include "core/adversarial_level.h"
@@ -20,6 +28,7 @@
 #include "core/random_order.h"
 #include "core/set_arrival.h"
 #include "core/trivial.h"
+#include "stream/stream_file.h"
 
 namespace setcover {
 namespace {
@@ -132,6 +141,94 @@ BENCHMARK(BM_NGuessThreads)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime()  // worker threads carry the load; CPU time of the
                      // calling thread alone would fake a speedup
+    ->MinTime(0.5);
+
+struct ReplayConfig {
+  const char* label;
+  StreamFormat format;
+  bool use_mmap;
+  bool prefetch;
+};
+
+constexpr ReplayConfig kReplayConfigs[] = {
+    // Row 0: the pre-v3 read pipeline (buffered stdio, synchronous
+    // decode) over the v2 format — the file-replay baseline.
+    {"file-replay/v2-stdio-sync", StreamFormat::kV2, false, false},
+    {"file-replay/v2-mmap-sync", StreamFormat::kV2, true, false},
+    {"file-replay/v2-mmap-prefetch", StreamFormat::kV2, true, true},
+    {"file-replay/v3-mmap-sync", StreamFormat::kV3, true, false},
+    {"file-replay/v3-mmap-prefetch", StreamFormat::kV3, true, true},
+};
+
+/// The shared stream written once per format, replayed by every
+/// BM_FileReplay row.
+const std::string& ReplayPath(StreamFormat format) {
+  static const std::string v2 = [] {
+    std::string path = "/tmp/setcover_bench_replay_v2.bin";
+    std::string error;
+    if (!WriteStreamFile(SharedStream(), path, StreamFormat::kV2, &error)) {
+      std::fprintf(stderr, "bench: cannot write %s: %s\n", path.c_str(),
+                   error.c_str());
+      std::abort();
+    }
+    return path;
+  }();
+  static const std::string v3 = [] {
+    std::string path = "/tmp/setcover_bench_replay_v3.bin";
+    std::string error;
+    if (!WriteStreamFile(SharedStream(), path, StreamFormat::kV3, &error)) {
+      std::fprintf(stderr, "bench: cannot write %s: %s\n", path.c_str(),
+                   error.c_str());
+      std::abort();
+    }
+    return path;
+  }();
+  return format == StreamFormat::kV3 ? v3 : v2;
+}
+
+uint64_t FileBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return 0;
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fclose(f);
+  return uint64_t(size);
+}
+
+// End-to-end file replay through the cheapest consumer
+// (first-set-patching), so decode/CRC/IO cost dominates and the rows
+// rank the read pipelines rather than the algorithms.
+void BM_FileReplay(benchmark::State& state) {
+  const ReplayConfig& config = kReplayConfigs[state.range(0)];
+  const EdgeStream& stream = SharedStream();
+  const std::string& path = ReplayPath(config.format);
+  StreamReadOptions options;
+  options.use_mmap = config.use_mmap;
+  options.prefetch = config.prefetch;
+
+  for (auto _ : state) {
+    FirstSetPatching algorithm;
+    std::string error;
+    auto solution = RunStreamFromFile(algorithm, path, options, &error);
+    if (!solution.has_value()) {
+      state.SkipWithError(error.c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(solution);
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) *
+                          int64_t(stream.size()));
+  state.SetLabel(config.label);
+  state.counters["stream_edges"] = double(stream.size());
+  state.counters["file_bytes"] = double(FileBytes(path));
+  state.counters["bytes_per_edge"] =
+      double(FileBytes(path)) / double(stream.size());
+}
+
+BENCHMARK(BM_FileReplay)
+    ->DenseRange(0, 4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()  // the prefetch worker carries part of the load
     ->MinTime(0.5);
 
 }  // namespace

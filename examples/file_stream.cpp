@@ -1,8 +1,11 @@
 // File-based streaming pipeline: generate an instance, persist an
-// ordered edge stream to disk in the binary stream-file format, and
-// replay it through two algorithms without ever materializing it in
+// ordered edge stream to disk in the compressed v3 stream-file format,
+// and replay it through two algorithms without ever materializing it in
 // memory again — the deployment shape of a real one-pass system, where
 // the stream source is a log or a message queue rather than a vector.
+// Replay goes through the default read pipeline (mmap + background
+// prefetch decoder); pass StreamReadOptions to RunStreamFromFile to
+// turn either off.
 //
 //   $ ./build/examples/file_stream [work_dir]
 
@@ -17,6 +20,15 @@
 #include "stream/stream_file.h"
 #include "util/rng.h"
 
+static long FileSizeForDisplay(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return 0;
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fclose(f);
+  return size;
+}
+
 int main(int argc, char** argv) {
   using namespace setcover;
   std::string dir = argc > 1 ? argv[1] : "/tmp";
@@ -30,12 +42,15 @@ int main(int argc, char** argv) {
   params.planted_cover_size = 4;
   SetCoverInstance instance = GeneratePlantedCover(params, rng);
   EdgeStream stream = RandomOrderStream(instance, rng);
-  if (!WriteStreamFile(stream, path)) {
-    std::printf("cannot write %s\n", path.c_str());
+  std::string error;
+  if (!WriteStreamFile(stream, path, StreamFormat::kV3, &error)) {
+    std::printf("cannot write %s: %s\n", path.c_str(), error.c_str());
     return 1;
   }
-  std::printf("wrote %s (%zu edges, %.1f MB)\n", path.c_str(),
-              stream.size(), double(stream.size()) * 8 / 1e6);
+  std::printf("wrote %s (%zu edges, %.1f MB as v3 vs %.1f MB raw)\n",
+              path.c_str(), stream.size(),
+              double(FileSizeForDisplay(path)) / 1e6,
+              double(stream.size()) * 8 / 1e6);
 
   // ...and replay it through algorithms that never see the whole thing.
   struct Row {
@@ -45,7 +60,6 @@ int main(int argc, char** argv) {
   KkAlgorithm kk(7);
   RandomOrderAlgorithm alg1(7);
   for (Row row : {Row{"kk", &kk}, Row{"random-order", &alg1}}) {
-    std::string error;
     auto solution = RunStreamFromFile(*row.algorithm, path, &error);
     if (!solution.has_value()) {
       std::printf("replay failed: %s\n", error.c_str());

@@ -7,9 +7,14 @@
 # With --bench-smoke, instead run the perf-path smoke checks:
 #   1. Release build + a short bench_throughput run (catches benchmarks
 #      that crash or regress to zero without paying for a full baseline),
-#   2. the batch-equivalence test under ASan+UBSan,
-#   3. the thread pool + parallel multi-run tests under TSan
-#      (-DSETCOVER_TSAN=ON), so the parallel drivers are race-checked.
+#      then a file-replay perf gate: every file-replay row must sustain
+#      at least 0.7x the edges/s recorded in the committed
+#      BENCH_throughput.json, so a read-pipeline regression fails CI
+#      instead of silently shipping,
+#   2. the batch-equivalence + stream-format tests under ASan+UBSan,
+#   3. the thread pool + parallel multi-run + prefetch decoder tests
+#      under TSan (-DSETCOVER_TSAN=ON), so the parallel drivers and the
+#      pipelined decoder's slot handoff are race-checked.
 #
 # Usage: scripts/check.sh [--bench-smoke] [jobs]
 set -euo pipefail
@@ -28,18 +33,60 @@ if [[ "$BENCH_SMOKE" == "1" ]]; then
   cmake --build build-release -j "$JOBS" --target bench_throughput
   build-release/bench/bench_throughput --benchmark_min_time=0.01
 
-  echo "== bench smoke: batch equivalence under ASan+UBSan (build-asan/) =="
-  cmake -B build-asan -S . -DSETCOVER_SANITIZE=ON >/dev/null
-  cmake --build build-asan -j "$JOBS" --target batch_equivalence_test
-  build-asan/tests/batch_equivalence_test
+  echo "== bench smoke: file-replay perf gate vs BENCH_throughput.json =="
+  build-release/bench/bench_throughput \
+    --benchmark_filter=FileReplay \
+    --benchmark_format=json >/tmp/setcover_replay_smoke.json
+  python3 - <<'EOF'
+import json, sys
 
-  echo "== bench smoke: thread pool under TSan (build-tsan/) =="
+FLOOR = 0.7  # fail if a row drops below this fraction of the baseline
+
+def replay_rows(path):
+    rows = {}
+    for bench in json.load(open(path))["benchmarks"]:
+        label = bench.get("label", "")
+        if label.startswith("file-replay/"):
+            rows[label] = bench["items_per_second"]
+    return rows
+
+baseline = replay_rows("BENCH_throughput.json")
+current = replay_rows("/tmp/setcover_replay_smoke.json")
+if not baseline:
+    sys.exit("perf gate: no file-replay rows in BENCH_throughput.json; "
+             "refresh the baseline with scripts/bench_baseline.sh")
+failed = False
+for label, base_eps in sorted(baseline.items()):
+    eps = current.get(label)
+    if eps is None:
+        print(f"perf gate: MISSING {label} (baseline {base_eps/1e6:.1f} M edges/s)")
+        failed = True
+        continue
+    ratio = eps / base_eps
+    status = "ok" if ratio >= FLOOR else "REGRESSION"
+    print(f"perf gate: {status} {label}: {eps/1e6:.1f} M edges/s "
+          f"({ratio:.2f}x baseline)")
+    failed = failed or ratio < FLOOR
+if failed:
+    sys.exit(f"perf gate: file replay below {FLOOR}x the committed baseline")
+EOF
+
+  echo "== bench smoke: batch equivalence + stream formats under ASan+UBSan (build-asan/) =="
+  cmake -B build-asan -S . -DSETCOVER_SANITIZE=ON >/dev/null
+  cmake --build build-asan -j "$JOBS" \
+    --target batch_equivalence_test stream_format_test
+  build-asan/tests/batch_equivalence_test
+  build-asan/tests/stream_format_test
+
+  echo "== bench smoke: thread pool + prefetch decoder under TSan (build-tsan/) =="
   cmake -B build-tsan -S . -DSETCOVER_TSAN=ON >/dev/null
   cmake --build build-tsan -j "$JOBS" \
-    --target thread_pool_test multi_run_test batch_equivalence_test
+    --target thread_pool_test multi_run_test batch_equivalence_test \
+             prefetch_decoder_test
   build-tsan/tests/thread_pool_test
   build-tsan/tests/multi_run_test
   build-tsan/tests/batch_equivalence_test
+  build-tsan/tests/prefetch_decoder_test
 
   echo "== bench smoke passed =="
   exit 0

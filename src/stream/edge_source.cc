@@ -16,7 +16,13 @@ bool VectorEdgeSource::SeekTo(size_t position) {
 
 std::unique_ptr<StreamFileSource> StreamFileSource::Open(
     const std::string& path, std::string* error) {
-  auto reader = StreamFileReader::Open(path, error);
+  return Open(path, StreamReadOptions{}, error);
+}
+
+std::unique_ptr<StreamFileSource> StreamFileSource::Open(
+    const std::string& path, const StreamReadOptions& options,
+    std::string* error) {
+  auto reader = OpenBatchEdgeReader(path, options, error);
   if (reader == nullptr) return nullptr;
   return std::unique_ptr<StreamFileSource>(
       new StreamFileSource(std::move(reader)));

@@ -79,9 +79,13 @@ class VectorEdgeSource : public EdgeSource {
 /// as kEnd with Truncated() set.
 class StreamFileSource : public EdgeSource {
  public:
-  /// Opens `path`; nullptr (with *error) on open/header failure.
+  /// Opens `path` with default read options (mmap + prefetch); nullptr
+  /// (with *error) on open/header failure.
   static std::unique_ptr<StreamFileSource> Open(const std::string& path,
                                                 std::string* error);
+  static std::unique_ptr<StreamFileSource> Open(
+      const std::string& path, const StreamReadOptions& options,
+      std::string* error);
 
   const StreamMetadata& Meta() const override { return reader_->Meta(); }
   ReadStatus Next(Edge* edge) override;
@@ -98,10 +102,10 @@ class StreamFileSource : public EdgeSource {
   }
 
  private:
-  explicit StreamFileSource(std::unique_ptr<StreamFileReader> reader)
+  explicit StreamFileSource(std::unique_ptr<BatchEdgeReader> reader)
       : reader_(std::move(reader)) {}
 
-  std::unique_ptr<StreamFileReader> reader_;
+  std::unique_ptr<BatchEdgeReader> reader_;
   bool corrupt_reported_ = false;
 };
 

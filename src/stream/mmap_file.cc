@@ -1,0 +1,105 @@
+#include "stream/mmap_file.h"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define SETCOVER_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace setcover {
+namespace {
+
+void SetError(std::string* error, const std::string& what) {
+  if (error != nullptr) *error = what;
+}
+
+}  // namespace
+
+MmapFile::~MmapFile() { Close(); }
+
+MmapFile::MmapFile(MmapFile&& other) noexcept
+    : data_(other.data_), size_(other.size_), open_(other.open_) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.open_ = false;
+}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    Close();
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    open_ = std::exchange(other.open_, false);
+  }
+  return *this;
+}
+
+#ifdef SETCOVER_HAVE_MMAP
+
+bool MmapFile::Open(const std::string& path, std::string* error) {
+  Close();
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    SetError(error, "cannot open " + path + ": " + std::strerror(errno));
+    return false;
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    SetError(error, "cannot stat " + path + ": " + std::strerror(errno));
+    ::close(fd);
+    return false;
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  if (size == 0) {
+    // mmap rejects zero-length mappings; an empty file is still "open".
+    ::close(fd);
+    open_ = true;
+    return true;
+  }
+  void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  // The mapping keeps its own reference to the file; the descriptor is
+  // no longer needed either way.
+  ::close(fd);
+  if (map == MAP_FAILED) {
+    SetError(error, "cannot mmap " + path + ": " + std::strerror(errno));
+    return false;
+  }
+  ::madvise(map, size, MADV_SEQUENTIAL);
+  data_ = static_cast<const uint8_t*>(map);
+  size_ = size;
+  open_ = true;
+  return true;
+}
+
+void MmapFile::Close() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<uint8_t*>(data_), size_);
+  }
+  data_ = nullptr;
+  size_ = 0;
+  open_ = false;
+}
+
+#else  // !SETCOVER_HAVE_MMAP
+
+bool MmapFile::Open(const std::string& path, std::string* error) {
+  (void)path;
+  SetError(error, "mmap is not supported on this platform");
+  return false;
+}
+
+void MmapFile::Close() {
+  data_ = nullptr;
+  size_ = 0;
+  open_ = false;
+}
+
+#endif  // SETCOVER_HAVE_MMAP
+
+}  // namespace setcover

@@ -1,0 +1,191 @@
+#include "stream/prefetch_decoder.h"
+
+namespace setcover {
+namespace {
+
+constexpr size_t kChunkEdges = kIngestBatchEdges;
+
+}  // namespace
+
+std::unique_ptr<PrefetchDecoder> PrefetchDecoder::Create(
+    std::unique_ptr<StreamFileReader> reader) {
+  auto decoder =
+      std::unique_ptr<PrefetchDecoder>(new PrefetchDecoder(std::move(reader)));
+  decoder->StartWorker(0);
+  return decoder;
+}
+
+PrefetchDecoder::PrefetchDecoder(std::unique_ptr<StreamFileReader> reader)
+    : reader_(std::move(reader)), num_chunks_(reader_->NumChunks()) {
+  for (Slot& slot : slots_) slot.chunks.resize(kUnitChunks);
+}
+
+PrefetchDecoder::~PrefetchDecoder() { StopWorker(); }
+
+void PrefetchDecoder::StartWorker(size_t first_chunk) {
+  stop_ = false;
+  worker_ = std::thread([this, first_chunk] { WorkerLoop(first_chunk); });
+}
+
+void PrefetchDecoder::StopWorker() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+void PrefetchDecoder::WorkerLoop(size_t first_chunk) {
+  size_t chunk = first_chunk;
+  size_t slot_index = 0;
+  while (true) {
+    Slot* slot = &slots_[slot_index];
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stop_ || !slot->full; });
+      if (stop_) return;
+    }
+    // Decode outside the lock: the consumer never touches a slot whose
+    // full flag it has cleared, so the worker owns it exclusively here.
+    slot->first_chunk = chunk;
+    slot->count = 0;
+    bool damaged = false;
+    for (size_t i = 0; i < kUnitChunks && chunk < num_chunks_; ++i) {
+      StreamFileReader::DecodedChunk& decoded = slot->chunks[i];
+      reader_->DecodeChunk(chunk, &decoded);
+      ++slot->count;
+      ++chunk;
+      if (decoded.truncated || decoded.checksum_failed) {
+        // The stream ends at the damaged chunk; decoding further would
+        // be wasted work the consumer must never see anyway.
+        damaged = true;
+        break;
+      }
+    }
+    const bool last = damaged || chunk >= num_chunks_;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      slot->full = true;
+    }
+    cv_.notify_all();
+    if (last) return;
+    slot_index ^= 1;
+  }
+}
+
+const StreamFileReader::DecodedChunk* PrefetchDecoder::AcquireChunk(
+    size_t chunk) {
+  if (chunk >= num_chunks_) return nullptr;
+  if (active_slot_ != nullptr) {
+    if (active_index_ + 1 < active_slot_->count) {
+      ++active_index_;
+      return &active_slot_->chunks[active_index_];
+    }
+    // Slot drained: hand it back to the worker.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      active_slot_->full = false;
+    }
+    cv_.notify_all();
+    active_slot_ = nullptr;
+  }
+  Slot* slot = &slots_[next_slot_];
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return slot->full; });
+  }
+  next_slot_ ^= 1;
+  active_slot_ = slot;
+  active_index_ = 0;
+  if (slot->count == 0) return nullptr;  // empty stream
+  return &slot->chunks[0];
+}
+
+bool PrefetchDecoder::FillBuffer() {
+  const size_t chunk = edges_read_ / kChunkEdges;
+  const StreamFileReader::DecodedChunk* decoded = AcquireChunk(chunk);
+  if (decoded == nullptr) return false;
+  current_valid_ = true;
+  if (decoded->checksum_failed) {
+    checksum_failed_ = true;
+    current_ = {};
+    return false;
+  }
+  current_ = decoded->edges;
+  if (decoded->truncated) truncated_ = true;
+  current_pos_ = edges_read_ - chunk * kChunkEdges;
+  return current_pos_ < current_.size();
+}
+
+bool PrefetchDecoder::Next(Edge* edge) {
+  if (checksum_failed_ || edges_read_ >= Meta().stream_length) return false;
+  if (!current_valid_ || current_pos_ >= current_.size()) {
+    if (truncated_) return false;
+    if (!FillBuffer()) return false;
+  }
+  *edge = current_[current_pos_++];
+  ++edges_read_;
+  return true;
+}
+
+std::span<const Edge> PrefetchDecoder::NextBatch() {
+  if (checksum_failed_ || edges_read_ >= Meta().stream_length) return {};
+  if (!current_valid_ || current_pos_ >= current_.size()) {
+    if (truncated_ || !FillBuffer()) return {};
+  }
+  std::span<const Edge> batch = current_.subspan(current_pos_);
+  current_pos_ = current_.size();
+  edges_read_ += batch.size();
+  return batch;
+}
+
+bool PrefetchDecoder::SeekToEdge(size_t index) {
+  if (index > Meta().stream_length) return false;
+  // Seeks happen on the resume path, not the hot path: tear the
+  // pipeline down, rewind the consumer cursor, and restart the worker
+  // at the containing chunk.
+  StopWorker();
+  for (Slot& slot : slots_) slot.full = false;
+  active_slot_ = nullptr;
+  active_index_ = 0;
+  next_slot_ = 0;
+  current_ = {};
+  current_pos_ = 0;
+  current_valid_ = false;
+  truncated_ = false;
+  checksum_failed_ = false;
+  edges_read_ = index;
+  StartWorker(index / kChunkEdges);
+  return true;
+}
+
+std::unique_ptr<BatchEdgeReader> OpenBatchEdgeReader(
+    const std::string& path, const StreamReadOptions& options,
+    std::string* error) {
+  auto reader = StreamFileReader::Open(path, options, error);
+  if (reader == nullptr) return nullptr;
+  if (!options.prefetch) return reader;
+  return PrefetchDecoder::Create(std::move(reader));
+}
+
+std::optional<CoverSolution> RunStreamFromFile(
+    StreamingSetCoverAlgorithm& algorithm, const std::string& path,
+    const StreamReadOptions& options, std::string* error) {
+  auto reader = OpenBatchEdgeReader(path, options, error);
+  if (reader == nullptr) return std::nullopt;
+  algorithm.Begin(reader->Meta());
+  for (std::span<const Edge> batch = reader->NextBatch(); !batch.empty();
+       batch = reader->NextBatch()) {
+    algorithm.ProcessEdgeBatch(batch);
+  }
+  return algorithm.Finalize();
+}
+
+std::optional<CoverSolution> RunStreamFromFile(
+    StreamingSetCoverAlgorithm& algorithm, const std::string& path,
+    std::string* error) {
+  return RunStreamFromFile(algorithm, path, StreamReadOptions{}, error);
+}
+
+}  // namespace setcover

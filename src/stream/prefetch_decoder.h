@@ -1,0 +1,99 @@
+#ifndef SETCOVER_STREAM_PREFETCH_DECODER_H_
+#define SETCOVER_STREAM_PREFETCH_DECODER_H_
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "stream/stream_file.h"
+
+namespace setcover {
+
+/// Pipelined file replay: a background thread decodes and CRC-checks
+/// chunks one pipeline unit (kUnitChunks chunks) ahead of the consumer,
+/// so decode/verify cost overlaps the algorithm's per-edge work instead
+/// of serializing with it. Two slots are handed back and forth through
+/// a mutex/condvar pair — classic double buffering; grouping several
+/// chunks per slot amortizes the handoff cost over tens of thousands of
+/// edges.
+///
+/// Presents the same BatchEdgeReader contract as the synchronous
+/// StreamFileReader it wraps, with identical damage semantics (a bad
+/// chunk surfaces as flags and an ended stream, never as edges), so the
+/// two are drop-in interchangeable and must produce bit-identical runs.
+///
+/// Threading: all public methods are consumer-thread-only. The worker
+/// is the sole caller of StreamFileReader::DecodeChunk; SeekToEdge
+/// joins the worker, rewinds, and restarts it (seeks are a resume-path
+/// rarity, so simplicity beats cleverness there).
+class PrefetchDecoder : public BatchEdgeReader {
+ public:
+  /// Takes ownership of an open reader and starts prefetching chunk 0.
+  static std::unique_ptr<PrefetchDecoder> Create(
+      std::unique_ptr<StreamFileReader> reader);
+
+  ~PrefetchDecoder() override;
+  PrefetchDecoder(const PrefetchDecoder&) = delete;
+  PrefetchDecoder& operator=(const PrefetchDecoder&) = delete;
+
+  const StreamMetadata& Meta() const override { return reader_->Meta(); }
+  uint32_t Version() const override { return reader_->Version(); }
+  bool Next(Edge* edge) override;
+  std::span<const Edge> NextBatch() override;
+  bool SeekToEdge(size_t index) override;
+  bool Truncated() const override { return truncated_; }
+  bool ChecksumFailed() const override { return checksum_failed_; }
+  size_t EdgesRead() const override { return edges_read_; }
+
+  /// Chunks decoded per pipeline slot.
+  static constexpr size_t kUnitChunks = 8;
+
+ private:
+  struct Slot {
+    std::vector<StreamFileReader::DecodedChunk> chunks;
+    size_t first_chunk = 0;
+    size_t count = 0;
+    /// Ownership bit: true = consumer's to drain, false = worker's to
+    /// refill. Always read/written under mu_; the chunk payloads
+    /// themselves are only touched by the current owner, so the
+    /// full-flag handoff is the only synchronization they need.
+    bool full = false;
+  };
+
+  explicit PrefetchDecoder(std::unique_ptr<StreamFileReader> reader);
+
+  void StartWorker(size_t first_chunk);
+  void StopWorker();
+  void WorkerLoop(size_t first_chunk);
+
+  /// Returns the decoded chunk at index `chunk` (the consumer's next
+  /// sequential chunk), blocking on the pipeline if the worker has not
+  /// produced it yet; nullptr when `chunk >= NumChunks()`.
+  const StreamFileReader::DecodedChunk* AcquireChunk(size_t chunk);
+  bool FillBuffer();
+
+  std::unique_ptr<StreamFileReader> reader_;
+  size_t num_chunks_ = 0;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  Slot slots_[2];
+  bool stop_ = false;
+  std::thread worker_;
+
+  // Consumer-side cursor (mirrors StreamFileReader's).
+  size_t edges_read_ = 0;
+  bool truncated_ = false;
+  bool checksum_failed_ = false;
+  Slot* active_slot_ = nullptr;  // slot the consumer currently owns
+  size_t active_index_ = 0;      // position of the current chunk in it
+  size_t next_slot_ = 0;         // which slot the worker fills next
+  std::span<const Edge> current_;
+  size_t current_pos_ = 0;
+  bool current_valid_ = false;
+};
+
+}  // namespace setcover
+
+#endif  // SETCOVER_STREAM_PREFETCH_DECODER_H_

@@ -1,32 +1,75 @@
 #include "util/crc32.h"
 
 #include <array>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <nmmintrin.h>
+#define SETCOVER_CRC32C_HW 1
+#endif
 
 namespace setcover {
 namespace {
 
-std::array<uint32_t, 256> BuildTable() {
+std::array<uint32_t, 256> BuildTable(uint32_t polynomial) {
   std::array<uint32_t, 256> table{};
   for (uint32_t i = 0; i < 256; ++i) {
     uint32_t c = i;
     for (int bit = 0; bit < 8; ++bit) {
-      c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      c = (c & 1) ? (polynomial ^ (c >> 1)) : (c >> 1);
     }
     table[i] = c;
   }
   return table;
 }
 
-}  // namespace
-
-uint32_t Crc32(const void* data, size_t bytes, uint32_t seed) {
-  static const std::array<uint32_t, 256> kTable = BuildTable();
+uint32_t TableCrc(const std::array<uint32_t, 256>& table, const void* data,
+                  size_t bytes, uint32_t seed) {
   const auto* p = static_cast<const unsigned char*>(data);
   uint32_t crc = seed ^ 0xFFFFFFFFu;
   for (size_t i = 0; i < bytes; ++i) {
-    crc = kTable[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+    crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
   }
   return crc ^ 0xFFFFFFFFu;
+}
+
+#ifdef SETCOVER_CRC32C_HW
+__attribute__((target("sse4.2"))) uint32_t Crc32cHardware(const void* data,
+                                                          size_t bytes,
+                                                          uint32_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t crc = seed ^ 0xFFFFFFFFu;
+  while (bytes >= 8) {
+    uint64_t word;
+    std::memcpy(&word, p, 8);
+    crc = _mm_crc32_u64(crc, word);
+    p += 8;
+    bytes -= 8;
+  }
+  uint32_t crc32 = static_cast<uint32_t>(crc);
+  while (bytes-- > 0) crc32 = _mm_crc32_u8(crc32, *p++);
+  return crc32 ^ 0xFFFFFFFFu;
+}
+#endif
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t bytes, uint32_t seed) {
+  static const std::array<uint32_t, 256> kTable = BuildTable(0xEDB88320u);
+  return TableCrc(kTable, data, bytes, seed);
+}
+
+uint32_t Crc32cPortable(const void* data, size_t bytes, uint32_t seed) {
+  static const std::array<uint32_t, 256> kTable = BuildTable(0x82F63B78u);
+  return TableCrc(kTable, data, bytes, seed);
+}
+
+uint32_t Crc32c(const void* data, size_t bytes, uint32_t seed) {
+#ifdef SETCOVER_CRC32C_HW
+  static const bool kHaveSse42 = __builtin_cpu_supports("sse4.2");
+  if (kHaveSse42) return Crc32cHardware(data, bytes, seed);
+#endif
+  return Crc32cPortable(data, bytes, seed);
 }
 
 }  // namespace setcover

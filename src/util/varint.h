@@ -1,0 +1,62 @@
+#ifndef SETCOVER_UTIL_VARINT_H_
+#define SETCOVER_UTIL_VARINT_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace setcover {
+
+/// LEB128 variable-length integers and zig-zag signed mapping — the
+/// building blocks of the stream-file v3 chunk payload encoding
+/// (stream/stream_file.h). Header-only so the per-edge decode loop
+/// inlines into the chunk decoder.
+
+/// Maps signed to unsigned so that small-magnitude values of either
+/// sign get short varints: 0,-1,1,-2,2,... -> 0,1,2,3,4,...
+inline uint64_t ZigZagEncode(int64_t value) {
+  return (static_cast<uint64_t>(value) << 1) ^
+         static_cast<uint64_t>(value >> 63);
+}
+
+inline int64_t ZigZagDecode(uint64_t value) {
+  return static_cast<int64_t>(value >> 1) ^ -static_cast<int64_t>(value & 1);
+}
+
+/// Appends `value` as an LEB128 varint (7 bits per byte, high bit =
+/// continuation); at most 10 bytes for a full uint64.
+inline void AppendVarint(std::vector<uint8_t>* out, uint64_t value) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(value));
+}
+
+/// Decodes one varint from [*cursor, end), advancing *cursor past it.
+/// Returns false (cursor position unspecified) on a truncated or
+/// over-long (> 64-bit) encoding — corrupt input, never valid output
+/// of AppendVarint.
+inline bool GetVarint(const uint8_t** cursor, const uint8_t* end,
+                      uint64_t* value) {
+  const uint8_t* p = *cursor;
+  if (p < end && *p < 0x80) {  // hot path: one-byte varint
+    *value = *p;
+    *cursor = p + 1;
+    return true;
+  }
+  uint64_t result = 0;
+  for (unsigned shift = 0; shift < 64 && p < end; shift += 7) {
+    const uint8_t byte = *p++;
+    result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *value = result;
+      *cursor = p;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace setcover
+
+#endif  // SETCOVER_UTIL_VARINT_H_

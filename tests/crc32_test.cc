@@ -42,5 +42,47 @@ TEST(Crc32Test, DetectsSingleBitFlips) {
   }
 }
 
+TEST(Crc32cTest, MatchesKnownVectors) {
+  // The canonical check value for CRC-32C (Castagnoli).
+  EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
+  EXPECT_EQ(Crc32c("", 0), 0u);
+  EXPECT_EQ(Crc32cPortable("123456789", 9), 0xE3069283u);
+}
+
+TEST(Crc32cTest, HardwareDispatchMatchesPortableTable) {
+  // Whatever Crc32c dispatches to (SSE4.2 or the table) must agree with
+  // the portable implementation on every length and alignment — v3
+  // files written on one machine must verify on any other.
+  uint8_t buffer[512];
+  uint64_t x = 0x9E3779B97F4A7C15ull;
+  for (size_t i = 0; i < sizeof buffer; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    buffer[i] = uint8_t(x);
+  }
+  for (size_t offset : {size_t{0}, size_t{1}, size_t{3}, size_t{7}}) {
+    for (size_t len = 0; offset + len <= sizeof buffer; len += 13) {
+      EXPECT_EQ(Crc32c(buffer + offset, len),
+                Crc32cPortable(buffer + offset, len))
+          << "offset " << offset << " len " << len;
+    }
+  }
+}
+
+TEST(Crc32cTest, IncrementalEqualsOneShot) {
+  const std::string data = "delta-varint chunks with trailing index";
+  const uint32_t whole = Crc32c(data.data(), data.size());
+  for (size_t cut = 0; cut <= data.size(); ++cut) {
+    uint32_t prefix = Crc32c(data.data(), cut);
+    EXPECT_EQ(Crc32c(data.data() + cut, data.size() - cut, prefix), whole)
+        << "cut at " << cut;
+  }
+}
+
+TEST(Crc32cTest, IsADifferentPolynomialThanCrc32) {
+  EXPECT_NE(Crc32c("123456789", 9), Crc32("123456789", 9));
+}
+
 }  // namespace
 }  // namespace setcover

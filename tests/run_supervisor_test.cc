@@ -236,6 +236,79 @@ TEST(RunSupervisorTest, KillAndResumeOverAnOnDiskStreamFile) {
   std::remove(ckpt_path.c_str());
 }
 
+TEST(RunSupervisorTest, KillAndResumeIsBitIdenticalAcrossFormats) {
+  // The checkpoint coordinate is an edge index, so a run checkpointed
+  // over one file format must resume identically over any other — and
+  // the prefetch pipeline (whose seeks restart a worker thread) must
+  // not perturb it either.
+  Rng rng(61);
+  UniformRandomParams p;
+  p.num_elements = 200;
+  p.num_sets = 3000;
+  p.min_set_size = 2;
+  p.max_set_size = 5;
+  auto inst = GenerateUniformRandom(p, rng);
+  auto stream = RandomOrderStream(inst, rng);
+  ASSERT_GT(stream.size(), size_t{2} * 4096);
+
+  std::string error;
+  RunReport expected;
+  {
+    VectorEdgeSource source(stream);
+    auto reference = MakeAlgorithmByName("random-order", {.seed = 31});
+    expected = RunSupervisor({}).Run(*reference, source);
+    ASSERT_TRUE(expected.completed) << expected.error;
+  }
+
+  for (StreamFormat format :
+       {StreamFormat::kV1, StreamFormat::kV2, StreamFormat::kV3}) {
+    for (bool prefetch : {false, true}) {
+      const std::string label = "v" + std::to_string(uint32_t(format)) +
+                                (prefetch ? "+prefetch" : "+sync");
+      const std::string stream_path =
+          testing::TempDir() + "formats_" + label + ".sces";
+      const std::string ckpt_path = CheckpointPath(("fmt_" + label).c_str());
+      ASSERT_TRUE(WriteStreamFile(stream, stream_path, format, &error))
+          << error;
+      StreamReadOptions read_options;
+      read_options.prefetch = prefetch;
+
+      auto victim_source =
+          StreamFileSource::Open(stream_path, read_options, &error);
+      ASSERT_NE(victim_source, nullptr) << error;
+      auto victim = MakeAlgorithmByName("random-order", {.seed = 31});
+      SupervisorOptions kill_options;
+      kill_options.checkpoint_path = ckpt_path;
+      kill_options.checkpoint_every = 1000;
+      kill_options.stop_after = 5500;
+      RunReport killed =
+          RunSupervisor(kill_options).Run(*victim, *victim_source);
+      ASSERT_FALSE(killed.completed) << label;
+      ASSERT_GT(killed.checkpoints_written, 0u) << label;
+
+      auto revived_source =
+          StreamFileSource::Open(stream_path, read_options, &error);
+      ASSERT_NE(revived_source, nullptr) << error;
+      auto revived = MakeAlgorithmByName("random-order", {.seed = 777});
+      SupervisorOptions resume_options;
+      resume_options.checkpoint_path = ckpt_path;
+      resume_options.resume = true;
+      RunReport resumed =
+          RunSupervisor(resume_options).Run(*revived, *revived_source);
+      ASSERT_TRUE(resumed.completed) << label << ": " << resumed.error;
+      EXPECT_TRUE(resumed.resumed) << label;
+      EXPECT_EQ(resumed.resumed_at, 5000u) << label;
+
+      EXPECT_EQ(resumed.solution.cover, expected.solution.cover) << label;
+      EXPECT_EQ(resumed.solution.certificate, expected.solution.certificate)
+          << label;
+      EXPECT_EQ(resumed.edges_delivered, expected.edges_delivered) << label;
+      std::remove(stream_path.c_str());
+      std::remove(ckpt_path.c_str());
+    }
+  }
+}
+
 TEST(RunSupervisorTest, ChecksumFailedChunkDegradesTheRun) {
   // A stream file whose second chunk fails its CRC ends the stream
   // early; the supervised run must come back degraded (and count the

@@ -6,9 +6,11 @@
 //             Creates an instance file (text format, instance/io.h).
 //
 //   stream    --instance instance.txt --order random|set-major|...
-//             --seed S --out stream.bin
+//             --seed S --out stream.bin [--stream-format v1|v2|v3]
 //             Materializes an ordered edge stream into the binary
-//             stream-file format (stream/stream_file.h).
+//             stream-file format (stream/stream_file.h). The default
+//             format v3 is delta-varint compressed; v2 writes raw CRC'd
+//             chunks, v1 the unchecksummed legacy layout.
 //
 //   solve     --instance instance.txt [--algorithm kk] [--order random]
 //             [--seed S] [--alpha A] [--runs R] [--threads T]
@@ -19,7 +21,8 @@
 //             --threads=1.
 //
 //   solve-stream --stream stream.bin [--algorithm kk] [--seed S]
-//             [--threads T] [--checkpoint ckpt.sckp]
+//             [--threads T] [--no-prefetch] [--no-mmap]
+//             [--checkpoint ckpt.sckp]
 //             [--checkpoint-every K] [--resume] [--stop-after K]
 //             Replays a binary stream file under the run supervisor (no
 //             instance needed; validation is skipped since set contents
@@ -29,6 +32,10 @@
 //             replays only the tail, bit-identical to an uninterrupted
 //             run. --stop-after kills the run after K edges (for
 //             demonstrating/testing recovery; docs/robustness.md).
+//             --no-prefetch disables the background pipeline decoder
+//             and --no-mmap the zero-copy file mapping; both exist for
+//             benchmarking and debugging — results are bit-identical
+//             with any combination.
 //
 //   compare   --instance instance.txt [--order random] [--seed S]
 //             Runs *every* registered algorithm on the same stream and
@@ -147,7 +154,21 @@ int CmdStream(const FlagSet& flags) {
   std::string path = flags.GetString("instance", "");
   std::string out = flags.GetString("out", "stream.bin");
   std::string order_name = flags.GetString("order", "random");
+  std::string format_name = flags.GetString("stream-format", "v3");
   uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+
+  StreamFormat format;
+  if (format_name == "v1") {
+    format = StreamFormat::kV1;
+  } else if (format_name == "v2") {
+    format = StreamFormat::kV2;
+  } else if (format_name == "v3") {
+    format = StreamFormat::kV3;
+  } else {
+    std::fprintf(stderr, "unknown --stream-format=%s (v1|v2|v3)\n",
+                 format_name.c_str());
+    return 2;
+  }
 
   std::string error;
   auto instance = ReadInstanceFile(path, &error);
@@ -162,12 +183,13 @@ int CmdStream(const FlagSet& flags) {
   }
   Rng rng(seed);
   EdgeStream stream = OrderedStream(*instance, *order, rng);
-  if (!WriteStreamFile(stream, out)) {
-    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+  if (!WriteStreamFile(stream, out, format, &error)) {
+    std::fprintf(stderr, "cannot write %s: %s\n", out.c_str(),
+                 error.c_str());
     return 1;
   }
-  std::printf("wrote %s: %zu edges in %s order\n", out.c_str(),
-              stream.size(), order_name.c_str());
+  std::printf("wrote %s: %zu edges in %s order (format %s)\n", out.c_str(),
+              stream.size(), order_name.c_str(), format_name.c_str());
   return 0;
 }
 
@@ -289,8 +311,12 @@ int CmdSolveStream(const FlagSet& flags) {
     return 2;
   }
 
+  StreamReadOptions read_options;
+  read_options.prefetch = !flags.GetBool("no-prefetch", false);
+  read_options.use_mmap = !flags.GetBool("no-mmap", false);
+
   std::string error;
-  auto source = StreamFileSource::Open(path, &error);
+  auto source = StreamFileSource::Open(path, read_options, &error);
   if (source == nullptr) {
     std::fprintf(stderr, "cannot read stream: %s\n", error.c_str());
     return 1;
