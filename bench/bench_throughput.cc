@@ -28,6 +28,8 @@
 #include "core/random_order.h"
 #include "core/set_arrival.h"
 #include "core/trivial.h"
+#include "offline/greedy.h"
+#include "stream/orderings.h"
 #include "stream/stream_file.h"
 
 namespace setcover {
@@ -72,13 +74,19 @@ const char* KindName(AlgKind kind) {
 // in this binary: generation costs more than a measured iteration, and
 // a shared fixture guarantees all BM_Throughput rows (and the threads
 // sweep) rank algorithms on the identical edge sequence.
-const EdgeStream& SharedStream() {
-  static const EdgeStream stream = [] {
+const SetCoverInstance& SharedInstance() {
+  static const SetCoverInstance instance = [] {
     const uint32_t n = 1024;
     const uint32_t m = 262144;  // 256·n: ~0.7M edges
-    auto instance = bench::PlantedWorkload(n, m, 8, /*seed=*/4242);
+    return bench::PlantedWorkload(n, m, 8, /*seed=*/4242);
+  }();
+  return instance;
+}
+
+const EdgeStream& SharedStream() {
+  static const EdgeStream stream = [] {
     Rng rng(17);
-    return RandomOrderStream(instance, rng);
+    return RandomOrderStream(SharedInstance(), rng);
   }();
   return stream;
 }
@@ -142,6 +150,74 @@ BENCHMARK(BM_NGuessThreads)
     ->UseRealTime()  // worker threads carry the load; CPU time of the
                      // calling thread alone would fake a speedup
     ->MinTime(0.5);
+
+// ---- Offline-kernel rows: the bucket-queue greedy vs the lazy-heap
+// reference it replaced (identical outputs, greedy_kernel_test), the
+// counting-sort orderings, and the CSR instance build. items/s = edges/s
+// throughout, so these rows compare directly with the ingest rows.
+
+void BM_GreedyCover(benchmark::State& state) {
+  const SetCoverInstance& instance = SharedInstance();
+  GreedyWorkspace workspace;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GreedyCover(instance, &workspace));
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) *
+                          int64_t(instance.NumEdges()));
+  state.SetLabel("greedy/bucket-queue");
+  state.counters["cover_size"] =
+      double(GreedyCover(instance, &workspace).cover.size());
+}
+
+BENCHMARK(BM_GreedyCover)->Unit(benchmark::kMillisecond)->MinTime(0.5);
+
+void BM_GreedyCoverReference(benchmark::State& state) {
+  const SetCoverInstance& instance = SharedInstance();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GreedyCoverReference(instance));
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) *
+                          int64_t(instance.NumEdges()));
+  state.SetLabel("greedy/reference-heap");
+}
+
+BENCHMARK(BM_GreedyCoverReference)
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.5);
+
+void BM_OrderedStream(benchmark::State& state) {
+  const StreamOrder order = static_cast<StreamOrder>(state.range(0));
+  const SetCoverInstance& instance = SharedInstance();
+  for (auto _ : state) {
+    Rng rng(17);
+    benchmark::DoNotOptimize(OrderedStream(instance, order, rng));
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) *
+                          int64_t(instance.NumEdges()));
+  state.SetLabel("ordered-stream/" + StreamOrderName(order));
+}
+
+BENCHMARK(BM_OrderedStream)
+    ->Arg(int(StreamOrder::kElementMajor))
+    ->Arg(int(StreamOrder::kRoundRobinSets))
+    ->Arg(int(StreamOrder::kLargeSetsLast))
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.5);
+
+void BM_InstanceBuild(benchmark::State& state) {
+  // FromEdges over the shuffled shared stream: the radix build every
+  // Finalize() of the buffering algorithms runs.
+  const EdgeStream& stream = SharedStream();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SetCoverInstance::FromEdges(
+        stream.meta.num_elements, stream.meta.num_sets, stream.edges));
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) *
+                          int64_t(stream.size()));
+  state.SetLabel("instance-build/from-edges");
+}
+
+BENCHMARK(BM_InstanceBuild)->Unit(benchmark::kMillisecond)->MinTime(0.5);
 
 struct ReplayConfig {
   const char* label;

@@ -7,11 +7,12 @@
 # With --bench-smoke, instead run the perf-path smoke checks:
 #   1. Release build + a short bench_throughput run (catches benchmarks
 #      that crash or regress to zero without paying for a full baseline),
-#      then a file-replay perf gate: every file-replay row must sustain
-#      at least 0.7x the edges/s recorded in the committed
-#      BENCH_throughput.json, so a read-pipeline regression fails CI
-#      instead of silently shipping,
-#   2. the batch-equivalence + stream-format tests under ASan+UBSan,
+#      then a perf gate: every file-replay row and the bucket-queue
+#      greedy kernel row must sustain at least 0.7x the edges/s recorded
+#      in the committed BENCH_throughput.json, so a read-pipeline or
+#      offline-kernel regression fails CI instead of silently shipping,
+#   2. the batch-equivalence + stream-format tests plus the greedy
+#      kernel differential + CSR instance tests under ASan+UBSan,
 #   3. the thread pool + parallel multi-run + prefetch decoder tests
 #      under TSan (-DSETCOVER_TSAN=ON), so the parallel drivers and the
 #      pipelined decoder's slot handoff are race-checked.
@@ -33,27 +34,28 @@ if [[ "$BENCH_SMOKE" == "1" ]]; then
   cmake --build build-release -j "$JOBS" --target bench_throughput
   build-release/bench/bench_throughput --benchmark_min_time=0.01
 
-  echo "== bench smoke: file-replay perf gate vs BENCH_throughput.json =="
+  echo "== bench smoke: file-replay + greedy perf gate vs BENCH_throughput.json =="
   build-release/bench/bench_throughput \
-    --benchmark_filter=FileReplay \
+    '--benchmark_filter=FileReplay|BM_GreedyCover/' \
     --benchmark_format=json >/tmp/setcover_replay_smoke.json
   python3 - <<'EOF'
 import json, sys
 
 FLOOR = 0.7  # fail if a row drops below this fraction of the baseline
+GATED = ("file-replay/", "greedy/bucket-queue")
 
 def replay_rows(path):
     rows = {}
     for bench in json.load(open(path))["benchmarks"]:
         label = bench.get("label", "")
-        if label.startswith("file-replay/"):
+        if label.startswith(GATED):
             rows[label] = bench["items_per_second"]
     return rows
 
 baseline = replay_rows("BENCH_throughput.json")
 current = replay_rows("/tmp/setcover_replay_smoke.json")
 if not baseline:
-    sys.exit("perf gate: no file-replay rows in BENCH_throughput.json; "
+    sys.exit("perf gate: no gated rows in BENCH_throughput.json; "
              "refresh the baseline with scripts/bench_baseline.sh")
 failed = False
 for label, base_eps in sorted(baseline.items()):
@@ -71,12 +73,16 @@ if failed:
     sys.exit(f"perf gate: file replay below {FLOOR}x the committed baseline")
 EOF
 
-  echo "== bench smoke: batch equivalence + stream formats under ASan+UBSan (build-asan/) =="
+  echo "== bench smoke: batch equivalence + stream formats + offline kernels under ASan+UBSan (build-asan/) =="
   cmake -B build-asan -S . -DSETCOVER_SANITIZE=ON >/dev/null
   cmake --build build-asan -j "$JOBS" \
-    --target batch_equivalence_test stream_format_test
+    --target batch_equivalence_test stream_format_test \
+             greedy_kernel_test instance_test bitset_test
   build-asan/tests/batch_equivalence_test
   build-asan/tests/stream_format_test
+  build-asan/tests/greedy_kernel_test
+  build-asan/tests/instance_test
+  build-asan/tests/bitset_test
 
   echo "== bench smoke: thread pool + prefetch decoder under TSan (build-tsan/) =="
   cmake -B build-tsan -S . -DSETCOVER_TSAN=ON >/dev/null

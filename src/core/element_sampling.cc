@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_set>
 
 #include "offline/greedy.h"
 #include "util/math.h"
@@ -28,10 +27,10 @@ void ElementSamplingAlgorithm::Begin(const StreamMetadata& meta) {
 
   std::vector<ElementId> sample = rng_.RandomSubset(
       meta.num_elements, static_cast<uint32_t>(sample_size_));
-  in_sample_.assign(meta.num_elements, false);
+  in_sample_.Assign(meta.num_elements);
   sample_index_.assign(meta.num_elements, 0);
   for (size_t i = 0; i < sample.size(); ++i) {
-    in_sample_[sample[i]] = true;
+    in_sample_.Set(sample[i]);
     sample_index_[sample[i]] = static_cast<ElementId>(i);
   }
   projected_edges_.clear();
@@ -46,7 +45,7 @@ void ElementSamplingAlgorithm::Begin(const StreamMetadata& meta) {
 void ElementSamplingAlgorithm::ProcessEdge(const Edge& edge) {
   if (first_set_[edge.element] == kNoSet)
     first_set_[edge.element] = edge.set;
-  if (in_sample_[edge.element]) {
+  if (in_sample_.Test(edge.element)) {
     projected_edges_.push_back(edge);
     meter_.Add(projection_words_, 1);
   }
@@ -54,8 +53,13 @@ void ElementSamplingAlgorithm::ProcessEdge(const Edge& edge) {
 
 void ElementSamplingAlgorithm::EncodeState(StateEncoder* encoder) const {
   // The Õ(m·n/α) of Table 1 row 1, literally: the projected edges
-  // dominate the message.
-  encoder->PutBoolVector(in_sample_);
+  // dominate the message. The indicator still travels as a bool vector,
+  // so the wire format is byte-identical to the pre-bitset encoding.
+  std::vector<bool> in_sample(meta_.num_elements, false);
+  for (ElementId u = 0; u < meta_.num_elements; ++u) {
+    in_sample[u] = in_sample_.Test(u);
+  }
+  encoder->PutBoolVector(in_sample);
   encoder->PutU32Vector(first_set_);
   std::vector<uint32_t> flat;
   flat.reserve(2 * projected_edges_.size());
@@ -86,11 +90,12 @@ bool ElementSamplingAlgorithm::DecodeState(
   // The dense index of a sampled element is its rank within U' (the
   // sample is drawn sorted), so the whole mapping reconstructs from
   // the indicator alone.
-  in_sample_ = std::move(in_sample);
+  in_sample_.Assign(meta.num_elements);
   sample_index_.assign(meta.num_elements, 0);
   sample_size_ = 0;
   for (ElementId u = 0; u < meta.num_elements; ++u) {
-    if (in_sample_[u]) {
+    if (in_sample[u]) {
+      in_sample_.Set(u);
       sample_index_[u] = static_cast<ElementId>(sample_size_++);
     }
   }
@@ -112,18 +117,20 @@ size_t ElementSamplingAlgorithm::StateWords() const {
 
 CoverSolution ElementSamplingAlgorithm::Finalize() {
   // Build the projected instance over the dense sample indices and
-  // greedily cover it.
-  std::vector<std::vector<ElementId>> projected_sets(meta_.num_sets);
+  // greedily cover it. FromEdges goes straight from the edge buffer to
+  // the CSR arena — no per-set vectors are materialized.
+  std::vector<Edge> mapped;
+  mapped.reserve(projected_edges_.size());
   for (const Edge& e : projected_edges_) {
-    projected_sets[e.set].push_back(sample_index_[e.element]);
+    mapped.push_back({e.set, sample_index_[e.element]});
   }
-  SetCoverInstance projected = SetCoverInstance::FromSets(
+  SetCoverInstance projected = SetCoverInstance::FromEdges(
       static_cast<uint32_t>(std::max<size_t>(1, sample_size_)),
-      std::move(projected_sets));
+      meta_.num_sets, mapped);
   CoverSolution sample_cover = GreedyCover(projected);
 
-  std::unordered_set<SetId> in_solution(sample_cover.cover.begin(),
-                                        sample_cover.cover.end());
+  DynamicBitset in_solution(meta_.num_sets);
+  for (SetId s : sample_cover.cover) in_solution.Set(s);
   CoverSolution solution;
   solution.cover = sample_cover.cover;
   solution.certificate.assign(meta_.num_elements, kNoSet);
@@ -132,7 +139,7 @@ CoverSolution ElementSamplingAlgorithm::Finalize() {
   // (and any uncovered sampled element on an infeasible input) gets the
   // patching treatment.
   for (ElementId u = 0; u < meta_.num_elements; ++u) {
-    if (in_sample_[u]) {
+    if (in_sample_.Test(u)) {
       SetId w = sample_cover.certificate[sample_index_[u]];
       if (w != kNoSet) {
         solution.certificate[u] = w;
@@ -141,7 +148,7 @@ CoverSolution ElementSamplingAlgorithm::Finalize() {
     }
     if (first_set_[u] != kNoSet) {
       solution.certificate[u] = first_set_[u];
-      if (in_solution.insert(first_set_[u]).second) {
+      if (in_solution.Set(first_set_[u])) {
         solution.cover.push_back(first_set_[u]);
       }
     }

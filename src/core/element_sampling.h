@@ -2,10 +2,10 @@
 #define SETCOVER_CORE_ELEMENT_SAMPLING_H_
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "core/streaming_algorithm.h"
+#include "util/bitset.h"
 #include "util/memory_meter.h"
 #include "util/rng.h"
 #include "util/types.h"
@@ -67,7 +67,10 @@ class ElementSamplingAlgorithm : public StreamingSetCoverAlgorithm {
   StreamMetadata meta_;
   size_t sample_size_ = 0;
 
-  std::vector<bool> in_sample_;            // U' indicator, n bits
+  // Flat hot-path state (PR 2 convention): the U' indicator is a packed
+  // bitset and the index map a dense vector — no hashed containers
+  // anywhere. The encoded wire format (PutBoolVector) is unchanged.
+  DynamicBitset in_sample_;                // U' indicator, n bits
   std::vector<ElementId> sample_index_;    // element -> dense index
   std::vector<Edge> projected_edges_;      // edges into U'
   std::vector<SetId> first_set_;           // R(u)

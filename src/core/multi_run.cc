@@ -7,31 +7,64 @@
 
 namespace setcover {
 
+namespace {
+
+/// Per-lane scratch for BestOfRuns: each pool lane keeps only its
+/// running best (plus the run index that produced it) and its summed
+/// peaks, so memory is one candidate per *thread* instead of one per
+/// *run*.
+struct LaneScratch {
+  CoverSolution best;
+  size_t best_run = 0;
+  bool have_best = false;
+  size_t peak_sum = 0;
+};
+
+}  // namespace
+
 CoverSolution BestOfRuns(const AlgorithmFactory& factory, uint32_t runs,
                          uint64_t seed, const EdgeStream& stream,
                          size_t* total_peak_words, unsigned threads) {
-  std::vector<CoverSolution> candidates(runs);
-  std::vector<size_t> peaks(runs, 0);
-  ThreadPool pool(std::min<size_t>(threads, runs));
-  pool.RunIndexed(runs, [&](size_t r) {
-    auto algorithm = factory(seed + r);
-    candidates[r] = RunStream(*algorithm, stream);
-    peaks[r] = algorithm->Meter().PeakWords();
+  const size_t lanes =
+      std::max<size_t>(1, std::min<size_t>(threads, runs));
+  std::vector<LaneScratch> scratch(lanes);
+  ThreadPool pool(lanes);
+  pool.RunIndexed(lanes, [&](size_t lane) {
+    LaneScratch& local = scratch[lane];
+    // Strided assignment; within a lane runs ascend, and the strict <
+    // keeps the lowest run index among the lane's minima.
+    for (size_t r = lane; r < runs; r += lanes) {
+      auto algorithm = factory(seed + r);
+      CoverSolution candidate = RunStream(*algorithm, stream);
+      local.peak_sum += algorithm->Meter().PeakWords();
+      if (!local.have_best ||
+          candidate.cover.size() < local.best.cover.size()) {
+        local.best = std::move(candidate);
+        local.best_run = r;
+        local.have_best = true;
+      }
+    }
   });
-  // Sequential ascending pick: identical winner (ties break to the
-  // lowest run index) no matter how the runs were scheduled.
-  CoverSolution best;
-  bool have_best = false;
+  // Merging lane bests by (size, run index) reproduces the sequential
+  // ascending scan's winner — the lowest run index among the global
+  // minima — at any thread count.
+  size_t best_lane = lanes;
   size_t peak_sum = 0;
-  for (uint32_t r = 0; r < runs; ++r) {
-    peak_sum += peaks[r];
-    if (!have_best || candidates[r].cover.size() < best.cover.size()) {
-      best = std::move(candidates[r]);
-      have_best = true;
+  for (size_t lane = 0; lane < lanes; ++lane) {
+    peak_sum += scratch[lane].peak_sum;
+    if (!scratch[lane].have_best) continue;
+    if (best_lane == lanes ||
+        scratch[lane].best.cover.size() <
+            scratch[best_lane].best.cover.size() ||
+        (scratch[lane].best.cover.size() ==
+             scratch[best_lane].best.cover.size() &&
+         scratch[lane].best_run < scratch[best_lane].best_run)) {
+      best_lane = lane;
     }
   }
   if (total_peak_words != nullptr) *total_peak_words = peak_sum;
-  return best;
+  return best_lane == lanes ? CoverSolution{}
+                            : std::move(scratch[best_lane].best);
 }
 
 NGuessRandomOrder::NGuessRandomOrder(uint64_t seed, RandomOrderParams params,
@@ -42,7 +75,6 @@ NGuessRandomOrder::NGuessRandomOrder(uint64_t seed, RandomOrderParams params,
 }
 
 void NGuessRandomOrder::Begin(const StreamMetadata& meta) {
-  runs_.clear();
   guessed_metas_.clear();
   edges_seen_ = 0;
   meter_.Reset();
@@ -53,15 +85,27 @@ void NGuessRandomOrder::Begin(const StreamMetadata& meta) {
   double guess = std::max(1.0, double(meta.num_sets) / sqrt_n);
   const double max_n =
       std::max(guess, double(meta.num_sets) * double(meta.num_elements));
-  uint64_t run_seed = seed_;
   for (; guess <= 2.0 * max_n; guess *= 2.0) {
-    runs_.push_back(
-        std::make_unique<RandomOrderAlgorithm>(run_seed++, params_));
     StreamMetadata guessed = meta;
     guessed.stream_length = static_cast<size_t>(guess);
     guessed_metas_.push_back(guessed);
-    runs_.back()->Begin(guessed);
     if (guess >= max_n) break;
+  }
+  // The i-th guess is always seeded seed_ + i, so the sub-run objects
+  // are reusable scratch whenever the ladder length is unchanged —
+  // Begin() is called on every run, resume, and (twice) on every
+  // DecodeState, and re-Begin on an existing RandomOrderAlgorithm
+  // reuses its flat element-state arrays instead of reallocating them.
+  if (runs_.size() != guessed_metas_.size()) {
+    runs_.clear();
+    runs_.reserve(guessed_metas_.size());
+    for (size_t i = 0; i < guessed_metas_.size(); ++i) {
+      runs_.push_back(
+          std::make_unique<RandomOrderAlgorithm>(seed_ + i, params_));
+    }
+  }
+  for (size_t i = 0; i < runs_.size(); ++i) {
+    runs_[i]->Begin(guessed_metas_[i]);
   }
   RefreshMeter();
 }

@@ -26,10 +26,13 @@ using AlgorithmFactory =
 /// log m space factor. If `total_peak_words` is non-null it receives the
 /// summed peak space across copies (the honest cost of amplification).
 ///
-/// `threads > 1` executes the copies on a ThreadPool. Every copy owns
-/// its seeded Rng (seed + r) and the winner is picked by a sequential
-/// ascending scan, so the result — cover, certificate, and peak sum —
-/// is bit-identical at any thread count.
+/// `threads > 1` executes the copies on a ThreadPool, strided over one
+/// lane per thread. Every copy owns its seeded Rng (seed + r); each lane
+/// keeps only its running best (a per-thread scratch arena, not one
+/// stored candidate per run) and the lane bests merge by
+/// (cover size, run index) — the same winner as a sequential ascending
+/// scan, so the result — cover, certificate, and peak sum — is
+/// bit-identical at any thread count.
 CoverSolution BestOfRuns(const AlgorithmFactory& factory, uint32_t runs,
                          uint64_t seed, const EdgeStream& stream,
                          size_t* total_peak_words = nullptr,

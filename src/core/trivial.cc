@@ -125,10 +125,12 @@ size_t StoreEverythingGreedy::StateWords() const {
 }
 
 CoverSolution StoreEverythingGreedy::Finalize() {
-  std::vector<std::vector<ElementId>> sets(meta_.num_sets);
-  for (const Edge& e : buffer_) sets[e.set].push_back(e.element);
-  SetCoverInstance inst =
-      SetCoverInstance::FromSets(meta_.num_elements, std::move(sets));
+  // The edge buffer feeds the CSR builder directly — no intermediate
+  // vector-of-vectors — and GreedyCover reuses its thread-local
+  // workspace, so repeated runs (multi-run drivers, bench loops) do not
+  // reallocate the greedy scratch.
+  SetCoverInstance inst = SetCoverInstance::FromEdges(
+      meta_.num_elements, meta_.num_sets, buffer_);
   return GreedyCover(inst);
 }
 

@@ -5,43 +5,145 @@
 #include <cstdlib>
 
 namespace setcover {
+namespace {
+
+[[noreturn]] void AbortOutOfRange(const char* what, uint32_t id,
+                                  const char* bound_name, uint32_t bound) {
+  std::fprintf(stderr, "SetCoverInstance: %s id %u out of range (%s=%u)\n",
+               what, id, bound_name, bound);
+  std::abort();
+}
+
+}  // namespace
 
 SetCoverInstance SetCoverInstance::FromSets(
     uint32_t num_elements, std::vector<std::vector<ElementId>> sets) {
   SetCoverInstance inst;
   inst.num_elements_ = num_elements;
-  inst.sets_ = std::move(sets);
-  for (auto& set : inst.sets_) {
-    std::sort(set.begin(), set.end());
-    set.erase(std::unique(set.begin(), set.end()), set.end());
-    if (!set.empty() && set.back() >= num_elements) {
-      std::fprintf(stderr,
-                   "SetCoverInstance: element id %u out of range (n=%u)\n",
-                   set.back(), num_elements);
-      std::abort();
+  const uint32_t m = static_cast<uint32_t>(sets.size());
+
+  // Counting pass: per-element raw degrees (duplicates included), with
+  // range validation before any id is used as an index.
+  std::vector<uint64_t> eoff(size_t{num_elements} + 1, 0);
+  size_t raw_edges = 0;
+  for (const auto& set : sets) {
+    for (ElementId u : set) {
+      if (u >= num_elements) AbortOutOfRange("element", u, "n", num_elements);
+      ++eoff[size_t{u} + 1];
     }
-    inst.num_edges_ += set.size();
+    raw_edges += set.size();
   }
+  for (size_t u = 0; u < num_elements; ++u) eoff[u + 1] += eoff[u];
+
+  // Scatter into element-major buckets. Iterating sets ascending makes
+  // every bucket ascending in set id — the invariant the CSR build (and
+  // the sortedness of ElementSets) relies on.
+  std::vector<SetId> esets(raw_edges);
+  std::vector<uint64_t> cursor(eoff.begin(), eoff.end() - 1);
+  for (SetId s = 0; s < m; ++s) {
+    for (ElementId u : sets[s]) esets[cursor[u]++] = s;
+  }
+  inst.BuildFromElementScatter(m, eoff, esets);
   return inst;
 }
 
+SetCoverInstance SetCoverInstance::FromEdges(uint32_t num_elements,
+                                             uint32_t num_sets,
+                                             std::span<const Edge> edges) {
+  SetCoverInstance inst;
+  inst.num_elements_ = num_elements;
+
+  // Radix pass 1: order the edges set-major (counting sort on the set
+  // id), validating both ids up front.
+  std::vector<uint64_t> soff(size_t{num_sets} + 1, 0);
+  for (const Edge& e : edges) {
+    if (e.set >= num_sets) AbortOutOfRange("set", e.set, "m", num_sets);
+    if (e.element >= num_elements) {
+      AbortOutOfRange("element", e.element, "n", num_elements);
+    }
+    ++soff[size_t{e.set} + 1];
+  }
+  for (size_t s = 0; s < num_sets; ++s) soff[s + 1] += soff[s];
+  std::vector<ElementId> set_major(edges.size());
+  std::vector<uint64_t> scursor(soff.begin(), soff.end() - 1);
+  for (const Edge& e : edges) set_major[scursor[e.set]++] = e.element;
+
+  // Radix pass 2: scatter set-major into element-major buckets, sets
+  // ascending, exactly as FromSets does.
+  std::vector<uint64_t> eoff(size_t{num_elements} + 1, 0);
+  for (ElementId u : set_major) ++eoff[size_t{u} + 1];
+  for (size_t u = 0; u < num_elements; ++u) eoff[u + 1] += eoff[u];
+  std::vector<SetId> esets(edges.size());
+  std::vector<uint64_t> ecursor(eoff.begin(), eoff.end() - 1);
+  for (SetId s = 0; s < num_sets; ++s) {
+    for (uint64_t i = soff[s]; i < soff[s + 1]; ++i) {
+      esets[ecursor[set_major[i]]++] = s;
+    }
+  }
+  inst.BuildFromElementScatter(num_sets, eoff, esets);
+  return inst;
+}
+
+void SetCoverInstance::BuildFromElementScatter(
+    uint32_t num_sets, const std::vector<uint64_t>& eoff,
+    const std::vector<SetId>& esets) {
+  const uint32_t n = num_elements_;
+  // Pass A: deduplicated sizes for both CSRs. A set claiming the same
+  // element more than once is caught by the last-claim mark; kNoSet is a
+  // safe initial mark because valid element ids are < num_elements_ <=
+  // 2^32 - 1 = kNoSet.
+  offsets_.assign(size_t{num_sets} + 1, 0);
+  elem_offsets_.assign(size_t{n} + 1, 0);
+  std::vector<ElementId> last_claim(num_sets, kNoSet);
+  for (ElementId u = 0; u < n; ++u) {
+    for (uint64_t i = eoff[u]; i < eoff[size_t{u} + 1]; ++i) {
+      const SetId s = esets[i];
+      if (last_claim[s] != u) {
+        last_claim[s] = u;
+        ++offsets_[size_t{s} + 1];
+        ++elem_offsets_[size_t{u} + 1];
+      }
+    }
+  }
+  for (size_t s = 0; s < num_sets; ++s) offsets_[s + 1] += offsets_[s];
+  for (size_t u = 0; u < n; ++u) elem_offsets_[u + 1] += elem_offsets_[u];
+
+  // Pass B: fill both arenas. Walking elements ascending writes every
+  // set's list sorted ascending; the bucket's ascending-set-id invariant
+  // writes every element's set list sorted ascending.
+  elements_.resize(offsets_.back());
+  elem_sets_.resize(offsets_.back());
+  std::vector<uint64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  std::fill(last_claim.begin(), last_claim.end(), kNoSet);
+  uint64_t epos = 0;
+  for (ElementId u = 0; u < n; ++u) {
+    for (uint64_t i = eoff[u]; i < eoff[size_t{u} + 1]; ++i) {
+      const SetId s = esets[i];
+      if (last_claim[s] != u) {
+        last_claim[s] = u;
+        elements_[cursor[s]++] = u;
+        elem_sets_[epos++] = s;
+      }
+    }
+  }
+}
+
 bool SetCoverInstance::Contains(SetId s, ElementId u) const {
-  const auto& set = sets_[s];
+  const auto set = Set(s);
   return std::binary_search(set.begin(), set.end(), u);
 }
 
 std::vector<uint32_t> SetCoverInstance::ElementDegrees() const {
-  std::vector<uint32_t> deg(num_elements_, 0);
-  for (const auto& set : sets_) {
-    for (ElementId u : set) ++deg[u];
-  }
+  std::vector<uint32_t> deg(num_elements_);
+  for (ElementId u = 0; u < num_elements_; ++u) deg[u] = ElementDegree(u);
   return deg;
 }
 
 bool SetCoverInstance::IsFeasible() const {
-  std::vector<uint32_t> deg = ElementDegrees();
-  return std::all_of(deg.begin(), deg.end(),
-                     [](uint32_t d) { return d > 0; });
+  for (ElementId u = 0; u < num_elements_; ++u) {
+    if (elem_offsets_[size_t{u} + 1] == elem_offsets_[u]) return false;
+  }
+  return true;
 }
 
 void SetCoverInstance::SetPlantedCover(std::vector<SetId> cover) {

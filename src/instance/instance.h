@@ -5,19 +5,29 @@
 #include <span>
 #include <vector>
 
+#include "stream/edge.h"
 #include "util/types.h"
 
 namespace setcover {
 
 /// An in-memory Set Cover instance (S, U): a universe of `n` elements and
 /// a family of `m` subsets, stored as the bipartite incidence graph of
-/// paper §2 in set-major adjacency form.
+/// paper §2 in flat CSR (compressed sparse row) form.
+///
+/// Layout: one `offsets[m+1]` array and one `elements[N]` arena hold the
+/// whole set-major adjacency — `Set(s)` is a span into the arena, so the
+/// per-set indirection (and allocation) of a vector-of-vectors layout is
+/// gone. A second CSR pair (`elem_offsets[n+1]`, `elem_sets[N]`) stores
+/// the inverse element-major adjacency, which makes `ElementSets`,
+/// `ElementDegrees`, feasibility checks and the element-major stream
+/// orderings O(1)/O(n) lookups instead of full edge scans. Both CSRs are
+/// built by counting sort in O(N + n + m) — no comparison sort anywhere.
 ///
 /// Instances are immutable after construction. Sets are stored with
-/// sorted, de-duplicated element lists. Generators may additionally
-/// record a *planted cover* — a known feasible cover whose size upper
-/// bounds OPT — which benchmarks use as the denominator of approximation
-/// ratios.
+/// sorted, de-duplicated element lists; element lists of `ElementSets`
+/// are sorted by set id. Generators may additionally record a *planted
+/// cover* — a known feasible cover whose size upper bounds OPT — which
+/// benchmarks use as the denominator of approximation ratios.
 class SetCoverInstance {
  public:
   /// Builds an instance over `num_elements` elements from raw set
@@ -26,15 +36,37 @@ class SetCoverInstance {
   static SetCoverInstance FromSets(uint32_t num_elements,
                                    std::vector<std::vector<ElementId>> sets);
 
-  uint32_t NumSets() const { return static_cast<uint32_t>(sets_.size()); }
+  /// Builds an instance directly from an edge list — the shape streaming
+  /// algorithms buffer — without materializing a vector-of-vectors first.
+  /// Duplicate edges collapse; ids must be in range (aborts otherwise).
+  /// Exactly equivalent to scattering `edges` into per-set lists and
+  /// calling FromSets, but one counting-sort pass over a flat arena.
+  static SetCoverInstance FromEdges(uint32_t num_elements, uint32_t num_sets,
+                                    std::span<const Edge> edges);
+
+  uint32_t NumSets() const {
+    return static_cast<uint32_t>(offsets_.size() - 1);
+  }
   uint32_t NumElements() const { return num_elements_; }
 
   /// Total number of (set, element) incidences = stream length N.
-  size_t NumEdges() const { return num_edges_; }
+  size_t NumEdges() const { return offsets_.back(); }
 
-  /// Elements of set `s`, sorted ascending.
+  /// Elements of set `s`, sorted ascending. A span into the CSR arena.
   std::span<const ElementId> Set(SetId s) const {
-    return {sets_[s].data(), sets_[s].size()};
+    return {elements_.data() + offsets_[s], offsets_[s + 1] - offsets_[s]};
+  }
+
+  /// Sets containing element `u`, sorted ascending. A span into the
+  /// inverse CSR arena.
+  std::span<const SetId> ElementSets(ElementId u) const {
+    return {elem_sets_.data() + elem_offsets_[u],
+            elem_offsets_[u + 1] - elem_offsets_[u]};
+  }
+
+  /// Number of sets containing element `u`.
+  uint32_t ElementDegree(ElementId u) const {
+    return static_cast<uint32_t>(elem_offsets_[u + 1] - elem_offsets_[u]);
   }
 
   /// True iff `u` is in set `s` (binary search, O(log |S_s|)).
@@ -45,6 +77,7 @@ class SetCoverInstance {
 
   /// True iff every element is contained in at least one set. The paper
   /// assumes feasibility throughout (§2); generators guarantee it.
+  /// O(n) over the inverse CSR offsets.
   bool IsFeasible() const;
 
   /// A known feasible cover recorded by the generator, or empty if none.
@@ -55,9 +88,22 @@ class SetCoverInstance {
  private:
   SetCoverInstance() = default;
 
+  /// Finishes construction from the raw element-major scatter built by
+  /// both factory functions: `eoff`/`esets` hold, for each element, the
+  /// (possibly duplicated) ids of sets claiming it, ascending. Derives
+  /// the deduplicated set-major CSR and the inverse element-major CSR.
+  void BuildFromElementScatter(uint32_t num_sets,
+                               const std::vector<uint64_t>& eoff,
+                               const std::vector<SetId>& esets);
+
   uint32_t num_elements_ = 0;
-  size_t num_edges_ = 0;
-  std::vector<std::vector<ElementId>> sets_;
+  // Set-major CSR: Set(s) = elements_[offsets_[s] .. offsets_[s+1]).
+  std::vector<uint64_t> offsets_{0};
+  std::vector<ElementId> elements_;
+  // Inverse element-major CSR:
+  // ElementSets(u) = elem_sets_[elem_offsets_[u] .. elem_offsets_[u+1]).
+  std::vector<uint64_t> elem_offsets_{0};
+  std::vector<SetId> elem_sets_;
   std::vector<SetId> planted_cover_;
 };
 

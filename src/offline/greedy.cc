@@ -1,14 +1,140 @@
 #include "offline/greedy.h"
 
+#include <algorithm>
+#include <bit>
+#include <functional>
 #include <queue>
 #include <utility>
-#include <vector>
-
-#include "util/bitset.h"
 
 namespace setcover {
+namespace {
 
-CoverSolution GreedyCover(const SetCoverInstance& instance) {
+/// |S \ covered| for a sorted element span, word-parallel: consecutive
+/// elements sharing a 64-bit word collapse into one mask that is
+/// resolved with a single AND + popcount against the covered bitset.
+uint32_t CountUncovered(std::span<const ElementId> set,
+                        const DynamicBitset& covered) {
+  uint32_t gain = 0;
+  size_t i = 0;
+  const size_t size = set.size();
+  while (i < size) {
+    const size_t w = size_t{set[i]} >> 6;
+    uint64_t mask = uint64_t{1} << (set[i] & 63);
+    ++i;
+    while (i < size && (size_t{set[i]} >> 6) == w) {
+      mask |= uint64_t{1} << (set[i] & 63);
+      ++i;
+    }
+    gain += uint32_t(std::popcount(mask & ~covered.Word(w)));
+  }
+  return gain;
+}
+
+/// Marks every element of `set` covered and stamps `s` as the
+/// certificate of the newly covered ones. Word-parallel like the
+/// recount: one FetchOrWord per touched word, then a ctz walk over the
+/// (typically sparse) newly-set bits.
+void CoverAndCertify(std::span<const ElementId> set, SetId s,
+                     DynamicBitset& covered,
+                     std::vector<SetId>& certificate) {
+  size_t i = 0;
+  const size_t size = set.size();
+  while (i < size) {
+    const size_t w = size_t{set[i]} >> 6;
+    uint64_t mask = uint64_t{1} << (set[i] & 63);
+    ++i;
+    while (i < size && (size_t{set[i]} >> 6) == w) {
+      mask |= uint64_t{1} << (set[i] & 63);
+      ++i;
+    }
+    uint64_t newly = covered.FetchOrWord(w, mask);
+    while (newly != 0) {
+      certificate[(w << 6) + size_t(std::countr_zero(newly))] = s;
+      newly &= newly - 1;
+    }
+  }
+}
+
+}  // namespace
+
+CoverSolution GreedyCover(const SetCoverInstance& instance,
+                          GreedyWorkspace* workspace) {
+  GreedyWorkspace* ws = workspace;
+  if (ws == nullptr) {
+    static thread_local GreedyWorkspace tls_workspace;
+    ws = &tls_workspace;
+  }
+  const uint32_t n = instance.NumElements();
+  const uint32_t m = instance.NumSets();
+
+  DynamicBitset& covered = ws->covered;
+  covered.Assign(n);
+  CoverSolution solution;
+  solution.certificate.assign(n, kNoSet);
+
+  // Gain-indexed buckets: bucket g holds the live sets whose last
+  // recorded gain (a stale upper bound — gains only decrease) is g.
+  // Initial gains are the exact set sizes.
+  auto& buckets = ws->buckets;
+  uint32_t max_size = 0;
+  for (SetId s = 0; s < m; ++s) {
+    max_size = std::max(max_size,
+                        static_cast<uint32_t>(instance.Set(s).size()));
+  }
+  if (buckets.size() < size_t{max_size} + 1) {
+    buckets.resize(size_t{max_size} + 1);
+  }
+  for (auto& bucket : buckets) bucket.clear();
+  for (SetId s = 0; s < m; ++s) {
+    const uint32_t size = static_cast<uint32_t>(instance.Set(s).size());
+    if (size > 0) buckets[size].push_back(s);
+  }
+
+  // Descending sweep. Migration only ever moves an entry to a strictly
+  // lower bucket, so no bucket gains entries once the sweep reaches it:
+  // sorting it by descending id on arrival fixes the within-bucket pop
+  // order for good, and the sweep as a whole visits entries in exactly
+  // the lazy-heap's (recorded gain desc, set id desc) pop order.
+  bool done = covered.Count() >= n;
+  for (uint32_t g = max_size; g >= 1 && !done; --g) {
+    auto& bucket = buckets[g];
+    if (bucket.empty()) continue;
+    std::sort(bucket.begin(), bucket.end(), std::greater<SetId>());
+    for (size_t idx = 0; idx < bucket.size(); ++idx) {
+      if (covered.Count() >= n) {
+        done = true;
+        break;
+      }
+      const SetId s = bucket[idx];
+      const uint32_t gain = CountUncovered(instance.Set(s), covered);
+      if (gain == 0) continue;
+      if (idx + 1 < bucket.size()) {
+        // Entries remain at this level, so the reference's acceptance
+        // test compares against level g itself.
+        if (gain < g) {
+          buckets[gain].push_back(s);
+          continue;
+        }
+      } else {
+        // Last entry at this level: compare against the highest
+        // non-empty lower bucket, exactly like the heap top after pop.
+        uint32_t h = g;
+        while (h > 1 && buckets[h - 1].empty()) --h;
+        const bool queue_empty = (h == 1) || buckets[h - 1].empty();
+        if (!queue_empty && gain < h - 1) {
+          buckets[gain].push_back(s);
+          continue;
+        }
+      }
+      solution.cover.push_back(s);
+      CoverAndCertify(instance.Set(s), s, covered, solution.certificate);
+    }
+    bucket.clear();
+  }
+  return solution;
+}
+
+CoverSolution GreedyCoverReference(const SetCoverInstance& instance) {
   const uint32_t n = instance.NumElements();
   const uint32_t m = instance.NumSets();
 

@@ -1,9 +1,22 @@
 #ifndef SETCOVER_OFFLINE_GREEDY_H_
 #define SETCOVER_OFFLINE_GREEDY_H_
 
+#include <vector>
+
 #include "instance/instance.h"
+#include "util/bitset.h"
 
 namespace setcover {
+
+/// Reusable scratch for GreedyCover: the covered bitset, the gain-indexed
+/// buckets and their backing id arena. A workspace grows to the largest
+/// instance it has seen and is reused across calls, so multi-run drivers
+/// (core/multi_run.h) and per-cell benchmark loops pay the allocation
+/// once per thread instead of once per run.
+struct GreedyWorkspace {
+  DynamicBitset covered;
+  std::vector<std::vector<SetId>> buckets;
+};
 
 /// Classic offline greedy Set Cover: repeatedly pick the set covering the
 /// most yet-uncovered elements. Guarantees a (ln n + 1)-approximation,
@@ -11,16 +24,36 @@ namespace setcover {
 /// §1.3 notes practical systems are built on exactly this algorithm
 /// [11, 21, 23]).
 ///
-/// Implemented as *lazy greedy*: a max-heap of stale gains with
-/// re-evaluation on pop. Because coverage gain is monotone decreasing, a
-/// popped entry whose refreshed gain still tops the heap is exactly the
-/// greedy choice; this is the standard accelerated implementation and
-/// returns the same cover as the textbook O(Σ|S|·rounds) version.
+/// Implemented as a *bucket-queue greedy*: live sets sit in gain-indexed
+/// buckets holding their last recorded (stale, upper-bound) gain;
+/// decrease-key is lazy bucket migration on recount. Because accepted
+/// sets only ever lower other sets' gains, the top bucket index is
+/// monotone non-increasing, so one descending sweep over the buckets
+/// visits every entry in exactly the order the classic lazy-heap
+/// implementation pops them — the selected cover and certificate are
+/// *verbatim identical* to GreedyCoverReference on every input (the
+/// differential suite in tests/greedy_kernel_test.cc asserts equality).
+/// Gain recounts run word-parallel: a set's sorted CSR span is gathered
+/// into per-word masks and resolved with one AND + popcount against the
+/// packed covered bitset per touched word. Total work is O(N + n + m)
+/// plus the (near-sorted, small) per-bucket id sorts.
 ///
 /// On an infeasible instance (elements in no set) the coverable part is
 /// covered and the rest keeps a kNoSet certificate — callers that need
 /// §2's feasibility assumption check it up front.
-CoverSolution GreedyCover(const SetCoverInstance& instance);
+///
+/// Passing a workspace reuses its buffers; passing nullptr uses a
+/// thread-local workspace, which makes repeated calls allocation-free
+/// per thread with no coordination between pool workers.
+CoverSolution GreedyCover(const SetCoverInstance& instance,
+                          GreedyWorkspace* workspace = nullptr);
+
+/// The previous implementation — lazy greedy over a std::priority_queue
+/// of stale gains with re-evaluation on pop. Kept as the differential-
+/// testing seam for the bucket-queue kernel: same selection policy, same
+/// cover, same certificate, heap instead of buckets. Not used on any hot
+/// path.
+CoverSolution GreedyCoverReference(const SetCoverInstance& instance);
 
 }  // namespace setcover
 

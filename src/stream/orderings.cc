@@ -1,7 +1,6 @@
 #include "stream/orderings.h"
 
 #include <algorithm>
-#include <numeric>
 
 namespace setcover {
 
@@ -21,53 +20,101 @@ std::string StreamOrderName(StreamOrder order) {
   return "unknown";
 }
 
+namespace {
+
+// Every ordering below emits the exact same edge sequence the previous
+// comparison-sort implementation produced (orderings_test pins this
+// against reference reimplementations), just without the sort: the CSR
+// layout already stores both adjacency directions sorted, so each order
+// is a linear emission.
+
+/// Element-major: all edges of element 0, then element 1, ... with set
+/// ids ascending within an element. This is exactly a stable sort of the
+/// set-major sequence by element — which is what the inverse CSR stores.
+std::vector<Edge> ElementMajorEdges(const SetCoverInstance& instance) {
+  std::vector<Edge> edges;
+  edges.reserve(instance.NumEdges());
+  for (ElementId u = 0; u < instance.NumElements(); ++u) {
+    for (SetId s : instance.ElementSets(u)) edges.push_back({s, u});
+  }
+  return edges;
+}
+
+/// Round k emits the k-th element of every set that still has one, set
+/// ids ascending. An active list compacted in place replaces the old
+/// all-sets scan per round: total work O(N + m) instead of
+/// O(m · max set size).
+std::vector<Edge> RoundRobinEdges(const SetCoverInstance& instance) {
+  std::vector<Edge> edges;
+  edges.reserve(instance.NumEdges());
+  std::vector<SetId> active;
+  active.reserve(instance.NumSets());
+  for (SetId s = 0; s < instance.NumSets(); ++s) {
+    if (!instance.Set(s).empty()) active.push_back(s);
+  }
+  for (size_t k = 0; !active.empty(); ++k) {
+    size_t kept = 0;
+    for (SetId s : active) {
+      auto set = instance.Set(s);
+      edges.push_back({s, set[k]});
+      // In-place compaction keeps the surviving sets in ascending order
+      // for the next round.
+      if (k + 1 < set.size()) active[kept++] = s;
+    }
+    active.resize(kept);
+  }
+  return edges;
+}
+
+/// Sets ordered by ascending size (ties by ascending id — the stable
+/// order), edges set-major within each set. Counting sort on the size
+/// replaces the stable_sort.
+std::vector<Edge> LargeSetsLastEdges(const SetCoverInstance& instance) {
+  const uint32_t m = instance.NumSets();
+  size_t max_size = 0;
+  for (SetId s = 0; s < m; ++s) {
+    max_size = std::max(max_size, instance.Set(s).size());
+  }
+  std::vector<size_t> size_offsets(max_size + 2, 0);
+  for (SetId s = 0; s < m; ++s) ++size_offsets[instance.Set(s).size() + 1];
+  for (size_t k = 0; k <= max_size; ++k) {
+    size_offsets[k + 1] += size_offsets[k];
+  }
+  std::vector<SetId> by_size(m);
+  for (SetId s = 0; s < m; ++s) {
+    by_size[size_offsets[instance.Set(s).size()]++] = s;
+  }
+  std::vector<Edge> edges;
+  edges.reserve(instance.NumEdges());
+  for (SetId s : by_size) {
+    for (ElementId u : instance.Set(s)) edges.push_back({s, u});
+  }
+  return edges;
+}
+
+}  // namespace
+
 EdgeStream OrderedStream(const SetCoverInstance& instance, StreamOrder order,
                          Rng& rng) {
-  std::vector<Edge> edges = MaterializeEdges(instance);
+  std::vector<Edge> edges;
   switch (order) {
     case StreamOrder::kRandom:
+      edges = MaterializeEdges(instance);
       rng.Shuffle(edges);
       break;
     case StreamOrder::kSetMajor:
       // MaterializeEdges is already set-major.
+      edges = MaterializeEdges(instance);
       break;
     case StreamOrder::kElementMajor:
-      std::stable_sort(edges.begin(), edges.end(),
-                       [](const Edge& a, const Edge& b) {
-                         return a.element < b.element;
-                       });
+      edges = ElementMajorEdges(instance);
       break;
-    case StreamOrder::kRoundRobinSets: {
-      // Emit the k-th element of every set in round k.
-      std::vector<Edge> out;
-      out.reserve(edges.size());
-      size_t max_size = 0;
-      for (SetId s = 0; s < instance.NumSets(); ++s)
-        max_size = std::max(max_size, instance.Set(s).size());
-      for (size_t k = 0; k < max_size; ++k) {
-        for (SetId s = 0; s < instance.NumSets(); ++s) {
-          auto set = instance.Set(s);
-          if (k < set.size()) out.push_back({s, set[k]});
-        }
-      }
-      edges = std::move(out);
+    case StreamOrder::kRoundRobinSets:
+      edges = RoundRobinEdges(instance);
       break;
-    }
-    case StreamOrder::kLargeSetsLast: {
-      // Sets ordered by ascending size; edges set-major within that.
-      std::vector<SetId> ids(instance.NumSets());
-      std::iota(ids.begin(), ids.end(), 0);
-      std::stable_sort(ids.begin(), ids.end(), [&](SetId a, SetId b) {
-        return instance.Set(a).size() < instance.Set(b).size();
-      });
-      std::vector<Edge> out;
-      out.reserve(edges.size());
-      for (SetId s : ids) {
-        for (ElementId u : instance.Set(s)) out.push_back({s, u});
-      }
-      edges = std::move(out);
+    case StreamOrder::kLargeSetsLast:
+      edges = LargeSetsLastEdges(instance);
       break;
-    }
   }
   return MakeStream(instance, std::move(edges));
 }

@@ -1,6 +1,8 @@
 #ifndef SETCOVER_UTIL_BITSET_H_
 #define SETCOVER_UTIL_BITSET_H_
 
+#include <algorithm>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -61,8 +63,65 @@ class DynamicBitset {
     count_ = 0;
   }
 
+  /// Re-initializes to `size` bits, all clear, reusing the existing
+  /// word capacity (no reallocation when shrinking or same-size). Scratch
+  /// workspaces (offline/greedy.h) reset with this between runs.
+  void Assign(size_t size) {
+    size_ = size;
+    words_.assign((size + 63) / 64, 0);
+    count_ = 0;
+  }
+
   /// Storage footprint in 64-bit words, for memory metering.
   size_t WordsUsed() const { return words_.size(); }
+
+  // --- Word-granular access for the popcount kernels -------------------
+  //
+  // The offline greedy and the validator recount coverage word-parallel:
+  // they gather a set's sorted elements into per-word masks and resolve
+  // the whole word with one AND + popcount instead of one Test() per
+  // element. These accessors expose exactly the word surface that needs.
+
+  /// Number of backing words (== WordsUsed(); bits i live in word i/64).
+  size_t WordCount() const { return words_.size(); }
+
+  /// The w-th backing word. Bit i of the set maps to bit (i & 63) of
+  /// word i >> 6.
+  uint64_t Word(size_t w) const { return words_[w]; }
+
+  /// ORs `mask` into word `w` and returns the mask bits that were
+  /// previously clear (the newly set bits). Count() stays exact.
+  /// Mask bits beyond size() must be zero — they would corrupt Count().
+  uint64_t FetchOrWord(size_t w, uint64_t mask) {
+    uint64_t& word = words_[w];
+    uint64_t newly = mask & ~word;
+    word |= mask;
+    count_ += size_t(std::popcount(newly));
+    return newly;
+  }
+
+  /// Number of set bits in the half-open bit range [first, last),
+  /// clamped to size(). One popcount per touched word.
+  size_t CountRange(size_t first, size_t last) const {
+    last = std::min(last, size_);
+    if (first >= last) return 0;
+    const size_t first_word = first >> 6;
+    const size_t last_word = (last - 1) >> 6;
+    const uint64_t head_mask = ~uint64_t{0} << (first & 63);
+    // (last & 63) == 0 means the range ends exactly on a word boundary,
+    // so the final word is used in full.
+    const uint64_t tail_mask =
+        (last & 63) == 0 ? ~uint64_t{0} : (~uint64_t{0} >> (64 - (last & 63)));
+    if (first_word == last_word) {
+      return size_t(std::popcount(words_[first_word] & head_mask & tail_mask));
+    }
+    size_t total = size_t(std::popcount(words_[first_word] & head_mask));
+    for (size_t w = first_word + 1; w < last_word; ++w) {
+      total += size_t(std::popcount(words_[w]));
+    }
+    total += size_t(std::popcount(words_[last_word] & tail_mask));
+    return total;
+  }
 
  private:
   size_t size_ = 0;

@@ -61,6 +61,67 @@ TEST(BitsetTest, Clear) {
   for (size_t i = 0; i < 200; ++i) EXPECT_FALSE(bits.Test(i));
 }
 
+TEST(BitsetTest, AssignResizesAndClears) {
+  DynamicBitset bits(10);
+  bits.Set(3);
+  bits.Set(7);
+  bits.Assign(200);
+  EXPECT_EQ(bits.size(), 200u);
+  EXPECT_EQ(bits.Count(), 0u);
+  for (size_t i = 0; i < 200; ++i) EXPECT_FALSE(bits.Test(i));
+  bits.Set(130);
+  bits.Assign(10);  // shrink: old bits must not survive
+  EXPECT_EQ(bits.size(), 10u);
+  EXPECT_TRUE(bits.None());
+}
+
+TEST(BitsetTest, WordAccess) {
+  DynamicBitset bits(130);
+  EXPECT_EQ(bits.WordCount(), 3u);
+  bits.Set(0);
+  bits.Set(63);
+  bits.Set(64);
+  bits.Set(129);
+  EXPECT_EQ(bits.Word(0), (uint64_t{1} << 63) | 1u);
+  EXPECT_EQ(bits.Word(1), 1u);
+  EXPECT_EQ(bits.Word(2), uint64_t{1} << 1);
+}
+
+TEST(BitsetTest, FetchOrWordReturnsNewlySetBits) {
+  DynamicBitset bits(128);
+  bits.Set(65);
+  // Word 1 holds bit 65; OR-in bits 64..67 — only 64, 66, 67 are new.
+  uint64_t mask = 0b1111;
+  uint64_t newly = bits.FetchOrWord(1, mask);
+  EXPECT_EQ(newly, 0b1101u);
+  EXPECT_EQ(bits.Count(), 4u);
+  EXPECT_TRUE(bits.Test(64));
+  EXPECT_TRUE(bits.Test(66));
+  EXPECT_TRUE(bits.Test(67));
+  // Re-applying the same mask sets nothing new and leaves Count alone.
+  EXPECT_EQ(bits.FetchOrWord(1, mask), 0u);
+  EXPECT_EQ(bits.Count(), 4u);
+}
+
+TEST(BitsetTest, CountRange) {
+  DynamicBitset bits(300);
+  for (size_t i = 0; i < 300; i += 7) bits.Set(i);
+  // Brute-force comparison over a spread of ranges, including
+  // word-straddling and empty ones.
+  const size_t probes[] = {0, 1, 7, 63, 64, 65, 127, 128, 200, 299, 300};
+  for (size_t lo : probes) {
+    for (size_t hi : probes) {
+      size_t want = 0;
+      for (size_t i = lo; i < hi && i < 300; ++i) want += bits.Test(i);
+      EXPECT_EQ(bits.CountRange(lo, hi), want)
+          << "range [" << lo << ", " << hi << ")";
+    }
+  }
+  // Out-of-range bounds clamp.
+  EXPECT_EQ(bits.CountRange(0, 100000), bits.Count());
+  EXPECT_EQ(bits.CountRange(400, 500), 0u);
+}
+
 TEST(BitsetTest, WordsUsed) {
   EXPECT_EQ(DynamicBitset(0).WordsUsed(), 0u);
   EXPECT_EQ(DynamicBitset(1).WordsUsed(), 1u);

@@ -1,0 +1,188 @@
+// Differential suite for the bucket-queue greedy kernel: on every input
+// the word-parallel bucket implementation must return the *same* cover
+// and certificate as the classic lazy-heap reference (offline/greedy.cc
+// documents why the two are verbatim-equivalent, this suite pins it).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "instance/generators.h"
+#include "instance/instance.h"
+#include "instance/validator.h"
+#include "offline/greedy.h"
+#include "util/rng.h"
+
+namespace setcover {
+namespace {
+
+void ExpectIdenticalToReference(const SetCoverInstance& inst,
+                                const std::string& label) {
+  CoverSolution fast = GreedyCover(inst);
+  CoverSolution ref = GreedyCoverReference(inst);
+  EXPECT_EQ(fast.cover, ref.cover) << label;
+  EXPECT_EQ(fast.certificate, ref.certificate) << label;
+  if (inst.IsFeasible()) {
+    auto check = ValidateSolution(inst, fast);
+    EXPECT_TRUE(check.ok) << label << ": " << check.error;
+  }
+}
+
+struct SizePoint {
+  uint32_t num_elements;
+  uint32_t num_sets;
+};
+
+// Small (forces tie storms), medium, and >64-element (multi-word
+// bitset kernels) sizes.
+const SizePoint kSizes[] = {{6, 5}, {40, 24}, {200, 80}, {700, 150}};
+
+TEST(GreedyKernelTest, MatchesReferenceOnUniformRandom) {
+  Rng rng(101);
+  for (const SizePoint& size : kSizes) {
+    for (int trial = 0; trial < 4; ++trial) {
+      UniformRandomParams params;
+      params.num_elements = size.num_elements;
+      params.num_sets = size.num_sets;
+      params.min_set_size = 1;
+      params.max_set_size = std::max(2u, size.num_elements / 4);
+      auto inst = GenerateUniformRandom(params, rng);
+      ExpectIdenticalToReference(
+          inst, "uniform n=" + std::to_string(size.num_elements) +
+                    " trial=" + std::to_string(trial));
+    }
+  }
+}
+
+TEST(GreedyKernelTest, MatchesReferenceOnPlantedCover) {
+  Rng rng(202);
+  for (const SizePoint& size : kSizes) {
+    PlantedCoverParams params;
+    params.num_elements = size.num_elements;
+    params.num_sets = size.num_sets;
+    params.planted_cover_size = std::max(2u, size.num_sets / 8);
+    auto inst = GeneratePlantedCover(params, rng);
+    ExpectIdenticalToReference(
+        inst, "planted n=" + std::to_string(size.num_elements));
+  }
+}
+
+TEST(GreedyKernelTest, MatchesReferenceOnZipf) {
+  Rng rng(303);
+  for (const SizePoint& size : kSizes) {
+    ZipfParams params;
+    params.num_elements = size.num_elements;
+    params.num_sets = size.num_sets;
+    params.max_set_size = std::max(2u, size.num_elements / 3);
+    auto inst = GenerateZipf(params, rng);
+    ExpectIdenticalToReference(inst,
+                               "zipf n=" + std::to_string(size.num_elements));
+  }
+}
+
+TEST(GreedyKernelTest, MatchesReferenceOnLogUniform) {
+  Rng rng(404);
+  for (const SizePoint& size : kSizes) {
+    LogUniformParams params;
+    params.num_elements = size.num_elements;
+    params.num_sets = size.num_sets;
+    auto inst = GenerateLogUniform(params, rng);
+    ExpectIdenticalToReference(
+        inst, "loguniform n=" + std::to_string(size.num_elements));
+  }
+}
+
+TEST(GreedyKernelTest, MatchesReferenceOnDominatingSet) {
+  Rng rng(505);
+  for (double p : {0.02, 0.1, 0.4}) {
+    auto inst = GenerateDominatingSet(120, p, rng);
+    ExpectIdenticalToReference(inst, "domset p=" + std::to_string(p));
+  }
+}
+
+TEST(GreedyKernelTest, MatchesReferenceOnPartition) {
+  // Pure tie-breaking stress: every set has identical gain at every
+  // step, so any deviation from the reference's pop order shows up.
+  ExpectIdenticalToReference(GeneratePartition(128, 8), "partition-128-8");
+  ExpectIdenticalToReference(GeneratePartition(65, 13), "partition-65-13");
+}
+
+TEST(GreedyKernelTest, MatchesReferenceOnDuplicatedSets) {
+  // Many sets with the same content — the heap breaks these ties by id
+  // history; the bucket sweep must reproduce it exactly.
+  std::vector<std::vector<ElementId>> sets;
+  for (int copy = 0; copy < 6; ++copy) sets.push_back({0, 1, 2, 3});
+  for (int copy = 0; copy < 6; ++copy) sets.push_back({4, 5});
+  sets.push_back({6});
+  ExpectIdenticalToReference(SetCoverInstance::FromSets(7, std::move(sets)),
+                             "duplicated-sets");
+}
+
+TEST(GreedyKernelTest, MatchesReferenceOnInfeasibleInstance) {
+  // Element 4 is in no set: both implementations must cover the
+  // coverable part and leave a kNoSet certificate entry for it.
+  auto inst = SetCoverInstance::FromSets(5, {{0, 1}, {2}, {1, 3}});
+  ASSERT_FALSE(inst.IsFeasible());
+  CoverSolution fast = GreedyCover(inst);
+  CoverSolution ref = GreedyCoverReference(inst);
+  EXPECT_EQ(fast.cover, ref.cover);
+  EXPECT_EQ(fast.certificate, ref.certificate);
+  EXPECT_EQ(fast.certificate[4], kNoSet);
+}
+
+TEST(GreedyKernelTest, HandlesDegenerateInstances) {
+  ExpectIdenticalToReference(SetCoverInstance::FromSets(1, {{0}}),
+                             "singleton");
+  ExpectIdenticalToReference(SetCoverInstance::FromSets(3, {{}, {}, {}}),
+                             "all-empty-sets");
+  // No sets at all.
+  auto empty = SetCoverInstance::FromSets(2, {});
+  CoverSolution fast = GreedyCover(empty);
+  EXPECT_TRUE(fast.cover.empty());
+  EXPECT_EQ(fast.certificate, std::vector<SetId>(2, kNoSet));
+}
+
+TEST(GreedyKernelTest, ExplicitWorkspaceIsReusableAcrossInstances) {
+  // One workspace driven across instances of very different shapes must
+  // give the same answers as fresh thread-local scratch every time.
+  GreedyWorkspace workspace;
+  Rng rng(606);
+  for (const SizePoint& size : kSizes) {
+    UniformRandomParams params;
+    params.num_elements = size.num_elements;
+    params.num_sets = size.num_sets;
+    params.max_set_size = std::max(2u, size.num_elements / 4);
+    auto inst = GenerateUniformRandom(params, rng);
+    CoverSolution with_workspace = GreedyCover(inst, &workspace);
+    CoverSolution fresh = GreedyCover(inst);
+    EXPECT_EQ(with_workspace.cover, fresh.cover);
+    EXPECT_EQ(with_workspace.certificate, fresh.certificate);
+  }
+  // Shrinking back down after the largest instance must not leak stale
+  // covered bits or bucket entries.
+  ExpectIdenticalToReference(GeneratePartition(30, 3), "post-reuse");
+  CoverSolution small = GreedyCover(GeneratePartition(30, 3), &workspace);
+  CoverSolution small_ref = GreedyCoverReference(GeneratePartition(30, 3));
+  EXPECT_EQ(small.cover, small_ref.cover);
+  EXPECT_EQ(small.certificate, small_ref.certificate);
+}
+
+TEST(GreedyKernelTest, RepeatedCallsAreDeterministic) {
+  Rng rng(707);
+  UniformRandomParams params;
+  params.num_elements = 150;
+  params.num_sets = 60;
+  params.max_set_size = 20;
+  auto inst = GenerateUniformRandom(params, rng);
+  CoverSolution first = GreedyCover(inst);
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    CoverSolution again = GreedyCover(inst);
+    EXPECT_EQ(again.cover, first.cover);
+    EXPECT_EQ(again.certificate, first.certificate);
+  }
+}
+
+}  // namespace
+}  // namespace setcover

@@ -1,8 +1,13 @@
 #include "instance/instance.h"
 
+#include <algorithm>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
+
+#include "instance/generators.h"
+#include "util/rng.h"
 
 namespace setcover {
 namespace {
@@ -72,6 +77,132 @@ TEST(InstanceTest, SingleElementUniverse) {
 
 TEST(InstanceDeathTest, OutOfRangeElementAborts) {
   EXPECT_DEATH(SetCoverInstance::FromSets(3, {{0, 3}}), "out of range");
+}
+
+TEST(InstanceDeathTest, FromEdgesOutOfRangeAborts) {
+  std::vector<Edge> bad_element = {{0, 5}};
+  EXPECT_DEATH(SetCoverInstance::FromEdges(3, 2, bad_element),
+               "out of range");
+  std::vector<Edge> bad_set = {{2, 0}};
+  EXPECT_DEATH(SetCoverInstance::FromEdges(3, 2, bad_set), "out of range");
+}
+
+// ---- CSR round-trip: the flat offsets/elements arena must present the
+// same logical instance as the vector-of-vectors input.
+
+TEST(InstanceCsrTest, SpansAreSortedDedupedAndContiguous) {
+  Rng rng(909);
+  UniformRandomParams params;
+  params.num_elements = 300;
+  params.num_sets = 90;
+  params.max_set_size = 40;
+  auto inst = GenerateUniformRandom(params, rng);
+
+  size_t total = 0;
+  for (SetId s = 0; s < inst.NumSets(); ++s) {
+    auto set = inst.Set(s);
+    EXPECT_TRUE(std::is_sorted(set.begin(), set.end()));
+    EXPECT_EQ(std::adjacent_find(set.begin(), set.end()), set.end());
+    for (ElementId u : set) EXPECT_LT(u, inst.NumElements());
+    // Spans tile the shared arena back-to-back.
+    if (s + 1 < inst.NumSets()) {
+      EXPECT_EQ(set.data() + set.size(), inst.Set(s + 1).data());
+    }
+    total += set.size();
+  }
+  EXPECT_EQ(total, inst.NumEdges());
+}
+
+TEST(InstanceCsrTest, ElementSetsMatchesSetMembership) {
+  Rng rng(808);
+  ZipfParams params;
+  params.num_elements = 150;
+  params.num_sets = 60;
+  params.max_set_size = 25;
+  auto inst = GenerateZipf(params, rng);
+
+  // Rebuild element -> sets from the forward CSR and compare with the
+  // inverse CSR, entry for entry (both are sorted ascending).
+  std::vector<std::vector<SetId>> expect(inst.NumElements());
+  for (SetId s = 0; s < inst.NumSets(); ++s) {
+    for (ElementId u : inst.Set(s)) expect[u].push_back(s);
+  }
+  auto degrees = inst.ElementDegrees();
+  size_t total = 0;
+  for (ElementId u = 0; u < inst.NumElements(); ++u) {
+    auto sets = inst.ElementSets(u);
+    ASSERT_EQ(sets.size(), expect[u].size()) << "element " << u;
+    EXPECT_TRUE(std::equal(sets.begin(), sets.end(), expect[u].begin()))
+        << "element " << u;
+    EXPECT_EQ(inst.ElementDegree(u), expect[u].size());
+    EXPECT_EQ(degrees[u], expect[u].size());
+    total += sets.size();
+  }
+  EXPECT_EQ(total, inst.NumEdges());
+}
+
+TEST(InstanceCsrTest, FromEdgesEqualsFromSets) {
+  Rng rng(111);
+  UniformRandomParams params;
+  params.num_elements = 120;
+  params.num_sets = 50;
+  params.max_set_size = 16;
+  auto reference = GenerateUniformRandom(params, rng);
+
+  // Shuffle the edge list hard: FromEdges must not depend on arrival
+  // order (duplicates included).
+  std::vector<Edge> edges;
+  for (SetId s = 0; s < reference.NumSets(); ++s) {
+    for (ElementId u : reference.Set(s)) {
+      edges.push_back({s, u});
+      if ((s + u) % 3 == 0) edges.push_back({s, u});  // duplicate edges
+    }
+  }
+  Rng shuffle_rng(222);
+  for (size_t i = edges.size(); i > 1; --i) {
+    std::swap(edges[i - 1], edges[shuffle_rng.UniformInt(i)]);
+  }
+
+  auto rebuilt = SetCoverInstance::FromEdges(reference.NumElements(),
+                                             reference.NumSets(), edges);
+  ASSERT_EQ(rebuilt.NumSets(), reference.NumSets());
+  ASSERT_EQ(rebuilt.NumElements(), reference.NumElements());
+  EXPECT_EQ(rebuilt.NumEdges(), reference.NumEdges());
+  for (SetId s = 0; s < reference.NumSets(); ++s) {
+    auto a = rebuilt.Set(s);
+    auto b = reference.Set(s);
+    ASSERT_EQ(a.size(), b.size()) << "set " << s;
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin())) << "set " << s;
+  }
+  for (ElementId u = 0; u < reference.NumElements(); ++u) {
+    auto a = rebuilt.ElementSets(u);
+    auto b = reference.ElementSets(u);
+    ASSERT_EQ(a.size(), b.size()) << "element " << u;
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()))
+        << "element " << u;
+  }
+}
+
+TEST(InstanceCsrTest, FromEdgesWithTrailingEmptySets) {
+  // num_sets larger than any set id in the edge list: trailing sets are
+  // empty, not dropped.
+  std::vector<Edge> edges = {{1, 0}, {1, 2}, {0, 1}};
+  auto inst = SetCoverInstance::FromEdges(3, 5, edges);
+  EXPECT_EQ(inst.NumSets(), 5u);
+  EXPECT_EQ(inst.NumEdges(), 3u);
+  EXPECT_EQ(inst.Set(0).size(), 1u);
+  EXPECT_EQ(inst.Set(1).size(), 2u);
+  for (SetId s = 2; s < 5; ++s) EXPECT_EQ(inst.Set(s).size(), 0u);
+}
+
+TEST(InstanceCsrTest, MoveKeepsSpansValid) {
+  auto inst = SetCoverInstance::FromSets(4, {{0, 1}, {2, 3}});
+  SetCoverInstance moved = std::move(inst);
+  auto set = moved.Set(1);
+  ASSERT_EQ(set.size(), 2u);
+  EXPECT_EQ(set[0], 2u);
+  EXPECT_EQ(set[1], 3u);
+  EXPECT_EQ(moved.ElementSets(3).size(), 1u);
 }
 
 }  // namespace

@@ -121,6 +121,88 @@ TEST(OrderingsTest, RandomOrderDeterministicGivenSeed) {
   }
 }
 
+// ---- Exact-sequence equivalence: the counting-sort / CSR-walk
+// implementations must emit the same edge *sequence* (not just
+// multiset) as the straightforward sort-based references they replaced.
+
+std::vector<SetCoverInstance> EquivalenceInstances() {
+  std::vector<SetCoverInstance> instances;
+  instances.push_back(TestInstance());
+  Rng rng(1234);
+  PlantedCoverParams planted;
+  planted.num_elements = 90;
+  planted.num_sets = 40;
+  planted.planted_cover_size = 5;
+  instances.push_back(GeneratePlantedCover(planted, rng));
+  // Ragged shapes: empty sets at both ends, duplicate contents.
+  instances.push_back(SetCoverInstance::FromSets(
+      6, {{}, {0, 1, 2, 3, 4, 5}, {2}, {}, {2}, {5, 0}, {}}));
+  return instances;
+}
+
+void ExpectSameSequence(const EdgeStream& got,
+                        const std::vector<Edge>& want,
+                        const std::string& label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got.edges[i], want[i]) << label << " at " << i;
+  }
+}
+
+TEST(OrderingsEquivalenceTest, ElementMajorMatchesStableSort) {
+  for (const auto& inst : EquivalenceInstances()) {
+    std::vector<Edge> want = MaterializeEdges(inst);
+    std::stable_sort(want.begin(), want.end(),
+                     [](const Edge& a, const Edge& b) {
+                       return a.element < b.element;
+                     });
+    Rng rng(3);
+    ExpectSameSequence(OrderedStream(inst, StreamOrder::kElementMajor, rng),
+                       want, "element-major");
+  }
+}
+
+TEST(OrderingsEquivalenceTest, RoundRobinMatchesQueueReference) {
+  for (const auto& inst : EquivalenceInstances()) {
+    // Reference: k-th pass emits the k-th element of every set that
+    // still has one, sets in ascending id order.
+    std::vector<Edge> want;
+    for (size_t k = 0; true; ++k) {
+      size_t emitted = 0;
+      for (SetId s = 0; s < inst.NumSets(); ++s) {
+        auto set = inst.Set(s);
+        if (k < set.size()) {
+          want.push_back({s, set[k]});
+          ++emitted;
+        }
+      }
+      if (emitted == 0) break;
+    }
+    Rng rng(3);
+    ExpectSameSequence(OrderedStream(inst, StreamOrder::kRoundRobinSets, rng),
+                       want, "round-robin");
+  }
+}
+
+TEST(OrderingsEquivalenceTest, LargeSetsLastMatchesStableSortBySize) {
+  for (const auto& inst : EquivalenceInstances()) {
+    // Reference: sets stably sorted by size (ties keep ascending id),
+    // each set's edges contiguous in element order.
+    std::vector<SetId> order(inst.NumSets());
+    for (SetId s = 0; s < inst.NumSets(); ++s) order[s] = s;
+    std::stable_sort(order.begin(), order.end(), [&](SetId a, SetId b) {
+      return inst.Set(a).size() < inst.Set(b).size();
+    });
+    std::vector<Edge> want;
+    for (SetId s : order) {
+      for (ElementId u : inst.Set(s)) want.push_back({s, u});
+    }
+    Rng rng(3);
+    ExpectSameSequence(OrderedStream(inst, StreamOrder::kLargeSetsLast, rng),
+                       want, "large-sets-last");
+  }
+}
+
 TEST(OrderingsTest, NamesAreDistinct) {
   std::set<std::string> names = {
       StreamOrderName(StreamOrder::kRandom),
