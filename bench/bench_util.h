@@ -10,6 +10,7 @@
 #include <cstdlib>
 
 #include "core/streaming_algorithm.h"
+#include "engine/engine.h"
 #include "instance/generators.h"
 #include "instance/validator.h"
 #include "stream/orderings.h"
@@ -40,26 +41,35 @@ struct RunResult {
   size_t peak_words = 0;
 };
 
-/// Streams `instance` through `algorithm` in `order` and returns
-/// quality/space. Aborts if the cover is invalid — a bench must never
-/// report numbers for a broken run.
+/// Streams `instance` through `algorithm` via the engine (with its
+/// validation stage enabled) and returns quality/space. Aborts if the
+/// run fails or the cover is invalid — a bench must never report
+/// numbers for a broken run.
 inline RunResult RunValidated(StreamingSetCoverAlgorithm& algorithm,
                               const SetCoverInstance& instance,
                               const EdgeStream& stream) {
-  CoverSolution solution = RunStream(algorithm, stream);
-  ValidationResult check = ValidateSolution(instance, solution);
-  if (!check.ok) {
+  engine::RunConfig config;
+  config.algorithm_instance = &algorithm;
+  config.source = engine::SourceSpec::InMemory(stream);
+  config.validate = &instance;
+  engine::RunReport report = engine::Execute(config);
+  if (!report.completed) {
+    std::fprintf(stderr, "bench: %s run failed: %s\n",
+                 algorithm.Name().c_str(), report.error.c_str());
+    std::abort();
+  }
+  if (!report.validation.ok) {
     std::fprintf(stderr, "bench: %s produced invalid cover: %s\n",
-                 algorithm.Name().c_str(), check.error.c_str());
+                 algorithm.Name().c_str(), report.validation.error.c_str());
     std::abort();
   }
   RunResult result;
-  result.cover_size = solution.cover.size();
+  result.cover_size = report.solution.cover.size();
   size_t reference = instance.PlantedCover().empty()
                          ? 1
                          : instance.PlantedCover().size();
   result.ratio = double(result.cover_size) / double(reference);
-  result.peak_words = algorithm.Meter().PeakWords();
+  result.peak_words = report.peak_words;
   return result;
 }
 

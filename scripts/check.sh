@@ -11,15 +11,41 @@
 #      greedy kernel row must sustain at least 0.7x the edges/s recorded
 #      in the committed BENCH_throughput.json, so a read-pipeline or
 #      offline-kernel regression fails CI instead of silently shipping,
-#   2. the batch-equivalence + stream-format tests plus the greedy
-#      kernel differential + CSR instance tests under ASan+UBSan,
-#   3. the thread pool + parallel multi-run + prefetch decoder tests
-#      under TSan (-DSETCOVER_TSAN=ON), so the parallel drivers and the
-#      pipelined decoder's slot handoff are race-checked.
+#   2. the engine-equivalence + batch-equivalence + stream-format tests
+#      plus the greedy kernel differential + CSR instance tests under
+#      ASan+UBSan,
+#   3. the thread pool + parallel multi-run (which fans out over
+#      engine::Execute sessions) + prefetch decoder tests under TSan
+#      (-DSETCOVER_TSAN=ON), so the engine-backed parallel drivers and
+#      the pipelined decoder's slot handoff are race-checked.
+#
+# Both modes start with a layering guard: outside src/engine/ (and the
+# contract's own definition sites), production code must not drive
+# ProcessEdgeBatch directly — every run path goes through the engine.
 #
 # Usage: scripts/check.sh [--bench-smoke] [jobs]
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "== layering guard: ProcessEdgeBatch callers outside src/engine/ =="
+# Allowlist: the engine itself, the interface + batch/per-edge contract
+# definition sites, and the composite algorithm that fans a batch out to
+# its sub-runs. bench/ and tests/ are exempt by not being scanned.
+GUARD_ALLOW=(
+  src/engine/engine.cc
+  src/core/streaming_algorithm.h
+  src/core/streaming_algorithm.cc
+  src/core/multi_run.cc
+)
+GUARD_HITS=$(grep -rnE '(\.|->)ProcessEdgeBatch\(' src/ tools/ examples/ \
+  $(printf -- "--exclude=%s " "${GUARD_ALLOW[@]##*/}") || true)
+if [[ -n "$GUARD_HITS" ]]; then
+  echo "$GUARD_HITS"
+  echo "layering guard: ProcessEdgeBatch called outside src/engine/;"
+  echo "route new run paths through engine::Execute (see docs/architecture.md)"
+  exit 1
+fi
+echo "layering guard: clean"
 
 BENCH_SMOKE=0
 if [[ "${1:-}" == "--bench-smoke" ]]; then
@@ -73,18 +99,19 @@ if failed:
     sys.exit(f"perf gate: file replay below {FLOOR}x the committed baseline")
 EOF
 
-  echo "== bench smoke: batch equivalence + stream formats + offline kernels under ASan+UBSan (build-asan/) =="
+  echo "== bench smoke: engine equivalence + batch equivalence + stream formats + offline kernels under ASan+UBSan (build-asan/) =="
   cmake -B build-asan -S . -DSETCOVER_SANITIZE=ON >/dev/null
   cmake --build build-asan -j "$JOBS" \
-    --target batch_equivalence_test stream_format_test \
-             greedy_kernel_test instance_test bitset_test
+    --target engine_equivalence_test batch_equivalence_test \
+             stream_format_test greedy_kernel_test instance_test bitset_test
+  build-asan/tests/engine_equivalence_test
   build-asan/tests/batch_equivalence_test
   build-asan/tests/stream_format_test
   build-asan/tests/greedy_kernel_test
   build-asan/tests/instance_test
   build-asan/tests/bitset_test
 
-  echo "== bench smoke: thread pool + prefetch decoder under TSan (build-tsan/) =="
+  echo "== bench smoke: thread pool + multi-run-over-engine + prefetch decoder under TSan (build-tsan/) =="
   cmake -B build-tsan -S . -DSETCOVER_TSAN=ON >/dev/null
   cmake --build build-tsan -j "$JOBS" \
     --target thread_pool_test multi_run_test batch_equivalence_test \

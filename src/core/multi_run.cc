@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "engine/engine.h"
 #include "util/math.h"
 
 namespace setcover {
@@ -35,8 +36,12 @@ CoverSolution BestOfRuns(const AlgorithmFactory& factory, uint32_t runs,
     // keeps the lowest run index among the lane's minima.
     for (size_t r = lane; r < runs; r += lanes) {
       auto algorithm = factory(seed + r);
-      CoverSolution candidate = RunStream(*algorithm, stream);
-      local.peak_sum += algorithm->Meter().PeakWords();
+      engine::RunConfig config;
+      config.algorithm_instance = algorithm.get();
+      config.source = engine::SourceSpec::InMemory(stream);
+      engine::RunReport report = engine::Execute(config);
+      CoverSolution candidate = std::move(report.solution);
+      local.peak_sum += report.peak_words;
       if (!local.have_best ||
           candidate.cover.size() < local.best.cover.size()) {
         local.best = std::move(candidate);

@@ -1,6 +1,7 @@
 #ifndef SETCOVER_CORE_REGISTRY_H_
 #define SETCOVER_CORE_REGISTRY_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -22,7 +23,25 @@ struct AlgorithmOptions {
   unsigned threads = 1;
 };
 
-/// Names accepted by MakeAlgorithmByName, in presentation order:
+/// One self-describing registry row: everything the engine and the CLI
+/// need to enumerate, document, and instantiate an algorithm without a
+/// hard-coded name list. `supported_orders` names the arrival orders
+/// under which the stated space/approximation guarantees hold
+/// ("adversarial" means any order); correctness — a valid cover with a
+/// valid certificate — is unconditional for every algorithm on every
+/// order, exactly as in the paper.
+struct AlgorithmInfo {
+  std::string name;
+  std::string description;  // one line, for `setcover_cli describe`
+  std::string space_class;  // e.g. "O~(m)" — Table 1's space column
+  std::string approx_class; // e.g. "O~(sqrt n)" — Table 1's ratio column
+  std::vector<std::string> supported_orders;
+  std::function<std::unique_ptr<StreamingSetCoverAlgorithm>(
+      const AlgorithmOptions&)>
+      factory;
+};
+
+/// The registry, in presentation order:
 ///   kk                      — Theorem 1 baseline
 ///   adversarial-level       — Algorithm 2 (Theorem 4)
 ///   random-order            — Algorithm 1 (Theorem 3)
@@ -33,11 +52,28 @@ struct AlgorithmOptions {
 ///   set-arrival-threshold   — set-arrival baseline
 ///   first-set-patching      — trivial Õ(n)-space baseline
 ///   store-everything-greedy — trivial Θ(N)-space comparator
+const std::vector<AlgorithmInfo>& AlgorithmRegistry();
+
+/// Registry row for `name`, or nullptr for an unknown name.
+const AlgorithmInfo* FindAlgorithm(const std::string& name);
+
+/// Names accepted by MakeAlgorithmByName, in presentation order.
 std::vector<std::string> RegisteredAlgorithmNames();
 
 /// Creates the named algorithm, or nullptr for an unknown name.
 std::unique_ptr<StreamingSetCoverAlgorithm> MakeAlgorithmByName(
     const std::string& name, const AlgorithmOptions& options = {});
+
+/// Registered name closest to `name` by edit distance, or "" when
+/// nothing is plausibly close (more than half the typed name would have
+/// to change). Powers "did you mean" in CLI and engine errors.
+std::string SuggestAlgorithmName(const std::string& name);
+
+/// Ready-to-print diagnostic for an unknown algorithm name: the
+/// registered names plus a nearest-name suggestion when one is close.
+/// Shared by the CLI and engine::Execute so every entry point fails the
+/// same helpful way.
+std::string UnknownAlgorithmError(const std::string& name);
 
 }  // namespace setcover
 

@@ -104,9 +104,10 @@ class StreamingSetCoverAlgorithm {
   }
 };
 
-/// Edges per ProcessEdgeBatch call used by every batched driver
-/// (RunStream, RunSupervisor, RunStreamFromFile). Equal to the stream
-/// file v2 chunk capacity (stream/stream_file.h), so checkpoint
+/// Default edges per ProcessEdgeBatch call, used by the execution
+/// engine (engine::Execute / engine::Drive, see engine/engine.h) and by
+/// the header-inline RunStream reference primitive below. Equal to the
+/// stream file v2 chunk capacity (stream/stream_file.h), so checkpoint
 /// positions and on-disk chunk boundaries stay aligned with batch
 /// boundaries — a checkpoint is only ever taken between batches.
 inline constexpr size_t kIngestBatchEdges = 4096;
@@ -124,7 +125,11 @@ void ProcessBatchCheckedForEquivalence(StreamingSetCoverAlgorithm& algorithm,
                                        std::span<const Edge> edges);
 
 /// Feeds a whole materialized stream through `algorithm` in
-/// kIngestBatchEdges-sized batches and finalizes.
+/// kIngestBatchEdges-sized batches and finalizes. This is the reference
+/// drive primitive the engine's fast paths are pinned against
+/// (tests/engine_equivalence_test.cc); production callers should go
+/// through engine::Execute, which adds sources, fault tolerance,
+/// checkpointing, and reporting around the same loop.
 inline CoverSolution RunStream(StreamingSetCoverAlgorithm& algorithm,
                                const EdgeStream& stream) {
   algorithm.Begin(stream.meta);

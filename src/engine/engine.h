@@ -1,0 +1,237 @@
+#ifndef SETCOVER_ENGINE_ENGINE_H_
+#define SETCOVER_ENGINE_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "core/registry.h"
+#include "core/streaming_algorithm.h"
+#include "instance/validator.h"
+#include "stream/edge_source.h"
+#include "stream/fault_injector.h"
+#include "stream/stream_file.h"
+#include "util/backoff.h"
+
+namespace setcover {
+namespace engine {
+
+/// The execution engine: every way this repository drives an edge
+/// stream through a streaming algorithm goes through here. A run is
+/// described declaratively by a RunConfig — algorithm, source, fault
+/// injection, checkpointing, batching, validation — and Execute()
+/// assembles the pipeline
+///
+///   source -> fault injector -> batcher -> algorithm -> finalize
+///          -> validate
+///
+/// returning one unified RunReport. RunSupervisor, BestOfRuns, the
+/// bench harnesses, RunStreamFromFile, and the CLI are all thin clients
+/// of this seam (docs/architecture.md has the layer diagram); the only
+/// drive loop outside src/engine/ is the header-inline RunStream in
+/// core/streaming_algorithm.h, kept as the reference primitive that
+/// tests/engine_equivalence_test.cc pins the engine against.
+///
+/// Equivalence contract: for the same (algorithm, seed, edges), every
+/// engine path produces bit-identical covers, certificates, meter
+/// readings, and checkpoint bytes to the legacy RunStream /
+/// RunSupervisor / RunStreamFromFile loops it replaced — enforced by
+/// tests/engine_equivalence_test.cc for every registered algorithm.
+
+/// Where a run's edges come from. Exactly one of `stream` (an in-memory
+/// materialized stream) or `path` (a binary stream file, format v1/v2/
+/// v3 auto-detected) must be set; `read_options` tunes the file
+/// backends (mmap on/off, background prefetch decoding on/off).
+struct SourceSpec {
+  const EdgeStream* stream = nullptr;
+  std::string path;
+  StreamReadOptions read_options;
+
+  static SourceSpec InMemory(const EdgeStream& stream) {
+    SourceSpec spec;
+    spec.stream = &stream;
+    return spec;
+  }
+  static SourceSpec File(std::string file_path,
+                         StreamReadOptions options = {}) {
+    SourceSpec spec;
+    spec.path = std::move(file_path);
+    spec.read_options = options;
+    return spec;
+  }
+};
+
+/// Crash tolerance for one run. `path` names the sidecar checkpoint
+/// file; a checkpoint is written every `every` delivered edges (at
+/// record boundaries only). With `resume`, the run restores from `path`
+/// instead of starting fresh — the checkpoint must load, CRC-verify,
+/// match the algorithm and stream shape, and decode; anything less is a
+/// fatal error, never a silent restart.
+struct CheckpointSpec {
+  std::string path;
+  uint64_t every = 0;
+  bool resume = false;
+};
+
+/// Built-in observability: wall-clock per pipeline stage, process CPU
+/// for the whole run, and how many batches the batcher flushed. Stage
+/// boundaries are coarse on purpose — per-edge timing would perturb the
+/// hot loop the engine exists to keep fast.
+struct StageStats {
+  double setup_seconds = 0.0;     // source open + algorithm resolve/resume
+  double stream_seconds = 0.0;    // source -> batcher -> algorithm loop
+  double finalize_seconds = 0.0;  // Finalize(): cover + certificate
+  double validate_seconds = 0.0;  // certificate validation (when enabled)
+  double total_seconds = 0.0;     // Execute() entry to exit
+  double cpu_seconds = 0.0;       // process CPU consumed during the run
+  uint64_t batches = 0;           // ProcessEdgeBatch calls issued
+};
+
+/// Everything a caller learns from an engine run — a superset of the
+/// old run/run_supervisor.h report (same field names, so supervised-run
+/// clients read it unchanged) extended with per-stage observability,
+/// the resolved algorithm identity, meter totals, and the validation
+/// verdict.
+struct RunReport {
+  /// Valid only when `completed`.
+  CoverSolution solution;
+
+  /// The run reached Finalize(). False after a simulated kill
+  /// (stop_after) or a fatal error (see `error`).
+  bool completed = false;
+
+  /// This run restored state from a checkpoint, at this position.
+  bool resumed = false;
+  uint64_t resumed_at = 0;
+
+  /// Totals across the whole logical run (carried over a resume).
+  uint64_t edges_delivered = 0;
+  uint64_t checkpoints_written = 0;
+  uint64_t transient_retries = 0;
+  uint64_t corrupt_records_skipped = 0;
+  uint64_t faults_survived = 0;
+
+  /// The run could not consume the full stream (retry budget exhausted
+  /// or truncated input) and the cover may be partial; the certificate
+  /// still certifies exactly which elements are covered.
+  bool degraded = false;
+  uint64_t uncovered_elements = 0;
+
+  /// Non-empty on fatal failure (unknown algorithm, unreadable source,
+  /// unreadable/corrupt/mismatched checkpoint, undecodable state,
+  /// checkpoint write failure).
+  std::string error;
+
+  /// Name() of the algorithm that ran (empty when resolution failed).
+  std::string algorithm_name;
+
+  /// Space accounting at the end of the run, from the algorithm's
+  /// MemoryMeter.
+  size_t peak_words = 0;
+  size_t current_words = 0;
+  std::string meter_breakdown;
+
+  /// Per-stage counters and timings.
+  StageStats stages;
+
+  /// Certificate validation verdict; meaningful only when `validated`
+  /// (RunConfig::validate was set and the run completed).
+  bool validated = false;
+  ValidationResult validation;
+};
+
+/// Knobs of the supervised drive loop (the old SupervisorOptions, now
+/// owned by the engine; run/run_supervisor.h aliases this type).
+struct DriveOptions {
+  /// Sidecar checkpoint file; empty disables checkpointing.
+  std::string checkpoint_path;
+
+  /// Write a checkpoint every this many delivered edges (at record
+  /// boundaries only — never while the source holds pending replay
+  /// state). 0 disables periodic checkpoints even with a path set.
+  uint64_t checkpoint_every = 0;
+
+  /// Resume from `checkpoint_path` instead of starting fresh.
+  bool resume = false;
+
+  /// Retry budget for transient read faults.
+  BackoffPolicy backoff;
+
+  /// Called with each backoff delay in microseconds. Defaults to not
+  /// sleeping, which keeps tests and simulations instant; the CLI
+  /// installs a real sleep.
+  std::function<void(uint64_t)> sleeper;
+
+  /// Simulated kill switch: stop (without finalizing) once this many
+  /// edges have been delivered this run. 0 disables.
+  uint64_t stop_after = 0;
+
+  /// Edges per ProcessEdgeBatch flush. Checkpoint positions, the
+  /// stop_after kill point, and end-of-stream always fall exactly on a
+  /// flush, so reports and algorithm state are bit-identical at any
+  /// batch size (the batch/per-edge contract of ProcessEdgeBatch).
+  size_t batch_edges = kIngestBatchEdges;
+};
+
+/// Low-level entry point: drives `algorithm` over a caller-assembled
+/// `source` to completion under full supervision — periodic CRC'd
+/// checkpoints, crash resume with bit-identical continuation, bounded
+/// retries on transient faults, skip-and-count on corrupt records, and
+/// graceful degradation to a certified partial cover when the stream
+/// cannot be fully consumed. RunSupervisor::Run is an alias for this.
+RunReport Drive(const DriveOptions& options,
+                StreamingSetCoverAlgorithm& algorithm, EdgeSource& source);
+
+/// One declarative run description, consumed by Execute().
+struct RunConfig {
+  /// Algorithm to run, by registry name. Ignored when
+  /// `algorithm_instance` is set. Unknown names fail with the
+  /// registry's unknown-algorithm diagnostic (names + suggestion).
+  std::string algorithm;
+  AlgorithmOptions options;
+
+  /// Pre-built algorithm to drive instead of a registry name — for
+  /// callers that need non-registry parameterizations (bench rows) or
+  /// want to inspect the object afterwards. Not owned; must outlive the
+  /// call.
+  StreamingSetCoverAlgorithm* algorithm_instance = nullptr;
+
+  /// Where the edges come from.
+  SourceSpec source;
+
+  /// Deterministic stream damage layered over the source (transient /
+  /// duplicate / drop / corrupt, a pure function of (seed, position)).
+  std::optional<FaultSchedule> faults;
+
+  /// Checkpoint/resume behavior.
+  CheckpointSpec checkpoint;
+
+  /// Simulated kill switch (see DriveOptions::stop_after).
+  uint64_t stop_after = 0;
+
+  /// Retry/sleep policy for transient source faults.
+  BackoffPolicy backoff;
+  std::function<void(uint64_t)> sleeper;
+
+  /// Edges per batcher flush (see DriveOptions::batch_edges).
+  size_t batch_edges = kIngestBatchEdges;
+
+  /// When set, the completed solution is validated against this
+  /// instance (legal cover + legal certificate) and the verdict lands
+  /// in RunReport::validation.
+  const SetCoverInstance* validate = nullptr;
+};
+
+/// Assembles the pipeline described by `config`, runs it, and returns
+/// the unified report. Unsupervised configurations (no faults, no
+/// checkpointing, no kill switch, default batch size) take a zero-copy
+/// fast path — span-sliced batches for in-memory streams, chunk-aligned
+/// reader batches for files — that is bit-identical to the supervised
+/// loop; supervised configurations run under Drive().
+RunReport Execute(const RunConfig& config);
+
+}  // namespace engine
+}  // namespace setcover
+
+#endif  // SETCOVER_ENGINE_ENGINE_H_

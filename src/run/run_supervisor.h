@@ -1,88 +1,33 @@
 #ifndef SETCOVER_RUN_RUN_SUPERVISOR_H_
 #define SETCOVER_RUN_RUN_SUPERVISOR_H_
 
-#include <cstdint>
-#include <functional>
-#include <string>
+#include <utility>
 
-#include "core/streaming_algorithm.h"
-#include "stream/edge_source.h"
-#include "util/backoff.h"
+#include "engine/engine.h"
 
 namespace setcover {
 
-/// Knobs for one supervised run.
-struct SupervisorOptions {
-  /// Sidecar checkpoint file; empty disables checkpointing.
-  std::string checkpoint_path;
-
-  /// Write a checkpoint every this many delivered edges (at record
-  /// boundaries only — never while the source holds pending replay
-  /// state). 0 disables periodic checkpoints even with a path set.
-  uint64_t checkpoint_every = 0;
-
-  /// Resume from `checkpoint_path` instead of starting fresh. The
-  /// checkpoint must load, CRC-verify, match the algorithm and stream
-  /// shape, and decode — anything less is an error, not a silent
-  /// restart.
-  bool resume = false;
-
-  /// Retry budget for transient read faults.
-  BackoffPolicy backoff;
-
-  /// Called with each backoff delay in microseconds. Defaults to not
-  /// sleeping, which keeps tests and simulations instant; the CLI
-  /// installs a real sleep.
-  std::function<void(uint64_t)> sleeper;
-
-  /// Simulated kill switch: stop (without finalizing) once this many
-  /// edges have been delivered this run. 0 disables. Used by the
-  /// kill-and-resume tests and reproducible from the CLI.
-  uint64_t stop_after = 0;
-};
-
-/// Everything a caller learns from a supervised run.
-struct RunReport {
-  /// Valid only when `completed`.
-  CoverSolution solution;
-
-  /// The run reached Finalize(). False after a simulated kill
-  /// (stop_after) or a fatal error (see `error`).
-  bool completed = false;
-
-  /// This run restored state from a checkpoint, at this position.
-  bool resumed = false;
-  uint64_t resumed_at = 0;
-
-  /// Totals across the whole logical run (carried over a resume).
-  uint64_t edges_delivered = 0;
-  uint64_t checkpoints_written = 0;
-  uint64_t transient_retries = 0;
-  uint64_t corrupt_records_skipped = 0;
-  uint64_t faults_survived = 0;
-
-  /// The run could not consume the full stream (retry budget exhausted
-  /// or truncated input) and the cover may be partial; the certificate
-  /// still certifies exactly which elements are covered.
-  bool degraded = false;
-  uint64_t uncovered_elements = 0;
-
-  /// Non-empty on fatal failure (unreadable/corrupt/mismatched
-  /// checkpoint, undecodable state, checkpoint write failure).
-  std::string error;
-};
+/// Compatibility shim: the supervised drive loop now lives in
+/// src/engine/ (see engine::Drive). These aliases keep the original
+/// supervised-run API — same names, same fields, same semantics — so
+/// existing clients compile unchanged while every run flows through the
+/// one engine pipeline.
+using SupervisorOptions = engine::DriveOptions;
+using RunReport = engine::RunReport;
 
 /// Drives `algorithm` over `source` to completion: periodic CRC'd
 /// checkpoints, crash resume with bit-identical continuation, bounded
 /// retries on transient faults, skip-and-count on corrupt records, and
 /// graceful degradation to a certified partial cover when the stream
-/// cannot be fully consumed.
+/// cannot be fully consumed. Thin wrapper over engine::Drive.
 class RunSupervisor {
  public:
   explicit RunSupervisor(SupervisorOptions options)
       : options_(std::move(options)) {}
 
-  RunReport Run(StreamingSetCoverAlgorithm& algorithm, EdgeSource& source);
+  RunReport Run(StreamingSetCoverAlgorithm& algorithm, EdgeSource& source) {
+    return engine::Drive(options_, algorithm, source);
+  }
 
  private:
   SupervisorOptions options_;

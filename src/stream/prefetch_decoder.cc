@@ -169,23 +169,7 @@ std::unique_ptr<BatchEdgeReader> OpenBatchEdgeReader(
   return PrefetchDecoder::Create(std::move(reader));
 }
 
-std::optional<CoverSolution> RunStreamFromFile(
-    StreamingSetCoverAlgorithm& algorithm, const std::string& path,
-    const StreamReadOptions& options, std::string* error) {
-  auto reader = OpenBatchEdgeReader(path, options, error);
-  if (reader == nullptr) return std::nullopt;
-  algorithm.Begin(reader->Meta());
-  for (std::span<const Edge> batch = reader->NextBatch(); !batch.empty();
-       batch = reader->NextBatch()) {
-    algorithm.ProcessEdgeBatch(batch);
-  }
-  return algorithm.Finalize();
-}
-
-std::optional<CoverSolution> RunStreamFromFile(
-    StreamingSetCoverAlgorithm& algorithm, const std::string& path,
-    std::string* error) {
-  return RunStreamFromFile(algorithm, path, StreamReadOptions{}, error);
-}
+// RunStreamFromFile is implemented in engine/engine.cc as a thin client
+// of the engine's file fast path (the old loop here, verbatim).
 
 }  // namespace setcover

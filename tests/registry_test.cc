@@ -51,6 +51,50 @@ TEST(RegistryTest, AlphaOptionReachesAlgorithms) {
   EXPECT_GT(b->Meter().CurrentWords(), 0u);
 }
 
+TEST(RegistryTest, EveryRowIsSelfDescribing) {
+  for (const AlgorithmInfo& info : AlgorithmRegistry()) {
+    EXPECT_FALSE(info.name.empty());
+    EXPECT_FALSE(info.description.empty()) << info.name;
+    EXPECT_FALSE(info.space_class.empty()) << info.name;
+    EXPECT_FALSE(info.approx_class.empty()) << info.name;
+    EXPECT_FALSE(info.supported_orders.empty()) << info.name;
+    ASSERT_NE(info.factory, nullptr) << info.name;
+    EXPECT_EQ(FindAlgorithm(info.name), &info);
+  }
+  EXPECT_EQ(AlgorithmRegistry().size(), RegisteredAlgorithmNames().size());
+  EXPECT_EQ(FindAlgorithm("no-such-algorithm"), nullptr);
+}
+
+TEST(RegistryTest, FactoryNameIsPrefixOfRegistryName) {
+  // Checkpoints key off the constructed object's Name(). Parameterized
+  // variants (random-order-sketch, random-order-paper) intentionally
+  // report the base algorithm's name — their state layouts are
+  // interchangeable — so the registry name is always an extension of
+  // the object name, never unrelated.
+  for (const AlgorithmInfo& info : AlgorithmRegistry()) {
+    EXPECT_EQ(info.name.rfind(info.factory({})->Name(), 0), 0u) << info.name;
+  }
+}
+
+TEST(RegistryTest, SuggestsNearestNameForTypos) {
+  EXPECT_EQ(SuggestAlgorithmName("kkk"), "kk");
+  EXPECT_EQ(SuggestAlgorithmName("random-ordr"), "random-order");
+  EXPECT_EQ(SuggestAlgorithmName("element-samplign"), "element-sampling");
+  // Exact names suggest themselves; garbage suggests nothing.
+  EXPECT_EQ(SuggestAlgorithmName("kk"), "kk");
+  EXPECT_EQ(SuggestAlgorithmName("zzzzzzzzzzzzzzzz"), "");
+  EXPECT_EQ(SuggestAlgorithmName(""), "");
+}
+
+TEST(RegistryTest, UnknownAlgorithmErrorListsNamesAndSuggestion) {
+  const std::string message = UnknownAlgorithmError("random-ordr");
+  EXPECT_NE(message.find("did you mean 'random-order'"), std::string::npos)
+      << message;
+  for (const std::string& name : RegisteredAlgorithmNames()) {
+    EXPECT_NE(message.find(name), std::string::npos) << name;
+  }
+}
+
 TEST(RegistryTest, SeedsArehonored) {
   Rng rng(2);
   PlantedCoverParams params;

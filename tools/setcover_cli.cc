@@ -21,10 +21,10 @@
 //             --threads=1.
 //
 //   solve-stream --stream stream.bin [--algorithm kk] [--seed S]
-//             [--threads T] [--no-prefetch] [--no-mmap]
+//             [--threads T] [--no-prefetch] [--no-mmap] [--timings]
 //             [--checkpoint ckpt.sckp]
 //             [--checkpoint-every K] [--resume] [--stop-after K]
-//             Replays a binary stream file under the run supervisor (no
+//             Replays a binary stream file through the engine (no
 //             instance needed; validation is skipped since set contents
 //             are not known without the instance). With --checkpoint the
 //             run writes a CRC-guarded checkpoint every K edges;
@@ -35,7 +35,8 @@
 //             --no-prefetch disables the background pipeline decoder
 //             and --no-mmap the zero-copy file mapping; both exist for
 //             benchmarking and debugging — results are bit-identical
-//             with any combination.
+//             with any combination. --timings prints the engine's
+//             per-stage wall/CPU breakdown.
 //
 //   compare   --instance instance.txt [--order random] [--seed S]
 //             Runs *every* registered algorithm on the same stream and
@@ -43,6 +44,15 @@
 //             greedy/planted, peak words).
 //
 //   list      Prints the registered algorithm names.
+//
+//   describe  (also: --describe, list --describe)
+//             Prints the self-describing registry: one row per
+//             algorithm with space class, approximation class,
+//             supported arrival orders, and a one-line description.
+//
+// All subcommands that run an algorithm are thin clients of
+// engine::Execute (src/engine/engine.h): they describe the run as a
+// RunConfig and print fields of the returned RunReport.
 //
 // Examples:
 //   setcover_cli generate --family=planted --n=1024 --m=65536 \
@@ -60,12 +70,11 @@
 
 #include "core/multi_run.h"
 #include "core/registry.h"
+#include "engine/engine.h"
 #include "instance/generators.h"
 #include "instance/io.h"
 #include "instance/validator.h"
 #include "offline/greedy.h"
-#include "run/run_supervisor.h"
-#include "stream/edge_source.h"
 #include "stream/orderings.h"
 #include "stream/stream_file.h"
 #include "util/flags.h"
@@ -76,8 +85,14 @@ namespace {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: setcover_cli <generate|stream|solve|solve-stream|list> "
+      "usage: setcover_cli "
+      "<generate|stream|solve|solve-stream|compare|list|describe> "
       "[--flags]\n(see the header of tools/setcover_cli.cc for details)\n");
+  return 2;
+}
+
+int UnknownAlgorithm(const std::string& name) {
+  std::fprintf(stderr, "%s\n", UnknownAlgorithmError(name).c_str());
   return 2;
 }
 
@@ -94,6 +109,23 @@ std::optional<StreamOrder> ParseOrder(const std::string& name) {
 int CmdList() {
   for (const std::string& name : RegisteredAlgorithmNames()) {
     std::printf("%s\n", name.c_str());
+  }
+  return 0;
+}
+
+int CmdDescribe() {
+  std::printf("%-24s %-22s %-28s %s\n", "algorithm", "space", "approx",
+              "orders");
+  for (const AlgorithmInfo& info : AlgorithmRegistry()) {
+    std::string orders;
+    for (const std::string& order : info.supported_orders) {
+      if (!orders.empty()) orders += ",";
+      orders += order;
+    }
+    std::printf("%-24s %-22s %-28s %s\n", info.name.c_str(),
+                info.space_class.c_str(), info.approx_class.c_str(),
+                orders.c_str());
+    std::printf("    %s\n", info.description.c_str());
   }
   return 0;
 }
@@ -217,10 +249,8 @@ int CmdSolve(const FlagSet& flags) {
   options.seed = seed;
   options.alpha = flags.GetDouble("alpha", 0.0);
   options.threads = threads;
-  if (MakeAlgorithmByName(algorithm_name, options) == nullptr) {
-    std::fprintf(stderr, "unknown --algorithm=%s (try 'list')\n",
-                 algorithm_name.c_str());
-    return 2;
+  if (FindAlgorithm(algorithm_name) == nullptr) {
+    return UnknownAlgorithm(algorithm_name);
   }
 
   Rng rng(seed ^ 0x9e3779b9);
@@ -284,14 +314,16 @@ int CmdCompare(const FlagSet& flags) {
   std::printf("%-26s %8s %8s %14s %6s\n", "algorithm", "cover", "ratio",
               "peak_words", "valid");
   for (const std::string& name : RegisteredAlgorithmNames()) {
-    AlgorithmOptions options;
-    options.seed = seed;
-    auto algorithm = MakeAlgorithmByName(name, options);
-    CoverSolution solution = RunStream(*algorithm, stream);
-    ValidationResult check = ValidateSolution(*instance, solution);
+    engine::RunConfig config;
+    config.algorithm = name;
+    config.options.seed = seed;
+    config.source = engine::SourceSpec::InMemory(stream);
+    config.validate = &*instance;
+    engine::RunReport report = engine::Execute(config);
     std::printf("%-26s %8zu %8.2f %14zu %6s\n", name.c_str(),
-                solution.cover.size(), ApproxRatio(solution, reference),
-                algorithm->Meter().PeakWords(), check.ok ? "yes" : "NO");
+                report.solution.cover.size(),
+                ApproxRatio(report.solution, reference), report.peak_words,
+                report.validation.ok ? "yes" : "NO");
   }
   return 0;
 }
@@ -299,45 +331,37 @@ int CmdCompare(const FlagSet& flags) {
 int CmdSolveStream(const FlagSet& flags) {
   std::string path = flags.GetString("stream", "");
   std::string algorithm_name = flags.GetString("algorithm", "kk");
-  AlgorithmOptions options;
-  options.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
-  options.alpha = flags.GetDouble("alpha", 0.0);
-  options.threads =
-      static_cast<unsigned>(std::max<int64_t>(1, flags.GetInt("threads", 1)));
-  auto algorithm = MakeAlgorithmByName(algorithm_name, options);
-  if (algorithm == nullptr) {
-    std::fprintf(stderr, "unknown --algorithm=%s (try 'list')\n",
-                 algorithm_name.c_str());
-    return 2;
+  if (FindAlgorithm(algorithm_name) == nullptr) {
+    return UnknownAlgorithm(algorithm_name);
   }
+
+  engine::RunConfig config;
+  config.algorithm = algorithm_name;
+  config.options.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  config.options.alpha = flags.GetDouble("alpha", 0.0);
+  config.options.threads =
+      static_cast<unsigned>(std::max<int64_t>(1, flags.GetInt("threads", 1)));
 
   StreamReadOptions read_options;
   read_options.prefetch = !flags.GetBool("no-prefetch", false);
   read_options.use_mmap = !flags.GetBool("no-mmap", false);
+  config.source = engine::SourceSpec::File(path, read_options);
 
-  std::string error;
-  auto source = StreamFileSource::Open(path, read_options, &error);
-  if (source == nullptr) {
-    std::fprintf(stderr, "cannot read stream: %s\n", error.c_str());
-    return 1;
-  }
-
-  SupervisorOptions run_options;
-  run_options.checkpoint_path = flags.GetString("checkpoint", "");
-  run_options.checkpoint_every =
+  config.checkpoint.path = flags.GetString("checkpoint", "");
+  config.checkpoint.every =
       static_cast<uint64_t>(flags.GetInt("checkpoint-every", 1 << 16));
-  run_options.resume = flags.GetBool("resume", false);
-  run_options.stop_after =
-      static_cast<uint64_t>(flags.GetInt("stop-after", 0));
-  run_options.sleeper = [](uint64_t us) {
+  config.checkpoint.resume = flags.GetBool("resume", false);
+  config.stop_after = static_cast<uint64_t>(flags.GetInt("stop-after", 0));
+  config.sleeper = [](uint64_t us) {
     std::this_thread::sleep_for(std::chrono::microseconds(us));
   };
-  if (run_options.resume && run_options.checkpoint_path.empty()) {
+  if (config.checkpoint.resume && config.checkpoint.path.empty()) {
     std::fprintf(stderr, "--resume requires --checkpoint\n");
     return 2;
   }
+  const bool timings = flags.GetBool("timings", false);
 
-  RunReport report = RunSupervisor(run_options).Run(*algorithm, *source);
+  engine::RunReport report = engine::Execute(config);
   if (!report.error.empty()) {
     std::fprintf(stderr, "run failed: %s\n", report.error.c_str());
     return 1;
@@ -345,7 +369,7 @@ int CmdSolveStream(const FlagSet& flags) {
   if (report.resumed) {
     std::printf("resumed:     from edge %llu (%s)\n",
                 static_cast<unsigned long long>(report.resumed_at),
-                run_options.checkpoint_path.c_str());
+                config.checkpoint.path.c_str());
   }
   if (!report.completed) {
     std::printf("stopped:     after %llu edges (checkpoints written: %llu)\n",
@@ -357,7 +381,7 @@ int CmdSolveStream(const FlagSet& flags) {
   size_t witnessed = 0;
   for (SetId w : report.solution.certificate)
     witnessed += (w != kNoSet) ? 1 : 0;
-  std::printf("algorithm:   %s\n", algorithm->Name().c_str());
+  std::printf("algorithm:   %s\n", report.algorithm_name.c_str());
   std::printf("cover size:  %zu\n", report.solution.cover.size());
   std::printf("witnessed:   %zu/%zu elements\n", witnessed,
               report.solution.certificate.size());
@@ -373,9 +397,17 @@ int CmdSolveStream(const FlagSet& flags) {
                 static_cast<unsigned long long>(
                     report.corrupt_records_skipped));
   }
-  std::printf("peak words:  %zu\n", algorithm->Meter().PeakWords());
-  std::printf("breakdown:   %s\n",
-              algorithm->Meter().BreakdownString().c_str());
+  std::printf("peak words:  %zu\n", report.peak_words);
+  std::printf("breakdown:   %s\n", report.meter_breakdown.c_str());
+  if (timings) {
+    std::printf(
+        "timings:     setup %.3fs, stream %.3fs (%llu batches), "
+        "finalize %.3fs; total %.3fs wall, %.3fs cpu\n",
+        report.stages.setup_seconds, report.stages.stream_seconds,
+        static_cast<unsigned long long>(report.stages.batches),
+        report.stages.finalize_seconds, report.stages.total_seconds,
+        report.stages.cpu_seconds);
+  }
   return 0;
 }
 
@@ -385,7 +417,9 @@ int Main(int argc, char** argv) {
   FlagSet flags = FlagSet::Parse(argc - 2, argv + 2);
   int result;
   if (command == "list") {
-    result = CmdList();
+    result = flags.GetBool("describe", false) ? CmdDescribe() : CmdList();
+  } else if (command == "describe" || command == "--describe") {
+    result = CmdDescribe();
   } else if (command == "generate") {
     result = CmdGenerate(flags);
   } else if (command == "stream") {
