@@ -1,7 +1,12 @@
 #!/usr/bin/env bash
-# Records the performance baseline: builds the benchmark binaries and
-# runs bench_throughput (and bench_scaling) with --benchmark_format=json,
-# writing BENCH_throughput.json and BENCH_scaling.json at the repo root.
+# Records the performance baseline: builds the benchmark binaries in a
+# Release configuration and runs bench_throughput (and bench_scaling)
+# with --benchmark_format=json, writing BENCH_throughput.json and
+# BENCH_scaling.json at the repo root. Each file's context block is
+# stamped with the CMake build type and the git SHA it was recorded at,
+# so a baseline from an unoptimized build (or an unknown tree) can
+# never silently become the perf gate — check.sh --bench-smoke verifies
+# the stamp before comparing.
 #
 # The committed BENCH_*.json files are the perf trajectory of the repo:
 # re-run this script after an optimization PR and commit the refreshed
@@ -15,19 +20,43 @@ cd "$(dirname "$0")/.."
 
 JOBS="${1:-$(nproc)}"
 
-cmake -B build -S . >/dev/null
-cmake --build build -j "$JOBS" --target bench_throughput bench_scaling
+cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build-release -j "$JOBS" --target bench_throughput bench_scaling
+
+BUILD_TYPE=$(sed -n 's/^CMAKE_BUILD_TYPE:[A-Z]*=//p' \
+  build-release/CMakeCache.txt)
+if [[ "$BUILD_TYPE" != "Release" ]]; then
+  echo "bench_baseline: build-release/ is configured as '$BUILD_TYPE';"
+  echo "delete it and re-run so the baseline comes from a Release build"
+  exit 1
+fi
+GIT_SHA=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
 
 echo "== bench_throughput -> BENCH_throughput.json =="
-build/bench/bench_throughput \
+build-release/bench/bench_throughput \
   --benchmark_format=json \
   --benchmark_out=BENCH_throughput.json \
   --benchmark_out_format=json
 
 echo "== bench_scaling -> BENCH_scaling.json =="
-build/bench/bench_scaling \
+build-release/bench/bench_scaling \
   --benchmark_format=json \
   --benchmark_out=BENCH_scaling.json \
   --benchmark_out_format=json
+
+echo "== stamping build type ($BUILD_TYPE) + git sha ($GIT_SHA) =="
+python3 - "$BUILD_TYPE" "$GIT_SHA" <<'EOF'
+import json, sys
+
+build_type, git_sha = sys.argv[1], sys.argv[2]
+for path in ("BENCH_throughput.json", "BENCH_scaling.json"):
+    with open(path) as f:
+        doc = json.load(f)
+    doc.setdefault("context", {})["cmake_build_type"] = build_type
+    doc["context"]["git_sha"] = git_sha
+    with open(path, "w") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+EOF
 
 echo "== baseline written: BENCH_throughput.json BENCH_scaling.json =="

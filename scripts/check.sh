@@ -10,18 +10,24 @@
 #      then a perf gate: every file-replay row and the bucket-queue
 #      greedy kernel row must sustain at least 0.7x the edges/s recorded
 #      in the committed BENCH_throughput.json, so a read-pipeline or
-#      offline-kernel regression fails CI instead of silently shipping,
+#      offline-kernel regression fails CI instead of silently shipping.
+#      Both sides of that comparison must be Release: the gate prints
+#      the build type of build-release/ and of the committed baseline
+#      and refuses to compare anything else,
 #   2. the engine-equivalence + batch-equivalence + stream-format tests
-#      plus the greedy kernel differential + CSR instance tests under
-#      ASan+UBSan,
+#      plus the greedy kernel differential + CSR instance tests, and the
+#      session wire protocol's hostile-byte surface, under ASan+UBSan,
 #   3. the thread pool + parallel multi-run (which fans out over
-#      engine::Execute sessions) + prefetch decoder tests under TSan
-#      (-DSETCOVER_TSAN=ON), so the engine-backed parallel drivers and
-#      the pipelined decoder's slot handoff are race-checked.
+#      engine::Execute sessions) + prefetch decoder tests, plus the
+#      concurrent session server and its kill-and-resume soak, under
+#      TSan (-DSETCOVER_TSAN=ON), so the engine-backed parallel drivers
+#      and the server's scheduler/drain paths are race-checked.
 #
-# Both modes start with a layering guard: outside src/engine/ (and the
-# contract's own definition sites), production code must not drive
-# ProcessEdgeBatch directly — every run path goes through the engine.
+# Both modes start with two layering guards: outside src/engine/ (and
+# the contract's own definition sites), production code must not drive
+# ProcessEdgeBatch directly — every run path goes through the engine —
+# and src/server/ must stay a pure engine client (no includes of the
+# core/instance/algorithm layers).
 #
 # Usage: scripts/check.sh [--bench-smoke] [jobs]
 set -euo pipefail
@@ -33,6 +39,7 @@ echo "== layering guard: ProcessEdgeBatch callers outside src/engine/ =="
 # its sub-runs. bench/ and tests/ are exempt by not being scanned.
 GUARD_ALLOW=(
   src/engine/engine.cc
+  src/engine/session.cc
   src/core/streaming_algorithm.h
   src/core/streaming_algorithm.cc
   src/core/multi_run.cc
@@ -43,6 +50,19 @@ if [[ -n "$GUARD_HITS" ]]; then
   echo "$GUARD_HITS"
   echo "layering guard: ProcessEdgeBatch called outside src/engine/;"
   echo "route new run paths through engine::Execute (see docs/architecture.md)"
+  exit 1
+fi
+
+# The session server is a client of the engine, nothing more: it may
+# speak to engine/ (sessions), stream/ (plain edge/fault types), and
+# util/, but never reach under the engine to the algorithm or instance
+# layers directly.
+SERVER_HITS=$(grep -rnE '#include "(core|instance|algorithms|run)/' \
+  src/server/ || true)
+if [[ -n "$SERVER_HITS" ]]; then
+  echo "$SERVER_HITS"
+  echo "layering guard: src/server/ must stay an engine client;"
+  echo "algorithm/instance/checkpoint access belongs behind engine::Session"
   exit 1
 fi
 echo "layering guard: clean"
@@ -57,6 +77,28 @@ JOBS="${1:-$(nproc)}"
 if [[ "$BENCH_SMOKE" == "1" ]]; then
   echo "== bench smoke: Release build (build-release/) =="
   cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+
+  # Perf numbers from unoptimized builds are noise: refuse to gate on
+  # them. The build dir must be Release, and so must the committed
+  # baseline we compare against (bench_baseline.sh stamps it).
+  BUILD_TYPE=$(sed -n 's/^CMAKE_BUILD_TYPE:[A-Z]*=//p' \
+    build-release/CMakeCache.txt)
+  echo "bench smoke: build-release/ build type: ${BUILD_TYPE:-<unset>}"
+  if [[ "$BUILD_TYPE" != "Release" ]]; then
+    echo "bench smoke: refusing perf comparison from a '$BUILD_TYPE' build;"
+    echo "delete build-release/ and re-run (it must be -DCMAKE_BUILD_TYPE=Release)"
+    exit 1
+  fi
+  BASELINE_TYPE=$(python3 -c 'import json; print(json.load(open(
+    "BENCH_throughput.json")).get("context", {}).get(
+    "cmake_build_type", "<unstamped>"))')
+  echo "bench smoke: committed baseline build type: $BASELINE_TYPE"
+  if [[ "$BASELINE_TYPE" != "Release" ]]; then
+    echo "bench smoke: BENCH_throughput.json was not recorded from a Release"
+    echo "build; refresh it with scripts/bench_baseline.sh before gating"
+    exit 1
+  fi
+
   cmake --build build-release -j "$JOBS" --target bench_throughput
   build-release/bench/bench_throughput --benchmark_min_time=0.01
 
@@ -99,27 +141,36 @@ if failed:
     sys.exit(f"perf gate: file replay below {FLOOR}x the committed baseline")
 EOF
 
-  echo "== bench smoke: engine equivalence + batch equivalence + stream formats + offline kernels under ASan+UBSan (build-asan/) =="
+  echo "== bench smoke: engine equivalence + stream formats + offline kernels + wire protocol under ASan+UBSan (build-asan/) =="
   cmake -B build-asan -S . -DSETCOVER_SANITIZE=ON >/dev/null
   cmake --build build-asan -j "$JOBS" \
     --target engine_equivalence_test batch_equivalence_test \
-             stream_format_test greedy_kernel_test instance_test bitset_test
+             stream_format_test greedy_kernel_test instance_test \
+             bitset_test wire_protocol_test engine_session_test
   build-asan/tests/engine_equivalence_test
   build-asan/tests/batch_equivalence_test
   build-asan/tests/stream_format_test
   build-asan/tests/greedy_kernel_test
   build-asan/tests/instance_test
   build-asan/tests/bitset_test
+  # The wire protocol's hostile-byte surface (every-byte corruption,
+  # truncation, oversize) and the ingest-session engine driver.
+  build-asan/tests/wire_protocol_test
+  build-asan/tests/engine_session_test
 
-  echo "== bench smoke: thread pool + multi-run-over-engine + prefetch decoder under TSan (build-tsan/) =="
+  echo "== bench smoke: thread pool + multi-run-over-engine + prefetch decoder + session server under TSan (build-tsan/) =="
   cmake -B build-tsan -S . -DSETCOVER_TSAN=ON >/dev/null
   cmake --build build-tsan -j "$JOBS" \
     --target thread_pool_test multi_run_test batch_equivalence_test \
-             prefetch_decoder_test
+             prefetch_decoder_test session_server_test session_soak_test
   build-tsan/tests/thread_pool_test
   build-tsan/tests/multi_run_test
   build-tsan/tests/batch_equivalence_test
   build-tsan/tests/prefetch_decoder_test
+  # The concurrent session server: worker fan-out, shedding, drain, and
+  # the 1024-session kill-and-resume soak, all race-checked.
+  build-tsan/tests/session_server_test
+  build-tsan/tests/session_soak_test
 
   echo "== bench smoke passed =="
   exit 0

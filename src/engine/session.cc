@@ -1,0 +1,291 @@
+#include "engine/session.h"
+
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+#include "run/checkpoint.h"
+
+namespace setcover {
+namespace engine {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point since) {
+  return std::chrono::duration<double>(Clock::now() - since).count();
+}
+
+/// EdgeSource over one ingest batch, positioned at the session's
+/// absolute stream coordinate so the fault injector's (seed, position)
+/// decisions match a whole-stream run exactly. End-of-span reads as
+/// kEnd — "end of this batch", not end of the session's stream.
+class SpanEdgeSource : public EdgeSource {
+ public:
+  SpanEdgeSource(const StreamMetadata& meta, std::span<const Edge> edges,
+                 uint64_t base_position)
+      : meta_(meta), edges_(edges), base_(base_position) {}
+
+  const StreamMetadata& Meta() const override { return meta_; }
+
+  ReadStatus Next(Edge* edge) override {
+    if (offset_ >= edges_.size()) return ReadStatus::kEnd;
+    *edge = edges_[offset_++];
+    return ReadStatus::kOk;
+  }
+
+  size_t Position() const override { return base_ + offset_; }
+
+  bool SeekTo(size_t position) override {
+    if (position < base_ || position > base_ + edges_.size()) return false;
+    offset_ = position - base_;
+    return true;
+  }
+
+ private:
+  const StreamMetadata& meta_;
+  std::span<const Edge> edges_;
+  uint64_t base_;
+  size_t offset_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Session> Session::Open(const SessionConfig& config,
+                                       bool resume, std::string* error) {
+  const auto setup_start = Clock::now();
+  std::unique_ptr<Session> session(new Session());
+  session->config_ = config;
+  session->algorithm_ = MakeAlgorithmByName(config.algorithm, config.options);
+  if (session->algorithm_ == nullptr) {
+    if (error != nullptr) *error = UnknownAlgorithmError(config.algorithm);
+    return nullptr;
+  }
+  session->algorithm_name_ = session->algorithm_->Name();
+
+  std::optional<Checkpoint> checkpoint;
+  if (resume && !config.checkpoint_path.empty()) {
+    // A missing file means "crashed before the first checkpoint" and is
+    // a legitimate fresh start; anything else wrong with an *existing*
+    // file is fatal (never a silent restart).
+    std::FILE* probe = std::fopen(config.checkpoint_path.c_str(), "rb");
+    if (probe != nullptr) {
+      std::fclose(probe);
+      std::string load_error;
+      checkpoint = LoadCheckpoint(config.checkpoint_path, &load_error);
+      if (!checkpoint) {
+        if (error != nullptr) *error = load_error;
+        return nullptr;
+      }
+    }
+  }
+
+  if (checkpoint) {
+    if (checkpoint->algorithm_name != session->algorithm_name_) {
+      if (error != nullptr) {
+        *error = "checkpoint was written by algorithm '" +
+                 checkpoint->algorithm_name + "', not '" +
+                 session->algorithm_name_ + "'";
+      }
+      return nullptr;
+    }
+    if (checkpoint->meta.num_sets != config.meta.num_sets ||
+        checkpoint->meta.num_elements != config.meta.num_elements ||
+        checkpoint->meta.stream_length != config.meta.stream_length) {
+      if (error != nullptr)
+        *error = "checkpoint stream shape does not match the session";
+      return nullptr;
+    }
+    if (!session->algorithm_->DecodeState(config.meta,
+                                          checkpoint->state_words)) {
+      if (error != nullptr) {
+        *error = "algorithm '" + session->algorithm_name_ +
+                 "' could not decode the checkpointed state";
+      }
+      return nullptr;
+    }
+    session->position_ = checkpoint->stream_position;
+    session->edges_delivered_ = checkpoint->edges_delivered;
+    session->delivered_at_last_checkpoint_ = checkpoint->edges_delivered;
+    session->transient_retries_ = checkpoint->transient_retries;
+    session->corrupt_records_skipped_ = checkpoint->corrupt_skipped;
+    session->faults_survived_ = checkpoint->faults_survived;
+    session->last_sequence_ = checkpoint->session_sequence;
+    session->resumed_ = true;
+  } else {
+    session->algorithm_->Begin(config.meta);
+  }
+  session->setup_seconds_ = Seconds(setup_start);
+  return session;
+}
+
+IngestResult Session::Ingest(uint64_t sequence, std::span<const Edge> edges,
+                             std::string* error) {
+  IngestResult result;
+  result.last_sequence = last_sequence_;
+  if (final_report_.has_value()) {
+    if (error != nullptr) *error = "session already finalized";
+    return result;
+  }
+  if (sequence <= last_sequence_) {
+    ++duplicate_ingests_;
+    result.status = IngestStatus::kDuplicate;
+    return result;
+  }
+  if (sequence != last_sequence_ + 1) {
+    if (error != nullptr) *error = "ingest sequence gap";
+    result.status = IngestStatus::kOutOfOrder;
+    return result;
+  }
+
+  const auto stream_start = Clock::now();
+
+  // Pass the batch through a fresh fault-injection pipeline anchored at
+  // the session's absolute position. All injector replay state
+  // (transient countdowns, owed duplicates) lives strictly inside one
+  // batch: duplicates are delivered before the span's kEnd, so nothing
+  // straddles batches and checkpoints at batch boundaries never see
+  // pending replay.
+  delivery_.clear();
+  if (delivery_.capacity() < edges.size()) delivery_.reserve(edges.size());
+  SpanEdgeSource span_source(config_.meta, edges, position_);
+  std::optional<FaultInjector> injector;
+  EdgeSource* source = &span_source;
+  if (config_.faults.has_value()) {
+    injector.emplace(&span_source, *config_.faults);
+    source = &*injector;
+  }
+
+  ExponentialBackoff retry(config_.backoff);
+  uint64_t transient_seen = 0, corrupt_seen = 0;
+  Edge edge;
+  for (;;) {
+    const ReadStatus status = source->Next(&edge);
+    if (status == ReadStatus::kTransient) {
+      uint64_t delay_us = 0;
+      if (!retry.NextDelay(&delay_us)) {
+        // Budget exhausted before anything reached the algorithm: the
+        // batch is rejected whole, so the retry stays idempotent.
+        stream_seconds_ += Seconds(stream_start);
+        if (error != nullptr)
+          *error = "transient retry budget exhausted mid-batch";
+        degraded_ = true;
+        return result;
+      }
+      ++transient_seen;
+      continue;  // the server never sleeps; clients own pacing
+    }
+    retry.Reset();
+    if (status == ReadStatus::kEnd) break;
+    if (status == ReadStatus::kCorrupt) {
+      ++corrupt_seen;
+      continue;
+    }
+    delivery_.push_back(edge);
+  }
+
+  // Everything that survives fault injection is applied in one
+  // ProcessEdgeBatch call — by the batch/per-edge contract this leaves
+  // state bit-identical to any other batching of the same edges.
+  if (!delivery_.empty()) {
+    algorithm_->ProcessEdgeBatch(std::span<const Edge>(delivery_));
+    ++batches_;
+  }
+  position_ += edges.size();
+  edges_delivered_ += delivery_.size();
+  transient_retries_ += transient_seen;
+  corrupt_records_skipped_ += corrupt_seen;
+  faults_survived_ += transient_seen + corrupt_seen;
+  last_sequence_ = sequence;
+  ++ingest_calls_;
+  result.status = IngestStatus::kApplied;
+  result.last_sequence = last_sequence_;
+  stream_seconds_ += Seconds(stream_start);
+
+  if (config_.checkpoint_every > 0 && !config_.checkpoint_path.empty() &&
+      edges_delivered_ - delivered_at_last_checkpoint_ >=
+          config_.checkpoint_every) {
+    if (!WriteCheckpoint(error)) {
+      result.status = IngestStatus::kFailed;
+      return result;
+    }
+    result.checkpoints_written = 1;
+  }
+  return result;
+}
+
+bool Session::WriteCheckpoint(std::string* error) {
+  if (config_.checkpoint_path.empty()) return true;  // volatile session
+  Checkpoint checkpoint;
+  checkpoint.algorithm_name = algorithm_name_;
+  checkpoint.meta = config_.meta;
+  checkpoint.stream_position = position_;
+  checkpoint.edges_delivered = edges_delivered_;
+  checkpoint.transient_retries = transient_retries_;
+  checkpoint.corrupt_skipped = corrupt_records_skipped_;
+  checkpoint.faults_survived = faults_survived_;
+  checkpoint.session_sequence = last_sequence_;
+  StateEncoder encoder;
+  algorithm_->EncodeState(&encoder);
+  checkpoint.state_words = encoder.Words();
+  if (!SaveCheckpoint(checkpoint, config_.checkpoint_path, error))
+    return false;
+  ++checkpoints_written_;
+  delivered_at_last_checkpoint_ = edges_delivered_;
+  return true;
+}
+
+const RunReport& Session::Finalize() {
+  if (final_report_.has_value()) return *final_report_;
+  const auto finalize_start = Clock::now();
+  RunReport report;
+  report.algorithm_name = algorithm_name_;
+  report.solution = algorithm_->Finalize();
+  report.completed = true;
+  report.resumed = resumed_;
+  report.edges_delivered = edges_delivered_;
+  report.checkpoints_written = checkpoints_written_;
+  report.transient_retries = transient_retries_;
+  report.corrupt_records_skipped = corrupt_records_skipped_;
+  report.faults_survived = faults_survived_;
+  report.degraded = degraded_;
+  for (SetId s : report.solution.certificate)
+    if (s == kNoSet) ++report.uncovered_elements;
+  report.peak_words = algorithm_->Meter().PeakWords();
+  report.current_words = algorithm_->Meter().CurrentWords();
+  report.meter_breakdown = algorithm_->Meter().BreakdownString();
+  finalize_seconds_ = Seconds(finalize_start);
+  report.stages.setup_seconds = setup_seconds_;
+  report.stages.stream_seconds = stream_seconds_;
+  report.stages.finalize_seconds = finalize_seconds_;
+  report.stages.total_seconds =
+      setup_seconds_ + stream_seconds_ + finalize_seconds_;
+  report.stages.batches = batches_;
+  final_report_ = std::move(report);
+  return *final_report_;
+}
+
+SessionStats Session::Stats() const {
+  SessionStats stats;
+  stats.edges_delivered = edges_delivered_;
+  stats.batches = batches_;
+  stats.ingest_calls = ingest_calls_;
+  stats.duplicate_ingests = duplicate_ingests_;
+  stats.checkpoints_written = checkpoints_written_;
+  stats.transient_retries = transient_retries_;
+  stats.corrupt_records_skipped = corrupt_records_skipped_;
+  stats.faults_survived = faults_survived_;
+  stats.last_sequence = last_sequence_;
+  stats.resumed = resumed_;
+  stats.finalized = final_report_.has_value();
+  stats.degraded = degraded_;
+  stats.setup_seconds = setup_seconds_;
+  stats.stream_seconds = stream_seconds_;
+  stats.finalize_seconds = finalize_seconds_;
+  stats.peak_words = algorithm_->Meter().PeakWords();
+  stats.current_words = algorithm_->Meter().CurrentWords();
+  return stats;
+}
+
+}  // namespace engine
+}  // namespace setcover

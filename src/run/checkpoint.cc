@@ -9,7 +9,9 @@ namespace setcover {
 namespace {
 
 constexpr uint32_t kMagic = 0x504B4353u;  // "SCKP" little-endian
-constexpr uint32_t kVersion = 1;
+// v2 added session_sequence (the session server's exactly-once cursor);
+// v1 files load with session_sequence = 0.
+constexpr uint32_t kVersion = 2;
 
 void AppendU32(std::vector<uint8_t>* out, uint32_t v) {
   for (int i = 0; i < 4; ++i) out->push_back(uint8_t(v >> (8 * i)));
@@ -66,6 +68,7 @@ bool SaveCheckpoint(const Checkpoint& checkpoint, const std::string& path,
   AppendU64(&bytes, checkpoint.transient_retries);
   AppendU64(&bytes, checkpoint.corrupt_skipped);
   AppendU64(&bytes, checkpoint.faults_survived);
+  AppendU64(&bytes, checkpoint.session_sequence);
   AppendU64(&bytes, checkpoint.state_words.size());
   for (uint64_t w : checkpoint.state_words) AppendU64(&bytes, w);
   AppendU32(&bytes, Crc32(bytes.data() + 4, bytes.size() - 4));
@@ -103,7 +106,9 @@ std::optional<Checkpoint> LoadCheckpoint(const std::string& path,
   std::fclose(f);
 
   ByteReader in{bytes.data(), bytes.size()};
-  if (in.U32() != kMagic || in.U32() != kVersion) {
+  const uint32_t magic = in.U32();
+  const uint32_t version = in.U32();
+  if (magic != kMagic || version < 1 || version > kVersion) {
     if (error != nullptr) *error = path + ": not a checkpoint file";
     return std::nullopt;
   }
@@ -136,6 +141,7 @@ std::optional<Checkpoint> LoadCheckpoint(const std::string& path,
   checkpoint.transient_retries = in.U64();
   checkpoint.corrupt_skipped = in.U64();
   checkpoint.faults_survived = in.U64();
+  checkpoint.session_sequence = version >= 2 ? in.U64() : 0;
   const uint64_t state_len = in.U64();
   if (!in.ok || state_len > (bytes.size() - in.pos) / 8) {
     if (error != nullptr) *error = path + ": malformed checkpoint";

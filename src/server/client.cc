@@ -1,0 +1,207 @@
+#include "server/client.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace setcover {
+namespace server {
+
+SessionClient::SessionClient(Dialer dial, ClientOptions options)
+    : dial_(std::move(dial)), options_(std::move(options)) {}
+
+void SessionClient::Wait(uint64_t micros) {
+  if (options_.sleeper) {
+    options_.sleeper(micros);
+  } else {
+    std::this_thread::sleep_for(std::chrono::microseconds(micros));
+  }
+}
+
+bool SessionClient::EnsureConnected(ExponentialBackoff* retry,
+                                    std::string* error) {
+  while (connection_ == nullptr) {
+    std::string dial_error;
+    connection_ = dial_(&dial_error);
+    if (connection_ != nullptr) {
+      ++reconnects_;
+      return true;
+    }
+    uint64_t delay_us = 0;
+    if (!retry->NextDelay(&delay_us)) {
+      if (error != nullptr)
+        *error = "reconnect budget exhausted: " + dial_error;
+      return false;
+    }
+    Wait(delay_us);
+  }
+  return true;
+}
+
+bool SessionClient::Call(const Message& request, MessageType expect,
+                         Message* reply, std::string* error) {
+  const std::vector<uint8_t> payload = EncodeMessage(request);
+  ExponentialBackoff retry(options_.backoff);
+  for (;;) {
+    if (!EnsureConnected(&retry, error)) return false;
+    // A failed send or receive means the connection died under us
+    // (server crash, drain teardown). Drop it and redial — idempotent
+    // ops make the blind re-send safe even when the server applied the
+    // request but the reply was lost.
+    if (!connection_->Send(payload) ||
+        !connection_->Receive(&receive_buffer_)) {
+      connection_.reset();
+      uint64_t delay_us = 0;
+      if (!retry.NextDelay(&delay_us)) {
+        if (error != nullptr) *error = "retry budget exhausted on dead link";
+        return false;
+      }
+      Wait(delay_us);
+      continue;
+    }
+    std::string decode_error;
+    std::optional<Message> decoded =
+        DecodeMessage(receive_buffer_, &decode_error);
+    if (!decoded) {
+      // A torn reply is indistinguishable from a torn link.
+      connection_.reset();
+      uint64_t delay_us = 0;
+      if (!retry.NextDelay(&delay_us)) {
+        if (error != nullptr) *error = "bad reply frame: " + decode_error;
+        return false;
+      }
+      Wait(delay_us);
+      continue;
+    }
+    if (decoded->type == MessageType::kRetryAfter) {
+      ++sheds_seen_;
+      uint64_t delay_us = 0;
+      if (!retry.NextDelay(&delay_us)) {
+        if (error != nullptr) *error = "shed retry budget exhausted";
+        return false;
+      }
+      Wait(std::max(delay_us, decoded->retry_after_us));
+      continue;
+    }
+    if (decoded->type == MessageType::kError) {
+      if (error != nullptr) *error = decoded->error;
+      return false;
+    }
+    if (decoded->type != expect) {
+      if (error != nullptr) *error = "unexpected reply type";
+      return false;
+    }
+    *reply = std::move(*decoded);
+    return true;
+  }
+}
+
+bool SessionClient::Open(uint64_t session_id, const OpenBody& open,
+                         Message* reply, std::string* error) {
+  Message request;
+  request.type = MessageType::kOpen;
+  request.session_id = session_id;
+  request.open = open;
+  return Call(request, MessageType::kOpenOk, reply, error);
+}
+
+bool SessionClient::Ingest(uint64_t session_id, uint64_t sequence,
+                           std::span<const Edge> edges, Message* reply,
+                           std::string* error) {
+  Message request;
+  request.type = MessageType::kIngest;
+  request.session_id = session_id;
+  request.sequence = sequence;
+  request.edges.assign(edges.begin(), edges.end());
+  return Call(request, MessageType::kIngestOk, reply, error);
+}
+
+bool SessionClient::Checkpoint(uint64_t session_id, Message* reply,
+                               std::string* error) {
+  Message request;
+  request.type = MessageType::kCheckpoint;
+  request.session_id = session_id;
+  return Call(request, MessageType::kCheckpointOk, reply, error);
+}
+
+bool SessionClient::Finalize(uint64_t session_id, uint64_t fence_sequence,
+                             Message* reply, std::string* error) {
+  Message request;
+  request.type = MessageType::kFinalize;
+  request.session_id = session_id;
+  request.sequence = fence_sequence;
+  return Call(request, MessageType::kFinalizeOk, reply, error);
+}
+
+bool SessionClient::Stats(uint64_t session_id, Message* reply,
+                          std::string* error) {
+  Message request;
+  request.type = MessageType::kStats;
+  request.session_id = session_id;
+  return Call(request, MessageType::kStatsOk, reply, error);
+}
+
+bool SessionClient::Close(uint64_t session_id, Message* reply,
+                          std::string* error) {
+  Message request;
+  request.type = MessageType::kClose;
+  request.session_id = session_id;
+  return Call(request, MessageType::kCloseOk, reply, error);
+}
+
+bool RunSessionToCompletion(SessionClient* client, uint64_t session_id,
+                            const OpenBody& open,
+                            std::span<const Edge> edges, size_t batch_edges,
+                            Message* finalize_reply, std::string* error) {
+  if (batch_edges == 0) batch_edges = 1;
+  const uint64_t total_batches =
+      (edges.size() + batch_edges - 1) / batch_edges;
+
+  Message reply;
+  if (!client->Open(session_id, open, &reply, error)) return false;
+  uint64_t next = reply.last_sequence + 1;
+
+  // A session that survived a server kill may already hold more applied
+  // batches than its last checkpoint recorded; the durable cursor from
+  // Open is authoritative either way.
+  size_t resyncs = 0;
+  for (;;) {
+    while (next <= total_batches) {
+      const size_t begin = size_t(next - 1) * batch_edges;
+      const size_t count = std::min(batch_edges, edges.size() - begin);
+      if (client->Ingest(session_id, next, edges.subspan(begin, count),
+                         &reply, error)) {
+        next = std::max<uint64_t>(reply.last_sequence, next) + 1;
+        continue;
+      }
+      // Ingest failed outright (budget exhausted, or a sequence-gap
+      // error after the server lost unflushed state in a crash).
+      // Re-attach to learn the durable cursor and resume from there;
+      // if even Open fails, the failure is real.
+      if (++resyncs > 64) {
+        if (error != nullptr) *error = "session resync did not converge";
+        return false;
+      }
+      if (!client->Open(session_id, open, &reply, error)) return false;
+      next = reply.last_sequence + 1;
+    }
+
+    // Fence the finalize on the full cursor. If the server crashed
+    // after acking the tail but before checkpointing it, the recovered
+    // session is behind the fence — the kError sends us back around to
+    // re-attach and refill the missing batches rather than sealing a
+    // truncated stream.
+    if (client->Finalize(session_id, total_batches, finalize_reply, error))
+      return true;
+    if (++resyncs > 64) {
+      if (error != nullptr) *error = "session resync did not converge";
+      return false;
+    }
+    if (!client->Open(session_id, open, &reply, error)) return false;
+    next = reply.last_sequence + 1;
+  }
+}
+
+}  // namespace server
+}  // namespace setcover

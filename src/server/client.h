@@ -1,0 +1,103 @@
+#ifndef SETCOVER_SERVER_CLIENT_H_
+#define SETCOVER_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "server/protocol.h"
+#include "server/transport.h"
+#include "util/backoff.h"
+
+namespace setcover {
+namespace server {
+
+struct ClientOptions {
+  /// Paces reconnects and kRetryAfter waits. The jittered seeded mode
+  /// (BackoffPolicy::jitter / jitter_seed) decorrelates a fleet of
+  /// loadgen clients hammering one shedding server. NextDelay() doubles
+  /// as the give-up budget: when the schedule is exhausted mid-op, the
+  /// op fails.
+  BackoffPolicy backoff;
+
+  /// How the client waits, injectable so tests retry thousands of times
+  /// without wall-clock sleeps. Defaults to a real microsecond sleep.
+  std::function<void(uint64_t micros)> sleeper;
+};
+
+/// One client endpoint of the session protocol: dials through an
+/// injected factory (LocalEndpoint::Connect or ConnectUnix), frames and
+/// CRCs every request, and absorbs the two transient failure shapes —
+///   - connection loss (server crashed / not up yet): redial with
+///     backoff and re-send; safe because every op is idempotent,
+///   - kRetryAfter (shedding or draining): wait the max of the server's
+///     hint and the local backoff delay, then re-send.
+/// kError replies are deterministic rejections and are returned to the
+/// caller immediately, not retried.
+///
+/// Not thread-safe; give each client thread its own SessionClient.
+class SessionClient {
+ public:
+  using Dialer =
+      std::function<std::unique_ptr<Connection>(std::string* error)>;
+
+  SessionClient(Dialer dial, ClientOptions options);
+
+  /// Ops. Each returns true and fills *reply on the matching kXxxOk,
+  /// false with *error on a kError reply or an exhausted retry budget.
+  /// Open doubles as re-attach: reply->last_sequence is the server's
+  /// durable cursor (resume sending from the next sequence).
+  bool Open(uint64_t session_id, const OpenBody& open, Message* reply,
+            std::string* error);
+  bool Ingest(uint64_t session_id, uint64_t sequence,
+              std::span<const Edge> edges, Message* reply,
+              std::string* error);
+  bool Checkpoint(uint64_t session_id, Message* reply, std::string* error);
+  /// fence_sequence is the cursor the caller believes is applied; the
+  /// server rejects the finalize if the session disagrees (e.g. a crash
+  /// rolled it back to an older checkpoint). 0 finalizes unfenced.
+  bool Finalize(uint64_t session_id, uint64_t fence_sequence, Message* reply,
+                std::string* error);
+  /// session_id = 0 queries server-wide stats.
+  bool Stats(uint64_t session_id, Message* reply, std::string* error);
+  bool Close(uint64_t session_id, Message* reply, std::string* error);
+
+  /// Times the client was asked to shed (kRetryAfter replies seen) and
+  /// times it redialed — the overload test's observables.
+  uint64_t RetriesAfterShed() const { return sheds_seen_; }
+  uint64_t Reconnects() const { return reconnects_; }
+
+ private:
+  bool Call(const Message& request, MessageType expect, Message* reply,
+            std::string* error);
+  bool EnsureConnected(ExponentialBackoff* retry, std::string* error);
+  void Wait(uint64_t micros);
+
+  Dialer dial_;
+  ClientOptions options_;
+  std::unique_ptr<Connection> connection_;
+  std::vector<uint8_t> receive_buffer_;
+  uint64_t sheds_seen_ = 0;
+  uint64_t reconnects_ = 0;
+};
+
+/// Drives one whole session to its cover: open (or re-attach), stream
+/// `edges` in `batch_edges`-sized sequenced batches from the server's
+/// durable cursor, finalize. Any mid-stream failure re-attaches via
+/// Open to learn the durable cursor and continues from there — across
+/// server kills, sheds, and dropped connections the server applies
+/// every batch exactly once. Fills *finalize_reply with the kFinalizeOk
+/// message (cover + certificate). The soak test and setcover_loadgen
+/// share this loop.
+bool RunSessionToCompletion(SessionClient* client, uint64_t session_id,
+                            const OpenBody& open,
+                            std::span<const Edge> edges, size_t batch_edges,
+                            Message* finalize_reply, std::string* error);
+
+}  // namespace server
+}  // namespace setcover
+
+#endif  // SETCOVER_SERVER_CLIENT_H_

@@ -1,0 +1,134 @@
+#include "server/server.h"
+
+#include <utility>
+
+#include "server/protocol.h"
+
+namespace setcover {
+namespace server {
+
+SessionServer::SessionServer(ServerOptions options,
+                             std::unique_ptr<Listener> listener)
+    : options_(std::move(options)),
+      listener_(std::move(listener)),
+      manager_(options_.state_dir) {}
+
+SessionServer::~SessionServer() { Abort(); }
+
+void SessionServer::Start() {
+  queue_ = std::make_unique<TaskQueue>(options_.worker_threads,
+                                       options_.max_queue);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+}
+
+void SessionServer::AcceptLoop() {
+  for (;;) {
+    std::unique_ptr<Connection> accepted = listener_->Accept();
+    if (accepted == nullptr) return;  // listener shut down
+    std::shared_ptr<Connection> connection = std::move(accepted);
+    std::lock_guard<std::mutex> lock(threads_mutex_);
+    if (stopped_.load() || draining_.load()) {
+      connection->Close();
+      continue;
+    }
+    connections_.push_back(connection);
+    connection_threads_.emplace_back(
+        [this, connection] { ConnectionLoop(connection); });
+  }
+}
+
+void SessionServer::ConnectionLoop(std::shared_ptr<Connection> connection) {
+  std::vector<uint8_t> payload;
+  while (connection->Receive(&payload)) {
+    frames_received_.fetch_add(1, std::memory_order_relaxed);
+
+    std::string error;
+    std::optional<Message> request = DecodeMessage(payload, &error);
+    if (!request) {
+      // Hostile or damaged bytes never reach the scheduler; the
+      // connection stays usable for the client's (CRC-intact) retry.
+      connection->Send(EncodeMessage(MakeError(0, "bad frame: " + error)));
+      continue;
+    }
+
+    if (draining_.load() || stopped_.load()) {
+      connection->Send(EncodeMessage(
+          MakeRetryAfter(request->session_id, options_.retry_after_us,
+                         RetryReason::kDraining)));
+      continue;
+    }
+
+    // Admission control. The lambda owns the decoded request; the reply
+    // is sent from the scheduler thread (transports serialize sends).
+    Message owned = std::move(*request);
+    const uint64_t session_id = owned.session_id;
+    const bool admitted = queue_->TrySubmit(
+        [this, connection, request = std::move(owned)]() mutable {
+          Message reply = manager_.Handle(request);
+          if (reply.type == MessageType::kStatsOk && reply.session_id == 0) {
+            reply.frames_received =
+                frames_received_.load(std::memory_order_relaxed);
+            reply.sheds = sheds_.load(std::memory_order_relaxed);
+          }
+          connection->Send(EncodeMessage(reply));
+        });
+    if (!admitted) {
+      // Shed from the connection thread — rejecting work must not
+      // depend on the queue that is already full.
+      sheds_.fetch_add(1, std::memory_order_relaxed);
+      connection->Send(EncodeMessage(MakeRetryAfter(
+          session_id, options_.retry_after_us, RetryReason::kOverloaded)));
+    }
+  }
+}
+
+void SessionServer::StopInternal(bool drain) {
+  if (stopped_.exchange(true)) return;
+  draining_.store(true);
+
+  // Stop the intake: no new connections.
+  listener_->Shutdown();
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  // Graceful drain answers every admitted request while the
+  // connections are still open, so no reply is lost.
+  if (drain && queue_ != nullptr) queue_->Drain();
+
+  // Unblock and collect the connection threads; after their join,
+  // nobody can touch the queue.
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(threads_mutex_);
+    for (auto& connection : connections_) connection->Close();
+    threads.swap(connection_threads_);
+    connections_.clear();
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  if (queue_ != nullptr) {
+    queue_->Stop();
+    queue_.reset();  // joins the scheduler threads
+  }
+
+  if (drain) {
+    // The drain sweep: every open session's state and exactly-once
+    // cursor hit disk, so a restarted server resumes with zero replay.
+    manager_.CheckpointAll(nullptr);
+  }
+}
+
+void SessionServer::DrainAndStop() { StopInternal(/*drain=*/true); }
+
+void SessionServer::Abort() { StopInternal(/*drain=*/false); }
+
+ServerStats SessionServer::Stats() const {
+  ServerStats stats;
+  stats.open_sessions = manager_.OpenSessions();
+  stats.frames_received = frames_received_.load(std::memory_order_relaxed);
+  stats.sheds = sheds_.load(std::memory_order_relaxed);
+  stats.total_edges_delivered = manager_.TotalEdgesDelivered();
+  return stats;
+}
+
+}  // namespace server
+}  // namespace setcover

@@ -1,0 +1,103 @@
+#ifndef SETCOVER_SERVER_SERVER_H_
+#define SETCOVER_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/session_manager.h"
+#include "server/transport.h"
+#include "util/thread_pool.h"
+
+namespace setcover {
+namespace server {
+
+struct ServerOptions {
+  /// Scheduler threads executing admitted requests.
+  size_t worker_threads = 2;
+
+  /// Admission bound: requests queued beyond this are shed with
+  /// kRetryAfter(kOverloaded) instead of queueing unboundedly.
+  size_t max_queue = 64;
+
+  /// Delay hint carried in kRetryAfter replies. Clients treat it as the
+  /// base of their jittered backoff, not a promise.
+  uint64_t retry_after_us = 500;
+
+  /// Session durability directory (manifests + checkpoints). Must
+  /// exist. Empty => volatile sessions.
+  std::string state_dir;
+};
+
+/// Point-in-time server counters (the kStats/session_id=0 reply).
+struct ServerStats {
+  uint64_t open_sessions = 0;
+  uint64_t frames_received = 0;
+  uint64_t sheds = 0;
+  uint64_t total_edges_delivered = 0;
+};
+
+/// The long-lived session server: accepts connections from a Listener,
+/// decodes frames, and schedules admitted requests onto a bounded
+/// TaskQueue over the SessionManager.
+///
+/// Life cycle:
+///   Start()        spawn the accept loop; serve until stopped.
+///   DrainAndStop() graceful: stop accepting work (in-flight requests
+///                  finish, new ones get kRetryAfter(kDraining)),
+///                  drain the queue, checkpoint every open session,
+///                  close connections. What SIGTERM triggers.
+///   Abort()        crash simulation: tear down without the final
+///                  checkpoint sweep — only periodic checkpoints
+///                  survive, exactly like kill -9. The soak test runs
+///                  this mid-traffic and proves resumed sessions finish
+///                  bit-identically.
+///
+/// Threading: one accept thread, one thread per live connection
+/// (blocking Receive), options.worker_threads scheduler threads.
+/// Replies go out from scheduler threads; the transports serialize
+/// sends internally. Shedding and malformed-frame replies are sent
+/// straight from the connection thread — rejecting work must not
+/// depend on the very queue that is full.
+class SessionServer {
+ public:
+  SessionServer(ServerOptions options, std::unique_ptr<Listener> listener);
+
+  /// Abort()s if the server is still running.
+  ~SessionServer();
+
+  void Start();
+  void DrainAndStop();
+  void Abort();
+
+  ServerStats Stats() const;
+
+ private:
+  void AcceptLoop();
+  void ConnectionLoop(std::shared_ptr<Connection> connection);
+  void StopInternal(bool drain);
+
+  ServerOptions options_;
+  std::unique_ptr<Listener> listener_;
+  SessionManager manager_;
+  std::unique_ptr<TaskQueue> queue_;
+
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stopped_{false};
+  std::atomic<uint64_t> frames_received_{0};
+  std::atomic<uint64_t> sheds_{0};
+
+  std::mutex threads_mutex_;
+  std::thread accept_thread_;
+  std::vector<std::thread> connection_threads_;
+  std::vector<std::shared_ptr<Connection>> connections_;
+};
+
+}  // namespace server
+}  // namespace setcover
+
+#endif  // SETCOVER_SERVER_SERVER_H_

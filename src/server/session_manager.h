@@ -1,0 +1,91 @@
+#ifndef SETCOVER_SERVER_SESSION_MANAGER_H_
+#define SETCOVER_SERVER_SESSION_MANAGER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "engine/session.h"
+#include "server/protocol.h"
+
+namespace setcover {
+namespace server {
+
+/// Owns every live ingest session, keyed by client-chosen session id,
+/// and maps decoded protocol requests onto engine::Session calls.
+/// Transport-agnostic: the server hands it Messages from scheduler
+/// threads; tests can drive it directly.
+///
+/// Durability: with a state_dir, each session persists two sidecar
+/// files —
+///   <state_dir>/<id>.open   the encoded kOpen frame (the manifest:
+///                           exactly what the client declared)
+///   <state_dir>/<id>.sckp   the engine checkpoint (state + exactly-once
+///                           cursor), rewritten every checkpoint_every
+///                           delivered edges and on drain
+/// A restarted manager recovers a session *on demand*, the first time
+/// any op names an id it does not hold in memory: manifest -> config,
+/// checkpoint -> state. A session that crashed before its first
+/// checkpoint recovers at sequence 0 and the client replays from the
+/// start — still exactly-once, because replayed batches walk the same
+/// sequence numbers. Without a state_dir every session is volatile.
+///
+/// Concurrency: a sharded-by-session two-level lock. The registry map
+/// is guarded by `mutex_`, held only for lookup/insert/erase; each
+/// session's work happens under its own Entry::mutex, so concurrent
+/// batches for different sessions never serialize on each other.
+class SessionManager {
+ public:
+  /// `state_dir` empty => volatile sessions. The directory must exist.
+  explicit SessionManager(std::string state_dir);
+
+  /// Handles one decoded request and returns the reply message
+  /// (kXxxOk or kError). Thread-safe. kRetryAfter shedding happens
+  /// upstream in the server; by the time a request reaches the
+  /// manager it has been admitted.
+  Message Handle(const Message& request);
+
+  /// Checkpoints every open session (graceful drain). Returns how many
+  /// sessions were checkpointed; sessions whose write fails are counted
+  /// in *failures but do not stop the sweep.
+  size_t CheckpointAll(size_t* failures);
+
+  /// Open-session count and total delivered edges, for server-scope
+  /// stats.
+  uint64_t OpenSessions() const;
+  uint64_t TotalEdgesDelivered() const;
+
+ private:
+  struct Entry {
+    std::mutex mutex;
+    std::unique_ptr<engine::Session> session;
+  };
+
+  std::string CheckpointPath(uint64_t id) const;
+  std::string ManifestPath(uint64_t id) const;
+
+  /// Finds the entry for `id`, recovering it from the manifest when the
+  /// manager does not hold it in memory. nullptr with *error when the
+  /// id is unknown (no memory entry, no manifest).
+  std::shared_ptr<Entry> FindOrRecover(uint64_t id, std::string* error);
+
+  /// Builds a Session from an OpenBody (fresh or resumed).
+  std::unique_ptr<engine::Session> BuildSession(uint64_t id,
+                                                const OpenBody& open,
+                                                bool resume,
+                                                std::string* error);
+
+  Message HandleOpen(const Message& request);
+  Message HandleClose(const Message& request);
+
+  std::string state_dir_;
+  mutable std::mutex mutex_;
+  std::map<uint64_t, std::shared_ptr<Entry>> sessions_;
+};
+
+}  // namespace server
+}  // namespace setcover
+
+#endif  // SETCOVER_SERVER_SESSION_MANAGER_H_

@@ -1,0 +1,340 @@
+#include "server/transport.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace setcover {
+namespace server {
+namespace {
+
+/// Transport-level ceiling on one frame, slightly above the protocol's
+/// kMaxFrameBytes so a just-oversized payload is rejected by
+/// DecodeMessage (with a protocol error the tests can see) rather than
+/// torn at the transport. Anything larger than this is framing
+/// corruption and kills the connection.
+constexpr uint32_t kMaxTransportFrameBytes = (1u << 20) + 1024;
+
+// --------------------------------------------------------------------
+// In-process transport.
+// --------------------------------------------------------------------
+
+/// One direction of a local connection: a queue of frame payloads.
+/// Closing either end closes both directions of the owning connection.
+struct Pipe {
+  std::mutex mutex;
+  std::condition_variable ready;
+  std::deque<std::vector<uint8_t>> frames;
+  bool closed = false;
+
+  bool Push(const std::vector<uint8_t>& payload) {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      if (closed) return false;
+      frames.push_back(payload);
+    }
+    ready.notify_one();
+    return true;
+  }
+
+  bool Pop(std::vector<uint8_t>* payload) {
+    std::unique_lock<std::mutex> lock(mutex);
+    ready.wait(lock, [&] { return !frames.empty() || closed; });
+    if (frames.empty()) return false;  // closed and drained
+    *payload = std::move(frames.front());
+    frames.pop_front();
+    return true;
+  }
+
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      closed = true;
+    }
+    ready.notify_all();
+  }
+};
+
+/// One end of an in-process connection: sends into one pipe, receives
+/// from the other. The two ends share the pipes via shared_ptr, so a
+/// destroyed server leaves clients with cleanly-closed connections.
+class LocalConnection : public Connection {
+ public:
+  LocalConnection(std::shared_ptr<Pipe> outbound, std::shared_ptr<Pipe> inbound)
+      : outbound_(std::move(outbound)), inbound_(std::move(inbound)) {}
+
+  ~LocalConnection() override { Close(); }
+
+  bool Send(const std::vector<uint8_t>& payload) override {
+    if (payload.size() > kMaxTransportFrameBytes) return false;
+    return outbound_->Push(payload);
+  }
+
+  bool Receive(std::vector<uint8_t>* payload) override {
+    return inbound_->Pop(payload);
+  }
+
+  void Close() override {
+    outbound_->Close();
+    inbound_->Close();
+  }
+
+ private:
+  std::shared_ptr<Pipe> outbound_;
+  std::shared_ptr<Pipe> inbound_;
+};
+
+class LocalListener;
+
+}  // namespace
+
+/// Rendezvous state shared by a LocalEndpoint's handle(s) and every
+/// listener/connection created through it.
+struct LocalEndpoint::Shared {
+  std::mutex mutex;
+  std::condition_variable accept_ready;
+  // Connections accepted but not yet returned by Accept(). Owned by the
+  // current listener generation; replaced wholesale on re-Listen.
+  std::deque<std::unique_ptr<Connection>> pending;
+  uint64_t generation = 0;  // bumped by Listen(); stale listeners drain
+  bool listening = false;
+};
+
+namespace {
+
+class LocalListener : public Listener {
+ public:
+  LocalListener(std::shared_ptr<LocalEndpoint::Shared> shared,
+                uint64_t generation)
+      : shared_(std::move(shared)), generation_(generation) {}
+
+  ~LocalListener() override { Shutdown(); }
+
+  std::unique_ptr<Connection> Accept() override {
+    std::unique_lock<std::mutex> lock(shared_->mutex);
+    shared_->accept_ready.wait(lock, [&] {
+      return shared_->generation != generation_ || !shared_->listening ||
+             !shared_->pending.empty();
+    });
+    if (shared_->generation != generation_ || !shared_->listening)
+      return nullptr;
+    std::unique_ptr<Connection> connection =
+        std::move(shared_->pending.front());
+    shared_->pending.pop_front();
+    return connection;
+  }
+
+  void Shutdown() override {
+    {
+      std::lock_guard<std::mutex> lock(shared_->mutex);
+      if (shared_->generation != generation_) return;  // already replaced
+      shared_->listening = false;
+      shared_->pending.clear();
+    }
+    shared_->accept_ready.notify_all();
+  }
+
+ private:
+  std::shared_ptr<LocalEndpoint::Shared> shared_;
+  uint64_t generation_;
+};
+
+}  // namespace
+
+LocalEndpoint::LocalEndpoint() : shared_(std::make_shared<Shared>()) {}
+
+LocalEndpoint::~LocalEndpoint() {
+  std::lock_guard<std::mutex> lock(shared_->mutex);
+  shared_->listening = false;
+  shared_->pending.clear();
+}
+
+std::unique_ptr<Listener> LocalEndpoint::Listen() {
+  uint64_t generation;
+  {
+    std::lock_guard<std::mutex> lock(shared_->mutex);
+    generation = ++shared_->generation;
+    shared_->listening = true;
+    shared_->pending.clear();
+  }
+  shared_->accept_ready.notify_all();  // drain any stale Accept to nullptr
+  return std::make_unique<LocalListener>(shared_, generation);
+}
+
+std::unique_ptr<Connection> LocalEndpoint::Connect(std::string* error) {
+  auto a_to_b = std::make_shared<Pipe>();
+  auto b_to_a = std::make_shared<Pipe>();
+  auto client_end = std::make_unique<LocalConnection>(a_to_b, b_to_a);
+  auto server_end = std::make_unique<LocalConnection>(b_to_a, a_to_b);
+  {
+    std::lock_guard<std::mutex> lock(shared_->mutex);
+    if (!shared_->listening) {
+      if (error != nullptr) *error = "connection refused: no listener";
+      return nullptr;
+    }
+    shared_->pending.push_back(std::move(server_end));
+  }
+  shared_->accept_ready.notify_one();
+  return client_end;
+}
+
+// --------------------------------------------------------------------
+// Unix-domain socket transport.
+// --------------------------------------------------------------------
+
+namespace {
+
+bool WriteAll(int fd, const uint8_t* data, size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    data += n;
+    size -= size_t(n);
+  }
+  return true;
+}
+
+bool ReadAll(int fd, uint8_t* data, size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::read(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;  // peer closed mid-frame (or cleanly)
+    data += n;
+    size -= size_t(n);
+  }
+  return true;
+}
+
+/// Frame-over-stream connection: u32 little-endian payload length, then
+/// the payload bytes. Send and Receive each hold their own lock so one
+/// reader and one writer can run concurrently.
+class UnixConnection : public Connection {
+ public:
+  explicit UnixConnection(int fd) : fd_(fd) {}
+
+  ~UnixConnection() override {
+    Close();
+    ::close(fd_);
+  }
+
+  bool Send(const std::vector<uint8_t>& payload) override {
+    if (payload.size() > kMaxTransportFrameBytes) return false;
+    uint8_t prefix[4];
+    const uint32_t length = uint32_t(payload.size());
+    for (int i = 0; i < 4; ++i) prefix[i] = uint8_t(length >> (8 * i));
+    std::lock_guard<std::mutex> lock(send_mutex_);
+    return WriteAll(fd_, prefix, sizeof prefix) &&
+           WriteAll(fd_, payload.data(), payload.size());
+  }
+
+  bool Receive(std::vector<uint8_t>* payload) override {
+    uint8_t prefix[4];
+    if (!ReadAll(fd_, prefix, sizeof prefix)) return false;
+    uint32_t length = 0;
+    for (int i = 0; i < 4; ++i) length |= uint32_t(prefix[i]) << (8 * i);
+    if (length > kMaxTransportFrameBytes) return false;
+    payload->resize(length);
+    return length == 0 || ReadAll(fd_, payload->data(), length);
+  }
+
+  void Close() override { ::shutdown(fd_, SHUT_RDWR); }
+
+ private:
+  int fd_;
+  std::mutex send_mutex_;
+};
+
+class UnixListener : public Listener {
+ public:
+  explicit UnixListener(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+
+  ~UnixListener() override {
+    Shutdown();
+    ::close(fd_);
+    ::unlink(path_.c_str());
+  }
+
+  std::unique_ptr<Connection> Accept() override {
+    for (;;) {
+      const int client = ::accept(fd_, nullptr, nullptr);
+      if (client >= 0) return std::make_unique<UnixConnection>(client);
+      if (errno == EINTR) continue;
+      return nullptr;  // shut down, or a fatal accept error
+    }
+  }
+
+  void Shutdown() override { ::shutdown(fd_, SHUT_RDWR); }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+bool FillAddress(const std::string& path, sockaddr_un* address,
+                 std::string* error) {
+  if (path.size() >= sizeof(address->sun_path)) {
+    if (error != nullptr) *error = "socket path too long: " + path;
+    return false;
+  }
+  std::memset(address, 0, sizeof *address);
+  address->sun_family = AF_UNIX;
+  std::memcpy(address->sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+}  // namespace
+
+std::unique_ptr<Listener> ListenUnix(const std::string& path,
+                                     std::string* error) {
+  sockaddr_un address;
+  if (!FillAddress(path, &address, error)) return nullptr;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    return nullptr;
+  }
+  ::unlink(path.c_str());  // replace a stale socket file
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&address),
+             sizeof address) != 0 ||
+      ::listen(fd, 128) != 0) {
+    if (error != nullptr)
+      *error = std::string("bind ") + path + ": " + std::strerror(errno);
+    ::close(fd);
+    return nullptr;
+  }
+  return std::make_unique<UnixListener>(fd, path);
+}
+
+std::unique_ptr<Connection> ConnectUnix(const std::string& path,
+                                        std::string* error) {
+  sockaddr_un address;
+  if (!FillAddress(path, &address, error)) return nullptr;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    return nullptr;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&address),
+                sizeof address) != 0) {
+    if (error != nullptr)
+      *error = std::string("connect ") + path + ": " + std::strerror(errno);
+    ::close(fd);
+    return nullptr;
+  }
+  return std::make_unique<UnixConnection>(fd);
+}
+
+}  // namespace server
+}  // namespace setcover

@@ -1,0 +1,96 @@
+#ifndef SETCOVER_SERVER_TRANSPORT_H_
+#define SETCOVER_SERVER_TRANSPORT_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace setcover {
+namespace server {
+
+/// Transport seam of the session server: a bidirectional, blocking,
+/// frame-oriented connection. Send/Receive move whole frame *payloads*
+/// (the CRC-carrying byte vectors of protocol.h); length-prefix
+/// framing is a transport detail.
+///
+/// Implementations:
+///   - LocalEndpoint::Connect / Listen — in-process queue pair, used by
+///     the tests (exact same protocol bytes, no kernel in the loop, and
+///     a server "crash" is just destroying the server object).
+///   - unix-domain sockets (ListenUnix / ConnectUnix) — the real thing.
+///
+/// Thread safety: both implementations serialize Send internally (a
+/// frame is never torn), and Receive may run concurrently with Send —
+/// the server replies from scheduler threads while its connection
+/// thread blocks in Receive. Only one thread may Receive at a time.
+class Connection {
+ public:
+  virtual ~Connection() = default;
+
+  /// Blocking send of one frame payload. False once the peer is gone.
+  virtual bool Send(const std::vector<uint8_t>& payload) = 0;
+
+  /// Blocking receive of one frame payload. False on orderly close,
+  /// peer crash, or malformed framing (oversized/torn length prefix).
+  virtual bool Receive(std::vector<uint8_t>* payload) = 0;
+
+  /// Unblocks both directions; further Send/Receive fail fast.
+  virtual void Close() = 0;
+};
+
+/// Accept side of a transport.
+class Listener {
+ public:
+  virtual ~Listener() = default;
+
+  /// Blocks for the next inbound connection; nullptr after Shutdown
+  /// (or a fatal accept error).
+  virtual std::unique_ptr<Connection> Accept() = 0;
+
+  /// Unblocks Accept and refuses future connections. Idempotent.
+  virtual void Shutdown() = 0;
+};
+
+/// In-process transport endpoint: a rendezvous object shared between a
+/// test's clients and the server. The server calls Listen() (again
+/// after a simulated crash — exactly like rebinding a socket path);
+/// clients call Connect(), which fails while no listener is up (the
+/// client's reconnect backoff handles the gap, same as a real socket).
+class LocalEndpoint {
+ public:
+  LocalEndpoint();
+  ~LocalEndpoint();
+
+  /// Current listener, replacing any previous one (whose Accept then
+  /// drains to nullptr).
+  std::unique_ptr<Listener> Listen();
+
+  /// Connects to the current listener; nullptr (with *error) when none
+  /// is listening.
+  std::unique_ptr<Connection> Connect(std::string* error);
+
+  /// Opaque rendezvous state (public so the .cc's listener type can
+  /// name it; never part of the API).
+  struct Shared;
+
+ private:
+  std::shared_ptr<Shared> shared_;
+};
+
+/// Unix-domain stream socket listener bound at `path` (an existing
+/// socket file is replaced). nullptr with *error on bind failure.
+std::unique_ptr<Listener> ListenUnix(const std::string& path,
+                                     std::string* error);
+
+/// Connects to the unix-domain listener at `path`.
+std::unique_ptr<Connection> ConnectUnix(const std::string& path,
+                                        std::string* error);
+
+}  // namespace server
+}  // namespace setcover
+
+#endif  // SETCOVER_SERVER_TRANSPORT_H_

@@ -4,19 +4,41 @@
 #include <cmath>
 
 namespace setcover {
+namespace {
+
+// SplitMix64 step — the same tiny deterministic generator the fault
+// injector uses for its position hashes.
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
 
 ExponentialBackoff::ExponentialBackoff(BackoffPolicy policy)
     : policy_(policy) {
   policy_.multiplier = std::max(1.0, policy_.multiplier);
   policy_.max_delay_us =
       std::max(policy_.max_delay_us, policy_.initial_delay_us);
+  policy_.jitter = std::clamp(policy_.jitter, 0.0, 1.0);
+  jitter_state_ = policy_.jitter_seed;
   Reset();
 }
 
 bool ExponentialBackoff::NextDelay(uint64_t* delay_us) {
   if (attempts_ >= policy_.max_retries) return false;
   ++attempts_;
-  *delay_us = next_delay_us_;
+  uint64_t emitted = next_delay_us_;
+  if (policy_.jitter > 0.0 && emitted > 0) {
+    // Uniform in (base * (1 - jitter), base]: subtract a seeded-random
+    // slice of the jitter window, never the whole window, so an emitted
+    // delay stays positive and below the cap.
+    const double u = double(SplitMix64(&jitter_state_) >> 11) * 0x1.0p-53;
+    emitted -= uint64_t(double(emitted) * policy_.jitter * u);
+  }
+  *delay_us = emitted;
   double grown = double(next_delay_us_) * policy_.multiplier;
   next_delay_us_ = grown >= double(policy_.max_delay_us)
                        ? policy_.max_delay_us

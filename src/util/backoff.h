@@ -22,6 +22,19 @@ struct BackoffPolicy {
 
   /// Ceiling on any single delay, in microseconds.
   uint64_t max_delay_us = 100000;
+
+  /// Fraction of each delay that is randomized away (clamped to
+  /// [0, 1]): an emitted delay is uniform in
+  /// (base * (1 - jitter), base]. 0 keeps the historical fully
+  /// deterministic schedule. Jitter decorrelates the retry storms of
+  /// many clients hammering one recovering server.
+  double jitter = 0.0;
+
+  /// Seed of the jitter stream. The whole schedule is a pure function
+  /// of (policy, seed): equal seeds emit equal delay sequences, which
+  /// is what makes jittered backoff unit-testable (backoff_test.cc
+  /// pins the bounds and the determinism).
+  uint64_t jitter_seed = 1;
 };
 
 /// Iterator over one faulting operation's retry schedule:
@@ -51,6 +64,10 @@ class ExponentialBackoff {
   BackoffPolicy policy_;
   uint32_t attempts_ = 0;
   uint64_t next_delay_us_ = 0;
+  // SplitMix64 state of the jitter stream. Deliberately not rearmed by
+  // Reset(): successive operations keep drawing fresh (but seeded, so
+  // reproducible) jitter instead of replaying the first operation's.
+  uint64_t jitter_state_ = 0;
 };
 
 }  // namespace setcover

@@ -1,5 +1,8 @@
 #include "util/backoff.h"
 
+#include <algorithm>
+#include <cstddef>
+
 #include <gtest/gtest.h>
 
 namespace setcover {
@@ -57,6 +60,101 @@ TEST(BackoffTest, ZeroRetriesAlwaysRefuses) {
   ExponentialBackoff backoff(policy);
   uint64_t delay = 0;
   EXPECT_FALSE(backoff.NextDelay(&delay));
+}
+
+TEST(BackoffJitterTest, EmittedDelaysStayInsideTheJitterWindow) {
+  BackoffPolicy policy;
+  policy.max_retries = 32;
+  policy.initial_delay_us = 1000;
+  policy.multiplier = 2.0;
+  policy.max_delay_us = 64000;
+  policy.jitter = 0.5;
+  policy.jitter_seed = 7;
+  ExponentialBackoff backoff(policy);
+
+  uint64_t base = policy.initial_delay_us;
+  uint64_t delay = 0;
+  for (uint32_t i = 0; i < policy.max_retries; ++i) {
+    ASSERT_TRUE(backoff.NextDelay(&delay));
+    // Window is (base/2, base]: jitter shaves off at most half, and the
+    // cap still bounds every emission.
+    EXPECT_GT(delay, base - base / 2 - 1) << "attempt " << i;
+    EXPECT_LE(delay, base) << "attempt " << i;
+    EXPECT_LE(delay, policy.max_delay_us) << "attempt " << i;
+    base = std::min(uint64_t(double(base) * policy.multiplier),
+                    policy.max_delay_us);
+  }
+  EXPECT_FALSE(backoff.NextDelay(&delay));
+}
+
+TEST(BackoffJitterTest, SameSeedSameSchedule) {
+  BackoffPolicy policy;
+  policy.max_retries = 16;
+  policy.jitter = 0.3;
+  policy.jitter_seed = 42;
+  ExponentialBackoff a(policy);
+  ExponentialBackoff b(policy);
+  uint64_t da = 0, db = 0;
+  for (uint32_t i = 0; i < policy.max_retries; ++i) {
+    ASSERT_TRUE(a.NextDelay(&da));
+    ASSERT_TRUE(b.NextDelay(&db));
+    EXPECT_EQ(da, db) << "attempt " << i;
+  }
+}
+
+TEST(BackoffJitterTest, DifferentSeedsDecorrelate) {
+  BackoffPolicy policy;
+  policy.max_retries = 16;
+  policy.initial_delay_us = 1u << 20;  // wide window so collisions are rare
+  policy.max_delay_us = 1u << 30;
+  policy.jitter = 1.0;
+  policy.jitter_seed = 1;
+  ExponentialBackoff a(policy);
+  policy.jitter_seed = 2;
+  ExponentialBackoff b(policy);
+  uint64_t da = 0, db = 0;
+  size_t differing = 0;
+  for (uint32_t i = 0; i < policy.max_retries; ++i) {
+    ASSERT_TRUE(a.NextDelay(&da));
+    ASSERT_TRUE(b.NextDelay(&db));
+    differing += (da != db);
+  }
+  EXPECT_GT(differing, 12u);  // two clients do not retry in lockstep
+}
+
+TEST(BackoffJitterTest, ResetRearmsDelaysButNotTheJitterStream) {
+  BackoffPolicy policy;
+  policy.max_retries = 4;
+  policy.initial_delay_us = 1u << 20;
+  policy.max_delay_us = 1u << 30;
+  policy.jitter = 1.0;
+  policy.jitter_seed = 5;
+  ExponentialBackoff backoff(policy);
+
+  uint64_t first = 0, again = 0;
+  ASSERT_TRUE(backoff.NextDelay(&first));
+  backoff.Reset();
+  EXPECT_EQ(backoff.Attempts(), 0u);
+  ASSERT_TRUE(backoff.NextDelay(&again));
+  // The base delay rearmed to initial_delay_us (again <= initial), but
+  // the jitter stream advanced: replaying the first operation's exact
+  // delays would re-synchronize colliding clients.
+  EXPECT_LE(again, policy.initial_delay_us);
+  EXPECT_NE(first, again);
+}
+
+TEST(BackoffJitterTest, ZeroJitterIsBitIdenticalToTheUnjitteredSchedule) {
+  BackoffPolicy policy;
+  policy.max_retries = 8;
+  policy.jitter = 0.0;
+  ExponentialBackoff jittered(policy);
+  ExponentialBackoff plain(policy);
+  uint64_t dj = 0, dp = 0;
+  while (plain.NextDelay(&dp)) {
+    ASSERT_TRUE(jittered.NextDelay(&dj));
+    EXPECT_EQ(dj, dp);
+  }
+  EXPECT_FALSE(jittered.NextDelay(&dj));
 }
 
 }  // namespace

@@ -1,0 +1,290 @@
+// engine::Session — the push-style drive loop under the session
+// server. The acceptance bar mirrors engine_equivalence_test: for every
+// registered algorithm, a Session fed the stream in client-sized
+// batches must land bit-identical to engine::Execute over the whole
+// stream — covers, certificates, meter readings — at any batch sizing,
+// with and without fault injection, and across kill/resume with client
+// replay from the durable exactly-once cursor.
+
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/registry.h"
+#include "engine/engine.h"
+#include "engine/session.h"
+#include "instance/generators.h"
+#include "stream/orderings.h"
+#include "util/rng.h"
+
+namespace setcover {
+namespace {
+
+struct Fixture {
+  SetCoverInstance instance;
+  EdgeStream stream;
+};
+
+Fixture MakeFixture(uint64_t seed) {
+  Rng rng(seed);
+  UniformRandomParams p;
+  p.num_elements = 60;
+  p.num_sets = 80;
+  Fixture fixture{GenerateUniformRandom(p, rng), {}};
+  fixture.stream = OrderedStream(fixture.instance, StreamOrder::kRandom, rng);
+  return fixture;
+}
+
+std::string TempPath(const std::string& tag) {
+  std::string name = "session_" + tag;
+  for (char& c : name)
+    if (c == '-') c = '_';
+  return testing::TempDir() + name;
+}
+
+engine::SessionConfig BaseConfig(const std::string& algorithm,
+                                 const Fixture& fixture) {
+  engine::SessionConfig config;
+  config.algorithm = algorithm;
+  config.options.seed = 21;
+  config.meta = fixture.stream.meta;
+  return config;
+}
+
+engine::RunReport Oracle(const std::string& algorithm,
+                         const Fixture& fixture,
+                         std::optional<FaultSchedule> faults) {
+  engine::RunConfig config;
+  config.algorithm = algorithm;
+  config.options.seed = 21;
+  config.source = engine::SourceSpec::InMemory(fixture.stream);
+  config.faults = faults;
+  engine::RunReport report = engine::Execute(config);
+  EXPECT_TRUE(report.completed) << algorithm << ": " << report.error;
+  return report;
+}
+
+/// Feeds the whole fixture stream into `session` as sequenced batches
+/// of `batch_edges`, starting from the session's durable cursor.
+void FeedFrom(engine::Session* session, const Fixture& fixture,
+              size_t batch_edges) {
+  const std::span<const Edge> edges(fixture.stream.edges);
+  const uint64_t total = (edges.size() + batch_edges - 1) / batch_edges;
+  for (uint64_t seq = session->LastSequence() + 1; seq <= total; ++seq) {
+    const size_t begin = size_t(seq - 1) * batch_edges;
+    const size_t count = std::min(batch_edges, edges.size() - begin);
+    std::string error;
+    const engine::IngestResult result =
+        session->Ingest(seq, edges.subspan(begin, count), &error);
+    ASSERT_EQ(result.status, engine::IngestStatus::kApplied)
+        << "seq=" << seq << ": " << error;
+  }
+}
+
+class SessionSweep : public testing::TestWithParam<std::string> {};
+
+// The equivalence contract, clean stream: any ingest batch sizing ==
+// one engine::Execute over the concatenated edges.
+TEST_P(SessionSweep, MatchesExecuteAtAnyBatchSizing) {
+  Fixture fixture = MakeFixture(101);
+  engine::RunReport expected = Oracle(GetParam(), fixture, std::nullopt);
+
+  for (size_t batch_edges :
+       {size_t{1}, size_t{7}, size_t{64}, fixture.stream.size()}) {
+    const std::string context =
+        GetParam() + " batch=" + std::to_string(batch_edges);
+    std::string error;
+    auto session = engine::Session::Open(BaseConfig(GetParam(), fixture),
+                                         /*resume=*/false, &error);
+    ASSERT_NE(session, nullptr) << context << ": " << error;
+    FeedFrom(session.get(), fixture, batch_edges);
+
+    const engine::RunReport& report = session->Finalize();
+    EXPECT_EQ(report.solution.cover, expected.solution.cover) << context;
+    EXPECT_EQ(report.solution.certificate, expected.solution.certificate)
+        << context;
+    EXPECT_EQ(report.edges_delivered, expected.edges_delivered) << context;
+    EXPECT_EQ(report.current_words, expected.current_words) << context;
+    EXPECT_EQ(report.uncovered_elements, expected.uncovered_elements)
+        << context;
+  }
+}
+
+// Same contract under deterministic stream damage: per-batch fault
+// injectors anchored at absolute positions must replicate the
+// whole-stream fault sequence exactly.
+TEST_P(SessionSweep, MatchesExecuteUnderFaults) {
+  Fixture fixture = MakeFixture(131);
+  const FaultSchedule faults = FaultSchedule::AllKinds(77);
+  engine::RunReport expected = Oracle(GetParam(), fixture, faults);
+
+  for (size_t batch_edges : {size_t{5}, size_t{64}}) {
+    const std::string context =
+        GetParam() + " batch=" + std::to_string(batch_edges);
+    engine::SessionConfig config = BaseConfig(GetParam(), fixture);
+    config.faults = faults;
+    std::string error;
+    auto session =
+        engine::Session::Open(config, /*resume=*/false, &error);
+    ASSERT_NE(session, nullptr) << context << ": " << error;
+    FeedFrom(session.get(), fixture, batch_edges);
+
+    const engine::RunReport& report = session->Finalize();
+    EXPECT_EQ(report.solution.cover, expected.solution.cover) << context;
+    EXPECT_EQ(report.solution.certificate, expected.solution.certificate)
+        << context;
+    EXPECT_EQ(report.edges_delivered, expected.edges_delivered) << context;
+    EXPECT_EQ(report.corrupt_records_skipped,
+              expected.corrupt_records_skipped)
+        << context;
+    EXPECT_EQ(report.current_words, expected.current_words) << context;
+    EXPECT_FALSE(report.degraded) << context;
+  }
+}
+
+// Kill/resume: drop the Session object mid-stream (the server died),
+// reopen from its checkpoint, replay from the durable cursor — the
+// exactly-once dedup swallows the replayed prefix and the final state
+// is bit-identical to the uninterrupted oracle.
+TEST_P(SessionSweep, KillResumeAndClientReplayIsBitIdentical) {
+  Fixture fixture = MakeFixture(101);
+  engine::RunReport expected = Oracle(GetParam(), fixture, std::nullopt);
+  const std::string path = TempPath("resume_" + GetParam() + ".sckp");
+  constexpr size_t kBatch = 16;
+
+  for (uint64_t kill_after_batches : {uint64_t{1}, uint64_t{5}}) {
+    const std::string context =
+        GetParam() + " kill_after=" + std::to_string(kill_after_batches);
+    engine::SessionConfig config = BaseConfig(GetParam(), fixture);
+    config.checkpoint_path = path;
+    config.checkpoint_every = kBatch;  // every batch checkpoints
+
+    std::string error;
+    auto first = engine::Session::Open(config, /*resume=*/false, &error);
+    ASSERT_NE(first, nullptr) << context << ": " << error;
+    const std::span<const Edge> edges(fixture.stream.edges);
+    for (uint64_t seq = 1; seq <= kill_after_batches; ++seq) {
+      const size_t begin = size_t(seq - 1) * kBatch;
+      const engine::IngestResult result = first->Ingest(
+          seq, edges.subspan(begin, std::min(kBatch, edges.size() - begin)),
+          &error);
+      ASSERT_EQ(result.status, engine::IngestStatus::kApplied)
+          << context << ": " << error;
+      ASSERT_EQ(result.checkpoints_written, 1u) << context;
+    }
+    first.reset();  // the kill: no finalize, no drain checkpoint
+
+    auto resumed = engine::Session::Open(config, /*resume=*/true, &error);
+    ASSERT_NE(resumed, nullptr) << context << ": " << error;
+    EXPECT_TRUE(resumed->Resumed()) << context;
+    EXPECT_EQ(resumed->LastSequence(), kill_after_batches) << context;
+
+    // The client replays from the start; applied sequences are
+    // acknowledged as duplicates without touching state.
+    std::string dup_error;
+    const engine::IngestResult dup = resumed->Ingest(
+        1, edges.subspan(0, std::min(kBatch, edges.size())), &dup_error);
+    EXPECT_EQ(dup.status, engine::IngestStatus::kDuplicate) << context;
+
+    FeedFrom(resumed.get(), fixture, kBatch);
+    const engine::RunReport& report = resumed->Finalize();
+    EXPECT_EQ(report.solution.cover, expected.solution.cover) << context;
+    EXPECT_EQ(report.solution.certificate, expected.solution.certificate)
+        << context;
+    EXPECT_EQ(report.edges_delivered, expected.edges_delivered) << context;
+    EXPECT_EQ(report.current_words, expected.current_words) << context;
+    std::remove(path.c_str());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, SessionSweep,
+                         testing::ValuesIn(RegisteredAlgorithmNames()),
+                         [](const testing::TestParamInfo<std::string>& info) {
+                           std::string name = info.param;
+                           for (char& c : name)
+                             if (c == '-') c = '_';
+                           return name;
+                         });
+
+// --- Non-parameterized edge cases -----------------------------------
+
+TEST(Session, RejectsSequenceGapsAndAcknowledgesDuplicates) {
+  Fixture fixture = MakeFixture(11);
+  std::string error;
+  auto session = engine::Session::Open(BaseConfig("greedy-threshold", fixture),
+                                       /*resume=*/false, &error);
+  if (session == nullptr) {
+    // Registry name differs across configurations; fall back to the
+    // first registered algorithm.
+    session = engine::Session::Open(
+        BaseConfig(RegisteredAlgorithmNames().front(), fixture),
+        /*resume=*/false, &error);
+  }
+  ASSERT_NE(session, nullptr) << error;
+  const std::span<const Edge> edges(fixture.stream.edges);
+
+  EXPECT_EQ(session->Ingest(2, edges.subspan(0, 4), &error).status,
+            engine::IngestStatus::kOutOfOrder);
+  EXPECT_EQ(session->Ingest(1, edges.subspan(0, 4), &error).status,
+            engine::IngestStatus::kApplied);
+  const uint64_t delivered = session->Stats().edges_delivered;
+  EXPECT_EQ(session->Ingest(1, edges.subspan(0, 4), &error).status,
+            engine::IngestStatus::kDuplicate);
+  EXPECT_EQ(session->Stats().edges_delivered, delivered)
+      << "a duplicate must not re-apply edges";
+  EXPECT_EQ(session->Stats().duplicate_ingests, 1u);
+}
+
+TEST(Session, FinalizeIsIdempotentAndBlocksFurtherIngest) {
+  Fixture fixture = MakeFixture(12);
+  const std::string name = RegisteredAlgorithmNames().front();
+  std::string error;
+  auto session = engine::Session::Open(BaseConfig(name, fixture),
+                                       /*resume=*/false, &error);
+  ASSERT_NE(session, nullptr) << error;
+  const std::span<const Edge> edges(fixture.stream.edges);
+  ASSERT_EQ(session->Ingest(1, edges, &error).status,
+            engine::IngestStatus::kApplied);
+
+  const engine::RunReport& first = session->Finalize();
+  const engine::RunReport& second = session->Finalize();
+  EXPECT_EQ(&first, &second) << "finalize must return the cached report";
+  EXPECT_EQ(session->Ingest(2, edges.subspan(0, 1), &error).status,
+            engine::IngestStatus::kFailed);
+}
+
+TEST(Session, ResumeWithoutCheckpointFileStartsFresh) {
+  Fixture fixture = MakeFixture(13);
+  engine::SessionConfig config =
+      BaseConfig(RegisteredAlgorithmNames().front(), fixture);
+  config.checkpoint_path = TempPath("never_written.sckp");
+  std::remove(config.checkpoint_path.c_str());
+  std::string error;
+  auto session = engine::Session::Open(config, /*resume=*/true, &error);
+  ASSERT_NE(session, nullptr) << error;
+  EXPECT_FALSE(session->Resumed());
+  EXPECT_EQ(session->LastSequence(), 0u);
+}
+
+TEST(Session, ResumeWithCorruptCheckpointFailsLoudly) {
+  Fixture fixture = MakeFixture(14);
+  engine::SessionConfig config =
+      BaseConfig(RegisteredAlgorithmNames().front(), fixture);
+  config.checkpoint_path = TempPath("corrupt.sckp");
+  std::FILE* out = std::fopen(config.checkpoint_path.c_str(), "wb");
+  ASSERT_NE(out, nullptr);
+  std::fputs("not a checkpoint", out);
+  std::fclose(out);
+
+  std::string error;
+  auto session = engine::Session::Open(config, /*resume=*/true, &error);
+  EXPECT_EQ(session, nullptr);
+  EXPECT_FALSE(error.empty());
+  std::remove(config.checkpoint_path.c_str());
+}
+
+}  // namespace
+}  // namespace setcover

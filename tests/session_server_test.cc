@@ -1,0 +1,387 @@
+// SessionServer end-to-end over the in-process transport (and a
+// unix-socket smoke): concurrent sessions multiplexed over the engine,
+// idempotent retries, admission-control shedding with client backoff,
+// graceful drain, and hostile-byte handling. The final covers are
+// always compared against engine::Execute oracles — the server must be
+// an observationally invisible layer over the engine.
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/registry.h"
+#include "engine/engine.h"
+#include "instance/generators.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "stream/orderings.h"
+#include "util/rng.h"
+
+namespace setcover {
+namespace server {
+namespace {
+
+struct Fixture {
+  SetCoverInstance instance;
+  EdgeStream stream;
+};
+
+Fixture MakeFixture(uint64_t seed) {
+  Rng rng(seed);
+  UniformRandomParams p;
+  p.num_elements = 60;
+  p.num_sets = 80;
+  Fixture fixture{GenerateUniformRandom(p, rng), {}};
+  fixture.stream = OrderedStream(fixture.instance, StreamOrder::kRandom, rng);
+  return fixture;
+}
+
+engine::RunReport Oracle(const std::string& algorithm, uint64_t seed,
+                         const Fixture& fixture) {
+  engine::RunConfig config;
+  config.algorithm = algorithm;
+  config.options.seed = seed;
+  config.source = engine::SourceSpec::InMemory(fixture.stream);
+  engine::RunReport report = engine::Execute(config);
+  EXPECT_TRUE(report.completed) << report.error;
+  return report;
+}
+
+std::vector<uint32_t> ToU32(const std::vector<SetId>& ids) {
+  return std::vector<uint32_t>(ids.begin(), ids.end());
+}
+
+ClientOptions FastClientOptions(uint64_t jitter_seed) {
+  ClientOptions options;
+  options.backoff.max_retries = 24;
+  options.backoff.initial_delay_us = 1;
+  options.backoff.max_delay_us = 50;
+  options.backoff.jitter = 0.5;
+  options.backoff.jitter_seed = jitter_seed;
+  options.sleeper = [](uint64_t) {};  // deterministic tests never sleep
+  return options;
+}
+
+SessionClient::Dialer DialerFor(LocalEndpoint* endpoint) {
+  return [endpoint](std::string* error) {
+    return endpoint->Connect(error);
+  };
+}
+
+OpenBody MakeOpen(const std::string& algorithm, uint64_t seed,
+                  const Fixture& fixture) {
+  OpenBody open;
+  open.algorithm = algorithm;
+  open.seed = seed;
+  open.meta = fixture.stream.meta;
+  return open;
+}
+
+TEST(SessionServer, SingleSessionMatchesEngineOracle) {
+  Fixture fixture = MakeFixture(201);
+  const std::string algorithm = RegisteredAlgorithmNames().front();
+  engine::RunReport expected = Oracle(algorithm, 21, fixture);
+
+  LocalEndpoint endpoint;
+  SessionServer server({}, endpoint.Listen());
+  server.Start();
+
+  SessionClient client(DialerFor(&endpoint), FastClientOptions(1));
+  Message reply;
+  std::string error;
+  ASSERT_TRUE(RunSessionToCompletion(&client, 7,
+                                     MakeOpen(algorithm, 21, fixture),
+                                     fixture.stream.edges, 64, &reply,
+                                     &error))
+      << error;
+  EXPECT_EQ(reply.cover, ToU32(expected.solution.cover));
+  EXPECT_EQ(reply.certificate, ToU32(expected.solution.certificate));
+  EXPECT_EQ(reply.edges_delivered, expected.edges_delivered);
+  EXPECT_EQ(reply.uncovered_elements, expected.uncovered_elements);
+  EXPECT_EQ(reply.current_words, expected.current_words);
+  server.DrainAndStop();
+}
+
+TEST(SessionServer, ConcurrentSessionsAllMatchTheirOracles) {
+  Fixture fixture = MakeFixture(202);
+  const std::vector<std::string> algorithms = RegisteredAlgorithmNames();
+  constexpr int kSessions = 24;
+
+  LocalEndpoint endpoint;
+  ServerOptions options;
+  options.worker_threads = 3;
+  options.max_queue = 256;
+  SessionServer server(options, endpoint.Listen());
+  server.Start();
+
+  std::vector<Message> replies(kSessions);
+  std::vector<std::string> errors(kSessions);
+  std::vector<char> ok(kSessions, 0);
+  {
+    std::vector<std::thread> clients;
+    for (int i = 0; i < kSessions; ++i) {
+      clients.emplace_back([&, i] {
+        const std::string& algorithm = algorithms[i % algorithms.size()];
+        SessionClient client(DialerFor(&endpoint),
+                             FastClientOptions(uint64_t(i) + 1));
+        ok[i] = RunSessionToCompletion(
+            &client, uint64_t(i) + 1,
+            MakeOpen(algorithm, 100 + uint64_t(i), fixture),
+            fixture.stream.edges, 16 + i, &replies[i], &errors[i]);
+      });
+    }
+    for (auto& thread : clients) thread.join();
+  }
+
+  for (int i = 0; i < kSessions; ++i) {
+    ASSERT_TRUE(ok[i]) << "session " << i << ": " << errors[i];
+    engine::RunReport expected = Oracle(algorithms[i % algorithms.size()],
+                                        100 + uint64_t(i), fixture);
+    EXPECT_EQ(replies[i].cover, ToU32(expected.solution.cover))
+        << "session " << i;
+    EXPECT_EQ(replies[i].certificate, ToU32(expected.solution.certificate))
+        << "session " << i;
+  }
+  EXPECT_EQ(server.Stats().open_sessions, uint64_t(kSessions));
+  server.DrainAndStop();
+}
+
+TEST(SessionServer, RetriedIngestIsAppliedExactlyOnce) {
+  Fixture fixture = MakeFixture(203);
+  const std::string algorithm = RegisteredAlgorithmNames().front();
+
+  LocalEndpoint endpoint;
+  SessionServer server({}, endpoint.Listen());
+  server.Start();
+
+  SessionClient client(DialerFor(&endpoint), FastClientOptions(5));
+  Message reply;
+  std::string error;
+  ASSERT_TRUE(client.Open(1, MakeOpen(algorithm, 21, fixture), &reply,
+                          &error))
+      << error;
+  std::span<const Edge> edges(fixture.stream.edges);
+  ASSERT_TRUE(client.Ingest(1, 1, edges.subspan(0, 32), &reply, &error))
+      << error;
+  EXPECT_FALSE(reply.duplicate);
+
+  // A paranoid client re-sends the same sequence three times (as it
+  // would after lost replies): acknowledged, never re-applied.
+  for (int retry = 0; retry < 3; ++retry) {
+    ASSERT_TRUE(client.Ingest(1, 1, edges.subspan(0, 32), &reply, &error))
+        << error;
+    EXPECT_TRUE(reply.duplicate);
+    EXPECT_EQ(reply.last_sequence, 1u);
+  }
+  ASSERT_TRUE(client.Stats(1, &reply, &error)) << error;
+  EXPECT_EQ(reply.session_stats.edges_delivered, 32u);
+  EXPECT_EQ(reply.session_stats.duplicate_ingests, 3u);
+
+  // A sequence gap is rejected and does not advance anything.
+  EXPECT_FALSE(client.Ingest(1, 5, edges.subspan(32, 8), &reply, &error));
+  EXPECT_NE(error.find("sequence gap"), std::string::npos) << error;
+  server.DrainAndStop();
+}
+
+// The finalize fence: a client that believes more batches were applied
+// than the session holds (the post-crash rollback shape) must be
+// rejected, not handed a cover over a truncated stream. At the true
+// cursor — or unfenced — finalize succeeds, and a fenced re-send of a
+// finalized session still matches its (unchanged) cursor.
+TEST(SessionServer, FinalizeFenceRejectsARolledBackCursor) {
+  Fixture fixture = MakeFixture(207);
+  const std::string algorithm = RegisteredAlgorithmNames().front();
+
+  LocalEndpoint endpoint;
+  SessionServer server({}, endpoint.Listen());
+  server.Start();
+
+  SessionClient client(DialerFor(&endpoint), FastClientOptions(9));
+  Message reply;
+  std::string error;
+  ASSERT_TRUE(client.Open(1, MakeOpen(algorithm, 21, fixture), &reply,
+                          &error))
+      << error;
+  std::span<const Edge> edges(fixture.stream.edges);
+  ASSERT_TRUE(client.Ingest(1, 1, edges.subspan(0, 32), &reply, &error));
+  ASSERT_TRUE(client.Ingest(1, 2, edges.subspan(32, 32), &reply, &error));
+
+  EXPECT_FALSE(client.Finalize(1, 7, &reply, &error));
+  EXPECT_NE(error.find("fence mismatch"), std::string::npos) << error;
+
+  ASSERT_TRUE(client.Finalize(1, 2, &reply, &error)) << error;
+  EXPECT_EQ(reply.edges_delivered, 64u);
+  // Idempotent re-send, still fenced at the sealed cursor.
+  ASSERT_TRUE(client.Finalize(1, 2, &reply, &error)) << error;
+  EXPECT_EQ(reply.edges_delivered, 64u);
+  server.DrainAndStop();
+}
+
+TEST(SessionServer, OverloadShedsWithRetryAfterAndClientsStillFinish) {
+  Fixture fixture = MakeFixture(204);
+  const std::string algorithm = RegisteredAlgorithmNames().front();
+
+  LocalEndpoint endpoint;
+  ServerOptions options;
+  options.worker_threads = 1;  // tiny server:
+  options.max_queue = 1;       // almost everything beyond one op sheds
+  options.retry_after_us = 10;
+  SessionServer server(options, endpoint.Listen());
+  server.Start();
+
+  constexpr int kClients = 8;
+  std::vector<char> ok(kClients, 0);
+  std::vector<std::string> errors(kClients);
+  std::vector<Message> replies(kClients);
+  std::vector<uint64_t> sheds_seen(kClients, 0);
+  {
+    std::vector<std::thread> clients;
+    for (int i = 0; i < kClients; ++i) {
+      clients.emplace_back([&, i] {
+        ClientOptions client_options = FastClientOptions(uint64_t(i) + 1);
+        client_options.backoff.max_retries = 64;  // shed storms need depth
+        SessionClient client(DialerFor(&endpoint), client_options);
+        ok[i] = RunSessionToCompletion(
+            &client, uint64_t(i) + 1, MakeOpen(algorithm, 21, fixture),
+            fixture.stream.edges, 8, &replies[i], &errors[i]);
+        sheds_seen[i] = client.RetriesAfterShed();
+      });
+    }
+    for (auto& thread : clients) thread.join();
+  }
+
+  engine::RunReport expected = Oracle(algorithm, 21, fixture);
+  uint64_t total_sheds_seen = 0;
+  for (int i = 0; i < kClients; ++i) {
+    ASSERT_TRUE(ok[i]) << "client " << i << ": " << errors[i];
+    EXPECT_EQ(replies[i].cover, ToU32(expected.solution.cover))
+        << "client " << i;
+    total_sheds_seen += sheds_seen[i];
+  }
+  // The server must actually have shed under this load, and the client
+  // counters must agree that the sheds were seen and retried through.
+  EXPECT_GT(server.Stats().sheds, 0u);
+  EXPECT_EQ(total_sheds_seen, server.Stats().sheds);
+  server.DrainAndStop();
+}
+
+TEST(SessionServer, GracefulDrainAnswersInFlightAndShedsNewWork) {
+  Fixture fixture = MakeFixture(205);
+  const std::string algorithm = RegisteredAlgorithmNames().front();
+
+  LocalEndpoint endpoint;
+  SessionServer server({}, endpoint.Listen());
+  server.Start();
+
+  SessionClient client(DialerFor(&endpoint), FastClientOptions(9));
+  Message reply;
+  std::string error;
+  ASSERT_TRUE(client.Open(1, MakeOpen(algorithm, 21, fixture), &reply,
+                          &error))
+      << error;
+  std::span<const Edge> edges(fixture.stream.edges);
+  ASSERT_TRUE(client.Ingest(1, 1, edges.subspan(0, 16), &reply, &error));
+
+  server.DrainAndStop();
+
+  // Post-drain requests on a surviving connection are refused with
+  // kRetryAfter(kDraining) until the connection dies; a client with a
+  // finite budget gives up cleanly.
+  ClientOptions impatient = FastClientOptions(10);
+  impatient.backoff.max_retries = 2;
+  SessionClient late(DialerFor(&endpoint), impatient);
+  EXPECT_FALSE(late.Ingest(1, 2, edges.subspan(16, 8), &reply, &error));
+}
+
+TEST(SessionServer, MalformedFramesGetErrorsAndConnectionSurvives) {
+  Fixture fixture = MakeFixture(206);
+  const std::string algorithm = RegisteredAlgorithmNames().front();
+
+  LocalEndpoint endpoint;
+  SessionServer server({}, endpoint.Listen());
+  server.Start();
+
+  std::string error;
+  auto connection = endpoint.Connect(&error);
+  ASSERT_NE(connection, nullptr) << error;
+
+  // Garbage bytes: the server answers kError instead of dying.
+  std::vector<uint8_t> garbage = {0xde, 0xad, 0xbe, 0xef, 0x00, 0x01,
+                                  0x02, 0x03, 0x04, 0x05, 0x06, 0x07,
+                                  0x08, 0x09, 0x0a, 0x0b};
+  ASSERT_TRUE(connection->Send(garbage));
+  std::vector<uint8_t> raw_reply;
+  ASSERT_TRUE(connection->Receive(&raw_reply));
+  std::optional<Message> decoded = DecodeMessage(raw_reply, &error);
+  ASSERT_TRUE(decoded.has_value()) << error;
+  EXPECT_EQ(decoded->type, MessageType::kError);
+
+  // The same connection still serves a well-formed open.
+  Message open;
+  open.type = MessageType::kOpen;
+  open.session_id = 3;
+  open.open = MakeOpen(algorithm, 21, fixture);
+  ASSERT_TRUE(connection->Send(EncodeMessage(open)));
+  ASSERT_TRUE(connection->Receive(&raw_reply));
+  decoded = DecodeMessage(raw_reply, &error);
+  ASSERT_TRUE(decoded.has_value()) << error;
+  EXPECT_EQ(decoded->type, MessageType::kOpenOk);
+  server.DrainAndStop();
+}
+
+TEST(SessionServer, UnknownSessionAndUnknownAlgorithmAreCleanErrors) {
+  Fixture fixture = MakeFixture(207);
+  LocalEndpoint endpoint;
+  SessionServer server({}, endpoint.Listen());
+  server.Start();
+
+  SessionClient client(DialerFor(&endpoint), FastClientOptions(11));
+  Message reply;
+  std::string error;
+  std::span<const Edge> edges(fixture.stream.edges);
+  EXPECT_FALSE(client.Ingest(404, 1, edges.subspan(0, 4), &reply, &error));
+  EXPECT_NE(error.find("unknown session"), std::string::npos) << error;
+
+  EXPECT_FALSE(client.Open(5, MakeOpen("no-such-algorithm", 1, fixture),
+                           &reply, &error));
+  EXPECT_FALSE(error.empty());
+
+  // Close is idempotent even for ids that never existed.
+  EXPECT_TRUE(client.Close(404, &reply, &error)) << error;
+  server.DrainAndStop();
+}
+
+TEST(SessionServer, UnixSocketSmoke) {
+  Fixture fixture = MakeFixture(208);
+  const std::string algorithm = RegisteredAlgorithmNames().front();
+  engine::RunReport expected = Oracle(algorithm, 21, fixture);
+  const std::string socket_path = testing::TempDir() + "setcover_srv.sock";
+
+  std::string error;
+  auto listener = ListenUnix(socket_path, &error);
+  ASSERT_NE(listener, nullptr) << error;
+  SessionServer server({}, std::move(listener));
+  server.Start();
+
+  SessionClient client(
+      [&socket_path](std::string* dial_error) {
+        return ConnectUnix(socket_path, dial_error);
+      },
+      FastClientOptions(12));
+  Message reply;
+  ASSERT_TRUE(RunSessionToCompletion(&client, 1,
+                                     MakeOpen(algorithm, 21, fixture),
+                                     fixture.stream.edges, 64, &reply,
+                                     &error))
+      << error;
+  EXPECT_EQ(reply.cover, ToU32(expected.solution.cover));
+  EXPECT_EQ(reply.certificate, ToU32(expected.solution.certificate));
+  server.DrainAndStop();
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace setcover

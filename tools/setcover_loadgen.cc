@@ -1,0 +1,231 @@
+// setcover_loadgen — concurrent-session load generator and correctness
+// harness for the session server. Generates a deterministic instance,
+// runs N sessions across C client threads (cycling the registered
+// algorithms, optionally with fault injection), and verifies every
+// returned cover bit-identically against an in-process engine::Execute
+// oracle.
+//
+// Two modes:
+//   self-hosted (default): spins up an in-process server over the
+//     LocalTransport — with optional mid-traffic --kill-after-us
+//     crash-and-restart to exercise resume under real concurrency.
+//   --socket=/path: drives an external setcover_server daemon.
+//
+// Usage:
+//   setcover_loadgen [--sessions=256] [--clients=8] [--batch=64]
+//                    [--elements=60] [--sets=80] [--seed=1]
+//                    [--faults] [--workers=3] [--max-queue=128]
+//                    [--state-dir=DIR] [--kill-after-us=N]
+//                    [--socket=/path/to.sock]
+//
+// Exit code 0 iff every session completed with an oracle-identical
+// cover.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/registry.h"
+#include "engine/engine.h"
+#include "instance/generators.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "stream/orderings.h"
+#include "util/flags.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace setcover;
+
+std::vector<uint32_t> ToU32(const std::vector<SetId>& ids) {
+  return std::vector<uint32_t>(ids.begin(), ids.end());
+}
+
+struct Plan {
+  std::string algorithm;
+  uint64_t seed = 0;
+  std::optional<FaultSchedule> faults;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagSet flags = FlagSet::Parse(argc - 1, argv + 1);
+  const uint64_t sessions = uint64_t(flags.GetInt("sessions", 256));
+  const int clients = int(flags.GetInt("clients", 8));
+  const size_t batch = size_t(flags.GetInt("batch", 64));
+  const uint64_t seed = uint64_t(flags.GetInt("seed", 1));
+  const bool with_faults = flags.GetBool("faults", false);
+  const std::string socket_path = flags.GetString("socket", "");
+  const std::string state_dir = flags.GetString("state-dir", "");
+  const uint64_t kill_after_us =
+      uint64_t(flags.GetInt("kill-after-us", 0));
+
+  UniformRandomParams params;
+  params.num_elements = uint32_t(flags.GetInt("elements", 60));
+  params.num_sets = uint32_t(flags.GetInt("sets", 80));
+
+  server::ServerOptions server_options;
+  server_options.worker_threads = size_t(flags.GetInt("workers", 3));
+  server_options.max_queue = size_t(flags.GetInt("max-queue", 128));
+  server_options.state_dir = state_dir;
+
+  for (const std::string& key : flags.UnusedKeys())
+    std::fprintf(stderr, "warning: unknown flag --%s\n", key.c_str());
+  if (!socket_path.empty() && kill_after_us > 0) {
+    std::fprintf(stderr,
+                 "error: --kill-after-us needs the self-hosted server\n");
+    return 2;
+  }
+  if (kill_after_us > 0 && state_dir.empty()) {
+    std::fprintf(stderr, "error: --kill-after-us needs --state-dir\n");
+    return 2;
+  }
+
+  Rng rng(seed);
+  SetCoverInstance instance = GenerateUniformRandom(params, rng);
+  EdgeStream stream = OrderedStream(instance, StreamOrder::kRandom, rng);
+  const std::vector<std::string> names = RegisteredAlgorithmNames();
+
+  auto plan_for = [&](uint64_t id) {
+    Plan plan;
+    plan.algorithm = names[id % names.size()];
+    plan.seed = seed + id % 7;
+    if (with_faults && id % 4 == 0)
+      plan.faults = FaultSchedule::AllKinds(seed + 100 + id % 5);
+    return plan;
+  };
+
+  // Oracles, one per distinct plan.
+  std::map<std::string, engine::RunReport> oracles;
+  auto oracle_key = [](const Plan& plan) {
+    std::string key = plan.algorithm + "/" + std::to_string(plan.seed);
+    if (plan.faults) key += "/f" + std::to_string(plan.faults->seed);
+    return key;
+  };
+  for (uint64_t id = 1; id <= sessions; ++id) {
+    const Plan plan = plan_for(id);
+    if (oracles.count(oracle_key(plan))) continue;
+    engine::RunConfig config;
+    config.algorithm = plan.algorithm;
+    config.options.seed = plan.seed;
+    config.source = engine::SourceSpec::InMemory(stream);
+    config.faults = plan.faults;
+    engine::RunReport report = engine::Execute(config);
+    if (!report.completed) {
+      std::fprintf(stderr, "oracle failed: %s\n", report.error.c_str());
+      return 1;
+    }
+    oracles.emplace(oracle_key(plan), std::move(report));
+  }
+
+  // Transport: external socket, or a self-hosted in-process server.
+  server::LocalEndpoint endpoint;
+  std::unique_ptr<server::SessionServer> self_hosted;
+  if (socket_path.empty()) {
+    self_hosted = std::make_unique<server::SessionServer>(server_options,
+                                                          endpoint.Listen());
+    self_hosted->Start();
+  }
+  auto dialer = [&](std::string* error)
+      -> std::unique_ptr<server::Connection> {
+    if (!socket_path.empty())
+      return server::ConnectUnix(socket_path, error);
+    return endpoint.Connect(error);
+  };
+
+  const auto start = std::chrono::steady_clock::now();
+  std::atomic<uint64_t> completed{0};
+  std::atomic<uint64_t> mismatches{0};
+  std::atomic<uint64_t> failures{0};
+  std::atomic<uint64_t> total_sheds{0};
+  std::atomic<uint64_t> total_redials{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < clients; ++t) {
+    threads.emplace_back([&, t] {
+      server::ClientOptions options;
+      options.backoff.max_retries = 10000;
+      options.backoff.initial_delay_us = 1;
+      options.backoff.max_delay_us = 200;
+      options.backoff.jitter = 0.5;
+      options.backoff.jitter_seed = uint64_t(t) + 1;
+      server::SessionClient client(dialer, options);
+
+      for (uint64_t id = uint64_t(t) + 1; id <= sessions; id += clients) {
+        const Plan plan = plan_for(id);
+        server::OpenBody open;
+        open.algorithm = plan.algorithm;
+        open.seed = plan.seed;
+        open.meta = stream.meta;
+        open.checkpoint_every = state_dir.empty() ? 0 : 64;
+        open.faults = plan.faults;
+
+        server::Message reply;
+        std::string error;
+        bool done = false;
+        for (int attempt = 0; attempt < 100 && !done; ++attempt) {
+          done = server::RunSessionToCompletion(&client, id, open,
+                                                stream.edges, batch,
+                                                &reply, &error);
+        }
+        if (!done) {
+          std::fprintf(stderr, "session %llu failed: %s\n",
+                       (unsigned long long)id, error.c_str());
+          failures.fetch_add(1);
+          continue;
+        }
+        const engine::RunReport& expected = oracles.at(oracle_key(plan));
+        if (reply.cover != ToU32(expected.solution.cover) ||
+            reply.certificate != ToU32(expected.solution.certificate)) {
+          std::fprintf(stderr, "session %llu: cover mismatch vs oracle\n",
+                       (unsigned long long)id);
+          mismatches.fetch_add(1);
+        }
+        completed.fetch_add(1);
+      }
+      total_sheds.fetch_add(client.RetriesAfterShed());
+      total_redials.fetch_add(client.Reconnects());
+    });
+  }
+
+  // The optional mid-traffic crash: hard-kill the self-hosted server,
+  // restart it on the same state dir, let the clients ride it out.
+  if (kill_after_us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(kill_after_us));
+    std::fprintf(stderr, "loadgen: killing the server mid-traffic\n");
+    self_hosted->Abort();
+    self_hosted = std::make_unique<server::SessionServer>(server_options,
+                                                          endpoint.Listen());
+    self_hosted->Start();
+  }
+
+  for (auto& thread : threads) thread.join();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  if (self_hosted != nullptr) self_hosted->DrainAndStop();
+
+  std::printf(
+      "sessions=%llu completed=%llu failures=%llu mismatches=%llu "
+      "sheds_survived=%llu redials=%llu seconds=%.3f\n",
+      (unsigned long long)sessions, (unsigned long long)completed.load(),
+      (unsigned long long)failures.load(),
+      (unsigned long long)mismatches.load(),
+      (unsigned long long)total_sheds.load(),
+      (unsigned long long)total_redials.load(), seconds);
+  const bool ok =
+      completed.load() == sessions && mismatches.load() == 0 &&
+      failures.load() == 0;
+  std::printf("%s\n", ok ? "OK: all covers bit-identical to the oracle"
+                         : "FAILED");
+  return ok ? 0 : 1;
+}
