@@ -122,6 +122,35 @@ BENCHMARK(BM_Throughput)
     ->Unit(benchmark::kMillisecond)
     ->MinTime(0.5);
 
+// The ingest-ceiling rows: Begin + batched ProcessEdgeBatch only — no
+// Finalize — so the number is the pure per-edge cost of the streaming
+// rule, the ceiling any deployment of that algorithm can sustain. These
+// are the rows the SIMD batch kernels (util/simd.h) exist to lift, and
+// scripts/check.sh --bench-smoke gates each one at 0.7x the committed
+// baseline so a kernel regression fails CI. docs/performance.md keeps
+// the human-readable table.
+void BM_IngestCeiling(benchmark::State& state) {
+  const AlgKind kind = static_cast<AlgKind>(state.range(0));
+  const EdgeStream& stream = SharedStream();
+
+  for (auto _ : state) {
+    auto algorithm = Make(kind, 3);
+    IngestBatched(*algorithm, stream);
+    benchmark::DoNotOptimize(algorithm->Meter().PeakWords());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) *
+                          int64_t(stream.size()));
+  state.SetLabel(std::string("ingest-ceiling/") + KindName(kind));
+  state.counters["stream_edges"] = double(stream.size());
+}
+
+BENCHMARK(BM_IngestCeiling)
+    ->Arg(kKkAlg)
+    ->Arg(kAdvLevel)
+    ->Arg(kRandOrder)
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.5);
+
 // The parallel-guess wrapper across thread counts. Results are
 // bit-identical at every point of this sweep (thread_pool_test proves
 // it); only the wall-clock should move, and only on multi-core hosts.

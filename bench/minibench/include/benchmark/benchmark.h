@@ -1,0 +1,247 @@
+// Minibench: a minimal, API-compatible stand-in for the subset of
+// Google Benchmark (1.7-era) that this repo's bench/ binaries use. It
+// exists for one reason: the perf gate in scripts/check.sh must compare
+// Release numbers against Release numbers, and the distro's
+// libbenchmark ships with library_build_type == "debug" baked into its
+// JSON context — every baseline recorded through it is flagged as
+// untrustworthy. Building the harness from source with the project's
+// own flags makes the stamp truthful.
+//
+// Compatibility contract (pinned by tests/minibench_test.cc):
+//   * BENCHMARK(fn) registration with the Arg/Args/DenseRange/Unit/
+//     MinTime/Iterations/UseRealTime/UseManualTime/Apply/Name builder
+//     chain, and BENCHMARK_MAIN() / the Initialize +
+//     ReportUnrecognizedArguments + RunSpecifiedBenchmarks + Shutdown
+//     custom-main sequence.
+//   * Google Benchmark's name mangling: "name/arg1/arg2", then
+//     "/min_time:%.3f" when MinTime was set, "/iterations:%d" when
+//     Iterations was set, then "/real_time" or "/manual_time".
+//   * JSON output (--benchmark_format=json, --benchmark_out=...) with
+//     the same per-run fields ("run_type": "iteration", real_time and
+//     cpu_time per iteration in time_unit, items_per_second on the
+//     manual/real/cpu time basis matching the Use*Time flags, user
+//     counters flattened into the run object, trailing "label") and a
+//     context block whose "library_build_type" reflects NDEBUG.
+//   * Rate semantics: SetItemsProcessed(total) divided by manual time
+//     if UseManualTime, else real time if UseRealTime, else CPU time.
+//
+// Deliberately out of scope: threads, repetitions, aggregates,
+// complexity fitting, counter flags, memory reporting.
+#ifndef SETCOVER_MINIBENCH_BENCHMARK_H_
+#define SETCOVER_MINIBENCH_BENCHMARK_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace benchmark {
+
+enum TimeUnit { kNanosecond, kMicrosecond, kMillisecond, kSecond };
+
+/// User counter: a plain double. (Google Benchmark's rate/average
+/// flags are unused by this repo's benches, so they are not modeled.)
+class Counter {
+ public:
+  Counter(double v = 0.0) : value(v) {}  // NOLINT: implicit by design
+  operator double() const { return value; }
+  double value;
+};
+
+using UserCounters = std::map<std::string, Counter>;
+
+namespace internal {
+class BenchmarkRunner;
+}  // namespace internal
+
+/// Per-run benchmark state: the `for (auto _ : state)` protocol plus
+/// the result setters. One State is constructed per timed run.
+class State {
+ public:
+  class Iterator {
+   public:
+    // The unused attribute on the type propagates to every `auto _ :
+    // state` binding, keeping -Wunused-but-set-variable quiet exactly
+    // as the real library does.
+    struct __attribute__((unused)) Value {};
+    Value operator*() const { return Value{}; }
+    Iterator& operator++() {
+      --remaining_;
+      ++state_->completed_;
+      return *this;
+    }
+    bool operator!=(const Iterator&) {
+      if (remaining_ > 0 && !state_->skipped_) return true;
+      state_->FinishKeepRunning();
+      return false;
+    }
+
+   private:
+    friend class State;
+    Iterator(State* state, int64_t remaining)
+        : state_(state), remaining_(remaining) {}
+    State* state_;
+    int64_t remaining_;
+  };
+
+  Iterator begin() {
+    StartKeepRunning();
+    return Iterator(this, max_iterations_);
+  }
+  Iterator end() { return Iterator(this, 0); }
+
+  int64_t range(std::size_t i = 0) const { return ranges_[i]; }
+  int64_t iterations() const { return completed_; }
+
+  void SetItemsProcessed(int64_t items) { items_processed_ = items; }
+  void SetLabel(const std::string& label) { label_ = label; }
+  /// Manual-time mode: credit `seconds` of measured time to this
+  /// iteration (UseManualTime() must be set on the benchmark).
+  void SetIterationTime(double seconds) { manual_time_used_ += seconds; }
+  void SkipWithError(const char* msg);
+  void PauseTiming();
+  void ResumeTiming();
+
+  UserCounters counters;
+
+ private:
+  friend class internal::BenchmarkRunner;
+  explicit State(int64_t max_iterations, std::vector<int64_t> ranges);
+
+  void StartKeepRunning();
+  void FinishKeepRunning();
+
+  int64_t max_iterations_;
+  std::vector<int64_t> ranges_;
+  int64_t completed_ = 0;
+  bool skipped_ = false;
+  bool timing_ = false;
+  std::string error_message_;
+  std::string label_;
+  int64_t items_processed_ = -1;
+  double manual_time_used_ = 0.0;
+  double real_time_used_ = 0.0;
+  double cpu_time_used_ = 0.0;
+  double real_start_ = 0.0;
+  double cpu_start_ = 0.0;
+};
+
+namespace internal {
+
+/// A registered benchmark family and its builder chain. Every method
+/// returns `this` so `BENCHMARK(f)->Arg(1)->Unit(...)` composes.
+class Benchmark {
+ public:
+  using Function = void (*)(State&);
+
+  Benchmark(const char* name, Function function)
+      : name_(name), function_(function) {}
+
+  Benchmark* Arg(int64_t x) {
+    args_.push_back({x});
+    return this;
+  }
+  Benchmark* Args(const std::vector<int64_t>& args) {
+    args_.push_back(args);
+    return this;
+  }
+  /// Inclusive dense range, one instance per value (step defaults 1).
+  Benchmark* DenseRange(int64_t start, int64_t limit, int step = 1) {
+    for (int64_t x = start; x <= limit; x += step) args_.push_back({x});
+    return this;
+  }
+  Benchmark* Unit(TimeUnit unit) {
+    unit_ = unit;
+    return this;
+  }
+  Benchmark* MinTime(double t) {
+    min_time_ = t;
+    return this;
+  }
+  Benchmark* Iterations(int64_t n) {
+    iterations_ = n;
+    return this;
+  }
+  Benchmark* UseRealTime() {
+    use_real_time_ = true;
+    return this;
+  }
+  Benchmark* UseManualTime() {
+    use_manual_time_ = true;
+    return this;
+  }
+  Benchmark* Name(const std::string& name) {
+    name_ = name;
+    return this;
+  }
+  Benchmark* Apply(void (*custom_arguments)(Benchmark* benchmark)) {
+    custom_arguments(this);
+    return this;
+  }
+
+ private:
+  friend class BenchmarkRunner;
+  std::string name_;
+  Function function_;
+  std::vector<std::vector<int64_t>> args_;
+  TimeUnit unit_ = kNanosecond;
+  double min_time_ = 0.0;    // 0 = use --benchmark_min_time
+  int64_t iterations_ = 0;   // 0 = time-driven
+  bool use_real_time_ = false;
+  bool use_manual_time_ = false;
+};
+
+Benchmark* RegisterBenchmarkInternal(Benchmark* benchmark);
+
+}  // namespace internal
+
+/// Consumes recognized --benchmark_* flags from argv (compacting it);
+/// unrecognized arguments are left for ReportUnrecognizedArguments.
+void Initialize(int* argc, char** argv);
+
+/// True (after printing a diagnostic) if any argument survived
+/// Initialize — the caller should exit non-zero.
+bool ReportUnrecognizedArguments(int argc, char** argv);
+
+/// Runs every registered benchmark whose mangled name matches
+/// --benchmark_filter, reporting per --benchmark_format/--benchmark_out.
+/// Returns the number of runs executed.
+std::size_t RunSpecifiedBenchmarks();
+
+void Shutdown();
+
+/// Compiler barrier: the value is considered read (and clobbered
+/// through memory), so the computation producing it cannot be elided.
+template <class Tp>
+inline __attribute__((always_inline)) void DoNotOptimize(Tp const& value) {
+  asm volatile("" : : "r,m"(value) : "memory");
+}
+template <class Tp>
+inline __attribute__((always_inline)) void DoNotOptimize(Tp& value) {
+  asm volatile("" : "+r,m"(value) : : "memory");
+}
+
+}  // namespace benchmark
+
+#define MINIBENCH_CONCAT2(a, b) a##b
+#define MINIBENCH_CONCAT(a, b) MINIBENCH_CONCAT2(a, b)
+
+#define BENCHMARK(func)                                                \
+  static ::benchmark::internal::Benchmark* MINIBENCH_CONCAT(           \
+      minibench_registration_, __COUNTER__) __attribute__((unused)) =  \
+      ::benchmark::internal::RegisterBenchmarkInternal(                \
+          new ::benchmark::internal::Benchmark(#func, &func))
+
+#define BENCHMARK_MAIN()                                               \
+  int main(int argc, char** argv) {                                    \
+    ::benchmark::Initialize(&argc, argv);                              \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {        \
+      return 1;                                                        \
+    }                                                                  \
+    ::benchmark::RunSpecifiedBenchmarks();                             \
+    ::benchmark::Shutdown();                                           \
+    return 0;                                                          \
+  }                                                                    \
+  int main(int, char**)
+
+#endif  // SETCOVER_MINIBENCH_BENCHMARK_H_

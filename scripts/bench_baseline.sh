@@ -52,6 +52,14 @@ build_type, git_sha = sys.argv[1], sys.argv[2]
 for path in ("BENCH_throughput.json", "BENCH_scaling.json"):
     with open(path) as f:
         doc = json.load(f)
+    # The harness stamps its own build type (minibench compiles with the
+    # project's flags); a debug harness distorts per-iteration overhead,
+    # so such a recording can never become the committed baseline.
+    library = doc.get("context", {}).get("library_build_type", "<unstamped>")
+    if library != "release":
+        sys.exit(f"bench_baseline: {path} was recorded through a "
+                 f"'{library}' benchmark library; build the bench "
+                 "binaries Release against minibench and re-run")
     doc.setdefault("context", {})["cmake_build_type"] = build_type
     doc["context"]["git_sha"] = git_sha
     with open(path, "w") as f:

@@ -65,6 +65,20 @@ if [[ -n "$SERVER_HITS" ]]; then
   echo "algorithm/instance/checkpoint access belongs behind engine::Session"
   exit 1
 fi
+
+# SIMD intrinsics live behind the util/simd dispatch seam and nowhere
+# else: everything outside it uses the simd::Kernels table (or portable
+# builtins like __builtin_prefetch), so the scalar/SSE/AVX2 differential
+# tests cover every vectorized code path in the tree.
+INTRIN_HITS=$(grep -rnE '#include <[a-z0-9_]*(intrin|mmintrin)\.h>' \
+  src/ tools/ examples/ bench/ --include='*.h' --include='*.cc' \
+  | grep -v '^src/util/simd' || true)
+if [[ -n "$INTRIN_HITS" ]]; then
+  echo "$INTRIN_HITS"
+  echo "layering guard: SIMD intrinsics outside src/util/simd*;"
+  echo "add a kernel to util/simd.h instead (see docs/performance.md)"
+  exit 1
+fi
 echo "layering guard: clean"
 
 BENCH_SMOKE=0
@@ -98,19 +112,40 @@ if [[ "$BENCH_SMOKE" == "1" ]]; then
     echo "build; refresh it with scripts/bench_baseline.sh before gating"
     exit 1
   fi
+  # The benchmark *library* must be a release build too — a debug
+  # harness (the distro's prebuilt libbenchmark) distorts per-iteration
+  # overhead. The harness stamps library_build_type itself, so both the
+  # committed baseline and the fresh smoke run carry the proof.
+  BASELINE_LIB=$(python3 -c 'import json; print(json.load(open(
+    "BENCH_throughput.json")).get("context", {}).get(
+    "library_build_type", "<unstamped>"))')
+  echo "bench smoke: committed baseline library build type: $BASELINE_LIB"
+  if [[ "$BASELINE_LIB" != "release" ]]; then
+    echo "bench smoke: BENCH_throughput.json was recorded through a"
+    echo "non-release benchmark library; refresh it with scripts/bench_baseline.sh"
+    exit 1
+  fi
 
   cmake --build build-release -j "$JOBS" --target bench_throughput
   build-release/bench/bench_throughput --benchmark_min_time=0.01
 
-  echo "== bench smoke: file-replay + greedy perf gate vs BENCH_throughput.json =="
+  echo "== bench smoke: file-replay + greedy + ingest-ceiling perf gate vs BENCH_throughput.json =="
   build-release/bench/bench_throughput \
-    '--benchmark_filter=FileReplay|BM_GreedyCover/' \
+    '--benchmark_filter=FileReplay|BM_GreedyCover/|IngestCeiling' \
     --benchmark_format=json >/tmp/setcover_replay_smoke.json
+  SMOKE_LIB=$(python3 -c 'import json; print(json.load(open(
+    "/tmp/setcover_replay_smoke.json")).get("context", {}).get(
+    "library_build_type", "<unstamped>"))')
+  if [[ "$SMOKE_LIB" != "release" ]]; then
+    echo "bench smoke: the fresh smoke run used a non-release benchmark"
+    echo "library ($SMOKE_LIB); rebuild build-release/ against minibench"
+    exit 1
+  fi
   python3 - <<'EOF'
 import json, sys
 
 FLOOR = 0.7  # fail if a row drops below this fraction of the baseline
-GATED = ("file-replay/", "greedy/bucket-queue")
+GATED = ("file-replay/", "greedy/bucket-queue", "ingest-ceiling/")
 
 def replay_rows(path):
     rows = {}
@@ -138,15 +173,16 @@ for label, base_eps in sorted(baseline.items()):
           f"({ratio:.2f}x baseline)")
     failed = failed or ratio < FLOOR
 if failed:
-    sys.exit(f"perf gate: file replay below {FLOOR}x the committed baseline")
+    sys.exit(f"perf gate: a gated row fell below {FLOOR}x the committed baseline")
 EOF
 
-  echo "== bench smoke: engine equivalence + stream formats + offline kernels + wire protocol under ASan+UBSan (build-asan/) =="
+  echo "== bench smoke: engine equivalence + stream formats + offline kernels + wire protocol + SIMD kernels under ASan+UBSan (build-asan/) =="
   cmake -B build-asan -S . -DSETCOVER_SANITIZE=ON >/dev/null
   cmake --build build-asan -j "$JOBS" \
     --target engine_equivalence_test batch_equivalence_test \
              stream_format_test greedy_kernel_test instance_test \
-             bitset_test wire_protocol_test engine_session_test
+             bitset_test wire_protocol_test engine_session_test \
+             simd_kernel_test simd_dispatch_test
   build-asan/tests/engine_equivalence_test
   build-asan/tests/batch_equivalence_test
   build-asan/tests/stream_format_test
@@ -157,6 +193,14 @@ EOF
   # truncation, oversize) and the ingest-session engine driver.
   build-asan/tests/wire_protocol_test
   build-asan/tests/engine_session_test
+  # The SIMD kernel layer: every tier's kernels against the scalar
+  # reference (gathers read out-of-order, so ASan watches the lanes),
+  # the cross-tier full-run differentials, and one forced-scalar pass of
+  # the batch-equivalence suite so the dispatch override path itself is
+  # exercised under the sanitizers.
+  build-asan/tests/simd_kernel_test
+  build-asan/tests/simd_dispatch_test
+  SETCOVER_SIMD_LEVEL=scalar build-asan/tests/batch_equivalence_test
 
   echo "== bench smoke: thread pool + multi-run-over-engine + prefetch decoder + session server under TSan (build-tsan/) =="
   cmake -B build-tsan -S . -DSETCOVER_TSAN=ON >/dev/null

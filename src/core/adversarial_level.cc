@@ -1,9 +1,12 @@
 #include "core/adversarial_level.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "util/math.h"
+#include "util/sampling.h"
+#include "util/simd.h"
 
 namespace setcover {
 
@@ -33,15 +36,15 @@ void AdversarialLevelAlgorithm::Begin(const StreamMetadata& meta) {
   meter_.Reset();
   meter_.Set(element_state_words_, 2 * size_t{meta.num_elements});
 
-  // Line 6: D_0 gets every set with probability p_0 = α/m.
+  // Line 6: D_0 gets every set with probability p_0 = α/m. Block-drawn
+  // coins + a vectorized threshold scan, same coin sequence as the
+  // scalar loop (util/sampling.h).
   const double p0 = alpha_ / static_cast<double>(meta.num_sets);
-  for (SetId s = 0; s < meta.num_sets; ++s) {
-    if (rng_.Bernoulli(p0)) {
-      in_solution_.Set(s);
-      solution_order_.push_back(s);
-      meter_.Add(solution_words_, 2);
-    }
-  }
+  ForEachBernoulliHit(rng_, meta.num_sets, p0, [&](SetId s) {
+    in_solution_.Set(s);
+    solution_order_.push_back(s);
+    meter_.Add(solution_words_, 2);
+  });
 }
 
 void AdversarialLevelAlgorithm::MaybeInclude(SetId s, uint32_t level) {
@@ -88,8 +91,39 @@ void AdversarialLevelAlgorithm::ProcessEdge(const Edge& edge) {
 }
 
 void AdversarialLevelAlgorithm::ProcessEdgeBatch(std::span<const Edge> edges) {
-  // Same per-edge rule, minus one virtual dispatch per edge.
-  for (const Edge& e : edges) ProcessEdgeImpl(e);
+  // Phase 1 screens with gathered reads: an edge whose element was
+  // covered (and had first_set recorded) at screen time returns from
+  // the per-edge rule before any coin is drawn, so skipping it is
+  // exact. Coverage and first_set only ever advance within a stream, so
+  // positive screens cannot go stale mid-chunk. Phase 2 replays the
+  // survivors through the unchanged scalar rule — coin stream,
+  // promotions, meters and checkpoint bytes are bit-identical to the
+  // per-edge path (the differential suite pins this per tier).
+  constexpr size_t kChunk = 512;
+  uint32_t ids[kChunk];
+  uint64_t covered_mask[kChunk / 64];
+  uint64_t unseen_mask[kChunk / 64];
+  const simd::Kernels& kernels = simd::Active();
+  while (!edges.empty()) {
+    const size_t chunk = std::min(edges.size(), kChunk);
+    for (size_t i = 0; i < chunk; ++i) ids[i] = edges[i].element;
+    kernels.gather_bits(covered_.WordsData(), ids, chunk, covered_mask);
+    kernels.gather_equal_u32(first_set_.data(), ids, chunk, kNoSet,
+                             unseen_mask);
+    const size_t mask_words = (chunk + 63) / 64;
+    for (size_t w = 0; w < mask_words; ++w) {
+      uint64_t live = ~(covered_mask[w] & ~unseen_mask[w]);
+      if (w == mask_words - 1 && (chunk & 63) != 0) {
+        live &= ~uint64_t{0} >> (64 - (chunk & 63));
+      }
+      const size_t base = w << 6;
+      while (live != 0) {
+        ProcessEdgeImpl(edges[base + size_t(std::countr_zero(live))]);
+        live &= live - 1;
+      }
+    }
+    edges = edges.subspan(chunk);
+  }
 }
 
 CoverSolution AdversarialLevelAlgorithm::Finalize() {
@@ -122,9 +156,7 @@ void AdversarialLevelAlgorithm::EncodeState(StateEncoder* encoder) const {
   // and the solution.
   for (uint64_t w : rng_.GetState()) encoder->PutWord(w);
   encoder->PutSortedPairs(levels_.SortedEntries());
-  std::vector<bool> covered(covered_.size(), false);
-  for (ElementId u = 0; u < covered_.size(); ++u) covered[u] = covered_.Test(u);
-  encoder->PutBoolVector(covered);
+  encoder->PutBitset(covered_);  // byte-identical to the PutBoolVector copy
   encoder->PutU32Vector(first_set_);
   encoder->PutU32Vector(certificate_);
   encoder->PutU32Vector(solution_order_);
@@ -137,7 +169,8 @@ bool AdversarialLevelAlgorithm::DecodeState(
   std::array<uint64_t, 4> rng_state;
   for (uint64_t& w : rng_state) w = decoder.GetWord();
   auto levels = decoder.GetMap();
-  std::vector<bool> covered = decoder.GetBoolVector();
+  DynamicBitset covered;
+  decoder.GetBitset(&covered);
   std::vector<uint32_t> first_set = decoder.GetU32Vector();
   std::vector<uint32_t> certificate = decoder.GetU32Vector();
   std::vector<uint32_t> solution = decoder.GetU32Vector();
@@ -157,10 +190,7 @@ bool AdversarialLevelAlgorithm::DecodeState(
   rng_.SetState(rng_state);
   levels_.Assign(meta.num_sets);
   for (const auto& [s, level] : levels) levels_.Slot(s).first = level;
-  covered_ = DynamicBitset(meta.num_elements);
-  for (ElementId u = 0; u < meta.num_elements; ++u) {
-    if (covered[u]) covered_.Set(u);
-  }
+  covered_ = std::move(covered);
   first_set_ = std::move(first_set);
   certificate_ = std::move(certificate);
   solution_order_ = std::move(solution);

@@ -1,10 +1,12 @@
 #include "core/element_sampling.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "offline/greedy.h"
 #include "util/math.h"
+#include "util/simd.h"
 
 namespace setcover {
 
@@ -42,7 +44,7 @@ void ElementSamplingAlgorithm::Begin(const StreamMetadata& meta) {
              size_t{meta.num_elements} + meta.num_elements / 64 + 1);
 }
 
-void ElementSamplingAlgorithm::ProcessEdge(const Edge& edge) {
+inline void ElementSamplingAlgorithm::ProcessEdgeImpl(const Edge& edge) {
   if (first_set_[edge.element] == kNoSet)
     first_set_[edge.element] = edge.set;
   if (in_sample_.Test(edge.element)) {
@@ -51,15 +53,48 @@ void ElementSamplingAlgorithm::ProcessEdge(const Edge& edge) {
   }
 }
 
+void ElementSamplingAlgorithm::ProcessEdge(const Edge& edge) {
+  ProcessEdgeImpl(edge);
+}
+
+void ElementSamplingAlgorithm::ProcessEdgeBatch(std::span<const Edge> edges) {
+  // An edge does work only if its element is sampled (projection) or
+  // has no first_set yet (patch store). The sample indicator is fixed
+  // for the whole stream and first_set only ever advances, so a batch
+  // screen over both is exact; survivors replay the scalar rule, so the
+  // projected-edge order, meter and wire bytes are unchanged.
+  constexpr size_t kChunk = 512;
+  uint32_t ids[kChunk];
+  uint64_t sampled_mask[kChunk / 64];
+  uint64_t unseen_mask[kChunk / 64];
+  const simd::Kernels& kernels = simd::Active();
+  while (!edges.empty()) {
+    const size_t chunk = std::min(edges.size(), kChunk);
+    for (size_t i = 0; i < chunk; ++i) ids[i] = edges[i].element;
+    kernels.gather_bits(in_sample_.WordsData(), ids, chunk, sampled_mask);
+    kernels.gather_equal_u32(first_set_.data(), ids, chunk, kNoSet,
+                             unseen_mask);
+    const size_t mask_words = (chunk + 63) / 64;
+    for (size_t w = 0; w < mask_words; ++w) {
+      uint64_t live = sampled_mask[w] | unseen_mask[w];
+      if (w == mask_words - 1 && (chunk & 63) != 0) {
+        live &= ~uint64_t{0} >> (64 - (chunk & 63));
+      }
+      const size_t base = w << 6;
+      while (live != 0) {
+        ProcessEdgeImpl(edges[base + size_t(std::countr_zero(live))]);
+        live &= live - 1;
+      }
+    }
+    edges = edges.subspan(chunk);
+  }
+}
+
 void ElementSamplingAlgorithm::EncodeState(StateEncoder* encoder) const {
   // The Õ(m·n/α) of Table 1 row 1, literally: the projected edges
-  // dominate the message. The indicator still travels as a bool vector,
-  // so the wire format is byte-identical to the pre-bitset encoding.
-  std::vector<bool> in_sample(meta_.num_elements, false);
-  for (ElementId u = 0; u < meta_.num_elements; ++u) {
-    in_sample[u] = in_sample_.Test(u);
-  }
-  encoder->PutBoolVector(in_sample);
+  // dominate the message. The indicator travels word-granular but the
+  // wire format stays byte-identical to the PutBoolVector encoding.
+  encoder->PutBitset(in_sample_);
   encoder->PutU32Vector(first_set_);
   std::vector<uint32_t> flat;
   flat.reserve(2 * projected_edges_.size());
@@ -74,7 +109,8 @@ bool ElementSamplingAlgorithm::DecodeState(
     const StreamMetadata& meta, const std::vector<uint64_t>& words) {
   Begin(meta);
   StateDecoder decoder(words);
-  std::vector<bool> in_sample = decoder.GetBoolVector();
+  DynamicBitset in_sample;
+  decoder.GetBitset(&in_sample);
   std::vector<uint32_t> first_set = decoder.GetU32Vector();
   std::vector<uint32_t> flat = decoder.GetU32Vector();
   bool edges_ok = flat.size() % 2 == 0;
@@ -90,12 +126,11 @@ bool ElementSamplingAlgorithm::DecodeState(
   // The dense index of a sampled element is its rank within U' (the
   // sample is drawn sorted), so the whole mapping reconstructs from
   // the indicator alone.
-  in_sample_.Assign(meta.num_elements);
+  in_sample_ = std::move(in_sample);
   sample_index_.assign(meta.num_elements, 0);
   sample_size_ = 0;
   for (ElementId u = 0; u < meta.num_elements; ++u) {
-    if (in_sample[u]) {
-      in_sample_.Set(u);
+    if (in_sample_.Test(u)) {
       sample_index_[u] = static_cast<ElementId>(sample_size_++);
     }
   }

@@ -47,6 +47,7 @@ class ElementSamplingAlgorithm : public StreamingSetCoverAlgorithm {
   std::string Name() const override { return "element-sampling"; }
   void Begin(const StreamMetadata& meta) override;
   void ProcessEdge(const Edge& edge) override;
+  void ProcessEdgeBatch(std::span<const Edge> edges) override;
   CoverSolution Finalize() override;
   const MemoryMeter& Meter() const override { return meter_; }
   void EncodeState(StateEncoder* encoder) const override;
@@ -61,6 +62,8 @@ class ElementSamplingAlgorithm : public StreamingSetCoverAlgorithm {
   size_t StoredEdges() const { return projected_edges_.size(); }
 
  private:
+  inline void ProcessEdgeImpl(const Edge& edge);
+
   uint64_t seed_;
   ElementSamplingParams params_;
   Rng rng_;

@@ -1,9 +1,11 @@
 #include "core/kk_algorithm.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "util/math.h"
+#include "util/simd.h"
 
 namespace setcover {
 
@@ -20,6 +22,7 @@ void KkAlgorithm::Begin(const StreamMetadata& meta) {
   sqrt_n_ = std::max<uint32_t>(
       1, static_cast<uint32_t>(ISqrt(meta.num_elements)));
   uncovered_degree_.assign(meta.num_sets, 0);
+  next_threshold_.assign(meta.num_sets, sqrt_n_);
   first_set_.assign(meta.num_elements, kNoSet);
   certificate_.assign(meta.num_elements, kNoSet);
   covered_ = DynamicBitset(meta.num_elements);
@@ -62,12 +65,18 @@ inline void KkAlgorithm::ProcessEdgeImpl(const Edge& edge) {
 
   // u is uncovered and S is not in the solution: bump the
   // uncovered-degree and run the probabilistic inclusion rule at every
-  // level boundary i·√n. The d < √n comparison screens out the common
-  // case before paying for the modulo.
+  // level boundary i·√n. next_threshold_[s] tracks the next unreached
+  // boundary, so a boundary hit is one equality compare — no modulo.
+  // d == next_threshold_[s] exactly when d is a multiple of √n at or
+  // past √n, because d advances by 1 and the threshold by √n per hit.
+  // The d >= sqrt_n_ register compare short-circuits the threshold
+  // load: it is implied by equality (thresholds start at √n), and most
+  // sets never reach degree √n, so the common case touches only the
+  // degree counter.
   uint32_t d = ++uncovered_degree_[s];
-  if (d >= sqrt_n_ && d % sqrt_n_ == 0) {
-    uint32_t level = d / sqrt_n_;
-    MaybeInclude(s, level);
+  if (d >= sqrt_n_ && d == next_threshold_[s]) {
+    next_threshold_[s] = d + sqrt_n_;
+    MaybeInclude(s, d / sqrt_n_);
     if (in_solution_.Test(s)) {
       covered_.Set(u);
       certificate_[u] = s;
@@ -78,8 +87,52 @@ inline void KkAlgorithm::ProcessEdgeImpl(const Edge& edge) {
 void KkAlgorithm::ProcessEdge(const Edge& edge) { ProcessEdgeImpl(edge); }
 
 void KkAlgorithm::ProcessEdgeBatch(std::span<const Edge> edges) {
-  // Same per-edge rule, minus one virtual dispatch per edge.
-  for (const Edge& e : edges) ProcessEdgeImpl(e);
+  // Phase 1 screens the batch with gathered bitset/array reads: an edge
+  // whose element was covered *and* had its first set recorded at
+  // screen time is a proven no-op for the per-edge rule (both the
+  // in-solution and the not-in-solution branch return without touching
+  // state or drawing coins). Coverage and first_set only ever advance,
+  // so a positive screen can never go stale within the stream. Phase 2
+  // replays the surviving edges through the unchanged scalar rule, so
+  // the result — coins, certificates, meters, checkpoint bytes — is
+  // bit-identical to the per-edge path. (The first_set gather is what
+  // makes the screen safe even on hostile DecodeState states where
+  // covered(u) holds but first_set[u] is unset.)
+  constexpr size_t kChunk = 512;
+  uint32_t ids[kChunk];
+  uint64_t covered_mask[kChunk / 64];
+  uint64_t unseen_mask[kChunk / 64];
+  const simd::Kernels& kernels = simd::Active();
+  while (!edges.empty()) {
+    const size_t chunk = std::min(edges.size(), kChunk);
+    // The screen only pays once a decent fraction of elements is
+    // covered — early in the stream almost every edge survives it, and
+    // the gathers become pure overhead on top of a full scalar replay.
+    // Count() is O(1), so this gate costs nothing, and it only changes
+    // which (equivalent) path runs, never the outcome.
+    if (covered_.Count() * 4 < covered_.size()) {
+      for (size_t i = 0; i < chunk; ++i) ProcessEdgeImpl(edges[i]);
+      edges = edges.subspan(chunk);
+      continue;
+    }
+    for (size_t i = 0; i < chunk; ++i) ids[i] = edges[i].element;
+    kernels.gather_bits(covered_.WordsData(), ids, chunk, covered_mask);
+    kernels.gather_equal_u32(first_set_.data(), ids, chunk, kNoSet,
+                             unseen_mask);
+    const size_t mask_words = (chunk + 63) / 64;
+    for (size_t w = 0; w < mask_words; ++w) {
+      uint64_t live = ~(covered_mask[w] & ~unseen_mask[w]);
+      if (w == mask_words - 1 && (chunk & 63) != 0) {
+        live &= ~uint64_t{0} >> (64 - (chunk & 63));
+      }
+      const size_t base = w << 6;
+      while (live != 0) {
+        ProcessEdgeImpl(edges[base + size_t(std::countr_zero(live))]);
+        live &= live - 1;
+      }
+    }
+    edges = edges.subspan(chunk);
+  }
 }
 
 CoverSolution KkAlgorithm::Finalize() {
@@ -112,9 +165,7 @@ void KkAlgorithm::EncodeState(StateEncoder* encoder) const {
   // solution so far.
   for (uint64_t w : rng_.GetState()) encoder->PutWord(w);
   encoder->PutU32Vector(uncovered_degree_);
-  std::vector<bool> covered(covered_.size(), false);
-  for (ElementId u = 0; u < covered_.size(); ++u) covered[u] = covered_.Test(u);
-  encoder->PutBoolVector(covered);
+  encoder->PutBitset(covered_);  // byte-identical to the PutBoolVector copy
   encoder->PutU32Vector(first_set_);
   encoder->PutU32Vector(certificate_);
   encoder->PutU32Vector(solution_order_);
@@ -127,7 +178,8 @@ bool KkAlgorithm::DecodeState(const StreamMetadata& meta,
   std::array<uint64_t, 4> rng_state;
   for (uint64_t& w : rng_state) w = decoder.GetWord();
   std::vector<uint32_t> degrees = decoder.GetU32Vector();
-  std::vector<bool> covered = decoder.GetBoolVector();
+  DynamicBitset covered;
+  decoder.GetBitset(&covered);
   std::vector<uint32_t> first_set = decoder.GetU32Vector();
   std::vector<uint32_t> certificate = decoder.GetU32Vector();
   std::vector<uint32_t> solution = decoder.GetU32Vector();
@@ -146,10 +198,14 @@ bool KkAlgorithm::DecodeState(const StreamMetadata& meta,
   }
   rng_.SetState(rng_state);
   uncovered_degree_ = std::move(degrees);
-  covered_ = DynamicBitset(meta.num_elements);
-  for (ElementId u = 0; u < meta.num_elements; ++u) {
-    if (covered[u]) covered_.Set(u);
+  // Rebuild the derived next-threshold accelerators: the next unreached
+  // multiple of √n, exactly what the incremental rule would hold after
+  // replaying d(S) edges (consistent mod 2³² with the incremental path
+  // even if a counter wrapped).
+  for (SetId s = 0; s < meta.num_sets; ++s) {
+    next_threshold_[s] = (uncovered_degree_[s] / sqrt_n_ + 1) * sqrt_n_;
   }
+  covered_ = std::move(covered);
   first_set_ = std::move(first_set);
   certificate_ = std::move(certificate);
   solution_order_ = std::move(solution);

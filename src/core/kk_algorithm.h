@@ -77,6 +77,12 @@ class KkAlgorithm : public StreamingSetCoverAlgorithm {
   uint32_t sqrt_n_ = 1;
 
   std::vector<uint32_t> uncovered_degree_;  // d(S), m words
+  // next_threshold_[s] is the next level boundary i·√n that d(S) has
+  // not reached yet, so the hot path is a single equality compare
+  // instead of a modulo. Derived accelerator state (a pure function of
+  // uncovered_degree_ and √n, rebuilt in DecodeState), hence unmetered
+  // — the same rationale as the epoch stamps in util/epoch_array.h.
+  std::vector<uint32_t> next_threshold_;
   std::vector<SetId> first_set_;            // R(u), n words
   std::vector<SetId> certificate_;          // C(u), n words
   DynamicBitset covered_;                   // U, n bits

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
 #include <cmath>
 #include <cstring>
 
 #include "util/math.h"
+#include "util/sampling.h"
+#include "util/simd.h"
 
 namespace setcover {
 namespace {
@@ -187,10 +190,10 @@ void RandomOrderAlgorithm::Begin(const StreamMetadata& meta) {
                                 : size_t{meta.num_elements});
   meter_.Set(batch_counter_words_, batch_size_);
 
-  // Epoch 0 sampling (line 6).
-  for (SetId s = 0; s < meta.num_sets; ++s) {
-    if (rng_.Bernoulli(p0_)) AddToSolution(s);
-  }
+  // Epoch 0 sampling (line 6): block coins + vectorized threshold scan,
+  // same coin sequence as the scalar loop (util/sampling.h).
+  ForEachBernoulliHit(rng_, meta.num_sets, p0_,
+                      [&](SetId s) { AddToSolution(s); });
   stats_.epoch0_sampled = solution_order_.size();
 
   position_ = 0;
@@ -239,9 +242,8 @@ void RandomOrderAlgorithm::StartAlgorithm(uint32_t i) {
   // Line 10: fresh tracking sample Q̃ at rate q_0.
   tracked_.ClearAll();
   cur_tracked_rate_ = TrackingRate(0);
-  for (SetId s = 0; s < meta_.num_sets; ++s) {
-    if (rng_.Bernoulli(cur_tracked_rate_)) tracked_.Insert(s);
-  }
+  ForEachBernoulliHit(rng_, meta_.num_sets, cur_tracked_rate_,
+                      [&](SetId s) { tracked_.Insert(s); });
   meter_.Set(tracked_words_, 2 * tracked_.Size());
   StartEpoch();
 }
@@ -401,10 +403,72 @@ void RandomOrderAlgorithm::ProcessEdge(const Edge& edge) {
 }
 
 void RandomOrderAlgorithm::ProcessEdgeBatch(std::span<const Edge> edges) {
-  // Same per-edge rule, minus one virtual dispatch per edge. The phase
-  // cursor advances inside the impl, so mid-batch phase transitions
-  // behave exactly as in the per-edge path.
-  for (const Edge& e : edges) ProcessEdgeImpl(e);
+  // Phase 1 screens the chunk: an edge with u marked, S not in the
+  // solution, and first_set recorded only advances the position cursor
+  // in the per-edge rule. Marked/first_set advance monotonically, so
+  // those two screens cannot go stale; in_solution also only grows, but
+  // in the *unsafe* direction (a set added mid-chunk would turn a
+  // screened skip into the witnessing branch). AddToSolution calls are
+  // rare — at most n per run — so the walk re-validates cheaply: while
+  // |Sol| still equals its screen-time size every skip is exact, and
+  // after any growth the remaining screened edges fall back to the full
+  // scalar rule. Mid-chunk phase transitions are handled by the impl
+  // itself, exactly as in the per-edge path.
+  constexpr size_t kChunk = 512;
+  uint32_t element_ids[kChunk];
+  uint32_t set_ids[kChunk];
+  uint64_t marked_mask[kChunk / 64];
+  uint64_t insol_mask[kChunk / 64];
+  uint64_t unseen_mask[kChunk / 64];
+  const simd::Kernels& kernels = simd::Active();
+  while (!edges.empty()) {
+    const size_t chunk = std::min(edges.size(), kChunk);
+    for (size_t i = 0; i < chunk; ++i) {
+      element_ids[i] = edges[i].element;
+      set_ids[i] = edges[i].set;
+    }
+    kernels.gather_bits(marked_.WordsData(), element_ids, chunk, marked_mask);
+    kernels.gather_bits(in_solution_.WordsData(), set_ids, chunk, insol_mask);
+    kernels.gather_equal_u32(first_set_.data(), element_ids, chunk, kNoSet,
+                             unseen_mask);
+    const size_t solution_at_screen = solution_order_.size();
+    const size_t mask_words = (chunk + 63) / 64;
+    for (size_t w = 0; w < mask_words; ++w) {
+      uint64_t skip = marked_mask[w] & ~insol_mask[w] & ~unseen_mask[w];
+      size_t limit = 64;
+      if (w == mask_words - 1 && (chunk & 63) != 0) {
+        limit = chunk & 63;
+        skip &= ~uint64_t{0} >> (64 - limit);
+      }
+      const size_t base = w << 6;
+      if (phase_ == Phase::kTail &&
+          solution_order_.size() == solution_at_screen) {
+        // Tail fast path: a skipped edge's Advance() is a bare
+        // position_++ (kTail is terminal and reads nothing else), so a
+        // word's worth of skips collapses to one add. Live edges still
+        // run in order; their own Advance() calls interleave with pure
+        // increments, which commute.
+        position_ += size_t(std::popcount(skip));
+        uint64_t live = ~skip & (limit == 64
+                                     ? ~uint64_t{0}
+                                     : (~uint64_t{0} >> (64 - limit)));
+        while (live != 0) {
+          ProcessEdgeImpl(edges[base + size_t(std::countr_zero(live))]);
+          live &= live - 1;
+        }
+        continue;
+      }
+      for (size_t b = 0; b < limit; ++b) {
+        if (((skip >> b) & 1) != 0 &&
+            solution_order_.size() == solution_at_screen) {
+          Advance();
+        } else {
+          ProcessEdgeImpl(edges[base + b]);
+        }
+      }
+    }
+    edges = edges.subspan(chunk);
+  }
 }
 
 CoverSolution RandomOrderAlgorithm::Finalize() {
@@ -466,11 +530,7 @@ void RandomOrderAlgorithm::EncodeState(StateEncoder* encoder) const {
   encoder->PutWord(cur_epoch_);
   encoder->PutWord(cur_batch_);
   encoder->PutWord(main_remaining_);
-  std::vector<bool> marked(meta_.num_elements, false);
-  for (ElementId u = 0; u < meta_.num_elements; ++u) {
-    marked[u] = marked_.Test(u);
-  }
-  encoder->PutBoolVector(marked);
+  encoder->PutBitset(marked_);  // byte-identical to the PutBoolVector copy
   encoder->PutU32Vector(first_set_);
   encoder->PutU32Vector(witness_);
   encoder->PutU32Vector(epoch0_degree_);
@@ -497,7 +557,8 @@ bool RandomOrderAlgorithm::DecodeState(
   uint64_t cur_epoch = decoder.GetWord();
   uint64_t cur_batch = decoder.GetWord();
   uint64_t main_remaining = decoder.GetWord();
-  std::vector<bool> marked = decoder.GetBoolVector();
+  DynamicBitset marked;
+  decoder.GetBitset(&marked);
   std::vector<uint32_t> first_set = decoder.GetU32Vector();
   std::vector<uint32_t> witness = decoder.GetU32Vector();
   std::vector<uint32_t> epoch0_degree = decoder.GetU32Vector();
@@ -545,10 +606,7 @@ bool RandomOrderAlgorithm::DecodeState(
   cur_epoch_ = static_cast<uint32_t>(cur_epoch);
   cur_batch_ = static_cast<uint32_t>(cur_batch);
   main_remaining_ = main_remaining;
-  marked_ = DynamicBitset(meta.num_elements);
-  for (ElementId u = 0; u < meta.num_elements; ++u) {
-    if (marked[u]) marked_.Set(u);
-  }
+  marked_ = std::move(marked);
   first_set_ = std::move(first_set);
   witness_ = std::move(witness);
   epoch0_degree_ = std::move(epoch0_degree);

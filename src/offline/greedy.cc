@@ -12,12 +12,22 @@ namespace {
 /// |S \ covered| for a sorted element span, word-parallel: consecutive
 /// elements sharing a 64-bit word collapse into one mask that is
 /// resolved with a single AND + popcount against the covered bitset.
+/// Covered-word lookahead for the recount/cover walks: the element ids
+/// are sequential in the CSR arena but the covered words they index are
+/// not, so the word for an element ~2 cache lines ahead is requested
+/// early. Purely a latency hint — results are untouched.
+constexpr size_t kPrefetchDistance = 16;
+
 uint32_t CountUncovered(std::span<const ElementId> set,
                         const DynamicBitset& covered) {
   uint32_t gain = 0;
   size_t i = 0;
   const size_t size = set.size();
+  const uint64_t* words = covered.WordsData();
   while (i < size) {
+    if (i + kPrefetchDistance < size) {
+      __builtin_prefetch(words + (size_t{set[i + kPrefetchDistance]} >> 6));
+    }
     const size_t w = size_t{set[i]} >> 6;
     uint64_t mask = uint64_t{1} << (set[i] & 63);
     ++i;
@@ -25,7 +35,7 @@ uint32_t CountUncovered(std::span<const ElementId> set,
       mask |= uint64_t{1} << (set[i] & 63);
       ++i;
     }
-    gain += uint32_t(std::popcount(mask & ~covered.Word(w)));
+    gain += uint32_t(std::popcount(mask & ~words[w]));
   }
   return gain;
 }
@@ -40,6 +50,10 @@ void CoverAndCertify(std::span<const ElementId> set, SetId s,
   size_t i = 0;
   const size_t size = set.size();
   while (i < size) {
+    if (i + kPrefetchDistance < size) {
+      __builtin_prefetch(
+          covered.WordsData() + (size_t{set[i + kPrefetchDistance]} >> 6), 1);
+    }
     const size_t w = size_t{set[i]} >> 6;
     uint64_t mask = uint64_t{1} << (set[i] & 63);
     ++i;

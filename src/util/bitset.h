@@ -5,6 +5,7 @@
 #include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace setcover {
@@ -88,6 +89,30 @@ class DynamicBitset {
   /// The w-th backing word. Bit i of the set maps to bit (i & 63) of
   /// word i >> 6.
   uint64_t Word(size_t w) const { return words_[w]; }
+
+  /// Read-only view of the backing words, for batched gather kernels
+  /// (util/simd.h) and word-granular serialization. Bit i lives at bit
+  /// (i & 63) of word i >> 6; bits beyond size() are zero by invariant.
+  const uint64_t* WordsData() const { return words_.data(); }
+
+  /// Rebuilds the bitset as `size` bits taken word-for-word from
+  /// `words` (at most (size + 63) / 64 of them are used; missing words
+  /// read as zero). Bits of the last word beyond `size` are masked off,
+  /// so untrusted trailing junk cannot corrupt size()/Count() — the
+  /// word-granular decode path (StateDecoder::GetBitset) accepts
+  /// exactly the messages the bit-by-bit path did.
+  void AssignWords(size_t size, std::span<const uint64_t> words) {
+    size_ = size;
+    const size_t want = (size + 63) / 64;
+    const size_t have = std::min(want, words.size());
+    words_.assign(words.begin(), words.begin() + have);
+    words_.resize(want, 0);
+    if ((size & 63) != 0 && want > 0) {
+      words_.back() &= ~uint64_t{0} >> (64 - (size & 63));
+    }
+    count_ = 0;
+    for (uint64_t w : words_) count_ += size_t(std::popcount(w));
+  }
 
   /// ORs `mask` into word `w` and returns the mask bits that were
   /// previously clear (the newly set bits). Count() stays exact.

@@ -1,12 +1,8 @@
 #include "util/crc32.h"
 
 #include <array>
-#include <cstring>
 
-#if defined(__x86_64__) || defined(_M_X64)
-#include <nmmintrin.h>
-#define SETCOVER_CRC32C_HW 1
-#endif
+#include "util/simd.h"
 
 namespace setcover {
 namespace {
@@ -33,25 +29,6 @@ uint32_t TableCrc(const std::array<uint32_t, 256>& table, const void* data,
   return crc ^ 0xFFFFFFFFu;
 }
 
-#ifdef SETCOVER_CRC32C_HW
-__attribute__((target("sse4.2"))) uint32_t Crc32cHardware(const void* data,
-                                                          size_t bytes,
-                                                          uint32_t seed) {
-  const auto* p = static_cast<const unsigned char*>(data);
-  uint64_t crc = seed ^ 0xFFFFFFFFu;
-  while (bytes >= 8) {
-    uint64_t word;
-    std::memcpy(&word, p, 8);
-    crc = _mm_crc32_u64(crc, word);
-    p += 8;
-    bytes -= 8;
-  }
-  uint32_t crc32 = static_cast<uint32_t>(crc);
-  while (bytes-- > 0) crc32 = _mm_crc32_u8(crc32, *p++);
-  return crc32 ^ 0xFFFFFFFFu;
-}
-#endif
-
 }  // namespace
 
 uint32_t Crc32(const void* data, size_t bytes, uint32_t seed) {
@@ -65,11 +42,10 @@ uint32_t Crc32cPortable(const void* data, size_t bytes, uint32_t seed) {
 }
 
 uint32_t Crc32c(const void* data, size_t bytes, uint32_t seed) {
-#ifdef SETCOVER_CRC32C_HW
-  static const bool kHaveSse42 = __builtin_cpu_supports("sse4.2");
-  if (kHaveSse42) return Crc32cHardware(data, bytes, seed);
-#endif
-  return Crc32cPortable(data, bytes, seed);
+  // The SSE4.2 crc32-instruction implementation lives in util/simd.cc
+  // (the single home for intrinsics); the kernel table picks it exactly
+  // when the CPU supports it, so values are identical on every tier.
+  return simd::Active().crc32c(data, bytes, seed);
 }
 
 }  // namespace setcover

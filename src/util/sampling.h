@@ -1,0 +1,54 @@
+#ifndef SETCOVER_UTIL_SAMPLING_H_
+#define SETCOVER_UTIL_SAMPLING_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "util/rng.h"
+#include "util/simd.h"
+
+namespace setcover {
+
+/// Branch-free Bernoulli scan: invokes `fn(i)` for exactly the indices
+/// i in [0, count) for which `rng.Bernoulli(p)` would have returned
+/// true in a plain loop, drawing the identical coin sequence.
+///
+/// Bit-identity with the scalar loop rests on two contracts:
+///  * Rng::Bernoulli draws one UniformDouble() if and only if
+///    0 < p < 1 (p <= 0 is false and p >= 1 is true without touching
+///    the generator) — mirrored here by the early-outs;
+///  * UniformDouble() values are exact binary64 ((x >> 11) · 2⁻⁵³), so
+///    the kernel's `coin < p` compare agrees with the scalar compare on
+///    every tier.
+///
+/// The coins are drawn in blocks and scanned with the active SIMD
+/// threshold kernel, which turns the per-set sampling loops (KK D_0,
+/// random-order epoch 0 / tracking samples) from one branch per set
+/// into one compare per lane.
+template <typename Fn>
+void ForEachBernoulliHit(Rng& rng, uint32_t count, double p, Fn&& fn) {
+  if (count == 0 || p <= 0.0) return;
+  if (p >= 1.0) {
+    for (uint32_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  constexpr size_t kBlock = 512;
+  double coins[kBlock];
+  uint32_t hits[kBlock];
+  const simd::Kernels& kernels = simd::Active();
+  for (uint64_t base = 0; base < count; base += kBlock) {
+    const size_t chunk = std::min<size_t>(kBlock, count - base);
+    rng.FillUniformDoubles(std::span(coins, chunk));
+    const size_t hit_count =
+        kernels.less_than_indices_f64(coins, chunk, p, hits);
+    for (size_t j = 0; j < hit_count; ++j) {
+      fn(static_cast<uint32_t>(base + hits[j]));
+    }
+  }
+}
+
+}  // namespace setcover
+
+#endif  // SETCOVER_UTIL_SAMPLING_H_

@@ -35,6 +35,13 @@ void StateEncoder::PutBoolVector(const std::vector<bool>& values) {
   if (bit > 0) words_.push_back(word);
 }
 
+void StateEncoder::PutBitset(const DynamicBitset& bits) {
+  words_.push_back(bits.size());
+  const size_t word_count = bits.WordCount();
+  const uint64_t* words = bits.WordsData();
+  words_.insert(words_.end(), words, words + word_count);
+}
+
 void StateEncoder::PutSet(const std::unordered_set<uint32_t>& values) {
   std::vector<uint32_t> sorted(values.begin(), values.end());
   std::sort(sorted.begin(), sorted.end());
@@ -99,6 +106,19 @@ std::vector<bool> StateDecoder::GetBoolVector() {
     values.push_back((word >> (i % 64)) & 1);
   }
   return values;
+}
+
+bool StateDecoder::GetBitset(DynamicBitset* out) {
+  uint64_t count = GetWord();
+  if (failed_ || count > (words_.size() - position_) * 64) {
+    failed_ = true;
+    return false;
+  }
+  const size_t word_count = (count + 63) / 64;
+  out->AssignWords(count,
+                   std::span(words_.data() + position_, word_count));
+  position_ += word_count;
+  return true;
 }
 
 std::unordered_set<uint32_t> StateDecoder::GetSet() {

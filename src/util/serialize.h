@@ -8,6 +8,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/bitset.h"
+
 namespace setcover {
 
 /// Helpers for encoding streaming-algorithm state into flat word
@@ -27,6 +29,13 @@ class StateEncoder {
 
   /// Length-prefixed bool vector packed as bits.
   void PutBoolVector(const std::vector<bool>& values);
+
+  /// Byte-identical to PutBoolVector over the same bits, but word-granular:
+  /// DynamicBitset packs bit i at bit (i & 63) of word i >> 6 — exactly
+  /// the wire layout — so the words are dumped directly instead of being
+  /// re-packed one bit at a time (the EncodeState hot path for the
+  /// covered/marked/in-sample indicators).
+  void PutBitset(const DynamicBitset& bits);
 
   /// Length-prefixed sorted dump of a hash set.
   void PutSet(const std::unordered_set<uint32_t>& values);
@@ -81,6 +90,13 @@ class StateDecoder {
   std::vector<bool> GetBoolVector();
   std::unordered_set<uint32_t> GetSet();
   std::unordered_map<uint32_t, uint32_t> GetMap();
+
+  /// Word-granular mirror of GetBoolVector: consumes exactly the same
+  /// words and accepts exactly the same messages (junk bits beyond the
+  /// declared size in the final word are ignored, as the bit-by-bit
+  /// reader ignored them), but lands directly in a DynamicBitset. On
+  /// failure `out` is left untouched and failed() is set.
+  bool GetBitset(DynamicBitset* out);
 
   /// True once any read ran past the end of the message.
   bool failed() const { return failed_; }

@@ -1,0 +1,389 @@
+#include "util/simd.h"
+
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+#include <string_view>
+
+#include "util/crc32.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#define SETCOVER_SIMD_X86 1
+#endif
+
+namespace setcover {
+namespace simd {
+namespace {
+
+// ---------------------------------------------------------------------
+// Reference bodies. Marked always_inline so each tier's wrapper embeds
+// them under its own target attribute: the SSE4.2 tier gets POPCNT
+// codegen for the exact same source, which keeps the semantics of the
+// non-intrinsic kernels identical by construction.
+
+__attribute__((always_inline)) inline void GatherBitsBody(
+    const uint64_t* words, const uint32_t* ids, size_t count,
+    uint64_t* out_mask) {
+  uint64_t cur = 0;
+  size_t i = 0;
+  for (; i < count; ++i) {
+    const uint32_t id = ids[i];
+    cur |= ((words[id >> 6] >> (id & 63)) & uint64_t{1}) << (i & 63);
+    if ((i & 63) == 63) {
+      out_mask[i >> 6] = cur;
+      cur = 0;
+    }
+  }
+  if (count & 63) out_mask[count >> 6] = cur;
+}
+
+__attribute__((always_inline)) inline void GatherEqualU32Body(
+    const uint32_t* values, const uint32_t* ids, size_t count,
+    uint32_t needle, uint64_t* out_mask) {
+  uint64_t cur = 0;
+  size_t i = 0;
+  for (; i < count; ++i) {
+    cur |= uint64_t{values[ids[i]] == needle ? 1u : 0u} << (i & 63);
+    if ((i & 63) == 63) {
+      out_mask[i >> 6] = cur;
+      cur = 0;
+    }
+  }
+  if (count & 63) out_mask[count >> 6] = cur;
+}
+
+__attribute__((always_inline)) inline uint64_t PopcountWordsBody(
+    const uint64_t* words, size_t count) {
+  uint64_t t0 = 0, t1 = 0, t2 = 0, t3 = 0;
+  size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    t0 += uint64_t(std::popcount(words[i]));
+    t1 += uint64_t(std::popcount(words[i + 1]));
+    t2 += uint64_t(std::popcount(words[i + 2]));
+    t3 += uint64_t(std::popcount(words[i + 3]));
+  }
+  for (; i < count; ++i) t0 += uint64_t(std::popcount(words[i]));
+  return t0 + t1 + t2 + t3;
+}
+
+__attribute__((always_inline)) inline uint64_t PopcountAndnotBody(
+    const uint64_t* a, const uint64_t* b, size_t count) {
+  uint64_t t0 = 0, t1 = 0;
+  size_t i = 0;
+  for (; i + 2 <= count; i += 2) {
+    t0 += uint64_t(std::popcount(a[i] & ~b[i]));
+    t1 += uint64_t(std::popcount(a[i + 1] & ~b[i + 1]));
+  }
+  for (; i < count; ++i) t0 += uint64_t(std::popcount(a[i] & ~b[i]));
+  return t0 + t1;
+}
+
+__attribute__((always_inline)) inline size_t LessThanIndicesBody(
+    const double* values, size_t count, double threshold,
+    uint32_t* out_indices) {
+  size_t found = 0;
+  for (size_t i = 0; i < count; ++i) {
+    out_indices[found] = uint32_t(i);  // branch-free emit
+    found += values[i] < threshold ? 1 : 0;
+  }
+  return found;
+}
+
+// ---------------------------------------------------------------------
+// Scalar tier.
+
+void GatherBitsScalar(const uint64_t* words, const uint32_t* ids,
+                      size_t count, uint64_t* out_mask) {
+  GatherBitsBody(words, ids, count, out_mask);
+}
+
+void GatherEqualU32Scalar(const uint32_t* values, const uint32_t* ids,
+                          size_t count, uint32_t needle, uint64_t* out_mask) {
+  GatherEqualU32Body(values, ids, count, needle, out_mask);
+}
+
+uint64_t PopcountWordsScalar(const uint64_t* words, size_t count) {
+  return PopcountWordsBody(words, count);
+}
+
+uint64_t PopcountAndnotScalar(const uint64_t* a, const uint64_t* b,
+                              size_t count) {
+  return PopcountAndnotBody(a, b, count);
+}
+
+size_t LessThanIndicesScalar(const double* values, size_t count,
+                             double threshold, uint32_t* out_indices) {
+  return LessThanIndicesBody(values, count, threshold, out_indices);
+}
+
+constexpr Kernels kScalarKernels = {
+    GatherBitsScalar,    GatherEqualU32Scalar,  PopcountWordsScalar,
+    PopcountAndnotScalar, LessThanIndicesScalar, Crc32cPortable,
+};
+
+#ifdef SETCOVER_SIMD_X86
+
+// ---------------------------------------------------------------------
+// SSE4.2 tier: the hardware CRC-32C instruction (moved here from
+// util/crc32.cc, which now routes through the kernel table) plus POPCNT
+// codegen for the word kernels. No 256-bit gathers exist at this tier,
+// so the gather/scan kernels are the reference bodies compiled with the
+// tier's ISA enabled.
+
+__attribute__((target("sse4.2"))) uint32_t Crc32cSse42(const void* data,
+                                                       size_t bytes,
+                                                       uint32_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t crc = seed ^ 0xFFFFFFFFu;
+  while (bytes >= 8) {
+    uint64_t word;
+    std::memcpy(&word, p, 8);
+    crc = _mm_crc32_u64(crc, word);
+    p += 8;
+    bytes -= 8;
+  }
+  uint32_t crc32 = static_cast<uint32_t>(crc);
+  while (bytes-- > 0) crc32 = _mm_crc32_u8(crc32, *p++);
+  return crc32 ^ 0xFFFFFFFFu;
+}
+
+__attribute__((target("sse4.2,popcnt"))) void GatherBitsSse42(
+    const uint64_t* words, const uint32_t* ids, size_t count,
+    uint64_t* out_mask) {
+  GatherBitsBody(words, ids, count, out_mask);
+}
+
+__attribute__((target("sse4.2,popcnt"))) void GatherEqualU32Sse42(
+    const uint32_t* values, const uint32_t* ids, size_t count,
+    uint32_t needle, uint64_t* out_mask) {
+  GatherEqualU32Body(values, ids, count, needle, out_mask);
+}
+
+__attribute__((target("sse4.2,popcnt"))) uint64_t PopcountWordsSse42(
+    const uint64_t* words, size_t count) {
+  return PopcountWordsBody(words, count);
+}
+
+__attribute__((target("sse4.2,popcnt"))) uint64_t PopcountAndnotSse42(
+    const uint64_t* a, const uint64_t* b, size_t count) {
+  return PopcountAndnotBody(a, b, count);
+}
+
+__attribute__((target("sse4.2,popcnt"))) size_t LessThanIndicesSse42(
+    const double* values, size_t count, double threshold,
+    uint32_t* out_indices) {
+  return LessThanIndicesBody(values, count, threshold, out_indices);
+}
+
+constexpr Kernels kSse42Kernels = {
+    GatherBitsSse42,    GatherEqualU32Sse42,  PopcountWordsSse42,
+    PopcountAndnotSse42, LessThanIndicesSse42, Crc32cSse42,
+};
+
+// ---------------------------------------------------------------------
+// AVX2 tier: real gathers and vectorized compares. Every kernel keeps
+// the scalar mask/ordering contract exactly; the tails reuse the scalar
+// logic so partial words behave identically.
+
+__attribute__((target("avx2"))) void GatherBitsAvx2(const uint64_t* words,
+                                                    const uint32_t* ids,
+                                                    size_t count,
+                                                    uint64_t* out_mask) {
+  const __m256i kSixtyThree = _mm256_set1_epi64x(63);
+  const __m256i kOne = _mm256_set1_epi64x(1);
+  uint64_t cur = 0;
+  size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const __m128i ids4 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(ids + i));
+    const __m256i idx = _mm256_cvtepu32_epi64(ids4);
+    const __m256i word_idx = _mm256_srli_epi64(idx, 6);
+    const __m256i shift = _mm256_and_si256(idx, kSixtyThree);
+    const __m256i gathered = _mm256_i64gather_epi64(
+        reinterpret_cast<const long long*>(words), word_idx, 8);
+    const __m256i bit =
+        _mm256_and_si256(_mm256_srlv_epi64(gathered, shift), kOne);
+    const unsigned mask4 = unsigned(_mm256_movemask_pd(
+        _mm256_castsi256_pd(_mm256_cmpeq_epi64(bit, kOne))));
+    cur |= uint64_t{mask4} << (i & 63);
+    if ((i & 63) == 60) {
+      out_mask[i >> 6] = cur;
+      cur = 0;
+    }
+  }
+  for (; i < count; ++i) {
+    const uint32_t id = ids[i];
+    cur |= ((words[id >> 6] >> (id & 63)) & uint64_t{1}) << (i & 63);
+    if ((i & 63) == 63) {
+      out_mask[i >> 6] = cur;
+      cur = 0;
+    }
+  }
+  if (count & 63) out_mask[count >> 6] = cur;
+}
+
+__attribute__((target("avx2"))) void GatherEqualU32Avx2(
+    const uint32_t* values, const uint32_t* ids, size_t count,
+    uint32_t needle, uint64_t* out_mask) {
+  const __m256i kNeedle = _mm256_set1_epi32(int(needle));
+  uint64_t cur = 0;
+  size_t i = 0;
+  for (; i + 8 <= count; i += 8) {
+    const __m256i idx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ids + i));
+    const __m256i gathered =
+        _mm256_i32gather_epi32(reinterpret_cast<const int*>(values), idx, 4);
+    const unsigned mask8 = unsigned(_mm256_movemask_ps(
+        _mm256_castsi256_ps(_mm256_cmpeq_epi32(gathered, kNeedle))));
+    cur |= uint64_t{mask8} << (i & 63);
+    if ((i & 63) == 56) {
+      out_mask[i >> 6] = cur;
+      cur = 0;
+    }
+  }
+  for (; i < count; ++i) {
+    cur |= uint64_t{values[ids[i]] == needle ? 1u : 0u} << (i & 63);
+    if ((i & 63) == 63) {
+      out_mask[i >> 6] = cur;
+      cur = 0;
+    }
+  }
+  if (count & 63) out_mask[count >> 6] = cur;
+}
+
+__attribute__((target("avx2,popcnt"))) uint64_t PopcountWordsAvx2(
+    const uint64_t* words, size_t count) {
+  return PopcountWordsBody(words, count);
+}
+
+__attribute__((target("avx2,popcnt"))) uint64_t PopcountAndnotAvx2(
+    const uint64_t* a, const uint64_t* b, size_t count) {
+  return PopcountAndnotBody(a, b, count);
+}
+
+__attribute__((target("avx2"))) size_t LessThanIndicesAvx2(
+    const double* values, size_t count, double threshold,
+    uint32_t* out_indices) {
+  const __m256d kThreshold = _mm256_set1_pd(threshold);
+  size_t found = 0;
+  size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const __m256d v = _mm256_loadu_pd(values + i);
+    unsigned hits = unsigned(
+        _mm256_movemask_pd(_mm256_cmp_pd(v, kThreshold, _CMP_LT_OQ)));
+    while (hits) {
+      out_indices[found++] = uint32_t(i + unsigned(std::countr_zero(hits)));
+      hits &= hits - 1;
+    }
+  }
+  for (; i < count; ++i) {
+    out_indices[found] = uint32_t(i);
+    found += values[i] < threshold ? 1 : 0;
+  }
+  return found;
+}
+
+constexpr Kernels kAvx2Kernels = {
+    GatherBitsAvx2,    GatherEqualU32Avx2,  PopcountWordsAvx2,
+    PopcountAndnotAvx2, LessThanIndicesAvx2, Crc32cSse42,
+};
+
+#endif  // SETCOVER_SIMD_X86
+
+const Kernels& TableFor(Level level) {
+  switch (level) {
+#ifdef SETCOVER_SIMD_X86
+    case Level::kAvx2:
+      return kAvx2Kernels;
+    case Level::kSse42:
+      return kSse42Kernels;
+#endif
+    default:
+      return kScalarKernels;
+  }
+}
+
+Level ClampToSupported(Level level) {
+  const Level max = MaxSupportedLevel();
+  return static_cast<int>(level) > static_cast<int>(max) ? max : level;
+}
+
+struct ActiveState {
+  Level level;
+  const Kernels* kernels;
+};
+
+ActiveState Resolve() {
+  Level level = MaxSupportedLevel();
+  if (const char* env = std::getenv("SETCOVER_SIMD_LEVEL")) {
+    Level requested;
+    if (ParseLevel(env, &requested)) level = ClampToSupported(requested);
+  }
+  return {level, &TableFor(level)};
+}
+
+ActiveState& MutableActive() {
+  static ActiveState state = Resolve();
+  return state;
+}
+
+}  // namespace
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kAvx2:
+      return "avx2";
+    case Level::kSse42:
+      return "sse4.2";
+    default:
+      return "scalar";
+  }
+}
+
+bool ParseLevel(const char* name, Level* out) {
+  if (name == nullptr || out == nullptr) return false;
+  const std::string_view v(name);
+  if (v == "scalar") {
+    *out = Level::kScalar;
+  } else if (v == "sse4.2" || v == "sse42") {
+    *out = Level::kSse42;
+  } else if (v == "avx2") {
+    *out = Level::kAvx2;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+Level MaxSupportedLevel() {
+#ifdef SETCOVER_SIMD_X86
+  static const Level kMax = [] {
+    if (__builtin_cpu_supports("avx2")) return Level::kAvx2;
+    if (__builtin_cpu_supports("sse4.2")) return Level::kSse42;
+    return Level::kScalar;
+  }();
+  return kMax;
+#else
+  return Level::kScalar;
+#endif
+}
+
+Level ActiveLevel() { return MutableActive().level; }
+
+const Kernels& Active() { return *MutableActive().kernels; }
+
+const Kernels& ForLevel(Level level) {
+  return TableFor(ClampToSupported(level));
+}
+
+Level ForceLevelForTest(Level level) {
+  ActiveState& state = MutableActive();
+  const Level previous = state.level;
+  state.level = ClampToSupported(level);
+  state.kernels = &TableFor(state.level);
+  return previous;
+}
+
+}  // namespace simd
+}  // namespace setcover

@@ -6,6 +6,7 @@
 // firing.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstddef>
 #include <cstdio>
@@ -157,7 +158,10 @@ TEST_P(BatchEquivalence, FileReplayMatchesInMemoryAcrossFormats) {
 
   for (StreamFormat format :
        {StreamFormat::kV1, StreamFormat::kV2, StreamFormat::kV3}) {
-    const std::string path = testing::TempDir() + "/bequiv_" + GetParam() +
+    // PID-qualified: the forced-SIMD-tier ctest matrix runs several
+    // instances of this binary concurrently on the same TempDir.
+    const std::string path = testing::TempDir() + "/bequiv_" +
+                             std::to_string(getpid()) + "_" + GetParam() +
                              "_v" +
                              std::to_string(uint32_t(format)) + ".bin";
     std::string error;

@@ -5,6 +5,8 @@
 // engine::Execute must finish bit-identical to the same faulty run
 // left unkilled: cover, certificate, meter, and fault counters.
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -64,7 +66,10 @@ TEST_P(FaultMatrix, ResumeAfterKillIsBitIdenticalUnderEachFaultKind) {
   SetCoverInstance instance = GenerateUniformRandom(p, rng);
   EdgeStream stream = OrderedStream(instance, StreamOrder::kRandom, rng);
 
-  std::string path = testing::TempDir() + "fault_matrix_" + GetParam();
+  // PID-qualified: the forced-SIMD-tier ctest matrix runs several
+  // instances of this binary concurrently on the same TempDir.
+  std::string path = testing::TempDir() + "fault_matrix_" +
+                     std::to_string(getpid()) + "_" + GetParam();
   for (char& c : path)
     if (c == '-') c = '_';
   path += ".sckp";

@@ -1,0 +1,131 @@
+// Pins the compatibility contract of the vendored minibench harness
+// (bench/minibench/): Google Benchmark's name mangling, the JSON
+// report shape the tooling consumes (scripts/check.sh's perf gate
+// reads "label" and "items_per_second"; scripts/bench_baseline.sh
+// stamps and verifies the "context" block), and the time-basis rule
+// for items/s under UseRealTime/UseManualTime.
+
+#include <benchmark/benchmark.h>
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+void BM_MiniPlain(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(state.range(0));
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+  state.SetLabel("mini/plain");
+  state.counters["answer"] = 42.0;
+}
+BENCHMARK(BM_MiniPlain)->Arg(3)->Unit(benchmark::kMillisecond)->MinTime(0.5);
+
+void BM_MiniManual(benchmark::State& state) {
+  for (auto _ : state) {
+    // Manual time dominates: 1000 items over 0.25s -> 4000 items/s on
+    // the manual basis, far from anything wall/cpu time would yield.
+    state.SetIterationTime(0.25);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_MiniManual)->Iterations(1)->UseManualTime();
+
+void BM_MiniReal(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(state.iterations());
+  }
+}
+BENCHMARK(BM_MiniReal)->Iterations(2)->UseRealTime();
+
+class MinibenchTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const std::string path = testing::TempDir() + "/minibench_out.json";
+    std::string out_flag = "--benchmark_out=" + path;
+    std::string fmt_flag = "--benchmark_format=json";
+    char prog[] = "minibench_test";
+    char* argv[] = {prog, out_flag.data(), fmt_flag.data()};
+    int argc = 3;
+    benchmark::Initialize(&argc, argv);
+    ASSERT_FALSE(benchmark::ReportUnrecognizedArguments(argc, argv));
+    // Swallow the stdout copy of the report; the file copy is asserted.
+    testing::internal::CaptureStdout();
+    const std::size_t runs = benchmark::RunSpecifiedBenchmarks();
+    testing::internal::GetCapturedStdout();
+    ASSERT_EQ(runs, 3u);
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    report_ = buffer.str();
+    std::remove(path.c_str());
+  }
+
+  static bool Contains(const std::string& needle) {
+    return report_.find(needle) != std::string::npos;
+  }
+
+  static std::string report_;
+};
+
+std::string MinibenchTest::report_;
+
+TEST_F(MinibenchTest, ManglesNamesLikeGoogleBenchmark) {
+  EXPECT_TRUE(Contains("\"name\": \"BM_MiniPlain/3/min_time:0.500\""))
+      << report_;
+  EXPECT_TRUE(Contains("\"name\": \"BM_MiniManual/iterations:1/manual_time\""))
+      << report_;
+  EXPECT_TRUE(Contains("\"name\": \"BM_MiniReal/iterations:2/real_time\""))
+      << report_;
+}
+
+TEST_F(MinibenchTest, EmitsTheReportShapeTheToolingReads) {
+  EXPECT_TRUE(Contains("\"context\": {")) << report_;
+#ifdef NDEBUG
+  EXPECT_TRUE(Contains("\"library_build_type\": \"release\"")) << report_;
+#else
+  EXPECT_TRUE(Contains("\"library_build_type\": \"debug\"")) << report_;
+#endif
+  EXPECT_TRUE(Contains("\"benchmarks\": [")) << report_;
+  EXPECT_TRUE(Contains("\"run_type\": \"iteration\"")) << report_;
+  EXPECT_TRUE(Contains("\"time_unit\": \"ms\"")) << report_;
+  EXPECT_TRUE(Contains("\"label\": \"mini/plain\"")) << report_;
+  EXPECT_TRUE(Contains("\"answer\": 42")) << report_;
+  EXPECT_TRUE(Contains("\"items_per_second\":")) << report_;
+}
+
+TEST_F(MinibenchTest, ManualTimeIsTheItemsPerSecondBasis) {
+  // 1000 items over 0.25s of manual time = 4000 items/s exactly.
+  EXPECT_TRUE(Contains("\"items_per_second\": 4000")) << report_;
+}
+
+TEST_F(MinibenchTest, FilterSelectsByMangledName) {
+  // A second in-process run with a filter (flags are already parsed;
+  // exercise the regex path directly through a fresh Initialize).
+  const std::string path = testing::TempDir() + "/minibench_filter.json";
+  std::string out_flag = "--benchmark_out=" + path;
+  std::string filter_flag = "--benchmark_filter=MiniPlain|MiniReal";
+  char prog[] = "minibench_test";
+  char* argv[] = {prog, out_flag.data(), filter_flag.data()};
+  int argc = 3;
+  benchmark::Initialize(&argc, argv);
+  testing::internal::CaptureStdout();
+  const std::size_t runs = benchmark::RunSpecifiedBenchmarks();
+  testing::internal::GetCapturedStdout();
+  EXPECT_EQ(runs, 2u);
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string filtered = buffer.str();
+  std::remove(path.c_str());
+  EXPECT_TRUE(filtered.find("BM_MiniPlain") != std::string::npos);
+  EXPECT_TRUE(filtered.find("BM_MiniManual") == std::string::npos);
+  EXPECT_TRUE(filtered.find("BM_MiniReal") != std::string::npos);
+}
+
+}  // namespace

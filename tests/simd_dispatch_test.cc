@@ -1,0 +1,189 @@
+// End-to-end tier differentials for the SIMD dispatch layer: every
+// registry algorithm, run to completion under each forced tier
+// (simd::ForceLevelForTest), must produce bit-identical covers,
+// certificates, EncodeState words, and meter peaks. The kernels are
+// pure and the batch paths only use them as screens, so the tier must
+// be unobservable — this suite is what makes "vectorization is a pure
+// performance change" a tested property rather than a comment.
+//
+// The cross-tier resume matrix additionally checkpoints mid-stream
+// under one tier and resumes under another, pinning that the wire
+// format never depends on the tier that produced it.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/registry.h"
+#include "core/streaming_algorithm.h"
+#include "instance/generators.h"
+#include "stream/orderings.h"
+#include "util/rng.h"
+#include "util/simd.h"
+
+namespace setcover {
+namespace {
+
+const EdgeStream& TestStream() {
+  static const EdgeStream stream = [] {
+    PlantedCoverParams params;
+    params.num_elements = 256;
+    params.num_sets = 4096;
+    params.planted_cover_size = 8;
+    params.decoy_min_size = 1;
+    params.decoy_max_size = 4;
+    Rng rng(7);
+    SetCoverInstance instance = GeneratePlantedCover(params, rng);
+    Rng order_rng(11);
+    return OrderedStream(instance, StreamOrder::kRandom, order_rng);
+  }();
+  return stream;
+}
+
+std::vector<simd::Level> TestableLevels() {
+  std::vector<simd::Level> levels = {simd::Level::kScalar};
+  if (simd::MaxSupportedLevel() >= simd::Level::kSse42) {
+    levels.push_back(simd::Level::kSse42);
+  }
+  if (simd::MaxSupportedLevel() >= simd::Level::kAvx2) {
+    levels.push_back(simd::Level::kAvx2);
+  }
+  return levels;
+}
+
+/// RAII tier override so a failing assertion cannot leak a forced tier
+/// into later tests.
+class ScopedLevel {
+ public:
+  explicit ScopedLevel(simd::Level level)
+      : previous_(simd::ForceLevelForTest(level)) {}
+  ~ScopedLevel() { simd::ForceLevelForTest(previous_); }
+
+ private:
+  simd::Level previous_;
+};
+
+struct Observed {
+  CoverSolution solution;
+  std::vector<uint64_t> state;
+  size_t peak_words = 0;
+};
+
+Observed RunBatched(const std::string& name, size_t batch_edges) {
+  const EdgeStream& stream = TestStream();
+  auto algorithm = MakeAlgorithmByName(name, {});
+  algorithm->Begin(stream.meta);
+  std::span<const Edge> edges(stream.edges);
+  for (size_t offset = 0; offset < edges.size(); offset += batch_edges) {
+    algorithm->ProcessEdgeBatch(
+        edges.subspan(offset, std::min(batch_edges, edges.size() - offset)));
+  }
+  Observed observed;
+  StateEncoder encoder;
+  algorithm->EncodeState(&encoder);
+  observed.state = encoder.Words();
+  observed.solution = algorithm->Finalize();
+  observed.peak_words = algorithm->Meter().PeakWords();
+  return observed;
+}
+
+void ExpectIdentical(const Observed& expected, const Observed& actual,
+                     const std::string& label) {
+  EXPECT_EQ(expected.solution.cover, actual.solution.cover) << label;
+  EXPECT_EQ(expected.solution.certificate, actual.solution.certificate)
+      << label;
+  EXPECT_EQ(expected.state, actual.state) << label;
+  EXPECT_EQ(expected.peak_words, actual.peak_words) << label;
+}
+
+class SimdDispatch : public testing::TestWithParam<std::string> {};
+
+TEST_P(SimdDispatch, FullRunIsBitIdenticalUnderEveryTier) {
+  Observed reference;
+  {
+    ScopedLevel scalar(simd::Level::kScalar);
+    reference = RunBatched(GetParam(), 64);
+  }
+  for (simd::Level level : TestableLevels()) {
+    ScopedLevel forced(level);
+    ExpectIdentical(reference, RunBatched(GetParam(), 64),
+                    GetParam() + " tier=" + simd::LevelName(level));
+    // A second partition under the same tier: tier and batch boundary
+    // must be independently unobservable.
+    ExpectIdentical(reference, RunBatched(GetParam(), 509),
+                    GetParam() + " tier=" + simd::LevelName(level) +
+                        " batch=509");
+  }
+}
+
+// Kill-and-resume across tiers: ingest a prefix and checkpoint under
+// tier A, decode the checkpoint and finish the stream under tier B.
+// Every (A, B) pair must reproduce the scalar reference bit for bit —
+// the checkpoint bytes are tier-invariant in both directions.
+TEST_P(SimdDispatch, CheckpointResumesAcrossTiers) {
+  const EdgeStream& stream = TestStream();
+  const size_t cut = stream.edges.size() / 2;
+  std::span<const Edge> edges(stream.edges);
+
+  Observed reference;
+  {
+    ScopedLevel scalar(simd::Level::kScalar);
+    reference = RunBatched(GetParam(), 64);
+  }
+
+  for (simd::Level encode_level : TestableLevels()) {
+    std::vector<uint64_t> checkpoint;
+    {
+      ScopedLevel forced(encode_level);
+      auto algorithm = MakeAlgorithmByName(GetParam(), {});
+      algorithm->Begin(stream.meta);
+      for (size_t offset = 0; offset < cut; offset += 64) {
+        algorithm->ProcessEdgeBatch(
+            edges.subspan(offset, std::min<size_t>(64, cut - offset)));
+      }
+      StateEncoder encoder;
+      algorithm->EncodeState(&encoder);
+      checkpoint = encoder.Words();
+    }
+    for (simd::Level resume_level : TestableLevels()) {
+      ScopedLevel forced(resume_level);
+      auto algorithm = MakeAlgorithmByName(GetParam(), {});
+      ASSERT_TRUE(algorithm->DecodeState(stream.meta, checkpoint))
+          << GetParam() << " encode=" << simd::LevelName(encode_level)
+          << " resume=" << simd::LevelName(resume_level);
+      for (size_t offset = cut; offset < edges.size(); offset += 64) {
+        algorithm->ProcessEdgeBatch(edges.subspan(
+            offset, std::min<size_t>(64, edges.size() - offset)));
+      }
+      Observed resumed;
+      StateEncoder encoder;
+      algorithm->EncodeState(&encoder);
+      resumed.state = encoder.Words();
+      resumed.solution = algorithm->Finalize();
+      resumed.peak_words = reference.peak_words;  // resume forgets peaks
+      ExpectIdentical(reference, resumed,
+                      GetParam() + " encode=" +
+                          simd::LevelName(encode_level) + " resume=" +
+                          simd::LevelName(resume_level));
+    }
+  }
+}
+
+std::string SafeName(const testing::TestParamInfo<std::string>& info) {
+  std::string name = info.param;
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, SimdDispatch,
+                         testing::ValuesIn(RegisteredAlgorithmNames()),
+                         SafeName);
+
+}  // namespace
+}  // namespace setcover
