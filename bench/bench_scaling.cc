@@ -15,6 +15,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <thread>
 
 #include "bench/bench_util.h"
 #include "core/adversarial_level.h"
@@ -92,6 +93,11 @@ void BM_SpaceScaling(benchmark::State& state) {
   }
   state.counters["fitted_exponent"] =
       std::log2(double(peaks[3]) / double(peaks[0])) / 3.0;
+  // Space exponents don't depend on the host, but stamping the core
+  // count into every scaling row keeps the committed baselines
+  // self-describing: the check.sh gate compares host-sensitive rows
+  // only between hosts with matching num_cpus.
+  state.counters["num_cpus"] = double(std::thread::hardware_concurrency());
 }
 
 BENCHMARK(BM_SpaceScaling)

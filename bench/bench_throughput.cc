@@ -20,6 +20,7 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "bench/bench_util.h"
 #include "core/adversarial_level.h"
@@ -28,6 +29,8 @@
 #include "core/random_order.h"
 #include "core/set_arrival.h"
 #include "core/trivial.h"
+#include "engine/engine.h"
+#include "engine/sharded.h"
 #include "offline/greedy.h"
 #include "stream/orderings.h"
 #include "stream/stream_file.h"
@@ -168,6 +171,11 @@ void BM_NGuessThreads(benchmark::State& state) {
   state.SetLabel("random-order-nguess");
   state.counters["threads"] = double(threads);
   state.counters["stream_edges"] = double(stream.size());
+  // Parallel-speedup rows are only comparable between hosts with the
+  // same core count; the gate in scripts/check.sh reads this to
+  // annotate-and-skip cross-host comparisons instead of gating flat
+  // single-core numbers against a multi-core baseline (or vice versa).
+  state.counters["num_cpus"] = double(std::thread::hardware_concurrency());
 }
 
 BENCHMARK(BM_NGuessThreads)
@@ -178,6 +186,68 @@ BENCHMARK(BM_NGuessThreads)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime()  // worker threads carry the load; CPU time of the
                      // calling thread alone would fake a speedup
+    ->MinTime(0.5);
+
+// The sharded execution mode across shard counts W: the full fan-out +
+// deterministic-protocol merge (engine/sharded.h) over the shared
+// in-memory stream. items/s is the *aggregate* ingest rate — on
+// multi-core hosts it should scale near-linearly to W=4; on a
+// single-core host the rows stay flat and the num_cpus counter lets the
+// perf gate skip the cross-host comparison. Two acceptance checks run
+// in-bench: the W=1 row must be bit-identical to the unsharded engine,
+// and every row's merge message must stay within the protocol's Õ(n)
+// bound.
+void BM_ShardedIngest(benchmark::State& state) {
+  const uint32_t shards = static_cast<uint32_t>(state.range(0));
+  const EdgeStream& stream = SharedStream();
+
+  engine::ShardedRunConfig config;
+  config.base.algorithm = "kk";
+  config.base.options.seed = 3;
+  config.base.source = engine::SourceSpec::InMemory(stream);
+  config.shards = shards;
+
+  engine::RunReport report;
+  for (auto _ : state) {
+    report = engine::ExecuteSharded(config);
+    if (!report.error.empty()) {
+      state.SkipWithError(report.error.c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(report.solution.cover.size());
+  }
+  if (report.completed) {
+    if (shards == 1) {
+      const engine::RunReport reference = engine::Execute(config.base);
+      if (report.solution.cover != reference.solution.cover ||
+          report.solution.certificate != reference.solution.certificate) {
+        state.SkipWithError("W=1 sharded run diverged from engine::Execute");
+      }
+    } else if (report.sharded.max_message_words >
+               report.sharded.message_words_bound) {
+      state.SkipWithError("merge message exceeded the O~(n) bound");
+    }
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) *
+                          int64_t(stream.size()));
+  state.SetLabel("sharded-ingest/kk/w" + std::to_string(shards));
+  state.counters["shards"] = double(shards);
+  state.counters["stream_edges"] = double(stream.size());
+  state.counters["merged_cover"] = double(report.solution.cover.size());
+  state.counters["merge_message_words"] =
+      double(report.sharded.max_message_words);
+  state.counters["message_bound"] =
+      double(report.sharded.message_words_bound);
+  state.counters["num_cpus"] = double(std::thread::hardware_concurrency());
+}
+
+BENCHMARK(BM_ShardedIngest)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()  // the shard workers carry the load
     ->MinTime(0.5);
 
 // ---- Offline-kernel rows: the bucket-queue greedy vs the lazy-heap

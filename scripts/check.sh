@@ -19,7 +19,8 @@
 #      session wire protocol's hostile-byte surface, under ASan+UBSan,
 #   3. the thread pool + parallel multi-run (which fans out over
 #      engine::Execute sessions) + prefetch decoder tests, plus the
-#      concurrent session server and its kill-and-resume soak, under
+#      concurrent session server and its kill-and-resume soak and the
+#      sharded multi-worker runner's equivalence/resume suite, under
 #      TSan (-DSETCOVER_TSAN=ON), so the engine-backed parallel drivers
 #      and the server's scheduler/drain paths are race-checked.
 #
@@ -40,6 +41,7 @@ echo "== layering guard: ProcessEdgeBatch callers outside src/engine/ =="
 GUARD_ALLOW=(
   src/engine/engine.cc
   src/engine/session.cc
+  src/engine/sharded.cc
   src/core/streaming_algorithm.h
   src/core/streaming_algorithm.cc
   src/core/multi_run.cc
@@ -77,6 +79,24 @@ if [[ -n "$INTRIN_HITS" ]]; then
   echo "$INTRIN_HITS"
   echo "layering guard: SIMD intrinsics outside src/util/simd*;"
   echo "add a kernel to util/simd.h instead (see docs/performance.md)"
+  exit 1
+fi
+# The deterministic t-party protocol is the sharded engine's merge
+# primitive and nothing else's: outside its own definition site, only
+# src/engine/ may call it, so every production merge inherits the
+# 2√(n·t) guarantee and the Õ(n) message accounting in one place.
+# bench/ and tests/ are exempt by not being scanned.
+PROTO_ALLOW=(
+  src/engine/sharded.cc
+  src/comm/deterministic_protocol.h
+  src/comm/deterministic_protocol.cc
+)
+PROTO_HITS=$(grep -rnE 'RunDeterministicProtocol\(' src/ tools/ examples/ \
+  $(printf -- "--exclude=%s " "${PROTO_ALLOW[@]##*/}") || true)
+if [[ -n "$PROTO_HITS" ]]; then
+  echo "$PROTO_HITS"
+  echo "layering guard: RunDeterministicProtocol called outside src/engine/;"
+  echo "merge per-shard covers via engine::ExecuteSharded (see docs/architecture.md)"
   exit 1
 fi
 echo "layering guard: clean"
@@ -131,7 +151,7 @@ if [[ "$BENCH_SMOKE" == "1" ]]; then
 
   echo "== bench smoke: file-replay + greedy + ingest-ceiling perf gate vs BENCH_throughput.json =="
   build-release/bench/bench_throughput \
-    '--benchmark_filter=FileReplay|BM_GreedyCover/|IngestCeiling' \
+    '--benchmark_filter=FileReplay|BM_GreedyCover/|IngestCeiling|ShardedIngest' \
     --benchmark_format=json >/tmp/setcover_replay_smoke.json
   SMOKE_LIB=$(python3 -c 'import json; print(json.load(open(
     "/tmp/setcover_replay_smoke.json")).get("context", {}).get(
@@ -145,28 +165,44 @@ if [[ "$BENCH_SMOKE" == "1" ]]; then
 import json, sys
 
 FLOOR = 0.7  # fail if a row drops below this fraction of the baseline
-GATED = ("file-replay/", "greedy/bucket-queue", "ingest-ceiling/")
+GATED = ("file-replay/", "greedy/bucket-queue", "ingest-ceiling/",
+         "sharded-ingest/")
 
 def replay_rows(path):
+    doc = json.load(open(path))
     rows = {}
-    for bench in json.load(open(path))["benchmarks"]:
+    for bench in doc["benchmarks"]:
         label = bench.get("label", "")
         if label.startswith(GATED):
-            rows[label] = bench["items_per_second"]
-    return rows
+            rows[label] = bench
+    return rows, doc.get("context", {}).get("num_cpus")
 
-baseline = replay_rows("BENCH_throughput.json")
-current = replay_rows("/tmp/setcover_replay_smoke.json")
+baseline, base_cpus = replay_rows("BENCH_throughput.json")
+current, cur_cpus = replay_rows("/tmp/setcover_replay_smoke.json")
 if not baseline:
     sys.exit("perf gate: no gated rows in BENCH_throughput.json; "
              "refresh the baseline with scripts/bench_baseline.sh")
 failed = False
-for label, base_eps in sorted(baseline.items()):
-    eps = current.get(label)
-    if eps is None:
+for label, base_row in sorted(baseline.items()):
+    base_eps = base_row["items_per_second"]
+    row = current.get(label)
+    if row is None:
         print(f"perf gate: MISSING {label} (baseline {base_eps/1e6:.1f} M edges/s)")
         failed = True
         continue
+    # Parallel-speedup rows (shard or thread fan-out wider than one) are
+    # only comparable between hosts with the same core count: a W=4 row
+    # recorded on a 1-core baseline host says nothing about a 16-core CI
+    # runner. Each row stamps the recording host's num_cpus; on mismatch
+    # the gate annotates and skips that row rather than mis-gating.
+    workers = max(base_row.get("shards", 1), base_row.get("threads", 1))
+    row_cpus = base_row.get("num_cpus", base_cpus)
+    if workers > 1 and row_cpus is not None and row_cpus != cur_cpus:
+        print(f"perf gate: SKIPPED {label}: parallel row recorded on a "
+              f"{int(row_cpus)}-cpu host, this host has "
+              f"{int(cur_cpus) if cur_cpus else '?'}")
+        continue
+    eps = row["items_per_second"]
     ratio = eps / base_eps
     status = "ok" if ratio >= FLOOR else "REGRESSION"
     print(f"perf gate: {status} {label}: {eps/1e6:.1f} M edges/s "
@@ -182,8 +218,12 @@ EOF
     --target engine_equivalence_test batch_equivalence_test \
              stream_format_test greedy_kernel_test instance_test \
              bitset_test wire_protocol_test engine_session_test \
-             simd_kernel_test simd_dispatch_test
+             simd_kernel_test simd_dispatch_test sharded_engine_test
   build-asan/tests/engine_equivalence_test
+  # The sharded runner's W=1 bit-identity, protocol bounds, and
+  # aggregate-checkpoint resume, with ASan watching the merge's
+  # candidate remapping.
+  build-asan/tests/sharded_engine_test
   build-asan/tests/batch_equivalence_test
   build-asan/tests/stream_format_test
   build-asan/tests/greedy_kernel_test
@@ -206,7 +246,8 @@ EOF
   cmake -B build-tsan -S . -DSETCOVER_TSAN=ON >/dev/null
   cmake --build build-tsan -j "$JOBS" \
     --target thread_pool_test multi_run_test batch_equivalence_test \
-             prefetch_decoder_test session_server_test session_soak_test
+             prefetch_decoder_test session_server_test session_soak_test \
+             sharded_engine_test
   build-tsan/tests/thread_pool_test
   build-tsan/tests/multi_run_test
   build-tsan/tests/batch_equivalence_test
@@ -215,6 +256,10 @@ EOF
   # the 1024-session kill-and-resume soak, all race-checked.
   build-tsan/tests/session_server_test
   build-tsan/tests/session_soak_test
+  # W worker pipelines over the shared thread pool, all racing into the
+  # mutex-guarded aggregate-checkpoint sink — the sharded runner's
+  # equivalence + kill-and-resume suite doubles as its race soak.
+  build-tsan/tests/sharded_engine_test
 
   echo "== bench smoke passed =="
   exit 0

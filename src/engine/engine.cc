@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "engine/sharded.h"
 #include "run/checkpoint.h"
 #include "stream/edge.h"
 
@@ -108,13 +109,17 @@ RunReport Drive(const DriveOptions& options,
   const StreamMetadata& meta = source.Meta();
   const auto setup_start = Clock::now();
 
-  if (options.resume) {
-    std::string error;
-    std::optional<Checkpoint> checkpoint =
-        LoadCheckpoint(options.checkpoint_path, &error);
-    if (!checkpoint) {
-      report.error = error;
-      return report;
+  if (options.resume || options.resume_from != nullptr) {
+    std::optional<Checkpoint> checkpoint;
+    if (options.resume_from != nullptr) {
+      checkpoint = *options.resume_from;
+    } else {
+      std::string error;
+      checkpoint = LoadCheckpoint(options.checkpoint_path, &error);
+      if (!checkpoint) {
+        report.error = error;
+        return report;
+      }
     }
     if (checkpoint->algorithm_name != algorithm.Name()) {
       report.error = "checkpoint was written by algorithm '" +
@@ -149,7 +154,8 @@ RunReport Drive(const DriveOptions& options,
   report.stages.setup_seconds = Seconds(setup_start);
 
   const bool checkpointing =
-      !options.checkpoint_path.empty() && options.checkpoint_every > 0;
+      (!options.checkpoint_path.empty() || options.checkpoint_sink) &&
+      options.checkpoint_every > 0;
   const size_t batch_edges =
       options.batch_edges > 0 ? options.batch_edges : kIngestBatchEdges;
   uint64_t delivered_this_run = 0;
@@ -225,7 +231,11 @@ RunReport Drive(const DriveOptions& options,
         checkpoint.faults_survived = report.faults_survived;
         checkpoint.state_words = encoder.Words();
         std::string error;
-        if (!SaveCheckpoint(checkpoint, options.checkpoint_path, &error)) {
+        const bool saved =
+            options.checkpoint_sink
+                ? options.checkpoint_sink(checkpoint, &error)
+                : SaveCheckpoint(checkpoint, options.checkpoint_path, &error);
+        if (!saved) {
           report.error = error;
           StampMeter(&report, algorithm);
           return report;
@@ -245,6 +255,16 @@ RunReport Drive(const DriveOptions& options,
 }
 
 RunReport Execute(const RunConfig& config) {
+  if (config.shards > 1) {
+    // First-class sharded path: W set-modulo shards merged through the
+    // deterministic protocol (engine/sharded.h).
+    ShardedRunConfig sharded;
+    sharded.base = config;
+    sharded.base.shards = 0;
+    sharded.shards = config.shards;
+    return ExecuteSharded(sharded);
+  }
+
   RunReport report;
   const auto total_start = Clock::now();
   const std::clock_t cpu_start = std::clock();

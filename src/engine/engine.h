@@ -5,10 +5,12 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/registry.h"
 #include "core/streaming_algorithm.h"
 #include "instance/validator.h"
+#include "run/checkpoint.h"
 #include "stream/edge_source.h"
 #include "stream/fault_injector.h"
 #include "stream/stream_file.h"
@@ -135,6 +137,38 @@ struct RunReport {
   /// Per-stage counters and timings.
   StageStats stages;
 
+  /// Sharded-mode accounting (ExecuteSharded / shards > 1); shards == 0
+  /// means the run was unsharded and the struct is untouched.
+  struct ShardStats {
+    uint32_t shards = 0;
+
+    /// Threshold τ the merge ran threshold-greedy at (√(n·W) unless
+    /// overridden).
+    uint32_t merge_threshold = 0;
+
+    /// Largest per-party message of the merge protocol, in words,
+    /// against the Õ(n) bound it must stay under (paper §3: coverage
+    /// bitmap + first-seen table + threshold picks, where each pick
+    /// covers ≥ τ new elements so at most ⌈n/τ⌉ fit in one message).
+    uint64_t max_message_words = 0;
+    uint64_t message_words_bound = 0;
+
+    /// Merge outcome split: candidate sets taken by threshold-greedy
+    /// vs. added by the final patching scan.
+    uint64_t threshold_sets = 0;
+    uint64_t patched_sets = 0;
+
+    /// Wall-clock of the merge stage alone.
+    double merge_seconds = 0.0;
+
+    /// Per-shard observability, indexed by shard (size == shards).
+    std::vector<uint64_t> shard_edges;
+    std::vector<uint64_t> shard_cover_sizes;
+    std::vector<size_t> shard_peak_words;
+    std::vector<double> shard_stream_seconds;
+  };
+  ShardStats sharded;
+
   /// Certificate validation verdict; meaningful only when `validated`
   /// (RunConfig::validate was set and the run completed).
   bool validated = false;
@@ -154,6 +188,18 @@ struct DriveOptions {
 
   /// Resume from `checkpoint_path` instead of starting fresh.
   bool resume = false;
+
+  /// Resume from this already-loaded checkpoint instead of reading
+  /// `checkpoint_path` (which may then be empty). The sharded runner
+  /// uses this to hand each shard its slot out of the aggregate "SCSH"
+  /// file. Not owned; must outlive the call. Implies `resume`.
+  const Checkpoint* resume_from = nullptr;
+
+  /// When set, replaces SaveCheckpoint as the destination of periodic
+  /// checkpoints — the sharded runner installs a sink that folds the
+  /// shard's snapshot into the aggregate file. Return false (with
+  /// *error) to fail the run like a checkpoint write failure.
+  std::function<bool(const Checkpoint&, std::string*)> checkpoint_sink;
 
   /// Retry budget for transient read faults.
   BackoffPolicy backoff;
@@ -221,6 +267,13 @@ struct RunConfig {
   /// instance (legal cover + legal certificate) and the verdict lands
   /// in RunReport::validation.
   const SetCoverInstance* validate = nullptr;
+
+  /// Shard fan-out: 0 or 1 runs the single pipeline above; W > 1
+  /// dispatches to ExecuteSharded (engine/sharded.h) with W set-modulo
+  /// shards — W worker pipelines merged through the deterministic
+  /// t-party protocol. Requires a shardable registry `algorithm` name
+  /// (not `algorithm_instance`).
+  uint32_t shards = 0;
 };
 
 /// Assembles the pipeline described by `config`, runs it, and returns

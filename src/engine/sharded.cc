@@ -1,0 +1,525 @@
+#include "engine/sharded.h"
+
+#include <algorithm>
+#include <chrono>
+#include <ctime>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "comm/deterministic_protocol.h"
+#include "comm/protocol.h"
+#include "run/checkpoint.h"
+#include "stream/edge_source.h"
+#include "stream/fault_injector.h"
+#include "util/math.h"
+#include "util/thread_pool.h"
+
+namespace setcover {
+namespace engine {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using CheckpointSink = std::function<bool(const Checkpoint&, std::string*)>;
+
+double Seconds(Clock::time_point since) {
+  return std::chrono::duration<double>(Clock::now() - since).count();
+}
+
+uint64_t CountUncovered(const CoverSolution& solution) {
+  uint64_t uncovered = 0;
+  for (SetId s : solution.certificate)
+    if (s == kNoSet) ++uncovered;
+  return uncovered;
+}
+
+void FinalizeShard(RunReport* report,
+                   StreamingSetCoverAlgorithm& algorithm) {
+  const auto start = Clock::now();
+  report->solution = algorithm.Finalize();
+  report->stages.finalize_seconds = Seconds(start);
+  report->uncovered_elements = CountUncovered(report->solution);
+  report->completed = true;
+  report->peak_words = algorithm.Meter().PeakWords();
+  report->current_words = algorithm.Meter().CurrentWords();
+  report->meter_breakdown = algorithm.Meter().BreakdownString();
+}
+
+// Owner functors for the hot compaction loops: the set-modulo default
+// compiles to a mask (power-of-two W) or one integer modulo per edge;
+// only custom partitioners pay a std::function call.
+struct MaskOwner {
+  uint32_t mask;
+  uint32_t operator()(SetId s) const { return s & mask; }
+};
+struct ModOwner {
+  uint32_t shards;
+  uint32_t operator()(SetId s) const { return s % shards; }
+};
+struct FnOwner {
+  const std::function<uint32_t(SetId, uint32_t)>* fn;
+  uint32_t shards;
+  uint32_t operator()(SetId s) const { return (*fn)(s, shards); }
+};
+
+template <typename Fn>
+void WithOwner(const ShardPartitioner& partitioner, uint32_t shards,
+               Fn&& fn) {
+  if (!partitioner.index) {
+    if ((shards & (shards - 1)) == 0) {
+      fn(MaskOwner{shards - 1});
+    } else {
+      fn(ModOwner{shards});
+    }
+  } else {
+    fn(FnOwner{&partitioner.index, shards});
+  }
+}
+
+/// Supervised-path filter: surfaces exactly this shard's slice of the
+/// (possibly fault-injected) record sequence. Stateless, so the inner
+/// source's positions remain the checkpoint coordinate — Position,
+/// SeekTo, and replay state pass straight through.
+class ShardFilterSource : public EdgeSource {
+ public:
+  ShardFilterSource(EdgeSource* inner, uint32_t shard, uint32_t shards,
+                    const ShardPartitioner& partitioner)
+      : inner_(inner),
+        shard_(shard),
+        shards_(shards),
+        partitioner_(partitioner) {}
+
+  const StreamMetadata& Meta() const override { return inner_->Meta(); }
+
+  ReadStatus Next(Edge* edge) override {
+    for (;;) {
+      const ReadStatus status = inner_->Next(edge);
+      if (status == ReadStatus::kTransient || status == ReadStatus::kEnd) {
+        return status;
+      }
+      // kOk and kCorrupt records both carry a set id (a corrupt one
+      // possibly damaged); exactly one shard surfaces each record, so
+      // the aggregate corrupt count stays W-invariant.
+      if (OwnerOf(edge->set) == shard_) return status;
+    }
+  }
+
+  size_t Position() const override { return inner_->Position(); }
+  bool SeekTo(size_t position) override { return inner_->SeekTo(position); }
+  bool HasPendingReplay() const override {
+    return inner_->HasPendingReplay();
+  }
+  bool Truncated() const override { return inner_->Truncated(); }
+
+ private:
+  uint32_t OwnerOf(SetId s) const {
+    return partitioner_.index ? partitioner_.index(s, shards_)
+                              : s % shards_;
+  }
+
+  EdgeSource* inner_;
+  uint32_t shard_;
+  uint32_t shards_;
+  const ShardPartitioner& partitioner_;
+};
+
+/// In-memory fast path for one shard: walks the shared edge span (no
+/// copy of the stream), compacts this shard's edges into a reusable
+/// batch, and flushes through ProcessEdgeBatch at exactly the batch
+/// boundaries DriveInMemory would use — at W = 1 every edge matches, so
+/// the flush pattern (and therefore the run) is bit-identical to the
+/// unsharded fast path.
+template <typename Owner>
+void DriveInMemoryShard(RunReport* report,
+                        StreamingSetCoverAlgorithm& algorithm,
+                        const EdgeStream& stream, size_t batch_edges,
+                        uint32_t shard, Owner owner) {
+  const auto start = Clock::now();
+  algorithm.Begin(stream.meta);
+  std::vector<Edge> batch;
+  batch.reserve(batch_edges);
+  auto flush = [&] {
+    if (batch.empty()) return;
+    algorithm.ProcessEdgeBatch(std::span<const Edge>(batch));
+    report->edges_delivered += batch.size();
+    ++report->stages.batches;
+    batch.clear();
+  };
+  for (const Edge& e : stream.edges) {
+    if (owner(e.set) != shard) continue;
+    batch.push_back(e);
+    if (batch.size() == batch_edges) flush();
+  }
+  flush();
+  report->stages.stream_seconds = Seconds(start);
+  FinalizeShard(report, algorithm);
+}
+
+/// File fast path for one shard: its own BatchEdgeReader cursor over
+/// the same file — with mmap the shards share one physical mapping and
+/// the page cache dedupes the reads. Only shard 0 *counts* a checksum
+/// failure (every shard observes the same damaged chunk, and the
+/// aggregate corrupt count must stay W-invariant); every shard that
+/// saw it still degrades.
+template <typename Owner>
+void DriveFileShard(RunReport* report, StreamingSetCoverAlgorithm& algorithm,
+                    BatchEdgeReader& reader, size_t batch_edges,
+                    uint32_t shard, Owner owner) {
+  const auto start = Clock::now();
+  algorithm.Begin(reader.Meta());
+  std::vector<Edge> compact;
+  compact.reserve(batch_edges);
+  auto flush = [&] {
+    if (compact.empty()) return;
+    algorithm.ProcessEdgeBatch(std::span<const Edge>(compact));
+    report->edges_delivered += compact.size();
+    ++report->stages.batches;
+    compact.clear();
+  };
+  for (std::span<const Edge> batch = reader.NextBatch(); !batch.empty();
+       batch = reader.NextBatch()) {
+    for (const Edge& e : batch) {
+      if (owner(e.set) != shard) continue;
+      compact.push_back(e);
+      if (compact.size() == batch_edges) flush();
+    }
+  }
+  flush();
+  report->stages.stream_seconds = Seconds(start);
+  if (reader.ChecksumFailed() && shard == 0) {
+    ++report->corrupt_records_skipped;
+    ++report->faults_survived;
+  }
+  if (reader.Truncated() || reader.ChecksumFailed()) report->degraded = true;
+  FinalizeShard(report, algorithm);
+}
+
+/// One shard's full pipeline, fast or supervised.
+RunReport RunShard(const ShardedRunConfig& config, uint32_t shard,
+                   const std::optional<Checkpoint>& resume_slot,
+                   const CheckpointSink& sink, bool supervised,
+                   bool checkpointing) {
+  const RunConfig& base = config.base;
+  RunReport report;
+
+  AlgorithmOptions options = base.options;
+  options.seed = base.options.seed + shard;
+  std::unique_ptr<StreamingSetCoverAlgorithm> algorithm =
+      MakeAlgorithmByName(base.algorithm, options);
+  if (algorithm == nullptr) {
+    report.error = UnknownAlgorithmError(base.algorithm);
+    return report;
+  }
+  report.algorithm_name = algorithm->Name();
+
+  if (!supervised) {
+    if (base.source.stream != nullptr) {
+      WithOwner(config.partitioner, config.shards, [&](auto owner) {
+        DriveInMemoryShard(&report, *algorithm, *base.source.stream,
+                           base.batch_edges, shard, owner);
+      });
+    } else {
+      std::string error;
+      auto reader = OpenBatchEdgeReader(base.source.path,
+                                        base.source.read_options, &error);
+      if (reader == nullptr) {
+        report.error = error;
+        return report;
+      }
+      WithOwner(config.partitioner, config.shards, [&](auto owner) {
+        DriveFileShard(&report, *algorithm, *reader, base.batch_edges,
+                       shard, owner);
+      });
+    }
+    return report;
+  }
+
+  // Supervised: per-shard source -> fault injector -> shard filter ->
+  // Drive. The fault schedule is replicated per shard (pure function of
+  // (seed, position)), so every shard sees the identical damaged
+  // stream; the filter then surfaces only this shard's slice.
+  std::unique_ptr<StreamFileSource> file_source;
+  std::unique_ptr<VectorEdgeSource> vector_source;
+  EdgeSource* inner = nullptr;
+  if (base.source.stream != nullptr) {
+    vector_source = std::make_unique<VectorEdgeSource>(*base.source.stream);
+    inner = vector_source.get();
+  } else {
+    std::string error;
+    file_source = StreamFileSource::Open(base.source.path,
+                                         base.source.read_options, &error);
+    if (file_source == nullptr) {
+      report.error = error;
+      return report;
+    }
+    inner = file_source.get();
+  }
+  std::optional<FaultInjector> injector;
+  if (base.faults.has_value()) {
+    injector.emplace(inner, *base.faults);
+    inner = &*injector;
+  }
+  ShardFilterSource filtered(inner, shard, config.shards,
+                             config.partitioner);
+
+  DriveOptions drive;
+  drive.checkpoint_every = checkpointing ? base.checkpoint.every : 0;
+  if (checkpointing) drive.checkpoint_sink = sink;
+  if (resume_slot.has_value()) drive.resume_from = &*resume_slot;
+  drive.backoff = base.backoff;
+  drive.sleeper = base.sleeper;
+  drive.stop_after = base.stop_after;
+  drive.batch_edges = base.batch_edges;
+  return Drive(drive, *algorithm, filtered);
+}
+
+}  // namespace
+
+ShardPartitioner SetModuloPartitioner() { return ShardPartitioner{}; }
+
+RunReport ExecuteSharded(const ShardedRunConfig& config) {
+  RunReport report;
+  const auto total_start = Clock::now();
+  const std::clock_t cpu_start = std::clock();
+  const auto setup_start = Clock::now();
+
+  const RunConfig& base = config.base;
+  const uint32_t shards = config.shards;
+  if (shards == 0) {
+    report.error = "sharded run needs shards >= 1";
+    return report;
+  }
+  if (base.algorithm_instance != nullptr) {
+    report.error =
+        "sharded runs drive one algorithm instance per shard; pass a "
+        "registry algorithm name instead of algorithm_instance";
+    return report;
+  }
+  const AlgorithmInfo* info = FindAlgorithm(base.algorithm);
+  if (info == nullptr) {
+    report.error = UnknownAlgorithmError(base.algorithm);
+    return report;
+  }
+  if (!info->shardable) {
+    report.error = NotShardableError(base.algorithm);
+    return report;
+  }
+  if ((base.source.stream != nullptr) == !base.source.path.empty()) {
+    report.error = base.source.stream == nullptr
+                       ? "run config has no source (set SourceSpec::stream "
+                         "or SourceSpec::path)"
+                       : "run config sets both an in-memory stream and a "
+                         "file path; pick one";
+    return report;
+  }
+
+  const bool checkpointing =
+      !base.checkpoint.path.empty() && base.checkpoint.every > 0;
+  const bool supervised = base.faults.has_value() || base.stop_after != 0 ||
+                          base.checkpoint.resume || checkpointing ||
+                          base.batch_edges != kIngestBatchEdges;
+
+  // The one aggregate sidecar: W slots, rewritten atomically whenever
+  // any shard reaches its checkpoint cadence. Resume slots are copied
+  // out before the shards launch so each shard reads its slot without
+  // racing the sinks.
+  ShardedCheckpoint aggregate;
+  aggregate.shards = shards;
+  aggregate.partitioner = config.partitioner.name;
+  aggregate.shard_states.assign(shards, std::nullopt);
+  std::vector<std::optional<Checkpoint>> resume_slots(shards);
+  if (base.checkpoint.resume) {
+    std::string error;
+    std::optional<ShardedCheckpoint> loaded =
+        LoadShardedCheckpoint(base.checkpoint.path, &error);
+    if (!loaded) {
+      report.error = error;
+      return report;
+    }
+    if (loaded->shards != shards) {
+      report.error = "sharded checkpoint was written by a " +
+                     std::to_string(loaded->shards) + "-shard run, not " +
+                     std::to_string(shards) + " shards";
+      return report;
+    }
+    if (loaded->partitioner != config.partitioner.name) {
+      report.error = "sharded checkpoint was partitioned by '" +
+                     loaded->partitioner + "', not '" +
+                     config.partitioner.name + "'";
+      return report;
+    }
+    resume_slots = loaded->shard_states;
+    aggregate.shard_states = std::move(loaded->shard_states);
+  }
+  std::mutex aggregate_mutex;
+  auto make_sink = [&](uint32_t shard) -> CheckpointSink {
+    if (!checkpointing) return nullptr;
+    return [&aggregate, &aggregate_mutex, shard,
+            path = base.checkpoint.path](const Checkpoint& checkpoint,
+                                         std::string* error) {
+      std::lock_guard<std::mutex> lock(aggregate_mutex);
+      aggregate.shard_states[shard] = checkpoint;
+      return SaveShardedCheckpoint(aggregate, path, error);
+    };
+  };
+  report.stages.setup_seconds = Seconds(setup_start);
+
+  // Fan out: one independent pipeline per shard on the deterministic
+  // pool. Shards share nothing but the (read-only) source bytes and the
+  // mutex-guarded aggregate checkpoint, so results are bit-identical at
+  // any thread count.
+  std::vector<RunReport> shard_reports(shards);
+  {
+    ThreadPool pool(config.threads == 0 ? shards : config.threads);
+    pool.RunIndexed(shards, [&](size_t w) {
+      shard_reports[w] =
+          RunShard(config, uint32_t(w), resume_slots[w],
+                   make_sink(uint32_t(w)), supervised, checkpointing);
+    });
+  }
+
+  if (shards == 1) {
+    // Single-shard runs skip the merge entirely: shard 0's report *is*
+    // the run, bit-identical to engine::Execute on the same config.
+    const double setup_seconds = report.stages.setup_seconds;
+    report = std::move(shard_reports[0]);
+    report.stages.setup_seconds += setup_seconds;
+    report.sharded.shards = 1;
+    report.sharded.shard_edges = {report.edges_delivered};
+    report.sharded.shard_cover_sizes = {report.solution.cover.size()};
+    report.sharded.shard_peak_words = {report.peak_words};
+    report.sharded.shard_stream_seconds = {report.stages.stream_seconds};
+  } else {
+    RunReport::ShardStats& stats = report.sharded;
+    stats.shards = shards;
+    stats.shard_edges.resize(shards);
+    stats.shard_cover_sizes.resize(shards);
+    stats.shard_peak_words.resize(shards);
+    stats.shard_stream_seconds.resize(shards);
+    bool all_completed = true;
+    for (uint32_t w = 0; w < shards; ++w) {
+      const RunReport& shard = shard_reports[w];
+      if (!shard.error.empty() && report.error.empty()) {
+        report.error = "shard " + std::to_string(w) + ": " + shard.error;
+      }
+      all_completed = all_completed && shard.completed;
+      report.edges_delivered += shard.edges_delivered;
+      report.checkpoints_written += shard.checkpoints_written;
+      report.transient_retries += shard.transient_retries;
+      report.corrupt_records_skipped += shard.corrupt_records_skipped;
+      report.faults_survived += shard.faults_survived;
+      report.resumed = report.resumed || shard.resumed;
+      report.resumed_at += shard.resumed_at;
+      report.degraded = report.degraded || shard.degraded;
+      // W pipelines run concurrently: the slowest shard is the stage's
+      // wall-clock; batches and space add up (the run really holds W
+      // working sets).
+      report.stages.stream_seconds = std::max(
+          report.stages.stream_seconds, shard.stages.stream_seconds);
+      report.stages.finalize_seconds = std::max(
+          report.stages.finalize_seconds, shard.stages.finalize_seconds);
+      report.stages.batches += shard.stages.batches;
+      report.peak_words += shard.peak_words;
+      report.current_words += shard.current_words;
+      stats.shard_edges[w] = shard.edges_delivered;
+      stats.shard_cover_sizes[w] = shard.solution.cover.size();
+      stats.shard_peak_words[w] = shard.peak_words;
+      stats.shard_stream_seconds[w] = shard.stages.stream_seconds;
+    }
+    report.algorithm_name = shard_reports[0].algorithm_name;
+    report.meter_breakdown = shard_reports[0].meter_breakdown;
+
+    if (report.error.empty() && all_completed) {
+      // Merge: each shard's certified (set -> covered elements) groups
+      // become the candidate sets of a t = W party instance — the
+      // partitioner makes candidates shard-disjoint — and the
+      // deterministic protocol (threshold-greedy at τ, then patching)
+      // picks the merged cover with its 2√(n·W) guarantee. Candidate
+      // order is the certificate scan order (shard-major, elements
+      // ascending), so the merge is deterministic.
+      const auto merge_start = Clock::now();
+      const uint32_t n =
+          uint32_t(shard_reports[0].solution.certificate.size());
+      std::vector<std::vector<ElementId>> candidate_elems;
+      std::vector<SetId> candidate_set;
+      std::vector<uint32_t> candidate_owner;
+      std::unordered_map<SetId, size_t> candidate_index;
+      for (uint32_t w = 0; w < shards; ++w) {
+        const std::vector<SetId>& certificate =
+            shard_reports[w].solution.certificate;
+        for (ElementId u = 0; u < certificate.size(); ++u) {
+          const SetId s = certificate[u];
+          if (s == kNoSet) continue;
+          auto [it, inserted] =
+              candidate_index.try_emplace(s, candidate_elems.size());
+          if (inserted) {
+            candidate_elems.emplace_back();
+            candidate_set.push_back(s);
+            candidate_owner.push_back(w);
+          }
+          candidate_elems[it->second].push_back(u);
+        }
+      }
+
+      const uint32_t tau =
+          config.merge_threshold != 0
+              ? config.merge_threshold
+              : std::max<uint32_t>(
+                    1, uint32_t(ISqrt(uint64_t(n) * shards)));
+      stats.merge_threshold = tau;
+      // §3's message: covered bitmap (n bits) + first-seen table R (n
+      // words) + the threshold picks so far — each pick covers ≥ τ new
+      // elements, so at most ⌈n/τ⌉ ever travel. That is the Õ(n) bound
+      // every benchmarked instance is checked against.
+      stats.message_words_bound =
+          BitsToWords(n) + n + (tau > 0 ? (n + tau - 1) / tau : 0);
+
+      if (candidate_elems.empty()) {
+        report.solution.cover.clear();
+        report.solution.certificate.assign(n, kNoSet);
+      } else {
+        SetCoverInstance merged =
+            SetCoverInstance::FromSets(n, std::move(candidate_elems));
+        DeterministicProtocolResult protocol = RunDeterministicProtocol(
+            merged, candidate_owner, shards, tau);
+        stats.max_message_words = protocol.max_message_words;
+        stats.threshold_sets = protocol.threshold_sets;
+        stats.patched_sets = protocol.patched_sets;
+        // Candidate ids map 1:1 back to global set ids.
+        report.solution.cover.clear();
+        report.solution.cover.reserve(protocol.solution.cover.size());
+        for (SetId candidate : protocol.solution.cover) {
+          report.solution.cover.push_back(candidate_set[candidate]);
+        }
+        report.solution.certificate.assign(n, kNoSet);
+        for (ElementId u = 0; u < n; ++u) {
+          const SetId candidate = protocol.solution.certificate[u];
+          if (candidate != kNoSet) {
+            report.solution.certificate[u] = candidate_set[candidate];
+          }
+        }
+      }
+      report.uncovered_elements = CountUncovered(report.solution);
+      report.completed = true;
+      stats.merge_seconds = Seconds(merge_start);
+    }
+  }
+
+  if (base.validate != nullptr && report.completed) {
+    const auto validate_start = Clock::now();
+    report.validation = ValidateSolution(*base.validate, report.solution);
+    report.validated = true;
+    report.stages.validate_seconds = Seconds(validate_start);
+  }
+
+  report.stages.total_seconds = Seconds(total_start);
+  report.stages.cpu_seconds =
+      double(std::clock() - cpu_start) / double(CLOCKS_PER_SEC);
+  return report;
+}
+
+}  // namespace engine
+}  // namespace setcover

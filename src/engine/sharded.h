@@ -1,0 +1,107 @@
+#ifndef SETCOVER_ENGINE_SHARDED_H_
+#define SETCOVER_ENGINE_SHARDED_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "engine/engine.h"
+#include "stream/edge.h"
+
+namespace setcover {
+namespace engine {
+
+/// The sharded execution mode: the horizontal-scaling path of the
+/// engine (ROADMAP item "sharded multi-worker solver").
+///
+/// A W-way sharded run partitions the edge stream by set id into W
+/// disjoint slices, drives one independent per-shard pipeline
+///
+///   source -> fault injector -> shard filter -> batcher -> algorithm
+///
+/// per slice on the deterministic thread pool (util/thread_pool.h),
+/// then merges the W candidate covers with the deterministic t-party
+/// protocol of paper §3 (comm/deterministic_protocol.h): each shard's
+/// certified (set, elements) groups become the candidate sets of a
+/// merge instance, threshold-greedy at τ = √(n·W) picks the heavy
+/// candidates, and the final patching scan covers the rest — so the
+/// merged cover inherits the protocol's 2√(n·W)·OPT guarantee over the
+/// shards' local covers, and the largest inter-party message stays
+/// within the Õ(n) bound (recorded in RunReport::sharded against
+/// `message_words_bound`).
+///
+/// Sharding is observationally layered on the single-run engine:
+///  * W = 1 is bit-identical to engine::Execute on the same config
+///    (the filter passes everything, the merge is skipped);
+///  * each shard sees the global StreamMetadata and the same damaged
+///    stream a single-run FaultInjector would produce (the fault
+///    schedule is a pure function of (seed, position), replicated per
+///    shard), so a record dropped/duplicated/corrupted for one shard
+///    is dropped/duplicated/corrupted for all — a corrupt record is
+///    *counted* by exactly the shard owning its set id, keeping the
+///    aggregate corrupt count W-invariant (transient faults are
+///    retried by every shard, so that counter scales with W);
+///  * checkpointing composes: the W per-shard cursors + states
+///    aggregate into ONE sidecar file (run/checkpoint.h's "SCSH"
+///    format) and kill-and-resume reproduces the unkilled run
+///    byte-for-byte at any W, because each shard's execution is a pure
+///    function of its slice suffix + decoded state;
+///  * file sources stay zero-copy: every shard walks the same mmap'd
+///    v3 mapping through its own reader cursor, and the page cache
+///    dedupes the physical reads.
+///
+/// Shard w's algorithm is seeded with `base.options.seed + w`, so
+/// shards draw independent coins while W = 1 reproduces the base seed
+/// exactly.
+
+/// The partitioner seam: maps a set id to its owning shard in [0, W).
+/// Must be a pure function — it runs in every shard's hot loop and its
+/// verdicts must agree across shards and across resume. The name is
+/// recorded in sharded checkpoints; resuming under a different
+/// partitioner is refused.
+struct ShardPartitioner {
+  std::string name = "set-mod";
+  /// nullptr means the built-in set-modulo rule (set_id % shards),
+  /// which the hot paths inline (bit-mask for power-of-two W) instead
+  /// of paying a std::function call per edge.
+  std::function<uint32_t(SetId, uint32_t shards)> index;
+};
+
+/// The default partitioner, spelled out.
+ShardPartitioner SetModuloPartitioner();
+
+/// One declarative sharded run, consumed by ExecuteSharded().
+struct ShardedRunConfig {
+  /// The per-shard pipeline description: algorithm (a shardable
+  /// registry name — `algorithm_instance` is rejected, each shard owns
+  /// its instance), source, faults, checkpointing (the path names the
+  /// ONE aggregate "SCSH" sidecar), stop_after (per shard), batching,
+  /// and validation. `base.shards` is ignored here.
+  RunConfig base;
+
+  /// Worker count W; 1 runs the single pipeline with the merge skipped.
+  uint32_t shards = 1;
+
+  ShardPartitioner partitioner = SetModuloPartitioner();
+
+  /// Thread-pool width; 0 = one thread per shard. Results are
+  /// bit-identical at any value (shards are independent; the merge is
+  /// sequential).
+  size_t threads = 0;
+
+  /// Merge threshold τ override; 0 = the protocol's √(n·W) default.
+  uint32_t merge_threshold = 0;
+};
+
+/// Runs the W-shard fan-out + deterministic-protocol merge described by
+/// `config` and returns the unified report: aggregate counters summed
+/// across shards (peak words too — the run really holds W working sets),
+/// `degraded` when any shard degraded, and RunReport::sharded carrying
+/// the per-shard breakdown plus the merge's message-size accounting.
+/// engine::Execute dispatches here when RunConfig::shards > 1.
+RunReport ExecuteSharded(const ShardedRunConfig& config);
+
+}  // namespace engine
+}  // namespace setcover
+
+#endif  // SETCOVER_ENGINE_SHARDED_H_

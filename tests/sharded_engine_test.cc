@@ -1,0 +1,419 @@
+// Shard-count invariance — the acceptance bar for the sharded
+// execution mode (engine/sharded.h). For every shardable algorithm:
+// (a) a W=1 sharded run is bit-identical to engine::Execute on the
+// same config; (b) at W in {2, 4, 7} the merged cover validates, stays
+// within the deterministic protocol's 2*sqrt(n*W) factor of greedy on
+// a Table-1 planted instance, and the merge's largest message stays
+// within the recorded O~(n) bound; (c) kill-and-resume mid-ingest
+// through the ONE aggregate checkpoint file reproduces the unkilled
+// run byte-for-byte. Plus: thread-count invisibility, the
+// engine::Execute shards dispatch, file/in-memory agreement, the
+// partitioner seam, and the sharded checkpoint format itself.
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/registry.h"
+#include "engine/engine.h"
+#include "engine/sharded.h"
+#include "instance/generators.h"
+#include "instance/validator.h"
+#include "offline/greedy.h"
+#include "run/checkpoint.h"
+#include "stream/orderings.h"
+#include "stream/stream_file.h"
+#include "util/rng.h"
+
+namespace setcover {
+namespace {
+
+struct Fixture {
+  SetCoverInstance instance;
+  EdgeStream stream;
+};
+
+/// A Table-1-style planted instance: known OPT, decoy sets, enough
+/// edges that every shard of a W=7 split still sees a few hundred.
+Fixture MakePlantedFixture(uint64_t seed) {
+  Rng rng(seed);
+  PlantedCoverParams p;
+  p.num_elements = 120;
+  p.num_sets = 600;
+  p.planted_cover_size = 6;
+  Fixture fixture{GeneratePlantedCover(p, rng), {}};
+  fixture.stream = RandomOrderStream(fixture.instance, rng);
+  return fixture;
+}
+
+std::string TempPath(const std::string& tag) {
+  std::string name = "sharded_" + tag;
+  for (char& c : name)
+    if (c == '-') c = '_';
+  return testing::TempDir() + name;
+}
+
+engine::ShardedRunConfig BaseConfig(const std::string& algorithm,
+                                    const EdgeStream& stream,
+                                    uint32_t shards) {
+  engine::ShardedRunConfig config;
+  config.base.algorithm = algorithm;
+  config.base.options.seed = 21;
+  config.base.source = engine::SourceSpec::InMemory(stream);
+  config.shards = shards;
+  return config;
+}
+
+void ExpectSameSolution(const engine::RunReport& actual,
+                        const engine::RunReport& expected,
+                        const std::string& context) {
+  EXPECT_EQ(actual.solution.cover, expected.solution.cover) << context;
+  EXPECT_EQ(actual.solution.certificate, expected.solution.certificate)
+      << context;
+  EXPECT_EQ(actual.edges_delivered, expected.edges_delivered) << context;
+  EXPECT_EQ(actual.current_words, expected.current_words) << context;
+  EXPECT_EQ(actual.uncovered_elements, expected.uncovered_elements)
+      << context;
+}
+
+class ShardedSweep : public testing::TestWithParam<std::string> {};
+
+// (a) W=1: the shard filter passes everything, the merge is skipped,
+// and the run must be bit-identical to the unsharded engine — covers,
+// certificates, counters, meter readings. (Peak words only in NDEBUG:
+// the unsharded in-memory fast path runs the debug-build first-batch
+// equivalence spot-check, which re-bases the meter peak; the sharded
+// fast path, like the file path, never does.)
+TEST_P(ShardedSweep, SingleShardIsBitIdenticalToExecute) {
+  Fixture fixture = MakePlantedFixture(301);
+  engine::ShardedRunConfig config = BaseConfig(GetParam(), fixture.stream, 1);
+
+  engine::RunReport expected = engine::Execute(config.base);
+  ASSERT_TRUE(expected.completed) << expected.error;
+  engine::RunReport report = engine::ExecuteSharded(config);
+  ASSERT_TRUE(report.completed) << report.error;
+
+  ExpectSameSolution(report, expected, GetParam());
+  EXPECT_EQ(report.algorithm_name, expected.algorithm_name);
+  EXPECT_EQ(report.meter_breakdown, expected.meter_breakdown);
+  EXPECT_EQ(report.stages.batches, expected.stages.batches);
+#ifdef NDEBUG
+  EXPECT_EQ(report.peak_words, expected.peak_words);
+#endif
+  EXPECT_EQ(report.sharded.shards, 1u);
+  ASSERT_EQ(report.sharded.shard_edges.size(), 1u);
+  EXPECT_EQ(report.sharded.shard_edges[0], fixture.stream.size());
+}
+
+// (b) W in {2, 4, 7}: the merged cover is a valid cover of the full
+// instance, within the protocol's 2*sqrt(n*W) factor of greedy (greedy
+// >= OPT, so this is implied by the paper's 2*sqrt(n*t)*OPT bound), and
+// the merge's largest message stays within the recorded O~(n) bound.
+TEST_P(ShardedSweep, MergedCoverAndMessageWithinProtocolBounds) {
+  Fixture fixture = MakePlantedFixture(311);
+  const size_t greedy_size = GreedyCover(fixture.instance).cover.size();
+  const uint32_t n = fixture.instance.NumElements();
+
+  for (uint32_t shards : {2u, 4u, 7u}) {
+    const std::string context =
+        GetParam() + " W=" + std::to_string(shards);
+    engine::ShardedRunConfig config =
+        BaseConfig(GetParam(), fixture.stream, shards);
+    config.base.validate = &fixture.instance;
+    engine::RunReport report = engine::ExecuteSharded(config);
+
+    ASSERT_TRUE(report.completed) << context << ": " << report.error;
+    ASSERT_TRUE(report.validated) << context;
+    EXPECT_TRUE(report.validation.ok)
+        << context << ": " << report.validation.error;
+    EXPECT_EQ(report.uncovered_elements, 0u) << context;
+    EXPECT_EQ(report.edges_delivered, fixture.stream.size()) << context;
+
+    const double factor = 2.0 * std::sqrt(double(n) * double(shards));
+    EXPECT_LE(double(report.solution.cover.size()),
+              factor * double(greedy_size))
+        << context;
+
+    const auto& stats = report.sharded;
+    EXPECT_EQ(stats.shards, shards) << context;
+    EXPECT_GT(stats.message_words_bound, 0u) << context;
+    EXPECT_LE(stats.max_message_words, stats.message_words_bound) << context;
+    EXPECT_EQ(stats.threshold_sets + stats.patched_sets,
+              report.solution.cover.size())
+        << context;
+    ASSERT_EQ(stats.shard_edges.size(), shards) << context;
+    EXPECT_EQ(std::accumulate(stats.shard_edges.begin(),
+                              stats.shard_edges.end(), uint64_t{0}),
+              fixture.stream.size())
+        << context;
+  }
+}
+
+// (c) Kill-and-resume mid-ingest: a sharded run killed after k edges
+// per shard, then resumed from the ONE aggregate checkpoint file, must
+// finish byte-for-byte identical to the unkilled sharded run — at
+// every W, including W=7 where the slices are lopsided.
+TEST_P(ShardedSweep, KillAndResumeReproducesUnkilledRun) {
+  Fixture fixture = MakePlantedFixture(301);
+  const std::string path = TempPath("resume_" + GetParam() + ".scsh");
+
+  for (uint32_t shards : {2u, 4u, 7u}) {
+    const std::string context =
+        GetParam() + " W=" + std::to_string(shards);
+    engine::ShardedRunConfig base =
+        BaseConfig(GetParam(), fixture.stream, shards);
+    engine::RunReport expected = engine::ExecuteSharded(base);
+    ASSERT_TRUE(expected.completed) << context << ": " << expected.error;
+
+    engine::ShardedRunConfig kill = base;
+    kill.base.checkpoint.path = path;
+    kill.base.checkpoint.every = 10;
+    kill.base.stop_after = 25;  // every shard holds hundreds of edges
+    engine::RunReport killed = engine::ExecuteSharded(kill);
+    ASSERT_TRUE(killed.error.empty()) << context << ": " << killed.error;
+    ASSERT_FALSE(killed.completed) << context;
+    ASSERT_GE(killed.checkpoints_written, uint64_t{shards}) << context;
+
+    engine::ShardedRunConfig resume = base;
+    resume.base.options.seed = 999;  // must be ignored: state is on disk
+    resume.base.checkpoint.path = path;
+    resume.base.checkpoint.every = 10;
+    resume.base.checkpoint.resume = true;
+    engine::RunReport resumed = engine::ExecuteSharded(resume);
+    ASSERT_TRUE(resumed.completed) << context << ": " << resumed.error;
+    EXPECT_TRUE(resumed.resumed) << context;
+    ExpectSameSolution(resumed, expected, context);
+    EXPECT_EQ(resumed.sharded.shard_cover_sizes,
+              expected.sharded.shard_cover_sizes)
+        << context;
+  }
+  std::remove(path.c_str());
+}
+
+// The thread-pool width is an execution detail: W=4 shards on 1 thread
+// and on 4 threads must produce identical reports.
+TEST_P(ShardedSweep, ThreadCountIsObservationallyInvisible) {
+  Fixture fixture = MakePlantedFixture(301);
+  engine::ShardedRunConfig wide = BaseConfig(GetParam(), fixture.stream, 4);
+  wide.threads = 4;
+  engine::ShardedRunConfig narrow = wide;
+  narrow.threads = 1;
+
+  engine::RunReport a = engine::ExecuteSharded(wide);
+  engine::RunReport b = engine::ExecuteSharded(narrow);
+  ASSERT_TRUE(a.completed) << a.error;
+  ASSERT_TRUE(b.completed) << b.error;
+  ExpectSameSolution(a, b, GetParam());
+  EXPECT_EQ(a.peak_words, b.peak_words) << GetParam();
+  EXPECT_EQ(a.sharded.max_message_words, b.sharded.max_message_words)
+      << GetParam();
+}
+
+std::string TestName(const testing::TestParamInfo<std::string>& info) {
+  std::string name = info.param;
+  for (char& c : name)
+    if (c == '-') c = '_';
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardableAlgorithms, ShardedSweep,
+                         testing::ValuesIn(ShardableAlgorithmNames()),
+                         TestName);
+
+// RunConfig::shards > 1 dispatches Execute into the sharded mode — the
+// two entry points must agree exactly.
+TEST(ShardedEngineTest, ExecuteDispatchesShardsToExecuteSharded) {
+  Fixture fixture = MakePlantedFixture(301);
+  engine::ShardedRunConfig sharded = BaseConfig("kk", fixture.stream, 4);
+  engine::RunReport direct = engine::ExecuteSharded(sharded);
+  ASSERT_TRUE(direct.completed) << direct.error;
+
+  engine::RunConfig via_execute = sharded.base;
+  via_execute.shards = 4;
+  engine::RunReport dispatched = engine::Execute(via_execute);
+  ASSERT_TRUE(dispatched.completed) << dispatched.error;
+  ExpectSameSolution(dispatched, direct, "dispatch");
+  EXPECT_EQ(dispatched.sharded.shards, 4u);
+  EXPECT_EQ(dispatched.sharded.max_message_words,
+            direct.sharded.max_message_words);
+}
+
+// File-backed sharded runs (each shard cursoring the same mmap'd v3
+// file) must agree with the in-memory sharded run over the same edges.
+TEST(ShardedEngineTest, FileShardsMatchInMemoryShards) {
+  Fixture fixture = MakePlantedFixture(301);
+  const std::string path = TempPath("file_v3.bin");
+  std::string error;
+  ASSERT_TRUE(
+      WriteStreamFile(fixture.stream, path, StreamFormat::kV3, &error))
+      << error;
+
+  engine::ShardedRunConfig in_memory = BaseConfig("kk", fixture.stream, 4);
+  engine::RunReport expected = engine::ExecuteSharded(in_memory);
+  ASSERT_TRUE(expected.completed) << expected.error;
+
+  engine::ShardedRunConfig from_file = in_memory;
+  from_file.base.source = engine::SourceSpec::File(path);
+  engine::RunReport report = engine::ExecuteSharded(from_file);
+  ASSERT_TRUE(report.completed) << report.error;
+  ExpectSameSolution(report, expected, "file");
+  EXPECT_EQ(report.sharded.max_message_words,
+            expected.sharded.max_message_words);
+  std::remove(path.c_str());
+}
+
+// The partitioner seam: a custom pure function routes sets differently
+// but the merged result must still be a valid cover, and its name is
+// enforced on resume.
+TEST(ShardedEngineTest, CustomPartitionerRunsAndGuardsResume) {
+  Fixture fixture = MakePlantedFixture(301);
+  engine::ShardedRunConfig config = BaseConfig("kk", fixture.stream, 3);
+  config.partitioner.name = "set-div";
+  config.partitioner.index = [](SetId s, uint32_t shards) {
+    return (s / 7) % shards;
+  };
+  config.base.validate = &fixture.instance;
+  engine::RunReport report = engine::ExecuteSharded(config);
+  ASSERT_TRUE(report.completed) << report.error;
+  EXPECT_TRUE(report.validation.ok) << report.validation.error;
+
+  // Write a checkpoint under the custom partitioner, then try to resume
+  // under the default one: refused, the cursors would replay the wrong
+  // slices.
+  const std::string path = TempPath("partitioner.scsh");
+  engine::ShardedRunConfig kill = config;
+  kill.base.validate = nullptr;
+  kill.base.checkpoint.path = path;
+  kill.base.checkpoint.every = 10;
+  kill.base.stop_after = 25;
+  ASSERT_TRUE(engine::ExecuteSharded(kill).error.empty());
+
+  engine::ShardedRunConfig wrong = kill;
+  wrong.base.stop_after = 0;
+  wrong.base.checkpoint.resume = true;
+  wrong.partitioner = engine::SetModuloPartitioner();
+  engine::RunReport refused = engine::ExecuteSharded(wrong);
+  EXPECT_FALSE(refused.completed);
+  EXPECT_NE(refused.error.find("partitioned by 'set-div'"),
+            std::string::npos)
+      << refused.error;
+  std::remove(path.c_str());
+}
+
+// Resuming a W=4 checkpoint at W=2 is refused — the slot cursors only
+// mean anything at the W they were written at.
+TEST(ShardedEngineTest, ResumeAtDifferentShardCountIsRefused) {
+  Fixture fixture = MakePlantedFixture(301);
+  const std::string path = TempPath("wrong_w.scsh");
+  engine::ShardedRunConfig kill = BaseConfig("kk", fixture.stream, 4);
+  kill.base.checkpoint.path = path;
+  kill.base.checkpoint.every = 10;
+  kill.base.stop_after = 25;
+  ASSERT_TRUE(engine::ExecuteSharded(kill).error.empty());
+
+  engine::ShardedRunConfig wrong = BaseConfig("kk", fixture.stream, 2);
+  wrong.base.checkpoint.path = path;
+  wrong.base.checkpoint.resume = true;
+  engine::RunReport refused = engine::ExecuteSharded(wrong);
+  EXPECT_FALSE(refused.completed);
+  EXPECT_NE(refused.error.find("4-shard run"), std::string::npos)
+      << refused.error;
+  std::remove(path.c_str());
+}
+
+// Non-shardable algorithms are rejected with the registry's actionable
+// diagnostic; a pre-built instance is rejected too (each shard must own
+// its algorithm object).
+TEST(ShardedEngineTest, RejectsNonShardableAndInstanceConfigs) {
+  Fixture fixture = MakePlantedFixture(301);
+  engine::ShardedRunConfig config =
+      BaseConfig("store-everything-greedy", fixture.stream, 2);
+  engine::RunReport report = engine::ExecuteSharded(config);
+  EXPECT_FALSE(report.completed);
+  EXPECT_NE(report.error.find("not shardable"), std::string::npos)
+      << report.error;
+  EXPECT_NE(report.error.find("kk"), std::string::npos) << report.error;
+
+  auto algorithm = MakeAlgorithmByName("kk", {.seed = 1});
+  engine::ShardedRunConfig with_instance = BaseConfig("", fixture.stream, 2);
+  with_instance.base.algorithm_instance = algorithm.get();
+  engine::RunReport rejected = engine::ExecuteSharded(with_instance);
+  EXPECT_FALSE(rejected.completed);
+  EXPECT_NE(rejected.error.find("registry algorithm name"),
+            std::string::npos)
+      << rejected.error;
+}
+
+// The "SCSH" aggregate format round-trips any combination of present
+// and missing slots, and rejects damaged bytes instead of resuming
+// from garbage.
+TEST(ShardedCheckpointTest, RoundTripAndDamageRejection) {
+  ShardedCheckpoint aggregate;
+  aggregate.shards = 3;
+  aggregate.partitioner = "set-mod";
+  aggregate.shard_states.resize(3);
+  Checkpoint slot;
+  slot.algorithm_name = "kk";
+  slot.meta = StreamMetadata{60, 80, 240};
+  slot.stream_position = 120;
+  slot.edges_delivered = 40;
+  slot.session_sequence = 7;
+  slot.state_words = {1, 2, 3, 0xdeadbeefULL};
+  aggregate.shard_states[0] = slot;
+  slot.stream_position = 121;
+  aggregate.shard_states[2] = slot;  // slot 1 stays missing
+
+  const std::string path = TempPath("roundtrip.scsh");
+  std::string error;
+  ASSERT_TRUE(SaveShardedCheckpoint(aggregate, path, &error)) << error;
+  std::optional<ShardedCheckpoint> loaded =
+      LoadShardedCheckpoint(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->shards, 3u);
+  EXPECT_EQ(loaded->partitioner, "set-mod");
+  ASSERT_EQ(loaded->shard_states.size(), 3u);
+  ASSERT_TRUE(loaded->shard_states[0].has_value());
+  EXPECT_FALSE(loaded->shard_states[1].has_value());
+  ASSERT_TRUE(loaded->shard_states[2].has_value());
+  EXPECT_EQ(loaded->shard_states[0]->stream_position, 120u);
+  EXPECT_EQ(loaded->shard_states[2]->stream_position, 121u);
+  EXPECT_EQ(loaded->shard_states[0]->state_words, slot.state_words);
+  EXPECT_EQ(loaded->shard_states[0]->session_sequence, 7u);
+
+  // Slot count must match the shard count on save.
+  ShardedCheckpoint lopsided = aggregate;
+  lopsided.shard_states.resize(2);
+  EXPECT_FALSE(SaveShardedCheckpoint(lopsided, path + ".bad", &error));
+
+  // Flip one byte in the middle: the CRC must reject the file.
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string bytes = buffer.str();
+  in.close();
+  ASSERT_GT(bytes.size(), 20u);
+  bytes[bytes.size() / 2] ^= 0x40;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), std::streamsize(bytes.size()));
+  out.close();
+  EXPECT_FALSE(LoadShardedCheckpoint(path, &error).has_value());
+  EXPECT_FALSE(error.empty());
+
+  // A single-run "SCKP" file is not a sharded checkpoint.
+  const std::string single_path = TempPath("single.sckp");
+  ASSERT_TRUE(SaveCheckpoint(slot, single_path, &error)) << error;
+  EXPECT_FALSE(LoadShardedCheckpoint(single_path, &error).has_value());
+
+  std::remove(path.c_str());
+  std::remove((path + ".bad").c_str());
+  std::remove(single_path.c_str());
+}
+
+}  // namespace
+}  // namespace setcover

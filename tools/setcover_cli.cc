@@ -14,15 +14,19 @@
 //
 //   solve     --instance instance.txt [--algorithm kk] [--order random]
 //             [--seed S] [--alpha A] [--runs R] [--threads T]
+//             [--shards W]
 //             Streams the instance through the chosen algorithm and
 //             reports cover size, ratio vs greedy/planted, peak words.
 //             --threads parallelizes the --runs copies (and the guesses
 //             of random-order-nguess); results are bit-identical to
-//             --threads=1.
+//             --threads=1. --shards W partitions the stream by set id
+//             across W workers merged through the deterministic t-party
+//             protocol (engine/sharded.h; requires a shardable
+//             algorithm, incompatible with --runs > 1).
 //
 //   solve-stream --stream stream.bin [--algorithm kk] [--seed S]
-//             [--threads T] [--no-prefetch] [--no-mmap] [--timings]
-//             [--checkpoint ckpt.sckp]
+//             [--threads T] [--shards W] [--no-prefetch] [--no-mmap]
+//             [--timings] [--checkpoint ckpt.sckp]
 //             [--checkpoint-every K] [--resume] [--stop-after K]
 //             Replays a binary stream file through the engine (no
 //             instance needed; validation is skipped since set contents
@@ -36,7 +40,12 @@
 //             and --no-mmap the zero-copy file mapping; both exist for
 //             benchmarking and debugging — results are bit-identical
 //             with any combination. --timings prints the engine's
-//             per-stage wall/CPU breakdown.
+//             per-stage wall/CPU breakdown. --shards W runs the sharded
+//             mode: W workers each stream their set-partitioned slice
+//             of the same (mmap-shared) file and the covers merge via
+//             the deterministic protocol; with --checkpoint the W
+//             cursors aggregate into one sidecar file and --resume
+//             restores all of them.
 //
 //   compare   --instance instance.txt [--order random] [--seed S]
 //             Runs *every* registered algorithm on the same stream and
@@ -48,7 +57,9 @@
 //   describe  (also: --describe, list --describe)
 //             Prints the self-describing registry: one row per
 //             algorithm with space class, approximation class,
-//             supported arrival orders, and a one-line description.
+//             supported arrival orders, the shardable capability
+//             (whether --shards may fan the algorithm out across the
+//             sharded execution mode), and a one-line description.
 //
 // All subcommands that run an algorithm are thin clients of
 // engine::Execute (src/engine/engine.h): they describe the run as a
@@ -106,6 +117,47 @@ std::optional<StreamOrder> ParseOrder(const std::string& name) {
   return std::nullopt;
 }
 
+/// Parses --shards and vets it against the registry's shardable
+/// capability. Returns the shard count, or -1 after printing the
+/// actionable rejection (NotShardableError lists the shardable names).
+int64_t ShardsFlag(const FlagSet& flags, const std::string& algorithm_name) {
+  const int64_t shards = flags.GetInt("shards", 1);
+  if (shards < 1) {
+    std::fprintf(stderr, "--shards must be >= 1\n");
+    return -1;
+  }
+  if (shards > 1) {
+    const AlgorithmInfo* info = FindAlgorithm(algorithm_name);
+    if (info != nullptr && !info->shardable) {
+      std::fprintf(stderr, "%s\n", NotShardableError(algorithm_name).c_str());
+      return -1;
+    }
+  }
+  return shards;
+}
+
+/// Prints the sharded-run summary lines shared by solve/solve-stream.
+void PrintShardStats(const engine::RunReport& report) {
+  if (report.sharded.shards <= 1) return;
+  std::printf("shards:      %u (merge tau %u: %llu threshold + %llu "
+              "patched sets, %.3fs)\n",
+              report.sharded.shards, report.sharded.merge_threshold,
+              static_cast<unsigned long long>(report.sharded.threshold_sets),
+              static_cast<unsigned long long>(report.sharded.patched_sets),
+              report.sharded.merge_seconds);
+  std::printf("merge msg:   %llu words (bound %llu)\n",
+              static_cast<unsigned long long>(
+                  report.sharded.max_message_words),
+              static_cast<unsigned long long>(
+                  report.sharded.message_words_bound));
+  std::string edges;
+  for (uint64_t e : report.sharded.shard_edges) {
+    if (!edges.empty()) edges += " ";
+    edges += std::to_string(e);
+  }
+  std::printf("shard edges: %s\n", edges.c_str());
+}
+
 int CmdList() {
   for (const std::string& name : RegisteredAlgorithmNames()) {
     std::printf("%s\n", name.c_str());
@@ -114,17 +166,17 @@ int CmdList() {
 }
 
 int CmdDescribe() {
-  std::printf("%-24s %-22s %-28s %s\n", "algorithm", "space", "approx",
-              "orders");
+  std::printf("%-24s %-22s %-28s %-10s %s\n", "algorithm", "space", "approx",
+              "shardable", "orders");
   for (const AlgorithmInfo& info : AlgorithmRegistry()) {
     std::string orders;
     for (const std::string& order : info.supported_orders) {
       if (!orders.empty()) orders += ",";
       orders += order;
     }
-    std::printf("%-24s %-22s %-28s %s\n", info.name.c_str(),
+    std::printf("%-24s %-22s %-28s %-10s %s\n", info.name.c_str(),
                 info.space_class.c_str(), info.approx_class.c_str(),
-                orders.c_str());
+                info.shardable ? "yes" : "no", orders.c_str());
     std::printf("    %s\n", info.description.c_str());
   }
   return 0;
@@ -252,18 +304,43 @@ int CmdSolve(const FlagSet& flags) {
   if (FindAlgorithm(algorithm_name) == nullptr) {
     return UnknownAlgorithm(algorithm_name);
   }
+  const int64_t shards = ShardsFlag(flags, algorithm_name);
+  if (shards < 0) return 2;
+  if (shards > 1 && runs > 1) {
+    std::fprintf(stderr,
+                 "--shards is incompatible with --runs > 1 (a sharded run "
+                 "is one logical run)\n");
+    return 2;
+  }
 
   Rng rng(seed ^ 0x9e3779b9);
   EdgeStream stream = OrderedStream(*instance, *order, rng);
 
   size_t total_peak = 0;
-  AlgorithmFactory factory = [&](uint64_t run_seed) {
-    AlgorithmOptions run_options = options;
-    run_options.seed = run_seed;
-    return MakeAlgorithmByName(algorithm_name, run_options);
-  };
-  CoverSolution solution = BestOfRuns(factory, std::max(1u, runs), seed,
-                                      stream, &total_peak, threads);
+  CoverSolution solution;
+  engine::RunReport sharded_report;
+  if (shards > 1) {
+    engine::RunConfig config;
+    config.algorithm = algorithm_name;
+    config.options = options;
+    config.source = engine::SourceSpec::InMemory(stream);
+    config.shards = static_cast<uint32_t>(shards);
+    sharded_report = engine::Execute(config);
+    if (!sharded_report.error.empty()) {
+      std::fprintf(stderr, "run failed: %s\n", sharded_report.error.c_str());
+      return 1;
+    }
+    solution = sharded_report.solution;
+    total_peak = sharded_report.peak_words;
+  } else {
+    AlgorithmFactory factory = [&](uint64_t run_seed) {
+      AlgorithmOptions run_options = options;
+      run_options.seed = run_seed;
+      return MakeAlgorithmByName(algorithm_name, run_options);
+    };
+    solution = BestOfRuns(factory, std::max(1u, runs), seed, stream,
+                          &total_peak, threads);
+  }
 
   ValidationResult check = ValidateSolution(*instance, solution);
   CoverSolution greedy = GreedyCover(*instance);
@@ -280,7 +357,10 @@ int CmdSolve(const FlagSet& flags) {
                 ApproxRatio(solution, instance->PlantedCover().size()));
   }
   std::printf("peak words:  %zu%s\n", total_peak,
-              runs > 1 ? " (summed over runs)" : "");
+              runs > 1   ? " (summed over runs)"
+              : shards > 1 ? " (summed over shards)"
+                           : "");
+  PrintShardStats(sharded_report);
   return check.ok ? 0 : 1;
 }
 
@@ -335,12 +415,16 @@ int CmdSolveStream(const FlagSet& flags) {
     return UnknownAlgorithm(algorithm_name);
   }
 
+  const int64_t shards = ShardsFlag(flags, algorithm_name);
+  if (shards < 0) return 2;
+
   engine::RunConfig config;
   config.algorithm = algorithm_name;
   config.options.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
   config.options.alpha = flags.GetDouble("alpha", 0.0);
   config.options.threads =
       static_cast<unsigned>(std::max<int64_t>(1, flags.GetInt("threads", 1)));
+  config.shards = static_cast<uint32_t>(shards);
 
   StreamReadOptions read_options;
   read_options.prefetch = !flags.GetBool("no-prefetch", false);
@@ -399,6 +483,7 @@ int CmdSolveStream(const FlagSet& flags) {
   }
   std::printf("peak words:  %zu\n", report.peak_words);
   std::printf("breakdown:   %s\n", report.meter_breakdown.c_str());
+  PrintShardStats(report);
   if (timings) {
     std::printf(
         "timings:     setup %.3fs, stream %.3fs (%llu batches), "

@@ -11,12 +11,21 @@
 //     crash-and-restart to exercise resume under real concurrency.
 //   --socket=/path: drives an external setcover_server daemon.
 //
+// With --shards=W each logical session fans out into W shard sessions,
+// mirroring the sharded engine's ingest side: the stream is partitioned
+// by set % W, shard w opens its own server session (seed + w, metadata
+// sized to its sub-stream) and ingests only its slice. Covers verify
+// against per-shard engine::Execute oracles, and the summary reports
+// per-shard ingest rates next to the aggregate. Algorithms cycle over
+// the shardable registry rows only (the server has no merge step; this
+// exercises the W-pipeline ingest path under real concurrency).
+//
 // Usage:
 //   setcover_loadgen [--sessions=256] [--clients=8] [--batch=64]
 //                    [--elements=60] [--sets=80] [--seed=1]
 //                    [--faults] [--workers=3] [--max-queue=128]
 //                    [--state-dir=DIR] [--kill-after-us=N]
-//                    [--socket=/path/to.sock]
+//                    [--socket=/path/to.sock] [--shards=W]
 //
 // Exit code 0 iff every session completed with an oracle-identical
 // cover.
@@ -67,6 +76,7 @@ int main(int argc, char** argv) {
   const std::string state_dir = flags.GetString("state-dir", "");
   const uint64_t kill_after_us =
       uint64_t(flags.GetInt("kill-after-us", 0));
+  const int64_t shards_flag = flags.GetInt("shards", 1);
 
   UniformRandomParams params;
   params.num_elements = uint32_t(flags.GetInt("elements", 60));
@@ -88,11 +98,31 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: --kill-after-us needs --state-dir\n");
     return 2;
   }
+  if (shards_flag < 1) {
+    std::fprintf(stderr, "error: --shards must be >= 1\n");
+    return 2;
+  }
+  const uint32_t shards = uint32_t(shards_flag);
 
   Rng rng(seed);
   SetCoverInstance instance = GenerateUniformRandom(params, rng);
   EdgeStream stream = OrderedStream(instance, StreamOrder::kRandom, rng);
-  const std::vector<std::string> names = RegisteredAlgorithmNames();
+  const std::vector<std::string> names =
+      shards > 1 ? ShardableAlgorithmNames() : RegisteredAlgorithmNames();
+
+  // Sharded mode: shard w's sub-stream is the edges with set % W == w,
+  // in arrival order, with metadata sized to the slice — exactly what
+  // the sharded engine's filter source would deliver it.
+  std::vector<EdgeStream> shard_streams(shards);
+  for (uint32_t w = 0; w < shards; ++w) {
+    shard_streams[w].meta = stream.meta;
+  }
+  for (const Edge& edge : stream.edges) {
+    shard_streams[edge.set % shards].edges.push_back(edge);
+  }
+  for (uint32_t w = 0; w < shards; ++w) {
+    shard_streams[w].meta.stream_length = shard_streams[w].edges.size();
+  }
 
   auto plan_for = [&](uint64_t id) {
     Plan plan;
@@ -103,27 +133,32 @@ int main(int argc, char** argv) {
     return plan;
   };
 
-  // Oracles, one per distinct plan.
+  // Oracles, one per distinct (plan, shard): each shard session must
+  // reproduce engine::Execute over its own sub-stream with its own
+  // derived seed.
   std::map<std::string, engine::RunReport> oracles;
-  auto oracle_key = [](const Plan& plan) {
-    std::string key = plan.algorithm + "/" + std::to_string(plan.seed);
+  auto oracle_key = [](const Plan& plan, uint32_t shard) {
+    std::string key = plan.algorithm + "/" + std::to_string(plan.seed) +
+                      "/w" + std::to_string(shard);
     if (plan.faults) key += "/f" + std::to_string(plan.faults->seed);
     return key;
   };
   for (uint64_t id = 1; id <= sessions; ++id) {
     const Plan plan = plan_for(id);
-    if (oracles.count(oracle_key(plan))) continue;
-    engine::RunConfig config;
-    config.algorithm = plan.algorithm;
-    config.options.seed = plan.seed;
-    config.source = engine::SourceSpec::InMemory(stream);
-    config.faults = plan.faults;
-    engine::RunReport report = engine::Execute(config);
-    if (!report.completed) {
-      std::fprintf(stderr, "oracle failed: %s\n", report.error.c_str());
-      return 1;
+    for (uint32_t w = 0; w < shards; ++w) {
+      if (oracles.count(oracle_key(plan, w))) continue;
+      engine::RunConfig config;
+      config.algorithm = plan.algorithm;
+      config.options.seed = plan.seed + w;
+      config.source = engine::SourceSpec::InMemory(shard_streams[w]);
+      config.faults = plan.faults;
+      engine::RunReport report = engine::Execute(config);
+      if (!report.completed) {
+        std::fprintf(stderr, "oracle failed: %s\n", report.error.c_str());
+        return 1;
+      }
+      oracles.emplace(oracle_key(plan, w), std::move(report));
     }
-    oracles.emplace(oracle_key(plan), std::move(report));
   }
 
   // Transport: external socket, or a self-hosted in-process server.
@@ -147,6 +182,7 @@ int main(int argc, char** argv) {
   std::atomic<uint64_t> failures{0};
   std::atomic<uint64_t> total_sheds{0};
   std::atomic<uint64_t> total_redials{0};
+  std::vector<std::atomic<uint64_t>> shard_edges(shards);
 
   std::vector<std::thread> threads;
   for (int t = 0; t < clients; ++t) {
@@ -161,35 +197,42 @@ int main(int argc, char** argv) {
 
       for (uint64_t id = uint64_t(t) + 1; id <= sessions; id += clients) {
         const Plan plan = plan_for(id);
-        server::OpenBody open;
-        open.algorithm = plan.algorithm;
-        open.seed = plan.seed;
-        open.meta = stream.meta;
-        open.checkpoint_every = state_dir.empty() ? 0 : 64;
-        open.faults = plan.faults;
+        // Each logical session fans out into one server session per
+        // shard, exactly like the sharded engine's worker pipelines.
+        for (uint32_t w = 0; w < shards; ++w) {
+          const uint64_t session_id = (id - 1) * shards + w + 1;
+          server::OpenBody open;
+          open.algorithm = plan.algorithm;
+          open.seed = plan.seed + w;
+          open.meta = shard_streams[w].meta;
+          open.checkpoint_every = state_dir.empty() ? 0 : 64;
+          open.faults = plan.faults;
 
-        server::Message reply;
-        std::string error;
-        bool done = false;
-        for (int attempt = 0; attempt < 100 && !done; ++attempt) {
-          done = server::RunSessionToCompletion(&client, id, open,
-                                                stream.edges, batch,
-                                                &reply, &error);
+          server::Message reply;
+          std::string error;
+          bool done = false;
+          for (int attempt = 0; attempt < 100 && !done; ++attempt) {
+            done = server::RunSessionToCompletion(&client, session_id, open,
+                                                  shard_streams[w].edges,
+                                                  batch, &reply, &error);
+          }
+          if (!done) {
+            std::fprintf(stderr, "session %llu failed: %s\n",
+                         (unsigned long long)session_id, error.c_str());
+            failures.fetch_add(1);
+            continue;
+          }
+          const engine::RunReport& expected =
+              oracles.at(oracle_key(plan, w));
+          if (reply.cover != ToU32(expected.solution.cover) ||
+              reply.certificate != ToU32(expected.solution.certificate)) {
+            std::fprintf(stderr, "session %llu: cover mismatch vs oracle\n",
+                         (unsigned long long)session_id);
+            mismatches.fetch_add(1);
+          }
+          shard_edges[w].fetch_add(shard_streams[w].edges.size());
+          completed.fetch_add(1);
         }
-        if (!done) {
-          std::fprintf(stderr, "session %llu failed: %s\n",
-                       (unsigned long long)id, error.c_str());
-          failures.fetch_add(1);
-          continue;
-        }
-        const engine::RunReport& expected = oracles.at(oracle_key(plan));
-        if (reply.cover != ToU32(expected.solution.cover) ||
-            reply.certificate != ToU32(expected.solution.certificate)) {
-          std::fprintf(stderr, "session %llu: cover mismatch vs oracle\n",
-                       (unsigned long long)id);
-          mismatches.fetch_add(1);
-        }
-        completed.fetch_add(1);
       }
       total_sheds.fetch_add(client.RetriesAfterShed());
       total_redials.fetch_add(client.Reconnects());
@@ -222,8 +265,20 @@ int main(int argc, char** argv) {
       (unsigned long long)mismatches.load(),
       (unsigned long long)total_sheds.load(),
       (unsigned long long)total_redials.load(), seconds);
+  if (shards > 1) {
+    uint64_t total_edges = 0;
+    for (uint32_t w = 0; w < shards; ++w) {
+      const uint64_t edges = shard_edges[w].load();
+      total_edges += edges;
+      std::printf("shard %u: %llu edges ingested, %.2f M edges/s\n", w,
+                  (unsigned long long)edges, edges / seconds / 1e6);
+    }
+    std::printf("aggregate: %llu edges over %u shards, %.2f M edges/s\n",
+                (unsigned long long)total_edges, shards,
+                total_edges / seconds / 1e6);
+  }
   const bool ok =
-      completed.load() == sessions && mismatches.load() == 0 &&
+      completed.load() == sessions * shards && mismatches.load() == 0 &&
       failures.load() == 0;
   std::printf("%s\n", ok ? "OK: all covers bit-identical to the oracle"
                          : "FAILED");
