@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Records the performance baseline: builds the benchmark binaries in a
-# Release configuration and runs bench_throughput (and bench_scaling)
-# with --benchmark_format=json, writing BENCH_throughput.json and
-# BENCH_scaling.json at the repo root. Each file's context block is
+# Release configuration and runs bench_throughput, bench_scaling, and
+# bench_server_ingest with --benchmark_format=json, writing
+# BENCH_throughput.json, BENCH_scaling.json, and BENCH_server_ingest.json
+# at the repo root. Each file's context block is
 # stamped with the CMake build type and the git SHA it was recorded at,
 # so a baseline from an unoptimized build (or an unknown tree) can
 # never silently become the perf gate — check.sh --bench-smoke verifies
@@ -24,7 +25,8 @@ cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build build-release -j "$JOBS" --target bench_throughput bench_scaling
+cmake --build build-release -j "$JOBS" \
+  --target bench_throughput bench_scaling bench_server_ingest
 
 BUILD_TYPE=$(sed -n 's/^CMAKE_BUILD_TYPE:[A-Z]*=//p' \
   build-release/CMakeCache.txt)
@@ -47,12 +49,19 @@ build-release/bench/bench_scaling \
   --benchmark_out=BENCH_scaling.json \
   --benchmark_out_format=json
 
+echo "== bench_server_ingest -> BENCH_server_ingest.json =="
+build-release/bench/bench_server_ingest \
+  --benchmark_format=json \
+  --benchmark_out=BENCH_server_ingest.json \
+  --benchmark_out_format=json
+
 echo "== stamping build type ($BUILD_TYPE) + git sha ($GIT_SHA) =="
 python3 - "$BUILD_TYPE" "$GIT_SHA" <<'EOF'
 import json, sys
 
 build_type, git_sha = sys.argv[1], sys.argv[2]
-for path in ("BENCH_throughput.json", "BENCH_scaling.json"):
+for path in ("BENCH_throughput.json", "BENCH_scaling.json",
+             "BENCH_server_ingest.json"):
     with open(path) as f:
         doc = json.load(f)
     # The harness stamps its own build type (minibench compiles with the
@@ -70,4 +79,4 @@ for path in ("BENCH_throughput.json", "BENCH_scaling.json"):
         f.write("\n")
 EOF
 
-echo "== baseline written: BENCH_throughput.json BENCH_scaling.json =="
+echo "== baseline written: BENCH_throughput.json BENCH_scaling.json BENCH_server_ingest.json =="

@@ -7,10 +7,15 @@
 # With --bench-smoke, instead run the perf-path smoke checks:
 #   1. Release build + a short bench_throughput run (catches benchmarks
 #      that crash or regress to zero without paying for a full baseline),
-#      then a perf gate: every file-replay row and the bucket-queue
-#      greedy kernel row must sustain at least 0.7x the edges/s recorded
-#      in the committed BENCH_throughput.json, so a read-pipeline or
-#      offline-kernel regression fails CI instead of silently shipping.
+#      then a perf gate: every file-replay row, the bucket-queue greedy
+#      kernel row, and every transport-ingest row (bench_server_ingest's
+#      {local,unix,shm} x batch x window matrix) must sustain at least
+#      0.7x the edges/s recorded in the committed BENCH_throughput.json
+#      / BENCH_server_ingest.json, so a read-pipeline, offline-kernel,
+#      or server-transport regression fails CI instead of silently
+#      shipping. The gate re-measures up to 3 times before failing:
+#      shared-host steal time depresses whole runs at once, and only a
+#      code-caused regression survives re-measurement.
 #      Both sides of that comparison must be Release: the gate prints
 #      the build type of build-release/ and of the committed baseline
 #      and refuses to compare anything else,
@@ -24,11 +29,13 @@
 #      TSan (-DSETCOVER_TSAN=ON), so the engine-backed parallel drivers
 #      and the server's scheduler/drain paths are race-checked.
 #
-# Both modes start with two layering guards: outside src/engine/ (and
-# the contract's own definition sites), production code must not drive
+# Both modes start with layering guards: outside src/engine/ (and the
+# contract's own definition sites), production code must not drive
 # ProcessEdgeBatch directly — every run path goes through the engine —
-# and src/server/ must stay a pure engine client (no includes of the
-# core/instance/algorithm layers).
+# src/server/ must stay a pure engine client (no includes of the
+# core/instance/algorithm layers), and raw shared-memory plumbing
+# (memfd_create / SCM_RIGHTS fd passing) stays confined to
+# src/util/shm_ring.* and src/server/transport.*.
 #
 # Usage: scripts/check.sh [--bench-smoke] [jobs]
 set -euo pipefail
@@ -99,6 +106,22 @@ if [[ -n "$PROTO_HITS" ]]; then
   echo "merge per-shard covers via engine::ExecuteSharded (see docs/architecture.md)"
   exit 1
 fi
+# Raw shared-memory plumbing (memfd creation, fd passing over sockets)
+# stays inside the ring primitive and the transport that negotiates it.
+# Everything else — client, server, loadgen, benches — speaks
+# Connection/ShmRing and never sees an fd, so the cross-process safety
+# argument lives in exactly two reviewed files. (mmap is NOT guarded:
+# stream/mmap_file.cc uses it legitimately for read-only replay.)
+SHM_HITS=$(grep -rnE 'memfd_create|shm_open|SCM_RIGHTS' \
+  src/ tools/ examples/ \
+  --exclude=shm_ring.h --exclude=shm_ring.cc \
+  --exclude=transport.h --exclude=transport.cc || true)
+if [[ -n "$SHM_HITS" ]]; then
+  echo "$SHM_HITS"
+  echo "layering guard: raw shm/fd-passing calls outside src/util/shm_ring.*"
+  echo "and src/server/transport.*; use ShmRing / ConnectShm instead"
+  exit 1
+fi
 echo "layering guard: clean"
 
 BENCH_SMOKE=0
@@ -123,65 +146,96 @@ if [[ "$BENCH_SMOKE" == "1" ]]; then
     echo "delete build-release/ and re-run (it must be -DCMAKE_BUILD_TYPE=Release)"
     exit 1
   fi
-  BASELINE_TYPE=$(python3 -c 'import json; print(json.load(open(
-    "BENCH_throughput.json")).get("context", {}).get(
-    "cmake_build_type", "<unstamped>"))')
-  echo "bench smoke: committed baseline build type: $BASELINE_TYPE"
-  if [[ "$BASELINE_TYPE" != "Release" ]]; then
-    echo "bench smoke: BENCH_throughput.json was not recorded from a Release"
-    echo "build; refresh it with scripts/bench_baseline.sh before gating"
-    exit 1
-  fi
-  # The benchmark *library* must be a release build too — a debug
-  # harness (the distro's prebuilt libbenchmark) distorts per-iteration
-  # overhead. The harness stamps library_build_type itself, so both the
-  # committed baseline and the fresh smoke run carry the proof.
-  BASELINE_LIB=$(python3 -c 'import json; print(json.load(open(
-    "BENCH_throughput.json")).get("context", {}).get(
-    "library_build_type", "<unstamped>"))')
-  echo "bench smoke: committed baseline library build type: $BASELINE_LIB"
-  if [[ "$BASELINE_LIB" != "release" ]]; then
-    echo "bench smoke: BENCH_throughput.json was recorded through a"
-    echo "non-release benchmark library; refresh it with scripts/bench_baseline.sh"
-    exit 1
-  fi
+  for BASELINE_FILE in BENCH_throughput.json BENCH_server_ingest.json; do
+    BASELINE_TYPE=$(python3 -c 'import json, sys; print(json.load(open(
+      sys.argv[1])).get("context", {}).get(
+      "cmake_build_type", "<unstamped>"))' "$BASELINE_FILE")
+    echo "bench smoke: $BASELINE_FILE build type: $BASELINE_TYPE"
+    if [[ "$BASELINE_TYPE" != "Release" ]]; then
+      echo "bench smoke: $BASELINE_FILE was not recorded from a Release"
+      echo "build; refresh it with scripts/bench_baseline.sh before gating"
+      exit 1
+    fi
+    # The benchmark *library* must be a release build too — a debug
+    # harness (the distro's prebuilt libbenchmark) distorts per-iteration
+    # overhead. The harness stamps library_build_type itself, so both the
+    # committed baseline and the fresh smoke run carry the proof.
+    BASELINE_LIB=$(python3 -c 'import json, sys; print(json.load(open(
+      sys.argv[1])).get("context", {}).get(
+      "library_build_type", "<unstamped>"))' "$BASELINE_FILE")
+    echo "bench smoke: $BASELINE_FILE library build type: $BASELINE_LIB"
+    if [[ "$BASELINE_LIB" != "release" ]]; then
+      echo "bench smoke: $BASELINE_FILE was recorded through a"
+      echo "non-release benchmark library; refresh it with scripts/bench_baseline.sh"
+      exit 1
+    fi
+  done
 
-  cmake --build build-release -j "$JOBS" --target bench_throughput
+  cmake --build build-release -j "$JOBS" \
+    --target bench_throughput bench_server_ingest
   build-release/bench/bench_throughput --benchmark_min_time=0.01
 
-  echo "== bench smoke: file-replay + greedy + ingest-ceiling perf gate vs BENCH_throughput.json =="
-  build-release/bench/bench_throughput \
-    '--benchmark_filter=FileReplay|BM_GreedyCover/|IngestCeiling|ShardedIngest' \
-    --benchmark_format=json >/tmp/setcover_replay_smoke.json
-  SMOKE_LIB=$(python3 -c 'import json; print(json.load(open(
-    "/tmp/setcover_replay_smoke.json")).get("context", {}).get(
-    "library_build_type", "<unstamped>"))')
-  if [[ "$SMOKE_LIB" != "release" ]]; then
-    echo "bench smoke: the fresh smoke run used a non-release benchmark"
-    echo "library ($SMOKE_LIB); rebuild build-release/ against minibench"
-    exit 1
-  fi
-  python3 - <<'EOF'
+  echo "== bench smoke: file-replay + greedy + ingest-ceiling + transport-ingest perf gate =="
+  # On a shared single-vCPU host, steal time can depress *every* row of
+  # a run by 30%+ at once — a one-shot measurement would flake. A true
+  # (code-caused) regression survives re-measurement, transient host
+  # noise does not: the gate re-runs the benches up to 3 times and only
+  # fails if every attempt has a row below the floor.
+  GATE_OK=0
+  for GATE_ATTEMPT in 1 2 3; do
+    build-release/bench/bench_throughput \
+      '--benchmark_filter=FileReplay|BM_GreedyCover/|IngestCeiling|ShardedIngest' \
+      --benchmark_format=json >/tmp/setcover_replay_smoke.json
+    # The server ingest matrix runs as its own binary: a full session
+    # per iteration (open/ingest/finalize/close) against a live server,
+    # so a transport or windowing regression fails the same 0.7x gate
+    # as the read-pipeline rows.
+    build-release/bench/bench_server_ingest \
+      '--benchmark_filter=BM_TransportIngest' \
+      --benchmark_format=json >/tmp/setcover_ingest_smoke.json
+    for SMOKE_FILE in /tmp/setcover_replay_smoke.json \
+                      /tmp/setcover_ingest_smoke.json; do
+      SMOKE_LIB=$(python3 -c 'import json, sys; print(json.load(open(
+        sys.argv[1])).get("context", {}).get(
+        "library_build_type", "<unstamped>"))' "$SMOKE_FILE")
+      if [[ "$SMOKE_LIB" != "release" ]]; then
+        echo "bench smoke: the fresh smoke run $SMOKE_FILE used a non-release"
+        echo "benchmark library ($SMOKE_LIB); rebuild build-release/ against minibench"
+        exit 1
+      fi
+    done
+    if python3 - <<'EOF'
 import json, sys
 
 FLOOR = 0.7  # fail if a row drops below this fraction of the baseline
 GATED = ("file-replay/", "greedy/bucket-queue", "ingest-ceiling/",
-         "sharded-ingest/")
+         "sharded-ingest/", "transport-ingest/")
 
-def replay_rows(path):
-    doc = json.load(open(path))
-    rows = {}
-    for bench in doc["benchmarks"]:
-        label = bench.get("label", "")
-        if label.startswith(GATED):
-            rows[label] = bench
-    return rows, doc.get("context", {}).get("num_cpus")
+def replay_rows(*paths):
+    # Merge the gated rows from several benchmark JSON files (the
+    # read-pipeline matrix and the server ingest matrix are separate
+    # binaries but share one gate). Labels are disjoint by prefix.
+    rows, cpus = {}, None
+    for path in paths:
+        doc = json.load(open(path))
+        for bench in doc["benchmarks"]:
+            label = bench.get("label", "")
+            if label.startswith(GATED):
+                rows[label] = bench
+        cpus = doc.get("context", {}).get("num_cpus", cpus)
+    return rows, cpus
 
-baseline, base_cpus = replay_rows("BENCH_throughput.json")
-current, cur_cpus = replay_rows("/tmp/setcover_replay_smoke.json")
+baseline, base_cpus = replay_rows("BENCH_throughput.json",
+                                  "BENCH_server_ingest.json")
+current, cur_cpus = replay_rows("/tmp/setcover_replay_smoke.json",
+                                "/tmp/setcover_ingest_smoke.json")
 if not baseline:
-    sys.exit("perf gate: no gated rows in BENCH_throughput.json; "
-             "refresh the baseline with scripts/bench_baseline.sh")
+    sys.exit("perf gate: no gated rows in the committed baselines; "
+             "refresh them with scripts/bench_baseline.sh")
+if not any(label.startswith("transport-ingest/") for label in baseline):
+    sys.exit("perf gate: no transport-ingest/ rows in "
+             "BENCH_server_ingest.json; refresh it with "
+             "scripts/bench_baseline.sh")
 failed = False
 for label, base_row in sorted(baseline.items()):
     base_eps = base_row["items_per_second"]
@@ -211,6 +265,18 @@ for label, base_row in sorted(baseline.items()):
 if failed:
     sys.exit(f"perf gate: a gated row fell below {FLOOR}x the committed baseline")
 EOF
+    then
+      GATE_OK=1
+      break
+    fi
+    echo "perf gate: attempt $GATE_ATTEMPT/3 had a row below the floor;"
+    echo "re-measuring (transient host noise passes a retry, a real"
+    echo "regression keeps failing)"
+  done
+  if [[ "$GATE_OK" != "1" ]]; then
+    echo "perf gate: rows stayed below the floor across all 3 attempts"
+    exit 1
+  fi
 
   echo "== bench smoke: engine equivalence + stream formats + offline kernels + wire protocol + SIMD kernels under ASan+UBSan (build-asan/) =="
   cmake -B build-asan -S . -DSETCOVER_SANITIZE=ON >/dev/null
@@ -218,7 +284,8 @@ EOF
     --target engine_equivalence_test batch_equivalence_test \
              stream_format_test greedy_kernel_test instance_test \
              bitset_test wire_protocol_test engine_session_test \
-             simd_kernel_test simd_dispatch_test sharded_engine_test
+             simd_kernel_test simd_dispatch_test sharded_engine_test \
+             shm_ring_test transport_framing_test windowed_ingest_test
   build-asan/tests/engine_equivalence_test
   # The sharded runner's W=1 bit-identity, protocol bounds, and
   # aggregate-checkpoint resume, with ASan watching the merge's
@@ -233,6 +300,13 @@ EOF
   # truncation, oversize) and the ingest-session engine driver.
   build-asan/tests/wire_protocol_test
   build-asan/tests/engine_session_test
+  # The shm ring's wrap-around framing and poisoned-header refusal, the
+  # byte-at-a-time transport fragmentation sweep, and the windowed
+  # ingest's bit-identity + mid-window crash resync — ASan watches the
+  # shared mapping's bounds and every scatter-gather copy.
+  build-asan/tests/shm_ring_test
+  build-asan/tests/transport_framing_test
+  build-asan/tests/windowed_ingest_test
   # The SIMD kernel layer: every tier's kernels against the scalar
   # reference (gathers read out-of-order, so ASan watches the lanes),
   # the cross-tier full-run differentials, and one forced-scalar pass of
@@ -247,7 +321,7 @@ EOF
   cmake --build build-tsan -j "$JOBS" \
     --target thread_pool_test multi_run_test batch_equivalence_test \
              prefetch_decoder_test session_server_test session_soak_test \
-             sharded_engine_test
+             sharded_engine_test shm_ring_test windowed_ingest_test
   build-tsan/tests/thread_pool_test
   build-tsan/tests/multi_run_test
   build-tsan/tests/batch_equivalence_test
@@ -260,6 +334,11 @@ EOF
   # mutex-guarded aggregate-checkpoint sink — the sharded runner's
   # equivalence + kill-and-resume suite doubles as its race soak.
   build-tsan/tests/sharded_engine_test
+  # The shm ring's acquire/release cursor protocol under a real
+  # producer/consumer pair, and the windowed client racing its in-flight
+  # frames against a multi-worker server's per-connection tickets.
+  build-tsan/tests/shm_ring_test
+  build-tsan/tests/windowed_ingest_test
 
   echo "== bench smoke passed =="
   exit 0

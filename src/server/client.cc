@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <deque>
 #include <thread>
 #include <utility>
 
@@ -41,7 +42,9 @@ bool SessionClient::EnsureConnected(ExponentialBackoff* retry,
 
 bool SessionClient::Call(const Message& request, MessageType expect,
                          Message* reply, std::string* error) {
-  const std::vector<uint8_t> payload = EncodeMessage(request);
+  // Encoded once into the member arena; retries re-send the same bytes
+  // and steady-state calls allocate nothing.
+  EncodeMessage(request, &send_buffer_);
   ExponentialBackoff retry(options_.backoff);
   for (;;) {
     if (!EnsureConnected(&retry, error)) return false;
@@ -49,7 +52,7 @@ bool SessionClient::Call(const Message& request, MessageType expect,
     // (server crash, drain teardown). Drop it and redial — idempotent
     // ops make the blind re-send safe even when the server applied the
     // request but the reply was lost.
-    if (!connection_->Send(payload) ||
+    if (!connection_->Send(send_buffer_) ||
         !connection_->Receive(&receive_buffer_)) {
       connection_.reset();
       uint64_t delay_us = 0;
@@ -150,11 +153,97 @@ bool SessionClient::Close(uint64_t session_id, Message* reply,
   return Call(request, MessageType::kCloseOk, reply, error);
 }
 
+WindowOutcome SessionClient::StreamWindow(
+    uint64_t session_id, std::span<const Edge> edges, size_t batch_edges,
+    uint64_t total_batches, uint64_t* next_sequence, size_t window,
+    const std::function<void(uint64_t micros)>& ingest_latency,
+    std::string* error) {
+  using Clock = std::chrono::steady_clock;
+  ExponentialBackoff retry(options_.backoff);
+  if (!EnsureConnected(&retry, error)) return WindowOutcome::kFailed;
+
+  struct InFlight {
+    uint64_t sequence;
+    Clock::time_point sent;
+  };
+  std::deque<InFlight> in_flight;
+  size_t awaiting_replies = 0;  // one reply owed per frame sent
+
+  // Any disruption collapses to the same move: drop the connection
+  // (its in-flight replies die with it — they can never be mistaken
+  // for a later op's reply) and let the caller re-Open. The durable
+  // cursor plus exactly-once ingest make the blind refill safe.
+  auto disrupt = [&] {
+    connection_.reset();
+    return WindowOutcome::kResync;
+  };
+
+  uint64_t& next = *next_sequence;
+  while (next <= total_batches || awaiting_replies > 0) {
+    // Fill the window: stream frames without waiting for replies.
+    while (next <= total_batches && in_flight.size() < window) {
+      const size_t begin = size_t(next - 1) * batch_edges;
+      const size_t count = std::min(batch_edges, edges.size() - begin);
+      EncodeIngest(session_id, next, edges.subspan(begin, count),
+                   &send_buffer_);
+      if (!connection_->Send(send_buffer_)) return disrupt();
+      in_flight.push_back({next, Clock::now()});
+      ++awaiting_replies;
+      ++next;
+    }
+
+    // Drain one reply; its cumulative ack may retire many batches.
+    if (!connection_->Receive(&receive_buffer_)) return disrupt();
+    --awaiting_replies;
+    std::string decode_error;
+    std::optional<Message> reply =
+        DecodeMessage(receive_buffer_, &decode_error);
+    if (!reply) return disrupt();
+    if (reply->type == MessageType::kRetryAfter) {
+      // Shed mid-window: later in-flight frames were likely shed too.
+      // Waiting is the re-Open's job (it retries with backoff against
+      // the same shedding server).
+      ++sheds_seen_;
+      return disrupt();
+    }
+    if (reply->type != MessageType::kIngestOk) {
+      // kError here is usually the sequence gap a crash-recovered
+      // server reports for frames beyond its restored cursor.
+      return disrupt();
+    }
+    while (!in_flight.empty() &&
+           in_flight.front().sequence <= reply->last_sequence) {
+      if (ingest_latency) {
+        const auto waited = Clock::now() - in_flight.front().sent;
+        ingest_latency(uint64_t(
+            std::chrono::duration_cast<std::chrono::microseconds>(waited)
+                .count()));
+      }
+      in_flight.pop_front();
+    }
+  }
+  // Every reply is in and the connection is clean for the finalize.
+  return in_flight.empty() ? WindowOutcome::kCompleted : disrupt();
+}
+
 bool RunSessionToCompletion(SessionClient* client, uint64_t session_id,
                             const OpenBody& open,
                             std::span<const Edge> edges, size_t batch_edges,
                             Message* finalize_reply, std::string* error) {
-  if (batch_edges == 0) batch_edges = 1;
+  RunSessionOptions options;
+  options.batch_edges = batch_edges;
+  return RunSessionToCompletion(client, session_id, open, edges, options,
+                                finalize_reply, error);
+}
+
+bool RunSessionToCompletion(SessionClient* client, uint64_t session_id,
+                            const OpenBody& open,
+                            std::span<const Edge> edges,
+                            const RunSessionOptions& options,
+                            Message* finalize_reply, std::string* error) {
+  using Clock = std::chrono::steady_clock;
+  const size_t batch_edges = std::max<size_t>(options.batch_edges, 1);
+  const size_t window = std::max<size_t>(options.window, 1);
   const uint64_t total_batches =
       (edges.size() + batch_edges - 1) / batch_edges;
 
@@ -166,12 +255,41 @@ bool RunSessionToCompletion(SessionClient* client, uint64_t session_id,
   // batches than its last checkpoint recorded; the durable cursor from
   // Open is authoritative either way.
   size_t resyncs = 0;
+  auto resync = [&]() -> bool {
+    if (++resyncs > 64) {
+      if (error != nullptr) *error = "session resync did not converge";
+      return false;
+    }
+    if (!client->Open(session_id, open, &reply, error)) return false;
+    next = reply.last_sequence + 1;
+    return true;
+  };
+
   for (;;) {
     while (next <= total_batches) {
+      if (window > 1) {
+        const WindowOutcome outcome = client->StreamWindow(
+            session_id, edges, batch_edges, total_batches, &next, window,
+            options.ingest_latency, error);
+        if (outcome == WindowOutcome::kFailed) return false;
+        if (outcome == WindowOutcome::kCompleted) continue;  // exits loop
+        if (!resync()) return false;
+        continue;
+      }
+      // Strict request–response (window == 1): the original loop,
+      // byte-for-byte — each batch fully acked before the next send.
       const size_t begin = size_t(next - 1) * batch_edges;
       const size_t count = std::min(batch_edges, edges.size() - begin);
+      const Clock::time_point sent =
+          options.ingest_latency ? Clock::now() : Clock::time_point();
       if (client->Ingest(session_id, next, edges.subspan(begin, count),
                          &reply, error)) {
+        if (options.ingest_latency) {
+          options.ingest_latency(uint64_t(
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  Clock::now() - sent)
+                  .count()));
+        }
         next = std::max<uint64_t>(reply.last_sequence, next) + 1;
         continue;
       }
@@ -179,12 +297,7 @@ bool RunSessionToCompletion(SessionClient* client, uint64_t session_id,
       // error after the server lost unflushed state in a crash).
       // Re-attach to learn the durable cursor and resume from there;
       // if even Open fails, the failure is real.
-      if (++resyncs > 64) {
-        if (error != nullptr) *error = "session resync did not converge";
-        return false;
-      }
-      if (!client->Open(session_id, open, &reply, error)) return false;
-      next = reply.last_sequence + 1;
+      if (!resync()) return false;
     }
 
     // Fence the finalize on the full cursor. If the server crashed
@@ -194,12 +307,7 @@ bool RunSessionToCompletion(SessionClient* client, uint64_t session_id,
     // truncated stream.
     if (client->Finalize(session_id, total_batches, finalize_reply, error))
       return true;
-    if (++resyncs > 64) {
-      if (error != nullptr) *error = "session resync did not converge";
-      return false;
-    }
-    if (!client->Open(session_id, open, &reply, error)) return false;
-    next = reply.last_sequence + 1;
+    if (!resync()) return false;
   }
 }
 

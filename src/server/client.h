@@ -38,6 +38,14 @@ struct ClientOptions {
 /// kError replies are deterministic rejections and are returned to the
 /// caller immediately, not retried.
 ///
+/// Outcome of one windowed streaming attempt (StreamWindow).
+enum class WindowOutcome {
+  kCompleted,  // every remaining batch is sent and cumulatively acked
+  kResync,     // disruption mid-window: re-Open to learn the durable
+               // cursor, then refill from there
+  kFailed,     // dial budget exhausted — the failure is real
+};
+
 /// Not thread-safe; give each client thread its own SessionClient.
 class SessionClient {
  public:
@@ -65,6 +73,25 @@ class SessionClient {
   bool Stats(uint64_t session_id, Message* reply, std::string* error);
   bool Close(uint64_t session_id, Message* reply, std::string* error);
 
+  /// The pipelined ingest fast path: streams batches
+  /// [*next_sequence, total_batches] keeping up to `window` un-acked
+  /// frames in flight, encoding each straight from `edges` with
+  /// EncodeIngest (no per-batch Message or allocation). Acks are
+  /// cumulative — one kIngestOk retires every in-flight batch up to its
+  /// last_sequence, invoking `ingest_latency` (optional) with each
+  /// batch's send-to-ack microseconds. On kCompleted, *next_sequence is
+  /// total_batches + 1. Any disruption — torn link, shed, or a kError
+  /// such as the sequence gap a crashed server induces — drops the
+  /// connection (discarding in-flight replies with it) and returns
+  /// kResync: the caller re-Opens, resets *next_sequence from the
+  /// durable cursor, and calls again; exactly-once ingest makes the
+  /// overlap safe.
+  WindowOutcome StreamWindow(
+      uint64_t session_id, std::span<const Edge> edges, size_t batch_edges,
+      uint64_t total_batches, uint64_t* next_sequence, size_t window,
+      const std::function<void(uint64_t micros)>& ingest_latency,
+      std::string* error);
+
   /// Times the client was asked to shed (kRetryAfter replies seen) and
   /// times it redialed — the overload test's observables.
   uint64_t RetriesAfterShed() const { return sheds_seen_; }
@@ -79,9 +106,25 @@ class SessionClient {
   Dialer dial_;
   ClientOptions options_;
   std::unique_ptr<Connection> connection_;
+  std::vector<uint8_t> send_buffer_;  // encode arena, reused per call
   std::vector<uint8_t> receive_buffer_;
   uint64_t sheds_seen_ = 0;
   uint64_t reconnects_ = 0;
+};
+
+/// Tuning for RunSessionToCompletion.
+struct RunSessionOptions {
+  size_t batch_edges = 4096;
+
+  /// Un-acked ingest batches kept in flight. 1 (the default) is the
+  /// strict request–response loop — bit-for-bit the pre-windowing
+  /// behavior; larger windows pipeline sends through StreamWindow and
+  /// rely on cumulative acks.
+  size_t window = 1;
+
+  /// Optional per-batch send-to-ack latency observer (microseconds);
+  /// feeds the loadgen histogram. Runs on the calling thread.
+  std::function<void(uint64_t micros)> ingest_latency;
 };
 
 /// Drives one whole session to its cover: open (or re-attach), stream
@@ -95,6 +138,16 @@ class SessionClient {
 bool RunSessionToCompletion(SessionClient* client, uint64_t session_id,
                             const OpenBody& open,
                             std::span<const Edge> edges, size_t batch_edges,
+                            Message* finalize_reply, std::string* error);
+
+/// Same, with windowed pipelining and latency observation. The crash
+/// resync generalizes to mid-window disruptions: any failure re-Opens
+/// to learn the durable cursor and refills from there, whether one
+/// batch or a whole window was outstanding.
+bool RunSessionToCompletion(SessionClient* client, uint64_t session_id,
+                            const OpenBody& open,
+                            std::span<const Edge> edges,
+                            const RunSessionOptions& options,
                             Message* finalize_reply, std::string* error);
 
 }  // namespace server

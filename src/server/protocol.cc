@@ -1,5 +1,6 @@
 #include "server/protocol.h"
 
+#include <bit>
 #include <cstring>
 
 #include "util/crc32.h"
@@ -33,6 +34,27 @@ void PutU32Vector(std::vector<uint8_t>* out,
                   const std::vector<uint32_t>& values) {
   PutU32(out, uint32_t(values.size()));
   for (uint32_t v : values) PutU32(out, v);
+}
+
+// An Edge is two packed little-endian u32s on the wire — on a
+// little-endian host that is exactly its in-memory layout, so whole
+// batches move with one memcpy instead of per-field byte loops. The
+// big-endian fallback keeps the wire format identical.
+static_assert(sizeof(Edge) == 8, "Edge wire layout assumes two packed u32s");
+
+void PutEdges(std::vector<uint8_t>* out, std::span<const Edge> edges) {
+  PutU32(out, uint32_t(edges.size()));
+  if (edges.empty()) return;
+  if constexpr (std::endian::native == std::endian::little) {
+    const size_t at = out->size();
+    out->resize(at + edges.size() * sizeof(Edge));
+    std::memcpy(out->data() + at, edges.data(), edges.size() * sizeof(Edge));
+  } else {
+    for (const Edge& edge : edges) {
+      PutU32(out, edge.set);
+      PutU32(out, edge.element);
+    }
+  }
 }
 
 /// Bounds-checked little-endian cursor (the checkpoint loader's
@@ -147,6 +169,13 @@ engine::SessionStats DecodeSessionStats(Cursor* in) {
 
 std::vector<uint8_t> EncodeMessage(const Message& message) {
   std::vector<uint8_t> out;
+  EncodeMessage(message, &out);
+  return out;
+}
+
+void EncodeMessage(const Message& message, std::vector<uint8_t>* out_ptr) {
+  std::vector<uint8_t>& out = *out_ptr;
+  out.clear();
   PutU8(&out, uint8_t(message.type));
   PutU64(&out, message.session_id);
   switch (message.type) {
@@ -170,11 +199,7 @@ std::vector<uint8_t> EncodeMessage(const Message& message) {
       break;
     case MessageType::kIngest:
       PutU64(&out, message.sequence);
-      PutU32(&out, uint32_t(message.edges.size()));
-      for (const Edge& edge : message.edges) {
-        PutU32(&out, edge.set);
-        PutU32(&out, edge.element);
-      }
+      PutEdges(&out, message.edges);
       break;
     case MessageType::kFinalize:
       // The fence: the cursor the client believes the session is at.
@@ -234,7 +259,17 @@ std::vector<uint8_t> EncodeMessage(const Message& message) {
       break;
   }
   PutU32(&out, Crc32c(out.data(), out.size()));
-  return out;
+}
+
+void EncodeIngest(uint64_t session_id, uint64_t sequence,
+                  std::span<const Edge> edges, std::vector<uint8_t>* out_ptr) {
+  std::vector<uint8_t>& out = *out_ptr;
+  out.clear();
+  PutU8(&out, uint8_t(MessageType::kIngest));
+  PutU64(&out, session_id);
+  PutU64(&out, sequence);
+  PutEdges(&out, edges);
+  PutU32(&out, Crc32c(out.data(), out.size()));
 }
 
 std::optional<Message> DecodeMessage(const std::vector<uint8_t>& payload,
@@ -282,12 +317,21 @@ std::optional<Message> DecodeMessage(const std::vector<uint8_t>& payload,
           in.pos + size_t(count) * 8 > in.size) {
         return fail("malformed ingest batch");
       }
-      message.edges.reserve(count);
-      for (uint32_t i = 0; i < count; ++i) {
-        Edge edge;
-        edge.set = in.U32();
-        edge.element = in.U32();
-        message.edges.push_back(edge);
+      if constexpr (std::endian::native == std::endian::little) {
+        message.edges.resize(count);
+        if (count > 0) {
+          std::memcpy(message.edges.data(), in.data + in.pos,
+                      size_t(count) * sizeof(Edge));
+        }
+        in.pos += size_t(count) * sizeof(Edge);
+      } else {
+        message.edges.reserve(count);
+        for (uint32_t i = 0; i < count; ++i) {
+          Edge edge;
+          edge.set = in.U32();
+          edge.element = in.U32();
+          message.edges.push_back(edge);
+        }
       }
       break;
     }

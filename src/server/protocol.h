@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -113,7 +114,11 @@ struct Message {
   uint64_t sequence = 0;
   std::vector<Edge> edges;
 
-  // kOpenOk / kIngestOk / kCheckpointOk
+  // kOpenOk / kIngestOk / kCheckpointOk. `last_sequence` is a
+  // *cumulative* ack: the session's durable cursor after applying this
+  // request, so one kIngestOk acknowledges every batch up to and
+  // including that sequence — a pipelined sender (client.h's ingest
+  // window) retires its whole in-flight prefix from a single reply.
   bool resumed = false;
   bool duplicate = false;
   uint64_t last_sequence = 0;
@@ -151,6 +156,19 @@ struct Message {
 /// Serializes `message` into one frame payload (type + session_id +
 /// body + CRC-32C), ready for Connection::Send.
 std::vector<uint8_t> EncodeMessage(const Message& message);
+
+/// Arena-reuse overload: clears *out and fills it with the identical
+/// bytes. A caller that keeps `out` alive across calls (SessionClient
+/// does) pays zero allocations per message once the buffer has grown
+/// to its working size.
+void EncodeMessage(const Message& message, std::vector<uint8_t>* out);
+
+/// Encodes a kIngest frame straight from the caller's edge buffer —
+/// byte-identical to EncodeMessage on an equivalent Message, without
+/// ever copying the batch into Message::edges. This is the zero-copy
+/// hot path of the windowed ingest sender.
+void EncodeIngest(uint64_t session_id, uint64_t sequence,
+                  std::span<const Edge> edges, std::vector<uint8_t>* out);
 
 /// Parses and CRC-verifies one frame payload. nullopt (with *error) on
 /// any malformation — unknown type, bad CRC, truncation, trailing

@@ -1,5 +1,6 @@
 #include "server/server.h"
 
+#include <condition_variable>
 #include <utility>
 
 #include "server/protocol.h"
@@ -38,6 +39,23 @@ void SessionServer::AcceptLoop() {
 }
 
 void SessionServer::ConnectionLoop(std::shared_ptr<Connection> connection) {
+  // Per-connection execution tickets. A pipelined client keeps several
+  // requests in flight on one connection; with worker_threads > 1 the
+  // scheduler could otherwise apply them out of order and a windowed
+  // ingest stream would see spurious sequence gaps. Each admitted
+  // request takes the next ticket and its worker waits until every
+  // earlier ticket from the *same connection* has replied — FIFO per
+  // connection, still concurrent across connections. Deadlock-free
+  // because TaskQueue pops strictly FIFO: the task holding ticket t is
+  // always scheduled no later than the task waiting on it.
+  struct Order {
+    std::mutex mutex;
+    std::condition_variable cv;
+    uint64_t next = 0;  // next ticket to hand out (connection thread)
+    uint64_t done = 0;  // tickets fully replied
+  };
+  auto order = std::make_shared<Order>();
+
   std::vector<uint8_t> payload;
   while (connection->Receive(&payload)) {
     frames_received_.fetch_add(1, std::memory_order_relaxed);
@@ -62,17 +80,38 @@ void SessionServer::ConnectionLoop(std::shared_ptr<Connection> connection) {
     // is sent from the scheduler thread (transports serialize sends).
     Message owned = std::move(*request);
     const uint64_t session_id = owned.session_id;
+    const uint64_t ticket = order->next;
     const bool admitted = queue_->TrySubmit(
-        [this, connection, request = std::move(owned)]() mutable {
+        [this, connection, order, ticket,
+         request = std::move(owned)]() mutable {
+          {
+            std::unique_lock<std::mutex> lock(order->mutex);
+            order->cv.wait(lock, [&] { return order->done == ticket; });
+          }
           Message reply = manager_.Handle(request);
           if (reply.type == MessageType::kStatsOk && reply.session_id == 0) {
             reply.frames_received =
                 frames_received_.load(std::memory_order_relaxed);
             reply.sheds = sheds_.load(std::memory_order_relaxed);
           }
-          connection->Send(EncodeMessage(reply));
+          // Per-worker encode arena: replies on the ingest hot path
+          // allocate nothing once the buffer reaches working size.
+          thread_local std::vector<uint8_t> encoded;
+          EncodeMessage(reply, &encoded);
+          connection->Send(encoded);
+          {
+            std::lock_guard<std::mutex> lock(order->mutex);
+            order->done = ticket + 1;
+          }
+          order->cv.notify_all();
         });
-    if (!admitted) {
+    if (admitted) {
+      // Only the connection thread mutates next, and only on admission
+      // — a shed request consumes no ticket, so the sequence of
+      // admitted tickets stays gap-free.
+      std::lock_guard<std::mutex> lock(order->mutex);
+      order->next = ticket + 1;
+    } else {
       // Shed from the connection thread — rejecting work must not
       // depend on the queue that is already full.
       sheds_.fetch_add(1, std::memory_order_relaxed);

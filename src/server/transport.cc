@@ -1,12 +1,17 @@
 #include "server/transport.h"
 
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <cstring>
 #include <utility>
+
+#include "util/shm_ring.h"
 
 namespace setcover {
 namespace server {
@@ -183,14 +188,28 @@ std::unique_ptr<Connection> LocalEndpoint::Connect(std::string* error) {
 }
 
 // --------------------------------------------------------------------
-// Unix-domain socket transport.
+// Unix-domain socket transport (+ the shared-memory upgrade).
 // --------------------------------------------------------------------
 
 namespace {
 
-bool WriteAll(int fd, const uint8_t* data, size_t size) {
+/// Magic word a ConnectShm client sends where a framed client would
+/// send its first length prefix. Chosen above kMaxTransportFrameBytes,
+/// so it can never be a legitimate length — the accepted side
+/// disambiguates the two wire dialects from the first four bytes.
+constexpr uint32_t kShmHandshakeMagic = 0x314D4853;  // "SHM1" (LE)
+
+/// The server's one-byte handshake ack: "both rings mapped, start
+/// pushing frames".
+constexpr uint8_t kShmHandshakeAck = 0x5A;
+
+size_t CapIo(size_t size, size_t max_io) {
+  return max_io == 0 ? size : std::min(size, max_io);
+}
+
+bool WriteAll(int fd, const uint8_t* data, size_t size, size_t max_io) {
   while (size > 0) {
-    const ssize_t n = ::write(fd, data, size);
+    const ssize_t n = ::write(fd, data, CapIo(size, max_io));
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;
@@ -202,9 +221,9 @@ bool WriteAll(int fd, const uint8_t* data, size_t size) {
   return true;
 }
 
-bool ReadAll(int fd, uint8_t* data, size_t size) {
+bool ReadAll(int fd, uint8_t* data, size_t size, size_t max_io) {
   while (size > 0) {
-    const ssize_t n = ::read(fd, data, size);
+    const ssize_t n = ::read(fd, data, CapIo(size, max_io));
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;
@@ -216,43 +235,232 @@ bool ReadAll(int fd, uint8_t* data, size_t size) {
   return true;
 }
 
-/// Frame-over-stream connection: u32 little-endian payload length, then
-/// the payload bytes. Send and Receive each hold their own lock so one
-/// reader and one writer can run concurrently.
-class UnixConnection : public Connection {
- public:
-  explicit UnixConnection(int fd) : fd_(fd) {}
+/// One frame — length prefix and payload — in a single writev, resumed
+/// across partial writes. Two buffers, one syscall in the common case,
+/// instead of the two write()s the first cut of this transport paid
+/// per frame.
+bool WritevFrame(int fd, const uint8_t prefix[4],
+                 const std::vector<uint8_t>& payload, size_t max_io) {
+  size_t done = 0;  // bytes of (prefix + payload) already on the wire
+  const size_t total = 4 + payload.size();
+  while (done < total) {
+    iovec iov[2];
+    int iovcnt = 0;
+    size_t budget = max_io == 0 ? size_t(-1) : max_io;
+    if (done < 4) {
+      iov[iovcnt].iov_base = const_cast<uint8_t*>(prefix) + done;
+      iov[iovcnt].iov_len = std::min(4 - done, budget);
+      budget -= iov[iovcnt].iov_len;
+      ++iovcnt;
+    }
+    const size_t payload_done = done > 4 ? done - 4 : 0;
+    if (payload_done < payload.size() && budget > 0) {
+      iov[iovcnt].iov_base =
+          const_cast<uint8_t*>(payload.data()) + payload_done;
+      iov[iovcnt].iov_len = std::min(payload.size() - payload_done, budget);
+      ++iovcnt;
+    }
+    const ssize_t n = ::writev(fd, iov, iovcnt);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    done += size_t(n);
+  }
+  return true;
+}
 
-  ~UnixConnection() override {
+/// Sends `count` fds over the socket with SCM_RIGHTS, riding on the
+/// 4-byte handshake magic as the required data byte(s).
+bool SendFdsWithMagic(int fd, uint32_t magic, const int* fds, size_t count) {
+  uint8_t word[4];
+  for (int i = 0; i < 4; ++i) word[i] = uint8_t(magic >> (8 * i));
+  iovec iov{word, sizeof word};
+  alignas(cmsghdr) char control[CMSG_SPACE(2 * sizeof(int))];
+  std::memset(control, 0, sizeof control);
+  msghdr msg{};
+  msg.msg_iov = &iov;
+  msg.msg_iovlen = 1;
+  msg.msg_control = control;
+  msg.msg_controllen = CMSG_SPACE(count * sizeof(int));
+  cmsghdr* cmsg = CMSG_FIRSTHDR(&msg);
+  cmsg->cmsg_level = SOL_SOCKET;
+  cmsg->cmsg_type = SCM_RIGHTS;
+  cmsg->cmsg_len = CMSG_LEN(count * sizeof(int));
+  std::memcpy(CMSG_DATA(cmsg), fds, count * sizeof(int));
+  for (;;) {
+    const ssize_t n = ::sendmsg(fd, &msg, 0);
+    if (n >= 0) return size_t(n) == sizeof word;
+    if (errno != EINTR) return false;
+  }
+}
+
+/// Receives the remainder of the 4-byte preamble plus any SCM_RIGHTS
+/// fds attached to it. `already` bytes of *word were consumed by a
+/// previous call. Appends received fds to *fds. False on EOF/error.
+bool RecvPreamble(int fd, uint8_t word[4], size_t already,
+                  std::vector<int>* fds) {
+  size_t have = already;
+  while (have < 4) {
+    iovec iov{word + have, 4 - have};
+    alignas(cmsghdr) char control[CMSG_SPACE(8 * sizeof(int))];
+    msghdr msg{};
+    msg.msg_iov = &iov;
+    msg.msg_iovlen = 1;
+    msg.msg_control = control;
+    msg.msg_controllen = sizeof control;
+    const ssize_t n = ::recvmsg(fd, &msg, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    for (cmsghdr* cmsg = CMSG_FIRSTHDR(&msg); cmsg != nullptr;
+         cmsg = CMSG_NXTHDR(&msg, cmsg)) {
+      if (cmsg->cmsg_level != SOL_SOCKET || cmsg->cmsg_type != SCM_RIGHTS)
+        continue;
+      const size_t bytes = cmsg->cmsg_len - CMSG_LEN(0);
+      const size_t count = bytes / sizeof(int);
+      for (size_t i = 0; i < count; ++i) {
+        int received = -1;
+        std::memcpy(&received, CMSG_DATA(cmsg) + i * sizeof(int),
+                    sizeof(int));
+        fds->push_back(received);
+      }
+    }
+    have += size_t(n);
+  }
+  return true;
+}
+
+/// Frame connection over a connected stream fd: u32 little-endian
+/// payload length + payload bytes, one writev per frame. Send and
+/// Receive each hold their own lock so one reader and one writer can
+/// run concurrently.
+///
+/// Accepted (server-side) connections are hybrid: the first Receive
+/// reads the 4-byte preamble and either treats it as the first frame's
+/// length (plain client) or, on the shm magic, completes the
+/// shared-memory handshake — map the client's two rings, ack — and
+/// switches both directions onto the rings. The socket then serves
+/// only as the liveness probe the rings' idle watcher polls.
+class FdConnection : public Connection {
+ public:
+  FdConnection(int fd, bool negotiate, size_t max_io_bytes = 0)
+      : fd_(fd), negotiate_(negotiate), max_io_(max_io_bytes) {}
+
+  ~FdConnection() override {
     Close();
     ::close(fd_);
   }
 
+  /// Installs mapped rings (client side after ConnectShm's handshake,
+  /// or server side mid-negotiation). `inbound` is the ring this end
+  /// pops, `outbound` the ring it pushes.
+  void AdoptRings(std::unique_ptr<ShmRing> inbound,
+                  std::unique_ptr<ShmRing> outbound) {
+    ring_in_ = std::move(inbound);
+    ring_out_ = std::move(outbound);
+    // A crashed peer can never flip the rings' closed flag, so both
+    // wait loops poll the bootstrap socket: EOF or error there means
+    // the peer is gone and the wait must end.
+    auto watcher = [this] {
+      uint8_t probe;
+      const ssize_t n =
+          ::recv(fd_, &probe, 1, MSG_PEEK | MSG_DONTWAIT);
+      if (n > 0) return true;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK ||
+                    errno == EINTR)) {
+        return true;
+      }
+      return false;  // EOF or hard error: peer died
+    };
+    ring_in_->SetIdleWatcher(watcher);
+    ring_out_->SetIdleWatcher(watcher);
+    shm_.store(true, std::memory_order_release);
+  }
+
   bool Send(const std::vector<uint8_t>& payload) override {
     if (payload.size() > kMaxTransportFrameBytes) return false;
+    std::lock_guard<std::mutex> lock(send_mutex_);
+    if (shm_.load(std::memory_order_acquire))
+      return ring_out_->PushFrame(payload);
     uint8_t prefix[4];
     const uint32_t length = uint32_t(payload.size());
     for (int i = 0; i < 4; ++i) prefix[i] = uint8_t(length >> (8 * i));
-    std::lock_guard<std::mutex> lock(send_mutex_);
-    return WriteAll(fd_, prefix, sizeof prefix) &&
-           WriteAll(fd_, payload.data(), payload.size());
+    return WritevFrame(fd_, prefix, payload, max_io_);
   }
 
   bool Receive(std::vector<uint8_t>* payload) override {
-    uint8_t prefix[4];
-    if (!ReadAll(fd_, prefix, sizeof prefix)) return false;
+    if (shm_.load(std::memory_order_acquire))
+      return ring_in_->PopFrame(payload);
+
     uint32_t length = 0;
-    for (int i = 0; i < 4; ++i) length |= uint32_t(prefix[i]) << (8 * i);
+    if (negotiate_) {
+      // First receive on an accepted connection: the preamble picks
+      // the dialect. Plain clients' first length arrives here too.
+      negotiate_ = false;
+      uint8_t word[4];
+      std::vector<int> fds;
+      const bool got = RecvPreamble(fd_, word, 0, &fds);
+      if (!got) {
+        for (int fd : fds) ::close(fd);
+        return false;
+      }
+      for (int i = 0; i < 4; ++i) length |= uint32_t(word[i]) << (8 * i);
+      if (length == kShmHandshakeMagic) {
+        if (!FinishShmAccept(fds)) return false;
+        return ring_in_->PopFrame(payload);
+      }
+      for (int fd : fds) ::close(fd);  // framed dialect never carries fds
+    } else {
+      uint8_t prefix[4];
+      if (!ReadAll(fd_, prefix, sizeof prefix, max_io_)) return false;
+      for (int i = 0; i < 4; ++i) length |= uint32_t(prefix[i]) << (8 * i);
+    }
     if (length > kMaxTransportFrameBytes) return false;
     payload->resize(length);
-    return length == 0 || ReadAll(fd_, payload->data(), length);
+    return length == 0 || ReadAll(fd_, payload->data(), length, max_io_);
   }
 
-  void Close() override { ::shutdown(fd_, SHUT_RDWR); }
+  void Close() override {
+    if (ring_in_ != nullptr) ring_in_->Close();
+    if (ring_out_ != nullptr) ring_out_->Close();
+    ::shutdown(fd_, SHUT_RDWR);
+  }
 
  private:
+  bool FinishShmAccept(std::vector<int>& fds) {
+    // The client sent [its-outbound, its-inbound]; from this side that
+    // is [inbound, outbound]. Map both, then ack so the client knows
+    // the pages are pinned on this end.
+    if (fds.size() != 2) {
+      for (int fd : fds) ::close(fd);
+      return false;
+    }
+    std::string error;
+    std::unique_ptr<ShmRing> inbound = ShmRing::Map(fds[0], &error);
+    std::unique_ptr<ShmRing> outbound =
+        inbound != nullptr ? ShmRing::Map(fds[1], &error) : nullptr;
+    if (outbound == nullptr) {
+      if (inbound == nullptr) ::close(fds[1]);  // Map closed fds[0]
+      return false;
+    }
+    const uint8_t ack = kShmHandshakeAck;
+    if (!WriteAll(fd_, &ack, 1, 0)) return false;
+    std::lock_guard<std::mutex> lock(send_mutex_);
+    AdoptRings(std::move(inbound), std::move(outbound));
+    return true;
+  }
+
   int fd_;
+  bool negotiate_;  // touched only by the (single) receiving thread
+  size_t max_io_;
   std::mutex send_mutex_;
+  std::atomic<bool> shm_{false};
+  std::unique_ptr<ShmRing> ring_in_;
+  std::unique_ptr<ShmRing> ring_out_;
 };
 
 class UnixListener : public Listener {
@@ -269,7 +477,8 @@ class UnixListener : public Listener {
   std::unique_ptr<Connection> Accept() override {
     for (;;) {
       const int client = ::accept(fd_, nullptr, nullptr);
-      if (client >= 0) return std::make_unique<UnixConnection>(client);
+      if (client >= 0)
+        return std::make_unique<FdConnection>(client, /*negotiate=*/true);
       if (errno == EINTR) continue;
       return nullptr;  // shut down, or a fatal accept error
     }
@@ -317,23 +526,73 @@ std::unique_ptr<Listener> ListenUnix(const std::string& path,
   return std::make_unique<UnixListener>(fd, path);
 }
 
-std::unique_ptr<Connection> ConnectUnix(const std::string& path,
-                                        std::string* error) {
+namespace {
+
+int DialUnix(const std::string& path, std::string* error) {
   sockaddr_un address;
-  if (!FillAddress(path, &address, error)) return nullptr;
+  if (!FillAddress(path, &address, error)) return -1;
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd < 0) {
     if (error != nullptr) *error = std::strerror(errno);
-    return nullptr;
+    return -1;
   }
   if (::connect(fd, reinterpret_cast<const sockaddr*>(&address),
                 sizeof address) != 0) {
     if (error != nullptr)
       *error = std::string("connect ") + path + ": " + std::strerror(errno);
     ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace
+
+std::unique_ptr<Connection> ConnectUnix(const std::string& path,
+                                        std::string* error) {
+  const int fd = DialUnix(path, error);
+  if (fd < 0) return nullptr;
+  return std::make_unique<FdConnection>(fd, /*negotiate=*/false);
+}
+
+std::unique_ptr<Connection> ConnectShm(const std::string& path,
+                                       size_t ring_bytes,
+                                       std::string* error) {
+  const int fd = DialUnix(path, error);
+  if (fd < 0) return nullptr;
+
+  // The client owns ring creation; the server only maps. Naming is
+  // from the client's point of view: outbound carries requests,
+  // inbound carries replies.
+  std::unique_ptr<ShmRing> outbound = ShmRing::Create(ring_bytes, error);
+  std::unique_ptr<ShmRing> inbound =
+      outbound != nullptr ? ShmRing::Create(ring_bytes, error) : nullptr;
+  if (inbound == nullptr) {
+    ::close(fd);
     return nullptr;
   }
-  return std::make_unique<UnixConnection>(fd);
+
+  const int ring_fds[2] = {outbound->Fd(), inbound->Fd()};
+  if (!SendFdsWithMagic(fd, kShmHandshakeMagic, ring_fds, 2)) {
+    if (error != nullptr) *error = "shm handshake send failed";
+    ::close(fd);
+    return nullptr;
+  }
+  uint8_t ack = 0;
+  if (!ReadAll(fd, &ack, 1, 0) || ack != kShmHandshakeAck) {
+    if (error != nullptr) *error = "shm handshake rejected by server";
+    ::close(fd);
+    return nullptr;
+  }
+
+  auto connection = std::make_unique<FdConnection>(fd, /*negotiate=*/false);
+  connection->AdoptRings(std::move(inbound), std::move(outbound));
+  return connection;
+}
+
+std::unique_ptr<Connection> WrapFdForTest(int fd, size_t max_io_bytes) {
+  return std::make_unique<FdConnection>(fd, /*negotiate=*/false,
+                                        max_io_bytes);
 }
 
 }  // namespace server

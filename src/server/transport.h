@@ -21,7 +21,11 @@ namespace server {
 ///   - LocalEndpoint::Connect / Listen — in-process queue pair, used by
 ///     the tests (exact same protocol bytes, no kernel in the loop, and
 ///     a server "crash" is just destroying the server object).
-///   - unix-domain sockets (ListenUnix / ConnectUnix) — the real thing.
+///   - unix-domain sockets (ListenUnix / ConnectUnix) — the real thing;
+///     one writev per frame (length + payload in a single syscall).
+///   - same-host shared memory (ConnectShm) — two SPSC byte rings
+///     (util/shm_ring.h) bootstrapped over the unix socket with
+///     SCM_RIGHTS fd passing; zero syscalls on the data path.
 ///
 /// Thread safety: both implementations serialize Send internally (a
 /// frame is never torn), and Receive may run concurrently with Send —
@@ -83,12 +87,46 @@ class LocalEndpoint {
 
 /// Unix-domain stream socket listener bound at `path` (an existing
 /// socket file is replaced). nullptr with *error on bind failure.
+///
+/// Accepted connections are *hybrid*: the first bytes a client sends
+/// pick the wire. A plain framed client (ConnectUnix) leads with a
+/// frame's u32 length prefix; a shared-memory client (ConnectShm)
+/// leads with a magic word — impossible as a length, it exceeds the
+/// frame ceiling — plus two memfd ring fds over SCM_RIGHTS, after
+/// which both directions move through the rings and the socket is kept
+/// only as a liveness probe. The negotiation happens inside the
+/// connection's first Receive, so a silent client never stalls Accept.
 std::unique_ptr<Listener> ListenUnix(const std::string& path,
                                      std::string* error);
 
-/// Connects to the unix-domain listener at `path`.
+/// Connects to the unix-domain listener at `path`; frames travel over
+/// the socket (u32 length + payload, sent as one writev).
 std::unique_ptr<Connection> ConnectUnix(const std::string& path,
                                         std::string* error);
+
+/// Connects to the unix-domain listener at `path` and upgrades the
+/// connection to the same-host shared-memory transport: the client
+/// creates two SPSC byte rings (util/shm_ring.h) of `ring_bytes` each
+/// in anonymous memfds, hands them to the server over the socket
+/// (SCM_RIGHTS), and waits for the server's ack. After the handshake,
+/// frames move ring-to-ring with no syscalls on the data path; the
+/// socket stays open purely so either side can detect peer death.
+/// Ownership: each side maps both rings; the kernel frees the pages
+/// when the last mapping dies, so a crash leaks nothing.
+std::unique_ptr<Connection> ConnectShm(const std::string& path,
+                                       size_t ring_bytes,
+                                       std::string* error);
+
+/// Default per-direction ring capacity for ConnectShm: comfortably
+/// holds a full ingest window of max-size frames.
+inline constexpr size_t kDefaultShmRingBytes = 8u << 20;
+
+/// Test hook: wraps an already-connected stream fd (e.g. one end of a
+/// socketpair) in the framed connection, with every read/write/writev
+/// syscall capped at `max_io_bytes` bytes (0 = uncapped). The framing
+/// tests use a 1-byte cap to prove Send/Receive survive frames
+/// fragmented at every byte boundary in both directions.
+std::unique_ptr<Connection> WrapFdForTest(int fd, size_t max_io_bytes);
 
 }  // namespace server
 }  // namespace setcover

@@ -1,0 +1,241 @@
+#include "util/shm_ring.h"
+
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <new>
+#include <thread>
+
+namespace setcover {
+
+/// Lives at offset 0 of the shared mapping. head/tail are monotone
+/// byte cursors (never wrapped); the data offset of a cursor is
+/// `cursor & mask`. Cacheline padding keeps the producer's tail and
+/// the consumer's head off each other's lines.
+struct ShmRing::Header {
+  uint32_t magic;
+  uint32_t capacity;
+  alignas(64) std::atomic<uint64_t> tail;  // producer-owned
+  alignas(64) std::atomic<uint64_t> head;  // consumer-owned
+  alignas(64) std::atomic<uint32_t> closed;
+};
+
+static_assert(std::atomic<uint64_t>::is_always_lock_free,
+              "shared-memory cursors must be lock-free across processes");
+static_assert(sizeof(ShmRing::Header) % 64 == 0);
+
+namespace {
+
+constexpr size_t kDataOffset = sizeof(ShmRing::Header);
+
+size_t RoundUpPow2(size_t v) {
+  size_t p = ShmRing::kMinCapacity;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+ShmRing::ShmRing(int fd, void* mapping, size_t mapped_bytes)
+    : fd_(fd),
+      mapping_(mapping),
+      mapped_bytes_(mapped_bytes),
+      header_(static_cast<Header*>(mapping)),
+      data_(static_cast<uint8_t*>(mapping) + kDataOffset),
+      mask_(header_->capacity - 1) {}
+
+ShmRing::~ShmRing() {
+  Close();
+  if (mapping_ != nullptr) ::munmap(mapping_, mapped_bytes_);
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::unique_ptr<ShmRing> ShmRing::Create(size_t capacity_bytes,
+                                         std::string* error) {
+  if (capacity_bytes > kMaxCapacity) {
+    if (error != nullptr) *error = "shm ring capacity too large";
+    return nullptr;
+  }
+  const size_t capacity = RoundUpPow2(capacity_bytes);
+  const size_t total = kDataOffset + capacity;
+
+  const int fd = ::memfd_create("setcover-shm-ring", MFD_CLOEXEC);
+  if (fd < 0) {
+    if (error != nullptr)
+      *error = std::string("memfd_create: ") + std::strerror(errno);
+    return nullptr;
+  }
+  if (::ftruncate(fd, off_t(total)) != 0) {
+    if (error != nullptr)
+      *error = std::string("ftruncate: ") + std::strerror(errno);
+    ::close(fd);
+    return nullptr;
+  }
+  void* mapping =
+      ::mmap(nullptr, total, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  if (mapping == MAP_FAILED) {
+    if (error != nullptr)
+      *error = std::string("mmap: ") + std::strerror(errno);
+    ::close(fd);
+    return nullptr;
+  }
+  Header* header = new (mapping) Header();
+  header->magic = kMagic;
+  header->capacity = uint32_t(capacity);
+  header->tail.store(0, std::memory_order_relaxed);
+  header->head.store(0, std::memory_order_relaxed);
+  header->closed.store(0, std::memory_order_release);
+  return std::unique_ptr<ShmRing>(new ShmRing(fd, mapping, total));
+}
+
+std::unique_ptr<ShmRing> ShmRing::Map(int fd, std::string* error) {
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    if (error != nullptr)
+      *error = std::string("fstat: ") + std::strerror(errno);
+    ::close(fd);
+    return nullptr;
+  }
+  const size_t total = size_t(st.st_size);
+  if (total < kDataOffset + kMinCapacity) {
+    if (error != nullptr) *error = "shm ring region too small";
+    ::close(fd);
+    return nullptr;
+  }
+  void* mapping =
+      ::mmap(nullptr, total, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  if (mapping == MAP_FAILED) {
+    if (error != nullptr)
+      *error = std::string("mmap: ") + std::strerror(errno);
+    ::close(fd);
+    return nullptr;
+  }
+  Header* header = static_cast<Header*>(mapping);
+  const uint32_t capacity = header->capacity;
+  if (header->magic != kMagic || capacity < kMinCapacity ||
+      capacity > kMaxCapacity || (capacity & (capacity - 1)) != 0 ||
+      total != kDataOffset + capacity) {
+    if (error != nullptr) *error = "shm ring header is not a ring";
+    ::munmap(mapping, total);
+    ::close(fd);
+    return nullptr;
+  }
+  return std::unique_ptr<ShmRing>(new ShmRing(fd, mapping, total));
+}
+
+size_t ShmRing::Capacity() const { return header_->capacity; }
+
+bool ShmRing::Closed() const {
+  return header_->closed.load(std::memory_order_acquire) != 0;
+}
+
+void ShmRing::Close() {
+  if (header_ != nullptr)
+    header_->closed.store(1, std::memory_order_release);
+}
+
+template <typename Ready>
+bool ShmRing::WaitFor(Ready ready) {
+  // Phase 1: spin — the common case is a peer a few memcpys away.
+  // On a single-core host the peer cannot make progress while we
+  // spin, so spinning only burns the timeslice it needs: skip
+  // straight to yielding there.
+  static const int kSpins =
+      std::thread::hardware_concurrency() > 1 ? 1024 : 1;
+  for (int spin = 0; spin < kSpins; ++spin) {
+    if (ready()) return true;
+    if (Closed()) return ready();  // drain what was published pre-close
+  }
+  // Phase 2: yield, then sleep in slices that escalate to 1ms so an
+  // idle connection costs microamps, not a core. The watcher runs once
+  // per slice (the transport polls its bootstrap socket there).
+  uint64_t slice_us = 10;
+  for (;;) {
+    for (int y = 0; y < 64; ++y) {
+      std::this_thread::yield();
+      if (ready()) return true;
+      if (Closed()) return ready();
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(slice_us));
+    if (slice_us < 1000) slice_us *= 2;
+    if (ready()) return true;
+    if (Closed()) return ready();
+    if (watcher_ && !watcher_()) {
+      Close();
+      return ready();
+    }
+  }
+}
+
+void ShmRing::CopyIn(uint64_t at, const uint8_t* from, size_t size) {
+  const uint64_t offset = at & mask_;
+  const size_t first = std::min(size, size_t(header_->capacity - offset));
+  std::memcpy(data_ + offset, from, first);
+  if (first < size) std::memcpy(data_, from + first, size - first);
+}
+
+void ShmRing::CopyOut(uint64_t at, uint8_t* to, size_t size) const {
+  const uint64_t offset = at & mask_;
+  const size_t first = std::min(size, size_t(header_->capacity - offset));
+  std::memcpy(to, data_ + offset, first);
+  if (first < size) std::memcpy(to + first, data_, size - first);
+}
+
+bool ShmRing::PushFrame(const uint8_t* data, size_t size) {
+  const uint64_t need = 4 + uint64_t(size);
+  if (need > header_->capacity) return false;  // can never fit
+  const uint64_t tail = header_->tail.load(std::memory_order_relaxed);
+  // Wait for space: the consumer's head advancing is what frees bytes.
+  const bool have_room = WaitFor([&] {
+    const uint64_t head = header_->head.load(std::memory_order_acquire);
+    return header_->capacity - (tail - head) >= need;
+  });
+  if (!have_room || Closed()) return false;
+
+  uint8_t prefix[4];
+  const uint32_t length = uint32_t(size);
+  for (int i = 0; i < 4; ++i) prefix[i] = uint8_t(length >> (8 * i));
+  CopyIn(tail, prefix, 4);
+  if (size > 0) CopyIn(tail + 4, data, size);
+  // Publish: the frame bytes land before the cursor that exposes them.
+  header_->tail.store(tail + need, std::memory_order_release);
+  return true;
+}
+
+bool ShmRing::PopFrame(std::vector<uint8_t>* payload) {
+  const uint64_t head = header_->head.load(std::memory_order_relaxed);
+  if (!WaitFor([&] {
+        return header_->tail.load(std::memory_order_acquire) - head >= 4;
+      })) {
+    return false;  // closed and drained
+  }
+  uint8_t prefix[4];
+  CopyOut(head, prefix, 4);
+  uint32_t length = 0;
+  for (int i = 0; i < 4; ++i) length |= uint32_t(prefix[i]) << (8 * i);
+  if (4 + uint64_t(length) > header_->capacity) {
+    // A length that can never arrive is corruption; framing cannot
+    // resynchronize past it, so the ring dies here.
+    Close();
+    return false;
+  }
+  if (!WaitFor([&] {
+        return header_->tail.load(std::memory_order_acquire) - head >=
+               4 + uint64_t(length);
+      })) {
+    return false;  // closed mid-frame
+  }
+  payload->resize(length);
+  if (length > 0) CopyOut(head + 4, payload->data(), length);
+  // Publish the consumption only after the copy-out finished, so the
+  // producer never overwrites bytes still being read.
+  header_->head.store(head + 4 + length, std::memory_order_release);
+  return true;
+}
+
+}  // namespace setcover

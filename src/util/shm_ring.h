@@ -1,0 +1,128 @@
+#ifndef SETCOVER_UTIL_SHM_RING_H_
+#define SETCOVER_UTIL_SHM_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace setcover {
+
+/// A single-producer single-consumer byte ring in a shared-memory
+/// region, the same-host zero-copy transport under the session server
+/// (src/server/transport.cc wires two of these — one per direction —
+/// into a Connection).
+///
+/// The region is an anonymous memfd, so it can be handed to the peer
+/// over a unix socket with SCM_RIGHTS and mapped on both sides; no
+/// filesystem name, no cleanup on crash (the kernel frees the pages
+/// when the last mapping goes away). Layout:
+///
+///   Header   { magic, capacity, tail, head, closed }   (cacheline-
+///              padded; head/tail are monotonically increasing byte
+///              cursors — never wrapped — so `tail - head` is the
+///              number of unread bytes)
+///   data[capacity]   capacity is a power of two; a cursor's byte
+///                    offset is `cursor & (capacity - 1)`
+///
+/// Frames are `u32 length (little-endian) + payload`, written byte-wise
+/// with wrap-around (a frame may straddle the end of the data array in
+/// up to two memcpys). The payload bytes are the CRC-carrying protocol
+/// frames of server/protocol.h, so end-to-end integrity is still
+/// checked by DecodeMessage — the ring only has to be *torn-proof*,
+/// which SPSC + release/acquire cursor publication gives: the producer
+/// publishes `tail` only after the frame bytes are fully written, the
+/// consumer publishes `head` only after it copied the frame out.
+///
+/// Blocking: Push waits for space, Pop waits for bytes, both by
+/// spinning briefly and then sleeping in escalating slices. An optional
+/// idle watcher runs on each sleep slice so a transport can poll its
+/// bootstrap socket for peer death (a crashed peer can never flip
+/// `closed` itself).
+///
+/// Thread safety: ONE producer thread (Push) and ONE consumer thread
+/// (Pop) per ring; Close may be called from any thread, repeatedly.
+class ShmRing {
+ public:
+  static constexpr uint32_t kMagic = 0x42524353;  // "SCRB"
+  static constexpr size_t kMinCapacity = 1u << 12;
+  static constexpr size_t kMaxCapacity = 1u << 30;
+
+  /// Creates a ring with at least `capacity_bytes` of frame space
+  /// (rounded up to a power of two) in a fresh memfd. nullptr with
+  /// *error on failure.
+  static std::unique_ptr<ShmRing> Create(size_t capacity_bytes,
+                                         std::string* error);
+
+  /// Maps a ring created by a peer from a memfd received over
+  /// SCM_RIGHTS. Takes ownership of `fd` (closed on failure too).
+  /// Validates magic, capacity, and file size before trusting anything.
+  static std::unique_ptr<ShmRing> Map(int fd, std::string* error);
+
+  ~ShmRing();
+
+  ShmRing(const ShmRing&) = delete;
+  ShmRing& operator=(const ShmRing&) = delete;
+
+  /// The memfd backing the mapping, for SCM_RIGHTS passing. Owned by
+  /// the ring; do not close.
+  int Fd() const { return fd_; }
+
+  size_t Capacity() const;
+
+  /// Appends one frame (u32 length + `size` payload bytes). Blocks
+  /// while the ring lacks space; false once the ring is closed, the
+  /// idle watcher aborts the wait, or the frame can never fit.
+  bool PushFrame(const uint8_t* data, size_t size);
+  bool PushFrame(const std::vector<uint8_t>& payload) {
+    return PushFrame(payload.data(), payload.size());
+  }
+
+  /// Pops the next frame into *payload. Blocks while the ring is
+  /// empty; false once the ring is closed AND drained, the idle
+  /// watcher aborts, or the stored length is corrupt (then the ring is
+  /// closed — framing never resynchronizes after a torn length).
+  bool PopFrame(std::vector<uint8_t>* payload);
+
+  /// Marks the ring closed and wakes both sides. Idempotent, any
+  /// thread.
+  void Close();
+
+  bool Closed() const;
+
+  /// Runs once per sleep slice of a blocked Push/Pop; return false to
+  /// abort the wait (e.g. the transport noticed the peer died). Set
+  /// before handing the ring to its worker threads.
+  using IdleWatcher = std::function<bool()>;
+  void SetIdleWatcher(IdleWatcher watcher) { watcher_ = std::move(watcher); }
+
+  /// Shared-region layout (defined in the .cc; public only so the
+  /// implementation can size it at namespace scope — not API).
+  struct Header;
+
+ private:
+  ShmRing(int fd, void* mapping, size_t mapped_bytes);
+
+  /// Blocks until `ready()` holds; false if closed_hint() cut the wait
+  /// short (closed ring / aborted watcher).
+  template <typename Ready>
+  bool WaitFor(Ready ready);
+
+  void CopyIn(uint64_t at, const uint8_t* from, size_t size);
+  void CopyOut(uint64_t at, uint8_t* to, size_t size) const;
+
+  int fd_ = -1;
+  void* mapping_ = nullptr;
+  size_t mapped_bytes_ = 0;
+  Header* header_ = nullptr;
+  uint8_t* data_ = nullptr;
+  uint64_t mask_ = 0;
+  IdleWatcher watcher_;
+};
+
+}  // namespace setcover
+
+#endif  // SETCOVER_UTIL_SHM_RING_H_

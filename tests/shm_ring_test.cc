@@ -1,0 +1,225 @@
+// The shared-memory SPSC byte ring under the same-host transport:
+// frames round-trip bit-exactly across wrap-around, backpressure
+// blocks and releases correctly, Close wakes both sides, a corrupt
+// length kills the ring (framing cannot resync), and Map refuses
+// regions that are not rings. scripts/check.sh runs this under ASan
+// and TSan — the producer/consumer cursor publication must be clean.
+
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/shm_ring.h"
+
+namespace setcover {
+namespace {
+
+std::vector<uint8_t> Pattern(size_t size, uint8_t salt) {
+  std::vector<uint8_t> bytes(size);
+  for (size_t i = 0; i < size; ++i)
+    bytes[i] = uint8_t(salt + i * 37 + (i >> 8));
+  return bytes;
+}
+
+TEST(ShmRing, FramesRoundTripInOrder) {
+  std::string error;
+  auto ring = ShmRing::Create(1 << 14, &error);
+  ASSERT_NE(ring, nullptr) << error;
+  EXPECT_GE(ring->Capacity(), size_t(1) << 14);
+
+  for (uint8_t salt = 0; salt < 16; ++salt) {
+    const std::vector<uint8_t> sent = Pattern(salt * 97 % 1000, salt);
+    ASSERT_TRUE(ring->PushFrame(sent));
+    std::vector<uint8_t> received;
+    ASSERT_TRUE(ring->PopFrame(&received));
+    EXPECT_EQ(received, sent) << "salt=" << int(salt);
+  }
+}
+
+TEST(ShmRing, EmptyFramesAreFramesToo) {
+  std::string error;
+  auto ring = ShmRing::Create(ShmRing::kMinCapacity, &error);
+  ASSERT_NE(ring, nullptr) << error;
+  ASSERT_TRUE(ring->PushFrame(nullptr, 0));
+  std::vector<uint8_t> received{1, 2, 3};
+  ASSERT_TRUE(ring->PopFrame(&received));
+  EXPECT_TRUE(received.empty());
+}
+
+// Frames sized to never divide the capacity force every wrap-around
+// alignment over time; the consumer must see every byte intact.
+TEST(ShmRing, WrapAroundUnderConcurrencyIsTearFree) {
+  std::string error;
+  auto ring = ShmRing::Create(1 << 12, &error);
+  ASSERT_NE(ring, nullptr) << error;
+
+  constexpr int kFrames = 4000;
+  std::thread producer([&] {
+    for (int i = 0; i < kFrames; ++i) {
+      const std::vector<uint8_t> frame =
+          Pattern(1 + (i * 131) % 700, uint8_t(i));
+      ASSERT_TRUE(ring->PushFrame(frame)) << i;
+    }
+  });
+  std::vector<uint8_t> received;
+  for (int i = 0; i < kFrames; ++i) {
+    ASSERT_TRUE(ring->PopFrame(&received)) << i;
+    const std::vector<uint8_t> expected =
+        Pattern(1 + (i * 131) % 700, uint8_t(i));
+    ASSERT_EQ(received, expected) << i;
+  }
+  producer.join();
+}
+
+// A full ring blocks the producer until the consumer frees space —
+// and only then.
+TEST(ShmRing, BackpressureBlocksUntilConsumed) {
+  std::string error;
+  auto ring = ShmRing::Create(ShmRing::kMinCapacity, &error);
+  ASSERT_NE(ring, nullptr) << error;
+
+  const std::vector<uint8_t> big(ring->Capacity() / 2, 0x5c);
+  ASSERT_TRUE(ring->PushFrame(big));
+  // A second half-capacity frame cannot fit until the first is popped
+  // (4 prefix bytes each). The push must block, then succeed.
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    ASSERT_TRUE(ring->PushFrame(big));
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+  std::vector<uint8_t> received;
+  ASSERT_TRUE(ring->PopFrame(&received));
+  EXPECT_EQ(received, big);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  ASSERT_TRUE(ring->PopFrame(&received));
+  EXPECT_EQ(received, big);
+}
+
+TEST(ShmRing, FrameLargerThanCapacityIsRefusedNotWedged) {
+  std::string error;
+  auto ring = ShmRing::Create(ShmRing::kMinCapacity, &error);
+  ASSERT_NE(ring, nullptr) << error;
+  const std::vector<uint8_t> huge(ring->Capacity() + 1, 0);
+  EXPECT_FALSE(ring->PushFrame(huge));
+  // The ring stays usable for frames that do fit.
+  ASSERT_TRUE(ring->PushFrame(Pattern(100, 3)));
+  std::vector<uint8_t> received;
+  ASSERT_TRUE(ring->PopFrame(&received));
+  EXPECT_EQ(received, Pattern(100, 3));
+}
+
+TEST(ShmRing, CloseWakesABlockedConsumerAfterDraining) {
+  std::string error;
+  auto ring = ShmRing::Create(ShmRing::kMinCapacity, &error);
+  ASSERT_NE(ring, nullptr) << error;
+  ASSERT_TRUE(ring->PushFrame(Pattern(64, 9)));
+
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    ring->Close();
+  });
+  std::vector<uint8_t> received;
+  // The frame published before the close still drains...
+  ASSERT_TRUE(ring->PopFrame(&received));
+  EXPECT_EQ(received, Pattern(64, 9));
+  // ...then the closed, empty ring fails fast instead of blocking.
+  EXPECT_FALSE(ring->PopFrame(&received));
+  closer.join();
+  EXPECT_FALSE(ring->PushFrame(Pattern(8, 1)));
+}
+
+TEST(ShmRing, IdleWatcherAbortsABlockedWait) {
+  std::string error;
+  auto ring = ShmRing::Create(ShmRing::kMinCapacity, &error);
+  ASSERT_NE(ring, nullptr) << error;
+  ring->SetIdleWatcher([] { return false; });  // "peer is dead"
+  std::vector<uint8_t> received;
+  EXPECT_FALSE(ring->PopFrame(&received));
+  EXPECT_TRUE(ring->Closed());
+}
+
+// Both sides of a real transport map the same fd. dup() stands in for
+// the SCM_RIGHTS copy the unix socket would deliver.
+TEST(ShmRing, CrossMappingSeesTheSameBytes) {
+  std::string error;
+  auto producer_side = ShmRing::Create(1 << 13, &error);
+  ASSERT_NE(producer_side, nullptr) << error;
+  auto consumer_side = ShmRing::Map(::dup(producer_side->Fd()), &error);
+  ASSERT_NE(consumer_side, nullptr) << error;
+  EXPECT_EQ(consumer_side->Capacity(), producer_side->Capacity());
+
+  for (int i = 0; i < 64; ++i) {
+    const std::vector<uint8_t> frame = Pattern(10 + i * 71 % 3000, uint8_t(i));
+    ASSERT_TRUE(producer_side->PushFrame(frame));
+    std::vector<uint8_t> received;
+    ASSERT_TRUE(consumer_side->PopFrame(&received));
+    ASSERT_EQ(received, frame) << i;
+  }
+  // Close propagates through the shared header, either direction.
+  consumer_side->Close();
+  EXPECT_TRUE(producer_side->Closed());
+}
+
+// A torn length is unrecoverable: the ring must die, not spin or
+// deliver garbage. The corruption is injected by a producer that lies
+// about its cursor — we push a valid frame, then scribble its length.
+TEST(ShmRing, CorruptLengthClosesTheRing) {
+  std::string error;
+  auto writer = ShmRing::Create(ShmRing::kMinCapacity, &error);
+  ASSERT_NE(writer, nullptr) << error;
+  auto reader = ShmRing::Map(::dup(writer->Fd()), &error);
+  ASSERT_NE(reader, nullptr) << error;
+
+  ASSERT_TRUE(writer->PushFrame(Pattern(32, 5)));
+  // Scribble the frame's length prefix through the backing fd. The
+  // data array is the trailing Capacity() bytes of the region, so its
+  // offset falls out of fstat without knowing the header layout.
+  struct stat st;
+  ASSERT_EQ(::fstat(writer->Fd(), &st), 0);
+  const off_t data_offset = st.st_size - off_t(writer->Capacity());
+  uint8_t poison[4] = {0xff, 0xff, 0xff, 0xff};
+  ASSERT_EQ(::pwrite(writer->Fd(), poison, 4, data_offset), 4);
+  std::vector<uint8_t> received;
+  EXPECT_FALSE(reader->PopFrame(&received));
+  EXPECT_TRUE(reader->Closed());
+}
+
+TEST(ShmRing, MapRejectsRegionsThatAreNotRings) {
+  // Too small outright.
+  {
+    const int fd = ::memfd_create("not-a-ring", 0);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(::ftruncate(fd, 64), 0);
+    std::string error;
+    EXPECT_EQ(ShmRing::Map(fd, &error), nullptr);  // Map closes fd
+    EXPECT_FALSE(error.empty());
+  }
+  // Right size, wrong magic (all-zero header).
+  {
+    std::string error;
+    auto real = ShmRing::Create(ShmRing::kMinCapacity, &error);
+    ASSERT_NE(real, nullptr) << error;
+    struct stat st;
+    ASSERT_EQ(::fstat(real->Fd(), &st), 0);
+    const int fd = ::memfd_create("not-a-ring", 0);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(::ftruncate(fd, st.st_size), 0);
+    EXPECT_EQ(ShmRing::Map(fd, &error), nullptr);
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+}  // namespace
+}  // namespace setcover

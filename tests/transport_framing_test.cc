@@ -1,0 +1,188 @@
+// Transport framing under short I/O and dialect negotiation: frames
+// must survive reads and writes fragmented at every byte boundary in
+// both directions (the splitting-connection satellite), and one
+// ListenUnix listener must serve framed (ConnectUnix) and
+// shared-memory (ConnectShm) clients side by side, each finishing a
+// real session bit-identical to the engine oracle.
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/registry.h"
+#include "engine/engine.h"
+#include "instance/generators.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "server/transport.h"
+#include "stream/orderings.h"
+#include "util/rng.h"
+
+namespace setcover {
+namespace server {
+namespace {
+
+std::vector<uint8_t> Pattern(size_t size, uint8_t salt) {
+  std::vector<uint8_t> bytes(size);
+  for (size_t i = 0; i < size; ++i) bytes[i] = uint8_t(salt + i * 131);
+  return bytes;
+}
+
+/// A connected pair of framed connections over a socketpair, each
+/// side's syscalls capped at max_io bytes.
+struct SplitPair {
+  std::unique_ptr<Connection> a;
+  std::unique_ptr<Connection> b;
+};
+
+SplitPair MakeSplitPair(size_t max_io_a, size_t max_io_b) {
+  int fds[2];
+  EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  return {WrapFdForTest(fds[0], max_io_a), WrapFdForTest(fds[1], max_io_b)};
+}
+
+// max_io = 1 byte: the length prefix itself arrives in four separate
+// reads, the payload byte by byte — framing must reassemble exactly.
+TEST(TransportFraming, OneBytePerSyscallBothDirections) {
+  SplitPair pair = MakeSplitPair(1, 1);
+
+  for (const size_t size : {size_t(0), size_t(1), size_t(3), size_t(257)}) {
+    const std::vector<uint8_t> sent = Pattern(size, uint8_t(size));
+    std::thread sender([&] { ASSERT_TRUE(pair.a->Send(sent)); });
+    std::vector<uint8_t> received;
+    ASSERT_TRUE(pair.b->Receive(&received));
+    sender.join();
+    EXPECT_EQ(received, sent) << "a->b size=" << size;
+
+    std::thread replier([&] { ASSERT_TRUE(pair.b->Send(sent)); });
+    ASSERT_TRUE(pair.a->Receive(&received));
+    replier.join();
+    EXPECT_EQ(received, sent) << "b->a size=" << size;
+  }
+}
+
+// Sweep asymmetric caps, including ones that split the frame inside
+// the prefix (2, 3), across the prefix/payload boundary (5, 7), and
+// mid-payload (64) — with real protocol-sized frames.
+TEST(TransportFraming, FragmentationSweepWithLargeFrames) {
+  for (const size_t cap : {size_t(2), size_t(3), size_t(5), size_t(7),
+                           size_t(64)}) {
+    SplitPair pair = MakeSplitPair(cap, cap == 2 ? 3 : 1);
+    const std::vector<uint8_t> big = Pattern(60000, uint8_t(cap));
+    std::thread sender([&] {
+      ASSERT_TRUE(pair.a->Send(big));
+      std::vector<uint8_t> echoed;
+      ASSERT_TRUE(pair.a->Receive(&echoed));
+      EXPECT_EQ(echoed.size(), big.size());
+    });
+    std::vector<uint8_t> received;
+    ASSERT_TRUE(pair.b->Receive(&received));
+    EXPECT_EQ(received, big) << "cap=" << cap;
+    ASSERT_TRUE(pair.b->Send(received));
+    sender.join();
+  }
+}
+
+TEST(TransportFraming, OversizeFrameIsRefusedBySend) {
+  SplitPair pair = MakeSplitPair(0, 0);
+  const std::vector<uint8_t> huge((1u << 20) + 2048, 0);
+  EXPECT_FALSE(pair.a->Send(huge));
+}
+
+TEST(TransportFraming, CloseUnblocksAReceiver) {
+  SplitPair pair = MakeSplitPair(0, 0);
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    pair.a->Close();
+  });
+  std::vector<uint8_t> received;
+  EXPECT_FALSE(pair.b->Receive(&received));
+  closer.join();
+}
+
+// One listener, two dialects: a framed client and a shared-memory
+// client run complete sessions against the same SessionServer and both
+// match the engine oracle. This is the hybrid-negotiation smoke.
+TEST(TransportFraming, UnixListenerServesFramedAndShmClientsTogether) {
+  Rng rng(411);
+  UniformRandomParams p;
+  p.num_elements = 60;
+  p.num_sets = 80;
+  SetCoverInstance instance = GenerateUniformRandom(p, rng);
+  EdgeStream stream = OrderedStream(instance, StreamOrder::kRandom, rng);
+  const std::string algorithm = RegisteredAlgorithmNames().front();
+
+  engine::RunConfig config;
+  config.algorithm = algorithm;
+  config.options.seed = 5;
+  config.source = engine::SourceSpec::InMemory(stream);
+  engine::RunReport expected = engine::Execute(config);
+  ASSERT_TRUE(expected.completed) << expected.error;
+
+  const std::string path = testing::TempDir() + "framing_hybrid_" +
+                           std::to_string(::getpid()) + ".sock";
+  std::string error;
+  std::unique_ptr<Listener> listener = ListenUnix(path, &error);
+  ASSERT_NE(listener, nullptr) << error;
+  ServerOptions options;
+  options.worker_threads = 2;
+  SessionServer server(options, std::move(listener));
+  server.Start();
+
+  OpenBody open;
+  open.algorithm = algorithm;
+  open.seed = 5;
+  open.meta = stream.meta;
+
+  auto run_one = [&](uint64_t session_id, bool shm, Message* reply,
+                     std::string* run_error) {
+    ClientOptions client_options;
+    client_options.backoff.max_retries = 64;
+    client_options.backoff.initial_delay_us = 50;
+    client_options.backoff.max_delay_us = 2000;
+    SessionClient client(
+        [&path, shm](std::string* dial_error) {
+          return shm ? ConnectShm(path, 1u << 20, dial_error)
+                     : ConnectUnix(path, dial_error);
+        },
+        client_options);
+    return RunSessionToCompletion(&client, session_id, open, stream.edges,
+                                  97, reply, run_error);
+  };
+
+  Message framed_reply, shm_reply;
+  std::string framed_error, shm_error;
+  std::thread framed([&] {
+    ASSERT_TRUE(run_one(1, false, &framed_reply, &framed_error))
+        << framed_error;
+  });
+  std::thread shm([&] {
+    ASSERT_TRUE(run_one(2, true, &shm_reply, &shm_error)) << shm_error;
+  });
+  framed.join();
+  shm.join();
+  server.DrainAndStop();
+
+  const std::vector<uint32_t> cover(expected.solution.cover.begin(),
+                                    expected.solution.cover.end());
+  const std::vector<uint32_t> certificate(
+      expected.solution.certificate.begin(),
+      expected.solution.certificate.end());
+  EXPECT_EQ(framed_reply.cover, cover);
+  EXPECT_EQ(shm_reply.cover, cover);
+  EXPECT_EQ(framed_reply.certificate, certificate);
+  EXPECT_EQ(shm_reply.certificate, certificate);
+  EXPECT_EQ(shm_reply.edges_delivered, expected.edges_delivered);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace setcover

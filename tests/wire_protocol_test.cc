@@ -282,6 +282,66 @@ TEST(WireProtocol, OversizeFramesAndOversizeBatchesAreRejected) {
   EXPECT_FALSE(DecodeMessage(payload, &error).has_value());
 }
 
+// The zero-copy ingest encoder must be indistinguishable on the wire
+// from the Message-based one, batch by batch — including empty.
+TEST(WireProtocol, EncodeIngestMatchesEncodeMessageByteForByte) {
+  for (const size_t count : {size_t(0), size_t(1), size_t(100),
+                             size_t(4096)}) {
+    std::vector<Edge> edges;
+    for (size_t i = 0; i < count; ++i)
+      edges.push_back(Edge{uint32_t(i * 7 % 1000), uint32_t(i % 61)});
+
+    Message m;
+    m.type = MessageType::kIngest;
+    m.session_id = 42;
+    m.sequence = 17;
+    m.edges = edges;
+    const std::vector<uint8_t> via_message = EncodeMessage(m);
+
+    std::vector<uint8_t> via_span;
+    EncodeIngest(42, 17, edges, &via_span);
+    EXPECT_EQ(via_span, via_message) << "count=" << count;
+  }
+}
+
+// The arena overload must produce identical bytes even into a dirty
+// buffer left over from a previous (larger) message.
+TEST(WireProtocol, ArenaEncodeIntoDirtyBufferIsIdentical) {
+  const Message big = SampleFinalizeOk();
+  const Message small = SampleIngest();
+  std::vector<uint8_t> arena;
+  EncodeMessage(big, &arena);
+  EXPECT_EQ(arena, EncodeMessage(big));
+  EncodeMessage(small, &arena);
+  EXPECT_EQ(arena, EncodeMessage(small));
+
+  std::vector<uint8_t> dirty(4096, 0xee);
+  EncodeIngest(small.session_id, small.sequence, small.edges, &dirty);
+  EXPECT_EQ(dirty, EncodeMessage(small));
+}
+
+// A maximum-size batch survives the bulk encode/decode round trip.
+TEST(WireProtocol, MaxBatchRoundTripsThroughBulkPaths) {
+  std::vector<Edge> edges(kMaxIngestEdges);
+  for (size_t i = 0; i < edges.size(); ++i)
+    edges[i] = Edge{uint32_t(i), uint32_t(~i)};
+  std::vector<uint8_t> payload;
+  EncodeIngest(7, 123456789, edges, &payload);
+  ASSERT_LE(payload.size(), kMaxFrameBytes);
+
+  std::string error;
+  std::optional<Message> decoded = DecodeMessage(payload, &error);
+  ASSERT_TRUE(decoded.has_value()) << error;
+  EXPECT_EQ(decoded->type, MessageType::kIngest);
+  EXPECT_EQ(decoded->session_id, 7u);
+  EXPECT_EQ(decoded->sequence, 123456789u);
+  ASSERT_EQ(decoded->edges.size(), edges.size());
+  for (size_t i = 0; i < edges.size(); ++i) {
+    ASSERT_EQ(decoded->edges[i].set, edges[i].set) << i;
+    ASSERT_EQ(decoded->edges[i].element, edges[i].element) << i;
+  }
+}
+
 TEST(WireProtocol, UnknownTypeWithValidCrcIsRejected) {
   Message m;
   m.type = MessageType::kCheckpointOk;

@@ -20,16 +20,31 @@
 // the shardable registry rows only (the server has no merge step; this
 // exercises the W-pipeline ingest path under real concurrency).
 //
+// --transport selects the wire: `local` is the in-process endpoint;
+// `unix` and `shm` put a real unix-domain socket — plain framed or
+// upgraded to the shared-memory rings — under every client,
+// self-hosting the server on a temporary socket path unless --socket
+// points at an external daemon. The default is `local` when
+// self-hosted and `unix` when --socket is given (its pre---transport
+// meaning). --window=K keeps K un-acked ingest
+// batches in flight per session (K=1 is strict request–response). The
+// summary always reports aggregate ingest edges/s plus a per-op
+// ingest-latency histogram (p50/p95/p99 of send-to-ack).
+//
 // Usage:
 //   setcover_loadgen [--sessions=256] [--clients=8] [--batch=64]
 //                    [--elements=60] [--sets=80] [--seed=1]
 //                    [--faults] [--workers=3] [--max-queue=128]
 //                    [--state-dir=DIR] [--kill-after-us=N]
 //                    [--socket=/path/to.sock] [--shards=W]
+//                    [--transport=local|unix|shm] [--window=K]
 //
 // Exit code 0 iff every session completed with an oracle-identical
 // cover.
 
+#include <unistd.h>
+
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -63,6 +78,12 @@ struct Plan {
   std::optional<FaultSchedule> faults;
 };
 
+uint64_t Percentile(const std::vector<uint64_t>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const size_t index = size_t(p * double(sorted.size() - 1) + 0.5);
+  return sorted[std::min(index, sorted.size() - 1)];
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -77,6 +98,12 @@ int main(int argc, char** argv) {
   const uint64_t kill_after_us =
       uint64_t(flags.GetInt("kill-after-us", 0));
   const int64_t shards_flag = flags.GetInt("shards", 1);
+  // --socket has meant "dial the daemon over its unix socket" since
+  // before --transport existed, so it keeps that default; --transport
+  // only needs saying to upgrade the dial to shm.
+  const std::string transport = flags.GetString(
+      "transport", socket_path.empty() ? "local" : "unix");
+  const size_t window = size_t(flags.GetInt("window", 1));
 
   UniformRandomParams params;
   params.num_elements = uint32_t(flags.GetInt("elements", 60));
@@ -89,9 +116,24 @@ int main(int argc, char** argv) {
 
   for (const std::string& key : flags.UnusedKeys())
     std::fprintf(stderr, "warning: unknown flag --%s\n", key.c_str());
+  if (transport != "local" && transport != "unix" && transport != "shm") {
+    std::fprintf(stderr, "error: --transport must be local, unix, or shm\n");
+    return 2;
+  }
+  if (!socket_path.empty() && transport == "local") {
+    std::fprintf(stderr,
+                 "error: --socket needs --transport=unix or shm\n");
+    return 2;
+  }
   if (!socket_path.empty() && kill_after_us > 0) {
     std::fprintf(stderr,
                  "error: --kill-after-us needs the self-hosted server\n");
+    return 2;
+  }
+  if (transport != "local" && kill_after_us > 0) {
+    std::fprintf(stderr,
+                 "error: --kill-after-us needs --transport=local (the "
+                 "socket listener does not restart)\n");
     return 2;
   }
   if (kill_after_us > 0 && state_dir.empty()) {
@@ -161,18 +203,37 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Transport: external socket, or a self-hosted in-process server.
+  // Transport: external socket, or a self-hosted server — in-process
+  // for --transport=local, over a temporary unix socket (plain framed
+  // or shm-upgraded, the listener serves both) otherwise.
   server::LocalEndpoint endpoint;
+  std::string dial_path = socket_path;
   std::unique_ptr<server::SessionServer> self_hosted;
   if (socket_path.empty()) {
-    self_hosted = std::make_unique<server::SessionServer>(server_options,
-                                                          endpoint.Listen());
+    std::unique_ptr<server::Listener> listener;
+    if (transport == "local") {
+      listener = endpoint.Listen();
+    } else {
+      dial_path = "/tmp/setcover_loadgen_" + std::to_string(::getpid()) +
+                  ".sock";
+      std::string listen_error;
+      listener = server::ListenUnix(dial_path, &listen_error);
+      if (listener == nullptr) {
+        std::fprintf(stderr, "listen %s: %s\n", dial_path.c_str(),
+                     listen_error.c_str());
+        return 1;
+      }
+    }
+    self_hosted = std::make_unique<server::SessionServer>(
+        server_options, std::move(listener));
     self_hosted->Start();
   }
   auto dialer = [&](std::string* error)
       -> std::unique_ptr<server::Connection> {
-    if (!socket_path.empty())
-      return server::ConnectUnix(socket_path, error);
+    if (transport == "unix") return server::ConnectUnix(dial_path, error);
+    if (transport == "shm")
+      return server::ConnectShm(dial_path, server::kDefaultShmRingBytes,
+                                error);
     return endpoint.Connect(error);
   };
 
@@ -183,6 +244,7 @@ int main(int argc, char** argv) {
   std::atomic<uint64_t> total_sheds{0};
   std::atomic<uint64_t> total_redials{0};
   std::vector<std::atomic<uint64_t>> shard_edges(shards);
+  std::vector<std::vector<uint64_t>> thread_latencies(clients);
 
   std::vector<std::thread> threads;
   for (int t = 0; t < clients; ++t) {
@@ -208,13 +270,20 @@ int main(int argc, char** argv) {
           open.checkpoint_every = state_dir.empty() ? 0 : 64;
           open.faults = plan.faults;
 
+          server::RunSessionOptions run;
+          run.batch_edges = batch;
+          run.window = window;
+          run.ingest_latency = [&, t](uint64_t micros) {
+            thread_latencies[t].push_back(micros);
+          };
+
           server::Message reply;
           std::string error;
           bool done = false;
           for (int attempt = 0; attempt < 100 && !done; ++attempt) {
             done = server::RunSessionToCompletion(&client, session_id, open,
                                                   shard_streams[w].edges,
-                                                  batch, &reply, &error);
+                                                  run, &reply, &error);
           }
           if (!done) {
             std::fprintf(stderr, "session %llu failed: %s\n",
@@ -259,24 +328,40 @@ int main(int argc, char** argv) {
 
   std::printf(
       "sessions=%llu completed=%llu failures=%llu mismatches=%llu "
-      "sheds_survived=%llu redials=%llu seconds=%.3f\n",
+      "sheds_survived=%llu redials=%llu seconds=%.3f transport=%s "
+      "window=%llu\n",
       (unsigned long long)sessions, (unsigned long long)completed.load(),
       (unsigned long long)failures.load(),
       (unsigned long long)mismatches.load(),
       (unsigned long long)total_sheds.load(),
-      (unsigned long long)total_redials.load(), seconds);
-  if (shards > 1) {
-    uint64_t total_edges = 0;
-    for (uint32_t w = 0; w < shards; ++w) {
-      const uint64_t edges = shard_edges[w].load();
-      total_edges += edges;
+      (unsigned long long)total_redials.load(), seconds, transport.c_str(),
+      (unsigned long long)window);
+
+  uint64_t total_edges = 0;
+  for (uint32_t w = 0; w < shards; ++w) {
+    const uint64_t edges = shard_edges[w].load();
+    total_edges += edges;
+    if (shards > 1)
       std::printf("shard %u: %llu edges ingested, %.2f M edges/s\n", w,
                   (unsigned long long)edges, edges / seconds / 1e6);
-    }
-    std::printf("aggregate: %llu edges over %u shards, %.2f M edges/s\n",
-                (unsigned long long)total_edges, shards,
-                total_edges / seconds / 1e6);
   }
+  std::printf("aggregate: %llu edges ingested, %.2f M edges/s\n",
+              (unsigned long long)total_edges, total_edges / seconds / 1e6);
+
+  // The per-op latency histogram: send-to-ack per ingest batch, merged
+  // across client threads (retried batches count each attempt's ack).
+  std::vector<uint64_t> latencies;
+  for (const std::vector<uint64_t>& partial : thread_latencies)
+    latencies.insert(latencies.end(), partial.begin(), partial.end());
+  std::sort(latencies.begin(), latencies.end());
+  std::printf(
+      "ingest latency: ops=%llu p50=%lluus p95=%lluus p99=%lluus "
+      "max=%lluus\n",
+      (unsigned long long)latencies.size(),
+      (unsigned long long)Percentile(latencies, 0.50),
+      (unsigned long long)Percentile(latencies, 0.95),
+      (unsigned long long)Percentile(latencies, 0.99),
+      (unsigned long long)(latencies.empty() ? 0 : latencies.back()));
   const bool ok =
       completed.load() == sessions * shards && mismatches.load() == 0 &&
       failures.load() == 0;
