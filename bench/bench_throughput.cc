@@ -250,6 +250,67 @@ BENCHMARK(BM_ShardedIngest)
     ->UseRealTime()  // the shard workers carry the load
     ->MinTime(0.5);
 
+// The execution-substrate seam: the same RunConfig through each
+// registered backend (engine/backend.h) at representative worker
+// counts. The interesting deltas are the substrate overheads — thread
+// fan-out + merge for sharded, fork + shm-ring feeding + per-worker
+// reports for forked — over the identical pipeline work, since covers
+// are bit-identical across rows at equal W (backend_matrix_test pins
+// that; the in-bench check here re-asserts it against the inprocess
+// run at W = 1). Multi-worker rows only scale on multi-core hosts;
+// num_cpus lets the perf gate annotate-and-skip cross-host
+// comparisons.
+void BM_BackendIngest(benchmark::State& state) {
+  static const char* const kBackends[] = {"inprocess", "sharded", "forked"};
+  const std::string backend = kBackends[state.range(0)];
+  const uint32_t workers = static_cast<uint32_t>(state.range(1));
+  const EdgeStream& stream = SharedStream();
+
+  engine::RunConfig config;
+  config.algorithm = "kk";
+  config.options.seed = 3;
+  config.source = engine::SourceSpec::InMemory(stream);
+  config.backend.name = backend;
+  config.backend.workers = workers;
+
+  engine::RunReport report;
+  for (auto _ : state) {
+    report = engine::Execute(config);
+    if (!report.error.empty()) {
+      state.SkipWithError(report.error.c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(report.solution.cover.size());
+  }
+  if (report.completed && workers == 1 && backend != "inprocess") {
+    engine::RunConfig reference = config;
+    reference.backend = engine::BackendSpec{};
+    reference.backend.name = "inprocess";
+    const engine::RunReport expected = engine::Execute(reference);
+    if (report.solution.cover != expected.solution.cover ||
+        report.solution.certificate != expected.solution.certificate) {
+      state.SkipWithError("W=1 backend run diverged from inprocess");
+    }
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) *
+                          int64_t(stream.size()));
+  state.SetLabel("backend-ingest/" + backend + "/w" +
+                 std::to_string(workers));
+  state.counters["workers"] = double(workers);
+  state.counters["stream_edges"] = double(stream.size());
+  state.counters["num_cpus"] = double(std::thread::hardware_concurrency());
+}
+
+BENCHMARK(BM_BackendIngest)
+    ->Args({0, 1})  // inprocess
+    ->Args({1, 1})  // sharded W=1 (substrate overhead at parity)
+    ->Args({1, 4})
+    ->Args({2, 1})  // forked W=1 (fork + ring feeding overhead)
+    ->Args({2, 4})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()  // workers (threads or processes) carry the load
+    ->MinTime(0.5);
+
 // ---- Offline-kernel rows: the bucket-queue greedy vs the lazy-heap
 // reference it replaced (identical outputs, greedy_kernel_test), the
 // counting-sort orderings, and the CSR instance build. items/s = edges/s

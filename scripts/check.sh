@@ -33,9 +33,11 @@
 # contract's own definition sites), production code must not drive
 # ProcessEdgeBatch directly — every run path goes through the engine —
 # src/server/ must stay a pure engine client (no includes of the
-# core/instance/algorithm layers), and raw shared-memory plumbing
+# core/instance/algorithm layers), raw shared-memory plumbing
 # (memfd_create / SCM_RIGHTS fd passing) stays confined to
-# src/util/shm_ring.* and src/server/transport.*.
+# src/util/shm_ring.* and src/server/transport.*, and process control
+# (fork / waitpid / execve) stays confined to the forked execution
+# backend (src/engine/backends/forked.*).
 #
 # Usage: scripts/check.sh [--bench-smoke] [jobs]
 set -euo pipefail
@@ -48,7 +50,9 @@ echo "== layering guard: ProcessEdgeBatch callers outside src/engine/ =="
 GUARD_ALLOW=(
   src/engine/engine.cc
   src/engine/session.cc
-  src/engine/sharded.cc
+  src/engine/backends/inprocess.cc
+  src/engine/backends/sharded.cc
+  src/engine/backends/forked.cc
   src/core/streaming_algorithm.h
   src/core/streaming_algorithm.cc
   src/core/multi_run.cc
@@ -94,7 +98,7 @@ fi
 # 2√(n·t) guarantee and the Õ(n) message accounting in one place.
 # bench/ and tests/ are exempt by not being scanned.
 PROTO_ALLOW=(
-  src/engine/sharded.cc
+  src/engine/backends/shard_common.cc
   src/comm/deterministic_protocol.h
   src/comm/deterministic_protocol.cc
 )
@@ -120,6 +124,19 @@ if [[ -n "$SHM_HITS" ]]; then
   echo "$SHM_HITS"
   echo "layering guard: raw shm/fd-passing calls outside src/util/shm_ring.*"
   echo "and src/server/transport.*; use ShmRing / ConnectShm instead"
+  exit 1
+fi
+# Process control is the forked execution backend's business and nobody
+# else's: one reviewed file owns the fork/exec/reap lifecycle (child
+# hygiene, worker reaping, partial-failure reporting), so every
+# multi-process run inherits its crash semantics instead of growing a
+# second, subtly different fork site.
+FORK_HITS=$(grep -rnE '\b(fork|waitpid|execve)\s*\(' src/ tools/ examples/ \
+  --exclude=forked.h --exclude=forked.cc || true)
+if [[ -n "$FORK_HITS" ]]; then
+  echo "$FORK_HITS"
+  echo "layering guard: fork/waitpid/execve outside src/engine/backends/forked.*;"
+  echo "run multi-process work through the forked backend (--backend=forked)"
   exit 1
 fi
 echo "layering guard: clean"
@@ -184,7 +201,7 @@ if [[ "$BENCH_SMOKE" == "1" ]]; then
   GATE_OK=0
   for GATE_ATTEMPT in 1 2 3; do
     build-release/bench/bench_throughput \
-      '--benchmark_filter=FileReplay|BM_GreedyCover/|IngestCeiling|ShardedIngest' \
+      '--benchmark_filter=FileReplay|BM_GreedyCover/|IngestCeiling|ShardedIngest|BackendIngest' \
       --benchmark_format=json >/tmp/setcover_replay_smoke.json
     # The server ingest matrix runs as its own binary: a full session
     # per iteration (open/ingest/finalize/close) against a live server,
@@ -208,8 +225,8 @@ if [[ "$BENCH_SMOKE" == "1" ]]; then
 import json, sys
 
 FLOOR = 0.7  # fail if a row drops below this fraction of the baseline
-GATED = ("file-replay/", "greedy/bucket-queue", "ingest-ceiling/",
-         "sharded-ingest/", "transport-ingest/")
+GATED = ("backend-ingest/", "file-replay/", "greedy/bucket-queue",
+         "ingest-ceiling/", "sharded-ingest/", "transport-ingest/")
 
 def replay_rows(*paths):
     # Merge the gated rows from several benchmark JSON files (the
@@ -249,7 +266,8 @@ for label, base_row in sorted(baseline.items()):
     # recorded on a 1-core baseline host says nothing about a 16-core CI
     # runner. Each row stamps the recording host's num_cpus; on mismatch
     # the gate annotates and skips that row rather than mis-gating.
-    workers = max(base_row.get("shards", 1), base_row.get("threads", 1))
+    workers = max(base_row.get("shards", 1), base_row.get("threads", 1),
+                  base_row.get("workers", 1))
     row_cpus = base_row.get("num_cpus", base_cpus)
     if workers > 1 and row_cpus is not None and row_cpus != cur_cpus:
         print(f"perf gate: SKIPPED {label}: parallel row recorded on a "
@@ -285,12 +303,18 @@ EOF
              stream_format_test greedy_kernel_test instance_test \
              bitset_test wire_protocol_test engine_session_test \
              simd_kernel_test simd_dispatch_test sharded_engine_test \
+             backend_matrix_test \
              shm_ring_test transport_framing_test windowed_ingest_test
   build-asan/tests/engine_equivalence_test
   # The sharded runner's W=1 bit-identity, protocol bounds, and
   # aggregate-checkpoint resume, with ASan watching the merge's
   # candidate remapping.
   build-asan/tests/sharded_engine_test
+  # The execution-substrate matrix — cross-backend bit-identity, the
+  # forked backend's fork/ring/reap lifecycle, and kill-one-worker
+  # resume — with ASan watching both sides of every shm ring and the
+  # post-fork child paths.
+  build-asan/tests/backend_matrix_test
   build-asan/tests/batch_equivalence_test
   build-asan/tests/stream_format_test
   build-asan/tests/greedy_kernel_test

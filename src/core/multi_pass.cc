@@ -120,4 +120,45 @@ CoverSolution ProgressiveThresholdMultiPass::Finalize() {
   return solution;
 }
 
+void MultiPassStreamAdapter::Begin(const StreamMetadata& meta) {
+  meta_ = meta;
+  edges_in_pass_ = 0;
+  pass_ = 0;
+  passes_completed_ = 0;
+  saturated_ = false;
+  inner_->Begin(meta);
+  inner_->BeginPass(0);
+  open_pass_ = true;
+}
+
+void MultiPassStreamAdapter::ProcessEdge(const Edge& edge) {
+  if (saturated_) return;
+  inner_->ProcessEdge(edge);
+  if (meta_.stream_length == 0 ||
+      ++edges_in_pass_ < meta_.stream_length) {
+    return;
+  }
+  edges_in_pass_ = 0;
+  open_pass_ = false;
+  ++passes_completed_;
+  if (!inner_->EndPass(pass_)) {
+    saturated_ = true;
+    return;
+  }
+  inner_->BeginPass(++pass_);
+  open_pass_ = true;
+}
+
+CoverSolution MultiPassStreamAdapter::Finalize() {
+  // Close out a short final pass (stream shorter than declared, or a
+  // schedule with fewer passes than the algorithm wanted) so per-pass
+  // accounting stays balanced; an open pass that saw no edges is
+  // dropped silently.
+  if (!saturated_ && open_pass_ && edges_in_pass_ > 0) {
+    inner_->EndPass(pass_);
+    ++passes_completed_;
+  }
+  return inner_->Finalize();
+}
+
 }  // namespace setcover

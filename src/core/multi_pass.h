@@ -106,6 +106,49 @@ class ProgressiveThresholdMultiPass : public MultiPassSetCoverAlgorithm {
   MemoryMeter::ComponentId solution_words_;
 };
 
+/// Adapts a MultiPassSetCoverAlgorithm to the one-pass streaming
+/// interface by inferring pass boundaries from the edge count: every
+/// meta.stream_length delivered edges complete one pass (EndPass, then
+/// BeginPass for the next). Pair it with a `passes = k` ScheduleSpec —
+/// the scheduled source delivers the identical record sequence k times
+/// and the adapter turns that concatenation back into the algorithm's
+/// pass lifecycle, so engine::Execute over the schedule is
+/// bit-identical to RunMultiPass over the raw stream.
+///
+/// Once the inner algorithm declines another pass (EndPass false) any
+/// remaining scheduled edges are absorbed without effect; a schedule
+/// cut short of the algorithm's wanted passes is closed out at
+/// Finalize() (the progressive-threshold safety patching keeps the
+/// cover feasible). Deliberately NOT registry-registered: the caller
+/// must supply a schedule that matches the algorithm's pass count,
+/// which the CLI does for --algorithm=progressive-threshold.
+class MultiPassStreamAdapter final : public StreamingSetCoverAlgorithm {
+ public:
+  /// Non-owning; `inner` must outlive the adapter.
+  explicit MultiPassStreamAdapter(MultiPassSetCoverAlgorithm& inner)
+      : inner_(&inner) {}
+
+  std::string Name() const override { return inner_->Name(); }
+  void Begin(const StreamMetadata& meta) override;
+  void ProcessEdge(const Edge& edge) override;
+  CoverSolution Finalize() override;
+  const MemoryMeter& Meter() const override { return inner_->Meter(); }
+
+  /// EndPass calls issued so far.
+  uint32_t PassesCompleted() const { return passes_completed_; }
+
+ private:
+  MultiPassSetCoverAlgorithm* inner_;
+  StreamMetadata meta_;
+  uint64_t edges_in_pass_ = 0;
+  uint32_t pass_ = 0;
+  uint32_t passes_completed_ = 0;
+  /// The inner algorithm declined another pass; absorb further edges.
+  bool saturated_ = false;
+  /// A BeginPass has fired without its matching EndPass yet.
+  bool open_pass_ = false;
+};
+
 }  // namespace setcover
 
 #endif  // SETCOVER_CORE_MULTI_PASS_H_

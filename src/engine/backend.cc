@@ -1,0 +1,49 @@
+#include "engine/backend.h"
+
+#include <memory>
+
+#include "engine/backends/forked.h"
+#include "engine/backends/inprocess.h"
+#include "engine/backends/sharded.h"
+
+namespace setcover {
+namespace engine {
+
+ShardPartitioner SetModuloPartitioner() { return ShardPartitioner{}; }
+
+const std::vector<BackendInfo>& BackendRegistry() {
+  static const std::vector<BackendInfo>* registry =
+      new std::vector<BackendInfo>{
+          {"inprocess",
+           "single pipeline on the calling thread (default)", false},
+          {"sharded",
+           "W set-partitioned worker pipelines on the thread pool, "
+           "t-party merge",
+           false},
+          {"forked",
+           "W forked worker processes fed over shm rings, t-party merge",
+           true},
+      };
+  return *registry;
+}
+
+std::unique_ptr<Backend> MakeBackend(const std::string& name,
+                                     std::string* error) {
+  if (name.empty() || name == "inprocess") {
+    return std::make_unique<InProcessBackend>();
+  }
+  if (name == "sharded") return std::make_unique<ShardedBackend>();
+  if (name == "forked") return std::make_unique<ForkedBackend>();
+  if (error != nullptr) {
+    std::string known;
+    for (const BackendInfo& info : BackendRegistry()) {
+      if (!known.empty()) known += ", ";
+      known += info.name;
+    }
+    *error = "unknown backend '" + name + "'; known backends: " + known;
+  }
+  return nullptr;
+}
+
+}  // namespace engine
+}  // namespace setcover

@@ -1,0 +1,116 @@
+#ifndef SETCOVER_ENGINE_BACKEND_H_
+#define SETCOVER_ENGINE_BACKEND_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stream/edge.h"
+
+namespace setcover {
+namespace engine {
+
+struct RunConfig;
+struct RunReport;
+
+/// The execution-substrate seam of the engine: *where* a RunConfig
+/// executes — in-process on the calling thread, fanned out over the
+/// thread pool, or across forked worker processes — is a Backend, and
+/// engine::Execute is a thin dispatcher over it. Callers describe the
+/// run once (RunConfig) and pick a substrate (BackendSpec); covers,
+/// certificates, and checkpoint bytes are bit-identical across
+/// substrates at the same worker count, which is what lets one daemon,
+/// one CLI, and one test suite serve every backend.
+///
+/// Registered backends:
+///   inprocess — the single pipeline on the calling thread (fast paths
+///               + supervised Drive); the default.
+///   sharded   — W set-partitioned worker pipelines on the thread pool,
+///               merged through the deterministic t-party protocol
+///               (engine/sharded.h).
+///   forked    — W forked worker *processes*, edges fed over shm rings,
+///               per-shard SCSH checkpoint slots, same deterministic
+///               merge (engine/backends/forked.h).
+
+/// The partitioner seam: maps a set id to its owning shard in [0, W).
+/// Must be a pure function — it runs in every shard's hot loop and its
+/// verdicts must agree across shards and across resume. The name is
+/// recorded in sharded checkpoints; resuming under a different
+/// partitioner is refused.
+struct ShardPartitioner {
+  std::string name = "set-mod";
+  /// nullptr means the built-in set-modulo rule (set_id % shards),
+  /// which the hot paths inline (bit-mask for power-of-two W) instead
+  /// of paying a std::function call per edge.
+  std::function<uint32_t(SetId, uint32_t shards)> index;
+};
+
+/// The default partitioner, spelled out.
+ShardPartitioner SetModuloPartitioner();
+
+/// Which substrate a RunConfig executes on, and with what fan-out.
+struct BackendSpec {
+  /// Registered backend name; empty selects automatically: "sharded"
+  /// when the run asks for more than one worker (workers > 1 or the
+  /// legacy RunConfig::shards > 1), else "inprocess" — unless the
+  /// SETCOVER_BACKEND environment variable forces an eligible run onto
+  /// a named substrate (the ctest backend matrix hook).
+  std::string name;
+
+  /// Worker fan-out W for multi-worker backends; 0 falls back to
+  /// RunConfig::shards (or 1). The inprocess backend ignores it.
+  uint32_t workers = 0;
+
+  /// Set-id partitioner shared by the sharded and forked backends.
+  ShardPartitioner partitioner = SetModuloPartitioner();
+
+  /// sharded: thread-pool width; 0 = one thread per shard.
+  size_t threads = 0;
+
+  /// Merge threshold τ override; 0 = the protocol's √(n·W) default.
+  uint32_t merge_threshold = 0;
+
+  /// Crash-injection knob of the forked backend (tests): worker
+  /// `fail_worker` exits without reporting after `fail_worker_after`
+  /// delivered edges, simulating a worker process dying mid-stream.
+  /// kNoFailWorker disables.
+  static constexpr uint32_t kNoFailWorker = ~uint32_t(0);
+  uint32_t fail_worker = kNoFailWorker;
+  uint64_t fail_worker_after = 0;
+};
+
+/// One execution substrate. Run() owns the whole lifecycle — validate
+/// the config, drive the pipeline(s), merge, validate the solution,
+/// stamp timings — and must honor the engine's equivalence contract:
+/// identical covers/certificates/checkpoint bytes as the inprocess
+/// pipeline at W = 1, and as each other at any W.
+class Backend {
+ public:
+  virtual ~Backend() = default;
+  virtual const char* Name() const = 0;
+  virtual RunReport Run(const RunConfig& config) = 0;
+};
+
+/// Registry row for the CLI `describe` backend column and diagnostics.
+struct BackendInfo {
+  std::string name;
+  std::string summary;
+  /// True when the backend runs worker pipelines outside the calling
+  /// thread's process.
+  bool multiprocess = false;
+};
+
+/// All registered backends, in dispatch-preference order.
+const std::vector<BackendInfo>& BackendRegistry();
+
+/// Instantiates a backend by registry name; nullptr (with *error
+/// naming the known backends) for unknown names.
+std::unique_ptr<Backend> MakeBackend(const std::string& name,
+                                     std::string* error);
+
+}  // namespace engine
+}  // namespace setcover
+
+#endif  // SETCOVER_ENGINE_BACKEND_H_

@@ -1,0 +1,67 @@
+#ifndef SETCOVER_ENGINE_BACKENDS_COMMON_H_
+#define SETCOVER_ENGINE_BACKENDS_COMMON_H_
+
+#include <chrono>
+
+#include "engine/engine.h"
+
+namespace setcover {
+namespace engine {
+namespace internal {
+
+/// Small helpers shared by every execution backend (and by the Drive
+/// loop itself). Internal to src/engine/ — not API.
+
+using Clock = std::chrono::steady_clock;
+
+inline double Seconds(Clock::time_point since) {
+  return std::chrono::duration<double>(Clock::now() - since).count();
+}
+
+inline uint64_t CountUncovered(const CoverSolution& solution) {
+  uint64_t uncovered = 0;
+  for (SetId s : solution.certificate)
+    if (s == kNoSet) ++uncovered;
+  return uncovered;
+}
+
+/// Records the algorithm's space accounting into the report — called on
+/// every exit path so even killed or failed runs report their meter.
+inline void StampMeter(RunReport* report,
+                       const StreamingSetCoverAlgorithm& algorithm) {
+  report->peak_words = algorithm.Meter().PeakWords();
+  report->current_words = algorithm.Meter().CurrentWords();
+  report->meter_breakdown = algorithm.Meter().BreakdownString();
+}
+
+/// Finalize + bookkeeping shared by every completing path.
+inline void FinalizeRun(RunReport* report,
+                        StreamingSetCoverAlgorithm& algorithm) {
+  const auto start = Clock::now();
+  report->solution = algorithm.Finalize();
+  report->stages.finalize_seconds = Seconds(start);
+  report->uncovered_elements = CountUncovered(report->solution);
+  report->completed = true;
+  StampMeter(report, algorithm);
+}
+
+/// The config-level source sanity check, shared verbatim so every
+/// backend rejects a malformed SourceSpec with the same message.
+/// Returns false with *error set when exactly-one-of is violated.
+inline bool ValidateSourceSpec(const SourceSpec& source, std::string* error) {
+  if ((source.stream != nullptr) == !source.path.empty()) {
+    *error = source.stream == nullptr
+                 ? "run config has no source (set SourceSpec::stream "
+                   "or SourceSpec::path)"
+                 : "run config sets both an in-memory stream and a "
+                   "file path; pick one";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace internal
+}  // namespace engine
+}  // namespace setcover
+
+#endif  // SETCOVER_ENGINE_BACKENDS_COMMON_H_

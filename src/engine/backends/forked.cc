@@ -1,0 +1,747 @@
+#include "engine/backends/forked.h"
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <ctime>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "engine/backends/common.h"
+#include "engine/backends/shard_common.h"
+#include "run/checkpoint.h"
+#include "stream/edge_source.h"
+#include "stream/fault_injector.h"
+#include "stream/schedule.h"
+#include "util/eintr.h"
+#include "util/shm_ring.h"
+#include "util/stage_pipe.h"
+
+namespace setcover {
+namespace engine {
+namespace {
+
+using internal::AggregateCheckpointWriter;
+using internal::Clock;
+using internal::FinalizeRun;
+using internal::Seconds;
+using internal::ShardFilterSource;
+
+constexpr size_t kFeedRingBytes = size_t(1) << 20;
+// Result frames carry whole certificates (n u32s) and checkpoint
+// state words, so this ring is sized generously; a frame that can
+// never fit fails the push and surfaces as a worker error.
+constexpr size_t kResultRingBytes = size_t(1) << 22;
+constexpr size_t kFeedRecords = 512;  // records per feed frame
+
+// Feed-ring frames (parent -> child), kind byte first:
+//   kRecords: u32 count, then per record u8 status (0 = kOk,
+//             1 = kCorrupt), u32 set, u32 element
+//   kFeedEnd: u8 truncated
+// Result-ring frames (child -> parent):
+//   kCheckpoint: an EncodeCheckpointBody body
+//   kReport:     a serialized RunReport (SerializeReport below)
+constexpr uint8_t kRecords = 1;
+constexpr uint8_t kFeedEnd = 2;
+constexpr uint8_t kCheckpoint = 1;
+constexpr uint8_t kReport = 2;
+
+void PutU8(std::vector<uint8_t>* out, uint8_t v) { out->push_back(v); }
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(uint8_t(v >> (8 * i)));
+}
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(uint8_t(v >> (8 * i)));
+}
+
+void PutF64(std::vector<uint8_t>* out, double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+void PutString(std::vector<uint8_t>* out, const std::string& s) {
+  PutU32(out, uint32_t(s.size()));
+  out->insert(out->end(), s.begin(), s.end());
+}
+
+void PutU32Vector(std::vector<uint8_t>* out,
+                  const std::vector<uint32_t>& v) {
+  PutU32(out, uint32_t(v.size()));
+  for (uint32_t x : v) PutU32(out, x);
+}
+
+/// Bounds-checked little-endian reader; `ok` latches false on any
+/// overrun so callers can validate once at the end.
+struct ByteCursor {
+  const uint8_t* data;
+  size_t size;
+  size_t pos = 0;
+  bool ok = true;
+
+  uint8_t U8() {
+    if (pos + 1 > size) return Fail<uint8_t>();
+    return data[pos++];
+  }
+  uint32_t U32() {
+    if (pos + 4 > size) return Fail<uint32_t>();
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= uint32_t(data[pos + i]) << (8 * i);
+    pos += 4;
+    return v;
+  }
+  uint64_t U64() {
+    if (pos + 8 > size) return Fail<uint64_t>();
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= uint64_t(data[pos + i]) << (8 * i);
+    pos += 8;
+    return v;
+  }
+  double F64() {
+    const uint64_t bits = U64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::string String() {
+    const uint32_t len = U32();
+    if (!ok || pos + len > size) return Fail<std::string>();
+    std::string s(reinterpret_cast<const char*>(data + pos), len);
+    pos += len;
+    return s;
+  }
+  std::vector<uint32_t> U32Vector() {
+    const uint32_t len = U32();
+    if (!ok || pos + size_t(len) * 4 > size) {
+      return Fail<std::vector<uint32_t>>();
+    }
+    std::vector<uint32_t> v(len);
+    for (uint32_t i = 0; i < len; ++i) v[i] = U32();
+    return v;
+  }
+
+  template <typename T>
+  T Fail() {
+    ok = false;
+    return T{};
+  }
+};
+
+/// The subset of RunReport a worker ships back: everything the
+/// aggregation in shard_common.h reads. Timings are bit-cast doubles so
+/// the frame stays byte-deterministic for a deterministic run.
+std::vector<uint8_t> SerializeReport(const RunReport& report) {
+  std::vector<uint8_t> out;
+  PutU8(&out, kReport);
+  PutU8(&out, report.completed ? 1 : 0);
+  PutU8(&out, report.resumed ? 1 : 0);
+  PutU8(&out, report.degraded ? 1 : 0);
+  PutString(&out, report.error);
+  PutString(&out, report.algorithm_name);
+  PutString(&out, report.meter_breakdown);
+  PutU64(&out, report.edges_delivered);
+  PutU64(&out, report.checkpoints_written);
+  PutU64(&out, report.transient_retries);
+  PutU64(&out, report.corrupt_records_skipped);
+  PutU64(&out, report.faults_survived);
+  PutU64(&out, report.resumed_at);
+  PutU64(&out, report.uncovered_elements);
+  PutU64(&out, report.stages.batches);
+  PutU64(&out, report.peak_words);
+  PutU64(&out, report.current_words);
+  PutF64(&out, report.stages.setup_seconds);
+  PutF64(&out, report.stages.stream_seconds);
+  PutF64(&out, report.stages.finalize_seconds);
+  PutU32Vector(&out, report.solution.cover);
+  PutU32Vector(&out, report.solution.certificate);
+  return out;
+}
+
+bool DeserializeReport(const uint8_t* data, size_t size, RunReport* out) {
+  ByteCursor in{data, size};
+  out->completed = in.U8() != 0;
+  out->resumed = in.U8() != 0;
+  out->degraded = in.U8() != 0;
+  out->error = in.String();
+  out->algorithm_name = in.String();
+  out->meter_breakdown = in.String();
+  out->edges_delivered = in.U64();
+  out->checkpoints_written = in.U64();
+  out->transient_retries = in.U64();
+  out->corrupt_records_skipped = in.U64();
+  out->faults_survived = in.U64();
+  out->resumed_at = in.U64();
+  out->uncovered_elements = in.U64();
+  out->stages.batches = in.U64();
+  out->peak_words = size_t(in.U64());
+  out->current_words = size_t(in.U64());
+  out->stages.setup_seconds = in.F64();
+  out->stages.stream_seconds = in.F64();
+  out->stages.finalize_seconds = in.F64();
+  out->solution.cover = in.U32Vector();
+  out->solution.certificate = in.U32Vector();
+  return in.ok && in.pos == in.size;
+}
+
+/// Child-side EdgeSource over the feed ring. Positions advance by one
+/// per surfaced record (kOk and kCorrupt alike), starting at the resume
+/// position the parent is feeding from — the same coordinate the
+/// parent's (scheduled) source cursor reports, so checkpoints taken
+/// over this source seek back correctly on any backend. (The only raw
+/// source whose position can jump is a v3 file skipping a damaged
+/// chunk, and that jump occurs at end-of-stream where no checkpoint
+/// follows.) SeekTo succeeds only at the current position: the ring is
+/// a forward-only feed, and Drive's resume seek lands exactly there.
+class RingEdgeSource : public EdgeSource {
+ public:
+  RingEdgeSource(ShmRing* ring, const StreamMetadata& meta, size_t start)
+      : ring_(ring), meta_(meta), position_(start) {}
+
+  const StreamMetadata& Meta() const override { return meta_; }
+
+  ReadStatus Next(Edge* edge) override {
+    while (next_ >= records_.size()) {
+      if (ended_) return ReadStatus::kEnd;
+      if (!PopBatch()) return ReadStatus::kEnd;
+    }
+    const Record& record = records_[next_++];
+    edge->set = record.set;
+    edge->element = record.element;
+    ++position_;
+    return record.corrupt ? ReadStatus::kCorrupt : ReadStatus::kOk;
+  }
+
+  size_t Position() const override { return position_; }
+  bool SeekTo(size_t position) override { return position == position_; }
+  bool Truncated() const override { return truncated_; }
+
+ private:
+  struct Record {
+    SetId set;
+    ElementId element;
+    bool corrupt;
+  };
+
+  bool PopBatch() {
+    std::vector<uint8_t> frame;
+    if (!ring_->PopFrame(&frame)) {
+      // Ring closed without an end frame: the parent (or its feeder)
+      // died mid-stream — treat as truncation, never as clean EOF.
+      ended_ = true;
+      truncated_ = true;
+      return false;
+    }
+    ByteCursor in{frame.data(), frame.size()};
+    const uint8_t kind = in.U8();
+    if (kind == kFeedEnd) {
+      ended_ = true;
+      truncated_ = in.U8() != 0;
+      return false;
+    }
+    if (kind != kRecords) {
+      ended_ = true;
+      truncated_ = true;
+      return false;
+    }
+    const uint32_t count = in.U32();
+    records_.clear();
+    records_.reserve(count);
+    for (uint32_t i = 0; i < count && in.ok; ++i) {
+      Record record;
+      record.corrupt = in.U8() != 0;
+      record.set = in.U32();
+      record.element = in.U32();
+      records_.push_back(record);
+    }
+    next_ = 0;
+    if (!in.ok) {
+      ended_ = true;
+      truncated_ = true;
+      records_.clear();
+      return false;
+    }
+    return true;
+  }
+
+  ShmRing* ring_;
+  StreamMetadata meta_;
+  size_t position_;
+  std::vector<Record> records_;
+  size_t next_ = 0;
+  bool ended_ = false;
+  bool truncated_ = false;
+};
+
+/// Everything one child inherits across fork() (plain copies of the
+/// parent's pre-fork state; the rings are shared MAP_SHARED mappings).
+struct ChildPlan {
+  const RunConfig* config;
+  uint32_t shard = 0;
+  uint32_t shards = 1;
+  ShmRing* feed = nullptr;
+  ShmRing* result = nullptr;
+  const std::optional<Checkpoint>* resume_slot = nullptr;
+  StreamMetadata meta;
+  bool supervised = false;
+  bool checkpointing = false;
+  /// Debug-build first-flush equivalence spot-check — only on the clean
+  /// in-memory path, mirroring the inprocess/sharded fast paths.
+  bool spot_check = false;
+};
+
+/// Clean fast loop for an unsupervised child: the forked analogue of
+/// DriveInMemoryShard/DriveFileShard, over the ring.
+void DriveRingClean(const ChildPlan& plan, RunReport* report,
+                    StreamingSetCoverAlgorithm& algorithm,
+                    EdgeSource& source) {
+  const RunConfig& config = *plan.config;
+  const size_t batch_edges =
+      config.batch_edges > 0 ? config.batch_edges : kIngestBatchEdges;
+  const auto start = Clock::now();
+  algorithm.Begin(plan.meta);
+  std::vector<Edge> batch;
+  batch.reserve(batch_edges);
+#ifndef NDEBUG
+  bool first_flush = true;
+#endif
+  auto flush = [&] {
+    if (batch.empty()) return;
+#ifndef NDEBUG
+    if (first_flush) {
+      first_flush = false;
+      if (plan.spot_check) {
+        ProcessBatchCheckedForEquivalence(algorithm, plan.meta,
+                                          std::span<const Edge>(batch));
+        report->edges_delivered += batch.size();
+        ++report->stages.batches;
+        batch.clear();
+        return;
+      }
+    }
+#endif
+    algorithm.ProcessEdgeBatch(std::span<const Edge>(batch));
+    report->edges_delivered += batch.size();
+    ++report->stages.batches;
+    batch.clear();
+  };
+  Edge edge;
+  for (;;) {
+    const ReadStatus status = source.Next(&edge);
+    if (status == ReadStatus::kEnd) break;
+    if (status == ReadStatus::kCorrupt) {
+      // The owner shard counts the damaged record (the filter routed it
+      // here), keeping the aggregate corrupt count W-invariant.
+      ++report->corrupt_records_skipped;
+      ++report->faults_survived;
+      continue;
+    }
+    if (status == ReadStatus::kTransient) continue;  // rings never emit
+    batch.push_back(edge);
+    if (batch.size() == batch_edges) flush();
+  }
+  flush();
+  report->stages.stream_seconds = Seconds(start);
+  if (source.Truncated()) report->degraded = true;
+  FinalizeRun(report, algorithm);
+}
+
+RunReport RunChild(const ChildPlan& plan) {
+  const RunConfig& config = *plan.config;
+  RunReport report;
+
+  AlgorithmOptions options = config.options;
+  options.seed = config.options.seed + plan.shard;
+  std::unique_ptr<StreamingSetCoverAlgorithm> algorithm =
+      MakeAlgorithmByName(config.algorithm, options);
+  if (algorithm == nullptr) {
+    report.error = UnknownAlgorithmError(config.algorithm);
+    return report;
+  }
+  report.algorithm_name = algorithm->Name();
+
+  const std::optional<Checkpoint>& slot = *plan.resume_slot;
+  const size_t start =
+      slot.has_value() ? size_t(slot->stream_position) : 0;
+  RingEdgeSource ring_source(plan.feed, plan.meta, start);
+
+  if (!plan.supervised) {
+    ShardFilterSource filtered(&ring_source, plan.shard, plan.shards,
+                               config.backend.partitioner);
+    DriveRingClean(plan, &report, *algorithm, filtered);
+    return report;
+  }
+
+  // Supervised: ring -> fault injector -> shard filter -> Drive, the
+  // same stack a sharded-backend worker thread runs (the schedule is
+  // already applied parent-side, under these layers' positions).
+  EdgeSource* inner = &ring_source;
+  std::optional<FaultInjector> injector;
+  if (config.faults.has_value()) {
+    injector.emplace(inner, *config.faults);
+    inner = &*injector;
+  }
+  ShardFilterSource filtered(inner, plan.shard, plan.shards,
+                             config.backend.partitioner);
+
+  DriveOptions drive;
+  drive.checkpoint_every = plan.checkpointing ? config.checkpoint.every : 0;
+  if (plan.checkpointing) {
+    ShmRing* result = plan.result;
+    drive.checkpoint_sink = [result](const Checkpoint& checkpoint,
+                                     std::string* error) {
+      std::vector<uint8_t> frame;
+      PutU8(&frame, kCheckpoint);
+      EncodeCheckpointBody(checkpoint, &frame);
+      if (!result->PushFrame(frame)) {
+        *error = "result ring closed before the checkpoint was sent";
+        return false;
+      }
+      return true;
+    };
+  }
+  if (slot.has_value()) drive.resume_from = &*slot;
+  drive.backoff = config.backoff;
+  drive.sleeper = config.sleeper;
+  drive.stop_after = config.backend.fail_worker == plan.shard
+                         ? config.backend.fail_worker_after
+                         : config.stop_after;
+  drive.batch_edges = config.batch_edges;
+  return Drive(drive, *algorithm, filtered);
+}
+
+[[noreturn]] void ChildMain(const ChildPlan& plan) {
+  if (plan.config->backend.fail_worker == plan.shard) {
+    // Crash-injection knob: run up to the kill point (checkpoints
+    // included), then die without reporting — exactly what a worker
+    // process crash looks like to the parent.
+    RunChild(plan);
+    plan.feed->Close();
+    plan.result->Close();
+    _exit(137);
+  }
+  RunReport report = RunChild(plan);
+  plan.result->PushFrame(SerializeReport(report));
+  plan.feed->Close();
+  plan.result->Close();
+  // _exit, not exit: no atexit handlers, no static destructors, no
+  // leak-check pass — the child shares the parent's address space
+  // snapshot and must not tear it down.
+  _exit(0);
+}
+
+}  // namespace
+
+RunReport ForkedBackend::Run(const RunConfig& config) {
+  RunReport report;
+  const auto total_start = Clock::now();
+  const std::clock_t cpu_start = std::clock();
+  const auto setup_start = Clock::now();
+
+  const uint32_t shards = config.backend.workers != 0
+                              ? config.backend.workers
+                              : (config.shards > 1 ? config.shards : 1);
+  if (!internal::ValidateShardedBase(config, shards, &report.error)) {
+    return report;
+  }
+  if (config.source.schedule.window != 0) {
+    report.error =
+        "the forked backend does not support windowed schedules (replayed "
+        "window contents are not position-addressable across the process "
+        "boundary)";
+    return report;
+  }
+
+  // Probe the stream metadata before forking. File probes must not
+  // leave a prefetch thread alive across fork(), so the probe reader is
+  // synchronous and destroyed here.
+  StreamMetadata meta;
+  if (config.source.stream != nullptr) {
+    meta = config.source.stream->meta;
+  } else {
+    StreamReadOptions probe_options = config.source.read_options;
+    probe_options.prefetch = false;
+    std::string error;
+    auto probe =
+        StreamFileSource::Open(config.source.path, probe_options, &error);
+    if (probe == nullptr) {
+      report.error = error;
+      return report;
+    }
+    meta = probe->Meta();
+  }
+
+  const bool checkpointing =
+      !config.checkpoint.path.empty() && config.checkpoint.every > 0;
+  const bool supervised =
+      config.faults.has_value() || config.stop_after != 0 ||
+      config.checkpoint.resume || checkpointing ||
+      config.batch_edges != kIngestBatchEdges ||
+      !config.source.schedule.Trivial() ||
+      config.backend.fail_worker != BackendSpec::kNoFailWorker;
+
+  std::vector<std::optional<Checkpoint>> resume_slots(shards);
+  if (config.checkpoint.resume) {
+    if (!internal::LoadResumeSlots(config.checkpoint.path, shards,
+                                   config.backend.partitioner.name,
+                                   &resume_slots, &report.error)) {
+      return report;
+    }
+  }
+  std::optional<AggregateCheckpointWriter> writer;
+  if (checkpointing) {
+    writer.emplace(config.checkpoint.path, shards,
+                   config.backend.partitioner.name, resume_slots);
+  }
+
+  // Two rings per worker, created in the parent before fork() so the
+  // children inherit the shared mappings directly — no fd passing.
+  std::vector<std::unique_ptr<ShmRing>> feeds(shards);
+  std::vector<std::unique_ptr<ShmRing>> results(shards);
+  for (uint32_t w = 0; w < shards; ++w) {
+    std::string error;
+    feeds[w] = ShmRing::Create(kFeedRingBytes, &error);
+    if (feeds[w] == nullptr) {
+      report.error = "feed ring: " + error;
+      return report;
+    }
+    results[w] = ShmRing::Create(kResultRingBytes, &error);
+    if (results[w] == nullptr) {
+      report.error = "result ring: " + error;
+      return report;
+    }
+  }
+  report.stages.setup_seconds = Seconds(setup_start);
+
+  // Fork all workers BEFORE spawning any parent-side thread: fork()
+  // only clones the calling thread, and a child must never inherit a
+  // mutex another thread holds.
+  std::vector<pid_t> pids(shards, -1);
+  for (uint32_t w = 0; w < shards; ++w) {
+    ChildPlan plan;
+    plan.config = &config;
+    plan.shard = w;
+    plan.shards = shards;
+    plan.feed = feeds[w].get();
+    plan.result = results[w].get();
+    plan.resume_slot = &resume_slots[w];
+    plan.meta = meta;
+    plan.supervised = supervised;
+    plan.checkpointing = checkpointing;
+    plan.spot_check = !supervised && config.source.stream != nullptr;
+
+    const pid_t pid = fork();
+    if (pid == 0) {
+      ChildMain(plan);  // never returns
+    }
+    if (pid < 0) {
+      report.error = std::string("fork failed: ") + std::strerror(errno);
+      for (uint32_t k = 0; k < w; ++k) {
+        feeds[k]->Close();
+        results[k]->Close();
+        int status = 0;
+        RetryEintr([&] { return waitpid(pids[k], &status, 0); });
+      }
+      return report;
+    }
+    pids[w] = pid;
+  }
+
+  std::vector<RunReport> shard_reports(shards);
+  std::vector<uint8_t> got_report(shards, 0);
+  // Written by exactly one thread each (feeder / collector), merged
+  // after the joins — no locking needed.
+  std::vector<std::string> feed_errors(shards);
+  std::vector<std::string> collect_errors(shards);
+
+  std::vector<std::thread> threads;
+  threads.reserve(size_t(shards) * 3 + 1);
+  std::vector<std::unique_ptr<StagePipe<std::vector<uint8_t>>>> pipes(
+      shards);
+  for (uint32_t w = 0; w < shards; ++w) {
+    pipes[w] = std::make_unique<StagePipe<std::vector<uint8_t>>>();
+  }
+
+  for (uint32_t w = 0; w < shards; ++w) {
+    // Feeder: this worker's own cursor over the raw source, schedule
+    // applied parent-side, serialized into feed frames. The StagePipe
+    // overlaps serialization of the next frame with the ring push of
+    // the current one (backpressure from a slow child lands in the
+    // pusher, not the reader).
+    threads.emplace_back([&, w] {
+      StagePipe<std::vector<uint8_t>>& pipe = *pipes[w];
+      std::unique_ptr<StreamFileSource> file_source;
+      std::unique_ptr<VectorEdgeSource> vector_source;
+      EdgeSource* source = nullptr;
+      if (config.source.stream != nullptr) {
+        vector_source =
+            std::make_unique<VectorEdgeSource>(*config.source.stream);
+        source = vector_source.get();
+      } else {
+        std::string error;
+        file_source = StreamFileSource::Open(
+            config.source.path, config.source.read_options, &error);
+        if (file_source == nullptr) {
+          feed_errors[w] = error;
+          pipe.FinishProducing();
+          return;
+        }
+        source = file_source.get();
+      }
+      std::optional<ScheduledSource> scheduled;
+      if (!config.source.schedule.Trivial()) {
+        scheduled.emplace(source, config.source.schedule);
+        source = &*scheduled;
+      }
+      const size_t start = resume_slots[w].has_value()
+                               ? size_t(resume_slots[w]->stream_position)
+                               : 0;
+      if (start != 0 && !source->SeekTo(start)) {
+        feed_errors[w] = "source cannot seek to checkpointed position";
+        pipe.FinishProducing();
+        return;
+      }
+      Edge edge;
+      bool ended = false;
+      while (!ended) {
+        std::vector<uint8_t>* frame = pipe.BeginFill();
+        if (frame == nullptr) return;  // pusher saw the ring close
+        frame->clear();
+        PutU8(frame, kRecords);
+        PutU32(frame, 0);  // patched below
+        uint32_t count = 0;
+        while (count < kFeedRecords) {
+          const ReadStatus status = source->Next(&edge);
+          if (status == ReadStatus::kEnd) {
+            ended = true;
+            break;
+          }
+          // Raw sources never emit kTransient (only the child-side
+          // fault injector does); kCorrupt is relayed with its status.
+          PutU8(frame, status == ReadStatus::kCorrupt ? 1 : 0);
+          PutU32(frame, edge.set);
+          PutU32(frame, edge.element);
+          ++count;
+        }
+        for (int i = 0; i < 4; ++i) {
+          (*frame)[1 + i] = uint8_t(count >> (8 * i));
+        }
+        if (count > 0) pipe.FinishFill();
+        if (ended) {
+          std::vector<uint8_t>* end_frame =
+              count > 0 ? pipe.BeginFill() : frame;
+          if (end_frame == nullptr) return;
+          end_frame->clear();
+          PutU8(end_frame, kFeedEnd);
+          PutU8(end_frame, source->Truncated() ? 1 : 0);
+          pipe.FinishFill();
+        }
+      }
+      pipe.FinishProducing();
+    });
+
+    // Pusher: drains serialized frames into the feed ring.
+    threads.emplace_back([&, w] {
+      StagePipe<std::vector<uint8_t>>& pipe = *pipes[w];
+      while (std::vector<uint8_t>* frame = pipe.BeginDrain()) {
+        if (!feeds[w]->PushFrame(*frame)) {
+          pipe.Stop();  // child gone; unblock the feeder
+          return;
+        }
+        pipe.FinishDrain();
+      }
+      feeds[w]->Close();
+    });
+
+    // Collector: folds checkpoint bodies into the aggregate sidecar
+    // (in frame order, so every checkpoint a worker counted is on disk
+    // before its report is processed) and captures the final report.
+    threads.emplace_back([&, w] {
+      std::vector<uint8_t> frame;
+      while (results[w]->PopFrame(&frame)) {
+        if (frame.empty()) continue;
+        if (frame[0] == kCheckpoint) {
+          Checkpoint checkpoint;
+          std::string error;
+          if (!DecodeCheckpointBody(frame.data() + 1, frame.size() - 1,
+                                    &checkpoint, &error)) {
+            if (collect_errors[w].empty()) {
+              collect_errors[w] = "worker " + std::to_string(w) +
+                                  " sent a malformed checkpoint: " + error;
+            }
+            continue;
+          }
+          if (writer.has_value() &&
+              !writer->Store(w, checkpoint, &error) &&
+              collect_errors[w].empty()) {
+            collect_errors[w] = error;
+          }
+        } else if (frame[0] == kReport) {
+          if (DeserializeReport(frame.data() + 1, frame.size() - 1,
+                                &shard_reports[w])) {
+            got_report[w] = 1;
+          } else if (collect_errors[w].empty()) {
+            collect_errors[w] =
+                "worker " + std::to_string(w) + " sent a malformed report";
+          }
+        }
+      }
+    });
+  }
+
+  // Reaper: waits for each child, then closes its rings — so a worker
+  // that crashed without closing (SIGKILL, test knob) still unblocks
+  // the parent's feeder, pusher, and collector.
+  threads.emplace_back([&] {
+    for (uint32_t w = 0; w < shards; ++w) {
+      int status = 0;
+      RetryEintr([&] { return waitpid(pids[w], &status, 0); });
+      feeds[w]->Close();
+      results[w]->Close();
+    }
+  });
+
+  for (std::thread& thread : threads) thread.join();
+
+  for (uint32_t w = 0; w < shards; ++w) {
+    const std::string& side_error =
+        !feed_errors[w].empty() ? feed_errors[w] : collect_errors[w];
+    if (!got_report[w]) {
+      shard_reports[w] = RunReport{};
+      shard_reports[w].error =
+          !side_error.empty()
+              ? side_error
+              : "worker " + std::to_string(w) +
+                    " exited without a report (worker process died "
+                    "mid-stream)";
+    } else if (!side_error.empty() && shard_reports[w].error.empty()) {
+      shard_reports[w].error = side_error;
+    }
+  }
+
+  internal::AggregateShardReports(&report, shard_reports, shards,
+                                  config.backend.merge_threshold);
+
+  if (config.validate != nullptr && report.completed) {
+    const auto validate_start = Clock::now();
+    report.validation = ValidateSolution(*config.validate, report.solution);
+    report.validated = true;
+    report.stages.validate_seconds = Seconds(validate_start);
+  }
+
+  report.stages.total_seconds = Seconds(total_start);
+  report.stages.cpu_seconds =
+      double(std::clock() - cpu_start) / double(CLOCKS_PER_SEC);
+  return report;
+}
+
+}  // namespace engine
+}  // namespace setcover

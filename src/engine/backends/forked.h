@@ -1,0 +1,45 @@
+#ifndef SETCOVER_ENGINE_BACKENDS_FORKED_H_
+#define SETCOVER_ENGINE_BACKENDS_FORKED_H_
+
+#include "engine/backend.h"
+#include "engine/engine.h"
+
+namespace setcover {
+namespace engine {
+
+/// The multi-process substrate: W fork()ed worker processes, each
+/// running one set-partitioned pipeline in its own address space.
+///
+/// Topology per worker:
+///   parent: source cursor -> schedule -> [StagePipe] -> feed shm ring
+///   child:  ring source -> fault injector -> shard filter -> pipeline
+///   child:  checkpoint/report frames -> result shm ring -> parent
+///
+/// The parent feeds every worker the full record sequence over a
+/// same-host shm ring (util/shm_ring.h — the PR 9 transport; the memfd
+/// mapping is inherited across fork, so no fd passing is needed) with
+/// frame serialization double-buffered through a StagePipe; each child
+/// applies the deterministic fault schedule and its shard filter
+/// locally, exactly like a sharded-backend worker thread. Checkpoints
+/// travel back as encoded bodies (run/checkpoint.h) and fold into the
+/// ONE aggregate sidecar (plain SCKP at W = 1, SCSH otherwise), so
+/// kill-and-resume — including killing an individual worker process
+/// mid-stream — is bit-identical at any W. Completed workers ship their
+/// serialized RunReport back and the parent merges covers through the
+/// same deterministic t-party protocol as the sharded backend.
+///
+/// A worker that dies without reporting (crash, or the
+/// BackendSpec::fail_worker test knob) is detected by the reaper
+/// (waitpid + ring close) and surfaces as "worker N exited without a
+/// report"; the aggregate checkpoint it already contributed to resumes
+/// the run.
+class ForkedBackend : public Backend {
+ public:
+  const char* Name() const override { return "forked"; }
+  RunReport Run(const RunConfig& config) override;
+};
+
+}  // namespace engine
+}  // namespace setcover
+
+#endif  // SETCOVER_ENGINE_BACKENDS_FORKED_H_

@@ -1,0 +1,198 @@
+#include "engine/backends/inprocess.h"
+
+#include <ctime>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "engine/backends/common.h"
+#include "stream/schedule.h"
+
+namespace setcover {
+namespace engine {
+namespace {
+
+using internal::Clock;
+using internal::FinalizeRun;
+using internal::Seconds;
+using internal::StampMeter;
+
+/// The in-memory fast path: RunStream's exact loop (same batch
+/// boundaries, same debug-build first-batch equivalence spot-check)
+/// with the engine's counters layered on. Bit-identical to RunStream —
+/// pinned by engine_equivalence_test.
+void DriveInMemory(RunReport* report, StreamingSetCoverAlgorithm& algorithm,
+                   const EdgeStream& stream, size_t batch_edges) {
+  const auto start = Clock::now();
+  algorithm.Begin(stream.meta);
+  std::span<const Edge> edges(stream.edges);
+  for (size_t offset = 0; offset < edges.size(); offset += batch_edges) {
+    std::span<const Edge> batch =
+        edges.subspan(offset, std::min(batch_edges, edges.size() - offset));
+#ifndef NDEBUG
+    if (offset == 0) {
+      // Spot-check the batch/per-edge equivalence contract on the first
+      // batch of every debug-build run; cheap relative to the stream.
+      ProcessBatchCheckedForEquivalence(algorithm, stream.meta, batch);
+      ++report->stages.batches;
+      report->edges_delivered += batch.size();
+      continue;
+    }
+#endif
+    algorithm.ProcessEdgeBatch(batch);
+    ++report->stages.batches;
+    report->edges_delivered += batch.size();
+  }
+  report->stages.stream_seconds = Seconds(start);
+  FinalizeRun(report, algorithm);
+}
+
+/// The file fast path: RunStreamFromFile's exact loop — chunk-aligned,
+/// CRC-verified batches straight off the (possibly prefetching, possibly
+/// zero-copy mmap) reader. Damage semantics match the supervised loop:
+/// a checksum-failed chunk counts as one corrupt record and degrades
+/// the run; early EOF degrades it.
+void DriveFile(RunReport* report, StreamingSetCoverAlgorithm& algorithm,
+               BatchEdgeReader& reader) {
+  const auto start = Clock::now();
+  algorithm.Begin(reader.Meta());
+  for (std::span<const Edge> batch = reader.NextBatch(); !batch.empty();
+       batch = reader.NextBatch()) {
+    algorithm.ProcessEdgeBatch(batch);
+    ++report->stages.batches;
+    report->edges_delivered += batch.size();
+  }
+  report->stages.stream_seconds = Seconds(start);
+  if (reader.ChecksumFailed()) {
+    ++report->corrupt_records_skipped;
+    ++report->faults_survived;
+  }
+  if (reader.Truncated() || reader.ChecksumFailed()) report->degraded = true;
+  FinalizeRun(report, algorithm);
+}
+
+}  // namespace
+
+RunReport InProcessBackend::Run(const RunConfig& config) {
+  RunReport report;
+  const auto total_start = Clock::now();
+  const std::clock_t cpu_start = std::clock();
+  const auto setup_start = Clock::now();
+
+  // Resolve the algorithm: a caller-provided instance, or the
+  // self-describing registry by name.
+  std::unique_ptr<StreamingSetCoverAlgorithm> owned;
+  StreamingSetCoverAlgorithm* algorithm = config.algorithm_instance;
+  if (algorithm == nullptr) {
+    owned = MakeAlgorithmByName(config.algorithm, config.options);
+    if (owned == nullptr) {
+      report.error = UnknownAlgorithmError(config.algorithm);
+      return report;
+    }
+    algorithm = owned.get();
+  }
+  report.algorithm_name = algorithm->Name();
+
+  if (!internal::ValidateSourceSpec(config.source, &report.error))
+    return report;
+
+  const ScheduleSpec& schedule = config.source.schedule;
+  if (!schedule.Validate(&report.error)) return report;
+
+  const bool checkpointing = !config.checkpoint.path.empty() &&
+                             config.checkpoint.every > 0;
+  if (schedule.window > 0 && (checkpointing || config.checkpoint.resume)) {
+    report.error = "windowed schedules are not checkpointable (the window "
+                   "contents are not position-addressable)";
+    return report;
+  }
+  const bool supervised = config.faults.has_value() ||
+                          config.stop_after != 0 ||
+                          config.checkpoint.resume || checkpointing ||
+                          config.batch_edges != kIngestBatchEdges ||
+                          !schedule.Trivial();
+
+  auto drive_options = [&] {
+    DriveOptions options;
+    options.checkpoint_path = config.checkpoint.path;
+    options.checkpoint_every = config.checkpoint.every;
+    options.resume = config.checkpoint.resume;
+    options.backoff = config.backoff;
+    options.sleeper = config.sleeper;
+    options.stop_after = config.stop_after;
+    options.batch_edges = config.batch_edges;
+    return options;
+  };
+
+  if (!supervised) {
+    // Fast paths: clean source, no mid-run observation points — the
+    // legacy RunStream / RunStreamFromFile loops, verbatim.
+    if (config.source.stream != nullptr) {
+      report.stages.setup_seconds = Seconds(setup_start);
+      DriveInMemory(&report, *algorithm, *config.source.stream,
+                    config.batch_edges);
+    } else {
+      std::string error;
+      auto reader = OpenBatchEdgeReader(config.source.path,
+                                        config.source.read_options, &error);
+      if (reader == nullptr) {
+        report.error = error;
+        return report;
+      }
+      report.stages.setup_seconds = Seconds(setup_start);
+      DriveFile(&report, *algorithm, *reader);
+    }
+  } else {
+    // Supervised path: assemble source -> schedule -> fault injector
+    // -> Drive. The schedule sits under the injector so fault decisions
+    // key on scheduled positions and the whole stack stays
+    // deterministic (and, for pass schedules, checkpointable).
+    std::unique_ptr<EdgeSource> file_source;
+    std::unique_ptr<VectorEdgeSource> vector_source;
+    EdgeSource* source = nullptr;
+    if (config.source.stream != nullptr) {
+      vector_source =
+          std::make_unique<VectorEdgeSource>(*config.source.stream);
+      source = vector_source.get();
+    } else {
+      std::string error;
+      file_source = StreamFileSource::Open(config.source.path,
+                                           config.source.read_options,
+                                           &error);
+      if (file_source == nullptr) {
+        report.error = error;
+        return report;
+      }
+      source = file_source.get();
+    }
+    std::optional<ScheduledSource> scheduled;
+    if (!schedule.Trivial()) {
+      scheduled.emplace(source, schedule);
+      source = &*scheduled;
+    }
+    std::optional<FaultInjector> injector;
+    if (config.faults.has_value()) {
+      injector.emplace(source, *config.faults);
+      source = &*injector;
+    }
+    const double setup_seconds = Seconds(setup_start);
+    report = Drive(drive_options(), *algorithm, *source);
+    report.stages.setup_seconds += setup_seconds;
+  }
+
+  // Validation stage (only meaningful for completed runs).
+  if (config.validate != nullptr && report.completed) {
+    const auto validate_start = Clock::now();
+    report.validation = ValidateSolution(*config.validate, report.solution);
+    report.validated = true;
+    report.stages.validate_seconds = Seconds(validate_start);
+  }
+
+  report.stages.total_seconds = Seconds(total_start);
+  report.stages.cpu_seconds =
+      double(std::clock() - cpu_start) / double(CLOCKS_PER_SEC);
+  return report;
+}
+
+}  // namespace engine
+}  // namespace setcover

@@ -1,0 +1,25 @@
+#ifndef SETCOVER_ENGINE_BACKENDS_INPROCESS_H_
+#define SETCOVER_ENGINE_BACKENDS_INPROCESS_H_
+
+#include "engine/backend.h"
+#include "engine/engine.h"
+
+namespace setcover {
+namespace engine {
+
+/// The default substrate: the single pipeline on the calling thread —
+/// zero-copy fast paths (span-sliced batches for in-memory streams,
+/// chunk-aligned reader batches for files) when the run is
+/// unsupervised, the supervised Drive() loop otherwise. This is the
+/// reference implementation every other backend is pinned
+/// bit-identical against.
+class InProcessBackend : public Backend {
+ public:
+  const char* Name() const override { return "inprocess"; }
+  RunReport Run(const RunConfig& config) override;
+};
+
+}  // namespace engine
+}  // namespace setcover
+
+#endif  // SETCOVER_ENGINE_BACKENDS_INPROCESS_H_

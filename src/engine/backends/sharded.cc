@@ -1,0 +1,291 @@
+#include "engine/backends/sharded.h"
+
+#include <ctime>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "engine/backends/common.h"
+#include "engine/backends/shard_common.h"
+#include "engine/sharded.h"
+#include "run/checkpoint.h"
+#include "stream/edge_source.h"
+#include "stream/fault_injector.h"
+#include "stream/schedule.h"
+#include "util/thread_pool.h"
+
+namespace setcover {
+namespace engine {
+namespace {
+
+using internal::AggregateCheckpointWriter;
+using internal::CheckpointSink;
+using internal::Clock;
+using internal::FinalizeRun;
+using internal::Seconds;
+using internal::ShardFilterSource;
+using internal::WithOwner;
+
+/// In-memory fast path for one shard: walks the shared edge span (no
+/// copy of the stream), compacts this shard's edges into a reusable
+/// batch, and flushes through ProcessEdgeBatch at exactly the batch
+/// boundaries DriveInMemory would use — at W = 1 every edge matches, so
+/// the flush pattern (and therefore the run, including the debug-build
+/// first-flush equivalence spot-check) is bit-identical to the
+/// inprocess fast path.
+template <typename Owner>
+void DriveInMemoryShard(RunReport* report,
+                        StreamingSetCoverAlgorithm& algorithm,
+                        const EdgeStream& stream, size_t batch_edges,
+                        uint32_t shard, Owner owner) {
+  const auto start = Clock::now();
+  algorithm.Begin(stream.meta);
+  std::vector<Edge> batch;
+  batch.reserve(batch_edges);
+#ifndef NDEBUG
+  bool first_flush = true;
+#endif
+  auto flush = [&] {
+    if (batch.empty()) return;
+#ifndef NDEBUG
+    if (first_flush) {
+      // Same debug-build spot-check as the inprocess fast path, so
+      // meters (and therefore peak_words) agree at any W.
+      first_flush = false;
+      ProcessBatchCheckedForEquivalence(algorithm, stream.meta,
+                                        std::span<const Edge>(batch));
+      report->edges_delivered += batch.size();
+      ++report->stages.batches;
+      batch.clear();
+      return;
+    }
+#endif
+    algorithm.ProcessEdgeBatch(std::span<const Edge>(batch));
+    report->edges_delivered += batch.size();
+    ++report->stages.batches;
+    batch.clear();
+  };
+  for (const Edge& e : stream.edges) {
+    if (owner(e.set) != shard) continue;
+    batch.push_back(e);
+    if (batch.size() == batch_edges) flush();
+  }
+  flush();
+  report->stages.stream_seconds = Seconds(start);
+  FinalizeRun(report, algorithm);
+}
+
+/// File fast path for one shard: its own BatchEdgeReader cursor over
+/// the same file — with mmap the shards share one physical mapping and
+/// the page cache dedupes the reads. Only shard 0 *counts* a checksum
+/// failure (every shard observes the same damaged chunk, and the
+/// aggregate corrupt count must stay W-invariant); every shard that
+/// saw it still degrades.
+template <typename Owner>
+void DriveFileShard(RunReport* report, StreamingSetCoverAlgorithm& algorithm,
+                    BatchEdgeReader& reader, size_t batch_edges,
+                    uint32_t shard, Owner owner) {
+  const auto start = Clock::now();
+  algorithm.Begin(reader.Meta());
+  std::vector<Edge> compact;
+  compact.reserve(batch_edges);
+  auto flush = [&] {
+    if (compact.empty()) return;
+    algorithm.ProcessEdgeBatch(std::span<const Edge>(compact));
+    report->edges_delivered += compact.size();
+    ++report->stages.batches;
+    compact.clear();
+  };
+  for (std::span<const Edge> batch = reader.NextBatch(); !batch.empty();
+       batch = reader.NextBatch()) {
+    for (const Edge& e : batch) {
+      if (owner(e.set) != shard) continue;
+      compact.push_back(e);
+      if (compact.size() == batch_edges) flush();
+    }
+  }
+  flush();
+  report->stages.stream_seconds = Seconds(start);
+  if (reader.ChecksumFailed() && shard == 0) {
+    ++report->corrupt_records_skipped;
+    ++report->faults_survived;
+  }
+  if (reader.Truncated() || reader.ChecksumFailed()) report->degraded = true;
+  FinalizeRun(report, algorithm);
+}
+
+/// One shard's full pipeline, fast or supervised.
+RunReport RunShard(const ShardedRunConfig& config, uint32_t shard,
+                   const std::optional<Checkpoint>& resume_slot,
+                   const CheckpointSink& sink, bool supervised,
+                   bool checkpointing) {
+  const RunConfig& base = config.base;
+  RunReport report;
+
+  AlgorithmOptions options = base.options;
+  options.seed = base.options.seed + shard;
+  std::unique_ptr<StreamingSetCoverAlgorithm> algorithm =
+      MakeAlgorithmByName(base.algorithm, options);
+  if (algorithm == nullptr) {
+    report.error = UnknownAlgorithmError(base.algorithm);
+    return report;
+  }
+  report.algorithm_name = algorithm->Name();
+
+  if (!supervised) {
+    if (base.source.stream != nullptr) {
+      WithOwner(config.partitioner, config.shards, [&](auto owner) {
+        DriveInMemoryShard(&report, *algorithm, *base.source.stream,
+                           base.batch_edges, shard, owner);
+      });
+    } else {
+      std::string error;
+      auto reader = OpenBatchEdgeReader(base.source.path,
+                                        base.source.read_options, &error);
+      if (reader == nullptr) {
+        report.error = error;
+        return report;
+      }
+      WithOwner(config.partitioner, config.shards, [&](auto owner) {
+        DriveFileShard(&report, *algorithm, *reader, base.batch_edges,
+                       shard, owner);
+      });
+    }
+    return report;
+  }
+
+  // Supervised: per-shard source -> schedule -> fault injector -> shard
+  // filter -> Drive. The fault schedule is replicated per shard (pure
+  // function of (seed, position)), so every shard sees the identical
+  // damaged stream; the filter then surfaces only this shard's slice.
+  // The schedule sits under the injector so fault decisions key on
+  // scheduled positions, exactly like the inprocess supervised path.
+  std::unique_ptr<StreamFileSource> file_source;
+  std::unique_ptr<VectorEdgeSource> vector_source;
+  EdgeSource* inner = nullptr;
+  if (base.source.stream != nullptr) {
+    vector_source = std::make_unique<VectorEdgeSource>(*base.source.stream);
+    inner = vector_source.get();
+  } else {
+    std::string error;
+    file_source = StreamFileSource::Open(base.source.path,
+                                         base.source.read_options, &error);
+    if (file_source == nullptr) {
+      report.error = error;
+      return report;
+    }
+    inner = file_source.get();
+  }
+  std::optional<ScheduledSource> scheduled;
+  if (!base.source.schedule.Trivial()) {
+    scheduled.emplace(inner, base.source.schedule);
+    inner = &*scheduled;
+  }
+  std::optional<FaultInjector> injector;
+  if (base.faults.has_value()) {
+    injector.emplace(inner, *base.faults);
+    inner = &*injector;
+  }
+  ShardFilterSource filtered(inner, shard, config.shards,
+                             config.partitioner);
+
+  DriveOptions drive;
+  drive.checkpoint_every = checkpointing ? base.checkpoint.every : 0;
+  if (checkpointing) drive.checkpoint_sink = sink;
+  if (resume_slot.has_value()) drive.resume_from = &*resume_slot;
+  drive.backoff = base.backoff;
+  drive.sleeper = base.sleeper;
+  drive.stop_after = base.stop_after;
+  drive.batch_edges = base.batch_edges;
+  return Drive(drive, *algorithm, filtered);
+}
+
+}  // namespace
+
+RunReport ExecuteSharded(const ShardedRunConfig& config) {
+  RunReport report;
+  const auto total_start = Clock::now();
+  const std::clock_t cpu_start = std::clock();
+  const auto setup_start = Clock::now();
+
+  const RunConfig& base = config.base;
+  const uint32_t shards = config.shards;
+  if (!internal::ValidateShardedBase(base, shards, &report.error)) {
+    return report;
+  }
+
+  const bool checkpointing =
+      !base.checkpoint.path.empty() && base.checkpoint.every > 0;
+  const bool supervised = base.faults.has_value() || base.stop_after != 0 ||
+                          base.checkpoint.resume || checkpointing ||
+                          base.batch_edges != kIngestBatchEdges ||
+                          !base.source.schedule.Trivial();
+
+  // Resume slots are copied out before the shards launch so each shard
+  // reads its slot without racing the sinks; the aggregate writer owns
+  // the ONE sidecar (plain SCKP at W = 1, SCSH otherwise).
+  std::vector<std::optional<Checkpoint>> resume_slots(shards);
+  if (base.checkpoint.resume) {
+    if (!internal::LoadResumeSlots(base.checkpoint.path, shards,
+                                   config.partitioner.name, &resume_slots,
+                                   &report.error)) {
+      return report;
+    }
+  }
+  std::optional<AggregateCheckpointWriter> writer;
+  if (checkpointing) {
+    writer.emplace(base.checkpoint.path, shards, config.partitioner.name,
+                   resume_slots);
+  }
+  auto make_sink = [&](uint32_t shard) -> CheckpointSink {
+    if (!checkpointing) return nullptr;
+    return writer->SinkFor(shard);
+  };
+  report.stages.setup_seconds = Seconds(setup_start);
+
+  // Fan out: one independent pipeline per shard on the deterministic
+  // pool. Shards share nothing but the (read-only) source bytes and the
+  // mutex-guarded aggregate checkpoint, so results are bit-identical at
+  // any thread count.
+  std::vector<RunReport> shard_reports(shards);
+  {
+    ThreadPool pool(config.threads == 0 ? shards : config.threads);
+    pool.RunIndexed(shards, [&](size_t w) {
+      shard_reports[w] =
+          RunShard(config, uint32_t(w), resume_slots[w],
+                   make_sink(uint32_t(w)), supervised, checkpointing);
+    });
+  }
+
+  internal::AggregateShardReports(&report, shard_reports, shards,
+                                  config.merge_threshold);
+
+  if (base.validate != nullptr && report.completed) {
+    const auto validate_start = Clock::now();
+    report.validation = ValidateSolution(*base.validate, report.solution);
+    report.validated = true;
+    report.stages.validate_seconds = Seconds(validate_start);
+  }
+
+  report.stages.total_seconds = Seconds(total_start);
+  report.stages.cpu_seconds =
+      double(std::clock() - cpu_start) / double(CLOCKS_PER_SEC);
+  return report;
+}
+
+RunReport ShardedBackend::Run(const RunConfig& config) {
+  ShardedRunConfig sharded;
+  sharded.base = config;
+  sharded.base.shards = 0;
+  sharded.shards = config.backend.workers != 0
+                       ? config.backend.workers
+                       : (config.shards > 1 ? config.shards : 1);
+  sharded.partitioner = config.backend.partitioner;
+  sharded.threads = config.backend.threads;
+  sharded.merge_threshold = config.backend.merge_threshold;
+  return ExecuteSharded(sharded);
+}
+
+}  // namespace engine
+}  // namespace setcover

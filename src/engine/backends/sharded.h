@@ -1,0 +1,24 @@
+#ifndef SETCOVER_ENGINE_BACKENDS_SHARDED_H_
+#define SETCOVER_ENGINE_BACKENDS_SHARDED_H_
+
+#include "engine/backend.h"
+#include "engine/engine.h"
+
+namespace setcover {
+namespace engine {
+
+/// The thread-pool substrate: W set-partitioned worker pipelines on the
+/// deterministic pool, merged through the §3 t-party protocol. Thin
+/// Backend adapter over ExecuteSharded (engine/sharded.h), which keeps
+/// its direct entry point for callers that configure ShardedRunConfig
+/// explicitly.
+class ShardedBackend : public Backend {
+ public:
+  const char* Name() const override { return "sharded"; }
+  RunReport Run(const RunConfig& config) override;
+};
+
+}  // namespace engine
+}  // namespace setcover
+
+#endif  // SETCOVER_ENGINE_BACKENDS_SHARDED_H_

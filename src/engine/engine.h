@@ -9,10 +9,12 @@
 
 #include "core/registry.h"
 #include "core/streaming_algorithm.h"
+#include "engine/backend.h"
 #include "instance/validator.h"
 #include "run/checkpoint.h"
 #include "stream/edge_source.h"
 #include "stream/fault_injector.h"
+#include "stream/schedule.h"
 #include "stream/stream_file.h"
 #include "util/backoff.h"
 
@@ -49,6 +51,13 @@ struct SourceSpec {
   const EdgeStream* stream = nullptr;
   std::string path;
   StreamReadOptions read_options;
+
+  /// Stream schedule layered over the raw source: k repeated passes
+  /// (multi-pass algorithms), or a sliding-window replay feed
+  /// (duplicate-heavy arrival simulation). The default is the trivial
+  /// one-pass schedule. Non-trivial schedules run supervised; windowed
+  /// schedules are not checkpointable. See stream/schedule.h.
+  ScheduleSpec schedule;
 
   static SourceSpec InMemory(const EdgeStream& stream) {
     SourceSpec spec;
@@ -269,11 +278,19 @@ struct RunConfig {
   const SetCoverInstance* validate = nullptr;
 
   /// Shard fan-out: 0 or 1 runs the single pipeline above; W > 1
-  /// dispatches to ExecuteSharded (engine/sharded.h) with W set-modulo
-  /// shards — W worker pipelines merged through the deterministic
-  /// t-party protocol. Requires a shardable registry `algorithm` name
-  /// (not `algorithm_instance`).
+  /// dispatches to the sharded backend (engine/sharded.h) with W
+  /// set-modulo shards — W worker pipelines merged through the
+  /// deterministic t-party protocol. Requires a shardable registry
+  /// `algorithm` name (not `algorithm_instance`). Kept for
+  /// compatibility; `backend.workers` is the spelled-out form.
   uint32_t shards = 0;
+
+  /// Which execution substrate runs this config (engine/backend.h).
+  /// An empty `backend.name` auto-selects: sharded when the run asks
+  /// for more than one worker, inprocess otherwise — unless the
+  /// SETCOVER_BACKEND environment variable forces an eligible run onto
+  /// a named substrate (the ctest backend-matrix hook).
+  BackendSpec backend;
 };
 
 /// Assembles the pipeline described by `config`, runs it, and returns

@@ -2,9 +2,9 @@
 #define SETCOVER_ENGINE_SHARDED_H_
 
 #include <cstdint>
-#include <functional>
 #include <string>
 
+#include "engine/backend.h"
 #include "engine/engine.h"
 #include "stream/edge.h"
 
@@ -54,23 +54,9 @@ namespace engine {
 /// shards draw independent coins while W = 1 reproduces the base seed
 /// exactly.
 
-/// The partitioner seam: maps a set id to its owning shard in [0, W).
-/// Must be a pure function — it runs in every shard's hot loop and its
-/// verdicts must agree across shards and across resume. The name is
-/// recorded in sharded checkpoints; resuming under a different
-/// partitioner is refused.
-struct ShardPartitioner {
-  std::string name = "set-mod";
-  /// nullptr means the built-in set-modulo rule (set_id % shards),
-  /// which the hot paths inline (bit-mask for power-of-two W) instead
-  /// of paying a std::function call per edge.
-  std::function<uint32_t(SetId, uint32_t shards)> index;
-};
-
-/// The default partitioner, spelled out.
-ShardPartitioner SetModuloPartitioner();
-
-/// One declarative sharded run, consumed by ExecuteSharded().
+/// One declarative sharded run, consumed by ExecuteSharded(). The
+/// partitioner seam (ShardPartitioner / SetModuloPartitioner) lives in
+/// engine/backend.h — it is shared with the forked-process backend.
 struct ShardedRunConfig {
   /// The per-shard pipeline description: algorithm (a shardable
   /// registry name — `algorithm_instance` is rejected, each shard owns

@@ -1,0 +1,184 @@
+#include "engine/sharded_session.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "engine/backends/shard_common.h"
+
+namespace setcover {
+namespace engine {
+
+std::string ShardedSession::SidecarPath(const std::string& stem,
+                                        uint32_t worker) {
+  return stem + ".w" + std::to_string(worker);
+}
+
+std::unique_ptr<ShardedSession> ShardedSession::Open(
+    const ShardedSessionConfig& config, bool resume, std::string* error) {
+  if (config.workers == 0) {
+    if (error != nullptr) *error = "sharded session needs at least 1 worker";
+    return nullptr;
+  }
+  if (config.base.faults.has_value()) {
+    if (error != nullptr) {
+      *error =
+          "sharded sessions do not support fault schedules (per-worker "
+          "slice positions are not stream positions, so (seed, position) "
+          "fault decisions would diverge from a whole-stream run)";
+    }
+    return nullptr;
+  }
+  const AlgorithmInfo* info = FindAlgorithm(config.base.algorithm);
+  if (info == nullptr) {
+    if (error != nullptr)
+      *error = UnknownAlgorithmError(config.base.algorithm);
+    return nullptr;
+  }
+  if (config.workers > 1 && !info->shardable) {
+    if (error != nullptr) {
+      *error = "algorithm '" + config.base.algorithm +
+               "' does not support sharded execution";
+    }
+    return nullptr;
+  }
+
+  std::unique_ptr<ShardedSession> session(new ShardedSession());
+  session->config_ = config;
+  session->workers_.reserve(config.workers);
+  session->slices_.resize(config.workers);
+  for (uint32_t w = 0; w < config.workers; ++w) {
+    SessionConfig sub = config.base;
+    sub.options.seed = config.base.options.seed + w;
+    if (!sub.checkpoint_path.empty() && config.workers > 1) {
+      sub.checkpoint_path = SidecarPath(sub.checkpoint_path, w);
+    }
+    std::unique_ptr<Session> worker = Session::Open(sub, resume, error);
+    if (worker == nullptr) {
+      if (error != nullptr && config.workers > 1) {
+        *error = "worker " + std::to_string(w) + ": " + *error;
+      }
+      return nullptr;
+    }
+    session->workers_.push_back(std::move(worker));
+  }
+
+  // The session's durable cursor is the slowest worker's: sub-sessions
+  // hit their checkpoint cadence independently, so after a crash their
+  // sidecars may disagree. Replaying from the minimum re-applies only
+  // at workers that were behind; the rest dedupe.
+  uint64_t cursor = session->workers_[0]->LastSequence();
+  for (const auto& worker : session->workers_) {
+    cursor = std::min(cursor, worker->LastSequence());
+    session->resumed_ = session->resumed_ || worker->Resumed();
+  }
+  session->last_sequence_ = cursor;
+  return session;
+}
+
+IngestResult ShardedSession::Ingest(uint64_t sequence,
+                                    std::span<const Edge> edges,
+                                    std::string* error) {
+  IngestResult result;
+  result.last_sequence = last_sequence_;
+  if (final_report_.has_value()) {
+    if (error != nullptr) *error = "session already finalized";
+    return result;
+  }
+  if (sequence <= last_sequence_) {
+    result.status = IngestStatus::kDuplicate;
+    return result;
+  }
+  if (sequence != last_sequence_ + 1) {
+    if (error != nullptr) *error = "ingest sequence gap";
+    result.status = IngestStatus::kOutOfOrder;
+    return result;
+  }
+
+  const uint32_t shards = config_.workers;
+  for (auto& slice : slices_) slice.clear();
+  internal::WithOwner(config_.partitioner, shards, [&](auto owner) {
+    for (const Edge& edge : edges) slices_[owner(edge.set)].push_back(edge);
+  });
+
+  // Every worker sees every sequence number (possibly with an empty
+  // slice), so the cursors stay in lockstep. A worker that resumed
+  // ahead of the aggregate cursor reports kDuplicate — that is the
+  // catch-up replay working as intended, not a failure.
+  for (uint32_t w = 0; w < shards; ++w) {
+    std::string sub_error;
+    IngestResult sub = workers_[w]->Ingest(
+        sequence, std::span<const Edge>(slices_[w]), &sub_error);
+    if (sub.status == IngestStatus::kApplied ||
+        sub.status == IngestStatus::kDuplicate) {
+      result.checkpoints_written += sub.checkpoints_written;
+      continue;
+    }
+    if (error != nullptr)
+      *error = "worker " + std::to_string(w) + ": " + sub_error;
+    result.status = sub.status;
+    return result;
+  }
+  last_sequence_ = sequence;
+  result.status = IngestStatus::kApplied;
+  result.last_sequence = last_sequence_;
+  return result;
+}
+
+bool ShardedSession::WriteCheckpoint(std::string* error) {
+  for (uint32_t w = 0; w < config_.workers; ++w) {
+    std::string sub_error;
+    if (!workers_[w]->WriteCheckpoint(&sub_error)) {
+      if (error != nullptr)
+        *error = "worker " + std::to_string(w) + ": " + sub_error;
+      return false;
+    }
+  }
+  return true;
+}
+
+const RunReport& ShardedSession::Finalize() {
+  if (final_report_.has_value()) return *final_report_;
+  std::vector<RunReport> shard_reports;
+  shard_reports.reserve(workers_.size());
+  for (auto& worker : workers_) shard_reports.push_back(worker->Finalize());
+  RunReport report;
+  internal::AggregateShardReports(&report, shard_reports,
+                                  uint32_t(workers_.size()),
+                                  config_.merge_threshold);
+  report.stages.total_seconds = report.stages.setup_seconds +
+                                report.stages.stream_seconds +
+                                report.stages.finalize_seconds;
+  final_report_ = std::move(report);
+  return *final_report_;
+}
+
+SessionStats ShardedSession::Stats() const {
+  SessionStats stats;
+  for (const auto& worker : workers_) {
+    const SessionStats sub = worker->Stats();
+    stats.edges_delivered += sub.edges_delivered;
+    stats.batches += sub.batches;
+    stats.duplicate_ingests += sub.duplicate_ingests;
+    stats.checkpoints_written += sub.checkpoints_written;
+    stats.transient_retries += sub.transient_retries;
+    stats.corrupt_records_skipped += sub.corrupt_records_skipped;
+    stats.faults_survived += sub.faults_survived;
+    stats.degraded = stats.degraded || sub.degraded;
+    stats.setup_seconds = std::max(stats.setup_seconds, sub.setup_seconds);
+    stats.stream_seconds = std::max(stats.stream_seconds, sub.stream_seconds);
+    stats.finalize_seconds =
+        std::max(stats.finalize_seconds, sub.finalize_seconds);
+    stats.peak_words += sub.peak_words;
+    stats.current_words += sub.current_words;
+  }
+  // The aggregate cursor and per-call counters belong to this layer:
+  // one client Ingest fans into W sub-calls.
+  stats.ingest_calls = workers_[0]->Stats().ingest_calls;
+  stats.last_sequence = last_sequence_;
+  stats.resumed = resumed_;
+  stats.finalized = final_report_.has_value();
+  return stats;
+}
+
+}  // namespace engine
+}  // namespace setcover

@@ -110,6 +110,20 @@ bool SaveShardedCheckpoint(const ShardedCheckpoint& checkpoint,
 std::optional<ShardedCheckpoint> LoadShardedCheckpoint(
     const std::string& path, std::string* error);
 
+/// Serializes just the checkpoint *body* (the byte layout between the
+/// single-run header and CRC — name through state words) without file
+/// framing. This is the unit SCSH slots embed and the forked execution
+/// backend ships over its result ring: a worker process encodes its
+/// snapshot once and the parent folds the identical bytes into the
+/// aggregate sidecar.
+void EncodeCheckpointBody(const Checkpoint& checkpoint,
+                          std::vector<uint8_t>* out);
+
+/// Parses a body produced by EncodeCheckpointBody. The body must span
+/// exactly [data, data + size); trailing bytes are rejected.
+bool DecodeCheckpointBody(const uint8_t* data, size_t size, Checkpoint* out,
+                          std::string* error);
+
 }  // namespace setcover
 
 #endif  // SETCOVER_RUN_CHECKPOINT_H_

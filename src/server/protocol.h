@@ -76,6 +76,7 @@ enum class MessageType : uint8_t {
 enum class RetryReason : uint8_t {
   kOverloaded = 0,  // admission control: scheduler queue at capacity
   kDraining = 1,    // graceful shutdown in progress
+  kEvicted = 2,     // idle TTL eviction: state checkpointed, re-open to resume
 };
 
 /// Hard ceiling on one frame's payload bytes; bounds server-side
@@ -95,6 +96,10 @@ struct OpenBody {
   uint64_t seed = 1;
   StreamMetadata meta;
   uint64_t checkpoint_every = 0;
+  /// Worker fan-out behind the session (engine/sharded_session.h);
+  /// 0 or 1 = one in-process pipeline. Requires a shardable algorithm
+  /// and no fault schedule when > 1.
+  uint32_t workers = 0;
   std::optional<FaultSchedule> faults;
 };
 

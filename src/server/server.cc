@@ -1,5 +1,6 @@
 #include "server/server.h"
 
+#include <chrono>
 #include <condition_variable>
 #include <utility>
 
@@ -20,6 +21,22 @@ void SessionServer::Start() {
   queue_ = std::make_unique<TaskQueue>(options_.worker_threads,
                                        options_.max_queue);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
+  if (options_.session_ttl_us > 0 && !options_.state_dir.empty()) {
+    // The TTL sweep: idle sessions get checkpointed and dropped so a
+    // long-lived daemon's memory tracks its *active* set, not every id
+    // ever opened. Interruptible sleep — DrainAndStop must not wait
+    // out the sweep interval.
+    eviction_thread_ = std::thread([this] {
+      const auto ttl = std::chrono::microseconds(options_.session_ttl_us);
+      const auto sweep =
+          std::chrono::microseconds(options_.eviction_sweep_us);
+      std::unique_lock<std::mutex> lock(eviction_mutex_);
+      while (!eviction_cv_.wait_for(lock, sweep,
+                                    [this] { return stopped_.load(); })) {
+        manager_.EvictIdle(ttl);
+      }
+    });
+  }
 }
 
 void SessionServer::AcceptLoop() {
@@ -128,6 +145,8 @@ void SessionServer::StopInternal(bool drain) {
   // Stop the intake: no new connections.
   listener_->Shutdown();
   if (accept_thread_.joinable()) accept_thread_.join();
+  eviction_cv_.notify_all();
+  if (eviction_thread_.joinable()) eviction_thread_.join();
 
   // Graceful drain answers every admitted request while the
   // connections are still open, so no reply is lost.

@@ -2,6 +2,7 @@
 #define SETCOVER_SERVER_SERVER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -31,6 +32,16 @@ struct ServerOptions {
   /// Session durability directory (manifests + checkpoints). Must
   /// exist. Empty => volatile sessions.
   std::string state_dir;
+
+  /// Idle-session TTL: a persistent session untouched for this many
+  /// microseconds is checkpointed and evicted from memory (the first
+  /// re-touch gets kRetryAfter(kEvicted); the retry recovers it from
+  /// its sidecars). 0 disables eviction. Volatile sessions are never
+  /// evicted.
+  uint64_t session_ttl_us = 0;
+
+  /// How often the eviction sweep runs; only meaningful with a TTL.
+  uint64_t eviction_sweep_us = 50'000;
 };
 
 /// Point-in-time server counters (the kStats/session_id=0 reply).
@@ -93,6 +104,9 @@ class SessionServer {
 
   std::mutex threads_mutex_;
   std::thread accept_thread_;
+  std::thread eviction_thread_;
+  std::condition_variable eviction_cv_;
+  std::mutex eviction_mutex_;
   std::vector<std::thread> connection_threads_;
   std::vector<std::shared_ptr<Connection>> connections_;
 };

@@ -4,9 +4,15 @@
 #include <utility>
 #include <vector>
 
+#include "engine/sharded_session.h"
+
 namespace setcover {
 namespace server {
 namespace {
+
+/// Delay hint on the evicted-session kRetryAfter: recovery is one
+/// sidecar read away, so the client can come back almost immediately.
+constexpr uint64_t kEvictedRetryUs = 1000;
 
 /// Writes `bytes` to `path` atomically (tmp + rename), the same
 /// crash-safety discipline as SaveCheckpoint: a manifest is either the
@@ -52,7 +58,11 @@ std::vector<uint32_t> ToU32(const std::vector<SetId>& ids) {
 }  // namespace
 
 SessionManager::SessionManager(std::string state_dir)
-    : state_dir_(std::move(state_dir)) {}
+    : SessionManager(std::move(state_dir), [] { return Clock::now(); }) {}
+
+SessionManager::SessionManager(std::string state_dir,
+                               std::function<Clock::time_point()> clock)
+    : state_dir_(std::move(state_dir)), clock_(std::move(clock)) {}
 
 std::string SessionManager::CheckpointPath(uint64_t id) const {
   return state_dir_ + "/" + std::to_string(id) + ".sckp";
@@ -62,7 +72,15 @@ std::string SessionManager::ManifestPath(uint64_t id) const {
   return state_dir_ + "/" + std::to_string(id) + ".open";
 }
 
-std::unique_ptr<engine::Session> SessionManager::BuildSession(
+void SessionManager::RemoveSidecars(uint64_t id, uint32_t workers) const {
+  const std::string stem = CheckpointPath(id);
+  std::remove(stem.c_str());
+  for (uint32_t w = 0; w < workers; ++w)
+    std::remove(engine::ShardedSession::SidecarPath(stem, w).c_str());
+  std::remove(ManifestPath(id).c_str());
+}
+
+std::unique_ptr<engine::SessionHandle> SessionManager::BuildSession(
     uint64_t id, const OpenBody& open, bool resume, std::string* error) {
   engine::SessionConfig config;
   config.algorithm = open.algorithm;
@@ -73,13 +91,30 @@ std::unique_ptr<engine::Session> SessionManager::BuildSession(
     config.checkpoint_path = CheckpointPath(id);
     config.checkpoint_every = open.checkpoint_every;
   }
+  if (open.workers > 1) {
+    engine::ShardedSessionConfig sharded;
+    sharded.base = std::move(config);
+    sharded.workers = open.workers;
+    return engine::ShardedSession::Open(sharded, resume, error);
+  }
   return engine::Session::Open(config, resume, error);
+}
+
+std::optional<Message> SessionManager::EvictionGateLocked(uint64_t id) {
+  auto it = evicted_.find(id);
+  if (it == evicted_.end()) return std::nullopt;
+  // One-shot: the retry takes the normal on-demand recovery path.
+  evicted_.erase(it);
+  Message reply =
+      MakeRetryAfter(id, kEvictedRetryUs, RetryReason::kEvicted);
+  return reply;
 }
 
 Message SessionManager::HandleOpen(const Message& request) {
   const uint64_t id = request.session_id;
   if (id == 0) return MakeError(0, "session id 0 is reserved");
   std::lock_guard<std::mutex> lock(mutex_);
+  if (std::optional<Message> gate = EvictionGateLocked(id)) return *gate;
 
   Message reply;
   reply.type = MessageType::kOpenOk;
@@ -100,6 +135,7 @@ Message SessionManager::HandleOpen(const Message& request) {
                                     &error);
       if (entry->session == nullptr)
         return MakeError(id, "session recovery failed: " + error);
+      entry->workers = persisted->open.workers;
       it = sessions_.emplace(id, std::move(entry)).first;
     }
   }
@@ -108,7 +144,8 @@ Message SessionManager::HandleOpen(const Message& request) {
     // Re-attach (client retry of a lost kOpenOk, or a reconnect after a
     // server crash): report the durable cursor so the client resumes
     // sending from last_sequence + 1.
-    engine::Session& session = *it->second->session;
+    it->second->last_touch = clock_();
+    engine::SessionHandle& session = *it->second->session;
     reply.resumed = true;
     reply.last_sequence = session.LastSequence();
     reply.edges_delivered = session.Stats().edges_delivered;
@@ -129,6 +166,8 @@ Message SessionManager::HandleOpen(const Message& request) {
     if (!state_dir_.empty()) std::remove(ManifestPath(id).c_str());
     return MakeError(id, error);
   }
+  entry->workers = request.open.workers;
+  entry->last_touch = clock_();
   sessions_.emplace(id, std::move(entry));
   reply.resumed = false;
   reply.last_sequence = 0;
@@ -140,7 +179,10 @@ std::shared_ptr<SessionManager::Entry> SessionManager::FindOrRecover(
     uint64_t id, std::string* error) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = sessions_.find(id);
-  if (it != sessions_.end()) return it->second;
+  if (it != sessions_.end()) {
+    it->second->last_touch = clock_();
+    return it->second;
+  }
   if (!state_dir_.empty()) {
     std::vector<uint8_t> manifest;
     if (ReadFile(ManifestPath(id), &manifest)) {
@@ -156,6 +198,8 @@ std::shared_ptr<SessionManager::Entry> SessionManager::FindOrRecover(
       entry->session =
           BuildSession(id, persisted->open, /*resume=*/true, error);
       if (entry->session == nullptr) return nullptr;
+      entry->workers = persisted->open.workers;
+      entry->last_touch = clock_();
       return sessions_.emplace(id, std::move(entry)).first->second;
     }
   }
@@ -166,13 +210,29 @@ std::shared_ptr<SessionManager::Entry> SessionManager::FindOrRecover(
 
 Message SessionManager::HandleClose(const Message& request) {
   const uint64_t id = request.session_id;
+  uint32_t workers = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    sessions_.erase(id);
+    auto it = sessions_.find(id);
+    if (it != sessions_.end()) {
+      workers = it->second->workers;
+      sessions_.erase(it);
+    }
+    evicted_.erase(id);  // close ends the session; no retry gate needed
   }
   if (!state_dir_.empty()) {
-    std::remove(CheckpointPath(id).c_str());
-    std::remove(ManifestPath(id).c_str());
+    if (workers == 0) {
+      // The session may live only on disk (evicted, or another server
+      // incarnation opened it); the manifest knows its fan-out.
+      std::vector<uint8_t> manifest;
+      if (ReadFile(ManifestPath(id), &manifest)) {
+        std::string error;
+        std::optional<Message> persisted = DecodeMessage(manifest, &error);
+        if (persisted && persisted->type == MessageType::kOpen)
+          workers = persisted->open.workers;
+      }
+    }
+    RemoveSidecars(id, workers);
   }
   Message reply;  // idempotent: closing an unknown id succeeds
   reply.type = MessageType::kCloseOk;
@@ -200,11 +260,17 @@ Message SessionManager::Handle(const Message& request) {
     return reply;  // the server layer fills frames_received / sheds
   }
 
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (std::optional<Message> gate = EvictionGateLocked(request.session_id))
+      return *gate;
+  }
+
   std::string error;
   std::shared_ptr<Entry> entry = FindOrRecover(request.session_id, &error);
   if (entry == nullptr) return MakeError(request.session_id, error);
   std::lock_guard<std::mutex> session_lock(entry->mutex);
-  engine::Session& session = *entry->session;
+  engine::SessionHandle& session = *entry->session;
 
   Message reply;
   reply.session_id = request.session_id;
@@ -286,6 +352,36 @@ size_t SessionManager::CheckpointAll(size_t* failures) {
   }
   if (failures != nullptr) *failures = failed;
   return written;
+}
+
+size_t SessionManager::EvictIdle(Clock::duration ttl) {
+  if (state_dir_.empty()) return 0;  // volatile sessions are never evicted
+  const Clock::time_point now = clock_();
+  // The whole sweep holds the registry lock (mutex_ before Entry::mutex,
+  // the same order every request path uses), so no request can slip in
+  // between a session's eviction checkpoint and its removal and advance
+  // state that would then be dropped.
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t evicted = 0;
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    // Pin the Entry past the erase below: the map may hold the last
+    // reference, and session_lock must not outlive the mutex it guards.
+    std::shared_ptr<Entry> entry = it->second;
+    std::lock_guard<std::mutex> session_lock(entry->mutex);
+    if (now - entry->last_touch < ttl) {
+      ++it;
+      continue;
+    }
+    std::string error;
+    if (!entry->session->WriteCheckpoint(&error)) {
+      ++it;  // never drop state that is not on disk
+      continue;
+    }
+    evicted_.insert(it->first);
+    it = sessions_.erase(it);
+    ++evicted;
+  }
+  return evicted;
 }
 
 uint64_t SessionManager::OpenSessions() const {

@@ -1,5 +1,7 @@
 #include "server/transport.h"
 
+#include "util/eintr.h"
+
 #include <sys/socket.h>
 #include <sys/uio.h>
 #include <sys/un.h>
@@ -209,12 +211,9 @@ size_t CapIo(size_t size, size_t max_io) {
 
 bool WriteAll(int fd, const uint8_t* data, size_t size, size_t max_io) {
   while (size > 0) {
-    const ssize_t n = ::write(fd, data, CapIo(size, max_io));
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    if (n == 0) return false;
+    const ssize_t n =
+        RetryEintr([&] { return ::write(fd, data, CapIo(size, max_io)); });
+    if (n <= 0) return false;
     data += n;
     size -= size_t(n);
   }
@@ -223,12 +222,9 @@ bool WriteAll(int fd, const uint8_t* data, size_t size, size_t max_io) {
 
 bool ReadAll(int fd, uint8_t* data, size_t size, size_t max_io) {
   while (size > 0) {
-    const ssize_t n = ::read(fd, data, CapIo(size, max_io));
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    if (n == 0) return false;  // peer closed mid-frame (or cleanly)
+    const ssize_t n =
+        RetryEintr([&] { return ::read(fd, data, CapIo(size, max_io)); });
+    if (n <= 0) return false;  // peer closed mid-frame (or cleanly)
     data += n;
     size -= size_t(n);
   }
@@ -260,12 +256,8 @@ bool WritevFrame(int fd, const uint8_t prefix[4],
       iov[iovcnt].iov_len = std::min(payload.size() - payload_done, budget);
       ++iovcnt;
     }
-    const ssize_t n = ::writev(fd, iov, iovcnt);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    if (n == 0) return false;
+    const ssize_t n = RetryEintr([&] { return ::writev(fd, iov, iovcnt); });
+    if (n <= 0) return false;
     done += size_t(n);
   }
   return true;
@@ -289,11 +281,8 @@ bool SendFdsWithMagic(int fd, uint32_t magic, const int* fds, size_t count) {
   cmsg->cmsg_type = SCM_RIGHTS;
   cmsg->cmsg_len = CMSG_LEN(count * sizeof(int));
   std::memcpy(CMSG_DATA(cmsg), fds, count * sizeof(int));
-  for (;;) {
-    const ssize_t n = ::sendmsg(fd, &msg, 0);
-    if (n >= 0) return size_t(n) == sizeof word;
-    if (errno != EINTR) return false;
-  }
+  const ssize_t n = RetryEintr([&] { return ::sendmsg(fd, &msg, 0); });
+  return n >= 0 && size_t(n) == sizeof word;
 }
 
 /// Receives the remainder of the 4-byte preamble plus any SCM_RIGHTS
@@ -310,12 +299,8 @@ bool RecvPreamble(int fd, uint8_t word[4], size_t already,
     msg.msg_iovlen = 1;
     msg.msg_control = control;
     msg.msg_controllen = sizeof control;
-    const ssize_t n = ::recvmsg(fd, &msg, 0);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    if (n == 0) return false;
+    const ssize_t n = RetryEintr([&] { return ::recvmsg(fd, &msg, 0); });
+    if (n <= 0) return false;
     for (cmsghdr* cmsg = CMSG_FIRSTHDR(&msg); cmsg != nullptr;
          cmsg = CMSG_NXTHDR(&msg, cmsg)) {
       if (cmsg->cmsg_level != SOL_SOCKET || cmsg->cmsg_type != SCM_RIGHTS)
@@ -475,13 +460,10 @@ class UnixListener : public Listener {
   }
 
   std::unique_ptr<Connection> Accept() override {
-    for (;;) {
-      const int client = ::accept(fd_, nullptr, nullptr);
-      if (client >= 0)
-        return std::make_unique<FdConnection>(client, /*negotiate=*/true);
-      if (errno == EINTR) continue;
-      return nullptr;  // shut down, or a fatal accept error
-    }
+    const int client =
+        RetryEintr([&] { return ::accept(fd_, nullptr, nullptr); });
+    if (client < 0) return nullptr;  // shut down, or a fatal accept error
+    return std::make_unique<FdConnection>(client, /*negotiate=*/true);
   }
 
   void Shutdown() override { ::shutdown(fd_, SHUT_RDWR); }

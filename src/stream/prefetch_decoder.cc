@@ -17,44 +17,35 @@ std::unique_ptr<PrefetchDecoder> PrefetchDecoder::Create(
 
 PrefetchDecoder::PrefetchDecoder(std::unique_ptr<StreamFileReader> reader)
     : reader_(std::move(reader)), num_chunks_(reader_->NumChunks()) {
-  for (Slot& slot : slots_) slot.chunks.resize(kUnitChunks);
+  for (size_t i = 0; i < StagePipe<Unit>::kSlots; ++i)
+    pipe_.PayloadAt(i).chunks.resize(kUnitChunks);
 }
 
 PrefetchDecoder::~PrefetchDecoder() { StopWorker(); }
 
 void PrefetchDecoder::StartWorker(size_t first_chunk) {
-  stop_ = false;
   worker_ = std::thread([this, first_chunk] { WorkerLoop(first_chunk); });
 }
 
 void PrefetchDecoder::StopWorker() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    stop_ = true;
-  }
-  cv_.notify_all();
+  pipe_.Stop();
   if (worker_.joinable()) worker_.join();
 }
 
 void PrefetchDecoder::WorkerLoop(size_t first_chunk) {
   size_t chunk = first_chunk;
-  size_t slot_index = 0;
   while (true) {
-    Slot* slot = &slots_[slot_index];
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [&] { return stop_ || !slot->full; });
-      if (stop_) return;
-    }
-    // Decode outside the lock: the consumer never touches a slot whose
-    // full flag it has cleared, so the worker owns it exclusively here.
-    slot->first_chunk = chunk;
-    slot->count = 0;
+    Unit* unit = pipe_.BeginFill();
+    if (unit == nullptr) return;  // stopped
+    // Decode outside the pipe's lock: the consumer never touches a unit
+    // it has handed back, so the worker owns it exclusively here.
+    unit->first_chunk = chunk;
+    unit->count = 0;
     bool damaged = false;
     for (size_t i = 0; i < kUnitChunks && chunk < num_chunks_; ++i) {
-      StreamFileReader::DecodedChunk& decoded = slot->chunks[i];
+      StreamFileReader::DecodedChunk& decoded = unit->chunks[i];
       reader_->DecodeChunk(chunk, &decoded);
-      ++slot->count;
+      ++unit->count;
       ++chunk;
       if (decoded.truncated || decoded.checksum_failed) {
         // The stream ends at the damaged chunk; decoding further would
@@ -63,43 +54,32 @@ void PrefetchDecoder::WorkerLoop(size_t first_chunk) {
         break;
       }
     }
-    const bool last = damaged || chunk >= num_chunks_;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      slot->full = true;
+    pipe_.FinishFill();
+    if (damaged || chunk >= num_chunks_) {
+      pipe_.FinishProducing();
+      return;
     }
-    cv_.notify_all();
-    if (last) return;
-    slot_index ^= 1;
   }
 }
 
 const StreamFileReader::DecodedChunk* PrefetchDecoder::AcquireChunk(
     size_t chunk) {
   if (chunk >= num_chunks_) return nullptr;
-  if (active_slot_ != nullptr) {
-    if (active_index_ + 1 < active_slot_->count) {
+  if (active_unit_ != nullptr) {
+    if (active_index_ + 1 < active_unit_->count) {
       ++active_index_;
-      return &active_slot_->chunks[active_index_];
+      return &active_unit_->chunks[active_index_];
     }
-    // Slot drained: hand it back to the worker.
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      active_slot_->full = false;
-    }
-    cv_.notify_all();
-    active_slot_ = nullptr;
+    // Unit drained: hand it back to the worker.
+    pipe_.FinishDrain();
+    active_unit_ = nullptr;
   }
-  Slot* slot = &slots_[next_slot_];
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] { return slot->full; });
-  }
-  next_slot_ ^= 1;
-  active_slot_ = slot;
+  Unit* unit = pipe_.BeginDrain();
+  if (unit == nullptr) return nullptr;  // producer done; nothing pending
+  active_unit_ = unit;
   active_index_ = 0;
-  if (slot->count == 0) return nullptr;  // empty stream
-  return &slot->chunks[0];
+  if (unit->count == 0) return nullptr;  // empty stream
+  return &unit->chunks[0];
 }
 
 bool PrefetchDecoder::FillBuffer() {
@@ -146,10 +126,9 @@ bool PrefetchDecoder::SeekToEdge(size_t index) {
   // pipeline down, rewind the consumer cursor, and restart the worker
   // at the containing chunk.
   StopWorker();
-  for (Slot& slot : slots_) slot.full = false;
-  active_slot_ = nullptr;
+  pipe_.Reset();
+  active_unit_ = nullptr;
   active_index_ = 0;
-  next_slot_ = 0;
   current_ = {};
   current_pos_ = 0;
   current_valid_ = false;

@@ -1,21 +1,20 @@
 #ifndef SETCOVER_STREAM_PREFETCH_DECODER_H_
 #define SETCOVER_STREAM_PREFETCH_DECODER_H_
 
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <thread>
 
 #include "stream/stream_file.h"
+#include "util/stage_pipe.h"
 
 namespace setcover {
 
 /// Pipelined file replay: a background thread decodes and CRC-checks
 /// chunks one pipeline unit (kUnitChunks chunks) ahead of the consumer,
 /// so decode/verify cost overlaps the algorithm's per-edge work instead
-/// of serializing with it. Two slots are handed back and forth through
-/// a mutex/condvar pair — classic double buffering; grouping several
-/// chunks per slot amortizes the handoff cost over tens of thousands of
+/// of serializing with it. The stage boundary is a StagePipe — the
+/// generic two-slot SPSC handoff — with each payload grouping several
+/// chunks so the handoff cost amortizes over tens of thousands of
 /// edges.
 ///
 /// Presents the same BatchEdgeReader contract as the synchronous
@@ -46,19 +45,15 @@ class PrefetchDecoder : public BatchEdgeReader {
   bool ChecksumFailed() const override { return checksum_failed_; }
   size_t EdgesRead() const override { return edges_read_; }
 
-  /// Chunks decoded per pipeline slot.
+  /// Chunks decoded per pipeline unit.
   static constexpr size_t kUnitChunks = 8;
 
  private:
-  struct Slot {
+  /// One pipeline unit: a run of sequentially decoded chunks.
+  struct Unit {
     std::vector<StreamFileReader::DecodedChunk> chunks;
     size_t first_chunk = 0;
     size_t count = 0;
-    /// Ownership bit: true = consumer's to drain, false = worker's to
-    /// refill. Always read/written under mu_; the chunk payloads
-    /// themselves are only touched by the current owner, so the
-    /// full-flag handoff is the only synchronization they need.
-    bool full = false;
   };
 
   explicit PrefetchDecoder(std::unique_ptr<StreamFileReader> reader);
@@ -76,19 +71,15 @@ class PrefetchDecoder : public BatchEdgeReader {
   std::unique_ptr<StreamFileReader> reader_;
   size_t num_chunks_ = 0;
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  Slot slots_[2];
-  bool stop_ = false;
+  StagePipe<Unit> pipe_;
   std::thread worker_;
 
   // Consumer-side cursor (mirrors StreamFileReader's).
   size_t edges_read_ = 0;
   bool truncated_ = false;
   bool checksum_failed_ = false;
-  Slot* active_slot_ = nullptr;  // slot the consumer currently owns
+  Unit* active_unit_ = nullptr;  // unit the consumer currently owns
   size_t active_index_ = 0;      // position of the current chunk in it
-  size_t next_slot_ = 0;         // which slot the worker fills next
   std::span<const Edge> current_;
   size_t current_pos_ = 0;
   bool current_valid_ = false;

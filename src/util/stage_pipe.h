@@ -1,0 +1,130 @@
+#ifndef SETCOVER_UTIL_STAGE_PIPE_H_
+#define SETCOVER_UTIL_STAGE_PIPE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+namespace setcover {
+
+/// Two-slot SPSC stage boundary: the generalized form of the prefetch
+/// decoder's double buffering, reusable at any producer/consumer seam
+/// (decode-ahead, frame serialization ahead of a ring push, ...).
+///
+/// One producer thread fills slots, one consumer thread drains them, in
+/// strict alternation; a slot's payload is touched only by its current
+/// owner, so the full-flag handoff under the mutex is the only
+/// synchronization the payloads need. Two slots are enough to overlap
+/// the stages; batching work per payload amortizes the handoff.
+///
+/// Producer protocol:
+///   while (Payload* p = pipe.BeginFill()) { fill *p; pipe.FinishFill(); }
+///   pipe.FinishProducing();   // on end-of-stream
+/// Consumer protocol:
+///   while (Payload* p = pipe.BeginDrain()) { use *p; pipe.FinishDrain(); }
+///
+/// Stop() unblocks both sides (Begin* return nullptr); Reset() returns
+/// the pipe to its initial state once no thread is inside it. PayloadAt
+/// gives direct slot access for capacity pre-sizing before threads run.
+template <typename Payload>
+class StagePipe {
+ public:
+  StagePipe() = default;
+  StagePipe(const StagePipe&) = delete;
+  StagePipe& operator=(const StagePipe&) = delete;
+
+  /// Producer: blocks until the next slot is free. Null after Stop().
+  Payload* BeginFill() {
+    std::unique_lock<std::mutex> lock(mu_);
+    Slot* slot = &slots_[fill_];
+    cv_.wait(lock, [&] { return stop_ || !slot->full; });
+    if (stop_) return nullptr;
+    return &slot->payload;
+  }
+
+  /// Producer: publishes the slot returned by the last BeginFill.
+  void FinishFill() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      slots_[fill_].full = true;
+      fill_ ^= 1;
+    }
+    cv_.notify_all();
+  }
+
+  /// Producer: signals end-of-stream. Already-published slots stay
+  /// drainable; afterwards BeginDrain returns nullptr.
+  void FinishProducing() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      done_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  /// Consumer: blocks until the next slot is published. Null when the
+  /// producer finished and nothing is pending, or after Stop().
+  Payload* BeginDrain() {
+    std::unique_lock<std::mutex> lock(mu_);
+    Slot* slot = &slots_[drain_];
+    cv_.wait(lock, [&] { return stop_ || done_ || slot->full; });
+    if (stop_ || !slot->full) return nullptr;
+    return &slot->payload;
+  }
+
+  /// Consumer: hands the slot returned by the last BeginDrain back to
+  /// the producer.
+  void FinishDrain() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      slots_[drain_].full = false;
+      drain_ ^= 1;
+    }
+    cv_.notify_all();
+  }
+
+  /// Unblocks both sides; subsequent Begin* calls return nullptr.
+  void Stop() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  /// Back to the initial empty state. Caller must guarantee no thread
+  /// is blocked inside the pipe (join the producer first).
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = false;
+    done_ = false;
+    fill_ = 0;
+    drain_ = 0;
+    for (Slot& slot : slots_) slot.full = false;
+  }
+
+  /// Direct slot access for pre-sizing payload capacity before the
+  /// producer/consumer threads start.
+  static constexpr size_t kSlots = 2;
+  Payload& PayloadAt(size_t index) { return slots_[index].payload; }
+
+ private:
+  struct Slot {
+    Payload payload;
+    /// Ownership bit: true = consumer's to drain, false = producer's to
+    /// refill. Always read/written under mu_.
+    bool full = false;
+  };
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  Slot slots_[kSlots];
+  bool stop_ = false;
+  bool done_ = false;
+  size_t fill_ = 0;   // slot the producer fills next
+  size_t drain_ = 0;  // slot the consumer drains next
+};
+
+}  // namespace setcover
+
+#endif  // SETCOVER_UTIL_STAGE_PIPE_H_

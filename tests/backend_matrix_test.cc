@@ -1,0 +1,457 @@
+// Cross-backend equivalence — the acceptance bar for the engine's
+// execution-substrate seam (engine/backend.h). For every shardable
+// algorithm: (a) {inprocess, sharded, forked} produce bit-identical
+// covers, certificates, and counters at W = 1; (b) sharded and forked
+// agree exactly at W = 3, merge accounting included; (c) the
+// checkpoint sidecars the substrates write mid-run are byte-identical
+// files, W = 1 (plain SCKP) and W = 3 (SCSH) both; (d) killing one
+// forked worker *process* mid-stream surfaces as a dead-worker error
+// whose aggregate checkpoint resumes to the unkilled run's exact
+// result. Plus: stream schedules (multi-pass and sliding-window) as
+// composable source backends across substrates, the ShardedSession
+// push-side counterpart, backend dispatch and registry, and the
+// windowed-schedule checkpoint rejection.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <span>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/registry.h"
+#include "engine/backend.h"
+#include "engine/engine.h"
+#include "engine/sharded_session.h"
+#include "instance/generators.h"
+#include "instance/validator.h"
+#include "stream/orderings.h"
+#include "stream/stream_file.h"
+#include "util/rng.h"
+
+namespace setcover {
+namespace {
+
+struct Fixture {
+  SetCoverInstance instance;
+  EdgeStream stream;
+};
+
+/// The sharded_engine_test planted fixture: known OPT, decoy sets,
+/// enough edges that every shard of a W=3 split sees hundreds.
+Fixture MakePlantedFixture(uint64_t seed) {
+  Rng rng(seed);
+  PlantedCoverParams p;
+  p.num_elements = 120;
+  p.num_sets = 600;
+  p.planted_cover_size = 6;
+  Fixture fixture{GeneratePlantedCover(p, rng), {}};
+  fixture.stream = RandomOrderStream(fixture.instance, rng);
+  return fixture;
+}
+
+std::string TempPath(const std::string& tag) {
+  std::string name = "backend_" + tag;
+  for (char& c : name)
+    if (c == '-') c = '_';
+  return testing::TempDir() + name;
+}
+
+engine::RunConfig BaseConfig(const std::string& algorithm,
+                             const EdgeStream& stream,
+                             const std::string& backend, uint32_t workers) {
+  engine::RunConfig config;
+  config.algorithm = algorithm;
+  config.options.seed = 21;
+  config.source = engine::SourceSpec::InMemory(stream);
+  config.backend.name = backend;
+  config.backend.workers = workers;
+  return config;
+}
+
+void ExpectSameSolution(const engine::RunReport& actual,
+                        const engine::RunReport& expected,
+                        const std::string& context) {
+  EXPECT_EQ(actual.solution.cover, expected.solution.cover) << context;
+  EXPECT_EQ(actual.solution.certificate, expected.solution.certificate)
+      << context;
+  EXPECT_EQ(actual.edges_delivered, expected.edges_delivered) << context;
+  EXPECT_EQ(actual.uncovered_elements, expected.uncovered_elements)
+      << context;
+}
+
+std::string FileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream bytes;
+  bytes << in.rdbuf();
+  return bytes.str();
+}
+
+class BackendSweep : public testing::TestWithParam<std::string> {};
+
+// (a) W = 1: all three substrates are the same run — covers,
+// certificates, counters, meter readings, batch counts.
+TEST_P(BackendSweep, BackendsBitIdenticalAtOneWorker) {
+  Fixture fixture = MakePlantedFixture(401);
+  engine::RunReport expected =
+      engine::Execute(BaseConfig(GetParam(), fixture.stream, "inprocess", 0));
+  ASSERT_TRUE(expected.completed) << expected.error;
+
+  for (const std::string backend : {"sharded", "forked"}) {
+    const std::string context = GetParam() + " backend=" + backend;
+    engine::RunReport report = engine::Execute(
+        BaseConfig(GetParam(), fixture.stream, backend, 1));
+    ASSERT_TRUE(report.completed) << context << ": " << report.error;
+    ExpectSameSolution(report, expected, context);
+    EXPECT_EQ(report.algorithm_name, expected.algorithm_name) << context;
+    EXPECT_EQ(report.meter_breakdown, expected.meter_breakdown) << context;
+    EXPECT_EQ(report.current_words, expected.current_words) << context;
+    EXPECT_EQ(report.peak_words, expected.peak_words) << context;
+    EXPECT_EQ(report.stages.batches, expected.stages.batches) << context;
+  }
+}
+
+// (b) W = 3: the two multi-worker substrates must agree exactly —
+// solution, per-shard accounting, and the deterministic merge's
+// message-size bookkeeping. A forked worker process and a sharded
+// worker thread are the same pipeline behind different isolation.
+TEST_P(BackendSweep, ShardedAndForkedAgreeAtThreeWorkers) {
+  Fixture fixture = MakePlantedFixture(411);
+  engine::RunConfig sharded =
+      BaseConfig(GetParam(), fixture.stream, "sharded", 3);
+  sharded.validate = &fixture.instance;
+  engine::RunConfig forked =
+      BaseConfig(GetParam(), fixture.stream, "forked", 3);
+  forked.validate = &fixture.instance;
+
+  engine::RunReport a = engine::Execute(sharded);
+  engine::RunReport b = engine::Execute(forked);
+  ASSERT_TRUE(a.completed) << a.error;
+  ASSERT_TRUE(b.completed) << GetParam() << ": " << b.error;
+  ExpectSameSolution(b, a, GetParam());
+  EXPECT_TRUE(b.validation.ok) << b.validation.error;
+  EXPECT_EQ(b.peak_words, a.peak_words) << GetParam();
+  EXPECT_EQ(b.sharded.shards, a.sharded.shards) << GetParam();
+  EXPECT_EQ(b.sharded.shard_edges, a.sharded.shard_edges) << GetParam();
+  EXPECT_EQ(b.sharded.shard_cover_sizes, a.sharded.shard_cover_sizes)
+      << GetParam();
+  EXPECT_EQ(b.sharded.max_message_words, a.sharded.max_message_words)
+      << GetParam();
+  EXPECT_EQ(b.sharded.threshold_sets, a.sharded.threshold_sets)
+      << GetParam();
+  EXPECT_EQ(b.sharded.patched_sets, a.sharded.patched_sets) << GetParam();
+}
+
+// (c) The checkpoint files themselves: a killed run leaves the same
+// sidecar BYTES no matter which substrate was executing — plain SCKP
+// at W = 1 (inprocess included), aggregate SCSH at W = 3.
+TEST_P(BackendSweep, CheckpointSidecarsAreByteIdenticalAcrossBackends) {
+  Fixture fixture = MakePlantedFixture(401);
+  for (uint32_t workers : {1u, 3u}) {
+    std::vector<std::string> backends = {"sharded", "forked"};
+    if (workers == 1) backends.insert(backends.begin(), "inprocess");
+
+    std::vector<std::string> paths;
+    for (const std::string& backend : backends) {
+      const std::string context = GetParam() + " backend=" + backend +
+                                  " W=" + std::to_string(workers);
+      const std::string path =
+          TempPath("ckpt_" + GetParam() + "_" + backend +
+                   std::to_string(workers));
+      engine::RunConfig config =
+          BaseConfig(GetParam(), fixture.stream, backend, workers);
+      config.checkpoint.path = path;
+      config.checkpoint.every = 10;
+      config.stop_after = 25;
+      engine::RunReport report = engine::Execute(config);
+      ASSERT_TRUE(report.error.empty()) << context << ": " << report.error;
+      ASSERT_FALSE(report.completed) << context;
+      ASSERT_GE(report.checkpoints_written, uint64_t{workers}) << context;
+      paths.push_back(path);
+    }
+
+    const std::string reference = FileBytes(paths[0]);
+    ASSERT_FALSE(reference.empty()) << GetParam();
+    for (size_t i = 1; i < paths.size(); ++i) {
+      EXPECT_EQ(FileBytes(paths[i]), reference)
+          << GetParam() << " W=" << workers << ": " << backends[i]
+          << " sidecar differs from " << backends[0];
+    }
+    for (const std::string& path : paths) std::remove(path.c_str());
+  }
+}
+
+// (d) Killing one worker PROCESS mid-stream: the run fails with the
+// dead-worker diagnostic, the aggregate checkpoint holds every slot
+// the workers managed to write, and resuming from it finishes
+// bit-identical to the never-killed run.
+TEST_P(BackendSweep, KillOneWorkerProcessAndResume) {
+  Fixture fixture = MakePlantedFixture(401);
+  const std::string path = TempPath("failw_" + GetParam() + ".scsh");
+
+  engine::RunConfig base = BaseConfig(GetParam(), fixture.stream, "forked", 3);
+  engine::RunReport expected = engine::Execute(base);
+  ASSERT_TRUE(expected.completed) << expected.error;
+
+  engine::RunConfig kill = base;
+  kill.checkpoint.path = path;
+  kill.checkpoint.every = 10;
+  kill.backend.fail_worker = 1;
+  kill.backend.fail_worker_after = 20;
+  engine::RunReport killed = engine::Execute(kill);
+  ASSERT_FALSE(killed.completed) << GetParam();
+  EXPECT_NE(killed.error.find("worker 1 exited without a report"),
+            std::string::npos)
+      << GetParam() << ": " << killed.error;
+  ASSERT_GT(killed.checkpoints_written, 0u) << GetParam();
+
+  engine::RunConfig resume = base;
+  resume.options.seed = 999;  // must be ignored: state is on disk
+  resume.checkpoint.path = path;
+  resume.checkpoint.every = 10;
+  resume.checkpoint.resume = true;
+  engine::RunReport resumed = engine::Execute(resume);
+  ASSERT_TRUE(resumed.completed) << GetParam() << ": " << resumed.error;
+  EXPECT_TRUE(resumed.resumed) << GetParam();
+  ExpectSameSolution(resumed, expected, GetParam());
+  std::remove(path.c_str());
+}
+
+// Stream schedules are substrate-independent source backends: a 2-pass
+// schedule equals one pass over the physically doubled stream, on
+// every backend.
+TEST_P(BackendSweep, TwoPassScheduleMatchesDoubledStreamOnEveryBackend) {
+  Fixture fixture = MakePlantedFixture(421);
+  // Same declared metadata (the scheduled source reports one pass's
+  // meta), twice the edges.
+  EdgeStream doubled = fixture.stream;
+  doubled.edges.insert(doubled.edges.end(), fixture.stream.edges.begin(),
+                       fixture.stream.edges.end());
+  engine::RunReport expected = engine::Execute(
+      BaseConfig(GetParam(), doubled, "inprocess", 0));
+  ASSERT_TRUE(expected.completed) << expected.error;
+
+  for (const std::string backend : {"inprocess", "sharded", "forked"}) {
+    const std::string context = GetParam() + " backend=" + backend;
+    engine::RunConfig config =
+        BaseConfig(GetParam(), fixture.stream, backend,
+                   backend == "inprocess" ? 0 : 1);
+    config.source.schedule.passes = 2;
+    engine::RunReport report = engine::Execute(config);
+    ASSERT_TRUE(report.completed) << context << ": " << report.error;
+    EXPECT_EQ(report.solution.cover, expected.solution.cover) << context;
+    EXPECT_EQ(report.solution.certificate, expected.solution.certificate)
+        << context;
+    EXPECT_EQ(report.edges_delivered, 2 * fixture.stream.size()) << context;
+  }
+}
+
+std::string TestName(const testing::TestParamInfo<std::string>& info) {
+  std::string name = info.param;
+  for (char& c : name)
+    if (c == '-') c = '_';
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardableAlgorithms, BackendSweep,
+                         testing::ValuesIn(ShardableAlgorithmNames()),
+                         TestName);
+
+// The forked backend over a real v3 stream file: each worker process
+// opens its own cursor into the mmap'd file; the result must match
+// the in-memory run edge for edge.
+TEST(BackendMatrixTest, ForkedFileSourceMatchesInMemory) {
+  Fixture fixture = MakePlantedFixture(431);
+  const std::string path = TempPath("file.scs3");
+  std::string error;
+  ASSERT_TRUE(
+      WriteStreamFile(fixture.stream, path, StreamFormat::kV3, &error))
+      << error;
+
+  engine::RunReport memory =
+      engine::Execute(BaseConfig("kk", fixture.stream, "forked", 3));
+  ASSERT_TRUE(memory.completed) << memory.error;
+
+  engine::RunConfig from_file = BaseConfig("kk", fixture.stream, "forked", 3);
+  from_file.source = engine::SourceSpec::File(path);
+  engine::RunReport file = engine::Execute(from_file);
+  ASSERT_TRUE(file.completed) << file.error;
+  ExpectSameSolution(file, memory, "forked file vs memory");
+  std::remove(path.c_str());
+}
+
+// A 2-pass schedule over a v3 FILE resumes mid-pass-2: scheduled
+// positions (pass * N + record) are the checkpoint coordinate, so
+// kill-and-resume composes with multi-pass runs.
+TEST(BackendMatrixTest, TwoPassFileScheduleKillAndResume) {
+  Fixture fixture = MakePlantedFixture(431);
+  const std::string path = TempPath("twopass.scs3");
+  const std::string ckpt = TempPath("twopass.sckp");
+  std::string error;
+  ASSERT_TRUE(
+      WriteStreamFile(fixture.stream, path, StreamFormat::kV3, &error))
+      << error;
+
+  engine::RunConfig base = BaseConfig("kk", fixture.stream, "inprocess", 0);
+  base.source = engine::SourceSpec::File(path);
+  base.source.schedule.passes = 2;
+  engine::RunReport expected = engine::Execute(base);
+  ASSERT_TRUE(expected.completed) << expected.error;
+  ASSERT_EQ(expected.edges_delivered, 2 * fixture.stream.size());
+
+  engine::RunConfig kill = base;
+  kill.checkpoint.path = ckpt;
+  kill.checkpoint.every = 100;
+  // Deep into pass 2.
+  kill.stop_after = fixture.stream.size() + fixture.stream.size() / 2;
+  engine::RunReport killed = engine::Execute(kill);
+  ASSERT_TRUE(killed.error.empty()) << killed.error;
+  ASSERT_FALSE(killed.completed);
+
+  engine::RunConfig resume = base;
+  resume.checkpoint.path = ckpt;
+  resume.checkpoint.every = 100;
+  resume.checkpoint.resume = true;
+  engine::RunReport resumed = engine::Execute(resume);
+  ASSERT_TRUE(resumed.completed) << resumed.error;
+  EXPECT_GT(resumed.resumed_at, fixture.stream.size());
+  ExpectSameSolution(resumed, expected, "2-pass resume");
+  std::remove(path.c_str());
+  std::remove(ckpt.c_str());
+}
+
+// Sliding-window schedules re-deliver recent records (duplicate-heavy
+// arrival): the run completes, delivers more edges than the stream
+// holds, still produces a valid certified cover of the instance, and
+// is deterministic — the same schedule twice gives the same solution.
+// (The cover may legitimately differ from the plain run: replays
+// change which set claims an element.)
+TEST(BackendMatrixTest, WindowScheduleDeliversReplaysAndStaysCorrect) {
+  Fixture fixture = MakePlantedFixture(441);
+  engine::RunConfig config = BaseConfig("kk", fixture.stream, "", 0);
+  config.source.schedule.window = 16;
+  config.source.schedule.replay_every = 64;
+  config.validate = &fixture.instance;
+  engine::RunReport report = engine::Execute(config);
+  ASSERT_TRUE(report.completed) << report.error;
+  EXPECT_GT(report.edges_delivered, fixture.stream.size());
+  EXPECT_TRUE(report.validation.ok) << report.validation.error;
+
+  engine::RunReport again = engine::Execute(config);
+  ASSERT_TRUE(again.completed) << again.error;
+  EXPECT_EQ(report.solution.cover, again.solution.cover);
+  EXPECT_EQ(report.solution.certificate, again.solution.certificate);
+  EXPECT_EQ(report.edges_delivered, again.edges_delivered);
+}
+
+// Windowed schedules are not checkpointable — replayed window contents
+// are not position-addressable — and the engine must say so, not
+// write a checkpoint that cannot resume.
+TEST(BackendMatrixTest, WindowScheduleRejectsCheckpointing) {
+  Fixture fixture = MakePlantedFixture(441);
+  engine::RunConfig config = BaseConfig("kk", fixture.stream, "", 0);
+  config.source.schedule.window = 16;
+  config.source.schedule.replay_every = 64;
+  config.checkpoint.path = TempPath("window.sckp");
+  config.checkpoint.every = 10;
+  engine::RunReport report = engine::Execute(config);
+  ASSERT_FALSE(report.completed);
+  EXPECT_NE(report.error.find("not checkpointable"), std::string::npos)
+      << report.error;
+}
+
+// The forked backend refuses windowed schedules: replayed window
+// contents cannot cross the process boundary by position.
+TEST(BackendMatrixTest, ForkedRejectsWindowSchedules) {
+  Fixture fixture = MakePlantedFixture(441);
+  engine::RunConfig config = BaseConfig("kk", fixture.stream, "forked", 2);
+  config.source.schedule.window = 16;
+  config.source.schedule.replay_every = 64;
+  engine::RunReport report = engine::Execute(config);
+  ASSERT_FALSE(report.completed);
+  EXPECT_NE(report.error.find("windowed schedules"), std::string::npos)
+      << report.error;
+}
+
+// ShardedSession — the push-side of the seam: ingesting the stream in
+// client-sized batches through W sub-sessions merges to the exact
+// ExecuteSharded result at the same (seed, W).
+TEST(BackendMatrixTest, ShardedSessionMatchesExecuteSharded) {
+  Fixture fixture = MakePlantedFixture(451);
+  engine::RunReport expected =
+      engine::Execute(BaseConfig("kk", fixture.stream, "sharded", 3));
+  ASSERT_TRUE(expected.completed) << expected.error;
+
+  engine::ShardedSessionConfig config;
+  config.base.algorithm = "kk";
+  config.base.options.seed = 21;
+  config.base.meta = fixture.stream.meta;
+  config.workers = 3;
+  std::string error;
+  auto session = engine::ShardedSession::Open(config, false, &error);
+  ASSERT_NE(session, nullptr) << error;
+
+  uint64_t sequence = 0;
+  for (size_t at = 0; at < fixture.stream.size(); at += 37) {
+    const size_t take = std::min<size_t>(37, fixture.stream.size() - at);
+    engine::IngestResult result = session->Ingest(
+        ++sequence,
+        std::span<const Edge>(fixture.stream.edges.data() + at, take),
+        &error);
+    ASSERT_EQ(result.status, engine::IngestStatus::kApplied) << error;
+  }
+  const engine::RunReport& report = session->Finalize();
+  ASSERT_TRUE(report.completed) << report.error;
+  EXPECT_EQ(report.solution.cover, expected.solution.cover);
+  EXPECT_EQ(report.solution.certificate, expected.solution.certificate);
+  EXPECT_EQ(report.edges_delivered, fixture.stream.size());
+}
+
+// Sharded sessions reject fault schedules outright — per-worker slice
+// positions are not stream positions, so (seed, position) fault
+// decisions would diverge from a whole-stream run.
+TEST(BackendMatrixTest, ShardedSessionRejectsFaultSchedules) {
+  engine::ShardedSessionConfig config;
+  config.base.algorithm = "kk";
+  config.base.meta = StreamMetadata{4, 4, 16};
+  config.workers = 2;
+  FaultSchedule faults;
+  faults.duplicate_rate = 0.1;
+  config.base.faults = faults;
+  std::string error;
+  EXPECT_EQ(engine::ShardedSession::Open(config, false, &error), nullptr);
+  EXPECT_NE(error.find("fault schedules"), std::string::npos) << error;
+}
+
+// Dispatch and registry plumbing: explicit names win, workers > 1
+// auto-selects sharded, unknown names fail with the known-name list,
+// and the registry names all three substrates.
+TEST(BackendMatrixTest, DispatchAndRegistry) {
+  Fixture fixture = MakePlantedFixture(401);
+
+  engine::RunConfig config = BaseConfig("kk", fixture.stream, "", 2);
+  engine::RunReport sharded = engine::Execute(config);
+  ASSERT_TRUE(sharded.completed) << sharded.error;
+  EXPECT_EQ(sharded.sharded.shards, 2u);
+
+  config.backend.name = "no-such-backend";
+  engine::RunReport unknown = engine::Execute(config);
+  ASSERT_FALSE(unknown.completed);
+  EXPECT_NE(unknown.error.find("unknown backend"), std::string::npos);
+  EXPECT_NE(unknown.error.find("forked"), std::string::npos);
+
+  const auto& registry = engine::BackendRegistry();
+  ASSERT_EQ(registry.size(), 3u);
+  EXPECT_EQ(registry[0].name, "inprocess");
+  EXPECT_EQ(registry[1].name, "sharded");
+  EXPECT_EQ(registry[2].name, "forked");
+  EXPECT_FALSE(registry[0].multiprocess);
+  EXPECT_TRUE(registry[2].multiprocess);
+}
+
+}  // namespace
+}  // namespace setcover

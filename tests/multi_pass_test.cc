@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "engine/engine.h"
 #include "instance/generators.h"
 #include "instance/validator.h"
 #include "offline/exact.h"
@@ -137,6 +138,60 @@ TEST(MultiPassTest, SpaceIsMPlusN) {
   size_t peak = algorithm.Meter().PeakWords();
   EXPECT_GE(peak, 4096u);
   EXPECT_LE(peak, 4096u + 2 * 128u + 2048u);
+}
+
+// The stream adapter + a p-pass engine schedule is the same execution
+// as RunMultiPass over the raw stream: same cover, same certificate,
+// same per-pass additions.
+TEST(MultiPassTest, StreamAdapterUnderPassScheduleMatchesRunMultiPass) {
+  auto inst = PlantedInstance(256, 1024, 6, 15);
+  Rng rng(16);
+  auto stream = RandomOrderStream(inst, rng);
+  for (uint32_t p : {1u, 2u, 4u}) {
+    MultiPassParams params;
+    params.passes = p;
+    ProgressiveThresholdMultiPass reference(params);
+    uint32_t passes_used = 0;
+    CoverSolution expected =
+        RunMultiPass(reference, stream, 64, &passes_used);
+    ASSERT_EQ(passes_used, p);
+
+    ProgressiveThresholdMultiPass inner(params);
+    MultiPassStreamAdapter adapter(inner);
+    engine::RunConfig config;
+    config.algorithm_instance = &adapter;
+    config.source = engine::SourceSpec::InMemory(stream);
+    config.source.schedule.passes = p;
+    engine::RunReport report = engine::Execute(config);
+    ASSERT_TRUE(report.completed) << report.error;
+    EXPECT_EQ(report.solution.cover, expected.cover);
+    EXPECT_EQ(report.solution.certificate, expected.certificate);
+    EXPECT_EQ(adapter.PassesCompleted(), p);
+    EXPECT_EQ(inner.SetsAddedPerPass(), reference.SetsAddedPerPass());
+
+    auto check = ValidateSolution(inst, report.solution);
+    EXPECT_TRUE(check.ok) << check.error;
+  }
+}
+
+// A schedule with fewer passes than the algorithm wants still finalizes
+// to a feasible cover: the adapter closes the open pass and the safety
+// patching covers the rest.
+TEST(MultiPassTest, StreamAdapterShortScheduleStillValid) {
+  auto inst = PlantedInstance(256, 512, 4, 17);
+  Rng rng(18);
+  auto stream = RandomOrderStream(inst, rng);
+  ProgressiveThresholdMultiPass inner;  // wants ceil(log2 256)+1 passes
+  MultiPassStreamAdapter adapter(inner);
+  engine::RunConfig config;
+  config.algorithm_instance = &adapter;
+  config.source = engine::SourceSpec::InMemory(stream);
+  config.source.schedule.passes = 2;
+  engine::RunReport report = engine::Execute(config);
+  ASSERT_TRUE(report.completed) << report.error;
+  EXPECT_EQ(adapter.PassesCompleted(), 2u);
+  auto check = ValidateSolution(inst, report.solution);
+  EXPECT_TRUE(check.ok) << check.error;
 }
 
 TEST(MultiPassTest, EarlyCutoffStillValidViaPatching) {

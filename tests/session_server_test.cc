@@ -5,7 +5,11 @@
 // always compared against engine::Execute oracles — the server must be
 // an observationally invisible layer over the engine.
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <filesystem>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -374,6 +378,178 @@ TEST(SessionServer, UnixSocketSmoke) {
   Message reply;
   ASSERT_TRUE(RunSessionToCompletion(&client, 1,
                                      MakeOpen(algorithm, 21, fixture),
+                                     fixture.stream.edges, 64, &reply,
+                                     &error))
+      << error;
+  EXPECT_EQ(reply.cover, ToU32(expected.solution.cover));
+  EXPECT_EQ(reply.certificate, ToU32(expected.solution.certificate));
+  server.DrainAndStop();
+}
+
+
+// --- Idle-session TTL eviction (SessionManager::EvictIdle) -----------
+
+/// A SessionManager on a fake clock: tests advance time explicitly, so
+/// TTL math is deterministic and instant.
+struct EvictionHarness {
+  std::string dir;
+  std::shared_ptr<std::atomic<int64_t>> now_ns;
+  std::unique_ptr<SessionManager> manager;
+
+  explicit EvictionHarness(const std::string& tag, bool persistent = true) {
+    dir = testing::TempDir() + "evict_" + tag;
+    std::filesystem::remove_all(dir);
+    if (persistent) std::filesystem::create_directories(dir);
+    now_ns = std::make_shared<std::atomic<int64_t>>(0);
+    auto now = now_ns;
+    manager = std::make_unique<SessionManager>(
+        persistent ? dir : std::string(), [now] {
+          return SessionManager::Clock::time_point(
+              std::chrono::duration_cast<SessionManager::Clock::duration>(
+                  std::chrono::nanoseconds(now->load())));
+        });
+  }
+
+  void AdvanceSeconds(int64_t seconds) {
+    now_ns->fetch_add(seconds * 1'000'000'000);
+  }
+};
+
+Message OpenMessage(uint64_t id, const OpenBody& open) {
+  Message message;
+  message.type = MessageType::kOpen;
+  message.session_id = id;
+  message.open = open;
+  return message;
+}
+
+Message IngestMessage(uint64_t id, uint64_t sequence,
+                      std::vector<Edge> edges) {
+  Message message;
+  message.type = MessageType::kIngest;
+  message.session_id = id;
+  message.sequence = sequence;
+  message.edges = std::move(edges);
+  return message;
+}
+
+// An idle persistent session is checkpointed and evicted; the first
+// re-touch gets kRetryAfter(kEvicted); the retry recovers the session
+// from its sidecars and the run finishes bit-identical to the oracle.
+TEST(SessionEviction, IdleSessionEvictsThenRecoversBitIdentical) {
+  Fixture fixture = MakeFixture(231);
+  const std::string algorithm = RegisteredAlgorithmNames().front();
+  engine::RunReport expected = Oracle(algorithm, 21, fixture);
+  EvictionHarness harness("recover");
+
+  OpenBody open = MakeOpen(algorithm, 21, fixture);
+  ASSERT_EQ(harness.manager->Handle(OpenMessage(9, open)).type,
+            MessageType::kOpenOk);
+
+  // Half the stream, then go idle past the TTL.
+  const size_t half = fixture.stream.edges.size() / 2;
+  uint64_t sequence = 0;
+  ASSERT_EQ(harness.manager
+                ->Handle(IngestMessage(
+                    9, ++sequence,
+                    {fixture.stream.edges.begin(),
+                     fixture.stream.edges.begin() + half}))
+                .type,
+            MessageType::kIngestOk);
+  harness.AdvanceSeconds(120);
+  EXPECT_EQ(harness.manager->EvictIdle(std::chrono::seconds(60)), 1u);
+  EXPECT_EQ(harness.manager->OpenSessions(), 0u);
+
+  // First re-touch: one-shot retry hint.
+  Message tail = IngestMessage(
+      9, sequence + 1,
+      {fixture.stream.edges.begin() + half, fixture.stream.edges.end()});
+  Message shed = harness.manager->Handle(tail);
+  ASSERT_EQ(shed.type, MessageType::kRetryAfter);
+  EXPECT_EQ(shed.retry_reason, RetryReason::kEvicted);
+
+  // The retry recovers from the eviction checkpoint and continues.
+  Message applied = harness.manager->Handle(tail);
+  ASSERT_EQ(applied.type, MessageType::kIngestOk) << applied.error;
+  EXPECT_FALSE(applied.duplicate);
+
+  Message finalize;
+  finalize.type = MessageType::kFinalize;
+  finalize.session_id = 9;
+  Message reply = harness.manager->Handle(finalize);
+  ASSERT_EQ(reply.type, MessageType::kFinalizeOk) << reply.error;
+  EXPECT_EQ(reply.cover, ToU32(expected.solution.cover));
+  EXPECT_EQ(reply.certificate, ToU32(expected.solution.certificate));
+}
+
+// The sweep only takes sessions past the TTL: an actively touched
+// session stays resident while its idle sibling is evicted.
+TEST(SessionEviction, ActiveSessionsSurviveTheSweep) {
+  Fixture fixture = MakeFixture(233);
+  const std::string algorithm = RegisteredAlgorithmNames().front();
+  EvictionHarness harness("active");
+
+  OpenBody open = MakeOpen(algorithm, 21, fixture);
+  ASSERT_EQ(harness.manager->Handle(OpenMessage(1, open)).type,
+            MessageType::kOpenOk);
+  ASSERT_EQ(harness.manager->Handle(OpenMessage(2, open)).type,
+            MessageType::kOpenOk);
+
+  harness.AdvanceSeconds(45);
+  // Touch session 1 only (stats counts as a touch).
+  Message stats;
+  stats.type = MessageType::kStats;
+  stats.session_id = 1;
+  ASSERT_EQ(harness.manager->Handle(stats).type, MessageType::kStatsOk);
+
+  harness.AdvanceSeconds(30);  // session 2 idle 75s, session 1 idle 30s
+  EXPECT_EQ(harness.manager->EvictIdle(std::chrono::seconds(60)), 1u);
+  EXPECT_EQ(harness.manager->OpenSessions(), 1u);
+  EXPECT_EQ(harness.manager->Handle(stats).type, MessageType::kStatsOk);
+}
+
+// Volatile sessions (no state_dir) are never evicted — dropping them
+// would lose state the client was promised.
+TEST(SessionEviction, VolatileSessionsAreNeverEvicted) {
+  Fixture fixture = MakeFixture(235);
+  const std::string algorithm = RegisteredAlgorithmNames().front();
+  EvictionHarness harness("volatile", /*persistent=*/false);
+
+  ASSERT_EQ(harness.manager
+                ->Handle(OpenMessage(3, MakeOpen(algorithm, 21, fixture)))
+                .type,
+            MessageType::kOpenOk);
+  harness.AdvanceSeconds(3600);
+  EXPECT_EQ(harness.manager->EvictIdle(std::chrono::seconds(1)), 0u);
+  EXPECT_EQ(harness.manager->OpenSessions(), 1u);
+}
+
+// --- Sharded sessions over the wire (OpenBody::workers) --------------
+
+// One daemon, both substrates: a session opened with workers = 3 runs
+// the W-way sharded pipeline behind the same protocol, and the final
+// cover equals the sharded-backend oracle at the same (seed, W).
+TEST(SessionServer, ShardedSessionMatchesShardedBackendOracle) {
+  Fixture fixture = MakeFixture(237);
+  engine::RunConfig oracle_config;
+  oracle_config.algorithm = "kk";
+  oracle_config.options.seed = 21;
+  oracle_config.source = engine::SourceSpec::InMemory(fixture.stream);
+  oracle_config.backend.name = "sharded";
+  oracle_config.backend.workers = 3;
+  engine::RunReport expected = engine::Execute(oracle_config);
+  ASSERT_TRUE(expected.completed) << expected.error;
+
+  LocalEndpoint endpoint;
+  SessionServer server({}, endpoint.Listen());
+  server.Start();
+
+  SessionClient client(DialerFor(&endpoint), FastClientOptions(31));
+  OpenBody open = MakeOpen("kk", 21, fixture);
+  open.workers = 3;
+  Message reply;
+  std::string error;
+  ASSERT_TRUE(RunSessionToCompletion(&client, 5, open,
                                      fixture.stream.edges, 64, &reply,
                                      &error))
       << error;

@@ -25,7 +25,9 @@
 //             algorithm, incompatible with --runs > 1).
 //
 //   solve-stream --stream stream.bin [--algorithm kk] [--seed S]
-//             [--threads T] [--shards W] [--no-prefetch] [--no-mmap]
+//             [--threads T] [--shards W] [--backend B]
+//             [--passes P] [--window K --replay-every R]
+//             [--no-prefetch] [--no-mmap]
 //             [--timings] [--checkpoint ckpt.sckp]
 //             [--checkpoint-every K] [--resume] [--stop-after K]
 //             Replays a binary stream file through the engine (no
@@ -45,7 +47,17 @@
 //             of the same (mmap-shared) file and the covers merge via
 //             the deterministic protocol; with --checkpoint the W
 //             cursors aggregate into one sidecar file and --resume
-//             restores all of them.
+//             restores all of them. --backend picks the execution
+//             substrate by name (inprocess | sharded | forked; see
+//             `describe`): the same run, bit-identical, on the calling
+//             thread, the thread pool, or W forked worker processes.
+//             --passes P layers a P-pass schedule over the file
+//             (each pass replays the identical record sequence);
+//             --algorithm=progressive-threshold runs the multi-pass
+//             progressive threshold greedy through the pass schedule.
+//             --window K --replay-every R layers a sliding-window
+//             replay feed (duplicate-heavy arrivals; incompatible with
+//             checkpointing and the forked backend).
 //
 //   compare   --instance instance.txt [--order random] [--seed S]
 //             Runs *every* registered algorithm on the same stream and
@@ -59,7 +71,9 @@
 //             algorithm with space class, approximation class,
 //             supported arrival orders, the shardable capability
 //             (whether --shards may fan the algorithm out across the
-//             sharded execution mode), and a one-line description.
+//             sharded execution mode), and a one-line description —
+//             followed by the execution-backend registry (one row per
+//             substrate --backend accepts).
 //
 // All subcommands that run an algorithm are thin clients of
 // engine::Execute (src/engine/engine.h): they describe the run as a
@@ -76,11 +90,14 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <thread>
 
+#include "core/multi_pass.h"
 #include "core/multi_run.h"
 #include "core/registry.h"
+#include "engine/backend.h"
 #include "engine/engine.h"
 #include "instance/generators.h"
 #include "instance/io.h"
@@ -178,6 +195,12 @@ int CmdDescribe() {
                 info.space_class.c_str(), info.approx_class.c_str(),
                 info.shardable ? "yes" : "no", orders.c_str());
     std::printf("    %s\n", info.description.c_str());
+  }
+  std::printf("\n%-12s %-12s %s\n", "backend", "multiprocess", "summary");
+  for (const engine::BackendInfo& backend : engine::BackendRegistry()) {
+    std::printf("%-12s %-12s %s\n", backend.name.c_str(),
+                backend.multiprocess ? "yes" : "no",
+                backend.summary.c_str());
   }
   return 0;
 }
@@ -411,15 +434,35 @@ int CmdCompare(const FlagSet& flags) {
 int CmdSolveStream(const FlagSet& flags) {
   std::string path = flags.GetString("stream", "");
   std::string algorithm_name = flags.GetString("algorithm", "kk");
-  if (FindAlgorithm(algorithm_name) == nullptr) {
+  // progressive-threshold is the multi-pass workhorse (core/multi_pass.h),
+  // driven through a --passes schedule via the stream adapter; everything
+  // else resolves through the one-pass registry.
+  const bool multipass = algorithm_name == "progressive-threshold";
+  if (!multipass && FindAlgorithm(algorithm_name) == nullptr) {
     return UnknownAlgorithm(algorithm_name);
   }
 
-  const int64_t shards = ShardsFlag(flags, algorithm_name);
+  const int64_t passes = flags.GetInt("passes", 1);
+  const int64_t window = flags.GetInt("window", 0);
+  const int64_t replay_every = flags.GetInt("replay-every", 0);
+  if (passes < 1) {
+    std::fprintf(stderr, "--passes must be >= 1\n");
+    return 2;
+  }
+  const int64_t shards = multipass ? 1 : ShardsFlag(flags, algorithm_name);
   if (shards < 0) return 2;
+  if (multipass && (flags.GetInt("shards", 1) > 1 ||
+                    !flags.GetString("backend", "").empty())) {
+    std::fprintf(stderr,
+                 "--algorithm=progressive-threshold runs the in-process "
+                 "pipeline only (no --shards / --backend): pass state "
+                 "spans the whole stream\n");
+    return 2;
+  }
 
   engine::RunConfig config;
   config.algorithm = algorithm_name;
+  config.backend.name = flags.GetString("backend", "");
   config.options.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
   config.options.alpha = flags.GetDouble("alpha", 0.0);
   config.options.threads =
@@ -430,6 +473,24 @@ int CmdSolveStream(const FlagSet& flags) {
   read_options.prefetch = !flags.GetBool("no-prefetch", false);
   read_options.use_mmap = !flags.GetBool("no-mmap", false);
   config.source = engine::SourceSpec::File(path, read_options);
+  config.source.schedule.passes = static_cast<uint32_t>(passes);
+  config.source.schedule.window = static_cast<uint32_t>(window);
+  config.source.schedule.replay_every =
+      static_cast<uint32_t>(replay_every);
+
+  // The multi-pass adapter: feed P identical passes through the
+  // one-pass pipeline and let the adapter re-derive the pass lifecycle
+  // at stream-length boundaries (core/multi_pass.h).
+  std::optional<ProgressiveThresholdMultiPass> progressive;
+  std::optional<MultiPassStreamAdapter> adapter;
+  if (multipass) {
+    MultiPassParams params;
+    params.passes = static_cast<uint32_t>(passes);
+    progressive.emplace(params);
+    adapter.emplace(*progressive);
+    config.algorithm.clear();
+    config.algorithm_instance = &*adapter;
+  }
 
   config.checkpoint.path = flags.GetString("checkpoint", "");
   config.checkpoint.every =
@@ -466,6 +527,23 @@ int CmdSolveStream(const FlagSet& flags) {
   for (SetId w : report.solution.certificate)
     witnessed += (w != kNoSet) ? 1 : 0;
   std::printf("algorithm:   %s\n", report.algorithm_name.c_str());
+  if (!config.backend.name.empty()) {
+    std::printf("backend:     %s\n", config.backend.name.c_str());
+  }
+  if (passes > 1) {
+    if (multipass && adapter.has_value()) {
+      std::printf("passes:      %lld (%u completed)\n",
+                  static_cast<long long>(passes),
+                  adapter->PassesCompleted());
+    } else {
+      std::printf("passes:      %lld\n", static_cast<long long>(passes));
+    }
+  }
+  if (window > 0) {
+    std::printf("window:      %lld (replay every %lld)\n",
+                static_cast<long long>(window),
+                static_cast<long long>(replay_every));
+  }
   std::printf("cover size:  %zu\n", report.solution.cover.size());
   std::printf("witnessed:   %zu/%zu elements\n", witnessed,
               report.solution.certificate.size());

@@ -31,6 +31,12 @@
 // summary always reports aggregate ingest edges/s plus a per-op
 // ingest-latency histogram (p50/p95/p99 of send-to-ack).
 //
+// --passes=P replays the stream P times through every session — the
+// push-side spelling of a P-pass schedule (stream/schedule.h): the
+// client ingests the identical record sequence P times and the oracle
+// is engine::Execute under schedule.passes = P, which the engine pins
+// as bit-identical to the concatenated feed.
+//
 // Usage:
 //   setcover_loadgen [--sessions=256] [--clients=8] [--batch=64]
 //                    [--elements=60] [--sets=80] [--seed=1]
@@ -38,6 +44,7 @@
 //                    [--state-dir=DIR] [--kill-after-us=N]
 //                    [--socket=/path/to.sock] [--shards=W]
 //                    [--transport=local|unix|shm] [--window=K]
+//                    [--passes=P]
 //
 // Exit code 0 iff every session completed with an oracle-identical
 // cover.
@@ -104,6 +111,7 @@ int main(int argc, char** argv) {
   const std::string transport = flags.GetString(
       "transport", socket_path.empty() ? "local" : "unix");
   const size_t window = size_t(flags.GetInt("window", 1));
+  const int64_t passes_flag = flags.GetInt("passes", 1);
 
   UniformRandomParams params;
   params.num_elements = uint32_t(flags.GetInt("elements", 60));
@@ -144,7 +152,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: --shards must be >= 1\n");
     return 2;
   }
+  if (passes_flag < 1) {
+    std::fprintf(stderr, "error: --passes must be >= 1\n");
+    return 2;
+  }
   const uint32_t shards = uint32_t(shards_flag);
+  const uint32_t passes = uint32_t(passes_flag);
 
   Rng rng(seed);
   SetCoverInstance instance = GenerateUniformRandom(params, rng);
@@ -164,6 +177,19 @@ int main(int argc, char** argv) {
   }
   for (uint32_t w = 0; w < shards; ++w) {
     shard_streams[w].meta.stream_length = shard_streams[w].edges.size();
+  }
+
+  // What each session actually pushes: the slice, repeated once per
+  // pass (the concatenated form of the P-pass schedule the oracle
+  // runs).
+  std::vector<std::vector<Edge>> fed_edges(shards);
+  for (uint32_t w = 0; w < shards; ++w) {
+    fed_edges[w].reserve(shard_streams[w].edges.size() * passes);
+    for (uint32_t p = 0; p < passes; ++p) {
+      fed_edges[w].insert(fed_edges[w].end(),
+                          shard_streams[w].edges.begin(),
+                          shard_streams[w].edges.end());
+    }
   }
 
   auto plan_for = [&](uint64_t id) {
@@ -193,6 +219,7 @@ int main(int argc, char** argv) {
       config.algorithm = plan.algorithm;
       config.options.seed = plan.seed + w;
       config.source = engine::SourceSpec::InMemory(shard_streams[w]);
+      config.source.schedule.passes = passes;
       config.faults = plan.faults;
       engine::RunReport report = engine::Execute(config);
       if (!report.completed) {
@@ -282,8 +309,8 @@ int main(int argc, char** argv) {
           bool done = false;
           for (int attempt = 0; attempt < 100 && !done; ++attempt) {
             done = server::RunSessionToCompletion(&client, session_id, open,
-                                                  shard_streams[w].edges,
-                                                  run, &reply, &error);
+                                                  fed_edges[w], run,
+                                                  &reply, &error);
           }
           if (!done) {
             std::fprintf(stderr, "session %llu failed: %s\n",
@@ -299,7 +326,7 @@ int main(int argc, char** argv) {
                          (unsigned long long)session_id);
             mismatches.fetch_add(1);
           }
-          shard_edges[w].fetch_add(shard_streams[w].edges.size());
+          shard_edges[w].fetch_add(fed_edges[w].size());
           completed.fetch_add(1);
         }
       }
@@ -329,13 +356,13 @@ int main(int argc, char** argv) {
   std::printf(
       "sessions=%llu completed=%llu failures=%llu mismatches=%llu "
       "sheds_survived=%llu redials=%llu seconds=%.3f transport=%s "
-      "window=%llu\n",
+      "window=%llu passes=%u\n",
       (unsigned long long)sessions, (unsigned long long)completed.load(),
       (unsigned long long)failures.load(),
       (unsigned long long)mismatches.load(),
       (unsigned long long)total_sheds.load(),
       (unsigned long long)total_redials.load(), seconds, transport.c_str(),
-      (unsigned long long)window);
+      (unsigned long long)window, passes);
 
   uint64_t total_edges = 0;
   for (uint32_t w = 0; w < shards; ++w) {
